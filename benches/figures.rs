@@ -1,0 +1,121 @@
+//! Criterion benches — one per figure of the paper's evaluation.
+//!
+//! Each bench prints the figure's table once (generated at a small
+//! scale), then times a representative slice of the figure's work so
+//! `cargo bench` doubles as a regression harness for the pipeline. The
+//! full-scale tables come from `cargo run --release --example reproduce`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use slim::eval::figures::{self, RunSettings};
+
+fn settings() -> RunSettings {
+    RunSettings::tiny()
+}
+
+fn bench_fig2_gmm(c: &mut Criterion) {
+    let s = settings();
+    let r = figures::fig2::run(&s);
+    println!("{}", figures::fig2::render(&r).render());
+    println!("{}\n", figures::fig2::summary(&r));
+    c.bench_function("fig2_gmm_fit_pipeline", |b| {
+        b.iter(|| figures::fig2::run(black_box(&s)))
+    });
+}
+
+fn bench_fig4_cab_grid(c: &mut Criterion) {
+    let s = settings();
+    let grid = figures::fig4_5::run_grid(&s.cab(), &[8, 12, 16], &[15, 90], &s);
+    println!("{}", figures::fig4_5::render("Fig 4 (Cab, bench scale)", &grid).render());
+    c.bench_function("fig4_cab_single_cell", |b| {
+        b.iter(|| figures::fig4_5::run_grid(black_box(&s.cab()), &[12], &[15], &s))
+    });
+}
+
+fn bench_fig5_sm_grid(c: &mut Criterion) {
+    let s = settings();
+    let grid = figures::fig4_5::run_grid(&s.sm(), &[8, 12, 16], &[15, 90], &s);
+    println!("{}", figures::fig4_5::render("Fig 5 (SM, bench scale)", &grid).render());
+    c.bench_function("fig5_sm_single_cell", |b| {
+        b.iter(|| figures::fig4_5::run_grid(black_box(&s.sm()), &[12], &[15], &s))
+    });
+}
+
+fn bench_fig6_hist(c: &mut Criterion) {
+    let s = settings();
+    let fits = figures::fig6::run(&s);
+    println!("{}", figures::fig6::render(&fits).render());
+    c.bench_function("fig6_histograms", |b| {
+        b.iter(|| figures::fig6::run_with_levels(black_box(&s), &[8, 12]))
+    });
+}
+
+fn bench_fig7_sensitivity(c: &mut Criterion) {
+    let s = settings();
+    let pts = figures::fig7::run_sweep(&s.cab(), &[0.3, 0.7], &[0.5], &s);
+    println!("{}", figures::fig7::render("Fig 7 (Cab, bench scale)", &pts).render());
+    c.bench_function("fig7_one_point", |b| {
+        b.iter(|| figures::fig7::run_sweep(black_box(&s.cab()), &[0.5], &[0.5], &s))
+    });
+}
+
+fn bench_fig8_lsh(c: &mut Criterion) {
+    let s = settings();
+    let pts = figures::fig8::run_grid(&s.cab(), &[12, 16], &[48, 96], &s);
+    println!("{}", figures::fig8::render("Fig 8 (Cab, bench scale)", &pts).render());
+    c.bench_function("fig8_one_point", |b| {
+        b.iter(|| figures::fig8::run_grid(black_box(&s.cab()), &[14], &[96], &s))
+    });
+}
+
+fn bench_fig9_buckets(c: &mut Criterion) {
+    let s = settings();
+    let pts = figures::fig9::run_sweep(&s.cab(), &[256, 4096, 1 << 16], &[0.6], 96, &s);
+    println!("{}", figures::fig9::render("Fig 9 (Cab, bench scale)", &pts).render());
+    c.bench_function("fig9_one_point", |b| {
+        b.iter(|| figures::fig9::run_sweep(black_box(&s.cab()), &[4096], &[0.6], 96, &s))
+    });
+}
+
+fn bench_fig10_ablation(c: &mut Criterion) {
+    let s = settings();
+    let pts = figures::fig10::run_spatial(&s, &[12, 16]);
+    println!("{}", figures::fig10::render("Fig 10a (bench scale)", &pts, false).render());
+    c.bench_function("fig10_one_level_all_variants", |b| {
+        b.iter(|| figures::fig10::run_spatial(black_box(&s), &[12]))
+    });
+}
+
+fn bench_fig11_compare(c: &mut Criterion) {
+    let s = settings();
+    let cfg = figures::fig11::ComparisonConfig {
+        inclusion_probs: [0.3, 0.5, 0.7, 0.9],
+        ..figures::fig11::ComparisonConfig::default()
+    };
+    let pts = figures::fig11::run(&s, &cfg);
+    println!("{}", figures::fig11::render(&pts).render());
+    let one = figures::fig11::ComparisonConfig {
+        inclusion_probs: [0.5, 0.5, 0.5, 0.5],
+        ..cfg
+    };
+    c.bench_function("fig11_one_density_all_algorithms", |b| {
+        b.iter(|| figures::fig11::run(black_box(&s), &one))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig2_gmm,
+        bench_fig4_cab_grid,
+        bench_fig5_sm_grid,
+        bench_fig6_hist,
+        bench_fig7_sensitivity,
+        bench_fig8_lsh,
+        bench_fig9_buckets,
+        bench_fig10_ablation,
+        bench_fig11_compare,
+}
+criterion_main!(benches);

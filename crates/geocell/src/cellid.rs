@@ -1,0 +1,409 @@
+//! Compact 64-bit hierarchical cell identifiers.
+//!
+//! The id layout follows S2: the top 3 bits hold the cube face, the next
+//! 60 bits hold a position on a space-filling curve over the face (two
+//! bits per level, Morton order here), and a single sentinel `1` bit marks
+//! the level. A level-`k` cell id has the sentinel at bit `2·(30−k)`, so
+//! the level is recoverable from the least-significant set bit, and ids of
+//! descendants of a cell form a contiguous range — enabling O(1)
+//! `parent`, `contains`, and range queries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::face::{face_uv_to_xyz, st_to_uv, uv_to_st, xyz_to_face_uv};
+use crate::latlng::LatLng;
+use crate::point::Point;
+
+/// The maximum (finest) subdivision level. Level-30 cells are roughly
+/// 1 cm² at the equator, matching the paper's statement that the leaf
+/// cells of the hierarchy cover ~1 cm².
+pub const MAX_LEVEL: u8 = 30;
+
+/// Number of cube faces.
+pub const NUM_FACES: u8 = 6;
+
+const POS_BITS: u32 = 2 * MAX_LEVEL as u32 + 1; // 61
+
+/// A cell in the hierarchical decomposition of the sphere.
+///
+/// Construct with [`CellId::from_latlng`]; navigate with
+/// [`CellId::parent`] / [`CellId::child`]; compare hierarchy with
+/// [`CellId::contains`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(u64);
+
+/// Spreads the low 32 bits of `x` so bit `i` moves to bit `2i`.
+#[inline]
+fn spread_bits(x: u64) -> u64 {
+    let mut x = x & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread_bits`]: gathers even-position bits back together.
+#[inline]
+fn compact_bits(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x
+}
+
+impl CellId {
+    /// Builds a cell id from a face and discrete `(i, j)` coordinates
+    /// (each in `[0, 2^30)`) at the given level. Coordinates are truncated
+    /// to the level's resolution.
+    ///
+    /// # Panics
+    /// Panics if `face >= 6`, `level > 30`, or `i`/`j` exceed 30 bits.
+    pub fn from_face_ij(face: u8, i: u32, j: u32, level: u8) -> Self {
+        assert!(face < NUM_FACES, "face {face} out of range");
+        assert!(level <= MAX_LEVEL, "level {level} out of range");
+        assert!(i < (1 << MAX_LEVEL) && j < (1 << MAX_LEVEL), "ij out of range");
+        let morton = (spread_bits(i as u64) << 1) | spread_bits(j as u64);
+        // The position is the morton code shifted left by one (occupying
+        // bits 1..=60), truncated to the level's precision, with a single
+        // sentinel bit at position 2·(30 − level). The shift keeps the
+        // sentinel from colliding with a kept morton bit.
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        let full = morton << 1;
+        let pos = ((full >> (shift + 1)) << (shift + 1)) | (1u64 << shift);
+        CellId(((face as u64) << POS_BITS) | pos)
+    }
+
+    /// The level-`level` cell containing the given point.
+    ///
+    /// # Panics
+    /// Panics if `level > 30`.
+    pub fn from_latlng(ll: LatLng, level: u8) -> Self {
+        Self::from_point(&ll.to_point(), level)
+    }
+
+    /// The level-`level` cell containing the given unit vector.
+    pub fn from_point(p: &Point, level: u8) -> Self {
+        let (face, u, v) = xyz_to_face_uv(p);
+        let s = uv_to_st(u);
+        let t = uv_to_st(v);
+        let max = (1u64 << MAX_LEVEL) as f64;
+        let i = ((s * max) as i64).clamp(0, (1 << MAX_LEVEL) - 1) as u32;
+        let j = ((t * max) as i64).clamp(0, (1 << MAX_LEVEL) - 1) as u32;
+        Self::from_face_ij(face, i, j, level)
+    }
+
+    /// The raw 64-bit id.
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a cell id from its raw value.
+    ///
+    /// # Panics
+    /// Panics if the value is not a valid cell id (bad face or missing
+    /// sentinel bit).
+    pub fn from_u64(raw: u64) -> Self {
+        let id = CellId(raw);
+        assert!(id.is_valid(), "invalid cell id {raw:#x}");
+        id
+    }
+
+    /// Whether the raw bits form a structurally valid id.
+    pub fn is_valid(self) -> bool {
+        let face = (self.0 >> POS_BITS) as u8;
+        face < NUM_FACES && self.0 & 1 == (self.lsb() & 1) && self.lsb() != 0 && {
+            // Sentinel must sit on an even bit position.
+            self.lsb().trailing_zeros().is_multiple_of(2) && self.lsb().trailing_zeros() <= 60
+        }
+    }
+
+    #[inline]
+    fn lsb(self) -> u64 {
+        self.0 & self.0.wrapping_neg()
+    }
+
+    /// The cube face (0-5) this cell lies on.
+    #[inline]
+    pub fn face(self) -> u8 {
+        (self.0 >> POS_BITS) as u8
+    }
+
+    /// The subdivision level (0 = face cell, 30 = leaf).
+    #[inline]
+    pub fn level(self) -> u8 {
+        MAX_LEVEL - (self.lsb().trailing_zeros() / 2) as u8
+    }
+
+    /// The ancestor of this cell at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is greater than this cell's level.
+    pub fn parent(self, level: u8) -> Self {
+        assert!(
+            level <= self.level(),
+            "parent level {level} below cell level {}",
+            self.level()
+        );
+        let shift = 2 * (MAX_LEVEL - level) as u32;
+        let raw = self.0 & ((1u64 << POS_BITS) - 1);
+        let pos = ((raw >> (shift + 1)) << (shift + 1)) | (1u64 << shift);
+        CellId(pos | ((self.face() as u64) << POS_BITS))
+    }
+
+    /// The `k`-th (0-3, Morton order) child one level below.
+    ///
+    /// # Panics
+    /// Panics if this is already a leaf cell or `k > 3`.
+    pub fn child(self, k: u8) -> Self {
+        assert!(k < 4, "child index {k} out of range");
+        assert!(self.level() < MAX_LEVEL, "leaf cells have no children");
+        let old_lsb = self.lsb();
+        let new_lsb = old_lsb >> 2;
+        CellId(self.0 - old_lsb + (k as u64) * (new_lsb << 1) + new_lsb)
+    }
+
+    /// Smallest leaf-level id contained in this cell.
+    #[inline]
+    pub fn range_min(self) -> u64 {
+        self.0 - self.lsb() + 1
+    }
+
+    /// Largest leaf-level id contained in this cell.
+    #[inline]
+    pub fn range_max(self) -> u64 {
+        self.0 + self.lsb() - 1
+    }
+
+    /// Whether `other` is equal to or a descendant of this cell.
+    pub fn contains(self, other: CellId) -> bool {
+        self.range_min() <= other.0 && other.0 <= self.range_max()
+    }
+
+    /// Discrete `(face, i, j)` coordinates of this cell's minimum corner,
+    /// at leaf resolution.
+    pub fn to_face_ij(self) -> (u8, u32, u32) {
+        let pos = self.0 & ((1u64 << POS_BITS) - 1);
+        let morton = (pos - self.lsb()) >> 1; // clear sentinel, undo shift
+        let i = compact_bits(morton >> 1) as u32;
+        let j = compact_bits(morton) as u32;
+        (self.face(), i, j)
+    }
+
+    /// The center of this cell, as a latitude/longitude.
+    pub fn center(self) -> LatLng {
+        let (face, i, j) = self.to_face_ij();
+        let half = (1u64 << (MAX_LEVEL - self.level())) as f64 / 2.0;
+        let max = (1u64 << MAX_LEVEL) as f64;
+        let s = (i as f64 + half) / max;
+        let t = (j as f64 + half) / max;
+        face_uv_to_xyz(face, st_to_uv(s), st_to_uv(t))
+            .normalized()
+            .to_latlng()
+    }
+
+    /// The four corner vertices of this cell (in `(s, t)` order: min/min,
+    /// max/min, min/max, max/max).
+    ///
+    /// Cell edges are lines in `(u, v)` space, which lift to great-circle
+    /// arcs on the sphere — so the cell is a convex spherical
+    /// quadrilateral and the farthest point of the cell from any interior
+    /// point is one of these vertices.
+    pub fn vertices(self) -> [LatLng; 4] {
+        let (face, i, j) = self.to_face_ij();
+        let size = 1u64 << (MAX_LEVEL - self.level());
+        let max = (1u64 << MAX_LEVEL) as f64;
+        let s0 = i as f64 / max;
+        let s1 = (i as u64 + size) as f64 / max;
+        let t0 = j as f64 / max;
+        let t1 = (j as u64 + size) as f64 / max;
+        let corner = |s: f64, t: f64| {
+            face_uv_to_xyz(face, st_to_uv(s), st_to_uv(t))
+                .normalized()
+                .to_latlng()
+        };
+        [
+            corner(s0, t0),
+            corner(s1, t0),
+            corner(s0, t1),
+            corner(s1, t1),
+        ]
+    }
+
+    /// A short hex token for logging, analogous to S2 tokens.
+    pub fn token(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CellId(f{} L{} {})", self.face(), self.level(), self.token())
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf() -> LatLng {
+        LatLng::from_degrees(37.7749, -122.4194)
+    }
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for x in [0u64, 1, 2, 0xFFFF_FFFF, 0x1234_5678, 0x0F0F_F0F0] {
+            assert_eq!(compact_bits(spread_bits(x)), x);
+        }
+    }
+
+    #[test]
+    fn level_is_encoded_correctly() {
+        for level in 0..=MAX_LEVEL {
+            let id = CellId::from_latlng(sf(), level);
+            assert_eq!(id.level(), level, "level {level}");
+            assert!(id.is_valid());
+        }
+    }
+
+    #[test]
+    fn parent_contains_child_point() {
+        let leaf = CellId::from_latlng(sf(), 30);
+        for level in (0..30).rev() {
+            let p = leaf.parent(level);
+            assert_eq!(p.level(), level);
+            assert!(p.contains(leaf));
+            // parent at a level equals from_latlng at that level
+            assert_eq!(p, CellId::from_latlng(sf(), level));
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let cell = CellId::from_latlng(sf(), 10);
+        let mut range_covered = Vec::new();
+        for k in 0..4 {
+            let c = cell.child(k);
+            assert_eq!(c.level(), 11);
+            assert!(cell.contains(c));
+            range_covered.push((c.range_min(), c.range_max()));
+        }
+        range_covered.sort_unstable();
+        // Children ranges must tile the parent range exactly.
+        assert_eq!(range_covered[0].0, cell.range_min());
+        assert_eq!(range_covered[3].1, cell.range_max());
+        for w in range_covered.windows(2) {
+            assert_eq!(w[0].1 + 2, w[1].0); // adjacent leaf ids differ by 2
+        }
+    }
+
+    #[test]
+    fn sibling_cells_are_disjoint() {
+        let cell = CellId::from_latlng(sf(), 8);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(!cell.child(a).contains(cell.child(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn center_lies_within_cell() {
+        for level in [2u8, 5, 10, 16, 22, 30] {
+            let id = CellId::from_latlng(sf(), level);
+            let re = CellId::from_latlng(id.center(), level);
+            assert_eq!(id, re, "center re-lookup at level {level}");
+        }
+    }
+
+    #[test]
+    fn center_approximates_point_at_high_level() {
+        let id = CellId::from_latlng(sf(), 30);
+        let d = id.center().distance_m(&sf());
+        assert!(d < 0.05, "leaf center {d} m from source point");
+    }
+
+    #[test]
+    fn face_ij_roundtrip() {
+        for level in [0u8, 3, 12, 30] {
+            let id = CellId::from_latlng(sf(), level);
+            let (f, i, j) = id.to_face_ij();
+            assert_eq!(CellId::from_face_ij(f, i, j, level), id);
+        }
+    }
+
+    #[test]
+    fn distinct_points_distinct_leaves() {
+        let a = CellId::from_latlng(LatLng::from_degrees(37.0, -122.0), 30);
+        let b = CellId::from_latlng(LatLng::from_degrees(37.0001, -122.0), 30);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearby_points_share_coarse_cell() {
+        let a = CellId::from_latlng(LatLng::from_degrees(37.7749, -122.4194), 10);
+        let b = CellId::from_latlng(LatLng::from_degrees(37.7750, -122.4195), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_faces_reachable() {
+        let dirs = [
+            (0.0, 0.0),
+            (0.0, 90.0),
+            (90.0, 0.0),
+            (0.0, 180.0),
+            (0.0, -90.0),
+            (-90.0, 0.0),
+        ];
+        let mut faces: Vec<u8> = dirs
+            .iter()
+            .map(|&(lat, lng)| CellId::from_latlng(LatLng::from_degrees(lat, lng), 5).face())
+            .collect();
+        faces.sort_unstable();
+        faces.dedup();
+        assert_eq!(faces.len(), 6, "expected all six faces, got {faces:?}");
+    }
+
+    #[test]
+    fn ordering_respects_containment_ranges() {
+        let cell = CellId::from_latlng(sf(), 12);
+        let inner = CellId::from_latlng(sf(), 20);
+        assert!(cell.range_min() <= inner.to_u64());
+        assert!(inner.to_u64() <= cell.range_max());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_face_panics() {
+        let _ = CellId::from_face_ij(6, 0, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent level")]
+    fn parent_above_level_panics() {
+        let id = CellId::from_latlng(sf(), 5);
+        let _ = id.parent(9);
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let id = CellId::from_latlng(sf(), 17);
+        assert_eq!(CellId::from_u64(id.to_u64()), id);
+    }
+}

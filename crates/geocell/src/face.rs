@@ -1,0 +1,146 @@
+//! Cube-face projection of the sphere, following the S2 construction.
+//!
+//! The sphere is enclosed in a cube; each of the six faces is projected
+//! onto the sphere. Points on a face are addressed by `(u, v)` in
+//! `[-1, 1]²`. To reduce the area distortion between cells at the face
+//! centers and corners, cell subdivision happens in `(s, t)` space in
+//! `[0, 1]²`, related to `(u, v)` by S2's quadratic transform.
+
+use crate::point::Point;
+
+/// Converts a cell-space coordinate `s ∈ [0,1]` to a face coordinate
+/// `u ∈ [-1,1]` using S2's quadratic transform, which roughly equalizes
+/// cell areas across a face.
+#[inline]
+pub fn st_to_uv(s: f64) -> f64 {
+    if s >= 0.5 {
+        (1.0 / 3.0) * (4.0 * s * s - 1.0)
+    } else {
+        (1.0 / 3.0) * (1.0 - 4.0 * (1.0 - s) * (1.0 - s))
+    }
+}
+
+/// Inverse of [`st_to_uv`].
+#[inline]
+pub fn uv_to_st(u: f64) -> f64 {
+    if u >= 0.0 {
+        0.5 * (1.0 + 3.0 * u).sqrt()
+    } else {
+        1.0 - 0.5 * (1.0 - 3.0 * u).sqrt()
+    }
+}
+
+/// Returns the face (0-5) containing the direction `p`, which is the axis
+/// with the largest absolute component: 0=+x, 1=+y, 2=+z, 3=−x, 4=−y, 5=−z.
+pub fn face_of(p: &Point) -> u8 {
+    let abs = [p.x.abs(), p.y.abs(), p.z.abs()];
+    let mut axis = 0;
+    if abs[1] > abs[axis] {
+        axis = 1;
+    }
+    if abs[2] > abs[axis] {
+        axis = 2;
+    }
+    let comp = [p.x, p.y, p.z][axis];
+    if comp < 0.0 {
+        (axis + 3) as u8
+    } else {
+        axis as u8
+    }
+}
+
+/// Projects a unit vector onto a cube face, returning `(face, u, v)`.
+pub fn xyz_to_face_uv(p: &Point) -> (u8, f64, f64) {
+    let face = face_of(p);
+    let (u, v) = match face {
+        0 => (p.y / p.x, p.z / p.x),
+        1 => (-p.x / p.y, p.z / p.y),
+        2 => (-p.x / p.z, -p.y / p.z),
+        3 => (p.z / p.x, p.y / p.x),
+        4 => (p.z / p.y, -p.x / p.y),
+        _ => (-p.y / p.z, -p.x / p.z),
+    };
+    (face, u, v)
+}
+
+/// Inverse of [`xyz_to_face_uv`]: lifts face coordinates back to a
+/// (non-normalized) direction vector.
+pub fn face_uv_to_xyz(face: u8, u: f64, v: f64) -> Point {
+    match face {
+        0 => Point::new(1.0, u, v),
+        1 => Point::new(-u, 1.0, v),
+        2 => Point::new(-u, -v, 1.0),
+        3 => Point::new(-1.0, -v, -u),
+        4 => Point::new(v, -1.0, -u),
+        5 => Point::new(v, u, -1.0),
+        _ => panic!("invalid face {face}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latlng::LatLng;
+
+    #[test]
+    fn st_uv_roundtrip() {
+        for i in 0..=1000 {
+            let s = i as f64 / 1000.0;
+            let u = st_to_uv(s);
+            assert!((-1.0..=1.0).contains(&u), "u out of range: {u}");
+            let back = uv_to_st(u);
+            assert!((back - s).abs() < 1e-12, "s={s} back={back}");
+        }
+    }
+
+    #[test]
+    fn st_to_uv_endpoints() {
+        assert!((st_to_uv(0.0) + 1.0).abs() < 1e-12);
+        assert!(st_to_uv(0.5).abs() < 1e-12);
+        assert!((st_to_uv(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn st_to_uv_is_monotonic() {
+        let mut prev = st_to_uv(0.0);
+        for i in 1..=1000 {
+            let u = st_to_uv(i as f64 / 1000.0);
+            assert!(u > prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn face_centers_map_to_axes() {
+        assert_eq!(face_of(&Point::new(1.0, 0.0, 0.0)), 0);
+        assert_eq!(face_of(&Point::new(0.0, 1.0, 0.0)), 1);
+        assert_eq!(face_of(&Point::new(0.0, 0.0, 1.0)), 2);
+        assert_eq!(face_of(&Point::new(-1.0, 0.0, 0.0)), 3);
+        assert_eq!(face_of(&Point::new(0.0, -1.0, 0.0)), 4);
+        assert_eq!(face_of(&Point::new(0.0, 0.0, -1.0)), 5);
+    }
+
+    #[test]
+    fn face_uv_roundtrip_many_points() {
+        for lat in (-80..=80).step_by(7) {
+            for lng in (-175..=175).step_by(11) {
+                let p = LatLng::from_degrees(lat as f64, lng as f64).to_point();
+                let (face, u, v) = xyz_to_face_uv(&p);
+                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&u));
+                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v));
+                let q = face_uv_to_xyz(face, u, v).normalized();
+                assert!(p.angle(&q) < 1e-12, "roundtrip failed at {lat},{lng}");
+            }
+        }
+    }
+
+    #[test]
+    fn face_center_roundtrip() {
+        for face in 0..6u8 {
+            let p = face_uv_to_xyz(face, 0.0, 0.0).normalized();
+            let (f2, u, v) = xyz_to_face_uv(&p);
+            assert_eq!(face, f2);
+            assert!(u.abs() < 1e-12 && v.abs() < 1e-12);
+        }
+    }
+}

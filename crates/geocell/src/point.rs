@@ -1,0 +1,119 @@
+//! Unit vectors on the sphere.
+
+use crate::latlng::LatLng;
+
+/// A point in ℝ³, normally a unit vector representing a position on the
+/// sphere. Used as the intermediate representation between geodetic
+/// coordinates and cube-face cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X component (towards lat 0, lng 0).
+    pub x: f64,
+    /// Y component (towards lat 0, lng 90°E).
+    pub y: f64,
+    /// Z component (towards the north pole).
+    pub z: f64,
+}
+
+impl Point {
+    /// Creates a point from raw components (not normalized).
+    #[inline]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the unit-length version of this vector.
+    ///
+    /// # Panics
+    /// Panics if the vector is (numerically) zero.
+    pub fn normalized(&self) -> Self {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        Self::new(self.x / n, self.y / n, self.z / n)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &Point) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Angle between two unit vectors, in radians. Uses the numerically
+    /// stable `atan2(|a×b|, a·b)` formulation.
+    pub fn angle(&self, o: &Point) -> f64 {
+        let cross = Point::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        );
+        cross.norm().atan2(self.dot(o))
+    }
+
+    /// Converts a unit vector back to latitude/longitude.
+    pub fn to_latlng(&self) -> LatLng {
+        let lat = self.z.atan2((self.x * self.x + self.y * self.y).sqrt());
+        let lng = self.y.atan2(self.x);
+        LatLng::from_radians(lat, lng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latlng_point_roundtrip() {
+        for &(lat, lng) in &[
+            (0.0, 0.0),
+            (37.7749, -122.4194),
+            (-45.0, 60.0),
+            (89.9, 10.0),
+            (-89.9, -170.0),
+        ] {
+            let ll = LatLng::from_degrees(lat, lng);
+            let back = ll.to_point().to_latlng();
+            assert!((back.lat_deg() - lat).abs() < 1e-9, "lat {lat}");
+            assert!((back.lng_deg() - lng).abs() < 1e-9, "lng {lng}");
+        }
+    }
+
+    #[test]
+    fn angle_of_orthogonal_vectors() {
+        let a = Point::new(1.0, 0.0, 0.0);
+        let b = Point::new(0.0, 1.0, 0.0);
+        assert!((a.angle(&b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_of_identical_vectors_is_zero() {
+        let a = LatLng::from_degrees(12.0, 34.0).to_point();
+        assert!(a.angle(&a) < 1e-12);
+    }
+
+    #[test]
+    fn angle_matches_haversine() {
+        let a = LatLng::from_degrees(37.0, -122.0);
+        let b = LatLng::from_degrees(37.1, -122.2);
+        let via_angle = a.to_point().angle(&b.to_point()) * crate::EARTH_RADIUS_M;
+        let via_hav = a.distance_m(&b);
+        assert!((via_angle - via_hav).abs() < 0.5, "{via_angle} vs {via_hav}");
+    }
+
+    #[test]
+    fn normalized_is_unit() {
+        let p = Point::new(3.0, 4.0, 12.0).normalized();
+        assert!((p.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Point::new(0.0, 0.0, 0.0).normalized();
+    }
+}

@@ -1,0 +1,352 @@
+//! GM baseline (Wang et al., NDSS 2018), reimplemented from its
+//! description in the SLIM paper (§5.5, §6).
+//!
+//! GM learns a per-entity mobility model — a spatial Gaussian mixture
+//! over the entity's recorded locations plus a Markov transition model
+//! between the mixture components — and scores a cross-dataset pair by
+//! the likelihood of one entity's records under the other's model.
+//! Unlike SLIM it awards record pairs from *different* temporal windows
+//! (the model is time-free apart from transition order) and implements
+//! no blocking/scalability mechanism, which is why the paper finds it
+//! two orders of magnitude slower. As in the paper's comparison, GM's
+//! raw pair scores are fed through SLIM's matching + stop-threshold
+//! machinery to obtain one-to-one links.
+
+use std::collections::HashMap;
+
+use geocell::LatLng;
+use serde::{Deserialize, Serialize};
+use slim_core::matching::{greedy_max_matching, Edge};
+use slim_core::threshold::select_threshold;
+use slim_core::{EntityId, LinkageStats, LocationDataset, ThresholdMethod};
+
+use crate::kmeans::{kmeans, P2};
+
+/// GM parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmConfig {
+    /// Mixture components per entity model.
+    pub components: usize,
+    /// Variance floor for a component, metres².
+    pub min_var_m2: f64,
+    /// Entities with this many records or fewer are ignored.
+    pub min_records: usize,
+    /// Stop-threshold method applied over the matched scores.
+    pub threshold_method: ThresholdMethod,
+}
+
+impl Default for GmConfig {
+    fn default() -> Self {
+        Self {
+            components: 5,
+            min_var_m2: 50.0 * 50.0,
+            min_records: 5,
+            threshold_method: ThresholdMethod::GmmExpectedF1,
+        }
+    }
+}
+
+/// A per-entity mobility model.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    /// Projection origin (local tangent plane).
+    origin: LatLng,
+    /// Component centers in local metres.
+    centers: Vec<P2>,
+    /// Component weights (sum to 1).
+    weights: Vec<f64>,
+    /// Isotropic component variances, m².
+    variances: Vec<f64>,
+    /// Markov transition matrix between components (row-stochastic).
+    transitions: Vec<Vec<f64>>,
+}
+
+/// Projects a point into the local tangent plane at `origin` (metres).
+fn project(origin: &LatLng, p: &LatLng) -> P2 {
+    let dy = (p.lat_deg() - origin.lat_deg()).to_radians() * geocell::EARTH_RADIUS_M;
+    let dx = (p.lng_deg() - origin.lng_deg()).to_radians()
+        * geocell::EARTH_RADIUS_M
+        * origin.lat_rad().cos();
+    (dx, dy)
+}
+
+impl MobilityModel {
+    /// Fits the model from an entity's time-sorted records.
+    pub fn fit(records: &[slim_core::Record], cfg: &GmConfig) -> Option<MobilityModel> {
+        if records.is_empty() {
+            return None;
+        }
+        let origin = records[0].location;
+        let pts: Vec<P2> = records.iter().map(|r| project(&origin, &r.location)).collect();
+        let k = cfg.components.min(pts.len()).max(1);
+        let (centers, assignment) = kmeans(&pts, k, 30);
+        let k = centers.len();
+
+        let mut counts = vec![0usize; k];
+        let mut var_sums = vec![0.0f64; k];
+        for (i, &p) in pts.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            let dx = p.0 - centers[c].0;
+            let dy = p.1 - centers[c].1;
+            var_sums[c] += dx * dx + dy * dy;
+        }
+        let n = pts.len() as f64;
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64 / n).collect();
+        let variances: Vec<f64> = counts
+            .iter()
+            .zip(&var_sums)
+            .map(|(&c, &s)| {
+                if c > 0 {
+                    (s / (2.0 * c as f64)).max(cfg.min_var_m2)
+                } else {
+                    cfg.min_var_m2
+                }
+            })
+            .collect();
+
+        // Markov transitions over the time-ordered component sequence,
+        // Laplace-smoothed.
+        let mut trans = vec![vec![1.0f64; k]; k]; // +1 smoothing
+        for w in assignment.windows(2) {
+            trans[w[0]][w[1]] += 1.0;
+        }
+        for row in &mut trans {
+            let sum: f64 = row.iter().sum();
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+
+        Some(MobilityModel {
+            origin,
+            centers,
+            weights,
+            variances,
+            transitions: trans,
+        })
+    }
+
+    /// Log-density of one location under the mixture.
+    fn log_density(&self, p: &LatLng) -> f64 {
+        let q = project(&self.origin, p);
+        let mut density = 0.0f64;
+        for ((&(cx, cy), &w), &var) in self
+            .centers
+            .iter()
+            .zip(&self.weights)
+            .zip(&self.variances)
+        {
+            let dx = q.0 - cx;
+            let dy = q.1 - cy;
+            // Isotropic bivariate normal.
+            let d2 = (dx * dx + dy * dy) / var;
+            density += w * (-0.5 * d2).exp() / (2.0 * std::f64::consts::PI * var);
+        }
+        density.max(1e-300).ln()
+    }
+
+    /// Index of the component most likely to emit `p`.
+    fn nearest_component(&self, p: &LatLng) -> usize {
+        let q = project(&self.origin, p);
+        self.centers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = (q.0 - a.1 .0).powi(2) + (q.1 - a.1 .1).powi(2);
+                let db = (q.0 - b.1 .0).powi(2) + (q.1 - b.1 .1).powi(2);
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Average log-likelihood of a record sequence under this model:
+    /// emission density plus Markov transition consistency.
+    pub fn log_likelihood(&self, records: &[slim_core::Record]) -> f64 {
+        if records.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let mut ll = 0.0;
+        let mut prev: Option<usize> = None;
+        for r in records {
+            ll += self.log_density(&r.location);
+            let c = self.nearest_component(&r.location);
+            if let Some(p) = prev {
+                ll += self.transitions[p][c].ln();
+            }
+            prev = Some(c);
+        }
+        ll / records.len() as f64
+    }
+}
+
+/// Outcome of a GM run.
+#[derive(Debug, Clone)]
+pub struct GmOutput {
+    /// Final links after matching + stop threshold.
+    pub links: Vec<Edge>,
+    /// All pair scores (shifted log-likelihoods), for ranking metrics.
+    pub scores: Vec<Edge>,
+    /// Work counters.
+    pub stats: LinkageStats,
+}
+
+/// Runs GM: fits a model per left entity, scores every cross pair by the
+/// likelihood of the right entity's records, then applies SLIM's
+/// matching and stop threshold (as the paper does for its comparison).
+pub fn gm(left: &LocationDataset, right: &LocationDataset, cfg: &GmConfig) -> GmOutput {
+    let mut left = left.clone();
+    let mut right = right.clone();
+    left.filter_min_records(cfg.min_records);
+    right.filter_min_records(cfg.min_records);
+
+    let mut stats = LinkageStats::default();
+    let models: HashMap<EntityId, MobilityModel> = left
+        .entities_sorted()
+        .into_iter()
+        .filter_map(|e| MobilityModel::fit(left.records_of(e), cfg).map(|m| (e, m)))
+        .collect();
+
+    let mut raw: Vec<(EntityId, EntityId, f64)> = Vec::new();
+    let mut min_ll = f64::INFINITY;
+    for (&u, model) in &models {
+        for v in right.entities_sorted() {
+            let recs = right.records_of(v);
+            stats.scored_entity_pairs += 1;
+            stats.record_pair_comparisons +=
+                left.records_of(u).len() as u64 * recs.len() as u64;
+            let ll = model.log_likelihood(recs);
+            if ll.is_finite() {
+                min_ll = min_ll.min(ll);
+                raw.push((u, v, ll));
+            }
+        }
+    }
+    // Shift to positive weights for the max-weight matching.
+    let shift = if min_ll.is_finite() { -min_ll + 1.0 } else { 0.0 };
+    let mut scores: Vec<Edge> = raw
+        .into_iter()
+        .map(|(u, v, ll)| Edge {
+            left: u,
+            right: v,
+            weight: ll + shift,
+        })
+        .collect();
+    scores.sort_by_key(|a| (a.left, a.right));
+
+    let matching = greedy_max_matching(&scores);
+    let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
+    let links = match select_threshold(&weights, cfg.threshold_method) {
+        Some(t) => matching
+            .into_iter()
+            .filter(|e| e.weight >= t.threshold)
+            .collect(),
+        None => matching,
+    };
+
+    GmOutput {
+        links,
+        scores,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_core::{Record, Timestamp};
+
+    fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
+        Record::new(EntityId(e), LatLng::from_degrees(lat, lng), Timestamp(t))
+    }
+
+    /// Entities commuting between two personal spots.
+    fn commuter(e: u64, home: LatLng, work: LatLng, n: i64, offset: i64) -> Vec<Record> {
+        (0..n)
+            .map(|k| {
+                let spot = if k % 2 == 0 { home } else { work };
+                let jitter = spot.offset(30.0 * ((k % 3) as f64), k as f64);
+                Record::new(EntityId(e), jitter, Timestamp(k * 1800 + offset))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn model_fits_and_scores_own_data_highest() {
+        let home = LatLng::from_degrees(37.0, -122.0);
+        let work = LatLng::from_degrees(37.05, -122.05);
+        let recs = commuter(1, home, work, 40, 0);
+        let cfg = GmConfig::default();
+        let model = MobilityModel::fit(&recs, &cfg).unwrap();
+        let own = model.log_likelihood(&recs);
+        let other = commuter(2, LatLng::from_degrees(40.0, -100.0), LatLng::from_degrees(40.1, -100.1), 40, 0);
+        let foreign = model.log_likelihood(&other);
+        assert!(own > foreign, "own {own} vs foreign {foreign}");
+    }
+
+    #[test]
+    fn projection_is_locally_accurate() {
+        let o = LatLng::from_degrees(37.0, -122.0);
+        let p = o.offset(1_000.0, std::f64::consts::FRAC_PI_2); // 1 km east
+        let (dx, dy) = project(&o, &p);
+        assert!((dx - 1_000.0).abs() < 5.0, "dx {dx}");
+        assert!(dy.abs() < 5.0, "dy {dy}");
+    }
+
+    #[test]
+    fn gm_links_matching_entities() {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for e in 0..5u64 {
+            let home = LatLng::from_degrees(30.0 + 2.0 * e as f64, -100.0);
+            let work = home.offset(4_000.0, 1.0);
+            l.extend(commuter(e, home, work, 40, 0));
+            r.extend(commuter(100 + e, home, work, 40, 700));
+        }
+        let out = gm(
+            &LocationDataset::from_records(l),
+            &LocationDataset::from_records(r),
+            &GmConfig::default(),
+        );
+        // All five true pairs must rank top in the matching.
+        assert!(!out.links.is_empty());
+        for link in &out.links {
+            assert_eq!(link.right.0, 100 + link.left.0, "false link {link:?}");
+        }
+        assert_eq!(out.stats.scored_entity_pairs, 25);
+    }
+
+    #[test]
+    fn gm_scores_all_pairs_quadratically() {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for e in 0..4u64 {
+            let spot = LatLng::from_degrees(10.0 + e as f64, 10.0);
+            l.extend(commuter(e, spot, spot.offset(2_000.0, 0.3), 20, 0));
+            r.extend(commuter(50 + e, spot, spot.offset(2_000.0, 0.3), 20, 300));
+        }
+        let out = gm(
+            &LocationDataset::from_records(l),
+            &LocationDataset::from_records(r),
+            &GmConfig::default(),
+        );
+        assert_eq!(out.scores.len(), 16, "no blocking: all pairs scored");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = LocationDataset::from_records(Vec::new());
+        let out = gm(&empty, &empty, &GmConfig::default());
+        assert!(out.links.is_empty());
+        assert!(out.scores.is_empty());
+    }
+
+    #[test]
+    fn model_handles_single_location_entity() {
+        let recs: Vec<Record> = (0..10).map(|k| rec(1, k * 60, 37.0, -122.0)).collect();
+        let model = MobilityModel::fit(&recs, &GmConfig::default()).unwrap();
+        let ll = model.log_likelihood(&recs);
+        assert!(ll.is_finite());
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal 2-D k-means (Lloyd's algorithm) used by the GM baseline to
+//! seed per-entity Gaussian mixture components.
+//!
+//! Points are `(x, y)` in a locally-flat projection (metres); callers
+//! project latitude/longitude before clustering. Deterministic: seeds are
+//! chosen by a farthest-point heuristic from a fixed starting index.
+
+/// A 2-D point.
+pub type P2 = (f64, f64);
+
+fn dist2(a: P2, b: P2) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+/// k-means clustering. Returns `(centroids, assignment)`; the number of
+/// returned centroids is `min(k, #distinct points)`.
+///
+/// # Panics
+/// Panics if `k == 0` or `points` is empty.
+pub fn kmeans(points: &[P2], k: usize, iters: usize) -> (Vec<P2>, Vec<usize>) {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "kmeans needs at least one point");
+
+    // Farthest-point seeding from the first point (deterministic k-means++
+    // flavour without randomness).
+    let mut centroids: Vec<P2> = vec![points[0]];
+    while centroids.len() < k {
+        let (best_idx, best_d) = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let d = centroids
+                    .iter()
+                    .map(|&c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        if best_d <= f64::EPSILON {
+            break; // fewer distinct points than k
+        }
+        centroids.push(points[best_idx]);
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        for (i, &p) in points.iter().enumerate() {
+            assignment[i] = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| dist2(p, *a.1).partial_cmp(&dist2(p, *b.1)).unwrap())
+                .map(|(j, _)| j)
+                .unwrap();
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); centroids.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += p.0;
+            s.1 += p.1;
+            s.2 += 1;
+        }
+        let mut moved = false;
+        for (j, s) in sums.iter().enumerate() {
+            if s.2 > 0 {
+                let next = (s.0 / s.2 as f64, s.1 / s.2 as f64);
+                if dist2(next, centroids[j]) > 1e-12 {
+                    moved = true;
+                }
+                centroids[j] = next;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (centroids, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_obvious_clusters() {
+        let mut pts: Vec<P2> = (0..20).map(|i| (i as f64 * 0.1, 0.0)).collect();
+        pts.extend((0..20).map(|i| (100.0 + i as f64 * 0.1, 50.0)));
+        let (cents, assign) = kmeans(&pts, 2, 50);
+        assert_eq!(cents.len(), 2);
+        // All of the first 20 points share a cluster, all of the last 20
+        // share the other.
+        assert!(assign[..20].iter().all(|&a| a == assign[0]));
+        assert!(assign[20..].iter().all(|&a| a == assign[20]));
+        assert_ne!(assign[0], assign[20]);
+    }
+
+    #[test]
+    fn centroids_near_cluster_means() {
+        let pts: Vec<P2> = vec![(0.0, 0.0), (2.0, 0.0), (100.0, 100.0), (102.0, 100.0)];
+        let (cents, _) = kmeans(&pts, 2, 50);
+        let mut cents = cents;
+        cents.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((cents[0].0 - 1.0).abs() < 1e-9);
+        assert!((cents[1].0 - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_distinct_points_than_k() {
+        let pts: Vec<P2> = vec![(1.0, 1.0); 10];
+        let (cents, assign) = kmeans(&pts, 4, 10);
+        assert_eq!(cents.len(), 1);
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn single_point() {
+        let (cents, assign) = kmeans(&[(3.0, 4.0)], 3, 10);
+        assert_eq!(cents, vec![(3.0, 4.0)]);
+        assert_eq!(assign, vec![0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts: Vec<P2> = (0..50)
+            .map(|i| ((i * 37 % 11) as f64, (i * 17 % 7) as f64))
+            .collect();
+        let a = kmeans(&pts, 3, 30);
+        let b = kmeans(&pts, 3, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panics() {
+        let _ = kmeans(&[], 2, 10);
+    }
+}

@@ -1,0 +1,396 @@
+//! ST-Link baseline (Basık et al., IEEE TMC 2018), reimplemented from its
+//! description in the SLIM paper (§5.5, §6).
+//!
+//! ST-Link slides a temporal window over the records of an entity pair
+//! and links them if they have **k co-occurring records in l diverse
+//! locations** and (at most a handful of) **no alibi record pairs**. The
+//! values of `k` and `l` are picked at a trade-off (elbow) point of the
+//! observed k/l distributions. Pairs where one entity qualifies against
+//! several counterparties are *ambiguous* and dropped entirely.
+
+use std::collections::{HashMap, HashSet};
+
+use geocell::{cell_min_distance_m, CellId};
+use serde::{Deserialize, Serialize};
+use slim_core::tuning::kneedle;
+use slim_core::{EntityId, LinkageStats, LocationDataset, WindowScheme};
+
+/// ST-Link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StLinkConfig {
+    /// Sliding-window width in seconds.
+    pub window_width_secs: i64,
+    /// Spatial level defining co-location (records in the same cell of
+    /// this level co-occur).
+    pub spatial_level: u8,
+    /// Maximum entity speed for the alibi check, m/s.
+    pub max_speed_m_per_s: f64,
+    /// Pairs with more than this many alibi windows are rejected
+    /// (the SLIM paper sets 3 in its comparison).
+    pub alibi_threshold: u32,
+    /// Entities with this many records or fewer are ignored.
+    pub min_records: usize,
+}
+
+impl Default for StLinkConfig {
+    fn default() -> Self {
+        Self {
+            window_width_secs: 15 * 60,
+            spatial_level: 12,
+            max_speed_m_per_s: 2_000.0 / 60.0,
+            alibi_threshold: 3,
+            min_records: 5,
+        }
+    }
+}
+
+/// Outcome of an ST-Link run.
+#[derive(Debug, Clone)]
+pub struct StLinkOutput {
+    /// Linked pairs (unambiguous, above the k/l elbows, alibi-clean).
+    pub links: Vec<(EntityId, EntityId)>,
+    /// Ranked pair evidence for hit-precision metrics: co-occurrence
+    /// count as the score, zeroed for alibi-rejected pairs.
+    pub scores: Vec<slim_core::Edge>,
+    /// The selected `k*` (co-occurrence count cut).
+    pub k_star: u32,
+    /// The selected `l*` (location diversity cut).
+    pub l_star: u32,
+    /// Pairs rejected for ambiguity.
+    pub ambiguous_pairs: usize,
+    /// Work counters (record comparisons dominate ST-Link's cost).
+    pub stats: LinkageStats,
+}
+
+/// Per-pair co-occurrence evidence.
+#[derive(Debug, Default, Clone)]
+struct Evidence {
+    cooccur_windows: u32,
+    locations: HashSet<CellId>,
+    alibi_windows: u32,
+}
+
+/// Runs ST-Link over two datasets.
+pub fn stlink(left: &LocationDataset, right: &LocationDataset, cfg: &StLinkConfig) -> StLinkOutput {
+    let mut left = left.clone();
+    let mut right = right.clone();
+    left.filter_min_records(cfg.min_records);
+    right.filter_min_records(cfg.min_records);
+
+    let (lo, hi) = match (left.time_span(), right.time_span()) {
+        (Some((l0, l1)), Some((r0, r1))) => (l0.min(r0), l1.max(r1)),
+        (Some(s), None) | (None, Some(s)) => s,
+        (None, None) => {
+            return StLinkOutput {
+                links: Vec::new(),
+                scores: Vec::new(),
+                k_star: 0,
+                l_star: 0,
+                ambiguous_pairs: 0,
+                stats: LinkageStats::default(),
+            }
+        }
+    };
+    let scheme = WindowScheme::new(lo, cfg.window_width_secs);
+    let _ = hi;
+
+    // Window → cell → records per entity, per dataset.
+    type Binned = HashMap<EntityId, HashMap<u32, Vec<(CellId, u32)>>>;
+    let bin = |ds: &LocationDataset| -> Binned {
+        let mut out: Binned = HashMap::new();
+        for e in ds.entities() {
+            let mut per_window: HashMap<u32, HashMap<CellId, u32>> = HashMap::new();
+            for r in ds.records_of(e) {
+                let w = scheme.window_of(r.time);
+                let c = CellId::from_latlng(r.location, cfg.spatial_level);
+                *per_window.entry(w).or_default().entry(c).or_insert(0) += 1;
+            }
+            out.insert(
+                e,
+                per_window
+                    .into_iter()
+                    .map(|(w, cells)| {
+                        let mut v: Vec<(CellId, u32)> = cells.into_iter().collect();
+                        v.sort_by_key(|&(c, _)| c);
+                        (w, v)
+                    })
+                    .collect(),
+            );
+        }
+        out
+    };
+    let lb = bin(&left);
+    let rb = bin(&right);
+    let runaway = cfg.window_width_secs as f64 * cfg.max_speed_m_per_s;
+
+    // Sliding-window comparison for every cross pair (ST-Link has no
+    // blocking — this is why SLIM's Fig. 11d shows orders of magnitude
+    // fewer comparisons).
+    let mut stats = LinkageStats::default();
+    let mut evidence: HashMap<(EntityId, EntityId), Evidence> = HashMap::new();
+    let mut lefts: Vec<_> = lb.keys().copied().collect();
+    let mut rights: Vec<_> = rb.keys().copied().collect();
+    lefts.sort_unstable();
+    rights.sort_unstable();
+    for &u in &lefts {
+        for &v in &rights {
+            stats.scored_entity_pairs += 1;
+            let (wu, wv) = (&lb[&u], &rb[&v]);
+            let (small, large) = if wu.len() <= wv.len() { (wu, wv) } else { (wv, wu) };
+            let mut ev = Evidence::default();
+            for (w, small_bins) in small {
+                let Some(large_bins) = large.get(w) else {
+                    continue;
+                };
+                let recs_a: u32 = small_bins.iter().map(|&(_, c)| c).sum();
+                let recs_b: u32 = large_bins.iter().map(|&(_, c)| c).sum();
+                stats.record_pair_comparisons += recs_a as u64 * recs_b as u64;
+                stats.bin_pair_comparisons += (small_bins.len() * large_bins.len()) as u64;
+                let mut cooccur_cell = None;
+                let mut alibi = false;
+                for &(ca, _) in small_bins {
+                    for &(cb, _) in large_bins {
+                        let d = cell_min_distance_m(ca, cb);
+                        if ca == cb {
+                            cooccur_cell = Some(ca);
+                        }
+                        if d > runaway {
+                            alibi = true;
+                        }
+                    }
+                }
+                if let Some(c) = cooccur_cell {
+                    ev.cooccur_windows += 1;
+                    ev.locations.insert(c);
+                }
+                if alibi {
+                    ev.alibi_windows += 1;
+                    stats.alibi_pairs += 1;
+                }
+            }
+            if ev.cooccur_windows > 0 {
+                evidence.insert((u, v), ev);
+            }
+        }
+    }
+
+    // Elbow selection for k* and l* over the observed distributions.
+    let k_star = elbow_cut(evidence.values().map(|e| e.cooccur_windows));
+    let l_star = elbow_cut(evidence.values().map(|e| e.locations.len() as u32));
+
+    // Qualify pairs, then reject ambiguity.
+    let qualified: Vec<(EntityId, EntityId)> = {
+        let mut q: Vec<_> = evidence
+            .iter()
+            .filter(|(_, e)| {
+                e.cooccur_windows >= k_star
+                    && e.locations.len() as u32 >= l_star
+                    && e.alibi_windows <= cfg.alibi_threshold
+            })
+            .map(|(&pair, _)| pair)
+            .collect();
+        q.sort_unstable();
+        q
+    };
+    let mut left_count: HashMap<EntityId, usize> = HashMap::new();
+    let mut right_count: HashMap<EntityId, usize> = HashMap::new();
+    for &(u, v) in &qualified {
+        *left_count.entry(u).or_insert(0) += 1;
+        *right_count.entry(v).or_insert(0) += 1;
+    }
+    let links: Vec<_> = qualified
+        .iter()
+        .filter(|&&(u, v)| left_count[&u] == 1 && right_count[&v] == 1)
+        .copied()
+        .collect();
+    let ambiguous = qualified.len() - links.len();
+
+    let mut scores: Vec<slim_core::Edge> = evidence
+        .iter()
+        .map(|(&(u, v), e)| slim_core::Edge {
+            left: u,
+            right: v,
+            weight: if e.alibi_windows > cfg.alibi_threshold {
+                0.0
+            } else {
+                e.cooccur_windows as f64 + e.locations.len() as f64 / 1_000.0
+            },
+        })
+        .collect();
+    scores.sort_by_key(|a| (a.left, a.right));
+
+    StLinkOutput {
+        links,
+        scores,
+        k_star,
+        l_star,
+        ambiguous_pairs: ambiguous,
+        stats,
+    }
+}
+
+/// Picks a cut from a value distribution: sort descending, find the elbow
+/// of the rank curve (Kneedle); values at or above the elbow value pass.
+/// Falls back to the median for flat or tiny distributions.
+fn elbow_cut(values: impl Iterator<Item = u32>) -> u32 {
+    let mut v: Vec<u32> = values.collect();
+    if v.is_empty() {
+        return 1;
+    }
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    // A near-flat distribution is one group: cut at its minimum rather
+    // than splitting hairs with an elbow.
+    let (max, min) = (v[0], v[v.len() - 1]);
+    if max == 0 {
+        return 1;
+    }
+    if (max - min) as f64 / max as f64 <= 0.25 {
+        return min.max(1);
+    }
+    let xs: Vec<f64> = (0..v.len()).map(|i| i as f64).collect();
+    let ys: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+    match kneedle(&xs, &ys, true) {
+        // The elbow index is the first rank past the cliff; the cut goes
+        // halfway between the last strong value and the elbow value so
+        // the strong group passes.
+        Some(i) if i > 0 => ((v[i - 1] + v[i]).div_ceil(2)).max(1),
+        Some(_) => v[0].max(1),
+        None => v[v.len() / 2].max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+    use slim_core::{Record, Timestamp};
+
+    /// Entities with strong co-occurrence across views plus decoys.
+    fn views() -> (LocationDataset, LocationDataset) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for e in 0..6u64 {
+            let anchor = LatLng::from_degrees(37.0 + 0.3 * e as f64, -122.0);
+            for k in 0..40i64 {
+                // Rotate between four spots ~5 km apart so each entity
+                // co-occurs in several distinct cells.
+                let pos = anchor.offset(5_000.0 * ((k % 4) as f64), 1.2);
+                l.push(Record::new(EntityId(e), pos, Timestamp(k * 900 + 10)));
+                if e < 4 {
+                    r.push(Record::new(
+                        EntityId(100 + e),
+                        pos.offset(20.0, 0.5),
+                        Timestamp(k * 900 + 500),
+                    ));
+                }
+            }
+            if e >= 4 {
+                let far = LatLng::from_degrees(-20.0 - 0.1 * e as f64, 30.0);
+                for k in 0..40i64 {
+                    r.push(Record::new(
+                        EntityId(100 + e),
+                        far.offset(100.0 * ((k % 3) as f64), 0.4),
+                        Timestamp(k * 900 + 300),
+                    ));
+                }
+            }
+        }
+        (
+            LocationDataset::from_records(l),
+            LocationDataset::from_records(r),
+        )
+    }
+
+    #[test]
+    fn links_cooccurring_entities() {
+        let (l, r) = views();
+        let out = stlink(&l, &r, &StLinkConfig::default());
+        for e in 0..4u64 {
+            assert!(
+                out.links.contains(&(EntityId(e), EntityId(100 + e))),
+                "missing true link {e}; got {:?} (k*={}, l*={})",
+                out.links,
+                out.k_star,
+                out.l_star
+            );
+        }
+        // Decoys in another hemisphere never co-occur.
+        assert!(out.links.iter().all(|&(u, _)| u.0 < 4));
+    }
+
+    #[test]
+    fn alibi_threshold_rejects_impossible_pairs() {
+        // Two entities co-occur a few times but also repeatedly appear
+        // 300 km apart within the same windows.
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        let near = LatLng::from_degrees(37.0, -122.0);
+        let far = LatLng::from_degrees(37.0, -118.5);
+        for k in 0..30i64 {
+            l.push(Record::new(EntityId(1), near, Timestamp(k * 900)));
+            // Co-occur in even windows, alibi in odd windows.
+            let pos = if k % 2 == 0 { near } else { far };
+            r.push(Record::new(EntityId(2), pos, Timestamp(k * 900 + 100)));
+        }
+        // Make the elbow cuts permissive by adding background pairs.
+        for e in 10..16u64 {
+            let a = LatLng::from_degrees(30.0 + e as f64, 10.0);
+            for k in 0..30i64 {
+                l.push(Record::new(EntityId(e), a, Timestamp(k * 900)));
+                r.push(Record::new(EntityId(100 + e), a, Timestamp(k * 900 + 60)));
+            }
+        }
+        let ld = LocationDataset::from_records(l);
+        let rd = LocationDataset::from_records(r);
+        let out = stlink(&ld, &rd, &StLinkConfig::default());
+        assert!(
+            !out.links.contains(&(EntityId(1), EntityId(2))),
+            "alibi-ridden pair must not link"
+        );
+        assert!(out.stats.alibi_pairs > 3);
+    }
+
+    #[test]
+    fn ambiguous_pairs_dropped() {
+        // One left entity co-occurs equally with two right entities.
+        let spot = LatLng::from_degrees(40.0, -100.0);
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for k in 0..30i64 {
+            l.push(Record::new(EntityId(1), spot, Timestamp(k * 900)));
+            r.push(Record::new(EntityId(10), spot, Timestamp(k * 900 + 100)));
+            r.push(Record::new(EntityId(11), spot, Timestamp(k * 900 + 200)));
+        }
+        let ld = LocationDataset::from_records(l);
+        let rd = LocationDataset::from_records(r);
+        let out = stlink(&ld, &rd, &StLinkConfig::default());
+        assert!(out.links.is_empty(), "ambiguity must drop all candidates");
+        assert!(out.ambiguous_pairs >= 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = LocationDataset::from_records(Vec::new());
+        let out = stlink(&empty, &empty, &StLinkConfig::default());
+        assert!(out.links.is_empty());
+        assert_eq!(out.stats.scored_entity_pairs, 0);
+    }
+
+    #[test]
+    fn elbow_cut_on_bimodal_distribution() {
+        // 5 strong pairs (k≈30) and 20 weak pairs (k≈2): the cut should
+        // land between.
+        let values = (0..5).map(|_| 30u32).chain((0..20).map(|_| 2u32));
+        let cut = elbow_cut(values);
+        assert!(cut > 2 && cut <= 30, "cut {cut}");
+    }
+
+    #[test]
+    fn comparison_counts_grow_quadratically() {
+        let (l, r) = views();
+        let out = stlink(&l, &r, &StLinkConfig::default());
+        // 6 × 6 pairs all scored (no blocking).
+        assert_eq!(out.stats.scored_entity_pairs, 36);
+        assert!(out.stats.record_pair_comparisons > 0);
+    }
+}

@@ -1,0 +1,401 @@
+//! # slim-cli — command-line mobility linkage
+//!
+//! Library backing the `slim-link` binary: argument parsing (hand-rolled
+//! — no CLI dependency is sanctioned for this project) and the run logic,
+//! split out so both can be unit-tested.
+//!
+//! ```text
+//! slim-link LEFT.csv RIGHT.csv [options]
+//! slim-link --demo out-dir            # generate a linkable sample pair
+//! ```
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use slim_core::{MatchingMethod, SlimConfig, ThresholdMethod};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Left dataset path (unless `--demo`).
+    pub left: Option<PathBuf>,
+    /// Right dataset path.
+    pub right: Option<PathBuf>,
+    /// Write a synthetic demo dataset pair into this directory and link it.
+    pub demo: Option<PathBuf>,
+    /// Linkage configuration.
+    pub config: SlimConfig,
+    /// Enable the LSH candidate filter.
+    pub lsh: Option<slim_lsh::LshConfig>,
+    /// Output CSV path (stdout when `None`).
+    pub out: Option<PathBuf>,
+    /// Print per-step progress.
+    pub verbose: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            left: None,
+            right: None,
+            demo: None,
+            config: SlimConfig::default(),
+            lsh: None,
+            out: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+slim-link — link the entities of two location datasets (SLIM, SIGMOD'20)
+
+USAGE:
+    slim-link LEFT.csv RIGHT.csv [OPTIONS]
+    slim-link --demo DIR [OPTIONS]
+
+CSV format: entity_id,latitude,longitude,timestamp[,accuracy_m]
+
+OPTIONS:
+    --window-mins N      temporal window width in minutes   [default: 15]
+    --level N            spatial grid level (0-30)          [default: 12]
+    --b F                length-normalization strength      [default: 0.5]
+    --speed-kmh F        max entity speed for alibis        [default: 120]
+    --threshold METHOD   gmm | otsu | 2means | none         [default: gmm]
+    --exact-matching     exact Hungarian instead of greedy
+    --lsh                enable the LSH candidate filter
+    --lsh-threshold F    LSH similarity threshold           [default: 0.6]
+    --lsh-step N         query span in windows              [default: 48]
+    --lsh-level N        dominating-cell spatial level      [default: 16]
+    --buckets N          LSH bucket count                   [default: 4096]
+    --out FILE           write links CSV here (default: stdout)
+    --demo DIR           generate a synthetic dataset pair in DIR, then link it
+    --verbose            progress output on stderr
+    --help               this text
+";
+
+/// Parses arguments (excluding argv[0]).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut lsh_cfg = slim_lsh::LshConfig::default();
+    let mut want_lsh = false;
+    let mut positional: Vec<PathBuf> = Vec::new();
+
+    let mut i = 0;
+    let take_value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--verbose" | "-v" => {
+                opts.verbose = true;
+                i += 1;
+            }
+            "--lsh" => {
+                want_lsh = true;
+                i += 1;
+            }
+            "--exact-matching" => {
+                opts.config.matching_method = MatchingMethod::HungarianExact;
+                i += 1;
+            }
+            "--window-mins" => {
+                let v = take_value(args, i, arg)?;
+                let mins: i64 = v.parse().map_err(|_| format!("bad --window-mins `{v}`"))?;
+                opts.config.window_width_secs = mins * 60;
+                i += 2;
+            }
+            "--level" => {
+                let v = take_value(args, i, arg)?;
+                opts.config.spatial_level =
+                    v.parse().map_err(|_| format!("bad --level `{v}`"))?;
+                i += 2;
+            }
+            "--b" => {
+                let v = take_value(args, i, arg)?;
+                opts.config.b = v.parse().map_err(|_| format!("bad --b `{v}`"))?;
+                i += 2;
+            }
+            "--speed-kmh" => {
+                let v = take_value(args, i, arg)?;
+                let kmh: f64 = v.parse().map_err(|_| format!("bad --speed-kmh `{v}`"))?;
+                opts.config.max_speed_m_per_s = kmh * 1000.0 / 3600.0;
+                i += 2;
+            }
+            "--threshold" => {
+                let v = take_value(args, i, arg)?;
+                opts.config.threshold_method = match v.as_str() {
+                    "gmm" => ThresholdMethod::GmmExpectedF1,
+                    "otsu" => ThresholdMethod::Otsu,
+                    "2means" => ThresholdMethod::TwoMeans,
+                    "none" => ThresholdMethod::None,
+                    other => return Err(format!("unknown threshold method `{other}`")),
+                };
+                i += 2;
+            }
+            "--lsh-threshold" => {
+                let v = take_value(args, i, arg)?;
+                lsh_cfg.threshold = v.parse().map_err(|_| format!("bad --lsh-threshold `{v}`"))?;
+                want_lsh = true;
+                i += 2;
+            }
+            "--lsh-step" => {
+                let v = take_value(args, i, arg)?;
+                lsh_cfg.step_windows =
+                    v.parse().map_err(|_| format!("bad --lsh-step `{v}`"))?;
+                want_lsh = true;
+                i += 2;
+            }
+            "--lsh-level" => {
+                let v = take_value(args, i, arg)?;
+                lsh_cfg.spatial_level =
+                    v.parse().map_err(|_| format!("bad --lsh-level `{v}`"))?;
+                want_lsh = true;
+                i += 2;
+            }
+            "--buckets" => {
+                let v = take_value(args, i, arg)?;
+                lsh_cfg.num_buckets = v.parse().map_err(|_| format!("bad --buckets `{v}`"))?;
+                want_lsh = true;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(take_value(args, i, arg)?));
+                i += 2;
+            }
+            "--demo" => {
+                opts.demo = Some(PathBuf::from(take_value(args, i, arg)?));
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"));
+            }
+            _ => {
+                positional.push(PathBuf::from(arg));
+                i += 1;
+            }
+        }
+    }
+
+    if opts.demo.is_none() {
+        if positional.len() != 2 {
+            return Err(format!(
+                "expected exactly two dataset paths, got {}\n\n{USAGE}",
+                positional.len()
+            ));
+        }
+        opts.right = Some(positional.pop().unwrap());
+        opts.left = Some(positional.pop().unwrap());
+    } else if !positional.is_empty() {
+        return Err("--demo takes no dataset paths".to_string());
+    }
+    if want_lsh {
+        opts.lsh = Some(lsh_cfg);
+    }
+    opts.config.validate()?;
+    Ok(opts)
+}
+
+/// Runs the linkage described by `opts`, returning the rendered summary
+/// (links go to `opts.out` or are included in the summary for stdout).
+pub fn run(opts: &CliOptions) -> Result<String, String> {
+    use slim_core::io;
+    use slim_core::Slim;
+
+    let (left, right) = if let Some(dir) = &opts.demo {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let scenario = slim_datagen::Scenario::cab(0.08, 7);
+        let sample = scenario.sample(0.5, 7);
+        let dump = |ds: &slim_core::LocationDataset, name: &str| -> Result<PathBuf, String> {
+            let mut records = Vec::new();
+            for e in ds.entities_sorted() {
+                records.extend_from_slice(ds.records_of(e));
+            }
+            let path = dir.join(name);
+            let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+            io::write_records_csv(std::io::BufWriter::new(file), &records)
+                .map_err(|e| e.to_string())?;
+            Ok(path)
+        };
+        let l = dump(&sample.left, "left.csv")?;
+        let r = dump(&sample.right, "right.csv")?;
+        (l, r)
+    } else {
+        (
+            opts.left.clone().expect("validated by parse_args"),
+            opts.right.clone().expect("validated by parse_args"),
+        )
+    };
+
+    let log = |msg: &str| {
+        if opts.verbose {
+            eprintln!("[slim-link] {msg}");
+        }
+    };
+
+    log(&format!("loading {}", left.display()));
+    let left_ds = io::load_dataset_csv(&left).map_err(|e| format!("{}: {e}", left.display()))?;
+    log(&format!("loading {}", right.display()));
+    let right_ds =
+        io::load_dataset_csv(&right).map_err(|e| format!("{}: {e}", right.display()))?;
+    log(&format!(
+        "left: {} entities / {} records; right: {} entities / {} records",
+        left_ds.num_entities(),
+        left_ds.num_records(),
+        right_ds.num_entities(),
+        right_ds.num_records()
+    ));
+
+    let slim = Slim::new(opts.config)?;
+    let output = match &opts.lsh {
+        Some(lsh_cfg) => {
+            log("building LSH signatures");
+            let filter = slim_lsh::LshFilter::build_auto(
+                *lsh_cfg,
+                &left_ds,
+                &right_ds,
+                opts.config.window_width_secs,
+            );
+            let candidates = filter.candidates();
+            log(&format!(
+                "LSH: {} candidate pairs of {} possible",
+                candidates.len(),
+                left_ds.num_entities() * right_ds.num_entities()
+            ));
+            slim.link_with_candidates(&left_ds, &right_ds, &candidates)
+        }
+        None => slim.link(&left_ds, &right_ds),
+    };
+
+    let mut summary = format!(
+        "{} links ({} matched, {} positive edges, {} pairs scored) in {:.2?}\n",
+        output.links.len(),
+        output.matching.len(),
+        output.num_edges,
+        output.stats.scored_entity_pairs,
+        output.elapsed
+    );
+    if let Some(t) = &output.threshold {
+        summary.push_str(&format!(
+            "stop threshold {:.2} (expected precision {:.3}, recall {:.3})\n",
+            t.threshold, t.expected_precision, t.expected_recall
+        ));
+    }
+
+    match &opts.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            io::write_links_csv(std::io::BufWriter::new(file), &output.links)
+                .map_err(|e| e.to_string())?;
+            summary.push_str(&format!("links written to {}\n", path.display()));
+        }
+        None => {
+            let mut buf = Vec::new();
+            io::write_links_csv(&mut buf, &output.links).map_err(|e| e.to_string())?;
+            summary.push_str(&String::from_utf8_lossy(&buf));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn parses_positional_paths() {
+        let o = parse(&["a.csv", "b.csv"]).unwrap();
+        assert_eq!(o.left.unwrap().to_str().unwrap(), "a.csv");
+        assert_eq!(o.right.unwrap().to_str().unwrap(), "b.csv");
+        assert!(o.lsh.is_none());
+    }
+
+    #[test]
+    fn parses_config_flags() {
+        let o = parse(&[
+            "a.csv", "b.csv", "--window-mins", "30", "--level", "14", "--b", "0.7",
+            "--speed-kmh", "90", "--threshold", "otsu", "--exact-matching",
+        ])
+        .unwrap();
+        assert_eq!(o.config.window_width_secs, 1800);
+        assert_eq!(o.config.spatial_level, 14);
+        assert!((o.config.b - 0.7).abs() < 1e-12);
+        assert!((o.config.max_speed_m_per_s - 25.0).abs() < 1e-9);
+        assert_eq!(o.config.threshold_method, ThresholdMethod::Otsu);
+        assert_eq!(o.config.matching_method, MatchingMethod::HungarianExact);
+    }
+
+    #[test]
+    fn lsh_flags_enable_lsh() {
+        let o = parse(&["a.csv", "b.csv", "--lsh"]).unwrap();
+        assert!(o.lsh.is_some());
+        let o = parse(&["a.csv", "b.csv", "--lsh-step", "96"]).unwrap();
+        assert_eq!(o.lsh.unwrap().step_windows, 96);
+    }
+
+    #[test]
+    fn missing_paths_rejected() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["only_one.csv"]).is_err());
+        assert!(parse(&["a.csv", "b.csv", "c.csv"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let err = parse(&["a.csv", "b.csv", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown option"));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_parse_time() {
+        let err = parse(&["a.csv", "b.csv", "--b", "3.0"]).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn demo_mode_needs_no_paths() {
+        let o = parse(&["--demo", "/tmp/slim-demo"]).unwrap();
+        assert!(o.demo.is_some());
+        assert!(o.left.is_none());
+        assert!(parse(&["a.csv", "--demo", "/tmp/x"]).is_err());
+    }
+
+    #[test]
+    fn demo_end_to_end() {
+        let dir = std::env::temp_dir().join("slim_cli_demo_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("links.csv");
+        let opts = CliOptions {
+            demo: Some(dir.clone()),
+            out: Some(out.clone()),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        assert!(summary.contains("links"), "{summary}");
+        let links = std::fs::read_to_string(&out).unwrap();
+        assert!(links.starts_with("left_entity,right_entity,score"));
+        assert!(links.lines().count() > 1, "no links produced:\n{links}");
+        // Demo dir contains the two generated datasets.
+        assert!(dir.join("left.csv").exists());
+        assert!(dir.join("right.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error function and Gaussian CDF.
+//!
+//! The stop-threshold selection integrates Gaussian component tails
+//! (paper §3.2); `std` has no `erf`, and no external math crate is
+//! sanctioned, so we implement the classic Numerical-Recipes `erfc`
+//! rational approximation (fractional error < 1.2e-7 everywhere), which
+//! is far below the resolution of the threshold grid search.
+
+/// Complementary error function, |relative error| < 1.2e-7.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// CDF of the normal distribution with the given mean and standard
+/// deviation.
+///
+/// # Panics
+/// Panics (debug) if `std_dev` is not positive.
+pub fn normal_cdf(x: f64, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev > 0.0, "std_dev must be positive");
+    0.5 * erfc(-(x - mean) / (std_dev * std::f64::consts::SQRT_2))
+}
+
+/// PDF of the normal distribution.
+pub fn normal_pdf(x: f64, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev > 0.0);
+    let z = (x - mean) / std_dev;
+    (-0.5 * z * z).exp() / (std_dev * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+            assert!((erf(-x) + want).abs() < 2e-7, "odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_standard_values() {
+        assert!((normal_cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96, 0.0, 1.0) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96, 0.0, 1.0) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_shift_and_scale() {
+        // CDF at mean is 0.5 for any parameters.
+        assert!((normal_cdf(100.0, 100.0, 15.0) - 0.5).abs() < 1e-7);
+        // One sigma above the mean ≈ 0.8413.
+        assert!((normal_cdf(115.0, 100.0, 15.0) - 0.8413).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let c = normal_cdf(i as f64 / 5.0, 0.0, 1.0);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Riemann sum over ±8σ.
+        let (mut sum, dx) = (0.0, 0.01);
+        let mut x = -8.0;
+        while x < 8.0 {
+            sum += normal_pdf(x, 0.0, 1.0) * dx;
+            x += dx;
+        }
+        assert!((sum - 1.0).abs() < 1e-4, "integral {sum}");
+    }
+}

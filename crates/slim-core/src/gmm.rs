@@ -1,0 +1,284 @@
+//! 1-D two-component Gaussian Mixture Model fitted with EM (paper §3.2).
+//!
+//! SLIM fits this over the edge weights selected by the bipartite
+//! matching: the component with the larger mean models true-positive
+//! links, the other false positives. The fit drives the automated stop
+//! threshold.
+
+use serde::{Deserialize, Serialize};
+
+use crate::erf::{normal_cdf, normal_pdf};
+
+/// One Gaussian component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Mixture weight `c` (components sum to 1).
+    pub weight: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (always > 0).
+    pub std_dev: f64,
+}
+
+impl Component {
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf(x, self.mean, self.std_dev)
+    }
+
+    /// Weighted density at `x`.
+    pub fn weighted_pdf(&self, x: f64) -> f64 {
+        self.weight * normal_pdf(x, self.mean, self.std_dev)
+    }
+}
+
+/// A fitted two-component mixture. `low` has the smaller mean (false
+/// positives), `high` the larger (true positives).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gmm2 {
+    /// Component with the smaller mean.
+    pub low: Component,
+    /// Component with the larger mean.
+    pub high: Component,
+    /// Final average log-likelihood of the fit.
+    pub avg_log_likelihood: f64,
+    /// EM iterations executed.
+    pub iterations: u32,
+}
+
+/// Maximum EM iterations.
+const MAX_ITERS: u32 = 200;
+/// Convergence tolerance on average log-likelihood.
+const TOL: f64 = 1e-8;
+
+impl Gmm2 {
+    /// Fits the mixture to `data` with EM. Needs at least 2 distinct
+    /// values; returns `None` otherwise (degenerate input — callers fall
+    /// back to keeping all links).
+    pub fn fit(data: &[f64]) -> Option<Gmm2> {
+        let n = data.len();
+        if n < 2 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        if sorted.len() < 2 {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let range = sorted[sorted.len() - 1] - sorted[0];
+        if range <= 0.0 {
+            return None;
+        }
+
+        // Variance floor prevents a component collapsing onto one point.
+        let var_floor = (range * 1e-3).powi(2).max(1e-12);
+        let global_var = variance(&sorted).max(var_floor);
+
+        // Initialize the means with 1-D 2-means centroids: far more
+        // robust on small samples than quantile seeds, which tend to
+        // land inside the majority cluster and let EM merge components.
+        let (m1, m2) = two_means_centroids(&sorted);
+        let mut c1 = Component {
+            weight: 0.5,
+            mean: m1,
+            std_dev: global_var.sqrt(),
+        };
+        let mut c2 = Component {
+            weight: 0.5,
+            mean: m2,
+            std_dev: global_var.sqrt(),
+        };
+        if (c2.mean - c1.mean).abs() < 1e-12 {
+            c1.mean = sorted[0];
+            c2.mean = sorted[sorted.len() - 1];
+        }
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        let mut resp = vec![0.0f64; sorted.len()];
+        for it in 1..=MAX_ITERS {
+            iterations = it;
+            // E-step: responsibility of component 2 for each point.
+            let mut ll = 0.0;
+            for (i, &x) in sorted.iter().enumerate() {
+                let p1 = c1.weighted_pdf(x);
+                let p2 = c2.weighted_pdf(x);
+                let total = (p1 + p2).max(f64::MIN_POSITIVE);
+                resp[i] = p2 / total;
+                ll += total.ln();
+            }
+            ll /= sorted.len() as f64;
+
+            // M-step.
+            let n2: f64 = resp.iter().sum();
+            let n1 = sorted.len() as f64 - n2;
+            if n1 < 1e-9 || n2 < 1e-9 {
+                break; // one component vanished; keep last params
+            }
+            let mean1 = sorted
+                .iter()
+                .zip(&resp)
+                .map(|(&x, &r)| (1.0 - r) * x)
+                .sum::<f64>()
+                / n1;
+            let mean2 = sorted.iter().zip(&resp).map(|(&x, &r)| r * x).sum::<f64>() / n2;
+            let var1 = (sorted
+                .iter()
+                .zip(&resp)
+                .map(|(&x, &r)| (1.0 - r) * (x - mean1).powi(2))
+                .sum::<f64>()
+                / n1)
+                .max(var_floor);
+            let var2 = (sorted
+                .iter()
+                .zip(&resp)
+                .map(|(&x, &r)| r * (x - mean2).powi(2))
+                .sum::<f64>()
+                / n2)
+                .max(var_floor);
+            c1 = Component {
+                weight: n1 / sorted.len() as f64,
+                mean: mean1,
+                std_dev: var1.sqrt(),
+            };
+            c2 = Component {
+                weight: n2 / sorted.len() as f64,
+                mean: mean2,
+                std_dev: var2.sqrt(),
+            };
+
+            if (ll - prev_ll).abs() < TOL {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        let (low, high) = if c1.mean <= c2.mean { (c1, c2) } else { (c2, c1) };
+        Some(Gmm2 {
+            low,
+            high,
+            avg_log_likelihood: prev_ll,
+            iterations,
+        })
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.low.weighted_pdf(x) + self.high.weighted_pdf(x)
+    }
+}
+
+/// Lloyd's 1-D 2-means from extremal seeds; returns the two centroids.
+fn two_means_centroids(sorted: &[f64]) -> (f64, f64) {
+    let (mut c0, mut c1) = (sorted[0], sorted[sorted.len() - 1]);
+    for _ in 0..100 {
+        let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0u64, 0.0, 0u64);
+        for &x in sorted {
+            if (x - c0).abs() <= (x - c1).abs() {
+                s0 += x;
+                n0 += 1;
+            } else {
+                s1 += x;
+                n1 += 1;
+            }
+        }
+        if n0 == 0 || n1 == 0 {
+            break;
+        }
+        let (new0, new1) = (s0 / n0 as f64, s1 / n1 as f64);
+        let converged = (new0 - c0).abs() < 1e-12 && (new1 - c1).abs() < 1e-12;
+        c0 = new0;
+        c1 = new1;
+        if converged {
+            break;
+        }
+    }
+    (c0, c1)
+}
+
+fn variance(data: &[f64]) -> f64 {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Box-Muller standard normal sampler (rand_distr is not sanctioned).
+    fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn bimodal(seed: u64, n1: usize, m1: f64, s1: f64, n2: usize, m2: f64, s2: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<f64> = (0..n1).map(|_| normal(&mut rng, m1, s1)).collect();
+        v.extend((0..n2).map(|_| normal(&mut rng, m2, s2)));
+        v
+    }
+
+    #[test]
+    fn recovers_well_separated_components() {
+        let data = bimodal(1, 500, 10.0, 2.0, 500, 100.0, 5.0);
+        let g = Gmm2::fit(&data).unwrap();
+        assert!((g.low.mean - 10.0).abs() < 1.0, "low mean {}", g.low.mean);
+        assert!((g.high.mean - 100.0).abs() < 2.0, "high mean {}", g.high.mean);
+        assert!((g.low.weight - 0.5).abs() < 0.05);
+        assert!((g.low.std_dev - 2.0).abs() < 0.5);
+        assert!((g.high.std_dev - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn recovers_unbalanced_weights() {
+        let data = bimodal(2, 900, 0.0, 1.0, 100, 20.0, 1.0);
+        let g = Gmm2::fit(&data).unwrap();
+        assert!((g.low.weight - 0.9).abs() < 0.03, "weight {}", g.low.weight);
+        assert!((g.high.weight - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn low_mean_is_never_above_high_mean() {
+        for seed in 0..5 {
+            let data = bimodal(seed, 200, 50.0, 10.0, 200, 30.0, 5.0);
+            let g = Gmm2::fit(&data).unwrap();
+            assert!(g.low.mean <= g.high.mean);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(Gmm2::fit(&[]).is_none());
+        assert!(Gmm2::fit(&[1.0]).is_none());
+        assert!(Gmm2::fit(&[3.0, 3.0, 3.0]).is_none());
+        assert!(Gmm2::fit(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn two_points_fit() {
+        let g = Gmm2::fit(&[0.0, 10.0]).unwrap();
+        assert!(g.low.mean < g.high.mean);
+        assert!(g.low.std_dev > 0.0 && g.high.std_dev > 0.0);
+    }
+
+    #[test]
+    fn pdf_is_positive_and_bounded() {
+        let data = bimodal(3, 300, 0.0, 1.0, 300, 10.0, 1.0);
+        let g = Gmm2::fit(&data).unwrap();
+        for i in -20..=40 {
+            let p = g.pdf(i as f64 / 2.0);
+            assert!(p >= 0.0 && p.is_finite());
+        }
+    }
+
+    #[test]
+    fn overlapping_components_still_converge() {
+        let data = bimodal(4, 400, 0.0, 2.0, 400, 3.0, 2.0);
+        let g = Gmm2::fit(&data).unwrap();
+        assert!(g.iterations >= 1);
+        assert!(g.low.mean < g.high.mean);
+    }
+}

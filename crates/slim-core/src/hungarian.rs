@@ -1,0 +1,204 @@
+//! Exact maximum-weight bipartite matching (Hungarian / Kuhn-Munkres).
+//!
+//! The paper notes the assignment problem has "many optimal and
+//! approximate solutions" and adopts a greedy heuristic for SLIM. This
+//! exact `O(n³)` solver exists to quantify the greedy heuristic's regret
+//! in tests and the ablation benches — it is not on the hot path.
+
+/// Solves max-weight assignment on an `n × m` weight matrix
+/// (`weights[i][j]`, may be negative; unassigned pairs count as 0).
+/// Returns, for each row `i`, `Some(j)` if assigning improves the total,
+/// plus the achieved total weight.
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> (Vec<Option<usize>>, f64) {
+    let n = weights.len();
+    let m = weights.iter().map(Vec::len).max().unwrap_or(0);
+    if n == 0 || m == 0 {
+        return (vec![None; n], 0.0);
+    }
+    // Pad to a square cost matrix; convert max-weight to min-cost.
+    // Only non-negative weights are worth assigning, so clamp at 0 and
+    // strip zero-value assignments at the end.
+    let size = n.max(m);
+    let big = weights
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |a, &b| a.max(b));
+    let mut cost = vec![vec![big; size]; size];
+    for (i, row) in weights.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            cost[i][j] = big - w.max(0.0);
+        }
+    }
+
+    // Jonker-style O(n³) Hungarian with potentials (1-based helpers).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; size + 1];
+    let mut v = vec![0.0; size + 1];
+    let mut p = vec![0usize; size + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; size + 1];
+    for i in 1..=size {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; size + 1];
+        let mut used = vec![false; size + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=size {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=size {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n];
+    let mut total = 0.0;
+    for (j, &i) in p.iter().enumerate().skip(1) {
+        if i >= 1 && i <= n && j <= m {
+            let w = weights[i - 1].get(j - 1).copied().unwrap_or(0.0);
+            if w > 0.0 {
+                assignment[i - 1] = Some(j - 1);
+                total += w;
+            }
+        }
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let (a, t) = max_weight_assignment(&[]);
+        assert!(a.is_empty());
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let (a, t) = max_weight_assignment(&[vec![3.5]]);
+        assert_eq!(a, vec![Some(0)]);
+        assert_eq!(t, 3.5);
+    }
+
+    #[test]
+    fn beats_greedy_on_classic_counterexample() {
+        // Greedy picks 10 (total 10); optimal is 9 + 9 = 18.
+        let w = vec![vec![10.0, 9.0], vec![9.0, 0.0]];
+        let (a, t) = max_weight_assignment(&w);
+        assert_eq!(t, 18.0);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        // 2 rows, 3 cols.
+        let w = vec![vec![1.0, 5.0, 2.0], vec![7.0, 1.0, 1.0]];
+        let (a, t) = max_weight_assignment(&w);
+        assert_eq!(t, 12.0);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+        // 3 rows, 2 cols.
+        let w = vec![vec![1.0, 5.0], vec![7.0, 1.0], vec![6.0, 6.0]];
+        let (a, t) = max_weight_assignment(&w);
+        assert_eq!(t, 7.0 + 6.0); // rows 1 and 2 assigned; row 0 unmatched
+        assert_eq!(a, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn negative_weights_left_unassigned() {
+        let w = vec![vec![-5.0, -2.0], vec![-1.0, -9.0]];
+        let (a, t) = max_weight_assignment(&w);
+        assert_eq!(a, vec![None, None]);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn identity_is_optimal_when_diagonal_dominates() {
+        let n = 6;
+        let mut w = vec![vec![1.0; n]; n];
+        for (i, row) in w.iter_mut().enumerate() {
+            row[i] = 10.0;
+        }
+        let (a, t) = max_weight_assignment(&w);
+        assert_eq!(t, 60.0);
+        for (i, ai) in a.iter().enumerate() {
+            assert_eq!(*ai, Some(i));
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_small_random() {
+        // Compare against brute force on 4×4 matrices.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let w: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..4).map(|_| rng.random_range(0.0..10.0)).collect())
+                .collect();
+            let (_, t) = max_weight_assignment(&w);
+            // Brute force over all permutations.
+            let mut best = 0.0f64;
+            for p in &permutations(4) {
+                let s: f64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+                best = best.max(s);
+            }
+            assert!((t - best).abs() < 1e-9, "hungarian {t} vs brute {best}");
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        fn go(cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+            let n = used.len();
+            if cur.len() == n {
+                out.push(cur.clone());
+                return;
+            }
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    cur.push(j);
+                    go(cur, used, out);
+                    cur.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(&mut Vec::new(), &mut vec![false; n], &mut out);
+        out
+    }
+}

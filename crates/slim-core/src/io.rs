@@ -1,0 +1,245 @@
+//! CSV import/export for location datasets and linkage results.
+//!
+//! The record format is one line per record:
+//!
+//! ```text
+//! entity_id,latitude,longitude,timestamp[,accuracy_m]
+//! ```
+//!
+//! * `entity_id` — unsigned integer (dataset-local anonymous id),
+//! * `latitude`/`longitude` — degrees,
+//! * `timestamp` — seconds since any epoch shared by both datasets,
+//! * `accuracy_m` — optional region radius in metres (paper §2.1).
+//!
+//! A header line is skipped automatically when the first field is not
+//! numeric. Parsing is strict otherwise: a malformed line aborts with a
+//! line-numbered error rather than silently dropping data.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use geocell::LatLng;
+
+use crate::dataset::LocationDataset;
+use crate::matching::Edge;
+use crate::record::{EntityId, Record, Timestamp};
+
+/// CSV import error with 1-based line information.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Record, CsvError> {
+    let mut fields = line.split(',').map(str::trim);
+    let mut next = |name: &str| {
+        fields.next().filter(|f| !f.is_empty()).ok_or_else(|| CsvError::Parse {
+            line: lineno,
+            message: format!("missing field `{name}`"),
+        })
+    };
+    let err = |name: &str, value: &str| CsvError::Parse {
+        line: lineno,
+        message: format!("field `{name}` is not a number: `{value}`"),
+    };
+    let entity_s = next("entity_id")?;
+    let entity: u64 = entity_s.parse().map_err(|_| err("entity_id", entity_s))?;
+    let lat_s = next("latitude")?;
+    let lat: f64 = lat_s.parse().map_err(|_| err("latitude", lat_s))?;
+    let lng_s = next("longitude")?;
+    let lng: f64 = lng_s.parse().map_err(|_| err("longitude", lng_s))?;
+    let ts_s = next("timestamp")?;
+    let ts: i64 = ts_s.parse().map_err(|_| err("timestamp", ts_s))?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lng) {
+        return Err(CsvError::Parse {
+            line: lineno,
+            message: format!("coordinates out of range: ({lat}, {lng})"),
+        });
+    }
+    let accuracy = match fields.next().map(str::trim).filter(|f| !f.is_empty()) {
+        Some(a) => {
+            let v: f64 = a.parse().map_err(|_| err("accuracy_m", a))?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("accuracy must be non-negative, got {v}"),
+                });
+            }
+            v
+        }
+        None => 0.0,
+    };
+    Ok(Record::with_accuracy(
+        EntityId(entity),
+        LatLng::from_degrees(lat, lng),
+        Timestamp(ts),
+        accuracy,
+    ))
+}
+
+/// Reads records from CSV. Skips a header line (first field non-numeric)
+/// and blank lines.
+pub fn read_records_csv<R: BufRead>(reader: R) -> Result<Vec<Record>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if idx == 0 {
+            // Header detection: a non-numeric first field.
+            let first = trimmed.split(',').next().unwrap_or("").trim();
+            if first.parse::<u64>().is_err() {
+                continue;
+            }
+        }
+        out.push(parse_line(trimmed, idx + 1)?);
+    }
+    Ok(out)
+}
+
+/// Loads a dataset from a CSV file path.
+pub fn load_dataset_csv(path: &std::path::Path) -> Result<LocationDataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let records = read_records_csv(std::io::BufReader::new(file))?;
+    Ok(LocationDataset::from_records(records))
+}
+
+/// Writes records as CSV (with header).
+pub fn write_records_csv<W: Write>(mut w: W, records: &[Record]) -> std::io::Result<()> {
+    writeln!(w, "entity_id,latitude,longitude,timestamp,accuracy_m")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{:.7},{:.7},{},{}",
+            r.entity.0,
+            r.location.lat_deg(),
+            r.location.lng_deg(),
+            r.time.secs(),
+            r.accuracy_m
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes linkage results as CSV (with header).
+pub fn write_links_csv<W: Write>(mut w: W, links: &[Edge]) -> std::io::Result<()> {
+    writeln!(w, "left_entity,right_entity,score")?;
+    for e in links {
+        writeln!(w, "{},{},{:.6}", e.left.0, e.right.0, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_records() {
+        let records = vec![
+            Record::new(EntityId(1), LatLng::from_degrees(37.5, -122.25), Timestamp(100)),
+            Record::with_accuracy(
+                EntityId(2),
+                LatLng::from_degrees(-33.9, 151.2),
+                Timestamp(-50),
+                120.0,
+            ),
+        ];
+        let mut buf = Vec::new();
+        write_records_csv(&mut buf, &records).unwrap();
+        let back = read_records_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].entity, EntityId(1));
+        assert!((back[0].location.lat_deg() - 37.5).abs() < 1e-6);
+        assert_eq!(back[1].time.secs(), -50);
+        assert!((back[1].accuracy_m - 120.0).abs() < 1e-9);
+        assert!(back[1].is_region());
+    }
+
+    #[test]
+    fn header_and_blank_lines_skipped() {
+        let csv = "entity_id,latitude,longitude,timestamp\n\n7,10.0,20.0,42\n";
+        let recs = read_records_csv(csv.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].entity, EntityId(7));
+    }
+
+    #[test]
+    fn headerless_files_parse_first_line() {
+        let csv = "7,10.0,20.0,42\n8,11.0,21.0,43\n";
+        let recs = read_records_csv(csv.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn optional_accuracy_field() {
+        let csv = "1,0.0,0.0,0\n2,0.0,0.0,0,55.5\n";
+        let recs = read_records_csv(csv.as_bytes()).unwrap();
+        assert_eq!(recs[0].accuracy_m, 0.0);
+        assert!((recs[1].accuracy_m - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let csv = "1,0.0,0.0,0\nnot_a_number,0.0,0.0,0\n";
+        let err = read_records_csv(csv.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("entity_id"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_coordinates_rejected() {
+        let csv = "1,95.0,0.0,0\n";
+        let err = read_records_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let csv = "1,0.0\n";
+        let err = read_records_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn links_csv_format() {
+        let links = vec![Edge {
+            left: EntityId(1),
+            right: EntityId(1_000_002),
+            weight: 123.456789,
+        }];
+        let mut buf = Vec::new();
+        write_links_csv(&mut buf, &links).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("left_entity,right_entity,score\n"));
+        assert!(text.contains("1,1000002,123.456789"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Maximum-weight bipartite matching (paper §3.2).
+//!
+//! SLIM builds a weighted bipartite graph from positive similarity scores
+//! and selects a matching so that no entity is linked twice. The paper
+//! adapts "a simple greedy heuristic, which links the pair with the
+//! highest similarity at each step" — implemented here; an exact
+//! Hungarian solver lives in [`crate::hungarian`] for verification.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::EntityId;
+
+/// A weighted edge of the bipartite linkage graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Entity from the first dataset (`U_E`).
+    pub left: EntityId,
+    /// Entity from the second dataset (`U_I`).
+    pub right: EntityId,
+    /// Similarity score.
+    pub weight: f64,
+}
+
+/// Greedy maximum-weight matching: repeatedly select the heaviest edge
+/// whose endpoints are both unmatched. Ties break deterministically on
+/// `(left, right)` ids. Runs in `O(|E| log |E|)`.
+pub fn greedy_max_matching(edges: &[Edge]) -> Vec<Edge> {
+    let mut order: Vec<&Edge> = edges.iter().collect();
+    order.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+    });
+    let mut left_used: HashSet<EntityId> = HashSet::new();
+    let mut right_used: HashSet<EntityId> = HashSet::new();
+    let mut out = Vec::new();
+    for e in order {
+        if left_used.contains(&e.left) || right_used.contains(&e.right) {
+            continue;
+        }
+        left_used.insert(e.left);
+        right_used.insert(e.right);
+        out.push(*e);
+    }
+    out
+}
+
+/// Exact maximum-weight matching via the Hungarian solver in
+/// [`crate::hungarian`]. Builds a dense matrix over the entities present
+/// in `edges`, so memory is O(n·m) — use only at moderate scales.
+pub fn exact_max_matching(edges: &[Edge]) -> Vec<Edge> {
+    use std::collections::HashMap;
+    let mut lefts: Vec<EntityId> = edges.iter().map(|e| e.left).collect();
+    let mut rights: Vec<EntityId> = edges.iter().map(|e| e.right).collect();
+    lefts.sort_unstable();
+    lefts.dedup();
+    rights.sort_unstable();
+    rights.dedup();
+    if lefts.is_empty() || rights.is_empty() {
+        return Vec::new();
+    }
+    let lidx: HashMap<EntityId, usize> = lefts.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let ridx: HashMap<EntityId, usize> = rights.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let mut w = vec![vec![0.0f64; rights.len()]; lefts.len()];
+    for e in edges {
+        let (i, j) = (lidx[&e.left], ridx[&e.right]);
+        w[i][j] = w[i][j].max(e.weight);
+    }
+    let (assignment, _) = crate::hungarian::max_weight_assignment(&w);
+    let mut out: Vec<Edge> = assignment
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, j)| {
+            j.map(|j| Edge {
+                left: lefts[i],
+                right: rights[j],
+                weight: w[i][j],
+            })
+        })
+        .collect();
+    // Heaviest first, like the greedy output.
+    out.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Checks the one-to-one constraint of a matching — used in tests and
+/// property checks.
+pub fn is_valid_matching(matching: &[Edge]) -> bool {
+    let mut left = HashSet::new();
+    let mut right = HashSet::new();
+    matching
+        .iter()
+        .all(|e| left.insert(e.left) && right.insert(e.right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(l: u64, r: u64, w: f64) -> Edge {
+        Edge {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(greedy_max_matching(&[]).is_empty());
+    }
+
+    #[test]
+    fn picks_heaviest_first() {
+        let edges = vec![e(1, 1, 1.0), e(1, 2, 5.0), e(2, 1, 3.0)];
+        let m = greedy_max_matching(&edges);
+        assert!(is_valid_matching(&m));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].weight, 5.0);
+        assert_eq!(m[1].weight, 3.0);
+    }
+
+    #[test]
+    fn one_to_one_enforced() {
+        let edges = vec![e(1, 1, 9.0), e(1, 2, 8.0), e(1, 3, 7.0)];
+        let m = greedy_max_matching(&edges);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].right, EntityId(1));
+    }
+
+    #[test]
+    fn greedy_is_not_always_optimal_but_valid() {
+        // Classic greedy pitfall: greedy takes 10, losing 9+9=18 total.
+        let edges = vec![e(1, 1, 10.0), e(1, 2, 9.0), e(2, 1, 9.0)];
+        let m = greedy_max_matching(&edges);
+        assert!(is_valid_matching(&m));
+        let total: f64 = m.iter().map(|x| x.weight).sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let edges = vec![e(2, 2, 1.0), e(1, 1, 1.0)];
+        let m1 = greedy_max_matching(&edges);
+        let rev: Vec<Edge> = edges.iter().rev().copied().collect();
+        let m2 = greedy_max_matching(&rev);
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1[0].left, m2[0].left);
+    }
+
+    #[test]
+    fn exact_matching_beats_greedy_counterexample() {
+        let edges = vec![e(1, 1, 10.0), e(1, 2, 9.0), e(2, 1, 9.0)];
+        let m = exact_max_matching(&edges);
+        assert!(is_valid_matching(&m));
+        let total: f64 = m.iter().map(|x| x.weight).sum();
+        assert_eq!(total, 18.0);
+    }
+
+    #[test]
+    fn exact_matching_empty() {
+        assert!(exact_max_matching(&[]).is_empty());
+    }
+
+    #[test]
+    fn validity_checker_rejects_duplicates() {
+        assert!(!is_valid_matching(&[e(1, 1, 1.0), e(1, 2, 1.0)]));
+        assert!(!is_valid_matching(&[e(1, 1, 1.0), e(2, 1, 1.0)]));
+        assert!(is_valid_matching(&[e(1, 1, 1.0), e(2, 2, 1.0)]));
+    }
+}

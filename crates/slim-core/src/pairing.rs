@@ -1,0 +1,203 @@
+//! Bin pairing within a common temporal window (paper §3.1.2).
+//!
+//! Given the bins of two entities in the same window, the pairing
+//! function `N` repeatedly extracts the pair of bins with the smallest
+//! geographical distance, removes both bins, and continues until the
+//! smaller side is exhausted — so every bin participates in at most one
+//! pair (no over-counting). The mutually-furthest variant `N'` does the
+//! same with the *largest* distance and feeds the alibi check of Alg. 1.
+//! The Cartesian-product variant exists for the Fig. 10 ablation.
+
+use geocell::{bounded_distance_m, cell_center_and_radius, CellId};
+
+/// One selected pair: indices into the two bin slices plus the cell
+/// distance in metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinPair {
+    /// Index into the first entity's bins.
+    pub e_idx: usize,
+    /// Index into the second entity's bins.
+    pub i_idx: usize,
+    /// Minimum geographical distance between the two cells, metres.
+    pub dist_m: f64,
+}
+
+fn distance_matrix(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<f64> {
+    // Precompute each cell's center + radius once per side: the matrix is
+    // O(n·m) but the (trigonometry-heavy) vertex geometry is O(n + m).
+    let ga: Vec<_> = a.iter().map(|&(c, _)| (c, cell_center_and_radius(c))).collect();
+    let gb: Vec<_> = b.iter().map(|&(c, _)| (c, cell_center_and_radius(c))).collect();
+    let mut d = Vec::with_capacity(a.len() * b.len());
+    for (ca, pa) in &ga {
+        for (cb, pb) in &gb {
+            // Same level on both sides: equality is the only containment.
+            d.push(if ca == cb { 0.0 } else { bounded_distance_m(pa, pb) });
+        }
+    }
+    d
+}
+
+/// Greedy extremal matching shared by [`mutually_nearest`] and
+/// [`mutually_furthest`]. `want_min` selects the objective.
+fn extremal_pairs(a: &[(CellId, u32)], b: &[(CellId, u32)], want_min: bool) -> Vec<BinPair> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let d = distance_matrix(a, b);
+    let mut a_used = vec![false; n];
+    let mut b_used = vec![false; m];
+    let rounds = n.min(m);
+    let mut out = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (ai, au) in a_used.iter().enumerate() {
+            if *au {
+                continue;
+            }
+            for (bi, bu) in b_used.iter().enumerate() {
+                if *bu {
+                    continue;
+                }
+                let dist = d[ai * m + bi];
+                let better = match best {
+                    None => true,
+                    Some((_, _, cur)) => {
+                        if want_min {
+                            dist < cur
+                        } else {
+                            dist > cur
+                        }
+                    }
+                };
+                if better {
+                    best = Some((ai, bi, dist));
+                }
+            }
+        }
+        let (ai, bi, dist) = best.expect("rounds bounded by remaining bins");
+        a_used[ai] = true;
+        b_used[bi] = true;
+        out.push(BinPair {
+            e_idx: ai,
+            i_idx: bi,
+            dist_m: dist,
+        });
+    }
+    out
+}
+
+/// The paper's pairing function `N_w`: greedy globally-closest pairs,
+/// each bin used at most once, `min(|a|, |b|)` pairs total.
+pub fn mutually_nearest(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<BinPair> {
+    extremal_pairs(a, b, true)
+}
+
+/// The paper's `N'_w`: greedy globally-furthest pairs, used for the
+/// optional alibi-detection pass.
+pub fn mutually_furthest(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<BinPair> {
+    extremal_pairs(a, b, false)
+}
+
+/// The Cartesian product of bins — the "All Pairs" ablation.
+pub fn all_pairs(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<BinPair> {
+    let d = distance_matrix(a, b);
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ai in 0..a.len() {
+        for bi in 0..b.len() {
+            out.push(BinPair {
+                e_idx: ai,
+                i_idx: bi,
+                dist_m: d[ai * b.len() + bi],
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+
+    fn bins(coords: &[(f64, f64)]) -> Vec<(CellId, u32)> {
+        coords
+            .iter()
+            .map(|&(lat, lng)| (CellId::from_latlng(LatLng::from_degrees(lat, lng), 14), 1))
+            .collect()
+    }
+
+    #[test]
+    fn empty_sides_yield_no_pairs() {
+        let a = bins(&[(37.0, -122.0)]);
+        assert!(mutually_nearest(&a, &[]).is_empty());
+        assert!(mutually_nearest(&[], &a).is_empty());
+        assert!(mutually_furthest(&[], &[]).is_empty());
+        assert!(all_pairs(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn pair_count_is_min_of_sides() {
+        let a = bins(&[(37.0, -122.0), (37.5, -122.5), (38.0, -121.0)]);
+        let b = bins(&[(37.0, -122.0), (10.0, 10.0)]);
+        assert_eq!(mutually_nearest(&a, &b).len(), 2);
+        assert_eq!(mutually_furthest(&a, &b).len(), 2);
+        assert_eq!(all_pairs(&a, &b).len(), 6);
+    }
+
+    #[test]
+    fn nearest_prefers_identical_cells() {
+        let a = bins(&[(37.0, -122.0), (40.0, -100.0)]);
+        let b = bins(&[(40.0, -100.0), (37.0, -122.0)]);
+        let pairs = mutually_nearest(&a, &b);
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert_eq!(p.dist_m, 0.0, "identical cells should pair at distance 0");
+        }
+        // a[0] must pair with b[1], a[1] with b[0].
+        assert!(pairs.iter().any(|p| p.e_idx == 0 && p.i_idx == 1));
+        assert!(pairs.iter().any(|p| p.e_idx == 1 && p.i_idx == 0));
+    }
+
+    #[test]
+    fn each_bin_used_at_most_once() {
+        let a = bins(&[(37.0, -122.0), (37.1, -122.1), (37.2, -122.2)]);
+        let b = bins(&[(37.05, -122.05), (37.15, -122.15)]);
+        for pairs in [mutually_nearest(&a, &b), mutually_furthest(&a, &b)] {
+            let mut e_seen = std::collections::HashSet::new();
+            let mut i_seen = std::collections::HashSet::new();
+            for p in &pairs {
+                assert!(e_seen.insert(p.e_idx), "e bin reused");
+                assert!(i_seen.insert(p.i_idx), "i bin reused");
+            }
+        }
+    }
+
+    #[test]
+    fn furthest_catches_the_paper_alibi_example() {
+        // Paper §3.1 example: e1 has a single bin b1; e2 has b2 (close)
+        // and b3 (beyond runaway). MNN returns (b1,b2); MFN returns
+        // (b1,b3), exposing the alibi.
+        let b1 = LatLng::from_degrees(37.0, -122.0);
+        let b2 = b1.offset(5_000.0, 1.0);
+        let b3 = b1.offset(80_000.0, 2.0);
+        let e1 = bins(&[(b1.lat_deg(), b1.lng_deg())]);
+        let e2 = bins(&[(b2.lat_deg(), b2.lng_deg()), (b3.lat_deg(), b3.lng_deg())]);
+        let nearest = mutually_nearest(&e1, &e2);
+        assert_eq!(nearest.len(), 1);
+        assert!(nearest[0].dist_m < 10_000.0, "MNN picks the close bin");
+        let furthest = mutually_furthest(&e1, &e2);
+        assert_eq!(furthest.len(), 1);
+        assert!(furthest[0].dist_m > 60_000.0, "MFN exposes the distant bin");
+    }
+
+    #[test]
+    fn nearest_total_distance_not_worse_than_reversed() {
+        // Greedy-nearest is symmetric in argument order.
+        let a = bins(&[(37.0, -122.0), (36.0, -121.0)]);
+        let b = bins(&[(36.5, -121.5), (37.2, -122.2), (10.0, 10.0)]);
+        let ab: f64 = mutually_nearest(&a, &b).iter().map(|p| p.dist_m).sum();
+        let ba: f64 = mutually_nearest(&b, &a).iter().map(|p| p.dist_m).sum();
+        assert!((ab - ba).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,116 @@
+//! Spatial proximity of time-location bins (paper Eq. 1).
+//!
+//! For two bins in the *same* temporal window:
+//!
+//! ```text
+//! P(e, i) = log2(2 − min(d(e.c, i.c) / R, 2))
+//! ```
+//!
+//! where `d` is the minimum geographical distance between the cells and
+//! `R` the runaway distance. The function is 1 for identical cells, falls
+//! to 0 at distance `R`, and goes negative beyond — an *alibi*: the entity
+//! could not have produced both records. The paper lets it reach −∞ at
+//! `2R`; we clamp the logarithm argument so scores stay finite (a single
+//! extreme alibi should not erase unboundedly much evidence, and IEEE
+//! −∞ would poison sums). The clamp value −20 bits corresponds to the
+//! distance `2R − R/2^20`, i.e. within 0.0001% of the paper's pole.
+
+use geocell::{cell_min_distance_m, CellId};
+
+/// Lower clamp on the log argument; `log2(ARG_FLOOR)` ≈ −19.93.
+const ARG_FLOOR: f64 = 1e-6;
+
+/// Proximity of two cells within the same temporal window, given the
+/// runaway distance `runaway_m`. Callers guarantee temporal co-occurrence
+/// (the `T(e,i)` factor of Eq. 1); cross-window pairs are never formed.
+///
+/// Returns a value in `[log2(ARG_FLOOR), 1]`.
+pub fn proximity(a: CellId, b: CellId, runaway_m: f64) -> f64 {
+    proximity_of_distance(cell_min_distance_m(a, b), runaway_m)
+}
+
+/// Proximity as a function of a precomputed distance (metres).
+pub fn proximity_of_distance(dist_m: f64, runaway_m: f64) -> f64 {
+    debug_assert!(runaway_m > 0.0);
+    let ratio = (dist_m / runaway_m).min(2.0);
+    (2.0 - ratio).max(ARG_FLOOR).log2()
+}
+
+/// Whether a bin pair at this distance is an alibi (negative evidence).
+pub fn is_alibi(dist_m: f64, runaway_m: f64) -> bool {
+    dist_m > runaway_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+
+    const R: f64 = 30_000.0;
+
+    #[test]
+    fn same_cell_scores_one() {
+        let c = CellId::from_latlng(LatLng::from_degrees(37.0, -122.0), 12);
+        assert!((proximity(c, c, R) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_scores_one() {
+        assert!((proximity_of_distance(0.0, R) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runaway_distance_scores_zero() {
+        assert!(proximity_of_distance(R, R).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_runaway_is_negative() {
+        assert!(proximity_of_distance(1.5 * R, R) < 0.0);
+        assert!(proximity_of_distance(1.99 * R, R) < -5.0);
+    }
+
+    #[test]
+    fn far_beyond_clamps_finite() {
+        let p = proximity_of_distance(1e9, R);
+        assert!(p.is_finite());
+        assert!((p - ARG_FLOOR.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotonically_decreasing_in_distance() {
+        let mut prev = f64::INFINITY;
+        for i in 0..=100 {
+            let d = i as f64 / 100.0 * 2.2 * R;
+            let p = proximity_of_distance(d, R);
+            assert!(p <= prev + 1e-12, "not monotone at d={d}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn slope_steepens_towards_alibi() {
+        // Increasing slope magnitude as distance approaches 2R (paper:
+        // "the value goes down to 0 with an increasing slope").
+        let d1 = proximity_of_distance(0.2 * R, R) - proximity_of_distance(0.3 * R, R);
+        let d2 = proximity_of_distance(1.5 * R, R) - proximity_of_distance(1.6 * R, R);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn alibi_predicate() {
+        assert!(!is_alibi(0.5 * R, R));
+        assert!(!is_alibi(R, R));
+        assert!(is_alibi(1.01 * R, R));
+    }
+
+    #[test]
+    fn nearby_cells_score_close_to_one() {
+        // Two adjacent level-12 cells (~3 km apart at most) with R = 30 km:
+        // proximity should be well above 0.8.
+        let a_ll = LatLng::from_degrees(37.0, -122.0);
+        let a = CellId::from_latlng(a_ll, 12);
+        let b = CellId::from_latlng(a_ll.offset(3_000.0, 1.0), 12);
+        assert!(proximity(a, b, R) > 0.8);
+    }
+}

@@ -1,0 +1,390 @@
+//! Mobility-history similarity score (paper Eq. 2 and Alg. 1 inner loop).
+//!
+//! For two entities `u ∈ U_E`, `v ∈ U_I`:
+//!
+//! ```text
+//! S(u, v) = Σ_{(e,i) ∈ N(u,v)}  P(e,i) · min(idf(e,E), idf(i,I)) / (L(u,E) · L(v,I))
+//! ```
+//!
+//! plus, per common window, the negative contributions of mutually-
+//! furthest (alibi) pairs. The IDF and normalization factors are ablation
+//! switches so the Fig. 10 variants are pure configuration.
+
+use crate::config::{PairingMode, SlimConfig};
+use crate::history::{HistorySet, MobilityHistory};
+use crate::pairing::{all_pairs, mutually_furthest, mutually_nearest, BinPair};
+use crate::proximity::{is_alibi, proximity_of_distance};
+use crate::record::EntityId;
+use crate::stats::LinkageStats;
+
+/// Scores entity pairs across two history sets under one configuration.
+pub struct SimilarityScorer<'a> {
+    cfg: &'a SlimConfig,
+    left: &'a HistorySet,
+    right: &'a HistorySet,
+    runaway_m: f64,
+}
+
+impl<'a> SimilarityScorer<'a> {
+    /// Creates a scorer over the two datasets' history sets.
+    ///
+    /// # Panics
+    /// Panics if the two sets use different window schemes or levels —
+    /// bins would not be comparable.
+    pub fn new(cfg: &'a SlimConfig, left: &'a HistorySet, right: &'a HistorySet) -> Self {
+        assert_eq!(
+            left.scheme(),
+            right.scheme(),
+            "history sets must share a window scheme"
+        );
+        assert_eq!(
+            left.spatial_level(),
+            right.spatial_level(),
+            "history sets must share a spatial level"
+        );
+        Self {
+            cfg,
+            left,
+            right,
+            runaway_m: cfg.runaway_m(),
+        }
+    }
+
+    /// The similarity score `S(u, v)`. Returns `None` when either entity
+    /// has no history. Work counters are accumulated into `stats`.
+    pub fn score(&self, u: EntityId, v: EntityId, stats: &mut LinkageStats) -> Option<f64> {
+        let hu = self.left.history(u)?;
+        let hv = self.right.history(v)?;
+        Some(self.score_histories(hu, hv, stats))
+    }
+
+    /// Scores two explicit histories.
+    pub fn score_histories(
+        &self,
+        hu: &MobilityHistory,
+        hv: &MobilityHistory,
+        stats: &mut LinkageStats,
+    ) -> f64 {
+        stats.scored_entity_pairs += 1;
+        let norm = if self.cfg.use_normalization {
+            self.left.length_norm(hu.entity(), self.cfg.b)
+                * self.right.length_norm(hv.entity(), self.cfg.b)
+        } else {
+            1.0
+        };
+
+        let mut total = 0.0;
+        for w in common_windows(hu, hv) {
+            let bu = hu.bins_in(w);
+            let bv = hv.bins_in(w);
+            stats.bin_pair_comparisons += (bu.len() * bv.len()) as u64;
+            stats.record_pair_comparisons +=
+                hu.records_in(w) as u64 * hv.records_in(w) as u64;
+
+            let pairs = match self.cfg.pairing {
+                PairingMode::MutuallyNearest => mutually_nearest(bu, bv),
+                PairingMode::AllPairs => all_pairs(bu, bv),
+            };
+            for p in &pairs {
+                total += self.contribution(w, bu, bv, p, norm, stats);
+            }
+
+            // Optional mutually-furthest alibi pass (Alg. 1): add only
+            // negative deltas, and skip pairs already selected by N to
+            // avoid double counting.
+            if self.cfg.use_mfn && self.cfg.pairing == PairingMode::MutuallyNearest {
+                for p in mutually_furthest(bu, bv) {
+                    if pairs
+                        .iter()
+                        .any(|q| q.e_idx == p.e_idx && q.i_idx == p.i_idx)
+                    {
+                        continue;
+                    }
+                    let delta = self.contribution(w, bu, bv, &p, norm, stats);
+                    if delta < 0.0 {
+                        total += delta;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// One bin pair's weighted proximity contribution.
+    fn contribution(
+        &self,
+        w: crate::window::WindowIdx,
+        bu: &[(geocell::CellId, u32)],
+        bv: &[(geocell::CellId, u32)],
+        p: &BinPair,
+        norm: f64,
+        stats: &mut LinkageStats,
+    ) -> f64 {
+        if is_alibi(p.dist_m, self.runaway_m) {
+            stats.alibi_pairs += 1;
+        }
+        let prox = proximity_of_distance(p.dist_m, self.runaway_m);
+        let idf = if self.cfg.use_idf {
+            let idf_e = self.left.idf(w, bu[p.e_idx].0);
+            let idf_i = self.right.idf(w, bv[p.i_idx].0);
+            idf_e.min(idf_i)
+        } else {
+            1.0
+        };
+        prox * idf / norm
+    }
+}
+
+/// Iterates window indices present in both histories, ascending.
+pub fn common_windows<'h>(
+    a: &'h MobilityHistory,
+    b: &'h MobilityHistory,
+) -> impl Iterator<Item = crate::window::WindowIdx> + 'h {
+    // Merge-intersect two sorted streams.
+    let mut ita = a.windows().peekable();
+    let mut itb = b.windows().peekable();
+    std::iter::from_fn(move || loop {
+        let (&wa, &wb) = (ita.peek()?, itb.peek()?);
+        match wa.cmp(&wb) {
+            std::cmp::Ordering::Less => {
+                ita.next();
+            }
+            std::cmp::Ordering::Greater => {
+                itb.next();
+            }
+            std::cmp::Ordering::Equal => {
+                ita.next();
+                itb.next();
+                return Some(wa);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LocationDataset;
+    use crate::record::{Record, Timestamp};
+    use crate::window::WindowScheme;
+    use geocell::LatLng;
+
+    const LEVEL: u8 = 12;
+    const DOMAIN: u32 = 32;
+
+    fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
+        Record::new(EntityId(e), LatLng::from_degrees(lat, lng), Timestamp(t))
+    }
+
+    fn sets(left: Vec<Record>, right: Vec<Record>) -> (HistorySet, HistorySet) {
+        let scheme = WindowScheme::new(Timestamp(0), 900);
+        let l = HistorySet::build(&LocationDataset::from_records(left), scheme, LEVEL, DOMAIN);
+        let r = HistorySet::build(&LocationDataset::from_records(right), scheme, LEVEL, DOMAIN);
+        (l, r)
+    }
+
+    fn cfg() -> SlimConfig {
+        SlimConfig::default()
+    }
+
+    /// Background entities in remote, mutually distant cells. Without
+    /// them, `|U| = df` for every bin and the idf term (Eq. 3) zeroes all
+    /// contributions — correct behaviour, but it would make single-pair
+    /// tests vacuous.
+    fn fillers(base_id: u64) -> Vec<Record> {
+        (0..4)
+            .flat_map(|k| {
+                let lat = -40.0 + 3.0 * k as f64;
+                vec![
+                    rec(base_id + k, 0, lat, 150.0),
+                    rec(base_id + k, 5000, lat, 150.2),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_score_positive() {
+        let mut trace = vec![
+            rec(1, 0, 37.0, -122.0),
+            rec(1, 1000, 37.1, -122.1),
+            rec(1, 2000, 37.2, -122.2),
+        ];
+        let mut other: Vec<Record> = trace
+            .iter()
+            .map(|r| Record::new(EntityId(2), r.location, r.time))
+            .collect();
+        trace.extend(fillers(500));
+        other.extend(fillers(600));
+        let (l, r) = sets(trace, other);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        let s = scorer.score(EntityId(1), EntityId(2), &mut stats).unwrap();
+        assert!(s > 0.0, "score {s}");
+        assert_eq!(stats.scored_entity_pairs, 1);
+        assert_eq!(stats.alibi_pairs, 0);
+        assert!(stats.record_pair_comparisons >= 3);
+    }
+
+    #[test]
+    fn disjoint_windows_score_zero() {
+        // Activity in different windows: temporal asynchrony must NOT be
+        // penalized (desired property 2) — the score is exactly 0.
+        let left = vec![rec(1, 0, 37.0, -122.0)];
+        let right = vec![rec(2, 10_000, 10.0, 10.0)];
+        let (l, r) = sets(left, right);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        let s = scorer.score(EntityId(1), EntityId(2), &mut stats).unwrap();
+        assert_eq!(s, 0.0);
+        assert_eq!(stats.bin_pair_comparisons, 0);
+    }
+
+    #[test]
+    fn alibi_pairs_score_negative() {
+        // Same window, ~400 km apart with a 30 km runaway: strong alibi.
+        let mut left = vec![rec(1, 0, 37.0, -122.0)];
+        let mut right = vec![rec(2, 10, 37.0, -117.0)];
+        left.extend(fillers(500));
+        right.extend(fillers(600));
+        let (l, r) = sets(left, right);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        let s = scorer.score(EntityId(1), EntityId(2), &mut stats).unwrap();
+        assert!(s < 0.0, "score {s}");
+        assert!(stats.alibi_pairs >= 1);
+    }
+
+    #[test]
+    fn mfn_pass_catches_hidden_alibi() {
+        // Paper's example: v has a close bin AND a far (alibi) bin in the
+        // same window. With MFN the score must drop.
+        let base = LatLng::from_degrees(37.0, -122.0);
+        let near = base.offset(2_000.0, 1.0);
+        let far = base.offset(120_000.0, 2.0);
+        let mut left = vec![rec(1, 0, base.lat_deg(), base.lng_deg())];
+        let mut right = vec![
+            rec(2, 10, near.lat_deg(), near.lng_deg()),
+            rec(2, 20, far.lat_deg(), far.lng_deg()),
+        ];
+        left.extend(fillers(500));
+        right.extend(fillers(600));
+        let (l, r) = sets(left.clone(), right.clone());
+
+        let mut with_mfn = cfg();
+        with_mfn.use_mfn = true;
+        let mut without_mfn = cfg();
+        without_mfn.use_mfn = false;
+
+        let mut stats = LinkageStats::default();
+        let s_with = SimilarityScorer::new(&with_mfn, &l, &r)
+            .score(EntityId(1), EntityId(2), &mut stats)
+            .unwrap();
+        let s_without = SimilarityScorer::new(&without_mfn, &l, &r)
+            .score(EntityId(1), EntityId(2), &mut stats)
+            .unwrap();
+        assert!(
+            s_with < s_without,
+            "MFN must lower the score: {s_with} vs {s_without}"
+        );
+    }
+
+    #[test]
+    fn idf_awards_rare_bins() {
+        // Entity pair matching in a crowded bin scores lower than a pair
+        // matching in a unique bin.
+        // Both scenarios have 21 left entities; in the crowded one the
+        // probe's bin is shared by all, in the unique one by nobody else.
+        let crowded: Vec<Record> = (0..20)
+            .map(|e| rec(e, 0, 37.0, -122.0))
+            .chain([rec(100, 0, 37.0, -122.0)])
+            .collect();
+        let unique: Vec<Record> = (1..=20)
+            .map(|e| rec(e, 0, -40.0 + e as f64, 150.0))
+            .chain([rec(100, 0, 10.0, 10.0)])
+            .collect();
+
+        // Crowded scenario.
+        let (l1, r1) = sets(crowded, vec![rec(200, 0, 37.0, -122.0), rec(201, 0, -10.0, 30.0)]);
+        // Unique scenario (same structure, probe bin unshared).
+        let (l2, r2) = sets(unique, vec![rec(200, 0, 10.0, 10.0), rec(201, 0, -10.0, 30.0)]);
+        let c = cfg();
+        let mut stats = LinkageStats::default();
+        let s_crowded = SimilarityScorer::new(&c, &l1, &r1)
+            .score(EntityId(100), EntityId(200), &mut stats)
+            .unwrap();
+        let s_unique = SimilarityScorer::new(&c, &l2, &r2)
+            .score(EntityId(100), EntityId(200), &mut stats)
+            .unwrap();
+        assert!(
+            s_unique > s_crowded,
+            "unique bin {s_unique} must beat crowded bin {s_crowded}"
+        );
+    }
+
+    #[test]
+    fn normalization_penalizes_long_histories() {
+        // Two candidate left entities match the right entity equally well
+        // in one window, but one has a much longer history. With
+        // normalization on, the long history scores lower.
+        let mut records = vec![rec(1, 0, 37.0, -122.0), rec(2, 0, 37.0, -122.0)];
+        for k in 0..20 {
+            records.push(rec(2, 900 * (k + 2), 36.0 + k as f64 * 0.01, -121.0));
+        }
+        records.extend(fillers(500));
+        let mut right = vec![rec(9, 0, 37.0, -122.0)];
+        right.extend(fillers(600));
+        let (l, r) = sets(records, right);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        let s_short = scorer.score(EntityId(1), EntityId(9), &mut stats).unwrap();
+        let s_long = scorer.score(EntityId(2), EntityId(9), &mut stats).unwrap();
+        assert!(
+            s_short > s_long,
+            "short history {s_short} must beat long {s_long}"
+        );
+    }
+
+    #[test]
+    fn all_pairs_mode_counts_every_combination() {
+        let left = vec![rec(1, 0, 37.0, -122.0), rec(1, 10, 37.3, -122.3)];
+        let right = vec![rec(2, 0, 37.0, -122.0), rec(2, 10, 37.6, -122.6)];
+        let (l, r) = sets(left, right);
+        let mut c = cfg();
+        c.pairing = PairingMode::AllPairs;
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        let _ = scorer.score(EntityId(1), EntityId(2), &mut stats).unwrap();
+        assert_eq!(stats.bin_pair_comparisons, 4);
+    }
+
+    #[test]
+    fn missing_entity_returns_none() {
+        let (l, r) = sets(vec![rec(1, 0, 37.0, -122.0)], vec![rec(2, 0, 37.0, -122.0)]);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let mut stats = LinkageStats::default();
+        assert!(scorer.score(EntityId(99), EntityId(2), &mut stats).is_none());
+    }
+
+    #[test]
+    fn score_is_symmetric_for_mirrored_inputs() {
+        let trace_a = vec![rec(1, 0, 37.0, -122.0), rec(1, 1000, 37.2, -122.2)];
+        let trace_b = vec![rec(2, 0, 37.05, -122.05), rec(2, 1000, 37.25, -122.25)];
+        let (l, r) = sets(trace_a.clone(), trace_b.clone());
+        let (l2, r2) = sets(trace_b, trace_a);
+        let c = cfg();
+        let mut stats = LinkageStats::default();
+        let s1 = SimilarityScorer::new(&c, &l, &r)
+            .score(EntityId(1), EntityId(2), &mut stats)
+            .unwrap();
+        let s2 = SimilarityScorer::new(&c, &l2, &r2)
+            .score(EntityId(2), EntityId(1), &mut stats)
+            .unwrap();
+        assert!((s1 - s2).abs() < 1e-9, "{s1} vs {s2}");
+    }
+}

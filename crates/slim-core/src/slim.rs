@@ -1,0 +1,378 @@
+//! The SLIM linkage pipeline (paper Alg. 1 + §3.2).
+//!
+//! ```text
+//! datasets → mobility histories → (optional candidate filter)
+//!          → pairwise similarity → bipartite matching
+//!          → GMM stop threshold → links
+//! ```
+//!
+//! The candidate filter is injected as a plain list of entity pairs so
+//! the LSH crate (and any other blocking scheme) can plug in without a
+//! dependency cycle; `None` means brute-force all pairs.
+
+use std::time::{Duration, Instant};
+
+use crate::config::SlimConfig;
+use crate::dataset::LocationDataset;
+use crate::history::HistorySet;
+use crate::config::MatchingMethod;
+use crate::matching::{exact_max_matching, greedy_max_matching, Edge};
+use crate::record::EntityId;
+use crate::similarity::SimilarityScorer;
+use crate::stats::LinkageStats;
+use crate::threshold::{select_threshold, StopThreshold};
+use crate::window::WindowScheme;
+
+/// Everything a linkage run produces.
+#[derive(Debug, Clone)]
+pub struct LinkageOutput {
+    /// Final links: matched edges at or above the stop threshold.
+    pub links: Vec<Edge>,
+    /// The full matching before thresholding (paper: "full matching").
+    pub matching: Vec<Edge>,
+    /// Number of positive-score edges in the bipartite graph.
+    pub num_edges: usize,
+    /// The selected stop threshold, if one was identifiable.
+    pub threshold: Option<StopThreshold>,
+    /// Work counters.
+    pub stats: LinkageStats,
+    /// Wall time of scoring + matching + thresholding.
+    pub elapsed: Duration,
+}
+
+/// Histories and configuration prepared for (possibly repeated) linkage.
+pub struct PreparedLinkage {
+    cfg: SlimConfig,
+    left: HistorySet,
+    right: HistorySet,
+}
+
+/// The SLIM algorithm, parameterized by a [`SlimConfig`].
+#[derive(Debug, Clone)]
+pub struct Slim {
+    cfg: SlimConfig,
+}
+
+impl Slim {
+    /// Creates the pipeline after validating the configuration.
+    pub fn new(cfg: SlimConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SlimConfig {
+        &self.cfg
+    }
+
+    /// Builds mobility histories for both datasets over a shared window
+    /// scheme. Entities with too few records are dropped here (paper
+    /// §5.1).
+    pub fn prepare(&self, left: &LocationDataset, right: &LocationDataset) -> PreparedLinkage {
+        let mut left = left.clone();
+        let mut right = right.clone();
+        left.filter_min_records(self.cfg.min_records);
+        right.filter_min_records(self.cfg.min_records);
+
+        let span = |d: &LocationDataset| d.time_span();
+        let (lo, hi) = match (span(&left), span(&right)) {
+            (Some((l0, l1)), Some((r0, r1))) => (l0.min(r0), l1.max(r1)),
+            (Some(s), None) | (None, Some(s)) => s,
+            (None, None) => (crate::record::Timestamp(0), crate::record::Timestamp(0)),
+        };
+        let scheme = WindowScheme::new(lo, self.cfg.window_width_secs);
+        let domain = scheme.num_windows(hi);
+        let left_hs = HistorySet::build(&left, scheme, self.cfg.spatial_level, domain);
+        let right_hs = HistorySet::build(&right, scheme, self.cfg.spatial_level, domain);
+        PreparedLinkage {
+            cfg: self.cfg,
+            left: left_hs,
+            right: right_hs,
+        }
+    }
+
+    /// End-to-end linkage with brute-force candidate generation.
+    pub fn link(&self, left: &LocationDataset, right: &LocationDataset) -> LinkageOutput {
+        self.prepare(left, right).link()
+    }
+
+    /// End-to-end linkage over an explicit candidate pair list (e.g. the
+    /// output of the LSH filter).
+    pub fn link_with_candidates(
+        &self,
+        left: &LocationDataset,
+        right: &LocationDataset,
+        candidates: &[(EntityId, EntityId)],
+    ) -> LinkageOutput {
+        self.prepare(left, right).link_with_candidates(candidates)
+    }
+}
+
+impl PreparedLinkage {
+    /// The left (first dataset) history set.
+    pub fn left(&self) -> &HistorySet {
+        &self.left
+    }
+
+    /// The right (second dataset) history set.
+    pub fn right(&self) -> &HistorySet {
+        &self.right
+    }
+
+    /// All cross-dataset entity pairs (brute force).
+    pub fn all_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        let ls = self.left.entities_sorted();
+        let rs = self.right.entities_sorted();
+        let mut out = Vec::with_capacity(ls.len() * rs.len());
+        for &u in &ls {
+            for &v in &rs {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// Brute-force linkage.
+    pub fn link(&self) -> LinkageOutput {
+        let pairs = self.all_pairs();
+        self.link_with_candidates(&pairs)
+    }
+
+    /// Scores the given candidate pairs (in parallel), builds the
+    /// bipartite graph, matches greedily, and applies the stop threshold.
+    pub fn link_with_candidates(&self, candidates: &[(EntityId, EntityId)]) -> LinkageOutput {
+        let start = Instant::now();
+        let (edges, stats) = self.score_pairs(candidates);
+        let matching = match self.cfg.matching_method {
+            MatchingMethod::Greedy => greedy_max_matching(&edges),
+            MatchingMethod::HungarianExact => exact_max_matching(&edges),
+        };
+        let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
+        let threshold = select_threshold(&weights, self.cfg.threshold_method);
+        let links = match &threshold {
+            Some(t) => matching
+                .iter()
+                .filter(|e| e.weight >= t.threshold)
+                .copied()
+                .collect(),
+            None => matching.clone(),
+        };
+        LinkageOutput {
+            links,
+            num_edges: edges.len(),
+            matching,
+            threshold,
+            stats,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Computes similarity scores for candidate pairs, keeping only
+    /// positive-score edges (paper: "If the score is negative, no edges
+    /// are added to the graph"). Work is split over all available cores.
+    pub fn score_pairs(&self, candidates: &[(EntityId, EntityId)]) -> (Vec<Edge>, LinkageStats) {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(candidates.len().max(1));
+        let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+        let scorer = SimilarityScorer::new(&self.cfg, &self.left, &self.right);
+
+        let results: Vec<(Vec<Edge>, LinkageStats)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| {
+                    let scorer = &scorer;
+                    s.spawn(move |_| {
+                        let mut local_stats = LinkageStats::default();
+                        let mut local_edges = Vec::new();
+                        for &(u, v) in part {
+                            if let Some(score) = scorer.score(u, v, &mut local_stats) {
+                                if score > 0.0 {
+                                    local_edges.push(Edge {
+                                        left: u,
+                                        right: v,
+                                        weight: score,
+                                    });
+                                }
+                            }
+                        }
+                        (local_edges, local_stats)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("scoring threads must not panic");
+
+        let mut edges = Vec::new();
+        let mut stats = LinkageStats::default();
+        for (mut e, s) in results {
+            edges.append(&mut e);
+            stats.merge(&s);
+        }
+        // Deterministic order regardless of thread interleaving.
+        edges.sort_by_key(|a| (a.left, a.right));
+        (edges, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThresholdMethod;
+    use crate::record::{Record, Timestamp};
+    use geocell::LatLng;
+
+    /// Builds two views of `n` entities; entities 0..common exist in both
+    /// (with jittered records), the rest are distinct.
+    fn two_views(n: u64, common: u64) -> (LocationDataset, LocationDataset) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in 0..n {
+            let anchor = LatLng::from_degrees(37.0 + 0.02 * e as f64, -122.0 - 0.015 * e as f64);
+            for k in 0..30i64 {
+                let pos = anchor.offset(300.0 * ((k % 4) as f64), k as f64);
+                left.push(Record::new(EntityId(e), pos, Timestamp(k * 900 + 30)));
+                if e < common {
+                    // Same entity seen by the other service, asynchronously.
+                    let pos2 = anchor.offset(300.0 * ((k % 4) as f64) + 40.0, k as f64 + 0.1);
+                    right.push(Record::new(EntityId(1000 + e), pos2, Timestamp(k * 900 + 400)));
+                }
+            }
+            if e >= common {
+                // Right-only entity in a different neighbourhood.
+                let anchor2 =
+                    LatLng::from_degrees(36.0 - 0.02 * e as f64, -121.0 + 0.01 * e as f64);
+                for k in 0..30i64 {
+                    let pos = anchor2.offset(250.0 * ((k % 3) as f64), k as f64 * 0.5);
+                    right.push(Record::new(EntityId(1000 + e), pos, Timestamp(k * 900 + 200)));
+                }
+            }
+        }
+        (
+            LocationDataset::from_records(left),
+            LocationDataset::from_records(right),
+        )
+    }
+
+    #[test]
+    fn links_common_entities() {
+        let (l, r) = two_views(10, 6);
+        let slim = Slim::new(SlimConfig::default()).unwrap();
+        let out = slim.link(&l, &r);
+        assert!(!out.links.is_empty());
+        // Every surviving link must be a true pair (e ↔ 1000 + e).
+        for link in &out.links {
+            assert_eq!(
+                link.right.0,
+                1000 + link.left.0,
+                "false link {:?}",
+                link
+            );
+        }
+        assert!(crate::matching::is_valid_matching(&out.links));
+        // The full matching must rank all six true pairs above any false
+        // pair (the GMM threshold on such a tiny sample may prune
+        // conservatively, which is why `links` is only checked for purity).
+        let mut by_weight = out.matching.clone();
+        by_weight.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        for link in by_weight.iter().take(6) {
+            assert_eq!(link.right.0, 1000 + link.left.0, "true pairs must rank first");
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_matching() {
+        let (l, r) = two_views(12, 6);
+        let slim = Slim::new(SlimConfig::default()).unwrap();
+        let out = slim.link(&l, &r);
+        assert!(out.links.len() <= out.matching.len());
+        if let Some(t) = &out.threshold {
+            for link in &out.links {
+                assert!(link.weight >= t.threshold);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_filter_restricts_scoring() {
+        let (l, r) = two_views(8, 8);
+        let cfg = SlimConfig {
+            threshold_method: ThresholdMethod::None,
+            ..SlimConfig::default()
+        };
+        let slim = Slim::new(cfg).unwrap();
+        let prepared = slim.prepare(&l, &r);
+        let candidates: Vec<_> = (0..8u64).map(|e| (EntityId(e), EntityId(1000 + e))).collect();
+        let out = prepared.link_with_candidates(&candidates);
+        assert_eq!(out.stats.scored_entity_pairs, 8);
+        assert_eq!(out.links.len(), 8);
+    }
+
+    #[test]
+    fn no_threshold_method_keeps_matching() {
+        let (l, r) = two_views(6, 3);
+        let cfg = SlimConfig {
+            threshold_method: ThresholdMethod::None,
+            ..SlimConfig::default()
+        };
+        let out = Slim::new(cfg).unwrap().link(&l, &r);
+        assert_eq!(out.links.len(), out.matching.len());
+        assert!(out.threshold.is_none());
+    }
+
+    #[test]
+    fn empty_datasets_produce_empty_output() {
+        let empty = LocationDataset::from_records(Vec::new());
+        let slim = Slim::new(SlimConfig::default()).unwrap();
+        let out = slim.link(&empty, &empty);
+        assert!(out.links.is_empty());
+        assert_eq!(out.num_edges, 0);
+    }
+
+    #[test]
+    fn min_records_filter_applies() {
+        let (l, mut r_records) = {
+            let (l, r) = two_views(4, 4);
+            (l, r)
+        };
+        // Add a right entity with only 2 records: must be ignored.
+        let sparse = vec![
+            Record::new(EntityId(2000), LatLng::from_degrees(37.0, -122.0), Timestamp(0)),
+            Record::new(EntityId(2000), LatLng::from_degrees(37.0, -122.0), Timestamp(900)),
+        ];
+        let mut recs: Vec<Record> = Vec::new();
+        for e in r_records.entities_sorted() {
+            recs.extend_from_slice(r_records.records_of(e));
+        }
+        recs.extend(sparse);
+        r_records = LocationDataset::from_records(recs);
+        let slim = Slim::new(SlimConfig::default()).unwrap();
+        let prepared = slim.prepare(&l, &r_records);
+        assert!(prepared.right().history(EntityId(2000)).is_none());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = SlimConfig {
+            b: 2.0,
+            ..SlimConfig::default()
+        };
+        assert!(Slim::new(cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (l, r) = two_views(9, 5);
+        let slim = Slim::new(SlimConfig::default()).unwrap();
+        let a = slim.link(&l, &r);
+        let b = slim.link(&l, &r);
+        assert_eq!(a.links.len(), b.links.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!(x.left, y.left);
+            assert_eq!(x.right, y.right);
+            assert!((x.weight - y.weight).abs() < 1e-12);
+        }
+    }
+}

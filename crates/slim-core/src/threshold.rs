@@ -1,0 +1,282 @@
+//! Automated stop-threshold selection (paper §3.2).
+//!
+//! After the full bipartite matching, SLIM prunes the matched edges below
+//! a score threshold chosen *without ground truth*: a two-component GMM is
+//! fitted over the matched edge weights; treating the higher-mean
+//! component as true positives yields expected precision/recall/F1 as
+//! functions of the threshold, and the threshold maximizing expected F1
+//! is selected. Otsu and 2-means alternates are provided (the paper
+//! reports they behave similarly).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ThresholdMethod;
+use crate::gmm::Gmm2;
+
+/// Result of a stop-threshold selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopThreshold {
+    /// The selected score threshold; links with scores strictly below it
+    /// are dropped.
+    pub threshold: f64,
+    /// Expected precision at the threshold (GMM method only, else NaN).
+    pub expected_precision: f64,
+    /// Expected recall at the threshold (GMM method only, else NaN).
+    pub expected_recall: f64,
+    /// Expected F1 at the threshold (GMM method only, else NaN).
+    pub expected_f1: f64,
+}
+
+/// Number of candidate thresholds in the grid search.
+const GRID: usize = 512;
+
+/// Selects the stop threshold for the given matched-edge scores. Returns
+/// `None` when the method cannot produce a threshold (too few scores or a
+/// degenerate distribution) — callers then keep every link, which matches
+/// the paper's behaviour of thresholding being a *refinement*.
+pub fn select_threshold(scores: &[f64], method: ThresholdMethod) -> Option<StopThreshold> {
+    match method {
+        ThresholdMethod::None => None,
+        ThresholdMethod::GmmExpectedF1 => gmm_expected_f1(scores),
+        ThresholdMethod::Otsu => otsu(scores).map(plain),
+        ThresholdMethod::TwoMeans => two_means(scores).map(plain),
+    }
+}
+
+fn plain(threshold: f64) -> StopThreshold {
+    StopThreshold {
+        threshold,
+        expected_precision: f64::NAN,
+        expected_recall: f64::NAN,
+        expected_f1: f64::NAN,
+    }
+}
+
+/// Expected precision/recall/F1 under a fitted GMM, at threshold `s`
+/// (paper §3.2): `R(s) = c₂(1 − F₂(s))`,
+/// `P(s) = R(s) / (R(s) + c₁(1 − F₁(s)))`.
+pub fn expected_metrics(gmm: &Gmm2, s: f64) -> (f64, f64, f64) {
+    let recall_mass = gmm.high.weight * (1.0 - gmm.high.cdf(s));
+    let fp_mass = gmm.low.weight * (1.0 - gmm.low.cdf(s));
+    // Normalize recall by the total true-positive mass so R(−∞) = 1.
+    let recall = if gmm.high.weight > 0.0 {
+        recall_mass / gmm.high.weight
+    } else {
+        0.0
+    };
+    let precision = if recall_mass + fp_mass > 0.0 {
+        recall_mass / (recall_mass + fp_mass)
+    } else {
+        1.0
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}
+
+fn gmm_expected_f1(scores: &[f64]) -> Option<StopThreshold> {
+    let gmm = Gmm2::fit(scores)?;
+    let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+        return None;
+    }
+    let mut best = None::<StopThreshold>;
+    for k in 0..=GRID {
+        let s = lo + (hi - lo) * k as f64 / GRID as f64;
+        let (p, r, f1) = expected_metrics(&gmm, s);
+        if best.map(|b| f1 > b.expected_f1).unwrap_or(true) {
+            best = Some(StopThreshold {
+                threshold: s,
+                expected_precision: p,
+                expected_recall: r,
+                expected_f1: f1,
+            });
+        }
+    }
+    best
+}
+
+/// Otsu's method: the threshold maximizing between-class variance on a
+/// 256-bucket histogram of the scores.
+pub fn otsu(scores: &[f64]) -> Option<f64> {
+    const BINS: usize = 256;
+    if scores.len() < 2 {
+        return None;
+    }
+    let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+        return None;
+    }
+    let width = (hi - lo) / BINS as f64;
+    let mut hist = [0u64; BINS];
+    for &s in scores {
+        let b = (((s - lo) / width) as usize).min(BINS - 1);
+        hist[b] += 1;
+    }
+    let total = scores.len() as f64;
+    let total_mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum::<f64>()
+        / total;
+    let (mut w0, mut sum0) = (0.0f64, 0.0f64);
+    let mut best = (0.0f64, 0usize);
+    for (i, &c) in hist.iter().enumerate().take(BINS - 1) {
+        w0 += c as f64;
+        sum0 += i as f64 * c as f64;
+        if w0 == 0.0 || w0 == total {
+            continue;
+        }
+        let w1 = total - w0;
+        let m0 = sum0 / w0;
+        let m1 = (total_mean * total - sum0) / w1;
+        let between = w0 * w1 * (m0 - m1).powi(2);
+        if between > best.0 {
+            best = (between, i);
+        }
+    }
+    if best.0 == 0.0 {
+        return None;
+    }
+    Some(lo + (best.1 as f64 + 1.0) * width)
+}
+
+/// 1-D 2-means: Lloyd's algorithm from extremal seeds; the threshold is
+/// the midpoint of the final centroids.
+pub fn two_means(scores: &[f64]) -> Option<f64> {
+    if scores.len() < 2 {
+        return None;
+    }
+    let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+        return None;
+    }
+    let (mut c0, mut c1) = (lo, hi);
+    for _ in 0..100 {
+        let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0u64, 0.0, 0u64);
+        for &x in scores {
+            if (x - c0).abs() <= (x - c1).abs() {
+                s0 += x;
+                n0 += 1;
+            } else {
+                s1 += x;
+                n1 += 1;
+            }
+        }
+        if n0 == 0 || n1 == 0 {
+            break;
+        }
+        let (new0, new1) = (s0 / n0 as f64, s1 / n1 as f64);
+        if (new0 - c0).abs() < 1e-12 && (new1 - c1).abs() < 1e-12 {
+            c0 = new0;
+            c1 = new1;
+            break;
+        }
+        c0 = new0;
+        c1 = new1;
+    }
+    Some((c0 + c1) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    fn bimodal(seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<f64> = (0..400).map(|_| normal(&mut rng, 100.0, 30.0)).collect();
+        v.extend((0..400).map(|_| normal(&mut rng, 1000.0, 150.0)));
+        v
+    }
+
+    #[test]
+    fn gmm_threshold_separates_modes() {
+        let scores = bimodal(1);
+        let t = select_threshold(&scores, ThresholdMethod::GmmExpectedF1).unwrap();
+        assert!(
+            t.threshold > 200.0 && t.threshold < 900.0,
+            "threshold {}",
+            t.threshold
+        );
+        assert!(t.expected_f1 > 0.95);
+        assert!(t.expected_precision > 0.9);
+        assert!(t.expected_recall > 0.9);
+    }
+
+    #[test]
+    fn otsu_threshold_separates_modes() {
+        let scores = bimodal(2);
+        let t = otsu(&scores).unwrap();
+        assert!(t > 200.0 && t < 900.0, "otsu threshold {t}");
+    }
+
+    #[test]
+    fn two_means_threshold_separates_modes() {
+        let scores = bimodal(3);
+        let t = two_means(&scores).unwrap();
+        assert!(t > 200.0 && t < 900.0, "2-means threshold {t}");
+    }
+
+    #[test]
+    fn methods_roughly_agree() {
+        let scores = bimodal(4);
+        let g = select_threshold(&scores, ThresholdMethod::GmmExpectedF1)
+            .unwrap()
+            .threshold;
+        let o = otsu(&scores).unwrap();
+        let k = two_means(&scores).unwrap();
+        // The paper observes similar behaviour across the three; allow a
+        // generous band between the modes.
+        for t in [g, o, k] {
+            assert!(t > 150.0 && t < 950.0, "method disagreement: {g} {o} {k}");
+        }
+    }
+
+    #[test]
+    fn none_method_returns_none() {
+        assert!(select_threshold(&bimodal(5), ThresholdMethod::None).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        for m in [
+            ThresholdMethod::GmmExpectedF1,
+            ThresholdMethod::Otsu,
+            ThresholdMethod::TwoMeans,
+        ] {
+            assert!(select_threshold(&[], m).is_none());
+            assert!(select_threshold(&[5.0], m).is_none());
+            assert!(select_threshold(&[2.0, 2.0, 2.0], m).is_none());
+        }
+    }
+
+    #[test]
+    fn expected_metrics_limits() {
+        let gmm = Gmm2::fit(&bimodal(6)).unwrap();
+        // Below all data: recall 1.
+        let (_, r, _) = expected_metrics(&gmm, -1e9);
+        assert!((r - 1.0).abs() < 1e-9);
+        // Above all data: recall 0, precision defined as 1.
+        let (p, r, f1) = expected_metrics(&gmm, 1e9);
+        assert_eq!(r, 0.0);
+        assert!(p >= 0.0 && f1 == 0.0);
+        // Precision increases with s in a bimodal setting.
+        let (p_low, ..) = expected_metrics(&gmm, 150.0);
+        let (p_mid, ..) = expected_metrics(&gmm, 500.0);
+        assert!(p_mid >= p_low);
+    }
+}

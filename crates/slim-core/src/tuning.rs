@@ -1,0 +1,221 @@
+//! Spatial-level auto-tuning (paper §3.3) and Kneedle elbow detection.
+//!
+//! SLIM tunes the spatial grid level for a given temporal window without
+//! labeled data: on a sample of entity pairs *within one dataset*, it
+//! computes the average ratio of pair similarity to self-similarity at
+//! increasing spatial detail. The ratio falls as detail increases and
+//! flattens past the useful level; the best trade-off point (elbow) of
+//! the curve, found with the Kneedle algorithm, is the chosen level.
+//! Repeating for both datasets, the linkage uses the larger elbow level.
+
+use crate::config::SlimConfig;
+use crate::dataset::LocationDataset;
+use crate::history::HistorySet;
+use crate::similarity::SimilarityScorer;
+use crate::stats::LinkageStats;
+use crate::window::WindowScheme;
+
+/// Kneedle elbow detection (Satopaa et al., 2011) for a curve sampled at
+/// `xs` (ascending) with values `ys`. Handles the two shapes SLIM needs:
+/// decreasing-convex curves (`decreasing = true`) and increasing-concave
+/// curves (`decreasing = false`). Returns the index of the elbow, or
+/// `None` for fewer than 3 points or a flat curve.
+pub fn kneedle(xs: &[f64], ys: &[f64], decreasing: bool) -> Option<usize> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let n = xs.len();
+    if n < 3 {
+        return None;
+    }
+    let (x0, x1) = (xs[0], xs[n - 1]);
+    let ymin = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let ymax = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if x1 <= x0 || ymax <= ymin {
+        return None;
+    }
+    // Normalize to the unit square; flip decreasing curves so both shapes
+    // become increasing-concave, where the elbow maximizes y_n − x_n.
+    let mut best: Option<(f64, usize)> = None;
+    for i in 0..n {
+        let xn = (xs[i] - x0) / (x1 - x0);
+        let mut yn = (ys[i] - ymin) / (ymax - ymin);
+        if decreasing {
+            yn = 1.0 - yn;
+        }
+        let diff = yn - xn;
+        if best.map(|(b, _)| diff > b).unwrap_or(true) {
+            best = Some((diff, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// The distinguishability measure of §3.3 at one spatial level: the
+/// average over sampled pairs `(u, v)` of `S(u, v) / S(u, u)`. Lower
+/// means entities are easier to tell apart.
+pub fn pair_self_similarity_ratio(
+    dataset: &LocationDataset,
+    cfg: &SlimConfig,
+    level: u8,
+    sample: usize,
+) -> f64 {
+    let Some((lo, hi)) = dataset.time_span() else {
+        return 0.0;
+    };
+    let scheme = WindowScheme::new(lo, cfg.window_width_secs);
+    let domain = scheme.num_windows(hi);
+    let hs = HistorySet::build(dataset, scheme, level, domain);
+    let mut level_cfg = *cfg;
+    level_cfg.spatial_level = level;
+    let scorer = SimilarityScorer::new(&level_cfg, &hs, &hs);
+
+    // Deterministic sample: the first `sample` entities in sorted order,
+    // crossed with every other entity.
+    let entities = hs.entities_sorted();
+    let probes = &entities[..sample.min(entities.len())];
+    let mut stats = LinkageStats::default();
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for &u in probes {
+        let self_sim = scorer.score(u, u, &mut stats).unwrap_or(0.0);
+        for &v in &entities {
+            if v == u {
+                continue;
+            }
+            // A non-positive self-similarity means the level is too coarse
+            // to distinguish even an entity from itself (every bin shared
+            // by everyone has idf 0): report full indistinguishability.
+            let ratio = if self_sim <= 0.0 {
+                1.0
+            } else {
+                (scorer.score(u, v, &mut stats).unwrap_or(0.0) / self_sim).clamp(0.0, 1.0)
+            };
+            total += ratio;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Auto-tunes the spatial level for one dataset: evaluates the ratio
+/// curve over `levels` (ascending) and returns the elbow level. Falls
+/// back to the middle candidate when no elbow is detectable.
+pub fn auto_tune_spatial_level(
+    dataset: &LocationDataset,
+    cfg: &SlimConfig,
+    levels: &[u8],
+    sample: usize,
+) -> u8 {
+    assert!(!levels.is_empty(), "need at least one candidate level");
+    let xs: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+    let ys: Vec<f64> = levels
+        .iter()
+        .map(|&l| pair_self_similarity_ratio(dataset, cfg, l, sample))
+        .collect();
+    match kneedle(&xs, &ys, true) {
+        Some(i) => levels[i],
+        None => levels[levels.len() / 2],
+    }
+}
+
+/// Tunes both datasets and returns the larger elbow level, as the paper
+/// prescribes ("we use the higher elbow point as the spatial detail
+/// level of the linkage").
+pub fn auto_tune_linkage_level(
+    left: &LocationDataset,
+    right: &LocationDataset,
+    cfg: &SlimConfig,
+    levels: &[u8],
+    sample: usize,
+) -> u8 {
+    auto_tune_spatial_level(left, cfg, levels, sample)
+        .max(auto_tune_spatial_level(right, cfg, levels, sample))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EntityId, Record, Timestamp};
+    use geocell::LatLng;
+
+    #[test]
+    fn kneedle_finds_obvious_elbow() {
+        // Sharp decreasing hockey stick with elbow at x = 2.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [100.0, 50.0, 10.0, 8.0, 7.0, 6.5, 6.0];
+        let i = kneedle(&xs, &ys, true).unwrap();
+        assert!((1..=3).contains(&i), "elbow index {i}");
+    }
+
+    #[test]
+    fn kneedle_increasing_concave() {
+        // y = sqrt-like saturation; knee early.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x + 1.0).ln()).collect();
+        let i = kneedle(&xs, &ys, false).unwrap();
+        assert!(i < 5, "knee index {i}");
+    }
+
+    #[test]
+    fn kneedle_degenerate_inputs() {
+        assert!(kneedle(&[0.0, 1.0], &[1.0, 0.0], true).is_none());
+        assert!(kneedle(&[0.0, 1.0, 2.0], &[3.0, 3.0, 3.0], true).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn kneedle_length_mismatch_panics() {
+        let _ = kneedle(&[0.0, 1.0, 2.0], &[1.0], true);
+    }
+
+    /// Entities moving in distinct neighbourhoods: finer levels must make
+    /// them more distinguishable (lower ratio), flattening eventually.
+    fn synthetic_dataset() -> LocationDataset {
+        let mut records = Vec::new();
+        for e in 0..8u64 {
+            // Each entity orbits its own anchor ~5 km from the others.
+            let anchor = LatLng::from_degrees(37.0 + 0.05 * e as f64, -122.0);
+            for k in 0..40i64 {
+                let pos = anchor.offset(500.0 * ((k % 5) as f64), (k as f64) * 0.7);
+                records.push(Record::new(EntityId(e), pos, Timestamp(k * 900)));
+            }
+        }
+        LocationDataset::from_records(records)
+    }
+
+    #[test]
+    fn ratio_decreases_with_spatial_detail() {
+        let ds = synthetic_dataset();
+        let cfg = SlimConfig::default();
+        let coarse = pair_self_similarity_ratio(&ds, &cfg, 6, 4);
+        let fine = pair_self_similarity_ratio(&ds, &cfg, 14, 4);
+        assert!(
+            fine < coarse,
+            "expected ratio to fall with detail: coarse {coarse} fine {fine}"
+        );
+    }
+
+    #[test]
+    fn auto_tune_returns_candidate_level() {
+        let ds = synthetic_dataset();
+        let cfg = SlimConfig::default();
+        let levels = [6u8, 8, 10, 12, 14, 16];
+        let chosen = auto_tune_spatial_level(&ds, &cfg, &levels, 4);
+        assert!(levels.contains(&chosen));
+        // The elbow should not be the coarsest level for separable data.
+        assert!(chosen > 6, "chosen level {chosen}");
+    }
+
+    #[test]
+    fn linkage_level_takes_max_of_datasets() {
+        let ds = synthetic_dataset();
+        let cfg = SlimConfig::default();
+        let levels = [6u8, 8, 10, 12];
+        let l = auto_tune_linkage_level(&ds, &ds, &cfg, &levels, 3);
+        let single = auto_tune_spatial_level(&ds, &cfg, &levels, 3);
+        assert_eq!(l, single, "identical datasets must agree");
+    }
+}

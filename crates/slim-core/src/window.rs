@@ -1,0 +1,109 @@
+//! Temporal windowing.
+//!
+//! SLIM splits time into consecutive fixed-width windows (paper §2.3);
+//! window indices are the temporal half of a *time-location bin*. Both
+//! datasets being linked must use the same scheme, otherwise "same
+//! temporal window" is meaningless — the constructor of the linkage
+//! pipeline enforces that by sharing one `WindowScheme`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::Timestamp;
+
+/// Index of a temporal window within a [`WindowScheme`].
+pub type WindowIdx = u32;
+
+/// A partition of the time axis into consecutive windows of equal width,
+/// starting at `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowScheme {
+    origin: i64,
+    width_secs: i64,
+}
+
+impl WindowScheme {
+    /// Creates a scheme with the given origin timestamp and window width.
+    ///
+    /// # Panics
+    /// Panics if `width_secs` is not positive.
+    pub fn new(origin: Timestamp, width_secs: i64) -> Self {
+        assert!(width_secs > 0, "window width must be positive");
+        Self {
+            origin: origin.secs(),
+            width_secs,
+        }
+    }
+
+    /// Window width in seconds.
+    #[inline]
+    pub fn width_secs(&self) -> i64 {
+        self.width_secs
+    }
+
+    /// The window containing `t`. Timestamps before the origin map to
+    /// window 0 (callers are expected to pick `origin <= min(t)`).
+    #[inline]
+    pub fn window_of(&self, t: Timestamp) -> WindowIdx {
+        let delta = t.secs() - self.origin;
+        if delta < 0 {
+            0
+        } else {
+            (delta / self.width_secs) as WindowIdx
+        }
+    }
+
+    /// Inclusive start time of window `w`.
+    #[inline]
+    pub fn window_start(&self, w: WindowIdx) -> Timestamp {
+        Timestamp(self.origin + w as i64 * self.width_secs)
+    }
+
+    /// Number of windows needed to cover timestamps in `[origin, end]`.
+    pub fn num_windows(&self, end: Timestamp) -> u32 {
+        self.window_of(end) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_of_basics() {
+        let s = WindowScheme::new(Timestamp(1000), 60);
+        assert_eq!(s.window_of(Timestamp(1000)), 0);
+        assert_eq!(s.window_of(Timestamp(1059)), 0);
+        assert_eq!(s.window_of(Timestamp(1060)), 1);
+        assert_eq!(s.window_of(Timestamp(1000 + 60 * 99)), 99);
+    }
+
+    #[test]
+    fn before_origin_clamps_to_zero() {
+        let s = WindowScheme::new(Timestamp(1000), 60);
+        assert_eq!(s.window_of(Timestamp(0)), 0);
+    }
+
+    #[test]
+    fn window_start_inverts_window_of() {
+        let s = WindowScheme::new(Timestamp(500), 900);
+        for w in [0u32, 1, 7, 1000] {
+            let start = s.window_start(w);
+            assert_eq!(s.window_of(start), w);
+            assert_eq!(s.window_of(Timestamp(start.secs() + 899)), w);
+        }
+    }
+
+    #[test]
+    fn num_windows_covers_span() {
+        let s = WindowScheme::new(Timestamp(0), 900);
+        assert_eq!(s.num_windows(Timestamp(0)), 1);
+        assert_eq!(s.num_windows(Timestamp(899)), 1);
+        assert_eq!(s.num_windows(Timestamp(900)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = WindowScheme::new(Timestamp(0), 0);
+    }
+}

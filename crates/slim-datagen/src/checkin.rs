@@ -1,0 +1,261 @@
+//! Check-in generator — the SM (social-media) dataset stand-in.
+//!
+//! The paper's SM dataset joins Twitter and Foursquare check-ins:
+//! hundreds of thousands of users spread over the globe, each with only
+//! ~12 geotagged records over 26 days. We substitute a synthetic
+//! population: users live in one of many cities, own a small personal
+//! set of venues drawn Zipf-style from their city's venues (heavy-tailed
+//! venue popularity is what exercises the IDF term), and perform a
+//! handful of timed *stays* at those venues. Between stays their
+//! position is unknown (trajectory gaps) — check-in services only see
+//! people at venues.
+
+use geocell::LatLng;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use slim_core::Timestamp;
+
+use crate::rng::Zipf;
+use crate::trajectory::{Segment, Trajectory, World};
+
+/// Check-in world parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckinConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Simulation span in seconds (paper: 26 days).
+    pub span_secs: i64,
+    /// Number of cities across the globe.
+    pub num_cities: usize,
+    /// Venues per city.
+    pub venues_per_city: usize,
+    /// Zipf exponent of venue popularity inside a city.
+    pub venue_zipf: f64,
+    /// Venues a single user frequents (besides the home anchor).
+    pub venues_per_user: usize,
+    /// Probability a stay happens at the user's *home anchor* — a venue
+    /// drawn uniformly (not by popularity), giving each user a
+    /// distinctive rare location the way home/work anchors do in real
+    /// check-in data. This is what the IDF term keys on.
+    pub home_prob: f64,
+    /// Mean number of stays per user over the whole span.
+    pub mean_stays: f64,
+    /// Stay duration range, seconds.
+    pub stay_range_secs: (i64, i64),
+    /// City radius in metres.
+    pub city_radius_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CheckinConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 2_000,
+            span_secs: 26 * 24 * 3600,
+            num_cities: 40,
+            venues_per_city: 150,
+            venue_zipf: 1.0,
+            venues_per_user: 6,
+            home_prob: 0.45,
+            mean_stays: 40.0,
+            stay_range_secs: (1_200, 7_200),
+            city_radius_m: 8_000.0,
+            seed: 4242,
+        }
+    }
+}
+
+/// Generates the ground-truth world of check-in users.
+pub fn checkin_world(cfg: &CheckinConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Cities at mid-latitudes around the globe.
+    let cities: Vec<LatLng> = (0..cfg.num_cities.max(1))
+        .map(|_| {
+            LatLng::from_degrees(
+                rng.random_range(-55.0..65.0),
+                rng.random_range(-179.0..179.0),
+            )
+        })
+        .collect();
+    // Venues per city.
+    let venues: Vec<Vec<LatLng>> = cities
+        .iter()
+        .map(|c| {
+            (0..cfg.venues_per_city.max(1))
+                .map(|_| {
+                    let d = rng.random_range(0.0..cfg.city_radius_m);
+                    let bearing = rng.random_range(0.0..std::f64::consts::TAU);
+                    c.offset(d, bearing)
+                })
+                .collect()
+        })
+        .collect();
+    let venue_pick = Zipf::new(cfg.venues_per_city.max(1), cfg.venue_zipf);
+    let city_pick = Zipf::new(cfg.num_cities.max(1), 1.0); // big cities have more users
+
+    let mut entities = Vec::with_capacity(cfg.num_users);
+    for user in 0..cfg.num_users {
+        let city = city_pick.sample(&mut rng);
+        // Home anchor: uniform over the city's venues, so it is usually a
+        // long-tail venue few others frequent.
+        let home = venues[city][rng.random_range(0..venues[city].len())];
+        // The user's social venue set (may repeat popular venues; dedup).
+        let mut mine: Vec<LatLng> = (0..cfg.venues_per_user.max(1))
+            .map(|_| venues[city][venue_pick.sample(&mut rng)])
+            .collect();
+        mine.dedup_by(|a, b| a == b);
+
+        // Poisson-ish number of stays at random times.
+        let n_stays = {
+            let lambda = cfg.mean_stays.max(1.0);
+            // Normal approximation of Poisson is fine for λ ≥ 10 and
+            // harmless below (clamped at 1).
+            let x = crate::rng::normal(&mut rng, lambda, lambda.sqrt());
+            x.round().max(1.0) as usize
+        };
+        let mut starts: Vec<i64> = (0..n_stays)
+            .map(|_| rng.random_range(0..cfg.span_secs.max(1)))
+            .collect();
+        starts.sort_unstable();
+
+        let mut segments: Vec<Segment> = Vec::with_capacity(n_stays);
+        let mut prev_end = i64::MIN;
+        for s in starts {
+            if s < prev_end {
+                continue; // stays must not overlap
+            }
+            let dur = rng.random_range(cfg.stay_range_secs.0..=cfg.stay_range_secs.1);
+            let end = (s + dur).min(cfg.span_secs);
+            let venue = if rng.random_range(0.0..1.0) < cfg.home_prob {
+                home
+            } else {
+                mine[rng.random_range(0..mine.len())]
+            };
+            segments.push(Segment {
+                t0: Timestamp(s),
+                t1: Timestamp(end),
+                from: venue,
+                to: venue,
+            });
+            prev_end = end;
+        }
+        entities.push((user as u64, Trajectory::new(segments)));
+    }
+    World { entities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CheckinConfig {
+        CheckinConfig {
+            num_users: 30,
+            span_secs: 5 * 24 * 3600,
+            num_cities: 5,
+            venues_per_city: 40,
+            mean_stays: 20.0,
+            seed: 11,
+            ..CheckinConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_users() {
+        let w = checkin_world(&small());
+        assert_eq!(w.len(), 30);
+        for (_, t) in &w.entities {
+            assert!(!t.segments().is_empty());
+        }
+    }
+
+    #[test]
+    fn stays_are_stationary_with_gaps() {
+        let w = checkin_world(&small());
+        let mut saw_gap = false;
+        for (_, t) in &w.entities {
+            for s in t.segments() {
+                assert_eq!(s.from, s.to, "stays must not move");
+            }
+            if t.segments().len() >= 2 {
+                let a_end = t.segments()[0].t1;
+                let b_start = t.segments()[1].t0;
+                if b_start > a_end {
+                    saw_gap = true;
+                }
+            }
+        }
+        assert!(saw_gap, "check-in users should have gaps between stays");
+    }
+
+    #[test]
+    fn users_cluster_in_cities() {
+        let cfg = small();
+        let w = checkin_world(&cfg);
+        for (id, t) in &w.entities {
+            // All of one user's venues fit inside one city's diameter.
+            let first = t.segments()[0].from;
+            for s in t.segments() {
+                assert!(
+                    s.from.distance_m(&first) <= 2.0 * cfg.city_radius_m + 1.0,
+                    "user {id} spans multiple cities"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_record_counts() {
+        let cfg = small();
+        let w = checkin_world(&cfg);
+        let avg: f64 = w
+            .entities
+            .iter()
+            .map(|(_, t)| t.segments().len() as f64)
+            .sum::<f64>()
+            / w.len() as f64;
+        assert!(
+            avg > 5.0 && avg < 40.0,
+            "expected sparse check-ins, got avg {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = checkin_world(&small());
+        let b = checkin_world(&small());
+        for ((ia, ta), (ib, tb)) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(ia, ib);
+            assert_eq!(ta.segments(), tb.segments());
+        }
+    }
+
+    #[test]
+    fn venue_popularity_is_heavy_tailed() {
+        // Count distinct venues used across users of the biggest city:
+        // the most popular venue should host several users.
+        let cfg = CheckinConfig {
+            num_users: 200,
+            num_cities: 2,
+            ..small()
+        };
+        let w = checkin_world(&cfg);
+        let mut venue_users: std::collections::HashMap<(i64, i64), usize> =
+            std::collections::HashMap::new();
+        for (_, t) in &w.entities {
+            let mut seen = std::collections::HashSet::new();
+            for s in t.segments() {
+                let key = (
+                    (s.from.lat_deg() * 1e6) as i64,
+                    (s.from.lng_deg() * 1e6) as i64,
+                );
+                if seen.insert(key) {
+                    *venue_users.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        let max_users = venue_users.values().copied().max().unwrap();
+        assert!(max_users >= 5, "no popular venue emerged (max {max_users})");
+    }
+}

@@ -1,0 +1,261 @@
+//! Continuous ground-truth trajectories.
+//!
+//! Both workload generators produce, per entity, a *continuous* movement
+//! history: a sequence of timed segments (linear motion between two
+//! points, or a stay when the endpoints coincide), possibly with gaps in
+//! between (a check-in user "disappears" between venues). Location
+//! services observe these trajectories *asynchronously* — each service
+//! samples positions at its own times — which is exactly the asynchrony
+//! the SLIM similarity score must tolerate.
+
+use geocell::LatLng;
+use slim_core::Timestamp;
+
+/// One motion segment: linear interpolation from `from` (at `t0`) to
+/// `to` (at `t1`). A stay is a segment with `from == to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start time (inclusive).
+    pub t0: Timestamp,
+    /// Segment end time (inclusive).
+    pub t1: Timestamp,
+    /// Position at `t0`.
+    pub from: LatLng,
+    /// Position at `t1`.
+    pub to: LatLng,
+}
+
+impl Segment {
+    /// Position at time `t`, or `None` outside `[t0, t1]`.
+    pub fn position_at(&self, t: Timestamp) -> Option<LatLng> {
+        if t < self.t0 || t > self.t1 {
+            return None;
+        }
+        let dur = (self.t1.secs() - self.t0.secs()) as f64;
+        if dur <= 0.0 {
+            return Some(self.from);
+        }
+        let f = (t.secs() - self.t0.secs()) as f64 / dur;
+        Some(LatLng::from_degrees(
+            self.from.lat_deg() + f * (self.to.lat_deg() - self.from.lat_deg()),
+            self.from.lng_deg() + f * (self.to.lng_deg() - self.from.lng_deg()),
+        ))
+    }
+}
+
+/// A continuous (possibly gapped) trajectory: time-sorted, non-overlapping
+/// segments.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    segments: Vec<Segment>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory; segments are sorted by start time.
+    ///
+    /// # Panics
+    /// Panics if any segment has `t1 < t0` or overlaps its successor.
+    pub fn new(mut segments: Vec<Segment>) -> Self {
+        segments.sort_by_key(|s| s.t0);
+        for s in &segments {
+            assert!(s.t1 >= s.t0, "segment ends before it starts");
+        }
+        for w in segments.windows(2) {
+            assert!(
+                w[1].t0 >= w[0].t1,
+                "segments overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        Self { segments }
+    }
+
+    /// Position at `t`, or `None` if `t` falls into a gap or outside the
+    /// trajectory span. Binary search over segments.
+    pub fn position_at(&self, t: Timestamp) -> Option<LatLng> {
+        let idx = self.segments.partition_point(|s| s.t1 < t);
+        self.segments.get(idx).and_then(|s| s.position_at(t))
+    }
+
+    /// The `[start, end]` span, or `None` when empty.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(f), Some(l)) => Some((f.t0, l.t1)),
+            _ => None,
+        }
+    }
+
+    /// The segments (sorted by time).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Maximum speed over all moving segments, metres per second.
+    /// Generators use this to assert they respect a speed limit.
+    pub fn max_speed_m_per_s(&self) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.t1 > s.t0)
+            .map(|s| s.from.distance_m(&s.to) / (s.t1.secs() - s.t0.secs()) as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A ground-truth world: every entity's true continuous trajectory,
+/// keyed by a ground-truth entity id. Views sampled from the same world
+/// share these ids in their ground-truth mapping.
+#[derive(Debug, Clone, Default)]
+pub struct World {
+    /// `(ground truth id, trajectory)`, sorted by id.
+    pub entities: Vec<(u64, Trajectory)>,
+}
+
+impl World {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Joint time span of all trajectories.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut out: Option<(Timestamp, Timestamp)> = None;
+        for (_, t) in &self.entities {
+            if let Some((lo, hi)) = t.span() {
+                out = Some(match out {
+                    None => (lo, hi),
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ll(lat: f64, lng: f64) -> LatLng {
+        LatLng::from_degrees(lat, lng)
+    }
+
+    #[test]
+    fn segment_interpolates_linearly() {
+        let s = Segment {
+            t0: Timestamp(0),
+            t1: Timestamp(100),
+            from: ll(0.0, 0.0),
+            to: ll(1.0, 2.0),
+        };
+        let mid = s.position_at(Timestamp(50)).unwrap();
+        assert!((mid.lat_deg() - 0.5).abs() < 1e-9);
+        assert!((mid.lng_deg() - 1.0).abs() < 1e-9);
+        assert_eq!(s.position_at(Timestamp(-1)), None);
+        assert_eq!(s.position_at(Timestamp(101)), None);
+    }
+
+    #[test]
+    fn stay_segment_is_constant() {
+        let s = Segment {
+            t0: Timestamp(10),
+            t1: Timestamp(20),
+            from: ll(5.0, 5.0),
+            to: ll(5.0, 5.0),
+        };
+        for t in 10..=20 {
+            let p = s.position_at(Timestamp(t)).unwrap();
+            assert!((p.lat_deg() - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectory_handles_gaps() {
+        let t = Trajectory::new(vec![
+            Segment {
+                t0: Timestamp(0),
+                t1: Timestamp(10),
+                from: ll(0.0, 0.0),
+                to: ll(0.0, 0.0),
+            },
+            Segment {
+                t0: Timestamp(20),
+                t1: Timestamp(30),
+                from: ll(1.0, 1.0),
+                to: ll(1.0, 1.0),
+            },
+        ]);
+        assert!(t.position_at(Timestamp(5)).is_some());
+        assert!(t.position_at(Timestamp(15)).is_none(), "gap must be None");
+        assert!(t.position_at(Timestamp(25)).is_some());
+        assert_eq!(t.span(), Some((Timestamp(0), Timestamp(30))));
+    }
+
+    #[test]
+    fn position_at_segment_boundaries() {
+        let t = Trajectory::new(vec![Segment {
+            t0: Timestamp(0),
+            t1: Timestamp(10),
+            from: ll(0.0, 0.0),
+            to: ll(1.0, 0.0),
+        }]);
+        assert!(t.position_at(Timestamp(0)).is_some());
+        assert!(t.position_at(Timestamp(10)).is_some());
+        assert!(t.position_at(Timestamp(11)).is_none());
+    }
+
+    #[test]
+    fn max_speed_computed() {
+        // 111 km north in 1000 s ≈ 111 m/s.
+        let t = Trajectory::new(vec![Segment {
+            t0: Timestamp(0),
+            t1: Timestamp(1000),
+            from: ll(0.0, 0.0),
+            to: ll(1.0, 0.0),
+        }]);
+        let v = t.max_speed_m_per_s();
+        assert!((v - 111.2).abs() < 1.0, "speed {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_segments_panic() {
+        let _ = Trajectory::new(vec![
+            Segment {
+                t0: Timestamp(0),
+                t1: Timestamp(10),
+                from: ll(0.0, 0.0),
+                to: ll(0.0, 0.0),
+            },
+            Segment {
+                t0: Timestamp(5),
+                t1: Timestamp(15),
+                from: ll(0.0, 0.0),
+                to: ll(0.0, 0.0),
+            },
+        ]);
+    }
+
+    #[test]
+    fn world_span_unions_entities() {
+        let seg = |t0: i64, t1: i64| Segment {
+            t0: Timestamp(t0),
+            t1: Timestamp(t1),
+            from: ll(0.0, 0.0),
+            to: ll(0.0, 0.0),
+        };
+        let w = World {
+            entities: vec![
+                (0, Trajectory::new(vec![seg(10, 20)])),
+                (1, Trajectory::new(vec![seg(0, 5)])),
+            ],
+        };
+        assert_eq!(w.span(), Some((Timestamp(0), Timestamp(20))));
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Figure 10 — ablation study: the contribution of MFN alibi detection,
+//! MNN pairing, IDF weighting, and length normalization, as functions of
+//! the spatial level (10a) and the window width (10b).
+
+use slim_core::{PairingMode, SlimConfig};
+
+use crate::figures::{run_slim, RunSettings};
+use crate::table::{f3, Table};
+
+/// The ablation variants of the paper (Fig. 10 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full SLIM.
+    Original,
+    /// MNN pairing without the optional MFN alibi pass.
+    MnnOnly,
+    /// Cartesian-product pairing.
+    AllPairs,
+    /// IDF multiplier removed.
+    NoIdf,
+    /// Length normalization removed.
+    NoNormalization,
+}
+
+impl Variant {
+    /// All variants in the paper's order.
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::Original,
+            Variant::MnnOnly,
+            Variant::AllPairs,
+            Variant::NoIdf,
+            Variant::NoNormalization,
+        ]
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Original => "Original",
+            Variant::MnnOnly => "MNN",
+            Variant::AllPairs => "All_Pairs",
+            Variant::NoIdf => "No IDF",
+            Variant::NoNormalization => "No Normalization",
+        }
+    }
+
+    /// The config modification implementing the variant.
+    pub fn apply(&self, mut cfg: SlimConfig) -> SlimConfig {
+        match self {
+            Variant::Original => {}
+            Variant::MnnOnly => cfg.use_mfn = false,
+            Variant::AllPairs => {
+                cfg.pairing = PairingMode::AllPairs;
+                cfg.use_mfn = false;
+            }
+            Variant::NoIdf => cfg.use_idf = false,
+            Variant::NoNormalization => cfg.use_normalization = false,
+        }
+        cfg
+    }
+}
+
+/// One ablation measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// Which variant.
+    pub variant: Variant,
+    /// Spatial level used.
+    pub spatial_level: u8,
+    /// Window width (minutes).
+    pub window_min: i64,
+    /// F1 against ground truth.
+    pub f1: f64,
+    /// Mean matched score of false-positive pairs (the paper quotes this
+    /// to show MFN lowers FP scores).
+    pub fp_mean_score: f64,
+}
+
+/// Sweeps variants over spatial levels at a fixed 15-minute window
+/// (Fig. 10a).
+pub fn run_spatial(settings: &RunSettings, levels: &[u8]) -> Vec<AblationPoint> {
+    let sample = settings.cab().sample(0.5, settings.seed ^ 0x10);
+    let mut out = Vec::new();
+    for &level in levels {
+        for variant in Variant::all() {
+            let cfg = variant.apply(SlimConfig {
+                spatial_level: level,
+                ..SlimConfig::default()
+            });
+            let (res, metrics) = run_slim(&sample, &cfg);
+            let (_, fp) = crate::figures::split_by_truth(&res.matching, &sample.ground_truth);
+            out.push(AblationPoint {
+                variant,
+                spatial_level: level,
+                window_min: 15,
+                f1: metrics.f1,
+                fp_mean_score: mean(&fp),
+            });
+        }
+    }
+    out
+}
+
+/// Sweeps variants over window widths at spatial level 12 (Fig. 10b).
+pub fn run_window(settings: &RunSettings, windows_min: &[i64]) -> Vec<AblationPoint> {
+    let sample = settings.cab().sample(0.5, settings.seed ^ 0x10);
+    let mut out = Vec::new();
+    for &wmin in windows_min {
+        for variant in Variant::all() {
+            let cfg = variant.apply(SlimConfig {
+                window_width_secs: wmin * 60,
+                ..SlimConfig::default()
+            });
+            let (res, metrics) = run_slim(&sample, &cfg);
+            let (_, fp) = crate::figures::split_by_truth(&res.matching, &sample.ground_truth);
+            out.push(AblationPoint {
+                variant,
+                spatial_level: 12,
+                window_min: wmin,
+                f1: metrics.f1,
+                fp_mean_score: mean(&fp),
+            });
+        }
+    }
+    out
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Default sweeps: paper's Fig. 10a uses levels 8-24, 10b windows 5-720.
+pub fn default_ranges() -> (Vec<u8>, Vec<i64>) {
+    (vec![8, 12, 16, 20, 24], vec![5, 15, 90, 360, 720])
+}
+
+/// Renders points (grouped by x-axis then variant).
+pub fn render(name: &str, points: &[AblationPoint], by_window: bool) -> Table {
+    let x_name = if by_window { "window_min" } else { "spatial" };
+    let mut t = Table::new(
+        format!("{name} — ablation study"),
+        &[x_name, "variant", "f1", "fp_mean_score"],
+    );
+    for p in points {
+        let x = if by_window {
+            p.window_min.to_string()
+        } else {
+            p.spatial_level.to_string()
+        };
+        t.row(vec![
+            x,
+            p.variant.name().to_string(),
+            f3(p.f1),
+            format!("{:.1}", p.fp_mean_score),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_produce_configs() {
+        let base = SlimConfig::default();
+        assert!(!Variant::MnnOnly.apply(base).use_mfn);
+        assert_eq!(
+            Variant::AllPairs.apply(base).pairing,
+            PairingMode::AllPairs
+        );
+        assert!(!Variant::NoIdf.apply(base).use_idf);
+        assert!(!Variant::NoNormalization.apply(base).use_normalization);
+        assert_eq!(Variant::Original.apply(base), base);
+    }
+
+    #[test]
+    fn ablation_smoke() {
+        let settings = RunSettings::tiny();
+        let pts = run_spatial(&settings, &[12]);
+        assert_eq!(pts.len(), 5);
+        let original = pts.iter().find(|p| p.variant == Variant::Original).unwrap();
+        // At a 15-minute window the paper reports all pairing variants
+        // performing similarly; at test scale GMM-threshold noise adds
+        // slack, so only require the full algorithm to stay in the game.
+        assert!(original.f1 > 0.3, "original f1 {}", original.f1);
+        for p in &pts {
+            assert!(p.f1.is_finite() && (0.0..=1.0).contains(&p.f1));
+        }
+        let t = render("Fig 10a", &pts, false);
+        assert_eq!(t.len(), 5);
+    }
+}

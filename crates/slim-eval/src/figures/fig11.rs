@@ -1,0 +1,240 @@
+//! Figure 11 — comparison with existing work (ST-Link, GM): hit
+//! precision@40, F1 (including no-LSH SLIM), runtime, and record
+//! comparisons as functions of the average number of records per entity.
+//!
+//! The record density is driven through the record-inclusion
+//! probability, exactly like the paper sampled its Cab subsets. GM is
+//! only run up to `gm_max_avg_records` (the paper, likewise, restricts
+//! GM to a 1-week subset because it lacks any scaling mechanism).
+
+use std::time::Instant;
+
+use slim_baselines::{gm, stlink, GmConfig, StLinkConfig};
+use slim_core::{SlimConfig, ThresholdMethod};
+use slim_lsh::{LshConfig, LshFilter};
+
+use crate::figures::{run_slim, run_slim_with_candidates, RunSettings};
+use crate::metrics::{evaluate_links, hit_precision_at_k};
+use crate::table::{f3, human, Table};
+
+/// Results of one algorithm at one density point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoResult {
+    /// Hit precision@40 over the raw pair scores.
+    pub hit_precision_40: f64,
+    /// F1 of the final links.
+    pub f1: f64,
+    /// Wall time, seconds.
+    pub runtime_secs: f64,
+    /// Pairwise record comparisons.
+    pub record_comparisons: u64,
+}
+
+/// One density point of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonPoint {
+    /// Average records per entity (left view).
+    pub avg_records: f64,
+    /// SLIM with the LSH filter.
+    pub slim_lsh: AlgoResult,
+    /// SLIM brute force (the "no-LSH" series of Fig. 11b).
+    pub slim_full: AlgoResult,
+    /// ST-Link.
+    pub stlink: AlgoResult,
+    /// GM, when run (None above its density cap).
+    pub gm: Option<AlgoResult>,
+}
+
+/// Comparison settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonConfig {
+    /// Inclusion probabilities driving the density sweep.
+    pub inclusion_probs: [f64; 4],
+    /// Entity intersection ratio.
+    pub intersection_ratio: f64,
+    /// GM runs only while avg records ≤ this (it is quadratic in
+    /// records; the paper also caps it).
+    pub gm_max_avg_records: f64,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        Self {
+            inclusion_probs: [0.1, 0.3, 0.6, 0.9],
+            intersection_ratio: 0.5,
+            gm_max_avg_records: 400.0,
+        }
+    }
+}
+
+/// Runs the comparison on the Cab scenario.
+pub fn run(settings: &RunSettings, cmp: &ComparisonConfig) -> Vec<ComparisonPoint> {
+    let scenario = settings.cab();
+    let mut out = Vec::new();
+    for &inc in &cmp.inclusion_probs {
+        let sample =
+            scenario.sample_with_inclusion(cmp.intersection_ratio, inc, settings.seed ^ 0x11);
+        let avg_records = sample.left.avg_records_per_entity();
+        let lefts = sample.left.entities_sorted();
+        let base_cfg = SlimConfig::default();
+
+        // SLIM brute force (also provides the raw scores for HP@40).
+        let t0 = Instant::now();
+        let (full_out, full_metrics) = run_slim(&sample, &base_cfg);
+        let full_time = t0.elapsed().as_secs_f64();
+        let slim_prepared = slim_core::Slim::new(base_cfg).unwrap();
+        let prepared = slim_prepared.prepare(&sample.left, &sample.right);
+        let (raw_edges, _) = prepared.score_pairs(&prepared.all_pairs());
+        let slim_hp = hit_precision_at_k(&raw_edges, &lefts, &sample.ground_truth, 40);
+        let slim_full = AlgoResult {
+            hit_precision_40: slim_hp,
+            f1: full_metrics.f1,
+            runtime_secs: full_time,
+            record_comparisons: full_out.stats.record_pair_comparisons,
+        };
+
+        // SLIM + LSH (paper: 4096 buckets, t = 0.6).
+        let t0 = Instant::now();
+        let filter = LshFilter::build_auto(
+            // Longer steps and a moderate threshold keep sparse low-density
+            // signatures from starving the filter (see fig8 docs).
+            LshConfig {
+                threshold: 0.4,
+                step_windows: 48,
+                spatial_level: 12,
+                num_buckets: 4096,
+            },
+            &sample.left,
+            &sample.right,
+            base_cfg.window_width_secs,
+        );
+        let candidates = filter.candidates();
+        let (lsh_out, lsh_metrics) = run_slim_with_candidates(&sample, &base_cfg, &candidates);
+        let slim_lsh = AlgoResult {
+            hit_precision_40: slim_hp, // ranking unchanged by the filter for survivors
+            f1: lsh_metrics.f1,
+            runtime_secs: t0.elapsed().as_secs_f64(),
+            record_comparisons: lsh_out.stats.record_pair_comparisons,
+        };
+
+        // ST-Link.
+        let t0 = Instant::now();
+        let st = stlink(&sample.left, &sample.right, &StLinkConfig::default());
+        let st_time = t0.elapsed().as_secs_f64();
+        let st_metrics = evaluate_links(&st.links, &sample.ground_truth);
+        let stlink_res = AlgoResult {
+            hit_precision_40: hit_precision_at_k(&st.scores, &lefts, &sample.ground_truth, 40),
+            f1: st_metrics.f1,
+            runtime_secs: st_time,
+            record_comparisons: st.stats.record_pair_comparisons,
+        };
+
+        // GM, density-capped.
+        let gm_res = if avg_records <= cmp.gm_max_avg_records {
+            let t0 = Instant::now();
+            let g = gm(
+                &sample.left,
+                &sample.right,
+                &GmConfig {
+                    threshold_method: ThresholdMethod::GmmExpectedF1,
+                    ..GmConfig::default()
+                },
+            );
+            let gm_time = t0.elapsed().as_secs_f64();
+            let links: Vec<_> = g.links.iter().map(|e| (e.left, e.right)).collect();
+            let m = evaluate_links(&links, &sample.ground_truth);
+            Some(AlgoResult {
+                hit_precision_40: hit_precision_at_k(
+                    &g.scores,
+                    &lefts,
+                    &sample.ground_truth,
+                    40,
+                ),
+                f1: m.f1,
+                runtime_secs: gm_time,
+                record_comparisons: g.stats.record_pair_comparisons,
+            })
+        } else {
+            None
+        };
+
+        out.push(ComparisonPoint {
+            avg_records,
+            slim_lsh,
+            slim_full,
+            stlink: stlink_res,
+            gm: gm_res,
+        });
+    }
+    out
+}
+
+/// Renders the comparison (one row per algorithm per density).
+pub fn render(points: &[ComparisonPoint]) -> Table {
+    let mut t = Table::new(
+        "Fig 11 — comparison with ST-Link and GM (Cab)",
+        &[
+            "avg_records",
+            "algorithm",
+            "hp@40",
+            "f1",
+            "runtime_s",
+            "record_cmp",
+        ],
+    );
+    for p in points {
+        let mut row = |name: &str, a: &AlgoResult| {
+            t.row(vec![
+                format!("{:.0}", p.avg_records),
+                name.to_string(),
+                f3(a.hit_precision_40),
+                f3(a.f1),
+                format!("{:.2}", a.runtime_secs),
+                human(a.record_comparisons),
+            ]);
+        };
+        row("SLIM+LSH", &p.slim_lsh);
+        row("SLIM", &p.slim_full);
+        row("ST-Link", &p.stlink);
+        if let Some(g) = &p.gm {
+            row("GM", g);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_smoke() {
+        let settings = RunSettings::tiny();
+        let cmp = ComparisonConfig {
+            inclusion_probs: [0.5, 0.5, 0.5, 0.5],
+            ..ComparisonConfig::default()
+        };
+        // Single-density quick check (all probs equal → reuse).
+        let pts = run(
+            &settings,
+            &ComparisonConfig {
+                inclusion_probs: [0.6, 0.6, 0.6, 0.6],
+                ..cmp
+            },
+        );
+        assert_eq!(pts.len(), 4);
+        let p = &pts[0];
+        // SLIM's LSH variant must do far fewer comparisons than ST-Link
+        // (the paper's headline Fig. 11d shape).
+        assert!(
+            p.slim_lsh.record_comparisons <= p.stlink.record_comparisons,
+            "slim+lsh {} vs stlink {}",
+            p.slim_lsh.record_comparisons,
+            p.stlink.record_comparisons
+        );
+        // SLIM's F1 should be competitive (allow slack at tiny scale).
+        assert!(p.slim_full.f1 >= p.stlink.f1 - 0.3);
+        let table = render(&pts);
+        assert!(table.len() >= 12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Figures 4 & 5 — precision, recall, alibi pairs, and record
+//! comparisons as a function of the spatio-temporal level, for the Cab
+//! (Fig. 4) and SM (Fig. 5) scenarios.
+
+use slim_core::SlimConfig;
+use slim_datagen::Scenario;
+
+use crate::figures::{run_slim, RunSettings};
+use crate::table::{f3, human, Table};
+
+/// One grid point of the spatio-temporal sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Spatial grid level.
+    pub spatial_level: u8,
+    /// Temporal window width in minutes.
+    pub window_min: i64,
+    /// Linkage precision.
+    pub precision: f64,
+    /// Linkage recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Detected alibi bin pairs.
+    pub alibi_pairs: u64,
+    /// Pairwise record comparisons (level-independent upper bound).
+    pub record_comparisons: u64,
+    /// Time-location bin pair comparisons — the work measure that grows
+    /// with spatial detail, matching the trend of the paper's Fig. 4d
+    /// "record pair" counts (finer levels → more bins per window).
+    pub bin_comparisons: u64,
+}
+
+/// The default sweep used by the drivers: the paper's ranges thinned to
+/// keep runtime tractable (paper: levels 4-20, windows 15-360 min).
+pub fn default_grid() -> (Vec<u8>, Vec<i64>) {
+    (vec![4, 8, 12, 16, 20], vec![15, 90, 180, 360])
+}
+
+/// Runs the sweep for one scenario.
+pub fn run_grid(
+    scenario: &Scenario,
+    levels: &[u8],
+    windows_min: &[i64],
+    settings: &RunSettings,
+) -> Vec<GridPoint> {
+    let sample = scenario.sample(0.5, settings.seed ^ 0x45);
+    let mut out = Vec::with_capacity(levels.len() * windows_min.len());
+    for &level in levels {
+        for &wmin in windows_min {
+            let cfg = SlimConfig {
+                spatial_level: level,
+                window_width_secs: wmin * 60,
+                ..SlimConfig::default()
+            };
+            let (res, metrics) = run_slim(&sample, &cfg);
+            out.push(GridPoint {
+                spatial_level: level,
+                window_min: wmin,
+                precision: metrics.precision,
+                recall: metrics.recall,
+                f1: metrics.f1,
+                alibi_pairs: res.stats.alibi_pairs,
+                record_comparisons: res.stats.record_pair_comparisons,
+                bin_comparisons: res.stats.bin_pair_comparisons,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 4: the Cab scenario.
+pub fn run_cab(settings: &RunSettings) -> Vec<GridPoint> {
+    let (levels, windows) = default_grid();
+    run_grid(&settings.cab(), &levels, &windows, settings)
+}
+
+/// Fig. 5: the SM scenario.
+pub fn run_sm(settings: &RunSettings) -> Vec<GridPoint> {
+    let (levels, windows) = default_grid();
+    run_grid(&settings.sm(), &levels, &windows, settings)
+}
+
+/// Renders a grid as the paper's four sub-figures in one table.
+pub fn render(name: &str, grid: &[GridPoint]) -> Table {
+    let mut t = Table::new(
+        format!("{name} — effect of the spatio-temporal level"),
+        &[
+            "spatial", "window_min", "precision", "recall", "f1", "alibi", "record_cmp",
+            "bin_cmp",
+        ],
+    );
+    for p in grid {
+        t.row(vec![
+            p.spatial_level.to_string(),
+            p.window_min.to_string(),
+            f3(p.precision),
+            f3(p.recall),
+            f3(p.f1),
+            human(p.alibi_pairs),
+            human(p.record_comparisons),
+            human(p.bin_comparisons),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_smoke_and_paper_shape() {
+        let settings = RunSettings::tiny();
+        let grid = run_grid(&settings.cab(), &[6, 12], &[15, 90], &settings);
+        assert_eq!(grid.len(), 4);
+        // Paper shape: accuracy at fine spatial detail beats coarse.
+        let f1_at = |level: u8, w: i64| {
+            grid.iter()
+                .find(|p| p.spatial_level == level && p.window_min == w)
+                .unwrap()
+                .f1
+        };
+        assert!(
+            f1_at(12, 15) >= f1_at(6, 15),
+            "finer spatial detail should not hurt: {} vs {}",
+            f1_at(12, 15),
+            f1_at(6, 15)
+        );
+        // Comparisons grow (weakly) with spatial detail.
+        let cmp_at = |level: u8, w: i64| {
+            grid.iter()
+                .find(|p| p.spatial_level == level && p.window_min == w)
+                .unwrap()
+                .bin_comparisons
+        };
+        assert!(cmp_at(12, 15) > 0);
+        // Bin comparisons grow with spatial detail (Fig 4d trend).
+        assert!(cmp_at(12, 15) >= cmp_at(6, 15));
+        let table = render("Fig 4 (Cab)", &grid);
+        assert_eq!(table.len(), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 9 — LSH speed-up as a function of the number of hash buckets,
+//! for several similarity thresholds (Cab & SM).
+//!
+//! More buckets reduce accidental hash collisions, so fewer spurious
+//! candidate pairs survive and the speed-up grows; the relative F1 is
+//! unaffected by the bucket count (identical bands still collide) but
+//! falls with looser thresholds.
+
+use slim_core::SlimConfig;
+use slim_datagen::Scenario;
+use slim_lsh::{LshConfig, LshFilter};
+
+use crate::figures::{run_slim, run_slim_with_candidates, RunSettings};
+use crate::table::{f3, Table};
+
+/// One bucket-sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketPoint {
+    /// LSH similarity threshold.
+    pub threshold: f64,
+    /// Number of hash buckets.
+    pub num_buckets: u64,
+    /// Comparison-count speed-up over brute force.
+    pub speedup: f64,
+    /// Relative F1 vs brute force.
+    pub relative_f1: f64,
+    /// Candidate pair count.
+    pub candidates: usize,
+}
+
+/// Default ranges (paper: 2^8..2^20 buckets × t ∈ {0.4..0.8}).
+pub fn default_ranges() -> (Vec<u64>, Vec<f64>) {
+    (
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16],
+        vec![0.4, 0.6, 0.8],
+    )
+}
+
+/// Runs the sweep. Signature level/step fixed to the paper's 16/48
+/// unless overridden by `step_windows`.
+pub fn run_sweep(
+    scenario: &Scenario,
+    buckets: &[u64],
+    thresholds: &[f64],
+    step_windows: u32,
+    settings: &RunSettings,
+) -> Vec<BucketPoint> {
+    let sample = scenario.sample(0.5, settings.seed ^ 0x9);
+    let base_cfg = SlimConfig::default();
+    let (brute, brute_metrics) = run_slim(&sample, &base_cfg);
+    let brute_cmp = brute.stats.record_pair_comparisons.max(1);
+
+    let mut out = Vec::new();
+    for &t in thresholds {
+        for &b in buckets {
+            let lsh_cfg = LshConfig {
+                threshold: t,
+                step_windows,
+                spatial_level: 16,
+                num_buckets: b,
+            };
+            let filter = LshFilter::build_auto(
+                lsh_cfg,
+                &sample.left,
+                &sample.right,
+                base_cfg.window_width_secs,
+            );
+            let candidates = filter.candidates();
+            let (res, metrics) = run_slim_with_candidates(&sample, &base_cfg, &candidates);
+            out.push(BucketPoint {
+                threshold: t,
+                num_buckets: b,
+                speedup: brute_cmp as f64 / res.stats.record_pair_comparisons.max(1) as f64,
+                relative_f1: if brute_metrics.f1 > 0.0 {
+                    metrics.f1 / brute_metrics.f1
+                } else {
+                    1.0
+                },
+                candidates: candidates.len(),
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 9a: Cab.
+pub fn run_cab(settings: &RunSettings) -> Vec<BucketPoint> {
+    let (buckets, thresholds) = default_ranges();
+    run_sweep(&settings.cab(), &buckets, &thresholds, 48, settings)
+}
+
+/// Fig. 9b: SM. Lower thresholds than Cab — the sparse signatures cap
+/// true-pair similarity (see fig8).
+pub fn run_sm(settings: &RunSettings) -> Vec<BucketPoint> {
+    let (buckets, _) = default_ranges();
+    run_sweep(&settings.sm(), &buckets, &[0.1, 0.2, 0.3], 96, settings)
+}
+
+/// Renders the sweep.
+pub fn render(name: &str, points: &[BucketPoint]) -> Table {
+    let mut t = Table::new(
+        format!("{name} — speed-up vs number of buckets"),
+        &["t", "buckets", "speedup", "relative_f1", "candidates"],
+    );
+    for p in points {
+        t.row(vec![
+            f3(p.threshold),
+            p.num_buckets.to_string(),
+            format!("{:.1}x", p.speedup),
+            f3(p.relative_f1),
+            p.candidates.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_buckets_never_slow_things_down() {
+        let settings = RunSettings::tiny();
+        let pts = run_sweep(&settings.cab(), &[4, 1 << 14], &[0.6], 8, &settings);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].speedup >= pts[0].speedup,
+            "tiny buckets {} vs many buckets {}",
+            pts[0].speedup,
+            pts[1].speedup
+        );
+        assert!(pts[1].candidates <= pts[0].candidates);
+    }
+}

@@ -1,0 +1,209 @@
+//! Ground-truth evaluation metrics (paper §5).
+//!
+//! * Precision / recall / F1 of a produced linkage against the sampled
+//!   ground truth (recall's denominator is the number of truly common
+//!   entities).
+//! * Hit-precision@k (§5.5): per left entity, `(k − (rank − 1)) / k` if
+//!   the true counterpart ranks within the top `k` candidates by score,
+//!   else 0; averaged over *all* left entities — so with intersection
+//!   ratio 0.5 the best achievable value is 0.5, exactly as the paper
+//!   notes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use slim_core::{Edge, EntityId};
+
+/// Precision/recall/F1 of a linkage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkageMetrics {
+    /// Correct links / produced links (1 if no links were produced).
+    pub precision: f64,
+    /// Correct links / truly common entities (1 if nothing was common).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of correct links.
+    pub true_positives: usize,
+    /// Number of incorrect links.
+    pub false_positives: usize,
+    /// Links produced.
+    pub num_links: usize,
+    /// Truly common entities.
+    pub num_truth: usize,
+}
+
+/// Scores a set of links against ground truth.
+pub fn evaluate_links(
+    links: &[(EntityId, EntityId)],
+    ground_truth: &HashMap<EntityId, EntityId>,
+) -> LinkageMetrics {
+    let tp = links
+        .iter()
+        .filter(|(l, r)| ground_truth.get(l) == Some(r))
+        .count();
+    let fp = links.len() - tp;
+    let precision = if links.is_empty() {
+        1.0
+    } else {
+        tp as f64 / links.len() as f64
+    };
+    let recall = if ground_truth.is_empty() {
+        1.0
+    } else {
+        tp as f64 / ground_truth.len() as f64
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    LinkageMetrics {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+        false_positives: fp,
+        num_links: links.len(),
+        num_truth: ground_truth.len(),
+    }
+}
+
+/// Convenience: evaluates weighted edges.
+pub fn evaluate_edges(
+    links: &[Edge],
+    ground_truth: &HashMap<EntityId, EntityId>,
+) -> LinkageMetrics {
+    let pairs: Vec<(EntityId, EntityId)> = links.iter().map(|e| (e.left, e.right)).collect();
+    evaluate_links(&pairs, ground_truth)
+}
+
+/// Hit-precision@k over raw pair scores (before matching). `left_entities`
+/// enumerates every entity the average runs over, including those without
+/// a true counterpart (they contribute 0).
+pub fn hit_precision_at_k(
+    scores: &[Edge],
+    left_entities: &[EntityId],
+    ground_truth: &HashMap<EntityId, EntityId>,
+    k: usize,
+) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if left_entities.is_empty() {
+        return 0.0;
+    }
+    // Candidate lists per left entity, sorted by score descending.
+    let mut per_left: HashMap<EntityId, Vec<(f64, EntityId)>> = HashMap::new();
+    for e in scores {
+        per_left.entry(e.left).or_default().push((e.weight, e.right));
+    }
+    let mut total = 0.0;
+    for &u in left_entities {
+        let Some(truth) = ground_truth.get(&u) else {
+            continue; // no counterpart → contributes 0
+        };
+        let Some(cands) = per_left.get_mut(&u) else {
+            continue;
+        };
+        cands.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(rank0) = cands.iter().position(|(_, v)| v == truth) {
+            if rank0 < k {
+                total += (k - rank0) as f64 / k as f64;
+            }
+        }
+    }
+    total / left_entities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(l: u64, r: u64) -> (EntityId, EntityId) {
+        (EntityId(l), EntityId(r))
+    }
+
+    fn truth(pairs: &[(u64, u64)]) -> HashMap<EntityId, EntityId> {
+        pairs.iter().map(|&(l, r)| (EntityId(l), EntityId(r))).collect()
+    }
+
+    #[test]
+    fn perfect_linkage() {
+        let gt = truth(&[(1, 10), (2, 20)]);
+        let m = evaluate_links(&[e(1, 10), e(2, 20)], &gt);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.true_positives, 2);
+    }
+
+    #[test]
+    fn partial_linkage() {
+        let gt = truth(&[(1, 10), (2, 20), (3, 30), (4, 40)]);
+        // 2 correct, 1 wrong, 2 missed.
+        let m = evaluate_links(&[e(1, 10), e(2, 20), e(3, 99)], &gt);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert_eq!(m.false_positives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = evaluate_links(&[], &truth(&[(1, 10)]));
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        let m = evaluate_links(&[e(1, 10)], &HashMap::new());
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.precision, 0.0);
+    }
+
+    fn edge(l: u64, r: u64, w: f64) -> Edge {
+        Edge {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn hit_precision_ranks() {
+        let gt = truth(&[(1, 10)]);
+        let lefts = vec![EntityId(1)];
+        // Truth ranked first of three candidates.
+        let scores = vec![edge(1, 10, 9.0), edge(1, 11, 5.0), edge(1, 12, 1.0)];
+        assert!((hit_precision_at_k(&scores, &lefts, &gt, 40) - 1.0).abs() < 1e-12);
+        // Truth ranked second: (40 − 1)/40.
+        let scores = vec![edge(1, 10, 5.0), edge(1, 11, 9.0)];
+        let hp = hit_precision_at_k(&scores, &lefts, &gt, 40);
+        assert!((hp - 39.0 / 40.0).abs() < 1e-12);
+        // Truth outside top-k.
+        let mut scores: Vec<Edge> = (0..50).map(|i| edge(1, 100 + i, 50.0 - i as f64)).collect();
+        scores.push(edge(1, 10, -1.0));
+        assert_eq!(hit_precision_at_k(&scores, &lefts, &gt, 40), 0.0);
+    }
+
+    #[test]
+    fn hit_precision_averages_over_unmatched_entities() {
+        // Two left entities, only one has a counterpart: max achievable 0.5.
+        let gt = truth(&[(1, 10)]);
+        let lefts = vec![EntityId(1), EntityId(2)];
+        let scores = vec![edge(1, 10, 9.0), edge(2, 11, 9.0)];
+        let hp = hit_precision_at_k(&scores, &lefts, &gt, 40);
+        assert!((hp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_precision_missing_scores_contribute_zero() {
+        let gt = truth(&[(1, 10), (2, 20)]);
+        let lefts = vec![EntityId(1), EntityId(2)];
+        let scores = vec![edge(1, 10, 9.0)]; // entity 2 never scored
+        let hp = hit_precision_at_k(&scores, &lefts, &gt, 40);
+        assert!((hp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = hit_precision_at_k(&[], &[], &HashMap::new(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fixed-width text tables for the experiment harness output.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "| {cell:>w$} ");
+            }
+            s.push('|');
+            s
+        };
+        let header = line(&self.headers, &widths);
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a large count with SI-ish suffixes (K/M/B).
+pub fn human(x: u64) -> String {
+    let xf = x as f64;
+    if xf >= 1e9 {
+        format!("{:.2}B", xf / 1e9)
+    } else if xf >= 1e6 {
+        format!("{:.2}M", xf / 1e6)
+    } else if xf >= 1e3 {
+        format!("{:.2}K", xf / 1e3)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["300".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("long_header"));
+        assert_eq!(t.len(), 2);
+        // All data lines have equal width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn human_suffixes() {
+        assert_eq!(human(999), "999");
+        assert_eq!(human(1_500), "1.50K");
+        assert_eq!(human(2_500_000), "2.50M");
+        assert_eq!(human(7_100_000_000), "7.10B");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(12.34), "12.3");
+    }
+}

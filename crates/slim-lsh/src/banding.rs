@@ -1,0 +1,247 @@
+//! Banding and bucket hashing (paper §4).
+//!
+//! Signatures are divided into `b` bands of `r` rows; each band is hashed
+//! into one of `num_buckets` buckets. Entities from opposite datasets
+//! sharing a bucket in at least one band become candidate pairs. Two
+//! signatures of similarity `t` collide in at least one band with
+//! probability `1 − (1 − t^r)^b`; the S-curve's steepest point sits near
+//! `(1/b)^{1/r}`, and solving `t = (1/b)^{b/s}` for `b` gives
+//! `b = e^{W(−s·ln t)}` with `W` the Lambert W function.
+
+use std::collections::{HashMap, HashSet};
+
+use slim_core::EntityId;
+
+use crate::lambertw::lambert_w0;
+use crate::signature::Signature;
+
+/// Bands/rows for a signature of size `s` targeting similarity threshold
+/// `t ∈ (0, 1)`. Returns `(bands, rows)` with `bands · rows ≥ s` and
+/// `rows ≥ 1`.
+///
+/// # Panics
+/// Panics if `s == 0` or `t` outside `(0, 1)`.
+pub fn bands_for_threshold(s: usize, t: f64) -> (usize, usize) {
+    assert!(s > 0, "signature size must be positive");
+    assert!(t > 0.0 && t < 1.0, "threshold must be in (0, 1), got {t}");
+    let b_real = lambert_w0(-(s as f64) * t.ln()).exp();
+    // Quantize via the row count so every band (except possibly the last)
+    // has equal size.
+    let rows = ((s as f64 / b_real).round() as usize).clamp(1, s);
+    let bands = s.div_ceil(rows);
+    (bands, rows)
+}
+
+/// The effective threshold `(1/b)^{1/r}` realized by a banding choice.
+pub fn effective_threshold(bands: usize, rows: usize) -> f64 {
+    (1.0 / bands as f64).powf(1.0 / rows as f64)
+}
+
+/// Probability that two signatures of similarity `t` share at least one
+/// identical band: `1 − (1 − t^r)^b`.
+pub fn collision_probability(t: f64, bands: usize, rows: usize) -> f64 {
+    1.0 - (1.0 - t.powi(rows as i32)).powi(bands as i32)
+}
+
+/// FNV-1a over 64-bit words — a small, dependency-free, stable hash.
+fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Hashes one band of a signature to a bucket, or `None` when the band
+/// holds only placeholders (placeholders are omitted from hashing; an
+/// all-placeholder band matches nothing rather than everything).
+pub fn band_bucket(
+    sig: &Signature,
+    band: usize,
+    rows: usize,
+    num_buckets: u64,
+) -> Option<u64> {
+    let start = band * rows;
+    let end = (start + rows).min(sig.cells.len());
+    let slots = &sig.cells[start..end];
+    if slots.iter().all(Option::is_none) {
+        return None;
+    }
+    // Hash (slot offset, cell) pairs so alignment matters; band index is
+    // mixed in so identical content in different bands maps independently.
+    let words = std::iter::once(band as u64).chain(slots.iter().enumerate().flat_map(
+        |(off, cell)| cell.map(|c| [off as u64 + 1, c.to_u64()]).into_iter().flatten(),
+    ));
+    Some(fnv1a(words) % num_buckets.max(1))
+}
+
+/// Extracts cross-dataset candidate pairs: entities hashing to the same
+/// bucket in at least one band. Output is sorted and deduplicated.
+pub fn candidate_pairs(
+    left: &[Signature],
+    right: &[Signature],
+    bands: usize,
+    rows: usize,
+    num_buckets: u64,
+) -> Vec<(EntityId, EntityId)> {
+    let mut seen: HashSet<(EntityId, EntityId)> = HashSet::new();
+    for band in 0..bands {
+        let mut buckets: HashMap<u64, (Vec<EntityId>, Vec<EntityId>)> = HashMap::new();
+        for sig in left {
+            if let Some(bk) = band_bucket(sig, band, rows, num_buckets) {
+                buckets.entry(bk).or_default().0.push(sig.entity);
+            }
+        }
+        for sig in right {
+            if let Some(bk) = band_bucket(sig, band, rows, num_buckets) {
+                buckets.entry(bk).or_default().1.push(sig.entity);
+            }
+        }
+        for (_, (ls, rs)) in buckets {
+            for &l in &ls {
+                for &r in &rs {
+                    seen.insert((l, r));
+                }
+            }
+        }
+    }
+    let mut out: Vec<_> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::{CellId, LatLng};
+
+    fn cell(lng: f64) -> CellId {
+        CellId::from_latlng(LatLng::from_degrees(20.0, lng), 12)
+    }
+
+    fn sig(e: u64, cells: Vec<Option<CellId>>) -> Signature {
+        Signature {
+            entity: EntityId(e),
+            cells,
+        }
+    }
+
+    #[test]
+    fn bands_for_threshold_matches_formula() {
+        // s = 20, t = 0.6: b = e^{W(20·0.5108)} = e^{W(10.217)}.
+        let (bands, rows) = bands_for_threshold(20, 0.6);
+        assert!(bands * rows >= 20);
+        // Effective threshold should be in the vicinity of the target.
+        let eff = effective_threshold(bands, rows);
+        assert!((eff - 0.6).abs() < 0.2, "effective threshold {eff}");
+    }
+
+    #[test]
+    fn higher_threshold_means_fewer_bands() {
+        let (b_low, _) = bands_for_threshold(48, 0.4);
+        let (b_high, _) = bands_for_threshold(48, 0.8);
+        assert!(
+            b_high <= b_low,
+            "t=0.8 → {b_high} bands vs t=0.4 → {b_low} bands"
+        );
+    }
+
+    #[test]
+    fn collision_probability_is_s_curve() {
+        let (bands, rows) = bands_for_threshold(24, 0.6);
+        let below = collision_probability(0.2, bands, rows);
+        let at = collision_probability(0.6, bands, rows);
+        let above = collision_probability(0.95, bands, rows);
+        assert!(below < at && at < above);
+        assert!(above > 0.9, "high-similarity pairs almost surely collide");
+        assert!(below < 0.5, "low-similarity pairs rarely collide");
+    }
+
+    #[test]
+    fn identical_signatures_always_candidates() {
+        let cells = vec![Some(cell(0.0)), Some(cell(1.0)), Some(cell(2.0)), None];
+        let l = vec![sig(1, cells.clone())];
+        let r = vec![sig(100, cells)];
+        let pairs = candidate_pairs(&l, &r, 2, 2, 1 << 16);
+        assert_eq!(pairs, vec![(EntityId(1), EntityId(100))]);
+    }
+
+    #[test]
+    fn disjoint_signatures_not_candidates() {
+        let l = vec![sig(1, vec![Some(cell(0.0)), Some(cell(1.0))])];
+        let r = vec![sig(100, vec![Some(cell(40.0)), Some(cell(50.0))])];
+        let pairs = candidate_pairs(&l, &r, 2, 1, 1 << 16);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn one_matching_band_suffices() {
+        // First band (2 slots) identical, second band differs.
+        let l = vec![sig(
+            1,
+            vec![Some(cell(0.0)), Some(cell(1.0)), Some(cell(2.0)), Some(cell(3.0))],
+        )];
+        let r = vec![sig(
+            100,
+            vec![Some(cell(0.0)), Some(cell(1.0)), Some(cell(70.0)), Some(cell(80.0))],
+        )];
+        let pairs = candidate_pairs(&l, &r, 2, 2, 1 << 16);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn all_placeholder_bands_never_match() {
+        let l = vec![sig(1, vec![None, None, Some(cell(0.0)), Some(cell(1.0))])];
+        let r = vec![sig(100, vec![None, None, Some(cell(9.0)), Some(cell(8.0))])];
+        // Band 0 is all placeholders on both sides: must NOT collide.
+        let pairs = candidate_pairs(&l, &r, 2, 2, 1 << 16);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn placeholder_alignment_matters() {
+        // Same lone cell value but at different slots within the band:
+        // must not collide.
+        let l = vec![sig(1, vec![Some(cell(0.0)), None])];
+        let r = vec![sig(100, vec![None, Some(cell(0.0))])];
+        let pairs = candidate_pairs(&l, &r, 1, 2, 1 << 16);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn fewer_buckets_create_more_collisions() {
+        // Many entities with distinct signatures: with 1 bucket everything
+        // collides, with plenty of buckets (almost) nothing should.
+        let l: Vec<Signature> = (0..30)
+            .map(|k| sig(k, vec![Some(cell(k as f64)), Some(cell(k as f64 + 0.5))]))
+            .collect();
+        let r: Vec<Signature> = (0..30)
+            .map(|k| sig(1000 + k, vec![Some(cell(90.0 + k as f64)), Some(cell(90.5 + k as f64))]))
+            .collect();
+        let tight = candidate_pairs(&l, &r, 1, 2, 1);
+        assert_eq!(tight.len(), 900, "single bucket → all pairs");
+        let loose = candidate_pairs(&l, &r, 1, 2, 1 << 20);
+        assert!(loose.len() < 90, "many buckets → few spurious pairs, got {}", loose.len());
+    }
+
+    #[test]
+    fn candidates_deduplicated_across_bands() {
+        let cells = vec![Some(cell(0.0)), Some(cell(1.0))];
+        let l = vec![sig(1, cells.clone())];
+        let r = vec![sig(100, cells)];
+        // Two bands of one row each; both match — pair appears once.
+        let pairs = candidate_pairs(&l, &r, 2, 1, 1 << 16);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_out_of_range_panics() {
+        let _ = bands_for_threshold(10, 1.0);
+    }
+}

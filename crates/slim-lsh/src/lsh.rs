@@ -1,0 +1,236 @@
+//! The end-to-end LSH candidate filter.
+//!
+//! Ties together signatures ([`crate::signature`]) and banding
+//! ([`crate::banding`]) behind one configuration struct, producing the
+//! candidate entity-pair list that [`slim_core::PreparedLinkage::
+//! link_with_candidates`] consumes.
+
+use serde::{Deserialize, Serialize};
+use slim_core::{EntityId, LocationDataset, Timestamp, WindowScheme};
+
+use crate::banding::{bands_for_threshold, candidate_pairs};
+use crate::signature::{num_queries, signatures_for_dataset, Signature};
+
+/// LSH parameters (paper §4): the similarity threshold `t`, the query
+/// step (how many leaf windows one dominating-cell query spans), the
+/// spatial level of the dominating cells, and the bucket count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LshConfig {
+    /// Target signature-similarity threshold `t ∈ (0, 1)`; pairs above it
+    /// should become candidates (default 0.6, as in §5.3).
+    pub threshold: f64,
+    /// Query span in leaf windows (the paper's "temporal step size").
+    pub step_windows: u32,
+    /// Spatial level of dominating cells (independent of the similarity
+    /// bins' level).
+    pub spatial_level: u8,
+    /// Number of hash buckets per band (default 4096, as in §5.3).
+    pub num_buckets: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.6,
+            step_windows: 48,
+            spatial_level: 16,
+            num_buckets: 4096,
+        }
+    }
+}
+
+/// The built filter: signatures for both datasets plus the banding
+/// parameters derived from the signature size and threshold.
+#[derive(Debug, Clone)]
+pub struct LshFilter {
+    cfg: LshConfig,
+    left: Vec<Signature>,
+    right: Vec<Signature>,
+    bands: usize,
+    rows: usize,
+}
+
+impl LshFilter {
+    /// Builds signatures for both datasets over a shared window scheme.
+    ///
+    /// `scheme`/`domain` must match the ones the linkage pipeline uses
+    /// (take them from [`slim_core::PreparedLinkage`]'s history sets) so
+    /// the signature queries align with the leaf windows.
+    pub fn build(
+        cfg: LshConfig,
+        left: &LocationDataset,
+        right: &LocationDataset,
+        scheme: &WindowScheme,
+        domain: u32,
+    ) -> Self {
+        let s = num_queries(domain, cfg.step_windows);
+        let (bands, rows) = bands_for_threshold(s, cfg.threshold);
+        let l = signatures_for_dataset(left, scheme, domain, cfg.step_windows, cfg.spatial_level);
+        let r = signatures_for_dataset(right, scheme, domain, cfg.step_windows, cfg.spatial_level);
+        Self {
+            cfg,
+            left: l,
+            right: r,
+            bands,
+            rows,
+        }
+    }
+
+    /// Convenience: derives the window scheme from the datasets' joint
+    /// time span and `window_width_secs` (matching what
+    /// [`slim_core::Slim::prepare`] does internally).
+    pub fn build_auto(
+        cfg: LshConfig,
+        left: &LocationDataset,
+        right: &LocationDataset,
+        window_width_secs: i64,
+    ) -> Self {
+        let (lo, hi) = match (left.time_span(), right.time_span()) {
+            (Some((l0, l1)), Some((r0, r1))) => (l0.min(r0), l1.max(r1)),
+            (Some(s), None) | (None, Some(s)) => s,
+            (None, None) => (Timestamp(0), Timestamp(0)),
+        };
+        let scheme = WindowScheme::new(lo, window_width_secs);
+        let domain = scheme.num_windows(hi);
+        Self::build(cfg, left, right, &scheme, domain)
+    }
+
+    /// Candidate entity pairs (sorted, deduplicated).
+    pub fn candidates(&self) -> Vec<(EntityId, EntityId)> {
+        candidate_pairs(
+            &self.left,
+            &self.right,
+            self.bands,
+            self.rows,
+            self.cfg.num_buckets,
+        )
+    }
+
+    /// Banding actually used: `(bands, rows)`.
+    pub fn banding(&self) -> (usize, usize) {
+        (self.bands, self.rows)
+    }
+
+    /// Signature length (number of dominating-cell queries).
+    pub fn signature_size(&self) -> usize {
+        self.left.first().map(|s| s.cells.len()).unwrap_or(0)
+    }
+
+    /// Signatures of the left dataset (sorted by entity).
+    pub fn left_signatures(&self) -> &[Signature] {
+        &self.left
+    }
+
+    /// Signatures of the right dataset (sorted by entity).
+    pub fn right_signatures(&self) -> &[Signature] {
+        &self.right
+    }
+
+    /// The filter's configuration.
+    pub fn config(&self) -> &LshConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+    use slim_core::Record;
+
+    /// `n` entities, first `common` shared across views (ids offset by
+    /// 1000 on the right), each orbiting its own anchor.
+    fn views(n: u64, common: u64) -> (LocationDataset, LocationDataset) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for e in 0..n {
+            let anchor = LatLng::from_degrees(35.0 + 0.5 * e as f64, -120.0);
+            for k in 0..96i64 {
+                let pos = anchor.offset(200.0 * ((k % 3) as f64), k as f64 * 0.3);
+                l.push(Record::new(EntityId(e), pos, Timestamp(k * 900)));
+                if e < common {
+                    let pos2 = anchor.offset(200.0 * ((k % 3) as f64) + 30.0, k as f64 * 0.3);
+                    r.push(Record::new(EntityId(1000 + e), pos2, Timestamp(k * 900 + 450)));
+                }
+            }
+            if e >= common {
+                let far = LatLng::from_degrees(-30.0 - 0.5 * e as f64, 140.0);
+                for k in 0..96i64 {
+                    r.push(Record::new(
+                        EntityId(1000 + e),
+                        far.offset(150.0 * ((k % 2) as f64), 0.5),
+                        Timestamp(k * 900),
+                    ));
+                }
+            }
+        }
+        (
+            LocationDataset::from_records(l),
+            LocationDataset::from_records(r),
+        )
+    }
+
+    fn cfg() -> LshConfig {
+        LshConfig {
+            threshold: 0.6,
+            step_windows: 8,
+            spatial_level: 12,
+            num_buckets: 4096,
+        }
+    }
+
+    #[test]
+    fn true_pairs_survive_the_filter() {
+        let (l, r) = views(6, 4);
+        let filter = LshFilter::build_auto(cfg(), &l, &r, 900);
+        let cands = filter.candidates();
+        for e in 0..4u64 {
+            assert!(
+                cands.contains(&(EntityId(e), EntityId(1000 + e))),
+                "true pair {e} filtered out; candidates: {cands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_prunes_most_false_pairs() {
+        let (l, r) = views(8, 4);
+        let filter = LshFilter::build_auto(cfg(), &l, &r, 900);
+        let cands = filter.candidates();
+        let brute = 8 * 8;
+        assert!(
+            cands.len() < brute / 2,
+            "expected pruning below {}, got {}",
+            brute / 2,
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn banding_consistent_with_signature_size() {
+        let (l, r) = views(3, 3);
+        let filter = LshFilter::build_auto(cfg(), &l, &r, 900);
+        let (bands, rows) = filter.banding();
+        assert!(bands * rows >= filter.signature_size());
+        assert!(filter.signature_size() == filter.left_signatures()[0].cells.len());
+    }
+
+    #[test]
+    fn empty_datasets_yield_no_candidates() {
+        let empty = LocationDataset::from_records(Vec::new());
+        let filter = LshFilter::build_auto(cfg(), &empty, &empty, 900);
+        assert!(filter.candidates().is_empty());
+    }
+
+    #[test]
+    fn signature_similarity_of_true_pairs_is_high() {
+        let (l, r) = views(3, 3);
+        let filter = LshFilter::build_auto(cfg(), &l, &r, 900);
+        for e in 0..3usize {
+            let sl = &filter.left_signatures()[e];
+            let sr = &filter.right_signatures()[e];
+            let sim = sl.similarity(sr);
+            assert!(sim > 0.8, "true pair {e} signature similarity {sim}");
+        }
+    }
+}

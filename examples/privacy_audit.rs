@@ -1,0 +1,62 @@
+//! Privacy audit: how re-identifiable is an "anonymized" mobility dump?
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+//!
+//! The paper's introduction motivates SLIM as a privacy-assessment tool:
+//! given an anonymized dataset and a second (public) location dataset,
+//! how many users can be re-identified from spatio-temporal information
+//! alone? This example publishes an "anonymized" taxi dump, attacks it
+//! with SLIM using an auxiliary dataset at several record densities, and
+//! reports the re-identification rate — the privacy-advisor view of the
+//! linkage machinery.
+
+use slim::baselines::{stlink, StLinkConfig};
+use slim::core::{Slim, SlimConfig};
+use slim::datagen::Scenario;
+use slim::eval::evaluate_edges;
+
+fn main() {
+    let scenario = Scenario::cab(0.1, 555);
+    println!("auxiliary-data density sweep (attack strength):\n");
+    println!("inclusion   avg_records   re-identified   precision   stlink_reident");
+    for inclusion in [0.1, 0.3, 0.5, 0.9] {
+        // The "anonymized release" is one view; the attacker's auxiliary
+        // data is the other, sampled at varying density.
+        let sample = scenario.sample_with_inclusion(0.8, inclusion, 555);
+        let slim = Slim::new(SlimConfig::default()).expect("valid config");
+        let out = slim.link(&sample.left, &sample.right);
+        let m = evaluate_edges(&out.links, &sample.ground_truth);
+
+        // A second attacker using ST-Link, for comparison.
+        let st = stlink(&sample.left, &sample.right, &StLinkConfig::default());
+        let st_m = evaluate_links_ref(&st.links, &sample);
+
+        println!(
+            "{:>9.1}   {:>11.0}   {:>9}/{:<3}   {:>9.3}   {:>10}/{}",
+            inclusion,
+            sample.left.avg_records_per_entity(),
+            m.true_positives,
+            m.num_truth,
+            m.precision,
+            st_m,
+            sample.num_common(),
+        );
+    }
+    println!(
+        "\nEvery correctly linked pair is a user whose 'anonymous' trace was\n\
+         re-identified purely from where and when they were — the paper's\n\
+         §1 argument for privacy advisors quantifying linkage likelihood."
+    );
+}
+
+fn evaluate_links_ref(
+    links: &[(slim::core::EntityId, slim::core::EntityId)],
+    sample: &slim::datagen::TwoViewSample,
+) -> usize {
+    links
+        .iter()
+        .filter(|(l, r)| sample.ground_truth.get(l) == Some(r))
+        .count()
+}

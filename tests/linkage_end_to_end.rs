@@ -1,0 +1,158 @@
+//! End-to-end integration tests spanning datagen → core → eval.
+
+use slim::core::{matching, Slim, SlimConfig, ThresholdMethod};
+use slim::datagen::Scenario;
+use slim::eval::{evaluate_edges, hit_precision_at_k};
+
+fn cab_sample(ratio: f64, seed: u64) -> slim::datagen::TwoViewSample {
+    Scenario::cab(0.12, seed).sample(ratio, seed)
+}
+
+#[test]
+fn cab_linkage_beats_chance_by_far() {
+    // Averaged over seeds: the GMM stop threshold is statistically noisy
+    // on ~20 matched edges (the paper fits it over 265 entities).
+    let (mut p_sum, mut r_sum) = (0.0, 0.0);
+    let seeds = [31u64, 35, 36];
+    for &seed in &seeds {
+        let sample = cab_sample(0.5, seed);
+        let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+        let m = evaluate_edges(&out.links, &sample.ground_truth);
+        p_sum += m.precision;
+        r_sum += m.recall;
+    }
+    let n = seeds.len() as f64;
+    // Random one-to-one matching of n left to n right entities gets
+    // expected precision ~1/n; SLIM should be dramatically better.
+    assert!(p_sum / n >= 0.7, "avg precision {}", p_sum / n);
+    assert!(r_sum / n >= 0.6, "avg recall {}", r_sum / n);
+}
+
+#[test]
+fn linkage_is_one_to_one_and_positive() {
+    let sample = cab_sample(0.7, 32);
+    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    assert!(matching::is_valid_matching(&out.links));
+    assert!(out.links.iter().all(|e| e.weight > 0.0));
+    // links ⊆ matching
+    for l in &out.links {
+        assert!(out
+            .matching
+            .iter()
+            .any(|m| m.left == l.left && m.right == l.right));
+    }
+}
+
+#[test]
+fn no_overlap_means_threshold_prunes_hard() {
+    // With zero truly-common entities every matched edge is a false
+    // positive; the pipeline should link few-to-none of them confidently.
+    let sample = cab_sample(0.0, 33);
+    assert_eq!(sample.num_common(), 0);
+    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    let m = evaluate_edges(&out.links, &sample.ground_truth);
+    assert_eq!(m.true_positives, 0);
+    // The stop threshold must drop a decent share of the (all-false)
+    // matching — this is exactly the failure mode it exists for.
+    assert!(
+        out.links.len() <= out.matching.len(),
+        "threshold never prunes"
+    );
+}
+
+#[test]
+fn full_overlap_matching_recovers_most_entities() {
+    // At 100% entity overlap every matched edge is true, so the matching
+    // itself must recover most entities. (The stop threshold is known to
+    // over-prune an all-true unimodal weight distribution — the paper
+    // only evaluates intersection ratios up to 0.9 — so this asserts on
+    // the matching, not the thresholded links.)
+    let sample = cab_sample(1.0, 34);
+    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    let m = evaluate_edges(&out.matching, &sample.ground_truth);
+    assert!(
+        m.true_positives as f64 >= 0.7 * m.num_truth as f64,
+        "matching recovered only {}/{}",
+        m.true_positives,
+        m.num_truth
+    );
+    // Thresholded links must still be pure (every survivor correct).
+    let links = evaluate_edges(&out.links, &sample.ground_truth);
+    assert!(
+        links.precision >= 0.9,
+        "threshold kept false links: precision {}",
+        links.precision
+    );
+}
+
+#[test]
+fn hit_precision_of_raw_scores_is_high() {
+    let sample = cab_sample(0.5, 35);
+    let slim = Slim::new(SlimConfig::default()).unwrap();
+    let prepared = slim.prepare(&sample.left, &sample.right);
+    let (edges, _) = prepared.score_pairs(&prepared.all_pairs());
+    let lefts = sample.left.entities_sorted();
+    let hp = hit_precision_at_k(&edges, &lefts, &sample.ground_truth, 40);
+    // Only entities with a counterpart can contribute → the ceiling is
+    // the fraction of matched left entities, ≈ 0.5 at ratio 0.5
+    // (paper §5.5: "the best achievable hit precision is 0.5").
+    let ceiling = sample.num_common() as f64 / lefts.len() as f64;
+    assert!(hp <= ceiling + 1e-9, "hp {hp} above ceiling {ceiling}");
+    assert!(hp > 0.5 * ceiling, "hit precision {hp} (ceiling {ceiling})");
+}
+
+#[test]
+fn threshold_methods_all_work_end_to_end() {
+    let sample = cab_sample(0.5, 36);
+    for method in [
+        ThresholdMethod::GmmExpectedF1,
+        ThresholdMethod::Otsu,
+        ThresholdMethod::TwoMeans,
+        ThresholdMethod::None,
+    ] {
+        let cfg = SlimConfig {
+            threshold_method: method,
+            ..SlimConfig::default()
+        };
+        let out = Slim::new(cfg).unwrap().link(&sample.left, &sample.right);
+        let m = evaluate_edges(&out.links, &sample.ground_truth);
+        assert!(
+            m.f1 > 0.2,
+            "method {method:?} collapsed: f1 {} ({} links)",
+            m.f1,
+            m.num_links
+        );
+    }
+}
+
+#[test]
+fn exact_matching_agrees_with_greedy_on_total_weight_order() {
+    // Sanity: on a real score matrix, greedy total ≤ optimal total and
+    // both produce valid matchings.
+    let sample = cab_sample(0.5, 37);
+    let slim = Slim::new(SlimConfig::default()).unwrap();
+    let prepared = slim.prepare(&sample.left, &sample.right);
+    let (edges, _) = prepared.score_pairs(&prepared.all_pairs());
+    let greedy = matching::greedy_max_matching(&edges);
+    let greedy_total: f64 = greedy.iter().map(|e| e.weight).sum();
+
+    // Build the dense matrix for the Hungarian solver.
+    let lefts = sample.left.entities_sorted();
+    let rights = sample.right.entities_sorted();
+    let lidx: std::collections::HashMap<_, _> =
+        lefts.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let ridx: std::collections::HashMap<_, _> =
+        rights.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let mut w = vec![vec![0.0; rights.len()]; lefts.len()];
+    for e in &edges {
+        if let (Some(&i), Some(&j)) = (lidx.get(&e.left), ridx.get(&e.right)) {
+            w[i][j] = e.weight;
+        }
+    }
+    let (_, optimal_total) = slim::core::hungarian::max_weight_assignment(&w);
+    assert!(greedy_total <= optimal_total + 1e-6);
+    assert!(
+        greedy_total >= 0.5 * optimal_total,
+        "greedy is a 1/2-approximation: {greedy_total} vs {optimal_total}"
+    );
+}

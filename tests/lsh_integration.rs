@@ -1,0 +1,154 @@
+//! Integration tests for the LSH layer against the full pipeline.
+
+use slim::core::{Slim, SlimConfig};
+use slim::datagen::Scenario;
+use slim::eval::evaluate_edges;
+use slim::lsh::{collision_probability, LshConfig, LshFilter};
+
+fn sample(seed: u64) -> slim::datagen::TwoViewSample {
+    Scenario::cab(0.08, seed).sample(0.5, seed)
+}
+
+fn lsh_cfg() -> LshConfig {
+    // Integration samples span only 2 days (192 leaf windows), so the
+    // signatures are short; long query steps keep the dominating cells
+    // stable across the two asynchronous views, as in the paper's
+    // best-performing settings (step 48 on a 24-day span).
+    LshConfig {
+        threshold: 0.6,
+        step_windows: 96,
+        spatial_level: 14,
+        num_buckets: 4096,
+    }
+}
+
+#[test]
+fn lsh_preserves_most_true_pairs() {
+    let s = sample(41);
+    let filter = LshFilter::build_auto(lsh_cfg(), &s.left, &s.right, 900);
+    let candidates = filter.candidates();
+    let surviving = s
+        .ground_truth
+        .iter()
+        .filter(|(l, r)| candidates.contains(&(**l, **r)))
+        .count();
+    assert!(
+        surviving as f64 >= 0.7 * s.ground_truth.len() as f64,
+        "only {surviving}/{} true pairs survive",
+        s.ground_truth.len()
+    );
+}
+
+#[test]
+fn lsh_prunes_the_pair_space() {
+    let s = sample(42);
+    let filter = LshFilter::build_auto(lsh_cfg(), &s.left, &s.right, 900);
+    let candidates = filter.candidates();
+    let total = s.left.num_entities() * s.right.num_entities();
+    assert!(
+        candidates.len() < total,
+        "no pruning: {} of {total}",
+        candidates.len()
+    );
+}
+
+#[test]
+fn lsh_filtered_linkage_stays_accurate() {
+    let s = sample(43);
+    // Compare the matchings directly (no stop threshold): at integration-
+    // test scale the GMM fit is noisy enough to dominate the comparison,
+    // which would test the threshold, not the LSH filter.
+    let cfg = SlimConfig {
+        threshold_method: slim::core::ThresholdMethod::None,
+        ..SlimConfig::default()
+    };
+    let slim = Slim::new(cfg).unwrap();
+    let brute = slim.link(&s.left, &s.right);
+    let brute_m = evaluate_edges(&brute.links, &s.ground_truth);
+
+    let filter = LshFilter::build_auto(lsh_cfg(), &s.left, &s.right, 900);
+    let lsh_out = slim.link_with_candidates(&s.left, &s.right, &filter.candidates());
+    let lsh_m = evaluate_edges(&lsh_out.links, &s.ground_truth);
+
+    assert!(
+        lsh_out.stats.record_pair_comparisons <= brute.stats.record_pair_comparisons,
+        "LSH did more work than brute force"
+    );
+    if brute_m.f1 > 0.0 {
+        assert!(
+            lsh_m.f1 / brute_m.f1 > 0.6,
+            "relative F1 collapsed: {} vs {}",
+            lsh_m.f1,
+            brute_m.f1
+        );
+    }
+}
+
+#[test]
+fn banding_matches_theory_on_real_signatures() {
+    // Empirical candidate probability of true pairs should not be wildly
+    // below the theoretical S-curve value at their measured similarity.
+    let s = sample(44);
+    let filter = LshFilter::build_auto(lsh_cfg(), &s.left, &s.right, 900);
+    let (bands, rows) = filter.banding();
+    let candidates = filter.candidates();
+
+    let mut theory_sum = 0.0;
+    let mut hits = 0usize;
+    let mut n = 0usize;
+    for (l, r) in &s.ground_truth {
+        let sl = filter
+            .left_signatures()
+            .iter()
+            .find(|x| x.entity == *l)
+            .unwrap();
+        let sr = filter
+            .right_signatures()
+            .iter()
+            .find(|x| x.entity == *r)
+            .unwrap();
+        let sim = sl.similarity(sr);
+        theory_sum += collision_probability(sim, bands, rows);
+        hits += candidates.contains(&(*l, *r)) as usize;
+        n += 1;
+    }
+    let theory = theory_sum / n as f64;
+    let empirical = hits as f64 / n as f64;
+    // Banding hashes exact band equality, which is *stricter* than the
+    // per-slot similarity the theory assumes; allow a generous band.
+    assert!(
+        empirical + 0.35 >= theory * 0.5,
+        "empirical {empirical} far below theory {theory}"
+    );
+}
+
+#[test]
+fn bucket_count_only_affects_false_candidates() {
+    let s = sample(45);
+    let few = LshFilter::build_auto(
+        LshConfig {
+            num_buckets: 64,
+            ..lsh_cfg()
+        },
+        &s.left,
+        &s.right,
+        900,
+    );
+    let many = LshFilter::build_auto(
+        LshConfig {
+            num_buckets: 1 << 18,
+            ..lsh_cfg()
+        },
+        &s.left,
+        &s.right,
+        900,
+    );
+    let few_c = few.candidates();
+    let many_c = many.candidates();
+    assert!(many_c.len() <= few_c.len());
+    // Identical bands collide regardless of bucket count: candidates of
+    // the many-bucket filter are a subset of the few-bucket one.
+    for pair in &many_c {
+        assert!(few_c.contains(pair), "{pair:?} lost when shrinking buckets");
+    }
+}

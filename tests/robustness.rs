@@ -1,0 +1,222 @@
+//! Failure-injection and edge-case robustness tests for the full
+//! pipeline: degenerate datasets, adversarial record patterns, extreme
+//! configurations. A production linkage system sees all of these.
+
+use slim::core::{
+    EntityId, LocationDataset, MatchingMethod, Record, Slim, SlimConfig, ThresholdMethod,
+    Timestamp,
+};
+use slim::datagen::Scenario;
+use slim::eval::evaluate_edges;
+use slim::geo::LatLng;
+use slim::lsh::{LshConfig, LshFilter};
+
+fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
+    Record::new(EntityId(e), LatLng::from_degrees(lat, lng), Timestamp(t))
+}
+
+#[test]
+fn all_records_at_one_instant() {
+    // Every record at the same timestamp: one window, still no panic.
+    let l: Vec<Record> = (0..6).map(|e| rec(e, 0, 30.0 + e as f64, 10.0)).collect();
+    let l: Vec<Record> = l
+        .iter()
+        .flat_map(|r| (0..10).map(move |_| *r))
+        .collect();
+    let r: Vec<Record> = (0..6)
+        .map(|e| rec(100 + e, 0, 30.0 + e as f64, 10.0))
+        .flat_map(|r| (0..10).map(move |_| r))
+        .collect();
+    let out = Slim::new(SlimConfig::default()).unwrap().link(
+        &LocationDataset::from_records(l),
+        &LocationDataset::from_records(r),
+    );
+    assert!(out.matching.len() <= 6);
+}
+
+#[test]
+fn all_entities_at_one_location() {
+    // Spatially degenerate: everyone in the same cell all the time.
+    // Every pair looks identical; idf zeroes the evidence; the pipeline
+    // must return gracefully (few/no links, never a panic).
+    let mk = |base: u64| -> LocationDataset {
+        LocationDataset::from_records(
+            (0..5)
+                .flat_map(|e| (0..20).map(move |k| rec(base + e, k * 900, 45.0, 7.0)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let out = Slim::new(SlimConfig::default()).unwrap().link(&mk(0), &mk(100));
+    for e in &out.links {
+        assert!(e.weight > 0.0);
+    }
+}
+
+#[test]
+fn duplicate_records_do_not_crash_or_inflate() {
+    let base: Vec<Record> = (0..8)
+        .flat_map(|e| (0..15).map(move |k| rec(e, k * 900, 40.0 + 0.2 * e as f64, -3.0)))
+        .collect();
+    let mut doubled = base.clone();
+    doubled.extend_from_slice(&base);
+    let right: Vec<Record> = base
+        .iter()
+        .map(|r| Record::new(EntityId(r.entity.0 + 100), r.location, r.time))
+        .collect();
+
+    let slim = Slim::new(SlimConfig::default()).unwrap();
+    let a = slim.link(
+        &LocationDataset::from_records(base),
+        &LocationDataset::from_records(right.clone()),
+    );
+    let b = slim.link(
+        &LocationDataset::from_records(doubled),
+        &LocationDataset::from_records(right),
+    );
+    // Duplicated input must not change which pairs match.
+    let pairs = |out: &slim::core::LinkageOutput| {
+        let mut v: Vec<_> = out.matching.iter().map(|e| (e.left, e.right)).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(pairs(&a), pairs(&b));
+}
+
+#[test]
+fn negative_timestamps_are_legal() {
+    let l: Vec<Record> = (0..6)
+        .flat_map(|e| (0..10).map(move |k| rec(e, -100_000 + k * 900, 10.0 + e as f64, 10.0)))
+        .collect();
+    let r: Vec<Record> = l
+        .iter()
+        .map(|x| Record::new(EntityId(x.entity.0 + 50), x.location, Timestamp(x.time.secs() + 400)))
+        .collect();
+    let out = Slim::new(SlimConfig::default()).unwrap().link(
+        &LocationDataset::from_records(l),
+        &LocationDataset::from_records(r),
+    );
+    assert_eq!(out.matching.len(), 6);
+}
+
+#[test]
+fn extreme_spatial_levels_work() {
+    let sample = Scenario::cab(0.05, 71).sample(0.5, 71);
+    for level in [0u8, 30] {
+        let cfg = SlimConfig {
+            spatial_level: level,
+            threshold_method: ThresholdMethod::None,
+            ..SlimConfig::default()
+        };
+        let out = Slim::new(cfg).unwrap().link(&sample.left, &sample.right);
+        // Level 0: one cell per face — nothing distinguishable, but no
+        // panics. Level 30: cm² cells — nothing co-occurs exactly, but
+        // MNN still pairs nearby cells.
+        let _ = out.links.len();
+    }
+}
+
+#[test]
+fn one_sided_dataset() {
+    let sample = Scenario::cab(0.05, 72).sample(0.5, 72);
+    let empty = LocationDataset::from_records(Vec::new());
+    let slim = Slim::new(SlimConfig::default()).unwrap();
+    let out = slim.link(&sample.left, &empty);
+    assert!(out.links.is_empty());
+    let out = slim.link(&empty, &sample.right);
+    assert!(out.links.is_empty());
+}
+
+#[test]
+fn exact_matching_end_to_end_never_worse_than_greedy() {
+    let sample = Scenario::cab(0.08, 73).sample(0.5, 73);
+    let greedy_cfg = SlimConfig {
+        threshold_method: ThresholdMethod::None,
+        ..SlimConfig::default()
+    };
+    let exact_cfg = SlimConfig {
+        matching_method: MatchingMethod::HungarianExact,
+        threshold_method: ThresholdMethod::None,
+        ..SlimConfig::default()
+    };
+    let g = Slim::new(greedy_cfg).unwrap().link(&sample.left, &sample.right);
+    let e = Slim::new(exact_cfg).unwrap().link(&sample.left, &sample.right);
+    let total = |out: &slim::core::LinkageOutput| -> f64 {
+        out.matching.iter().map(|x| x.weight).sum()
+    };
+    assert!(
+        total(&e) >= total(&g) - 1e-9,
+        "exact {} below greedy {}",
+        total(&e),
+        total(&g)
+    );
+    // On well-separated scores both find the same true pairs.
+    let ge = evaluate_edges(&g.matching, &sample.ground_truth);
+    let ee = evaluate_edges(&e.matching, &sample.ground_truth);
+    assert!(ee.true_positives >= ge.true_positives.saturating_sub(1));
+}
+
+#[test]
+fn region_records_link_like_noisy_points() {
+    // Replace one view's points with 150 m accuracy regions: linkage
+    // should still work (paper §2.1 extension).
+    let sample = Scenario::cab(0.08, 74).sample(0.5, 74);
+    let mut fuzzed = Vec::new();
+    for e in sample.right.entities_sorted() {
+        for r in sample.right.records_of(e) {
+            fuzzed.push(Record::with_accuracy(r.entity, r.location, r.time, 150.0));
+        }
+    }
+    let fuzzed = LocationDataset::from_records(fuzzed);
+    let cfg = SlimConfig {
+        threshold_method: ThresholdMethod::None,
+        ..SlimConfig::default()
+    };
+    let slim = Slim::new(cfg).unwrap();
+    let crisp = slim.link(&sample.left, &sample.right);
+    let fuzzy = slim.link(&sample.left, &fuzzed);
+    let crisp_m = evaluate_edges(&crisp.matching, &sample.ground_truth);
+    let fuzzy_m = evaluate_edges(&fuzzy.matching, &sample.ground_truth);
+    assert!(
+        fuzzy_m.true_positives as f64 >= 0.7 * crisp_m.true_positives as f64,
+        "region records collapsed the matching: {} vs {}",
+        fuzzy_m.true_positives,
+        crisp_m.true_positives
+    );
+}
+
+#[test]
+fn lsh_with_degenerate_parameters() {
+    let sample = Scenario::cab(0.05, 75).sample(0.5, 75);
+    // One-window steps, one bucket, extreme thresholds — never panic.
+    for (t, step, buckets) in [(0.01, 1u32, 1u64), (0.99, 1000, 1)] {
+        let filter = LshFilter::build_auto(
+            LshConfig {
+                threshold: t,
+                step_windows: step,
+                spatial_level: 12,
+                num_buckets: buckets,
+            },
+            &sample.left,
+            &sample.right,
+            900,
+        );
+        let _ = filter.candidates();
+    }
+}
+
+#[test]
+fn window_width_of_one_second() {
+    let sample = Scenario::cab(0.05, 76).sample(0.5, 76);
+    let cfg = SlimConfig {
+        window_width_secs: 1,
+        threshold_method: ThresholdMethod::None,
+        ..SlimConfig::default()
+    };
+    // One-second windows mean essentially no co-occurrence (views sample
+    // asynchronously) — must complete and produce a (near-)empty result,
+    // the paper's "very small temporal windows require services to be
+    // used synchronously" observation.
+    let out = Slim::new(cfg).unwrap().link(&sample.left, &sample.right);
+    let m = evaluate_edges(&out.matching, &sample.ground_truth);
+    assert!(m.num_links <= sample.left.num_entities());
+}
