@@ -27,7 +27,10 @@ fn bench_fig2_gmm(c: &mut Criterion) {
 fn bench_fig4_cab_grid(c: &mut Criterion) {
     let s = settings();
     let grid = figures::fig4_5::run_grid(&s.cab(), &[8, 12, 16], &[15, 90], &s);
-    println!("{}", figures::fig4_5::render("Fig 4 (Cab, bench scale)", &grid).render());
+    println!(
+        "{}",
+        figures::fig4_5::render("Fig 4 (Cab, bench scale)", &grid).render()
+    );
     c.bench_function("fig4_cab_single_cell", |b| {
         b.iter(|| figures::fig4_5::run_grid(black_box(&s.cab()), &[12], &[15], &s))
     });
@@ -36,7 +39,10 @@ fn bench_fig4_cab_grid(c: &mut Criterion) {
 fn bench_fig5_sm_grid(c: &mut Criterion) {
     let s = settings();
     let grid = figures::fig4_5::run_grid(&s.sm(), &[8, 12, 16], &[15, 90], &s);
-    println!("{}", figures::fig4_5::render("Fig 5 (SM, bench scale)", &grid).render());
+    println!(
+        "{}",
+        figures::fig4_5::render("Fig 5 (SM, bench scale)", &grid).render()
+    );
     c.bench_function("fig5_sm_single_cell", |b| {
         b.iter(|| figures::fig4_5::run_grid(black_box(&s.sm()), &[12], &[15], &s))
     });
@@ -54,7 +60,10 @@ fn bench_fig6_hist(c: &mut Criterion) {
 fn bench_fig7_sensitivity(c: &mut Criterion) {
     let s = settings();
     let pts = figures::fig7::run_sweep(&s.cab(), &[0.3, 0.7], &[0.5], &s);
-    println!("{}", figures::fig7::render("Fig 7 (Cab, bench scale)", &pts).render());
+    println!(
+        "{}",
+        figures::fig7::render("Fig 7 (Cab, bench scale)", &pts).render()
+    );
     c.bench_function("fig7_one_point", |b| {
         b.iter(|| figures::fig7::run_sweep(black_box(&s.cab()), &[0.5], &[0.5], &s))
     });
@@ -63,7 +72,10 @@ fn bench_fig7_sensitivity(c: &mut Criterion) {
 fn bench_fig8_lsh(c: &mut Criterion) {
     let s = settings();
     let pts = figures::fig8::run_grid(&s.cab(), &[12, 16], &[48, 96], &s);
-    println!("{}", figures::fig8::render("Fig 8 (Cab, bench scale)", &pts).render());
+    println!(
+        "{}",
+        figures::fig8::render("Fig 8 (Cab, bench scale)", &pts).render()
+    );
     c.bench_function("fig8_one_point", |b| {
         b.iter(|| figures::fig8::run_grid(black_box(&s.cab()), &[14], &[96], &s))
     });
@@ -72,7 +84,10 @@ fn bench_fig8_lsh(c: &mut Criterion) {
 fn bench_fig9_buckets(c: &mut Criterion) {
     let s = settings();
     let pts = figures::fig9::run_sweep(&s.cab(), &[256, 4096, 1 << 16], &[0.6], 96, &s);
-    println!("{}", figures::fig9::render("Fig 9 (Cab, bench scale)", &pts).render());
+    println!(
+        "{}",
+        figures::fig9::render("Fig 9 (Cab, bench scale)", &pts).render()
+    );
     c.bench_function("fig9_one_point", |b| {
         b.iter(|| figures::fig9::run_sweep(black_box(&s.cab()), &[4096], &[0.6], 96, &s))
     });
@@ -81,7 +96,10 @@ fn bench_fig9_buckets(c: &mut Criterion) {
 fn bench_fig10_ablation(c: &mut Criterion) {
     let s = settings();
     let pts = figures::fig10::run_spatial(&s, &[12, 16]);
-    println!("{}", figures::fig10::render("Fig 10a (bench scale)", &pts, false).render());
+    println!(
+        "{}",
+        figures::fig10::render("Fig 10a (bench scale)", &pts, false).render()
+    );
     c.bench_function("fig10_one_level_all_variants", |b| {
         b.iter(|| figures::fig10::run_spatial(black_box(&s), &[12]))
     });

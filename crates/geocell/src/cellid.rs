@@ -68,7 +68,10 @@ impl CellId {
     pub fn from_face_ij(face: u8, i: u32, j: u32, level: u8) -> Self {
         assert!(face < NUM_FACES, "face {face} out of range");
         assert!(level <= MAX_LEVEL, "level {level} out of range");
-        assert!(i < (1 << MAX_LEVEL) && j < (1 << MAX_LEVEL), "ij out of range");
+        assert!(
+            i < (1 << MAX_LEVEL) && j < (1 << MAX_LEVEL),
+            "ij out of range"
+        );
         let morton = (spread_bits(i as u64) << 1) | spread_bits(j as u64);
         // The position is the morton code shifted left by one (occupying
         // bits 1..=60), truncated to the level's precision, with a single
@@ -245,7 +248,13 @@ impl CellId {
 
 impl fmt::Debug for CellId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CellId(f{} L{} {})", self.face(), self.level(), self.token())
+        write!(
+            f,
+            "CellId(f{} L{} {})",
+            self.face(),
+            self.level(),
+            self.token()
+        )
     }
 }
 

@@ -102,7 +102,10 @@ mod tests {
         let b = LatLng::from_degrees(37.1, -122.2);
         let via_angle = a.to_point().angle(&b.to_point()) * crate::EARTH_RADIUS_M;
         let via_hav = a.distance_m(&b);
-        assert!((via_angle - via_hav).abs() < 0.5, "{via_angle} vs {via_hav}");
+        assert!(
+            (via_angle - via_hav).abs() < 0.5,
+            "{via_angle} vs {via_hav}"
+        );
     }
 
     #[test]

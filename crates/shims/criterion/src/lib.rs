@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! (`Criterion`, `Bencher::iter`, `criterion_group!`, `criterion_main!`)
+//! with a simple wall-clock measurement loop: warm up, then run batches
+//! until a time budget or iteration cap is reached, and report the mean
+//! time per iteration. No statistics, no HTML reports — just numbers on
+//! stdout, enough for `cargo bench` to run offline.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects named benchmark functions and prints one
+/// mean-time line per benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Upper bound on measured iterations per benchmark.
+    max_iters: u64,
+    /// Wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            max_iters: 10_000,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility knob: upstream criterion's statistical sample count.
+    /// Here it simply caps the measured iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.max_iters = (n as u64).max(1) * 10;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            max_iters: self.max_iters,
+            budget: self.budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_secs_f64() / b.iters as f64
+        };
+        println!(
+            "bench {name:<44} {:>12.0} ns/iter ({} iters)",
+            per_iter * 1e9,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Measurement handle passed to each benchmark closure.
+pub struct Bencher {
+    max_iters: u64,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f` (one warm-up run, then measured runs
+    /// until the budget or iteration cap is hit).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_iters && start.elapsed() < self.budget {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io. The workspace uses serde
+//! purely as derive annotations (no runtime serialization), so this shim
+//! provides the two trait names plus no-op derive macros of the same
+//! names. `use serde::{Deserialize, Serialize}` imports both the traits
+//! and the derives, exactly like the real crate with the `derive`
+//! feature.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive never generates an impl.
+pub trait Serialize {}
+
+/// Marker trait; the no-op derive never generates an impl.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes through serde at runtime — so the
+//! derives expand to nothing. If real serialization is ever needed, swap
+//! the shim for the actual crates.io dependency.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -77,7 +77,10 @@ impl MobilityModel {
             return None;
         }
         let origin = records[0].location;
-        let pts: Vec<P2> = records.iter().map(|r| project(&origin, &r.location)).collect();
+        let pts: Vec<P2> = records
+            .iter()
+            .map(|r| project(&origin, &r.location))
+            .collect();
         let k = cfg.components.min(pts.len()).max(1);
         let (centers, assignment) = kmeans(&pts, k, 30);
         let k = centers.len();
@@ -131,12 +134,7 @@ impl MobilityModel {
     fn log_density(&self, p: &LatLng) -> f64 {
         let q = project(&self.origin, p);
         let mut density = 0.0f64;
-        for ((&(cx, cy), &w), &var) in self
-            .centers
-            .iter()
-            .zip(&self.weights)
-            .zip(&self.variances)
-        {
+        for ((&(cx, cy), &w), &var) in self.centers.iter().zip(&self.weights).zip(&self.variances) {
             let dx = q.0 - cx;
             let dy = q.1 - cy;
             // Isotropic bivariate normal.
@@ -214,8 +212,7 @@ pub fn gm(left: &LocationDataset, right: &LocationDataset, cfg: &GmConfig) -> Gm
         for v in right.entities_sorted() {
             let recs = right.records_of(v);
             stats.scored_entity_pairs += 1;
-            stats.record_pair_comparisons +=
-                left.records_of(u).len() as u64 * recs.len() as u64;
+            stats.record_pair_comparisons += left.records_of(u).len() as u64 * recs.len() as u64;
             let ll = model.log_likelihood(recs);
             if ll.is_finite() {
                 min_ll = min_ll.min(ll);
@@ -224,7 +221,11 @@ pub fn gm(left: &LocationDataset, right: &LocationDataset, cfg: &GmConfig) -> Gm
         }
     }
     // Shift to positive weights for the max-weight matching.
-    let shift = if min_ll.is_finite() { -min_ll + 1.0 } else { 0.0 };
+    let shift = if min_ll.is_finite() {
+        -min_ll + 1.0
+    } else {
+        0.0
+    };
     let mut scores: Vec<Edge> = raw
         .into_iter()
         .map(|(u, v, ll)| Edge {
@@ -280,7 +281,13 @@ mod tests {
         let cfg = GmConfig::default();
         let model = MobilityModel::fit(&recs, &cfg).unwrap();
         let own = model.log_likelihood(&recs);
-        let other = commuter(2, LatLng::from_degrees(40.0, -100.0), LatLng::from_degrees(40.1, -100.1), 40, 0);
+        let other = commuter(
+            2,
+            LatLng::from_degrees(40.0, -100.0),
+            LatLng::from_degrees(40.1, -100.1),
+            40,
+            0,
+        );
         let foreign = model.log_likelihood(&other);
         assert!(own > foreign, "own {own} vs foreign {foreign}");
     }

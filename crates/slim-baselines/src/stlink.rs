@@ -136,7 +136,11 @@ pub fn stlink(left: &LocationDataset, right: &LocationDataset, cfg: &StLinkConfi
         for &v in &rights {
             stats.scored_entity_pairs += 1;
             let (wu, wv) = (&lb[&u], &rb[&v]);
-            let (small, large) = if wu.len() <= wv.len() { (wu, wv) } else { (wv, wu) };
+            let (small, large) = if wu.len() <= wv.len() {
+                (wu, wv)
+            } else {
+                (wv, wu)
+            };
             let mut ev = Evidence::default();
             for (w, small_bins) in small {
                 let Some(large_bins) = large.get(w) else {

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! slim-link LEFT.csv RIGHT.csv [options]
+//! slim-link --stream LEFT.csv RIGHT.csv [options]   # replay as an event stream
 //! slim-link --demo out-dir            # generate a linkable sample pair
 //! ```
 
@@ -15,8 +16,29 @@ use std::path::PathBuf;
 
 use slim_core::{MatchingMethod, SlimConfig, ThresholdMethod};
 
+/// Streaming-replay options (`--stream`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOptions {
+    /// Sliding-window capacity in temporal windows (`None` = unbounded).
+    pub window_capacity: Option<u32>,
+    /// Refresh-tick interval in events.
+    pub refresh_every: usize,
+    /// Ingest batch size for sharded binning.
+    pub batch_size: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            window_capacity: None,
+            refresh_every: 10_000,
+            batch_size: 8_192,
+        }
+    }
+}
+
 /// Parsed command-line options.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CliOptions {
     /// Left dataset path (unless `--demo`).
     pub left: Option<PathBuf>,
@@ -28,24 +50,12 @@ pub struct CliOptions {
     pub config: SlimConfig,
     /// Enable the LSH candidate filter.
     pub lsh: Option<slim_lsh::LshConfig>,
+    /// Replay the datasets as a timestamped event stream (`--stream`).
+    pub stream: Option<StreamOptions>,
     /// Output CSV path (stdout when `None`).
     pub out: Option<PathBuf>,
     /// Print per-step progress.
     pub verbose: bool,
-}
-
-impl Default for CliOptions {
-    fn default() -> Self {
-        Self {
-            left: None,
-            right: None,
-            demo: None,
-            config: SlimConfig::default(),
-            lsh: None,
-            out: None,
-            verbose: false,
-        }
-    }
 }
 
 /// Usage text.
@@ -54,6 +64,7 @@ slim-link — link the entities of two location datasets (SLIM, SIGMOD'20)
 
 USAGE:
     slim-link LEFT.csv RIGHT.csv [OPTIONS]
+    slim-link --stream LEFT.csv RIGHT.csv [OPTIONS]
     slim-link --demo DIR [OPTIONS]
 
 CSV format: entity_id,latitude,longitude,timestamp[,accuracy_m]
@@ -70,6 +81,14 @@ OPTIONS:
     --lsh-step N         query span in windows              [default: 48]
     --lsh-level N        dominating-cell spatial level      [default: 16]
     --buckets N          LSH bucket count                   [default: 4096]
+    --stream             replay the CSVs as a timestamped event stream
+                         through the incremental engine, reporting link
+                         updates at each refresh tick
+    --stream-window N    sliding window in temporal windows; 0 keeps the
+                         full history                       [default: 0]
+    --refresh-every N    events between refresh ticks       [default: 10000]
+    --batch-size N       ingest batch size for sharded
+                         binning                            [default: 8192]
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -81,6 +100,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut opts = CliOptions::default();
     let mut lsh_cfg = slim_lsh::LshConfig::default();
     let mut want_lsh = false;
+    let mut stream_opts = StreamOptions::default();
+    let mut want_stream = false;
     let mut positional: Vec<PathBuf> = Vec::new();
 
     let mut i = 0;
@@ -101,6 +122,37 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 want_lsh = true;
                 i += 1;
             }
+            "--stream" => {
+                want_stream = true;
+                i += 1;
+            }
+            "--stream-window" => {
+                let v = take_value(args, i, arg)?;
+                let w: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --stream-window `{v}`"))?;
+                stream_opts.window_capacity = (w > 0).then_some(w);
+                want_stream = true;
+                i += 2;
+            }
+            "--refresh-every" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.refresh_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --refresh-every `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--batch-size" => {
+                let v = take_value(args, i, arg)?;
+                let n: usize = v.parse().map_err(|_| format!("bad --batch-size `{v}`"))?;
+                if n == 0 {
+                    return Err("--batch-size must be positive".to_string());
+                }
+                stream_opts.batch_size = n;
+                want_stream = true;
+                i += 2;
+            }
             "--exact-matching" => {
                 opts.config.matching_method = MatchingMethod::HungarianExact;
                 i += 1;
@@ -113,8 +165,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--level" => {
                 let v = take_value(args, i, arg)?;
-                opts.config.spatial_level =
-                    v.parse().map_err(|_| format!("bad --level `{v}`"))?;
+                opts.config.spatial_level = v.parse().map_err(|_| format!("bad --level `{v}`"))?;
                 i += 2;
             }
             "--b" => {
@@ -141,21 +192,21 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--lsh-threshold" => {
                 let v = take_value(args, i, arg)?;
-                lsh_cfg.threshold = v.parse().map_err(|_| format!("bad --lsh-threshold `{v}`"))?;
+                lsh_cfg.threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad --lsh-threshold `{v}`"))?;
                 want_lsh = true;
                 i += 2;
             }
             "--lsh-step" => {
                 let v = take_value(args, i, arg)?;
-                lsh_cfg.step_windows =
-                    v.parse().map_err(|_| format!("bad --lsh-step `{v}`"))?;
+                lsh_cfg.step_windows = v.parse().map_err(|_| format!("bad --lsh-step `{v}`"))?;
                 want_lsh = true;
                 i += 2;
             }
             "--lsh-level" => {
                 let v = take_value(args, i, arg)?;
-                lsh_cfg.spatial_level =
-                    v.parse().map_err(|_| format!("bad --lsh-level `{v}`"))?;
+                lsh_cfg.spatial_level = v.parse().map_err(|_| format!("bad --lsh-level `{v}`"))?;
                 want_lsh = true;
                 i += 2;
             }
@@ -197,6 +248,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if want_lsh {
         opts.lsh = Some(lsh_cfg);
+    }
+    if want_stream {
+        if opts.demo.is_some() {
+            return Err("--stream cannot be combined with --demo".to_string());
+        }
+        opts.stream = Some(stream_opts);
     }
     opts.config.validate()?;
     Ok(opts)
@@ -242,8 +299,7 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
     log(&format!("loading {}", left.display()));
     let left_ds = io::load_dataset_csv(&left).map_err(|e| format!("{}: {e}", left.display()))?;
     log(&format!("loading {}", right.display()));
-    let right_ds =
-        io::load_dataset_csv(&right).map_err(|e| format!("{}: {e}", right.display()))?;
+    let right_ds = io::load_dataset_csv(&right).map_err(|e| format!("{}: {e}", right.display()))?;
     log(&format!(
         "left: {} entities / {} records; right: {} entities / {} records",
         left_ds.num_entities(),
@@ -251,6 +307,10 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
         right_ds.num_entities(),
         right_ds.num_records()
     ));
+
+    if let Some(stream_opts) = &opts.stream {
+        return run_stream(opts, stream_opts, &left_ds, &right_ds, log);
+    }
 
     let slim = Slim::new(opts.config)?;
     let output = match &opts.lsh {
@@ -305,6 +365,113 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
     Ok(summary)
 }
 
+/// Streaming replay: flattens the two datasets into one time-ordered
+/// event stream, feeds it through the incremental engine in sharded
+/// batches, reports the link updates of every refresh tick, and closes
+/// with the exact finalized link set.
+fn run_stream(
+    opts: &CliOptions,
+    stream_opts: &StreamOptions,
+    left_ds: &slim_core::LocationDataset,
+    right_ds: &slim_core::LocationDataset,
+    log: impl Fn(&str),
+) -> Result<String, String> {
+    use slim_core::io;
+    use slim_stream::{
+        batch_equivalent_origin, merge_datasets, LinkUpdate, StreamConfig, StreamEngine,
+        StreamLshConfig,
+    };
+
+    let lsh = opts.lsh.map(|base| {
+        // The ring must cover the sliding window; widen `spans` to fit.
+        // A zero step is left for StreamConfig::validate to reject with
+        // a proper error rather than dividing by it here.
+        let spans = match (stream_opts.window_capacity, base.step_windows) {
+            (Some(w), step) if step > 0 => {
+                (w.div_ceil(step) as usize).max(StreamLshConfig::default().spans)
+            }
+            _ => StreamLshConfig::default().spans,
+        };
+        StreamLshConfig { base, spans }
+    });
+    let cfg = StreamConfig {
+        slim: opts.config,
+        window_capacity: stream_opts.window_capacity,
+        refresh_every: stream_opts.refresh_every,
+        num_shards: 0,
+        lsh,
+    };
+    // Pin the window origin to what the batch pipeline would use, so an
+    // unbounded replay finalizes bit-identically even when the earliest
+    // record belongs to a sparse entity the min-records filter drops.
+    let mut engine = match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
+        Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+        None => StreamEngine::new(cfg)?,
+    };
+
+    let events = merge_datasets(left_ds, right_ds);
+    log(&format!("replaying {} events", events.len()));
+    let start = std::time::Instant::now();
+    let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
+    for batch in events.chunks(stream_opts.batch_size.max(1)) {
+        for update in engine.ingest_batch(batch) {
+            match update {
+                LinkUpdate::Added(_) => added += 1,
+                LinkUpdate::Removed(_) => removed += 1,
+                LinkUpdate::Reweighted { .. } => reweighted += 1,
+            }
+        }
+    }
+    let replay_elapsed = start.elapsed();
+    let stats = *engine.stats();
+    log(&format!(
+        "replayed in {replay_elapsed:.2?}: {} ticks, {} rescored (pair, window) terms, \
+         {} windows expired, {} late events dropped",
+        stats.ticks, stats.rescored_windows, stats.evicted_windows, stats.late_dropped
+    ));
+
+    let output = engine.into_finalized()?;
+    let events_per_sec = if replay_elapsed.as_secs_f64() > 0.0 {
+        stats.events as f64 / replay_elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let mut summary = format!(
+        "stream: {} events at {:.0} events/s, {} ticks \
+         ({added} added / {removed} removed / {reweighted} reweighted updates)\n\
+         {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
+        stats.events,
+        events_per_sec,
+        stats.ticks,
+        output.links.len(),
+        output.matching.len(),
+        output.num_edges,
+        output.stats.scored_entity_pairs,
+        output.elapsed
+    );
+    if let Some(t) = &output.threshold {
+        summary.push_str(&format!(
+            "stop threshold {:.2} (expected precision {:.3}, recall {:.3})\n",
+            t.threshold, t.expected_precision, t.expected_recall
+        ));
+    }
+    match &opts.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            io::write_links_csv(std::io::BufWriter::new(file), &output.links)
+                .map_err(|e| e.to_string())?;
+            summary.push_str(&format!("links written to {}\n", path.display()));
+        }
+        None => {
+            let mut buf = Vec::new();
+            io::write_links_csv(&mut buf, &output.links).map_err(|e| e.to_string())?;
+            summary.push_str(&String::from_utf8_lossy(&buf));
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,8 +492,19 @@ mod tests {
     #[test]
     fn parses_config_flags() {
         let o = parse(&[
-            "a.csv", "b.csv", "--window-mins", "30", "--level", "14", "--b", "0.7",
-            "--speed-kmh", "90", "--threshold", "otsu", "--exact-matching",
+            "a.csv",
+            "b.csv",
+            "--window-mins",
+            "30",
+            "--level",
+            "14",
+            "--b",
+            "0.7",
+            "--speed-kmh",
+            "90",
+            "--threshold",
+            "otsu",
+            "--exact-matching",
         ])
         .unwrap();
         assert_eq!(o.config.window_width_secs, 1800);
@@ -376,6 +554,139 @@ mod tests {
         assert!(o.demo.is_some());
         assert!(o.left.is_none());
         assert!(parse(&["a.csv", "--demo", "/tmp/x"]).is_err());
+    }
+
+    /// Audit: every `[default: …]` in the USAGE text must match the
+    /// actual `Default` impls, so the docs can never drift from the code.
+    #[test]
+    fn usage_defaults_match_default_impls() {
+        let slim = SlimConfig::default();
+        let lsh = slim_lsh::LshConfig::default();
+        let stream = StreamOptions::default();
+        let documented = [
+            ("--window-mins", format!("{}", slim.window_width_secs / 60)),
+            ("--level", format!("{}", slim.spatial_level)),
+            ("--b", format!("{}", slim.b)),
+            (
+                "--speed-kmh",
+                format!("{}", slim.max_speed_m_per_s * 3600.0 / 1000.0),
+            ),
+            ("--lsh-threshold", format!("{}", lsh.threshold)),
+            ("--lsh-step", format!("{}", lsh.step_windows)),
+            ("--lsh-level", format!("{}", lsh.spatial_level)),
+            ("--buckets", format!("{}", lsh.num_buckets)),
+            (
+                "--stream-window",
+                format!("{}", stream.window_capacity.unwrap_or(0)),
+            ),
+            ("--refresh-every", format!("{}", stream.refresh_every)),
+            ("--batch-size", format!("{}", stream.batch_size)),
+        ];
+        for (flag, value) in documented {
+            // The flag's doc entry spans from its line to the next flag.
+            let start = USAGE
+                .find(&format!("\n    {flag} "))
+                .unwrap_or_else(|| panic!("{flag} missing from USAGE"));
+            let entry = &USAGE[start + 1..];
+            let entry = &entry[..entry.find("\n    --").unwrap_or(entry.len())];
+            let default = entry
+                .rsplit_once("[default: ")
+                .and_then(|(_, rest)| rest.split_once(']').map(|(v, _)| v))
+                .unwrap_or_else(|| panic!("{flag} entry has no [default: …]: {entry}"));
+            // Compare numerically: unit conversions (e.g. m/s → km/h)
+            // may carry float noise the docs rightly round away.
+            let (doc, code) = (
+                default.parse::<f64>().unwrap_or(f64::NAN),
+                value.parse::<f64>().unwrap_or(f64::NAN),
+            );
+            assert!(
+                (doc - code).abs() <= 1e-9 * doc.abs().max(1.0),
+                "{flag} documents `{default}`, code says `{value}`"
+            );
+        }
+        // The threshold method default is symbolic.
+        assert_eq!(slim.threshold_method, ThresholdMethod::GmmExpectedF1);
+        assert!(USAGE
+            .contains("--threshold METHOD   gmm | otsu | 2means | none         [default: gmm]"));
+        // Parsing no flags must yield exactly the documented defaults.
+        let parsed = parse(&["a.csv", "b.csv"]).unwrap();
+        assert_eq!(parsed.config, slim);
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let o = parse(&["a.csv", "b.csv", "--stream"]).unwrap();
+        assert_eq!(o.stream, Some(StreamOptions::default()));
+        let o = parse(&[
+            "a.csv",
+            "b.csv",
+            "--stream-window",
+            "96",
+            "--refresh-every",
+            "500",
+        ])
+        .unwrap();
+        let s = o.stream.unwrap();
+        assert_eq!(s.window_capacity, Some(96));
+        assert_eq!(s.refresh_every, 500);
+        // --stream-window 0 means unbounded.
+        let o = parse(&["a.csv", "b.csv", "--stream", "--stream-window", "0"]).unwrap();
+        assert_eq!(o.stream.unwrap().window_capacity, None);
+        let o = parse(&["a.csv", "b.csv", "--batch-size", "1024"]).unwrap();
+        assert_eq!(o.stream.unwrap().batch_size, 1024);
+        assert!(parse(&["a.csv", "b.csv", "--batch-size", "0"]).is_err());
+        assert!(parse(&["--demo", "/tmp/x", "--stream"]).is_err());
+    }
+
+    #[test]
+    fn stream_replay_end_to_end_matches_batch() {
+        // Generate a demo pair, then link it both ways: the unbounded
+        // streaming replay must produce the same links CSV as batch.
+        let dir = std::env::temp_dir().join("slim_cli_stream_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let batch_out = dir.join("batch.csv");
+        let opts = CliOptions {
+            demo: Some(dir.clone()),
+            out: Some(batch_out.clone()),
+            ..CliOptions::default()
+        };
+        run(&opts).unwrap();
+
+        let stream_out = dir.join("stream.csv");
+        let opts = CliOptions {
+            left: Some(dir.join("left.csv")),
+            right: Some(dir.join("right.csv")),
+            stream: Some(StreamOptions {
+                refresh_every: 2_000,
+                ..StreamOptions::default()
+            }),
+            out: Some(stream_out.clone()),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        assert!(summary.contains("stream:"), "{summary}");
+        let batch_links = std::fs::read_to_string(&batch_out).unwrap();
+        let stream_links = std::fs::read_to_string(&stream_out).unwrap();
+        assert_eq!(batch_links, stream_links, "stream/batch equivalence");
+
+        // A zero LSH step with a sliding window must surface the config
+        // error, not a divide-by-zero panic in the spans computation.
+        let bad = CliOptions {
+            left: Some(dir.join("left.csv")),
+            right: Some(dir.join("right.csv")),
+            stream: Some(StreamOptions {
+                window_capacity: Some(96),
+                ..StreamOptions::default()
+            }),
+            lsh: Some(slim_lsh::LshConfig {
+                step_windows: 0,
+                ..slim_lsh::LshConfig::default()
+            }),
+            ..CliOptions::default()
+        };
+        let err = run(&bad).unwrap_err();
+        assert!(err.contains("step_windows"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

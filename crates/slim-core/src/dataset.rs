@@ -117,7 +117,11 @@ mod tests {
         let ds = LocationDataset::from_records(vec![rec(1, 30), rec(2, 10), rec(1, 10)]);
         assert_eq!(ds.num_entities(), 2);
         assert_eq!(ds.num_records(), 3);
-        let times: Vec<i64> = ds.records_of(EntityId(1)).iter().map(|r| r.time.secs()).collect();
+        let times: Vec<i64> = ds
+            .records_of(EntityId(1))
+            .iter()
+            .map(|r| r.time.secs())
+            .collect();
         assert_eq!(times, vec![10, 30]);
     }
 
@@ -137,12 +141,8 @@ mod tests {
 
     #[test]
     fn filter_min_records_drops_small_entities() {
-        let mut ds = LocationDataset::from_records(vec![
-            rec(1, 1),
-            rec(1, 2),
-            rec(1, 3),
-            rec(2, 1),
-        ]);
+        let mut ds =
+            LocationDataset::from_records(vec![rec(1, 1), rec(1, 2), rec(1, 3), rec(2, 1)]);
         ds.filter_min_records(2);
         assert!(ds.contains(EntityId(1)));
         assert!(!ds.contains(EntityId(2)));

@@ -153,7 +153,11 @@ impl Gmm2 {
             prev_ll = ll;
         }
 
-        let (low, high) = if c1.mean <= c2.mean { (c1, c2) } else { (c2, c1) };
+        let (low, high) = if c1.mean <= c2.mean {
+            (c1, c2)
+        } else {
+            (c2, c1)
+        };
         Some(Gmm2 {
             low,
             high,
@@ -226,7 +230,11 @@ mod tests {
         let data = bimodal(1, 500, 10.0, 2.0, 500, 100.0, 5.0);
         let g = Gmm2::fit(&data).unwrap();
         assert!((g.low.mean - 10.0).abs() < 1.0, "low mean {}", g.low.mean);
-        assert!((g.high.mean - 100.0).abs() < 2.0, "high mean {}", g.high.mean);
+        assert!(
+            (g.high.mean - 100.0).abs() < 2.0,
+            "high mean {}",
+            g.high.mean
+        );
         assert!((g.low.weight - 0.5).abs() < 0.05);
         assert!((g.low.std_dev - 2.0).abs() < 0.5);
         assert!((g.high.std_dev - 5.0).abs() < 1.0);

@@ -54,6 +54,10 @@ pub struct MobilityHistory {
     num_bins: usize,
     /// Total number of records aggregated.
     num_records: u32,
+    /// Records per window. Differs from the bin-count sum for region
+    /// records (one record, several cells); incremental eviction needs
+    /// the true per-window record count to unwind `num_records`.
+    window_records: BTreeMap<WindowIdx, u32>,
     /// Hierarchical aggregate for dominating-cell range queries.
     tree: TemporalTree,
 }
@@ -70,12 +74,14 @@ impl MobilityHistory {
         domain: u32,
     ) -> Self {
         let mut leaves: BTreeMap<WindowIdx, HashMap<CellId, u32>> = BTreeMap::new();
+        let mut window_records: BTreeMap<WindowIdx, u32> = BTreeMap::new();
         let mut num_records = 0u32;
         for r in records {
             let w = scheme.window_of(r.time).min(domain.saturating_sub(1));
             for cell in record_cells(r, level) {
                 *leaves.entry(w).or_default().entry(cell).or_insert(0) += 1;
             }
+            *window_records.entry(w).or_insert(0) += 1;
             num_records += 1;
         }
         let leaves: BTreeMap<WindowIdx, CellCounts> = leaves
@@ -93,8 +99,61 @@ impl MobilityHistory {
             leaves,
             num_bins,
             num_records,
+            window_records,
             tree,
         }
+    }
+
+    /// An empty history ready for incremental [`MobilityHistory::append`]
+    /// calls — the streaming entry point. The temporal tree grows with
+    /// the appended windows.
+    pub fn empty(entity: EntityId) -> Self {
+        Self {
+            entity,
+            leaves: BTreeMap::new(),
+            num_bins: 0,
+            num_records: 0,
+            window_records: BTreeMap::new(),
+            tree: TemporalTree::new(1),
+        }
+    }
+
+    /// Appends one record's bins: `cells` must be the (sorted,
+    /// deduplicated) [`record_cells`] output for the record, `w` its
+    /// window. Returns the cells that created *new* bins in this history
+    /// — the caller ([`HistorySet::append_record`]) uses them to maintain
+    /// document frequencies incrementally.
+    pub fn append(&mut self, w: WindowIdx, cells: &[CellId]) -> Vec<CellId> {
+        let bins = self.leaves.entry(w).or_default();
+        let mut new_bins = Vec::new();
+        for &c in cells {
+            match bins.binary_search_by_key(&c, |&(cell, _)| cell) {
+                Ok(i) => bins[i].1 += 1,
+                Err(i) => {
+                    bins.insert(i, (c, 1));
+                    new_bins.push(c);
+                }
+            }
+        }
+        self.num_bins += new_bins.len();
+        self.num_records += 1;
+        *self.window_records.entry(w).or_insert(0) += 1;
+        let counts: CellCounts = cells.iter().map(|&c| (c, 1)).collect();
+        self.tree.insert(w, &counts);
+        new_bins
+    }
+
+    /// Drops every bin of window `w` (sliding-window expiry), unwinding
+    /// the bin/record counters and the temporal tree. Returns the
+    /// removed bins so callers can unwind dataset-level statistics.
+    pub fn evict_window(&mut self, w: WindowIdx) -> CellCounts {
+        let Some(bins) = self.leaves.remove(&w) else {
+            return CellCounts::new();
+        };
+        self.num_bins -= bins.len();
+        self.num_records -= self.window_records.remove(&w).unwrap_or(0);
+        self.tree.remove_window(w);
+        bins
     }
 
     /// The entity this history belongs to.
@@ -149,7 +208,9 @@ pub struct HistorySet {
     domain: u32,
     /// `(window, cell)` → number of distinct entities with that bin.
     bin_df: HashMap<(WindowIdx, CellId), u32>,
-    avg_bins: f64,
+    /// Total bins across all histories; `avg_bins` is derived from it so
+    /// incremental appends/evictions keep the average exact.
+    total_bins: usize,
 }
 
 impl HistorySet {
@@ -167,7 +228,8 @@ impl HistorySet {
         let mut histories = HashMap::with_capacity(dataset.num_entities());
         let mut bin_df: HashMap<(WindowIdx, CellId), u32> = HashMap::new();
         for e in dataset.entities() {
-            let h = MobilityHistory::build(e, dataset.records_of(e), &scheme, spatial_level, domain);
+            let h =
+                MobilityHistory::build(e, dataset.records_of(e), &scheme, spatial_level, domain);
             for w in h.windows().collect::<Vec<_>>() {
                 for &(cell, _) in h.bins_in(w) {
                     *bin_df.entry((w, cell)).or_insert(0) += 1;
@@ -175,20 +237,87 @@ impl HistorySet {
             }
             histories.insert(e, h);
         }
-        let avg_bins = if histories.is_empty() {
-            0.0
-        } else {
-            histories.values().map(|h| h.num_bins()).sum::<usize>() as f64
-                / histories.len() as f64
-        };
+        let total_bins = histories.values().map(|h| h.num_bins()).sum();
         Self {
             histories,
             scheme,
             spatial_level,
             domain,
             bin_df,
-            avg_bins,
+            total_bins,
         }
+    }
+
+    /// An empty history set over a fixed scheme/level, ready for
+    /// incremental [`HistorySet::append_record`] calls — the streaming
+    /// entry point. The window domain grows with the appended records.
+    pub fn new_incremental(scheme: WindowScheme, spatial_level: u8) -> Self {
+        Self {
+            histories: HashMap::new(),
+            scheme,
+            spatial_level,
+            domain: 0,
+            bin_df: HashMap::new(),
+            total_bins: 0,
+        }
+    }
+
+    /// Appends one record to its entity's history (created on first
+    /// touch), keeping document frequencies, total bin count, and the
+    /// window domain exact. Returns the record's window index.
+    ///
+    /// An unbounded sequence of `append_record` calls over the records of
+    /// a dataset produces a set identical to [`HistorySet::build`] on
+    /// that dataset (same bins, statistics, and therefore scores) as long
+    /// as no record precedes the scheme origin.
+    pub fn append_record(&mut self, r: &crate::record::Record) -> WindowIdx {
+        let cells = record_cells(r, self.spatial_level);
+        let w = self.scheme.window_of(r.time);
+        self.append_record_binned(r.entity, w, &cells);
+        w
+    }
+
+    /// [`HistorySet::append_record`] with the spatial binning already
+    /// done — the sharded streaming ingest path computes `cells` (the
+    /// [`record_cells`] output at this set's spatial level) on worker
+    /// threads and applies the appends serially.
+    pub fn append_record_binned(&mut self, entity: EntityId, w: WindowIdx, cells: &[CellId]) {
+        self.domain = self.domain.max(w + 1);
+        let h = self
+            .histories
+            .entry(entity)
+            .or_insert_with(|| MobilityHistory::empty(entity));
+        let new_bins = h.append(w, cells);
+        self.total_bins += new_bins.len();
+        for c in new_bins {
+            *self.bin_df.entry((w, c)).or_insert(0) += 1;
+        }
+    }
+
+    /// Evicts window `w` from one entity's history (sliding-window
+    /// expiry), unwinding document frequencies and the total bin count.
+    /// A history left empty is removed entirely, so `|U|` (and with it
+    /// the idf scale) tracks the live window content. Returns the
+    /// evicted bins.
+    pub fn evict_entity_window(&mut self, entity: EntityId, w: WindowIdx) -> CellCounts {
+        let Some(h) = self.histories.get_mut(&entity) else {
+            return CellCounts::new();
+        };
+        let bins = h.evict_window(w);
+        let emptied = h.num_records() == 0;
+        self.total_bins -= bins.len();
+        for &(c, _) in &bins {
+            if let Some(df) = self.bin_df.get_mut(&(w, c)) {
+                *df -= 1;
+                if *df == 0 {
+                    self.bin_df.remove(&(w, c));
+                }
+            }
+        }
+        if emptied {
+            self.histories.remove(&entity);
+        }
+        bins
     }
 
     /// The history of one entity.
@@ -230,7 +359,11 @@ impl HistorySet {
 
     /// Average bins per history (`Σ|H_u'| / |U|`, paper Eq. 2 denominator).
     pub fn avg_bins(&self) -> f64 {
-        self.avg_bins
+        if self.histories.is_empty() {
+            0.0
+        } else {
+            self.total_bins as f64 / self.histories.len() as f64
+        }
     }
 
     /// Inverse document frequency of a time-location bin (paper Eq. 3):
@@ -244,15 +377,12 @@ impl HistorySet {
     /// BM25-inspired length normalization `L(u, E)` (paper Eq. 2):
     /// `(1 − b) + b · |H_u| / avg_bins`.
     pub fn length_norm(&self, e: EntityId, b: f64) -> f64 {
-        let bins = self
-            .histories
-            .get(&e)
-            .map(|h| h.num_bins())
-            .unwrap_or(0) as f64;
-        if self.avg_bins == 0.0 {
+        let bins = self.histories.get(&e).map(|h| h.num_bins()).unwrap_or(0) as f64;
+        let avg = self.avg_bins();
+        if avg == 0.0 {
             return 1.0;
         }
-        (1.0 - b) + b * bins / self.avg_bins
+        (1.0 - b) + b * bins / avg
     }
 }
 
@@ -276,9 +406,9 @@ mod tests {
     fn history_bins_by_window_and_cell() {
         let records = vec![
             rec(1, 0, 37.0, -122.0),
-            rec(1, 100, 37.0, -122.0),   // same window, same cell
-            rec(1, 1000, 37.0, -122.0),  // next window
-            rec(1, 1000, 37.5, -121.5),  // next window, different cell
+            rec(1, 100, 37.0, -122.0),  // same window, same cell
+            rec(1, 1000, 37.0, -122.0), // next window
+            rec(1, 1000, 37.5, -121.5), // next window, different cell
         ];
         let h = MobilityHistory::build(EntityId(1), &records, &scheme(), LEVEL, 10);
         assert_eq!(h.num_records(), 4);
@@ -369,6 +499,108 @@ mod tests {
         ]);
         let hs = HistorySet::build(&ds, scheme(), LEVEL, 4);
         assert!((hs.avg_bins() - 1.0).abs() < 1e-12);
+    }
+
+    /// Incremental appends over a record stream must reproduce the
+    /// batch-built set bit for bit: same bins, same document
+    /// frequencies, same averages — the invariant `slim-stream` relies
+    /// on for stream/batch equivalence.
+    #[test]
+    fn incremental_appends_match_batch_build() {
+        let mut records = Vec::new();
+        for e in 0..5u64 {
+            for k in 0..20i64 {
+                records.push(rec(
+                    e,
+                    k * 400,
+                    37.0 + 0.01 * ((k % 5) as f64) + 0.1 * e as f64,
+                    -122.0 - 0.02 * ((k % 3) as f64),
+                ));
+            }
+        }
+        // A region record exercises the multi-cell path.
+        records.push(Record::with_accuracy(
+            EntityId(2),
+            LatLng::from_degrees(37.05, -122.01),
+            Timestamp(3000),
+            400.0,
+        ));
+        let ds = LocationDataset::from_records(records.clone());
+        let sch = scheme();
+        let domain = sch.num_windows(Timestamp(20 * 400));
+        let batch = HistorySet::build(&ds, sch, 16, domain);
+
+        let mut incr = HistorySet::new_incremental(sch, 16);
+        for r in &records {
+            incr.append_record(r);
+        }
+
+        assert_eq!(incr.num_entities(), batch.num_entities());
+        assert!((incr.avg_bins() - batch.avg_bins()).abs() < 1e-12);
+        for e in batch.entities_sorted() {
+            let (hb, hi) = (batch.history(e).unwrap(), incr.history(e).unwrap());
+            assert_eq!(hb.num_bins(), hi.num_bins(), "{e}");
+            assert_eq!(hb.num_records(), hi.num_records(), "{e}");
+            for w in hb.windows() {
+                assert_eq!(hb.bins_in(w), hi.bins_in(w), "{e} window {w}");
+                // Document frequencies agree bin by bin.
+                for &(c, _) in hb.bins_in(w) {
+                    assert!((batch.idf(w, c) - incr.idf(w, c)).abs() < 1e-12);
+                }
+            }
+            // Dominating-cell queries go through the incrementally grown
+            // tree and must agree with the batch-built one.
+            assert_eq!(
+                hb.dominating_cell(0, domain, 12),
+                hi.dominating_cell(0, domain, 12),
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_unwinds_statistics() {
+        let sch = scheme();
+        let mut hs = HistorySet::new_incremental(sch, LEVEL);
+        hs.append_record(&rec(1, 0, 37.0, -122.0));
+        hs.append_record(&rec(1, 0, 37.0, -122.0));
+        hs.append_record(&rec(1, 1000, 37.5, -121.5));
+        hs.append_record(&rec(2, 0, 37.0, -122.0));
+        let shared = CellId::from_latlng(LatLng::from_degrees(37.0, -122.0), LEVEL);
+        assert!((hs.idf(0, shared) - (2.0f64 / 2.0).ln()).abs() < 1e-12);
+
+        // Evict window 0 from entity 1: df drops to 1, bins shrink.
+        let evicted = hs.evict_entity_window(EntityId(1), 0);
+        assert_eq!(evicted, vec![(shared, 2)]);
+        assert!((hs.idf(0, shared) - (2.0f64 / 1.0).ln()).abs() < 1e-12);
+        assert_eq!(hs.history(EntityId(1)).unwrap().num_records(), 1);
+        assert_eq!(hs.history(EntityId(1)).unwrap().num_bins(), 1);
+
+        // Evicting the last window removes the entity entirely.
+        hs.evict_entity_window(EntityId(1), 1);
+        assert!(hs.history(EntityId(1)).is_none());
+        assert_eq!(hs.num_entities(), 1);
+        hs.evict_entity_window(EntityId(2), 0);
+        assert_eq!(hs.num_entities(), 0);
+        assert_eq!(hs.avg_bins(), 0.0);
+    }
+
+    #[test]
+    fn region_record_eviction_keeps_record_count_exact() {
+        let center = LatLng::from_degrees(37.0, -122.0);
+        let mut h = MobilityHistory::empty(EntityId(1));
+        let region = Record::with_accuracy(EntityId(1), center, Timestamp(0), 500.0);
+        let cells = record_cells(&region, 16);
+        assert!(cells.len() >= 2);
+        h.append(0, &cells);
+        h.append(
+            3,
+            &record_cells(&Record::new(EntityId(1), center, Timestamp(2700)), 16),
+        );
+        assert_eq!(h.num_records(), 2);
+        // One region record occupies several bins but is ONE record.
+        h.evict_window(0);
+        assert_eq!(h.num_records(), 1);
+        assert_eq!(h.num_bins(), 1);
     }
 
     #[test]

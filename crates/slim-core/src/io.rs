@@ -58,10 +58,13 @@ impl From<std::io::Error> for CsvError {
 fn parse_line(line: &str, lineno: usize) -> Result<Record, CsvError> {
     let mut fields = line.split(',').map(str::trim);
     let mut next = |name: &str| {
-        fields.next().filter(|f| !f.is_empty()).ok_or_else(|| CsvError::Parse {
-            line: lineno,
-            message: format!("missing field `{name}`"),
-        })
+        fields
+            .next()
+            .filter(|f| !f.is_empty())
+            .ok_or_else(|| CsvError::Parse {
+                line: lineno,
+                message: format!("missing field `{name}`"),
+            })
     };
     let err = |name: &str, value: &str| CsvError::Parse {
         line: lineno,
@@ -164,7 +167,11 @@ mod tests {
     #[test]
     fn roundtrip_records() {
         let records = vec![
-            Record::new(EntityId(1), LatLng::from_degrees(37.5, -122.25), Timestamp(100)),
+            Record::new(
+                EntityId(1),
+                LatLng::from_degrees(37.5, -122.25),
+                Timestamp(100),
+            ),
             Record::with_accuracy(
                 EntityId(2),
                 LatLng::from_degrees(-33.9, 151.2),

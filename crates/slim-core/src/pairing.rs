@@ -25,13 +25,23 @@ pub struct BinPair {
 fn distance_matrix(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<f64> {
     // Precompute each cell's center + radius once per side: the matrix is
     // O(n·m) but the (trigonometry-heavy) vertex geometry is O(n + m).
-    let ga: Vec<_> = a.iter().map(|&(c, _)| (c, cell_center_and_radius(c))).collect();
-    let gb: Vec<_> = b.iter().map(|&(c, _)| (c, cell_center_and_radius(c))).collect();
+    let ga: Vec<_> = a
+        .iter()
+        .map(|&(c, _)| (c, cell_center_and_radius(c)))
+        .collect();
+    let gb: Vec<_> = b
+        .iter()
+        .map(|&(c, _)| (c, cell_center_and_radius(c)))
+        .collect();
     let mut d = Vec::with_capacity(a.len() * b.len());
     for (ca, pa) in &ga {
         for (cb, pb) in &gb {
             // Same level on both sides: equality is the only containment.
-            d.push(if ca == cb { 0.0 } else { bounded_distance_m(pa, pb) });
+            d.push(if ca == cb {
+                0.0
+            } else {
+                bounded_distance_m(pa, pb)
+            });
         }
     }
     d

@@ -58,7 +58,9 @@ impl<'a> SimilarityScorer<'a> {
         Some(self.score_histories(hu, hv, stats))
     }
 
-    /// Scores two explicit histories.
+    /// Scores two explicit histories: the sum of per-window
+    /// [`SimilarityScorer::window_contribution`]s over the common
+    /// windows, divided by the pair's length normalization.
     pub fn score_histories(
         &self,
         hu: &MobilityHistory,
@@ -66,58 +68,86 @@ impl<'a> SimilarityScorer<'a> {
         stats: &mut LinkageStats,
     ) -> f64 {
         stats.scored_entity_pairs += 1;
-        let norm = if self.cfg.use_normalization {
-            self.left.length_norm(hu.entity(), self.cfg.b)
-                * self.right.length_norm(hv.entity(), self.cfg.b)
-        } else {
-            1.0
-        };
-
+        let norm = self.pair_norm(hu.entity(), hv.entity());
         let mut total = 0.0;
         for w in common_windows(hu, hv) {
-            let bu = hu.bins_in(w);
-            let bv = hv.bins_in(w);
-            stats.bin_pair_comparisons += (bu.len() * bv.len()) as u64;
-            stats.record_pair_comparisons +=
-                hu.records_in(w) as u64 * hv.records_in(w) as u64;
+            total += self.window_contribution(hu, hv, w, stats);
+        }
+        total / norm
+    }
 
-            let pairs = match self.cfg.pairing {
-                PairingMode::MutuallyNearest => mutually_nearest(bu, bv),
-                PairingMode::AllPairs => all_pairs(bu, bv),
-            };
-            for p in &pairs {
-                total += self.contribution(w, bu, bv, p, norm, stats);
-            }
+    /// The joint length normalization `L(u, E) · L(v, I)` of a pair
+    /// under this configuration (1 when normalization is disabled).
+    pub fn pair_norm(&self, u: EntityId, v: EntityId) -> f64 {
+        if self.cfg.use_normalization {
+            self.left.length_norm(u, self.cfg.b) * self.right.length_norm(v, self.cfg.b)
+        } else {
+            1.0
+        }
+    }
 
-            // Optional mutually-furthest alibi pass (Alg. 1): add only
-            // negative deltas, and skip pairs already selected by N to
-            // avoid double counting.
-            if self.cfg.use_mfn && self.cfg.pairing == PairingMode::MutuallyNearest {
-                for p in mutually_furthest(bu, bv) {
-                    if pairs
-                        .iter()
-                        .any(|q| q.e_idx == p.e_idx && q.i_idx == p.i_idx)
-                    {
-                        continue;
-                    }
-                    let delta = self.contribution(w, bu, bv, &p, norm, stats);
-                    if delta < 0.0 {
-                        total += delta;
-                    }
+    /// The *unnormalized* contribution of one temporal window to a
+    /// pair's score: mutually-nearest (or all-pairs) proximity·idf
+    /// awards plus mutually-furthest alibi penalties. Returns 0 when the
+    /// window is not common to both histories.
+    ///
+    /// This is the incremental-maintenance primitive: a streamed score
+    /// is a per-window contribution cache, and an update to window `w`
+    /// of either history only requires recomputing this term — the full
+    /// score is the contribution sum over common windows divided by
+    /// [`SimilarityScorer::pair_norm`], exactly as
+    /// [`SimilarityScorer::score_histories`] computes it.
+    pub fn window_contribution(
+        &self,
+        hu: &MobilityHistory,
+        hv: &MobilityHistory,
+        w: crate::window::WindowIdx,
+        stats: &mut LinkageStats,
+    ) -> f64 {
+        let bu = hu.bins_in(w);
+        let bv = hv.bins_in(w);
+        if bu.is_empty() || bv.is_empty() {
+            return 0.0;
+        }
+        stats.bin_pair_comparisons += (bu.len() * bv.len()) as u64;
+        stats.record_pair_comparisons += hu.records_in(w) as u64 * hv.records_in(w) as u64;
+
+        let mut total = 0.0;
+        let pairs = match self.cfg.pairing {
+            PairingMode::MutuallyNearest => mutually_nearest(bu, bv),
+            PairingMode::AllPairs => all_pairs(bu, bv),
+        };
+        for p in &pairs {
+            total += self.contribution(w, bu, bv, p, stats);
+        }
+
+        // Optional mutually-furthest alibi pass (Alg. 1): add only
+        // negative deltas, and skip pairs already selected by N to
+        // avoid double counting.
+        if self.cfg.use_mfn && self.cfg.pairing == PairingMode::MutuallyNearest {
+            for p in mutually_furthest(bu, bv) {
+                if pairs
+                    .iter()
+                    .any(|q| q.e_idx == p.e_idx && q.i_idx == p.i_idx)
+                {
+                    continue;
+                }
+                let delta = self.contribution(w, bu, bv, &p, stats);
+                if delta < 0.0 {
+                    total += delta;
                 }
             }
         }
         total
     }
 
-    /// One bin pair's weighted proximity contribution.
+    /// One bin pair's weighted proximity contribution (unnormalized).
     fn contribution(
         &self,
         w: crate::window::WindowIdx,
         bu: &[(geocell::CellId, u32)],
         bv: &[(geocell::CellId, u32)],
         p: &BinPair,
-        norm: f64,
         stats: &mut LinkageStats,
     ) -> f64 {
         if is_alibi(p.dist_m, self.runaway_m) {
@@ -131,7 +161,7 @@ impl<'a> SimilarityScorer<'a> {
         } else {
             1.0
         };
-        prox * idf / norm
+        prox * idf
     }
 }
 
@@ -308,9 +338,15 @@ mod tests {
             .collect();
 
         // Crowded scenario.
-        let (l1, r1) = sets(crowded, vec![rec(200, 0, 37.0, -122.0), rec(201, 0, -10.0, 30.0)]);
+        let (l1, r1) = sets(
+            crowded,
+            vec![rec(200, 0, 37.0, -122.0), rec(201, 0, -10.0, 30.0)],
+        );
         // Unique scenario (same structure, probe bin unshared).
-        let (l2, r2) = sets(unique, vec![rec(200, 0, 10.0, 10.0), rec(201, 0, -10.0, 30.0)]);
+        let (l2, r2) = sets(
+            unique,
+            vec![rec(200, 0, 10.0, 10.0), rec(201, 0, -10.0, 30.0)],
+        );
         let c = cfg();
         let mut stats = LinkageStats::default();
         let s_crowded = SimilarityScorer::new(&c, &l1, &r1)
@@ -368,7 +404,44 @@ mod tests {
         let c = cfg();
         let scorer = SimilarityScorer::new(&c, &l, &r);
         let mut stats = LinkageStats::default();
-        assert!(scorer.score(EntityId(99), EntityId(2), &mut stats).is_none());
+        assert!(scorer
+            .score(EntityId(99), EntityId(2), &mut stats)
+            .is_none());
+    }
+
+    /// The incremental primitive must reassemble the full score exactly:
+    /// Σ window_contribution / pair_norm == score_histories.
+    #[test]
+    fn window_contributions_reassemble_score() {
+        let mut left = vec![
+            rec(1, 0, 37.0, -122.0),
+            rec(1, 1000, 37.1, -122.1),
+            rec(1, 2000, 37.2, -122.2),
+            rec(1, 2100, 40.0, -100.0), // alibi material
+        ];
+        let mut right = vec![
+            rec(2, 10, 37.0, -122.0),
+            rec(2, 1100, 37.1, -122.1),
+            rec(2, 2050, 37.2, -122.2),
+        ];
+        left.extend(fillers(500));
+        right.extend(fillers(600));
+        let (l, r) = sets(left, right);
+        let c = cfg();
+        let scorer = SimilarityScorer::new(&c, &l, &r);
+        let (hu, hv) = (
+            l.history(EntityId(1)).unwrap(),
+            r.history(EntityId(2)).unwrap(),
+        );
+        let mut stats = LinkageStats::default();
+        let full = scorer.score_histories(hu, hv, &mut stats);
+        let sum: f64 = common_windows(hu, hv)
+            .map(|w| scorer.window_contribution(hu, hv, w, &mut stats))
+            .sum();
+        let reassembled = sum / scorer.pair_norm(EntityId(1), EntityId(2));
+        assert_eq!(full, reassembled, "must be the identical arithmetic");
+        // Non-common windows contribute exactly zero.
+        assert_eq!(scorer.window_contribution(hu, hv, 9999, &mut stats), 0.0);
     }
 
     #[test]

@@ -12,10 +12,10 @@
 
 use std::time::{Duration, Instant};
 
+use crate::config::MatchingMethod;
 use crate::config::SlimConfig;
 use crate::dataset::LocationDataset;
 use crate::history::HistorySet;
-use crate::config::MatchingMethod;
 use crate::matching::{exact_max_matching, greedy_max_matching, Edge};
 use crate::record::EntityId;
 use crate::similarity::SimilarityScorer;
@@ -109,6 +109,26 @@ impl Slim {
 }
 
 impl PreparedLinkage {
+    /// Wraps already-built history sets — the entry point for callers
+    /// that maintain histories themselves (the `slim-stream` engine
+    /// builds them incrementally and runs this exact batch pipeline over
+    /// them at finalization). Validates the configuration and that the
+    /// two sets are comparable.
+    pub fn from_history_sets(
+        cfg: SlimConfig,
+        left: HistorySet,
+        right: HistorySet,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if left.scheme() != right.scheme() {
+            return Err("history sets must share a window scheme".into());
+        }
+        if left.spatial_level() != right.spatial_level() {
+            return Err("history sets must share a spatial level".into());
+        }
+        Ok(Self { cfg, left, right })
+    }
+
     /// The left (first dataset) history set.
     pub fn left(&self) -> &HistorySet {
         &self.left
@@ -178,12 +198,12 @@ impl PreparedLinkage {
         let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
         let scorer = SimilarityScorer::new(&self.cfg, &self.left, &self.right);
 
-        let results: Vec<(Vec<Edge>, LinkageStats)> = crossbeam::thread::scope(|s| {
+        let results: Vec<(Vec<Edge>, LinkageStats)> = std::thread::scope(|s| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
                 .map(|part| {
                     let scorer = &scorer;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut local_stats = LinkageStats::default();
                         let mut local_edges = Vec::new();
                         for &(u, v) in part {
@@ -201,9 +221,11 @@ impl PreparedLinkage {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("scoring threads must not panic");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scoring threads must not panic"))
+                .collect()
+        });
 
         let mut edges = Vec::new();
         let mut stats = LinkageStats::default();
@@ -237,7 +259,11 @@ mod tests {
                 if e < common {
                     // Same entity seen by the other service, asynchronously.
                     let pos2 = anchor.offset(300.0 * ((k % 4) as f64) + 40.0, k as f64 + 0.1);
-                    right.push(Record::new(EntityId(1000 + e), pos2, Timestamp(k * 900 + 400)));
+                    right.push(Record::new(
+                        EntityId(1000 + e),
+                        pos2,
+                        Timestamp(k * 900 + 400),
+                    ));
                 }
             }
             if e >= common {
@@ -246,7 +272,11 @@ mod tests {
                     LatLng::from_degrees(36.0 - 0.02 * e as f64, -121.0 + 0.01 * e as f64);
                 for k in 0..30i64 {
                     let pos = anchor2.offset(250.0 * ((k % 3) as f64), k as f64 * 0.5);
-                    right.push(Record::new(EntityId(1000 + e), pos, Timestamp(k * 900 + 200)));
+                    right.push(Record::new(
+                        EntityId(1000 + e),
+                        pos,
+                        Timestamp(k * 900 + 200),
+                    ));
                 }
             }
         }
@@ -264,12 +294,7 @@ mod tests {
         assert!(!out.links.is_empty());
         // Every surviving link must be a true pair (e ↔ 1000 + e).
         for link in &out.links {
-            assert_eq!(
-                link.right.0,
-                1000 + link.left.0,
-                "false link {:?}",
-                link
-            );
+            assert_eq!(link.right.0, 1000 + link.left.0, "false link {:?}", link);
         }
         assert!(crate::matching::is_valid_matching(&out.links));
         // The full matching must rank all six true pairs above any false
@@ -278,7 +303,11 @@ mod tests {
         let mut by_weight = out.matching.clone();
         by_weight.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
         for link in by_weight.iter().take(6) {
-            assert_eq!(link.right.0, 1000 + link.left.0, "true pairs must rank first");
+            assert_eq!(
+                link.right.0,
+                1000 + link.left.0,
+                "true pairs must rank first"
+            );
         }
     }
 
@@ -304,7 +333,9 @@ mod tests {
         };
         let slim = Slim::new(cfg).unwrap();
         let prepared = slim.prepare(&l, &r);
-        let candidates: Vec<_> = (0..8u64).map(|e| (EntityId(e), EntityId(1000 + e))).collect();
+        let candidates: Vec<_> = (0..8u64)
+            .map(|e| (EntityId(e), EntityId(1000 + e)))
+            .collect();
         let out = prepared.link_with_candidates(&candidates);
         assert_eq!(out.stats.scored_entity_pairs, 8);
         assert_eq!(out.links.len(), 8);
@@ -339,8 +370,16 @@ mod tests {
         };
         // Add a right entity with only 2 records: must be ignored.
         let sparse = vec![
-            Record::new(EntityId(2000), LatLng::from_degrees(37.0, -122.0), Timestamp(0)),
-            Record::new(EntityId(2000), LatLng::from_degrees(37.0, -122.0), Timestamp(900)),
+            Record::new(
+                EntityId(2000),
+                LatLng::from_degrees(37.0, -122.0),
+                Timestamp(0),
+            ),
+            Record::new(
+                EntityId(2000),
+                LatLng::from_degrees(37.0, -122.0),
+                Timestamp(900),
+            ),
         ];
         let mut recs: Vec<Record> = Vec::new();
         for e in r_records.entities_sorted() {

@@ -251,7 +251,12 @@ mod tests {
         // Pick a common entity and verify the two views' timestamps differ.
         let (&l, &r) = s.ground_truth.iter().next().unwrap();
         let lt: Vec<i64> = s.left.records_of(l).iter().map(|x| x.time.secs()).collect();
-        let rt: Vec<i64> = s.right.records_of(r).iter().map(|x| x.time.secs()).collect();
+        let rt: Vec<i64> = s
+            .right
+            .records_of(r)
+            .iter()
+            .map(|x| x.time.secs())
+            .collect();
         assert!(!lt.is_empty() && !rt.is_empty());
         assert_ne!(lt, rt, "views must sample at independent times");
     }
@@ -326,7 +331,10 @@ mod tests {
         let rr = s.right.records_of(r);
         let mut checked = 0;
         for a in lr.iter().take(50) {
-            if let Some(b) = rr.iter().find(|b| (b.time.secs() - a.time.secs()).abs() < 30) {
+            if let Some(b) = rr
+                .iter()
+                .find(|b| (b.time.secs() - a.time.secs()).abs() < 30)
+            {
                 let d = a.location.distance_m(&b.location);
                 assert!(d < 2_000.0, "same entity {d} m apart within 30 s");
                 checked += 1;

@@ -142,8 +142,7 @@ pub fn taxi_world(cfg: &TaxiConfig) -> World {
                 local[pick.sample(&mut rng)]
             };
             let dist = pos.distance_m(&dest);
-            let speed =
-                rng.random_range(cfg.speed_range_m_per_s.0..=cfg.speed_range_m_per_s.1);
+            let speed = rng.random_range(cfg.speed_range_m_per_s.0..=cfg.speed_range_m_per_s.1);
             let dur = ((dist / speed).ceil() as i64).max(1);
             let t_end = (t + dur).min(cfg.span_secs);
             // If the trip is truncated by the span, interpolate the

@@ -170,10 +170,7 @@ mod tests {
     fn variants_produce_configs() {
         let base = SlimConfig::default();
         assert!(!Variant::MnnOnly.apply(base).use_mfn);
-        assert_eq!(
-            Variant::AllPairs.apply(base).pairing,
-            PairingMode::AllPairs
-        );
+        assert_eq!(Variant::AllPairs.apply(base).pairing, PairingMode::AllPairs);
         assert!(!Variant::NoIdf.apply(base).use_idf);
         assert!(!Variant::NoNormalization.apply(base).use_normalization);
         assert_eq!(Variant::Original.apply(base), base);

@@ -144,12 +144,7 @@ pub fn run(settings: &RunSettings, cmp: &ComparisonConfig) -> Vec<ComparisonPoin
             let links: Vec<_> = g.links.iter().map(|e| (e.left, e.right)).collect();
             let m = evaluate_links(&links, &sample.ground_truth);
             Some(AlgoResult {
-                hit_precision_40: hit_precision_at_k(
-                    &g.scores,
-                    &lefts,
-                    &sample.ground_truth,
-                    40,
-                ),
+                hit_precision_40: hit_precision_at_k(&g.scores, &lefts, &sample.ground_truth, 40),
                 f1: m.f1,
                 runtime_secs: gm_time,
                 record_comparisons: g.stats.record_pair_comparisons,

@@ -45,12 +45,7 @@ pub fn render(r: &Fig2Result) -> Table {
         "Fig 2 — GMM fit over matched similarity scores (Cab)",
         &["bucket_lo", "bucket_hi", "true_pos", "false_pos"],
     );
-    let all: Vec<f64> = r
-        .tp_weights
-        .iter()
-        .chain(&r.fp_weights)
-        .copied()
-        .collect();
+    let all: Vec<f64> = r.tp_weights.iter().chain(&r.fp_weights).copied().collect();
     if all.is_empty() {
         return t;
     }

@@ -86,7 +86,13 @@ pub fn render(name: &str, grid: &[GridPoint]) -> Table {
     let mut t = Table::new(
         format!("{name} — effect of the spatio-temporal level"),
         &[
-            "spatial", "window_min", "precision", "recall", "f1", "alibi", "record_cmp",
+            "spatial",
+            "window_min",
+            "precision",
+            "recall",
+            "f1",
+            "alibi",
+            "record_cmp",
             "bin_cmp",
         ],
     );

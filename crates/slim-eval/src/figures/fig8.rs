@@ -154,7 +154,6 @@ mod tests {
 
     #[test]
     fn coarse_levels_give_no_speedup() {
-
         // At a very coarse level all dominating cells coincide, LSH
         // cannot prune (paper: "Cab … spatially too dense").
         let settings = RunSettings::tiny();

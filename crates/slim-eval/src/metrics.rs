@@ -94,7 +94,10 @@ pub fn hit_precision_at_k(
     // Candidate lists per left entity, sorted by score descending.
     let mut per_left: HashMap<EntityId, Vec<(f64, EntityId)>> = HashMap::new();
     for e in scores {
-        per_left.entry(e.left).or_default().push((e.weight, e.right));
+        per_left
+            .entry(e.left)
+            .or_default()
+            .push((e.weight, e.right));
     }
     let mut total = 0.0;
     for &u in left_entities {
@@ -123,7 +126,10 @@ mod tests {
     }
 
     fn truth(pairs: &[(u64, u64)]) -> HashMap<EntityId, EntityId> {
-        pairs.iter().map(|&(l, r)| (EntityId(l), EntityId(r))).collect()
+        pairs
+            .iter()
+            .map(|&(l, r)| (EntityId(l), EntityId(r)))
+            .collect()
     }
 
     #[test]

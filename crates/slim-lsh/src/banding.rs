@@ -44,7 +44,9 @@ pub fn collision_probability(t: f64, bands: usize, rows: usize) -> f64 {
 }
 
 /// FNV-1a over 64-bit words — a small, dependency-free, stable hash.
-fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+/// Public so other layers (e.g. the streaming engine's entity-shard
+/// assignment) share one hash definition.
+pub fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
@@ -60,12 +62,7 @@ fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
 /// Hashes one band of a signature to a bucket, or `None` when the band
 /// holds only placeholders (placeholders are omitted from hashing; an
 /// all-placeholder band matches nothing rather than everything).
-pub fn band_bucket(
-    sig: &Signature,
-    band: usize,
-    rows: usize,
-    num_buckets: u64,
-) -> Option<u64> {
+pub fn band_bucket(sig: &Signature, band: usize, rows: usize, num_buckets: u64) -> Option<u64> {
     let start = band * rows;
     let end = (start + rows).min(sig.cells.len());
     let slots = &sig.cells[start..end];
@@ -74,9 +71,12 @@ pub fn band_bucket(
     }
     // Hash (slot offset, cell) pairs so alignment matters; band index is
     // mixed in so identical content in different bands maps independently.
-    let words = std::iter::once(band as u64).chain(slots.iter().enumerate().flat_map(
-        |(off, cell)| cell.map(|c| [off as u64 + 1, c.to_u64()]).into_iter().flatten(),
-    ));
+    let words =
+        std::iter::once(band as u64).chain(slots.iter().enumerate().flat_map(|(off, cell)| {
+            cell.map(|c| [off as u64 + 1, c.to_u64()])
+                .into_iter()
+                .flatten()
+        }));
     Some(fnv1a(words) % num_buckets.max(1))
 }
 
@@ -113,6 +113,138 @@ pub fn candidate_pairs(
     let mut out: Vec<_> = seen.into_iter().collect();
     out.sort_unstable();
     out
+}
+
+/// Which dataset an entity belongs to in an incremental
+/// [`BucketIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexSide {
+    /// The first dataset (`U_E`).
+    Left,
+    /// The second dataset (`U_I`).
+    Right,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    left: Vec<EntityId>,
+    right: Vec<EntityId>,
+}
+
+impl Bucket {
+    fn side(&self, side: IndexSide) -> &Vec<EntityId> {
+        match side {
+            IndexSide::Left => &self.left,
+            IndexSide::Right => &self.right,
+        }
+    }
+
+    fn side_mut(&mut self, side: IndexSide) -> &mut Vec<EntityId> {
+        match side {
+            IndexSide::Left => &mut self.left,
+            IndexSide::Right => &mut self.right,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+}
+
+/// An incrementally maintained banded bucket index — the streaming
+/// counterpart of [`candidate_pairs`].
+///
+/// Where the batch path hashes all signatures once, this index supports
+/// *upserting* one entity's signature as it evolves (records arriving,
+/// windows expiring) and removing entities whose state expired
+/// entirely. An upsert reports the cross-dataset entities sharing at
+/// least one band bucket with the new signature, so callers can grow
+/// their candidate set online.
+#[derive(Debug, Clone)]
+pub struct BucketIndex {
+    bands: usize,
+    rows: usize,
+    num_buckets: u64,
+    /// Per band: bucket hash → member entities by side.
+    buckets: Vec<HashMap<u64, Bucket>>,
+    /// Current per-band placement of each entity (`None` = the band was
+    /// all placeholders), so stale placements can be unwound on upsert.
+    placements: HashMap<(IndexSide, EntityId), Vec<Option<u64>>>,
+}
+
+impl BucketIndex {
+    /// An empty index with the given banding geometry.
+    pub fn new(bands: usize, rows: usize, num_buckets: u64) -> Self {
+        assert!(bands > 0 && rows > 0, "banding must be non-trivial");
+        Self {
+            bands,
+            rows,
+            num_buckets,
+            buckets: vec![HashMap::new(); bands],
+            placements: HashMap::new(),
+        }
+    }
+
+    /// The `(bands, rows)` geometry.
+    pub fn banding(&self) -> (usize, usize) {
+        (self.bands, self.rows)
+    }
+
+    /// Number of indexed entities.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether the index holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Inserts or refreshes one entity's signature, returning the
+    /// entities of the *opposite* side currently sharing at least one
+    /// band bucket with it (sorted, deduplicated) — i.e. its candidate
+    /// partners as of this update.
+    pub fn upsert(&mut self, side: IndexSide, sig: &Signature) -> Vec<EntityId> {
+        self.remove(side, sig.entity);
+        let other = match side {
+            IndexSide::Left => IndexSide::Right,
+            IndexSide::Right => IndexSide::Left,
+        };
+        let mut placement = Vec::with_capacity(self.bands);
+        let mut partners: Vec<EntityId> = Vec::new();
+        for band in 0..self.bands {
+            let bk = band_bucket(sig, band, self.rows, self.num_buckets);
+            if let Some(bk) = bk {
+                let bucket = self.buckets[band].entry(bk).or_default();
+                partners.extend_from_slice(bucket.side(other));
+                bucket.side_mut(side).push(sig.entity);
+            }
+            placement.push(bk);
+        }
+        self.placements.insert((side, sig.entity), placement);
+        partners.sort_unstable();
+        partners.dedup();
+        partners
+    }
+
+    /// Removes an entity from every band bucket. No-op if absent.
+    pub fn remove(&mut self, side: IndexSide, entity: EntityId) {
+        let Some(placement) = self.placements.remove(&(side, entity)) else {
+            return;
+        };
+        for (band, bk) in placement.into_iter().enumerate() {
+            let Some(bk) = bk else { continue };
+            if let Some(bucket) = self.buckets[band].get_mut(&bk) {
+                let members = bucket.side_mut(side);
+                if let Some(pos) = members.iter().position(|&e| e == entity) {
+                    members.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.buckets[band].remove(&bk);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,11 +316,21 @@ mod tests {
         // First band (2 slots) identical, second band differs.
         let l = vec![sig(
             1,
-            vec![Some(cell(0.0)), Some(cell(1.0)), Some(cell(2.0)), Some(cell(3.0))],
+            vec![
+                Some(cell(0.0)),
+                Some(cell(1.0)),
+                Some(cell(2.0)),
+                Some(cell(3.0)),
+            ],
         )];
         let r = vec![sig(
             100,
-            vec![Some(cell(0.0)), Some(cell(1.0)), Some(cell(70.0)), Some(cell(80.0))],
+            vec![
+                Some(cell(0.0)),
+                Some(cell(1.0)),
+                Some(cell(70.0)),
+                Some(cell(80.0)),
+            ],
         )];
         let pairs = candidate_pairs(&l, &r, 2, 2, 1 << 16);
         assert_eq!(pairs.len(), 1);
@@ -221,12 +363,21 @@ mod tests {
             .map(|k| sig(k, vec![Some(cell(k as f64)), Some(cell(k as f64 + 0.5))]))
             .collect();
         let r: Vec<Signature> = (0..30)
-            .map(|k| sig(1000 + k, vec![Some(cell(90.0 + k as f64)), Some(cell(90.5 + k as f64))]))
+            .map(|k| {
+                sig(
+                    1000 + k,
+                    vec![Some(cell(90.0 + k as f64)), Some(cell(90.5 + k as f64))],
+                )
+            })
             .collect();
         let tight = candidate_pairs(&l, &r, 1, 2, 1);
         assert_eq!(tight.len(), 900, "single bucket → all pairs");
         let loose = candidate_pairs(&l, &r, 1, 2, 1 << 20);
-        assert!(loose.len() < 90, "many buckets → few spurious pairs, got {}", loose.len());
+        assert!(
+            loose.len() < 90,
+            "many buckets → few spurious pairs, got {}",
+            loose.len()
+        );
     }
 
     #[test]
@@ -243,5 +394,86 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn threshold_out_of_range_panics() {
         let _ = bands_for_threshold(10, 1.0);
+    }
+
+    /// The incremental index must discover exactly the pairs the batch
+    /// path produces when fed the same signatures.
+    #[test]
+    fn bucket_index_matches_batch_candidates() {
+        let mk = |e: u64, offs: f64| {
+            sig(
+                e,
+                (0..6)
+                    .map(|k| {
+                        if (e + k).is_multiple_of(5) {
+                            None
+                        } else {
+                            Some(cell(offs + (k as f64) * ((e % 3) as f64 + 1.0)))
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let left: Vec<Signature> = (0..12).map(|e| mk(e, 0.0)).collect();
+        let right: Vec<Signature> = (0..12)
+            .map(|e| mk(e, if e % 2 == 0 { 0.0 } else { 30.0 }))
+            .map(|mut s| {
+                s.entity = EntityId(s.entity.0 + 1000);
+                s
+            })
+            .collect();
+        let (bands, rows, buckets) = (3, 2, 1 << 16);
+        let batch = candidate_pairs(&left, &right, bands, rows, buckets);
+
+        let mut index = BucketIndex::new(bands, rows, buckets);
+        let mut found: HashSet<(EntityId, EntityId)> = HashSet::new();
+        for s in &left {
+            for partner in index.upsert(IndexSide::Left, s) {
+                found.insert((s.entity, partner));
+            }
+        }
+        for s in &right {
+            for partner in index.upsert(IndexSide::Right, s) {
+                found.insert((partner, s.entity));
+            }
+        }
+        let mut found: Vec<_> = found.into_iter().collect();
+        found.sort_unstable();
+        assert_eq!(found, batch);
+        assert_eq!(index.len(), 24);
+    }
+
+    #[test]
+    fn bucket_index_upsert_replaces_and_remove_unwinds() {
+        let cells_a = vec![Some(cell(0.0)), Some(cell(1.0))];
+        let cells_b = vec![Some(cell(50.0)), Some(cell(60.0))];
+        let mut index = BucketIndex::new(2, 1, 1 << 16);
+        assert!(index
+            .upsert(IndexSide::Left, &sig(1, cells_a.clone()))
+            .is_empty());
+        // Same-bucket right entity collides.
+        let partners = index.upsert(IndexSide::Right, &sig(100, cells_a.clone()));
+        assert_eq!(partners, vec![EntityId(1)]);
+        // Re-upserting entity 1 with a disjoint signature clears the old
+        // placement: a fresh right signature at the old cells finds nobody.
+        assert!(index.upsert(IndexSide::Left, &sig(1, cells_b)).is_empty());
+        index.remove(IndexSide::Right, EntityId(100));
+        let partners = index.upsert(IndexSide::Right, &sig(101, cells_a));
+        assert!(
+            partners.is_empty(),
+            "stale placements must be gone: {partners:?}"
+        );
+        // Removing an absent entity is a no-op.
+        index.remove(IndexSide::Left, EntityId(999));
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn bucket_index_ignores_placeholder_bands() {
+        let mut index = BucketIndex::new(2, 2, 1 << 16);
+        let all_none = sig(1, vec![None, None, None, None]);
+        assert!(index.upsert(IndexSide::Left, &all_none).is_empty());
+        let partners = index.upsert(IndexSide::Right, &sig(100, vec![None, None, None, None]));
+        assert!(partners.is_empty(), "placeholder bands never collide");
     }
 }

@@ -12,7 +12,10 @@
 /// # Panics
 /// Panics if `x` is negative or not finite.
 pub fn lambert_w0(x: f64) -> f64 {
-    assert!(x.is_finite() && x >= 0.0, "lambert_w0 domain is [0, ∞), got {x}");
+    assert!(
+        x.is_finite() && x >= 0.0,
+        "lambert_w0 domain is [0, ∞), got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }

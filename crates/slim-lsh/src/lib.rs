@@ -44,7 +44,10 @@ pub mod lambertw;
 pub mod lsh;
 pub mod signature;
 
-pub use banding::{bands_for_threshold, candidate_pairs, collision_probability, effective_threshold};
+pub use banding::{
+    bands_for_threshold, candidate_pairs, collision_probability, effective_threshold, fnv1a,
+    BucketIndex, IndexSide,
+};
 pub use lambertw::lambert_w0;
 pub use lsh::{LshConfig, LshFilter};
 pub use signature::{

@@ -150,7 +150,11 @@ mod tests {
                 l.push(Record::new(EntityId(e), pos, Timestamp(k * 900)));
                 if e < common {
                     let pos2 = anchor.offset(200.0 * ((k % 3) as f64) + 30.0, k as f64 * 0.3);
-                    r.push(Record::new(EntityId(1000 + e), pos2, Timestamp(k * 900 + 450)));
+                    r.push(Record::new(
+                        EntityId(1000 + e),
+                        pos2,
+                        Timestamp(k * 900 + 450),
+                    ));
                 }
             }
             if e >= common {

@@ -107,9 +107,7 @@ pub fn signatures_for_dataset(
 ) -> Vec<Signature> {
     ds.entities_sorted()
         .into_iter()
-        .map(|e| {
-            signature_from_records(e, ds.records_of(e), scheme, domain, step, spatial_level)
-        })
+        .map(|e| signature_from_records(e, ds.records_of(e), scheme, domain, step, spatial_level))
         .collect()
 }
 
@@ -191,7 +189,10 @@ mod tests {
         };
         // Slots 0 and 3 match; placeholders never match (slot 2).
         assert!((a.similarity(&b) - 0.5).abs() < 1e-12);
-        assert!((a.similarity(&a) - 0.75).abs() < 1e-12, "self-sim skips placeholders");
+        assert!(
+            (a.similarity(&a) - 0.75).abs() < 1e-12,
+            "self-sim skips placeholders"
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Streaming-engine configuration.
+
+use slim_core::SlimConfig;
+use slim_lsh::LshConfig;
+
+/// Configuration of the incremental LSH candidate filter in streaming
+/// mode.
+///
+/// Unlike the batch filter — whose signature length follows from the
+/// total time span — a stream has no known span, so the signature is a
+/// **ring of `spans` query spans** of `base.step_windows` leaf windows
+/// each, covering the most recent `spans · step_windows` windows.
+/// Banding is derived once from that fixed signature size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamLshConfig {
+    /// Threshold / step / level / bucket parameters shared with the
+    /// batch filter.
+    pub base: LshConfig,
+    /// Number of query spans in the ring signature.
+    pub spans: usize,
+}
+
+impl Default for StreamLshConfig {
+    fn default() -> Self {
+        Self {
+            base: LshConfig::default(),
+            spans: 16,
+        }
+    }
+}
+
+/// Configuration of a [`crate::StreamEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// The linkage parameters (shared with the batch pipeline).
+    pub slim: SlimConfig,
+    /// Sliding-window capacity in temporal windows: only the most recent
+    /// `W` windows of history are retained; older windows expire and
+    /// their evidence is unwound. `None` = unbounded (full history) —
+    /// the mode whose final output is identical to batch linkage.
+    pub window_capacity: Option<u32>,
+    /// Re-run matching + thresholding automatically after this many
+    /// ingested events (a *refresh tick*). `0` disables automatic ticks;
+    /// call [`crate::StreamEngine::refresh`] manually.
+    pub refresh_every: usize,
+    /// Worker threads for sharded ingest pre-binning and dirty-pair
+    /// rescoring. `0` = one shard per available core.
+    pub num_shards: usize,
+    /// Optional incremental LSH candidate filter. `None` = brute-force
+    /// candidates (every active cross-dataset pair).
+    pub lsh: Option<StreamLshConfig>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            slim: SlimConfig::default(),
+            window_capacity: None,
+            refresh_every: 10_000,
+            num_shards: 0,
+            lsh: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates parameter ranges and cross-parameter consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.slim.validate()?;
+        if let Some(w) = self.window_capacity {
+            if w == 0 {
+                return Err("window_capacity must be at least 1 window".into());
+            }
+        }
+        if let Some(lsh) = &self.lsh {
+            if lsh.spans == 0 {
+                return Err("lsh.spans must be positive".into());
+            }
+            if lsh.base.step_windows == 0 {
+                return Err("lsh.base.step_windows must be positive".into());
+            }
+            if !(lsh.base.threshold > 0.0 && lsh.base.threshold < 1.0) {
+                return Err(format!(
+                    "lsh.base.threshold {} outside (0, 1)",
+                    lsh.base.threshold
+                ));
+            }
+            if let Some(w) = self.window_capacity {
+                let coverage = lsh.spans as u64 * lsh.base.step_windows as u64;
+                if coverage < w as u64 {
+                    return Err(format!(
+                        "lsh ring covers {coverage} windows but window_capacity is {w}; \
+                         raise lsh.spans or lsh.base.step_windows"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective shard count (resolving `0` to the core count).
+    pub fn effective_shards(&self) -> usize {
+        if self.num_shards > 0 {
+            self.num_shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(StreamConfig::default().validate().is_ok());
+        assert!(StreamConfig::default().effective_shards() >= 1);
+    }
+
+    #[test]
+    fn rejects_zero_window_capacity() {
+        let cfg = StreamConfig {
+            window_capacity: Some(0),
+            ..StreamConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_lsh_ring_smaller_than_window() {
+        let cfg = StreamConfig {
+            window_capacity: Some(10_000),
+            lsh: Some(StreamLshConfig {
+                spans: 2,
+                base: LshConfig {
+                    step_windows: 4,
+                    ..LshConfig::default()
+                },
+            }),
+            ..StreamConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("ring covers"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_slim_config() {
+        let cfg = StreamConfig {
+            slim: SlimConfig {
+                b: 7.0,
+                ..SlimConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,1234 @@
+//! The incremental linkage engine.
+//!
+//! ```text
+//! events ──► shard-by-entity binning ──► incremental histories + df/idf
+//!                                     └► incremental LSH ring signatures
+//!        refresh tick ──► dirty-pair window rescore ──► matching + GMM
+//!                                                      └► link updates
+//!        finalize ─────► exact batch pipeline over the live histories
+//! ```
+//!
+//! The engine maintains, per side, a [`HistorySet`] built record by
+//! record, a per-entity min-records buffer (mirroring the batch
+//! pipeline's sparse-entity filter), and a per-pair cache of
+//! *unnormalized per-window score contributions*. An arriving record
+//! only dirties its own window of its own entity; a refresh tick
+//! recomputes exactly the dirty `(pair, window)` contributions in
+//! parallel, reassembles scores as `Σ contributions / norm`, and re-runs
+//! matching + stop thresholding over the full cached edge set, emitting
+//! the resulting link deltas.
+//!
+//! Between ticks, cached contributions of *untouched* windows may lag
+//! the globally drifting idf statistics — refreshed lazily, exactly when
+//! one of their endpoints changes. [`StreamEngine::finalize`] closes the
+//! gap: it runs the unmodified batch pipeline over the incrementally
+//! built history sets, so an unbounded-window replay finalizes to the
+//! bit-identical output of [`slim_core::Slim::link`] on the same data —
+//! provided the window origins agree. An engine left to infer its
+//! origin takes the first event's timestamp; the batch pipeline takes
+//! the post-min-records-filter minimum. The two coincide unless the
+//! stream opens with a record of a sparse entity the batch filter
+//! drops; replay paths pin the origin via [`StreamEngine::with_origin`]
+//! + [`crate::batch_equivalent_origin`] to cover that case too.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Duration;
+
+use geocell::CellId;
+use slim_core::history::record_cells;
+use slim_core::matching::{exact_max_matching, greedy_max_matching};
+use slim_core::similarity::SimilarityScorer;
+use slim_core::threshold::select_threshold;
+use slim_core::{
+    Edge, EntityId, HistorySet, LinkageOutput, LinkageStats, MatchingMethod, PreparedLinkage,
+    Timestamp, WindowIdx, WindowScheme,
+};
+
+use crate::config::StreamConfig;
+use crate::event::{Side, StreamEvent};
+use crate::lsh::StreamLshIndex;
+
+/// One change to the served link set, emitted by a refresh tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkUpdate {
+    /// A pair entered the link set.
+    Added(Edge),
+    /// A pair left the link set.
+    Removed(Edge),
+    /// A pair stayed linked but its score changed.
+    Reweighted {
+        /// The link as served before this tick.
+        previous: Edge,
+        /// The link as served now.
+        current: Edge,
+    },
+}
+
+/// Engine work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events accepted (including ones still in min-records buffers).
+    pub events: u64,
+    /// Events dropped because their window had already expired.
+    pub late_dropped: u64,
+    /// Refresh ticks run.
+    pub ticks: u64,
+    /// `(pair, window)` contribution recomputations across all ticks.
+    pub rescored_windows: u64,
+    /// Temporal windows expired out of the sliding window.
+    pub evicted_windows: u64,
+    /// Entities demoted because expiry left them at or below the
+    /// min-records threshold.
+    pub demoted_entities: u64,
+    /// Still-live records discarded by those demotions. An entity
+    /// hovering around the threshold therefore under-links relative to
+    /// a batch run over the live slice (which would count these records
+    /// toward the filter) — a deliberately conservative trade: the
+    /// engine would otherwise have to retain raw events for every
+    /// active entity just to re-buffer them.
+    pub demoted_records: u64,
+}
+
+/// An event with its temporal/spatial binning done — the unit of work
+/// the sharded ingest path precomputes on worker threads.
+#[derive(Debug, Clone)]
+struct BinnedEvent {
+    side: Side,
+    entity: EntityId,
+    w: WindowIdx,
+    /// `record_cells` output at the similarity spatial level.
+    cells: Vec<CellId>,
+    /// `record_cells` output at the LSH spatial level (empty when LSH
+    /// is disabled).
+    lsh_cells: Vec<CellId>,
+}
+
+/// The event-driven linkage engine. See the module docs for the data
+/// flow; see [`StreamConfig`] for the knobs.
+pub struct StreamEngine {
+    cfg: StreamConfig,
+    shards: usize,
+    scheme: Option<WindowScheme>,
+    /// Incremental history sets, `[left, right]`; allocated on the first
+    /// event (whose timestamp becomes the window origin).
+    sets: Option<[HistorySet; 2]>,
+    /// Min-records buffers: entities whose record count has not yet
+    /// exceeded `slim.min_records` are parked here, exactly like the
+    /// batch pipeline's sparse-entity filter.
+    pending: [HashMap<EntityId, Vec<BinnedEvent>>; 2],
+    /// Entities that crossed the min-records threshold.
+    active: [HashSet<EntityId>; 2],
+    /// Windows touched per entity since the last tick.
+    dirty: [HashMap<EntityId, BTreeSet<WindowIdx>>; 2],
+    /// Candidate pairs discovered since the last tick; their full common
+    /// window set is scored at the next tick (their endpoints may carry
+    /// history predating the discovery).
+    fresh: HashSet<(EntityId, EntityId)>,
+    /// Entities whose history expired entirely; their pairs are dropped
+    /// at the next tick.
+    dead: [HashSet<EntityId>; 2],
+    /// Which entities have bins in which window — drives expiry.
+    window_entities: BTreeMap<WindowIdx, [BTreeSet<EntityId>; 2]>,
+    /// Highest window index seen.
+    watermark: WindowIdx,
+    /// Windows below this index have expired.
+    expired_below: WindowIdx,
+    /// Per candidate pair: window → unnormalized score contribution.
+    cache: HashMap<(EntityId, EntityId), BTreeMap<WindowIdx, f64>>,
+    lsh: Option<StreamLshIndex>,
+    /// The currently served link set (as of the last tick).
+    links: Vec<Edge>,
+    events_since_refresh: usize,
+    stats: StreamStats,
+    scoring_stats: LinkageStats,
+}
+
+impl StreamEngine {
+    /// Creates an engine after validating the configuration. The window
+    /// scheme's origin is taken from the first ingested event; use
+    /// [`StreamEngine::with_origin`] to pin it (e.g. to compare against
+    /// a batch run over data whose earliest record is known).
+    pub fn new(cfg: StreamConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let shards = cfg.effective_shards();
+        Ok(Self {
+            lsh: cfg.lsh.map(StreamLshIndex::new),
+            cfg,
+            shards,
+            scheme: None,
+            sets: None,
+            pending: [HashMap::new(), HashMap::new()],
+            active: [HashSet::new(), HashSet::new()],
+            dirty: [HashMap::new(), HashMap::new()],
+            fresh: HashSet::new(),
+            dead: [HashSet::new(), HashSet::new()],
+            window_entities: BTreeMap::new(),
+            watermark: 0,
+            expired_below: 0,
+            cache: HashMap::new(),
+            links: Vec::new(),
+            events_since_refresh: 0,
+            stats: StreamStats::default(),
+            scoring_stats: LinkageStats::default(),
+        })
+    }
+
+    /// [`StreamEngine::new`] with the window origin pinned up front.
+    pub fn with_origin(cfg: StreamConfig, origin: Timestamp) -> Result<Self, String> {
+        let mut engine = Self::new(cfg)?;
+        engine.init_scheme(origin);
+        Ok(engine)
+    }
+
+    fn init_scheme(&mut self, origin: Timestamp) {
+        let scheme = WindowScheme::new(origin, self.cfg.slim.window_width_secs);
+        self.sets = Some([
+            HistorySet::new_incremental(scheme, self.cfg.slim.spatial_level),
+            HistorySet::new_incremental(scheme, self.cfg.slim.spatial_level),
+        ]);
+        self.scheme = Some(scheme);
+    }
+
+    /// The engine's window scheme (`None` until the first event).
+    pub fn scheme(&self) -> Option<&WindowScheme> {
+        self.scheme.as_ref()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Cumulative similarity-scoring counters across all ticks.
+    pub fn scoring_stats(&self) -> &LinkageStats {
+        &self.scoring_stats
+    }
+
+    /// The link set as of the last refresh tick.
+    pub fn links(&self) -> &[Edge] {
+        &self.links
+    }
+
+    /// Number of active (past the min-records filter) entities.
+    pub fn num_active(&self, side: Side) -> usize {
+        self.active[side.idx()].len()
+    }
+
+    /// Number of candidate pairs currently tracked.
+    pub fn num_candidate_pairs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The live history set of one side (`None` until the first event).
+    pub fn history_set(&self, side: Side) -> Option<&HistorySet> {
+        self.sets.as_ref().map(|s| &s[side.idx()])
+    }
+
+    fn bin_event(
+        ev: &StreamEvent,
+        scheme: &WindowScheme,
+        level: u8,
+        lsh_level: Option<u8>,
+    ) -> BinnedEvent {
+        let record = ev.to_record();
+        // Point records at a finer LSH level share the geometry work:
+        // one fine lookup, coarsened exactly via the cell hierarchy.
+        let (cells, lsh_cells) = match lsh_level {
+            Some(l) if l >= level && !record.is_region() => {
+                let fine = CellId::from_latlng(record.location, l);
+                (vec![fine.parent(level)], vec![fine])
+            }
+            Some(l) => (record_cells(&record, level), record_cells(&record, l)),
+            None => (record_cells(&record, level), Vec::new()),
+        };
+        BinnedEvent {
+            side: ev.side,
+            entity: ev.entity,
+            w: scheme.window_of(ev.time),
+            cells,
+            lsh_cells,
+        }
+    }
+
+    /// Ingests one event. Returns link updates when this event completed
+    /// a refresh interval (empty otherwise).
+    pub fn ingest(&mut self, ev: &StreamEvent) -> Vec<LinkUpdate> {
+        if self.scheme.is_none() {
+            self.init_scheme(ev.time);
+        }
+        let scheme = self.scheme.expect("initialized above");
+        let binned = Self::bin_event(
+            ev,
+            &scheme,
+            self.cfg.slim.spatial_level,
+            self.lsh.as_ref().map(|l| l.spatial_level()),
+        );
+        self.apply(binned)
+    }
+
+    /// Ingests a batch of events, sharding the spatial binning (the
+    /// trigonometry-heavy part of ingestion) by entity hash across
+    /// worker threads, then applying the appends in stream order. Ticks
+    /// fire inside the batch exactly as they would one event at a time.
+    pub fn ingest_batch(&mut self, events: &[StreamEvent]) -> Vec<LinkUpdate> {
+        let Some(first) = events.first() else {
+            return Vec::new();
+        };
+        if self.scheme.is_none() {
+            self.init_scheme(first.time);
+        }
+        let scheme = self.scheme.expect("initialized above");
+        let level = self.cfg.slim.spatial_level;
+        let lsh_level = self.lsh.as_ref().map(|l| l.spatial_level());
+        let shards = self.shards.clamp(1, events.len());
+
+        let mut binned: Vec<Option<BinnedEvent>> = vec![None; events.len()];
+        if shards == 1 {
+            for (i, ev) in events.iter().enumerate() {
+                binned[i] = Some(Self::bin_event(ev, &scheme, level, lsh_level));
+            }
+        } else {
+            // One pass partitions event indices by entity hash; each
+            // worker then bins exactly its shard's events.
+            let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for (i, ev) in events.iter().enumerate() {
+                shard_indices[entity_shard(ev.side, ev.entity, shards)].push(i);
+            }
+            let per_shard: Vec<Vec<(usize, BinnedEvent)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = shard_indices
+                    .iter()
+                    .map(|indices| {
+                        let scheme = &scheme;
+                        s.spawn(move || {
+                            indices
+                                .iter()
+                                .map(|&i| {
+                                    (i, Self::bin_event(&events[i], scheme, level, lsh_level))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("binning threads must not panic"))
+                    .collect()
+            });
+            for shard in per_shard {
+                for (i, b) in shard {
+                    binned[i] = Some(b);
+                }
+            }
+        }
+
+        let mut updates = Vec::new();
+        for b in binned.into_iter().flatten() {
+            updates.extend(self.apply(b));
+        }
+        updates
+    }
+
+    fn apply(&mut self, binned: BinnedEvent) -> Vec<LinkUpdate> {
+        if binned.w < self.expired_below {
+            self.stats.late_dropped += 1;
+            return Vec::new();
+        }
+        self.stats.events += 1;
+        let side = binned.side;
+        let entity = binned.entity;
+        let w = binned.w;
+
+        if self.active[side.idx()].contains(&entity) {
+            self.append_active(binned);
+        } else {
+            let buffer = self.pending[side.idx()].entry(entity).or_default();
+            buffer.push(binned);
+            if buffer.len() > self.cfg.slim.min_records {
+                self.activate(side, entity);
+            }
+        }
+
+        self.advance_watermark(w);
+
+        self.events_since_refresh += 1;
+        if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
+            self.refresh()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Moves a buffered entity past the min-records filter: replays its
+    /// buffer into the history set and registers its candidate pairs.
+    fn activate(&mut self, side: Side, entity: EntityId) {
+        let buffered = self.pending[side.idx()].remove(&entity).unwrap_or_default();
+        self.active[side.idx()].insert(entity);
+        if self.dead[side.idx()].remove(&entity) {
+            // The entity expired away entirely and is now being reborn
+            // *before* a refresh tick processed its death. Its cached
+            // pairs still hold contributions from evicted windows that
+            // no dirty mark references anymore (death wiped them) — they
+            // would be served as ghost links forever. Drop them now; the
+            // candidate registration below rediscovers live pairs fresh.
+            let drop_pair = |&(u, v): &(EntityId, EntityId)| match side {
+                Side::Left => u == entity,
+                Side::Right => v == entity,
+            };
+            self.cache.retain(|pair, _| !drop_pair(pair));
+            self.fresh.retain(|pair| !drop_pair(pair));
+            // self.links is left untouched: it is defined as "as of the
+            // last tick", and the next tick emits the Removed updates.
+        }
+        for b in buffered {
+            self.append_active(b);
+        }
+        if self.lsh.is_none() {
+            // Brute force: pair with every active entity on the other side.
+            let partners: Vec<EntityId> = self.active[side.other().idx()].iter().copied().collect();
+            for p in partners {
+                self.add_candidate(side, entity, p);
+            }
+        }
+    }
+
+    fn add_candidate(&mut self, side: Side, entity: EntityId, partner: EntityId) {
+        let pair = match side {
+            Side::Left => (entity, partner),
+            Side::Right => (partner, entity),
+        };
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.cache.entry(pair) {
+            slot.insert(BTreeMap::new());
+            self.fresh.insert(pair);
+        }
+    }
+
+    fn append_active(&mut self, b: BinnedEvent) {
+        let side = b.side;
+        let sets = self.sets.as_mut().expect("scheme initialized");
+        sets[side.idx()].append_record_binned(b.entity, b.w, &b.cells);
+        self.dirty[side.idx()]
+            .entry(b.entity)
+            .or_default()
+            .insert(b.w);
+        self.window_entities.entry(b.w).or_default()[side.idx()].insert(b.entity);
+        let partners = self
+            .lsh
+            .as_mut()
+            .and_then(|lsh| lsh.add(side, b.entity, b.w, &b.lsh_cells));
+        if let Some(partners) = partners {
+            for p in partners {
+                if self.active[side.other().idx()].contains(&p) {
+                    self.add_candidate(side, b.entity, p);
+                }
+            }
+        }
+    }
+
+    /// Advances the watermark and expires windows that slid out of the
+    /// configured capacity.
+    fn advance_watermark(&mut self, w: WindowIdx) {
+        if w > self.watermark {
+            self.watermark = w;
+        }
+        let Some(capacity) = self.cfg.window_capacity else {
+            return;
+        };
+        let keep_from = (self.watermark + 1).saturating_sub(capacity);
+        if keep_from <= self.expired_below {
+            return;
+        }
+        let expired: Vec<WindowIdx> = self
+            .window_entities
+            .range(..keep_from)
+            .map(|(&win, _)| win)
+            .collect();
+        for win in expired {
+            let sides = self.window_entities.remove(&win).expect("collected above");
+            self.stats.evicted_windows += 1;
+            for side in [Side::Left, Side::Right] {
+                for &e in &sides[side.idx()] {
+                    let sets = self.sets.as_mut().expect("scheme initialized");
+                    sets[side.idx()].evict_entity_window(e, win);
+                    self.dirty[side.idx()].entry(e).or_default().insert(win);
+                    // Expiry can *change* a ring signature (a formerly
+                    // dominated cell takes over the slot) — collisions
+                    // surfacing from that are candidates like any other.
+                    let partners = self.lsh.as_mut().and_then(|lsh| lsh.evict(side, e, win));
+                    if let Some(partners) = partners {
+                        for p in partners {
+                            if self.active[side.other().idx()].contains(&p) {
+                                self.add_candidate(side, e, p);
+                            }
+                        }
+                    }
+                    // Approximate the batch filter on the *live* slice:
+                    // an entity whose remaining records no longer exceed
+                    // min_records would be excluded by `Slim::prepare`
+                    // over the same window, so demote it — its leftover
+                    // evidence is discarded (counted in
+                    // `StreamStats::demoted_records`) and its pairs die
+                    // at the next tick. Fresh records re-buffer it like
+                    // any other sparse entity; the discarded ones no
+                    // longer count toward reactivation, which is the
+                    // conservative side of the batch semantics.
+                    let sets = self.sets.as_ref().expect("scheme initialized");
+                    let demote = match sets[side.idx()].history(e) {
+                        None => true,
+                        Some(h) => h.num_records() as usize <= self.cfg.slim.min_records,
+                    };
+                    if demote {
+                        self.stats.demoted_entities += 1;
+                        self.stats.demoted_records += sets[side.idx()]
+                            .history(e)
+                            .map(|h| h.num_records() as u64)
+                            .unwrap_or(0);
+                        let leftover: Vec<WindowIdx> = sets[side.idx()]
+                            .history(e)
+                            .map(|h| h.windows().collect())
+                            .unwrap_or_default();
+                        let sets = self.sets.as_mut().expect("scheme initialized");
+                        for lw in leftover {
+                            sets[side.idx()].evict_entity_window(e, lw);
+                            if let Some(sides) = self.window_entities.get_mut(&lw) {
+                                sides[side.idx()].remove(&e);
+                            }
+                        }
+                        if let Some(lsh) = &mut self.lsh {
+                            lsh.remove_entity(side, e);
+                        }
+                        self.active[side.idx()].remove(&e);
+                        self.dead[side.idx()].insert(e);
+                        self.dirty[side.idx()].remove(&e);
+                    }
+                }
+            }
+        }
+        // Min-records buffers must not resurrect expired windows either.
+        for side in [Side::Left, Side::Right] {
+            for buffer in self.pending[side.idx()].values_mut() {
+                buffer.retain(|b| b.w >= keep_from);
+            }
+            self.pending[side.idx()].retain(|_, buffer| !buffer.is_empty());
+        }
+        self.expired_below = keep_from;
+    }
+
+    /// Runs a refresh tick: recomputes the dirty `(pair, window)`
+    /// contributions in parallel, rebuilds the edge set from the cache,
+    /// re-runs matching + stop thresholding, and returns the difference
+    /// to the previously served link set.
+    pub fn refresh(&mut self) -> Vec<LinkUpdate> {
+        self.events_since_refresh = 0;
+        let Some(sets) = self.sets.as_ref() else {
+            return Vec::new();
+        };
+        self.stats.ticks += 1;
+
+        // Drop pairs whose endpoint expired away entirely.
+        if !self.dead[0].is_empty() || !self.dead[1].is_empty() {
+            let (dead_l, dead_r) = (&self.dead[0], &self.dead[1]);
+            self.cache
+                .retain(|(u, v), _| !dead_l.contains(u) && !dead_r.contains(v));
+            self.fresh
+                .retain(|(u, v)| !dead_l.contains(u) && !dead_r.contains(v));
+            self.dead[0].clear();
+            self.dead[1].clear();
+        }
+
+        // Gather dirty work: fresh pairs rescore all common windows,
+        // known pairs only the union of their endpoints' dirty windows.
+        type Job = ((EntityId, EntityId), Option<Vec<WindowIdx>>);
+        let jobs: Vec<Job> = self
+            .cache
+            .keys()
+            .filter_map(|&(u, v)| {
+                if self.fresh.contains(&(u, v)) {
+                    return Some(((u, v), None));
+                }
+                let du = self.dirty[0].get(&u);
+                let dv = self.dirty[1].get(&v);
+                if du.is_none() && dv.is_none() {
+                    return None;
+                }
+                let mut windows: Vec<WindowIdx> = Vec::new();
+                if let Some(du) = du {
+                    windows.extend(du.iter().copied());
+                }
+                if let Some(dv) = dv {
+                    windows.extend(dv.iter().copied());
+                }
+                windows.sort_unstable();
+                windows.dedup();
+                Some(((u, v), Some(windows)))
+            })
+            .collect();
+
+        let [left_set, right_set] = sets;
+        let scorer = SimilarityScorer::new(&self.cfg.slim, left_set, right_set);
+        type JobResult = (usize, Option<Vec<(WindowIdx, f64)>>);
+        let threads = self.shards.clamp(1, jobs.len().max(1));
+        let chunk = jobs.len().div_ceil(threads).max(1);
+        let results: Vec<(Vec<JobResult>, LinkageStats)> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(chunk_idx, part)| {
+                    let scorer = &scorer;
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(part.len());
+                        let mut stats = LinkageStats::default();
+                        for (j, ((u, v), spec)) in part.iter().enumerate() {
+                            let idx = chunk_idx * chunk + j;
+                            let (Some(hu), Some(hv)) =
+                                (left_set.history(*u), right_set.history(*v))
+                            else {
+                                out.push((idx, None));
+                                continue;
+                            };
+                            let windows: Vec<WindowIdx> = match spec {
+                                Some(ws) => ws.clone(),
+                                None => slim_core::similarity::common_windows(hu, hv).collect(),
+                            };
+                            let contributions: Vec<(WindowIdx, f64)> = windows
+                                .into_iter()
+                                .map(|w| (w, scorer.window_contribution(hu, hv, w, &mut stats)))
+                                .collect();
+                            out.push((idx, Some(contributions)));
+                        }
+                        (out, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rescoring threads must not panic"))
+                .collect()
+        });
+
+        // Apply the recomputed contributions to the cache.
+        for (part, stats) in results {
+            self.scoring_stats.merge(&stats);
+            for (idx, contributions) in part {
+                let pair = jobs[idx].0;
+                match contributions {
+                    None => {
+                        self.cache.remove(&pair);
+                    }
+                    Some(contributions) => {
+                        self.stats.rescored_windows += contributions.len() as u64;
+                        let windows = self.cache.entry(pair).or_default();
+                        for (w, c) in contributions {
+                            if c == 0.0 {
+                                windows.remove(&w);
+                            } else {
+                                windows.insert(w, c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.fresh.clear();
+        self.dirty[0].clear();
+        self.dirty[1].clear();
+
+        // Reassemble edges from the cache and re-run matching +
+        // thresholding — the same arithmetic as the batch pipeline:
+        // score = Σ window contributions / pair norm.
+        let scorer = {
+            let [left_set, right_set] = self.sets.as_ref().expect("checked above");
+            SimilarityScorer::new(&self.cfg.slim, left_set, right_set)
+        };
+        let mut edges: Vec<Edge> = self
+            .cache
+            .iter()
+            .filter_map(|(&(u, v), windows)| {
+                if windows.is_empty() {
+                    return None;
+                }
+                let score: f64 = windows.values().sum::<f64>() / scorer.pair_norm(u, v);
+                (score > 0.0).then_some(Edge {
+                    left: u,
+                    right: v,
+                    weight: score,
+                })
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.left, e.right));
+        let matching = match self.cfg.slim.matching_method {
+            MatchingMethod::Greedy => greedy_max_matching(&edges),
+            MatchingMethod::HungarianExact => exact_max_matching(&edges),
+        };
+        let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
+        let threshold = select_threshold(&weights, self.cfg.slim.threshold_method);
+        let new_links: Vec<Edge> = match &threshold {
+            Some(t) => matching
+                .iter()
+                .filter(|e| e.weight >= t.threshold)
+                .copied()
+                .collect(),
+            None => matching,
+        };
+
+        let updates = diff_links(&self.links, &new_links);
+        self.links = new_links;
+        updates
+    }
+
+    /// Runs the **exact batch pipeline** over the incrementally built
+    /// history sets: brute-force candidates without LSH, the accumulated
+    /// candidate set with it. With an unbounded window this returns
+    /// output identical to [`slim_core::Slim::link`] over the same
+    /// records — the stream/batch equivalence contract.
+    pub fn finalize(&self) -> Result<LinkageOutput, String> {
+        let Some([left_set, right_set]) = self.sets.as_ref() else {
+            return Ok(LinkageOutput {
+                links: Vec::new(),
+                matching: Vec::new(),
+                num_edges: 0,
+                threshold: None,
+                stats: LinkageStats::default(),
+                elapsed: Duration::ZERO,
+            });
+        };
+        let left_set = left_set.clone();
+        let right_set = right_set.clone();
+        self.finalize_sets(left_set, right_set)
+    }
+
+    /// [`StreamEngine::finalize`] that consumes the engine, moving the
+    /// history sets into the batch pipeline instead of deep-cloning them
+    /// — use this at the end of a replay to avoid a transient 2x of the
+    /// engine's dominant state (the CLI `--stream` path does).
+    pub fn into_finalized(mut self) -> Result<LinkageOutput, String> {
+        let Some([left_set, right_set]) = self.sets.take() else {
+            return self.finalize(); // empty-engine path
+        };
+        self.finalize_sets(left_set, right_set)
+    }
+
+    fn finalize_sets(
+        &self,
+        left_set: HistorySet,
+        right_set: HistorySet,
+    ) -> Result<LinkageOutput, String> {
+        let prepared = PreparedLinkage::from_history_sets(self.cfg.slim, left_set, right_set)?;
+        Ok(if self.lsh.is_some() {
+            let mut candidates: Vec<(EntityId, EntityId)> = self.cache.keys().copied().collect();
+            candidates.sort_unstable();
+            prepared.link_with_candidates(&candidates)
+        } else {
+            prepared.link()
+        })
+    }
+}
+
+/// Deterministic entity→shard assignment (FNV-1a over side + id).
+fn entity_shard(side: Side, entity: EntityId, shards: usize) -> usize {
+    (slim_lsh::fnv1a([side.idx() as u64, entity.0].into_iter()) % shards as u64) as usize
+}
+
+/// Difference between two served link sets, ordered by `(left, right)`.
+fn diff_links(old: &[Edge], new: &[Edge]) -> Vec<LinkUpdate> {
+    let old_by_pair: HashMap<(EntityId, EntityId), Edge> =
+        old.iter().map(|e| ((e.left, e.right), *e)).collect();
+    let new_by_pair: HashMap<(EntityId, EntityId), Edge> =
+        new.iter().map(|e| ((e.left, e.right), *e)).collect();
+    let mut updates: Vec<((EntityId, EntityId), LinkUpdate)> = Vec::new();
+    for (&pair, &edge) in &new_by_pair {
+        match old_by_pair.get(&pair) {
+            None => updates.push((pair, LinkUpdate::Added(edge))),
+            Some(&prev) if prev.weight != edge.weight => updates.push((
+                pair,
+                LinkUpdate::Reweighted {
+                    previous: prev,
+                    current: edge,
+                },
+            )),
+            Some(_) => {}
+        }
+    }
+    for (&pair, &edge) in &old_by_pair {
+        if !new_by_pair.contains_key(&pair) {
+            updates.push((pair, LinkUpdate::Removed(edge)));
+        }
+    }
+    updates.sort_by_key(|&(pair, _)| pair);
+    updates.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+    use slim_core::{LocationDataset, Record, Slim, SlimConfig};
+
+    use crate::event::merge_datasets;
+
+    fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
+        Record::new(EntityId(e), LatLng::from_degrees(lat, lng), Timestamp(t))
+    }
+
+    /// `n` entities seen by both services (right ids offset by 1000),
+    /// first `common` of them co-located, the rest in distinct regions.
+    fn two_views(n: u64, common: u64) -> (LocationDataset, LocationDataset) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in 0..n {
+            let (lat0, lng0) = (37.0 + 0.03 * e as f64, -122.0 - 0.02 * e as f64);
+            for k in 0..25i64 {
+                left.push(rec(e, k * 900 + 10, lat0 + 0.001 * ((k % 4) as f64), lng0));
+                if e < common {
+                    right.push(rec(
+                        1000 + e,
+                        k * 900 + 500,
+                        lat0 + 0.001 * ((k % 4) as f64) + 0.0004,
+                        lng0 + 0.0003,
+                    ));
+                } else {
+                    right.push(rec(
+                        1000 + e,
+                        k * 900 + 500,
+                        30.0 - 0.05 * e as f64,
+                        20.0 + 0.04 * e as f64,
+                    ));
+                }
+            }
+        }
+        (
+            LocationDataset::from_records(left),
+            LocationDataset::from_records(right),
+        )
+    }
+
+    fn stream_cfg() -> StreamConfig {
+        StreamConfig {
+            refresh_every: 0,
+            num_shards: 2,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn unbounded_replay_finalizes_to_batch_output() {
+        let (l, r) = two_views(8, 5);
+        let slim_cfg = SlimConfig::default();
+        let batch = Slim::new(slim_cfg).unwrap().link(&l, &r);
+
+        let mut engine = StreamEngine::new(stream_cfg()).unwrap();
+        for ev in merge_datasets(&l, &r) {
+            engine.ingest(&ev);
+        }
+        // The borrowing and consuming finalizers agree.
+        let streamed = engine.finalize().unwrap();
+        let consumed = engine.into_finalized().unwrap();
+        assert_eq!(streamed.links.len(), consumed.links.len());
+        for (a, b) in streamed.links.iter().zip(&consumed.links) {
+            assert_eq!(a.weight, b.weight);
+        }
+
+        assert_eq!(streamed.num_edges, batch.num_edges);
+        assert_eq!(streamed.matching.len(), batch.matching.len());
+        assert_eq!(streamed.links.len(), batch.links.len());
+        for (a, b) in streamed.links.iter().zip(&batch.links) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight, b.weight, "weights must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn single_tick_at_end_equals_finalize() {
+        // With no intermediate ticks, every window is still dirty at the
+        // first refresh, so the incremental path must agree exactly with
+        // the batch reassembly.
+        let (l, r) = two_views(6, 4);
+        let mut engine = StreamEngine::new(stream_cfg()).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        engine.refresh();
+        let finalized = engine.finalize().unwrap();
+        assert_eq!(engine.links().len(), finalized.links.len());
+        for (a, b) in engine.links().iter().zip(&finalized.links) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn batch_ingest_matches_event_at_a_time() {
+        let (l, r) = two_views(5, 3);
+        let events = merge_datasets(&l, &r);
+        let mut one = StreamEngine::new(stream_cfg()).unwrap();
+        for ev in &events {
+            one.ingest(ev);
+        }
+        let mut many = StreamEngine::new(stream_cfg()).unwrap();
+        many.ingest_batch(&events);
+        let (a, b) = (one.finalize().unwrap(), many.finalize().unwrap());
+        assert_eq!(a.links.len(), b.links.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!((x.left, x.right), (y.left, y.right));
+            assert_eq!(x.weight, y.weight);
+        }
+        assert_eq!(one.stats().events, many.stats().events);
+    }
+
+    #[test]
+    fn ticks_emit_added_links() {
+        let (l, r) = two_views(5, 5);
+        let mut cfg = stream_cfg();
+        cfg.refresh_every = 100;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let mut added = 0usize;
+        for ev in merge_datasets(&l, &r) {
+            for u in engine.ingest(&ev) {
+                if matches!(u, LinkUpdate::Added(_)) {
+                    added += 1;
+                }
+            }
+        }
+        assert!(
+            added >= 5,
+            "expected the true pairs to surface, got {added}"
+        );
+        assert!(engine.stats().ticks > 0);
+        // All served links are true pairs.
+        for link in engine.links() {
+            assert_eq!(link.right.0, 1000 + link.left.0, "false link {link:?}");
+        }
+    }
+
+    /// The globally earliest record belonging to a sparse entity the
+    /// batch filter drops shifts the inferred origin; pinning via
+    /// `batch_equivalent_origin` restores bit-identical finalization.
+    #[test]
+    fn sparse_straggler_origin_pinning_restores_equivalence() {
+        // Dense pairs at 890 + k·900 (left) / 910 + k·900 (right): with
+        // the batch origin 890 each pair shares window k; with a naive
+        // origin 0 (set by the sparse straggler below) the right records
+        // shift into window k + 1 and every score changes.
+        let mut left_records: Vec<Record> = vec![rec(4999, 0, 5.0, 5.0)];
+        let mut right_records: Vec<Record> = Vec::new();
+        for e in 0..5u64 {
+            let (lat, lng) = (37.0 + 0.04 * e as f64, -122.0 - 0.03 * e as f64);
+            for k in 0..20i64 {
+                left_records.push(rec(e, 890 + k * 900, lat + 0.001 * ((k % 3) as f64), lng));
+                right_records.push(rec(
+                    1000 + e,
+                    910 + k * 900,
+                    lat + 0.001 * ((k % 3) as f64) + 0.0003,
+                    lng + 0.0002,
+                ));
+            }
+        }
+        let l = LocationDataset::from_records(left_records);
+        let r = LocationDataset::from_records(right_records);
+        let batch = Slim::new(SlimConfig::default()).unwrap().link(&l, &r);
+        assert!(!batch.links.is_empty());
+
+        let origin =
+            crate::event::batch_equivalent_origin(&l, &r, SlimConfig::default().min_records)
+                .unwrap();
+        assert_eq!(
+            origin,
+            Timestamp(890),
+            "sparse straggler must not set the origin"
+        );
+        let mut engine = StreamEngine::with_origin(stream_cfg(), origin).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        let streamed = engine.finalize().unwrap();
+        assert_eq!(streamed.links.len(), batch.links.len());
+        for (a, b) in streamed.links.iter().zip(&batch.links) {
+            assert_eq!((a.left, a.right), (b.left, b.right));
+            assert_eq!(a.weight, b.weight, "weights must be bit-identical");
+        }
+
+        // Control: the naive first-event origin (0, the straggler's
+        // timestamp) shifts window boundaries and the weights diverge —
+        // this is exactly what origin pinning exists to prevent.
+        let mut naive = StreamEngine::new(stream_cfg()).unwrap();
+        naive.ingest_batch(&merge_datasets(&l, &r));
+        let naive_out = naive.finalize().unwrap();
+        let diverges = naive_out.links.len() != batch.links.len()
+            || naive_out
+                .links
+                .iter()
+                .zip(&batch.links)
+                .any(|(a, b)| a.weight != b.weight);
+        assert!(diverges, "fixture must actually straddle a window boundary");
+    }
+
+    #[test]
+    fn min_records_buffering_matches_batch_filter() {
+        let (l, r) = two_views(3, 3);
+        // A sparse right entity below the min-records threshold.
+        let mut right_records: Vec<Record> = Vec::new();
+        for e in r.entities_sorted() {
+            right_records.extend_from_slice(r.records_of(e));
+        }
+        right_records.push(rec(2999, 100, 10.0, 10.0));
+        right_records.push(rec(2999, 1100, 10.0, 10.0));
+        let r = LocationDataset::from_records(right_records);
+
+        let mut engine = StreamEngine::new(stream_cfg()).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        assert!(engine
+            .history_set(Side::Right)
+            .unwrap()
+            .history(EntityId(2999))
+            .is_none());
+        assert_eq!(engine.num_active(Side::Right), 3);
+
+        let batch = Slim::new(SlimConfig::default()).unwrap().link(&l, &r);
+        let streamed = engine.finalize().unwrap();
+        assert_eq!(streamed.links.len(), batch.links.len());
+        for (a, b) in streamed.links.iter().zip(&batch.links) {
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn sliding_window_expires_old_evidence() {
+        let (l, r) = two_views(4, 4);
+        let mut cfg = stream_cfg();
+        // The 25-window trace has one record per window: a capacity of 10
+        // lets entities pass the min-records filter from live evidence
+        // alone while still forcing plenty of expiry.
+        cfg.window_capacity = Some(10);
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        engine.refresh();
+        assert!(engine.stats().evicted_windows > 0);
+        let hs = engine.history_set(Side::Left).unwrap();
+        assert!(hs.num_entities() > 0, "entities must survive activation");
+        // Only the last 10 windows of history remain.
+        for e in hs.entities_sorted() {
+            let h = hs.history(e).unwrap();
+            assert!(
+                h.num_windows() <= 10,
+                "{e} kept {} windows",
+                h.num_windows()
+            );
+            assert!(h.windows().all(|w| w + 10 > engine.watermark));
+        }
+        // Still linkable from recent windows alone.
+        assert!(!engine.links().is_empty());
+        for link in engine.links() {
+            assert_eq!(link.right.0, 1000 + link.left.0, "false link {link:?}");
+        }
+    }
+
+    #[test]
+    fn pending_buffers_respect_window_expiry() {
+        // One record per window with a window capacity below the
+        // min-records threshold: the entity never has enough *live*
+        // records to activate, exactly like the batch filter applied to
+        // any window-sized slice of its history.
+        let mut cfg = stream_cfg();
+        cfg.window_capacity = Some(4);
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let ll = LatLng::from_degrees(37.0, -122.0);
+        for k in 0..25i64 {
+            engine.ingest(&StreamEvent::new(
+                Side::Left,
+                EntityId(1),
+                ll,
+                Timestamp(k * 900),
+            ));
+        }
+        assert_eq!(engine.num_active(Side::Left), 0);
+        assert!(engine
+            .history_set(Side::Left)
+            .map(|hs| hs.num_entities() == 0)
+            .unwrap_or(true));
+    }
+
+    /// An entity whose history expires away and who reactivates *before*
+    /// the next tick must not keep serving links backed by evicted
+    /// windows: its cached pair contributions are purged at rebirth.
+    #[test]
+    fn reactivation_purges_stale_pair_cache() {
+        let mut cfg = stream_cfg();
+        cfg.window_capacity = Some(8);
+        cfg.slim.min_records = 2;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let at = |lat: f64, lng: f64, k: i64| (LatLng::from_degrees(lat, lng), Timestamp(k * 900));
+        let feed = |eng: &mut StreamEngine, side, id: u64, lat: f64, lng: f64, k: i64| {
+            let (ll, t) = at(lat, lng, k);
+            eng.ingest(&StreamEvent::new(side, EntityId(id), ll, t));
+        };
+        // Windows 0..3: the linkable pair 1 ↔ 1001 co-located in region
+        // A, fillers 2 ↔ 1002 in region B, watermark-driver 3 on the left.
+        for k in 0..4 {
+            feed(&mut engine, Side::Left, 1, 37.0, -122.0, k);
+            feed(&mut engine, Side::Right, 1001, 37.0, -122.0, k);
+            feed(&mut engine, Side::Left, 2, 10.0, 10.0, k);
+            feed(&mut engine, Side::Right, 1002, 10.0, 10.0, k);
+            feed(&mut engine, Side::Left, 3, -20.0, 60.0, k);
+        }
+        engine.refresh();
+        assert!(
+            engine
+                .links()
+                .iter()
+                .any(|e| (e.left, e.right) == (EntityId(1), EntityId(1001))),
+            "pair must link while co-located: {:?}",
+            engine.links()
+        );
+
+        // Entity 3 jumps far ahead: every window below 94 expires, so 1,
+        // 1001, 2, and 1002 die — with NO tick in between.
+        feed(&mut engine, Side::Left, 3, -20.0, 60.0, 100);
+        feed(&mut engine, Side::Left, 3, -20.0, 60.0, 101);
+        assert_eq!(engine.num_active(Side::Right), 0);
+
+        // Both endpoints reactivate before the next tick — in disjoint
+        // windows AND distant regions, so nothing links them anymore.
+        for k in 100..103 {
+            feed(&mut engine, Side::Left, 1, 37.0, -122.0, k);
+            feed(&mut engine, Side::Left, 2, 10.0, 10.0, k);
+        }
+        for k in 104..107 {
+            feed(&mut engine, Side::Right, 1001, -35.0, 140.0, k);
+            feed(&mut engine, Side::Right, 1002, 10.0, 10.0, k);
+        }
+        engine.refresh();
+        assert!(
+            !engine
+                .links()
+                .iter()
+                .any(|e| (e.left, e.right) == (EntityId(1), EntityId(1001))),
+            "ghost link served from evicted evidence: {:?}",
+            engine.links()
+        );
+        // The exact pipeline over the live histories agrees.
+        let finalized = engine.finalize().unwrap();
+        assert!(!finalized
+            .links
+            .iter()
+            .any(|e| (e.left, e.right) == (EntityId(1), EntityId(1001))));
+    }
+
+    /// Expiry that leaves an entity with min_records or fewer live
+    /// records must demote it entirely — the batch filter over the live
+    /// slice would exclude it, and a fresh entity with identical live
+    /// evidence would still be buffering.
+    #[test]
+    fn expiry_below_min_records_demotes_entity() {
+        let mut cfg = stream_cfg();
+        cfg.window_capacity = Some(10);
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let ll = LatLng::from_degrees(37.0, -122.0);
+        // Entity 1: 7 records in windows 0..7, then silence.
+        for k in 0..7i64 {
+            engine.ingest(&StreamEvent::new(
+                Side::Left,
+                EntityId(1),
+                ll,
+                Timestamp(k * 900),
+            ));
+        }
+        assert_eq!(engine.num_active(Side::Left), 1);
+        // Entity 2 drives the watermark forward; as soon as entity 1's
+        // live records drop to min_records (5), it is demoted outright.
+        let far = LatLng::from_degrees(10.0, 10.0);
+        for k in 11..13i64 {
+            engine.ingest(&StreamEvent::new(
+                Side::Left,
+                EntityId(2),
+                far,
+                Timestamp(k * 900),
+            ));
+        }
+        assert_eq!(
+            engine.num_active(Side::Left),
+            0,
+            "below-threshold entity demoted"
+        );
+        assert!(engine
+            .history_set(Side::Left)
+            .map(|hs| hs.history(EntityId(1)).is_none())
+            .unwrap_or(true));
+        // The discarded live evidence is accounted for.
+        assert_eq!(engine.stats().demoted_entities, 1);
+        assert_eq!(engine.stats().demoted_records, 5);
+    }
+
+    #[test]
+    fn late_events_beyond_expiry_are_dropped() {
+        let mut cfg = stream_cfg();
+        cfg.window_capacity = Some(2);
+        cfg.slim.min_records = 0;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let ll = LatLng::from_degrees(37.0, -122.0);
+        engine.ingest(&StreamEvent::new(Side::Left, EntityId(1), ll, Timestamp(0)));
+        engine.ingest(&StreamEvent::new(
+            Side::Left,
+            EntityId(1),
+            ll,
+            Timestamp(10 * 900),
+        ));
+        // Window 0 has expired: a straggler event there must be dropped.
+        engine.ingest(&StreamEvent::new(
+            Side::Left,
+            EntityId(1),
+            ll,
+            Timestamp(100),
+        ));
+        assert_eq!(engine.stats().late_dropped, 1);
+    }
+
+    #[test]
+    fn lsh_mode_links_planted_pair() {
+        let (l, r) = two_views(6, 4);
+        let mut cfg = stream_cfg();
+        cfg.lsh = Some(crate::config::StreamLshConfig {
+            spans: 16,
+            base: slim_lsh::LshConfig {
+                step_windows: 2,
+                spatial_level: 12,
+                ..slim_lsh::LshConfig::default()
+            },
+        });
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        engine.refresh();
+        let brute = (engine.num_active(Side::Left) * engine.num_active(Side::Right)) as f64;
+        assert!(
+            (engine.num_candidate_pairs() as f64) < brute,
+            "LSH should prune candidates: {} of {brute}",
+            engine.num_candidate_pairs()
+        );
+        for link in engine.links() {
+            assert_eq!(link.right.0, 1000 + link.left.0, "false link {link:?}");
+        }
+        assert!(!engine.links().is_empty());
+    }
+
+    #[test]
+    fn diff_links_reports_all_transitions() {
+        let e = |l: u64, r: u64, w: f64| Edge {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: w,
+        };
+        let old = vec![e(1, 1, 1.0), e(2, 2, 2.0), e(3, 3, 3.0)];
+        let new = vec![e(2, 2, 2.5), e(3, 3, 3.0), e(4, 4, 4.0)];
+        let updates = diff_links(&old, &new);
+        assert_eq!(
+            updates,
+            vec![
+                LinkUpdate::Removed(e(1, 1, 1.0)),
+                LinkUpdate::Reweighted {
+                    previous: e(2, 2, 2.0),
+                    current: e(2, 2, 2.5)
+                },
+                LinkUpdate::Added(e(4, 4, 4.0)),
+            ]
+        );
+    }
+}

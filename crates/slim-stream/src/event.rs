@@ -1,0 +1,165 @@
+//! Stream events: one timestamped location observation from one side.
+
+use slim_core::{EntityId, LocationDataset, Record, Timestamp};
+
+/// Which of the two datasets being linked an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The first dataset (`U_E`).
+    Left,
+    /// The second dataset (`U_I`).
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// Array index (`Left = 0`, `Right = 1`) for per-side state.
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+}
+
+/// One streamed observation: entity `entity` of dataset `side` was at
+/// `location` at `time` (within `accuracy_m` metres for region records).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamEvent {
+    /// The dataset this observation comes from.
+    pub side: Side,
+    /// The dataset-local entity.
+    pub entity: EntityId,
+    /// Observed position.
+    pub location: geocell::LatLng,
+    /// Observation time.
+    pub time: Timestamp,
+    /// Region radius in metres (0 = exact point).
+    pub accuracy_m: f64,
+}
+
+impl StreamEvent {
+    /// A point observation.
+    pub fn new(side: Side, entity: EntityId, location: geocell::LatLng, time: Timestamp) -> Self {
+        Self {
+            side,
+            entity,
+            location,
+            time,
+            accuracy_m: 0.0,
+        }
+    }
+
+    /// Wraps one dataset record.
+    pub fn from_record(side: Side, r: &Record) -> Self {
+        Self {
+            side,
+            entity: r.entity,
+            location: r.location,
+            time: r.time,
+            accuracy_m: r.accuracy_m,
+        }
+    }
+
+    /// The event as a `slim-core` record (losing the side tag).
+    pub fn to_record(&self) -> Record {
+        if self.accuracy_m > 0.0 {
+            Record::with_accuracy(self.entity, self.location, self.time, self.accuracy_m)
+        } else {
+            Record::new(self.entity, self.location, self.time)
+        }
+    }
+}
+
+/// The window-scheme origin the *batch* pipeline would use for these
+/// datasets: the minimum timestamp after the min-records filter,
+/// mirroring `Slim::prepare`.
+///
+/// An engine left to infer its origin uses the first ingested event —
+/// which may be an earlier record of a sparse entity the batch filter
+/// drops, shifting every window boundary and breaking bit-identical
+/// finalization. Replay paths that compare against batch output should
+/// pin the engine with [`crate::StreamEngine::with_origin`] to this
+/// value (the CLI `--stream` mode does).
+pub fn batch_equivalent_origin(
+    left: &LocationDataset,
+    right: &LocationDataset,
+    min_records: usize,
+) -> Option<Timestamp> {
+    // Records are time-sorted per entity, so the filtered minimum is the
+    // min over each surviving entity's first record — no copies needed.
+    let mut origin: Option<Timestamp> = None;
+    for ds in [left, right] {
+        for e in ds.entities() {
+            let records = ds.records_of(e);
+            if records.len() <= min_records {
+                continue;
+            }
+            let first = records[0].time;
+            origin = Some(origin.map_or(first, |t| t.min(first)));
+        }
+    }
+    origin
+}
+
+/// Flattens two batch datasets into one time-ordered event stream — the
+/// replay path used by `slim-link --stream`, the benchmarks, and the
+/// stream/batch equivalence tests. Ties break on `(time, side, entity)`
+/// for determinism.
+pub fn merge_datasets(left: &LocationDataset, right: &LocationDataset) -> Vec<StreamEvent> {
+    let mut events = Vec::with_capacity(left.num_records() + right.num_records());
+    for (side, ds) in [(Side::Left, left), (Side::Right, right)] {
+        for e in ds.entities_sorted() {
+            for r in ds.records_of(e) {
+                events.push(StreamEvent::from_record(side, r));
+            }
+        }
+    }
+    events.sort_by_key(|ev| (ev.time, ev.side, ev.entity));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+
+    #[test]
+    fn merge_orders_by_time() {
+        let l = LocationDataset::from_records(vec![
+            Record::new(EntityId(1), LatLng::from_degrees(0.0, 0.0), Timestamp(50)),
+            Record::new(EntityId(1), LatLng::from_degrees(0.0, 0.0), Timestamp(10)),
+        ]);
+        let r = LocationDataset::from_records(vec![Record::new(
+            EntityId(2),
+            LatLng::from_degrees(0.0, 0.0),
+            Timestamp(30),
+        )]);
+        let events = merge_datasets(&l, &r);
+        let times: Vec<i64> = events.iter().map(|e| e.time.secs()).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+        assert_eq!(events[1].side, Side::Right);
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_accuracy() {
+        let rec = Record::with_accuracy(
+            EntityId(7),
+            LatLng::from_degrees(1.0, 2.0),
+            Timestamp(5),
+            120.0,
+        );
+        let ev = StreamEvent::from_record(Side::Left, &rec);
+        assert_eq!(ev.to_record(), rec);
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+    }
+}

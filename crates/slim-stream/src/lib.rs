@@ -1,0 +1,93 @@
+//! # slim-stream — incremental sliding-window mobility linkage
+//!
+//! The batch SLIM pipeline (`slim-core`) links two finished datasets in
+//! one pass. This crate turns the reproduction into a **continuously
+//! serving linkage engine**: it ingests `(side, entity, lat, lng,
+//! timestamp)` events one at a time (or in sharded batches), maintains
+//! per-entity mobility histories *and* the dataset-level statistics the
+//! similarity score depends on (document frequencies, length norms)
+//! incrementally, keeps LSH ring signatures hot in an incremental bucket
+//! index, and re-runs matching + GMM thresholding over the dirty part of
+//! the pair graph at configurable refresh ticks — emitting link *deltas*
+//! instead of recomputing from scratch.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────────┐
+//! events ──► │ ingest: shard-by-entity-hash spatial binning (∥)   │
+//!            │   ├─► min-records buffer ──► incremental histories │
+//!            │   │                          + df / avg-bins stats │
+//!            │   └─► LSH ring signatures ─► incremental buckets ──┼─► candidates
+//!            │ expiry: windows < watermark − W evicted, stats     │
+//!            │         unwound, affected pairs marked dirty       │
+//!            └────────────────────────────────────────────────────┘
+//! tick  ───► rescore dirty (pair, window) contributions (∥)
+//!            score = Σ window contributions / length norm
+//!            matching + GMM stop threshold over all cached edges
+//!            ──► Vec<LinkUpdate>  (Added / Removed / Reweighted)
+//! finalize ► exact batch pipeline over the live history sets
+//! ```
+//!
+//! Three properties anchor the design:
+//!
+//! 1. **Stream/batch equivalence.** With an unbounded window and the
+//!    same window origin, [`StreamEngine::finalize`] returns output
+//!    *bit-identical* to [`slim_core::Slim::link`] over the same
+//!    records: the incremental history sets are maintained exactly
+//!    (same bins, same document frequencies, same averages), and
+//!    finalization runs the unmodified batch pipeline over them. The
+//!    origin matches automatically when the stream's earliest record
+//!    belongs to an entity the batch min-records filter keeps; pin it
+//!    explicitly with [`StreamEngine::with_origin`] +
+//!    [`batch_equivalent_origin`] for replays where a sparse entity
+//!    arrives first (the CLI `--stream` mode does).
+//! 2. **Bounded work per tick.** An event dirties one window of one
+//!    entity; a tick recomputes only dirty `(pair, window)`
+//!    contributions (in parallel), reusing the cached contributions of
+//!    untouched windows. Cached contributions may lag the globally
+//!    drifting idf statistics between ticks; they are refreshed lazily
+//!    when their window is touched, and exactly at finalization.
+//! 3. **Sliding-window semantics.** With `window_capacity = Some(W)`,
+//!    only the most recent `W` temporal windows of evidence are
+//!    retained: expired windows are evicted from histories, statistics,
+//!    and LSH rings, affected pairs are re-scored, and links fade when
+//!    their supporting evidence does. Late events inside the window
+//!    land in their true window; events older than the window are
+//!    counted and dropped.
+//!
+//! ## Example
+//!
+//! ```
+//! use slim_core::{EntityId, Timestamp};
+//! use slim_stream::{Side, StreamConfig, StreamEngine, StreamEvent};
+//! use geocell::LatLng;
+//!
+//! let mut cfg = StreamConfig::default();
+//! cfg.slim.min_records = 0;
+//! cfg.refresh_every = 0; // manual ticks
+//! let mut engine = StreamEngine::new(cfg).unwrap();
+//! for k in 0..12i64 {
+//!     // Entity 1 ↔ 77 share a trace; 2 ↔ 88 live on another continent.
+//!     let at = LatLng::from_degrees(37.0, -122.0 + 0.001 * (k % 3) as f64);
+//!     let far = LatLng::from_degrees(-33.0, 151.0 + 0.001 * (k % 2) as f64);
+//!     engine.ingest(&StreamEvent::new(Side::Left, EntityId(1), at, Timestamp(k * 900)));
+//!     engine.ingest(&StreamEvent::new(Side::Right, EntityId(77), at, Timestamp(k * 900 + 400)));
+//!     engine.ingest(&StreamEvent::new(Side::Left, EntityId(2), far, Timestamp(k * 900)));
+//!     engine.ingest(&StreamEvent::new(Side::Right, EntityId(88), far, Timestamp(k * 900 + 400)));
+//! }
+//! let updates = engine.refresh();
+//! assert!(!updates.is_empty());
+//! assert!(engine.links().iter().any(|l| (l.left, l.right) == (EntityId(1), EntityId(77))));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod event;
+mod lsh;
+
+pub use config::{StreamConfig, StreamLshConfig};
+pub use engine::{LinkUpdate, StreamEngine, StreamStats};
+pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};

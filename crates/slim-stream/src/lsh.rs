@@ -1,0 +1,296 @@
+//! Incrementally maintained LSH signatures over a ring of query spans.
+//!
+//! The batch LSH filter derives one dominating-cell query per fixed span
+//! of the (known) time axis. A stream has no known end, so each entity's
+//! signature here is a **ring**: slot `s` of the signature holds the
+//! dominating cell of the span currently mapped to `s = (w / step) mod
+//! spans`. As the watermark advances and old windows expire, slots roll
+//! over to newer spans; every slot change re-upserts the signature into
+//! the shared [`BucketIndex`], and the cross-side collisions reported by
+//! the upsert feed the engine's candidate set.
+
+use std::collections::{BTreeMap, HashMap};
+
+use geocell::CellId;
+use slim_core::{EntityId, WindowIdx};
+use slim_lsh::{bands_for_threshold, BucketIndex, IndexSide, Signature};
+
+use crate::config::StreamLshConfig;
+use crate::event::Side;
+
+impl Side {
+    fn index_side(self) -> IndexSide {
+        match self {
+            Side::Left => IndexSide::Left,
+            Side::Right => IndexSide::Right,
+        }
+    }
+}
+
+/// Per-entity ring state: raw counts per slot plus the current
+/// signature derived from them.
+#[derive(Debug, Clone)]
+struct SpanRing {
+    /// Per slot: `(window, cell)` → record count. Keeping the window in
+    /// the key lets expiry remove exactly one window's contribution.
+    slots: Vec<BTreeMap<(WindowIdx, CellId), u32>>,
+    /// Which span (epoch `w / step`) currently owns each slot. Slots
+    /// alias every `spans` spans; when a newer span claims a slot its
+    /// stale content is cleared, so a slot never blends distant epochs
+    /// (and per-slot memory stays bounded) even without window expiry.
+    owners: Vec<Option<u32>>,
+    sig: Vec<Option<CellId>>,
+}
+
+impl SpanRing {
+    fn new(spans: usize) -> Self {
+        Self {
+            slots: vec![BTreeMap::new(); spans],
+            owners: vec![None; spans],
+            sig: vec![None; spans],
+        }
+    }
+
+    /// Recomputes the dominating cell of one slot (mirroring the batch
+    /// tie-break: highest count, then smallest cell id). Slots hold a
+    /// handful of cells, so a linear aggregate beats a hash map here.
+    fn dominating(&self, slot: usize) -> Option<CellId> {
+        let mut agg: Vec<(CellId, u32)> = Vec::new();
+        for (&(_, cell), &n) in &self.slots[slot] {
+            match agg.iter_mut().find(|(c, _)| *c == cell) {
+                Some((_, count)) => *count += n,
+                None => agg.push((cell, n)),
+            }
+        }
+        agg.into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(BTreeMap::is_empty)
+    }
+}
+
+/// The engine-side streaming LSH state: one ring per (side, entity) and
+/// the shared incremental bucket index.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamLshIndex {
+    cfg: StreamLshConfig,
+    index: BucketIndex,
+    rings: HashMap<(Side, EntityId), SpanRing>,
+}
+
+impl StreamLshIndex {
+    pub(crate) fn new(cfg: StreamLshConfig) -> Self {
+        let (bands, rows) = bands_for_threshold(cfg.spans, cfg.base.threshold);
+        Self {
+            cfg,
+            index: BucketIndex::new(bands, rows, cfg.base.num_buckets),
+            rings: HashMap::new(),
+        }
+    }
+
+    /// The spatial level signatures are built at.
+    pub(crate) fn spatial_level(&self) -> u8 {
+        self.cfg.base.spatial_level
+    }
+
+    fn slot_of(&self, w: WindowIdx) -> usize {
+        (w / self.cfg.base.step_windows) as usize % self.cfg.spans
+    }
+
+    /// Records one observation's cells for `(side, entity)` in window
+    /// `w`. Returns the entity's current cross-side collision partners
+    /// when its signature changed (`None` = signature unchanged).
+    ///
+    /// Each slot is owned by one span epoch at a time: content from an
+    /// older epoch is cleared when a newer one claims the slot, and
+    /// events older than the slot's current epoch are ignored — the ring
+    /// is a recency signature by construction, with or without
+    /// sliding-window expiry.
+    pub(crate) fn add(
+        &mut self,
+        side: Side,
+        entity: EntityId,
+        w: WindowIdx,
+        cells: &[CellId],
+    ) -> Option<Vec<EntityId>> {
+        let slot = self.slot_of(w);
+        let span = w / self.cfg.base.step_windows;
+        let spans = self.cfg.spans;
+        let ring = self
+            .rings
+            .entry((side, entity))
+            .or_insert_with(|| SpanRing::new(spans));
+        match ring.owners[slot] {
+            Some(owner) if owner > span => return None, // pre-ring straggler
+            Some(owner) if owner < span => {
+                ring.slots[slot].clear();
+                ring.owners[slot] = Some(span);
+            }
+            Some(_) => {}
+            None => ring.owners[slot] = Some(span),
+        }
+        for &c in cells {
+            *ring.slots[slot].entry((w, c)).or_insert(0) += 1;
+        }
+        let dom = ring.dominating(slot);
+        if dom == ring.sig[slot] {
+            return None;
+        }
+        ring.sig[slot] = dom;
+        let sig = Signature {
+            entity,
+            cells: ring.sig.clone(),
+        };
+        Some(self.index.upsert(side.index_side(), &sig))
+    }
+
+    /// Drops an entity's ring and bucket placements entirely (used when
+    /// the engine demotes an entity whose live evidence fell below the
+    /// min-records filter).
+    pub(crate) fn remove_entity(&mut self, side: Side, entity: EntityId) {
+        if self.rings.remove(&(side, entity)).is_some() {
+            self.index.remove(side.index_side(), entity);
+        }
+    }
+
+    /// Expires window `w` for `(side, entity)`: removes its counts from
+    /// the ring, re-deriving the affected slot. Returns collision
+    /// partners when the signature changed.
+    pub(crate) fn evict(
+        &mut self,
+        side: Side,
+        entity: EntityId,
+        w: WindowIdx,
+    ) -> Option<Vec<EntityId>> {
+        let slot = self.slot_of(w);
+        let ring = self.rings.get_mut(&(side, entity))?;
+        let before = ring.slots[slot].len();
+        ring.slots[slot].retain(|&(win, _), _| win != w);
+        if ring.slots[slot].len() == before {
+            return None;
+        }
+        if ring.is_empty() {
+            self.rings.remove(&(side, entity));
+            self.index.remove(side.index_side(), entity);
+            return None;
+        }
+        let dom = ring.dominating(slot);
+        if dom == ring.sig[slot] {
+            return None;
+        }
+        ring.sig[slot] = dom;
+        let sig = Signature {
+            entity,
+            cells: ring.sig.clone(),
+        };
+        Some(self.index.upsert(side.index_side(), &sig))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+    use slim_lsh::LshConfig;
+
+    fn cell(lng: f64) -> CellId {
+        CellId::from_latlng(LatLng::from_degrees(20.0, lng), 16)
+    }
+
+    fn index(spans: usize, step: u32) -> StreamLshIndex {
+        StreamLshIndex::new(StreamLshConfig {
+            spans,
+            base: LshConfig {
+                step_windows: step,
+                spatial_level: 16,
+                ..LshConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn matching_rings_collide() {
+        let mut idx = index(4, 2);
+        for w in 0..8 {
+            idx.add(Side::Left, EntityId(1), w, &[cell(0.0 + w as f64)]);
+        }
+        let mut partners = Vec::new();
+        for w in 0..8 {
+            if let Some(p) = idx.add(Side::Right, EntityId(100), w, &[cell(0.0 + w as f64)]) {
+                partners = p;
+            }
+        }
+        assert_eq!(partners, vec![EntityId(1)], "identical rings must collide");
+    }
+
+    #[test]
+    fn disjoint_rings_do_not_collide() {
+        let mut idx = index(4, 2);
+        for w in 0..8 {
+            idx.add(Side::Left, EntityId(1), w, &[cell(w as f64)]);
+            let p = idx.add(Side::Right, EntityId(100), w, &[cell(90.0 + w as f64)]);
+            assert!(p.map(|v| v.is_empty()).unwrap_or(true), "window {w}");
+        }
+    }
+
+    #[test]
+    fn eviction_rolls_slots_over() {
+        let mut idx = index(2, 1);
+        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        idx.add(Side::Left, EntityId(1), 1, &[cell(1.0)]);
+        // Window 2 aliases slot 0; evict window 0 first (as the engine
+        // does before reusing the slot), then fill it with new content.
+        idx.evict(Side::Left, EntityId(1), 0);
+        idx.add(Side::Left, EntityId(1), 2, &[cell(2.0)]);
+        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        assert_eq!(ring.sig[0], Some(cell(2.0)));
+        assert_eq!(ring.sig[1], Some(cell(1.0)));
+        // Evicting everything drops the entity from the bucket index.
+        idx.evict(Side::Left, EntityId(1), 1);
+        idx.evict(Side::Left, EntityId(1), 2);
+        assert!(idx.rings.is_empty());
+        assert!(idx.index.is_empty());
+    }
+
+    /// Without sliding-window expiry (unbounded engine), slot aliasing
+    /// must not blend distant epochs: a newer span claims the slot and
+    /// clears the stale counts, and pre-ring stragglers are ignored.
+    #[test]
+    fn slot_epochs_roll_without_eviction() {
+        let mut idx = index(2, 1);
+        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        idx.add(Side::Left, EntityId(1), 1, &[cell(1.0)]);
+        // Window 2 aliases slot 0 (epoch 2 > epoch 0): old content must
+        // be dropped, not merged.
+        idx.add(Side::Left, EntityId(1), 2, &[cell(2.0)]);
+        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        assert_eq!(ring.sig[0], Some(cell(2.0)));
+        assert_eq!(ring.slots[0].len(), 1, "stale epoch content cleared");
+        // A straggler for the long-gone window 0 must not resurrect it.
+        assert!(idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]).is_none());
+        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        assert_eq!(ring.sig[0], Some(cell(2.0)));
+        // Repeated visits within the live epoch still accumulate.
+        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        assert_eq!(ring.sig[0], Some(cell(5.0)));
+    }
+
+    #[test]
+    fn dominating_cell_tracks_counts() {
+        let mut idx = index(1, 4);
+        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        idx.add(Side::Left, EntityId(1), 1, &[cell(5.0)]);
+        let r = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        let first = r.sig[0];
+        // A second visit to cell(5.0) makes it dominate.
+        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        let r = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
+        assert_eq!(r.sig[0], Some(cell(5.0)));
+        assert!(first.is_some());
+    }
+}

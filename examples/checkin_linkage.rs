@@ -93,6 +93,10 @@ fn main() {
         "F1               {:>12.3}      {:>12.3}  (relative {:.3})",
         brute_m.f1,
         lsh_m.f1,
-        if brute_m.f1 > 0.0 { lsh_m.f1 / brute_m.f1 } else { 1.0 }
+        if brute_m.f1 > 0.0 {
+            lsh_m.f1 / brute_m.f1
+        } else {
+            1.0
+        }
     );
 }

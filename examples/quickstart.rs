@@ -35,9 +35,7 @@ fn main() {
 
     println!(
         "\nscored {} entity pairs ({} record comparisons), kept {} positive edges",
-        out.stats.scored_entity_pairs,
-        out.stats.record_pair_comparisons,
-        out.num_edges,
+        out.stats.scored_entity_pairs, out.stats.record_pair_comparisons, out.num_edges,
     );
     if let Some(t) = &out.threshold {
         println!(

@@ -28,9 +28,7 @@ fn main() {
             let snapped = r
                 .location
                 .offset(300.0, (k % 7) as f64 * std::f64::consts::TAU / 7.0);
-            degraded_with_regions.push(Record::with_accuracy(
-                r.entity, snapped, r.time, 350.0,
-            ));
+            degraded_with_regions.push(Record::with_accuracy(r.entity, snapped, r.time, 350.0));
             degraded_points_only.push(Record::new(r.entity, snapped, r.time));
         }
     }

@@ -49,7 +49,11 @@ fn main() {
             other => panic!("unknown argument {other}"),
         }
     }
-    let wants = |name: &str| only.as_ref().map(|o| o.iter().any(|x| x == name)).unwrap_or(true);
+    let wants = |name: &str| {
+        only.as_ref()
+            .map(|o| o.iter().any(|x| x == name))
+            .unwrap_or(true)
+    };
 
     println!(
         "SLIM reproduction harness — cab_scale {:.3}, sm_scale {:.3}, seed {}\n",
@@ -94,7 +98,10 @@ fn main() {
     if wants("fig10") {
         let (levels, windows) = figures::fig10::default_ranges();
         let pts = figures::fig10::run_spatial(&settings, &levels);
-        println!("{}", figures::fig10::render("Fig 10a", &pts, false).render());
+        println!(
+            "{}",
+            figures::fig10::render("Fig 10a", &pts, false).render()
+        );
         let pts = figures::fig10::run_window(&settings, &windows);
         println!("{}", figures::fig10::render("Fig 10b", &pts, true).render());
     }

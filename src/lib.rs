@@ -12,6 +12,8 @@
 //!   matching, GMM stop-threshold, auto-tuning: the SLIM algorithm.
 //! * [`lsh`] — dominating-grid-cell signatures + banding: the paper's
 //!   scalability layer.
+//! * [`stream`] — incremental sliding-window linkage over timestamped
+//!   event streams, with stream/batch equivalence at finalization.
 //! * [`baselines`] — ST-Link and GM, the compared-against systems.
 //! * [`datagen`] — synthetic Cab/SM workloads with exact ground truth.
 //! * [`eval`] — metrics and drivers regenerating every paper figure.
@@ -47,6 +49,9 @@ pub use slim_lsh as lsh;
 
 /// ST-Link and GM baselines.
 pub use slim_baselines as baselines;
+
+/// Incremental sliding-window linkage engine.
+pub use slim_stream as stream;
 
 /// Synthetic workload generators with ground truth.
 pub use slim_datagen as datagen;

@@ -15,7 +15,9 @@ fn sample(seed: u64) -> slim::datagen::TwoViewSample {
 #[test]
 fn all_three_algorithms_find_true_links() {
     let s = sample(51);
-    let slim_out = Slim::new(SlimConfig::default()).unwrap().link(&s.left, &s.right);
+    let slim_out = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&s.left, &s.right);
     let slim_m = evaluate_edges(&slim_out.links, &s.ground_truth);
 
     let st = stlink(&s.left, &s.right, &StLinkConfig::default());
@@ -41,7 +43,9 @@ fn slim_f1_is_competitive_with_baselines() {
     let mut gm_sum = 0.0;
     for &seed in &seeds {
         let s = sample(seed);
-        let out = Slim::new(SlimConfig::default()).unwrap().link(&s.left, &s.right);
+        let out = Slim::new(SlimConfig::default())
+            .unwrap()
+            .link(&s.left, &s.right);
         slim_sum += evaluate_edges(&out.links, &s.ground_truth).f1;
         let st = stlink(&s.left, &s.right, &StLinkConfig::default());
         st_sum += evaluate_links(&st.links, &s.ground_truth).f1;

@@ -16,7 +16,9 @@ fn cab_linkage_beats_chance_by_far() {
     let seeds = [31u64, 35, 36];
     for &seed in &seeds {
         let sample = cab_sample(0.5, seed);
-        let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+        let out = Slim::new(SlimConfig::default())
+            .unwrap()
+            .link(&sample.left, &sample.right);
         let m = evaluate_edges(&out.links, &sample.ground_truth);
         p_sum += m.precision;
         r_sum += m.recall;
@@ -31,7 +33,9 @@ fn cab_linkage_beats_chance_by_far() {
 #[test]
 fn linkage_is_one_to_one_and_positive() {
     let sample = cab_sample(0.7, 32);
-    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    let out = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
     assert!(matching::is_valid_matching(&out.links));
     assert!(out.links.iter().all(|e| e.weight > 0.0));
     // links ⊆ matching
@@ -49,7 +53,9 @@ fn no_overlap_means_threshold_prunes_hard() {
     // positive; the pipeline should link few-to-none of them confidently.
     let sample = cab_sample(0.0, 33);
     assert_eq!(sample.num_common(), 0);
-    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    let out = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
     let m = evaluate_edges(&out.links, &sample.ground_truth);
     assert_eq!(m.true_positives, 0);
     // The stop threshold must drop a decent share of the (all-false)
@@ -68,7 +74,9 @@ fn full_overlap_matching_recovers_most_entities() {
     // only evaluates intersection ratios up to 0.9 — so this asserts on
     // the matching, not the thresholded links.)
     let sample = cab_sample(1.0, 34);
-    let out = Slim::new(SlimConfig::default()).unwrap().link(&sample.left, &sample.right);
+    let out = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
     let m = evaluate_edges(&out.matching, &sample.ground_truth);
     assert!(
         m.true_positives as f64 >= 0.7 * m.num_truth as f64,

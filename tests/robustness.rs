@@ -3,8 +3,7 @@
 //! configurations. A production linkage system sees all of these.
 
 use slim::core::{
-    EntityId, LocationDataset, MatchingMethod, Record, Slim, SlimConfig, ThresholdMethod,
-    Timestamp,
+    EntityId, LocationDataset, MatchingMethod, Record, Slim, SlimConfig, ThresholdMethod, Timestamp,
 };
 use slim::datagen::Scenario;
 use slim::eval::evaluate_edges;
@@ -19,10 +18,7 @@ fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
 fn all_records_at_one_instant() {
     // Every record at the same timestamp: one window, still no panic.
     let l: Vec<Record> = (0..6).map(|e| rec(e, 0, 30.0 + e as f64, 10.0)).collect();
-    let l: Vec<Record> = l
-        .iter()
-        .flat_map(|r| (0..10).map(move |_| *r))
-        .collect();
+    let l: Vec<Record> = l.iter().flat_map(|r| (0..10).map(move |_| *r)).collect();
     let r: Vec<Record> = (0..6)
         .map(|e| rec(100 + e, 0, 30.0 + e as f64, 10.0))
         .flat_map(|r| (0..10).map(move |_| r))
@@ -46,7 +42,9 @@ fn all_entities_at_one_location() {
                 .collect::<Vec<_>>(),
         )
     };
-    let out = Slim::new(SlimConfig::default()).unwrap().link(&mk(0), &mk(100));
+    let out = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&mk(0), &mk(100));
     for e in &out.links {
         assert!(e.weight > 0.0);
     }
@@ -89,7 +87,13 @@ fn negative_timestamps_are_legal() {
         .collect();
     let r: Vec<Record> = l
         .iter()
-        .map(|x| Record::new(EntityId(x.entity.0 + 50), x.location, Timestamp(x.time.secs() + 400)))
+        .map(|x| {
+            Record::new(
+                EntityId(x.entity.0 + 50),
+                x.location,
+                Timestamp(x.time.secs() + 400),
+            )
+        })
         .collect();
     let out = Slim::new(SlimConfig::default()).unwrap().link(
         &LocationDataset::from_records(l),
@@ -138,11 +142,14 @@ fn exact_matching_end_to_end_never_worse_than_greedy() {
         threshold_method: ThresholdMethod::None,
         ..SlimConfig::default()
     };
-    let g = Slim::new(greedy_cfg).unwrap().link(&sample.left, &sample.right);
-    let e = Slim::new(exact_cfg).unwrap().link(&sample.left, &sample.right);
-    let total = |out: &slim::core::LinkageOutput| -> f64 {
-        out.matching.iter().map(|x| x.weight).sum()
-    };
+    let g = Slim::new(greedy_cfg)
+        .unwrap()
+        .link(&sample.left, &sample.right);
+    let e = Slim::new(exact_cfg)
+        .unwrap()
+        .link(&sample.left, &sample.right);
+    let total =
+        |out: &slim::core::LinkageOutput| -> f64 { out.matching.iter().map(|x| x.weight).sum() };
     assert!(
         total(&e) >= total(&g) - 1e-9,
         "exact {} below greedy {}",

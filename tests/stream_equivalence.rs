@@ -1,0 +1,114 @@
+//! Stream/batch equivalence: replaying a full synthetic dataset through
+//! `slim-stream` with an unbounded window must produce exactly the links
+//! of batch `Slim::link` on the same data — the acceptance contract of
+//! the streaming subsystem.
+
+use slim::core::{Slim, SlimConfig};
+use slim::datagen::Scenario;
+use slim::stream::{merge_datasets, StreamConfig, StreamEngine};
+
+fn assert_outputs_identical(
+    streamed: &slim::core::LinkageOutput,
+    batch: &slim::core::LinkageOutput,
+) {
+    assert_eq!(streamed.num_edges, batch.num_edges, "edge sets differ");
+    assert_eq!(
+        streamed.matching.len(),
+        batch.matching.len(),
+        "matchings differ"
+    );
+    for (a, b) in streamed.matching.iter().zip(&batch.matching) {
+        assert_eq!((a.left, a.right), (b.left, b.right));
+        assert_eq!(a.weight, b.weight, "weights must be bit-identical");
+    }
+    assert_eq!(streamed.links.len(), batch.links.len(), "links differ");
+    for (a, b) in streamed.links.iter().zip(&batch.links) {
+        assert_eq!((a.left, a.right), (b.left, b.right));
+        assert_eq!(a.weight, b.weight, "weights must be bit-identical");
+    }
+    match (&streamed.threshold, &batch.threshold) {
+        (Some(s), Some(b)) => assert_eq!(s.threshold, b.threshold),
+        (None, None) => {}
+        other => panic!("threshold presence differs: {other:?}"),
+    }
+}
+
+#[test]
+fn cab_replay_equals_batch() {
+    let scenario = Scenario::cab(0.04, 11);
+    let sample = scenario.sample(0.5, 11);
+    let batch = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
+    assert!(!batch.links.is_empty(), "fixture must produce links");
+
+    let cfg = StreamConfig {
+        refresh_every: 0,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(cfg).unwrap();
+    engine.ingest_batch(&merge_datasets(&sample.left, &sample.right));
+    let streamed = engine.finalize().unwrap();
+    assert_outputs_identical(&streamed, &batch);
+}
+
+#[test]
+fn sm_replay_with_intermediate_ticks_equals_batch() {
+    // Refresh ticks along the way must not disturb the finalized output:
+    // tick-time caches are serving state only, finalization always runs
+    // the exact pipeline over the incrementally built histories.
+    let scenario = Scenario::sm(0.004, 23);
+    let sample = scenario.sample(0.5, 23);
+    let batch = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
+
+    let cfg = StreamConfig {
+        refresh_every: 500,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(cfg).unwrap();
+    for chunk in merge_datasets(&sample.left, &sample.right).chunks(256) {
+        engine.ingest_batch(chunk);
+    }
+    assert!(engine.stats().ticks > 0, "ticks must have fired");
+    let streamed = engine.finalize().unwrap();
+    assert_outputs_identical(&streamed, &batch);
+}
+
+#[test]
+fn served_links_converge_to_truth_under_replay() {
+    // The serving path itself (refresh ticks, not finalize) must end up
+    // at least as good as batch linkage once the stream has played out
+    // — on this fixture the two are identical, so precision and recall
+    // must match the batch run exactly.
+    let scenario = Scenario::cab(0.04, 7);
+    let sample = scenario.sample(0.6, 7);
+    let batch = Slim::new(SlimConfig::default())
+        .unwrap()
+        .link(&sample.left, &sample.right);
+    let batch_metrics = slim::eval::evaluate_edges(&batch.links, &sample.ground_truth);
+
+    let cfg = StreamConfig {
+        refresh_every: 0,
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(cfg).unwrap();
+    engine.ingest_batch(&merge_datasets(&sample.left, &sample.right));
+    engine.refresh();
+    let links: Vec<slim::core::Edge> = engine.links().to_vec();
+    assert!(!links.is_empty());
+    let metrics = slim::eval::evaluate_edges(&links, &sample.ground_truth);
+    assert!(
+        metrics.precision >= batch_metrics.precision - 1e-12,
+        "served precision {} below batch {}",
+        metrics.precision,
+        batch_metrics.precision
+    );
+    assert!(
+        metrics.recall >= batch_metrics.recall - 1e-12,
+        "served recall {} below batch {}",
+        metrics.recall,
+        batch_metrics.recall
+    );
+}
