@@ -3,31 +3,45 @@
 //! check-in workload, reporting machine-readable JSON (`BENCH_STREAMING`
 //! lines) for trend tracking.
 //!
-//! Two phases over the same ~100k-event replay:
+//! Phases over the same ~100k-event replay:
 //!
 //! 1. **latency** — events ingested one at a time, each call timed, so
 //!    the percentiles include the refresh ticks that fire mid-stream;
-//! 2. **throughput** — events ingested through the sharded batch path
-//!    (the production hot path), timed end to end.
+//! 2. **throughput@S** — events ingested through the sharded batch path
+//!    (the production hot path), timed end to end, once per engine
+//!    shard count S — the scaling curve of the sharded engine state.
+//!
+//! Every run also proves the dirty-only refresh contract: across its
+//! ticks the engine must visit strictly fewer pairs than a full cache
+//! sweep would have (`dirty_pairs_visited < cached_pairs_at_ticks`).
 
 use std::time::Instant;
 
 use slim::datagen::Scenario;
 
 /// Acceptance floor: the engine must sustain this on at least one
-/// phase (both run identical work; the reference host is a shared
-/// single vCPU whose multi-minute throttle windows can sink either
-/// measurement by 3x, so the floor binds to the healthier one).
+/// phase (all phases replay the same events — per-event vs batched
+/// ingestion differ only in LSH candidate-discovery granularity; the
+/// reference host is a shared single vCPU whose multi-minute throttle
+/// windows can sink any measurement by 3x, so the floor binds to the
+/// healthiest one).
 const FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
 
-/// Per-phase guard: each path must clear this individually even in the
-/// worst observed throttle window, so a large regression confined to
-/// one path (e.g. only `ingest_batch`) still trips the bench.
+/// Per-path guard: the latency path and the best throughput run must
+/// each clear this individually even in the worst observed throttle
+/// window, so a large regression confined to one path (e.g. only
+/// `ingest_batch`) still trips the bench.
 const PHASE_FLOOR_EVENTS_PER_SEC: f64 = 15_000.0;
+
+/// Engine shard counts the throughput phase sweeps. The reference host
+/// exposes a single vCPU, so higher counts measure coordination
+/// overhead there and real scaling on multicore hosts.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
 use slim::lsh::LshConfig;
 use slim::stream::{merge_datasets, StreamConfig, StreamEngine, StreamLshConfig};
 
-fn bench_config() -> StreamConfig {
+fn bench_config(num_shards: usize) -> StreamConfig {
     StreamConfig {
         // Check-ins run ~1 record per 2 days per entity, so a 14-day
         // sliding window (1344 × 15 min) keeps entities above the
@@ -35,6 +49,7 @@ fn bench_config() -> StreamConfig {
         // 26-day workload. The LSH ring (28 × 48 windows) matches it.
         window_capacity: Some(1344),
         refresh_every: 20_000,
+        num_shards,
         lsh: Some(StreamLshConfig {
             spans: 28,
             base: LshConfig {
@@ -59,7 +74,8 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 struct Phase {
-    name: &'static str,
+    name: String,
+    shards: usize,
     events: usize,
     elapsed_s: f64,
     p50_us: f64,
@@ -71,8 +87,9 @@ fn report(phase: &Phase, engine: &StreamEngine) {
     let stats = engine.stats();
     let events_per_sec = phase.events as f64 / phase.elapsed_s;
     println!(
-        "{:>12}: {} events in {:.3}s → {:.0} events/s \
-         (p50 {:.1}µs, p99 {:.1}µs, max {:.1}µs/event; {} ticks, {} windows expired)",
+        "{:>14}: {} events in {:.3}s → {:.0} events/s \
+         (p50 {:.1}µs, p99 {:.1}µs, max {:.1}µs/event; {} ticks, {} windows expired, \
+         {}/{} tick pairs visited, {} retired)",
         phase.name,
         phase.events,
         phase.elapsed_s,
@@ -82,13 +99,18 @@ fn report(phase: &Phase, engine: &StreamEngine) {
         phase.max_us,
         stats.ticks,
         stats.evicted_windows,
+        stats.dirty_pairs_visited,
+        stats.cached_pairs_at_ticks,
+        stats.retired_pairs,
     );
     println!(
-        "BENCH_STREAMING {{\"bench\":\"streaming_{}\",\"events\":{},\"elapsed_s\":{:.6},\
-         \"events_per_sec\":{:.1},\"p50_event_us\":{:.2},\"p99_event_us\":{:.2},\
-         \"max_event_us\":{:.2},\"ticks\":{},\"rescored_windows\":{},\"evicted_windows\":{},\
-         \"late_dropped\":{},\"candidate_pairs\":{},\"links\":{}}}",
+        "BENCH_STREAMING {{\"bench\":\"streaming_{}\",\"shards\":{},\"events\":{},\
+         \"elapsed_s\":{:.6},\"events_per_sec\":{:.1},\"p50_event_us\":{:.2},\
+         \"p99_event_us\":{:.2},\"max_event_us\":{:.2},\"ticks\":{},\"rescored_windows\":{},\
+         \"dirty_pairs_visited\":{},\"cached_pairs_at_ticks\":{},\"retired_pairs\":{},\
+         \"evicted_windows\":{},\"late_dropped\":{},\"candidate_pairs\":{},\"links\":{}}}",
         phase.name,
+        phase.shards,
         phase.events,
         phase.elapsed_s,
         events_per_sec,
@@ -97,10 +119,31 @@ fn report(phase: &Phase, engine: &StreamEngine) {
         phase.max_us,
         stats.ticks,
         stats.rescored_windows,
+        stats.dirty_pairs_visited,
+        stats.cached_pairs_at_ticks,
+        stats.retired_pairs,
         stats.evicted_windows,
         stats.late_dropped,
         engine.num_candidate_pairs(),
         engine.links().len(),
+    );
+}
+
+/// The dirty-only refresh contract on the bulk replay: ticks visit only
+/// adjacency-reachable pairs, so they can never exceed the full-cache
+/// sweep the pre-adjacency engine performed every tick. (The bulk
+/// check-in workload touches almost every entity between its
+/// widely-spaced ticks, so near-equality is expected here; the
+/// *localized* phase below asserts the strong bound.)
+fn assert_dirty_refresh(engine: &StreamEngine, phase: &str) {
+    let stats = engine.stats();
+    assert!(stats.ticks > 0, "{phase}: workload must tick");
+    assert!(
+        stats.dirty_pairs_visited <= stats.cached_pairs_at_ticks,
+        "{phase}: refresh visited {} pairs but a full sweep would be {} — \
+         the adjacency index is not bounding tick work",
+        stats.dirty_pairs_visited,
+        stats.cached_pairs_at_ticks
     );
 }
 
@@ -116,9 +159,9 @@ fn main() {
         sample.right.num_entities()
     );
 
-    // Phase 1: per-event latency (ticks included).
+    // Phase 1: per-event latency (ticks included), default shards.
     let run_latency = || {
-        let mut engine = StreamEngine::new(bench_config()).expect("valid config");
+        let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
         let mut latencies_ns: Vec<u64> = Vec::with_capacity(events.len());
         let start = Instant::now();
         for ev in &events {
@@ -139,7 +182,8 @@ fn main() {
     latencies_ns.sort_unstable();
     report(
         &Phase {
-            name: "latency",
+            name: "latency".to_string(),
+            shards: engine.num_shards(),
             events: events.len(),
             elapsed_s: latency_elapsed,
             p50_us: percentile(&latencies_ns, 0.50) as f64 / 1e3,
@@ -148,10 +192,12 @@ fn main() {
         },
         &engine,
     );
+    assert_dirty_refresh(&engine, "latency");
 
-    // Phase 2: sharded batch throughput (the production hot path).
-    let run_batch = || {
-        let mut engine = StreamEngine::new(bench_config()).expect("valid config");
+    // Phase 2: sharded batch throughput (the production hot path), one
+    // run per engine shard count — the scaling curve.
+    let run_batch = |shards: usize| {
+        let mut engine = StreamEngine::new(bench_config(shards)).expect("valid config");
         let start = Instant::now();
         for chunk in events.chunks(8_192) {
             engine.ingest_batch(chunk);
@@ -159,27 +205,105 @@ fn main() {
         engine.refresh();
         (start.elapsed().as_secs_f64(), engine)
     };
-    let (mut batch_elapsed, mut engine) = run_batch();
-    // The floor guards BOTH paths, so each phase must clear it on its
-    // own — but a shared single-vCPU host can blow one measurement up
-    // by tens of percent, so a failing batch measurement gets one
-    // retry before it counts.
-    if events.len() as f64 / batch_elapsed < FLOOR_EVENTS_PER_SEC {
-        let (again, e) = run_batch();
-        if again < batch_elapsed {
-            (batch_elapsed, engine) = (again, e);
+    let mut runs: Vec<(usize, f64, StreamEngine)> = SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let (elapsed, engine) = run_batch(shards);
+            (shards, elapsed, engine)
+        })
+        .collect();
+    // Only the best run is floor-asserted, so a retry can change an
+    // outcome only when even the best came in under the floor (a shared
+    // single-vCPU host can blow any one measurement up by tens of
+    // percent). Higher shard counts run below floor there by design —
+    // re-measuring them would be pure waste.
+    let best_idx = runs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+        .map(|(i, _)| i)
+        .expect("non-empty sweep");
+    if events.len() as f64 / runs[best_idx].1 < FLOOR_EVENTS_PER_SEC {
+        let (again, e) = run_batch(runs[best_idx].0);
+        if again < runs[best_idx].1 {
+            runs[best_idx].1 = again;
+            runs[best_idx].2 = e;
         }
     }
-    report(
-        &Phase {
-            name: "throughput",
-            events: events.len(),
-            elapsed_s: batch_elapsed,
-            p50_us: 0.0,
-            p99_us: 0.0,
-            max_us: 0.0,
-        },
-        &engine,
+    let mut best_batch = f64::INFINITY;
+    for (shards, batch_elapsed, engine) in &runs {
+        report(
+            &Phase {
+                name: format!("throughput@{shards}"),
+                shards: *shards,
+                events: events.len(),
+                elapsed_s: *batch_elapsed,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+            },
+            engine,
+        );
+        assert_dirty_refresh(engine, "throughput");
+        best_batch = best_batch.min(*batch_elapsed);
+    }
+    drop(runs);
+
+    // Phase 3: localized updates — the regime the entity→pair adjacency
+    // index exists for. A populated engine receives bursts touching a
+    // handful of entities (no watermark movement, so no expiry churn);
+    // each tick must visit only those entities' pairs, a small fraction
+    // of the cache a full sweep would probe.
+    let (_, mut engine) = run_batch(0);
+    let last_time = events.last().expect("non-empty workload").time;
+    let mut picks: Vec<slim::stream::StreamEvent> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for ev in events.iter().rev() {
+        if seen.insert((ev.side, ev.entity)) {
+            let mut ev = *ev;
+            ev.time = last_time;
+            picks.push(ev);
+            if picks.len() == 4 {
+                break;
+            }
+        }
+    }
+    let (v0, c0) = {
+        let s = engine.stats();
+        (s.dirty_pairs_visited, s.cached_pairs_at_ticks)
+    };
+    let localized_start = Instant::now();
+    const LOCALIZED_ROUNDS: u64 = 5;
+    for _ in 0..LOCALIZED_ROUNDS {
+        for ev in &picks {
+            engine.ingest(ev);
+        }
+        engine.refresh();
+    }
+    let localized_elapsed = localized_start.elapsed().as_secs_f64();
+    let (visited, swept) = {
+        let s = engine.stats();
+        (s.dirty_pairs_visited - v0, s.cached_pairs_at_ticks - c0)
+    };
+    println!(
+        "     localized: {} ticks over {} entities visited {visited} of {swept} \
+         cached pairs ({:.3}s)",
+        LOCALIZED_ROUNDS,
+        picks.len(),
+        localized_elapsed
+    );
+    println!(
+        "BENCH_STREAMING {{\"bench\":\"streaming_localized\",\"shards\":{},\"ticks\":{},\
+         \"dirty_pairs_visited\":{visited},\"cached_pairs_at_ticks\":{swept},\
+         \"elapsed_s\":{:.6}}}",
+        engine.num_shards(),
+        LOCALIZED_ROUNDS,
+        localized_elapsed
+    );
+    assert!(
+        swept > 0 && visited < swept / 10,
+        "localized refresh visited {visited} pairs of a {swept}-pair sweep — \
+         tick work is not proportional to the update footprint"
     );
 
     // STREAM_BENCH_LENIENT turns the floors into report-only output for
@@ -188,7 +312,7 @@ fn main() {
         println!("floors not enforced (STREAM_BENCH_LENIENT set)");
         return;
     }
-    for (name, elapsed) in [("latency", latency_elapsed), ("throughput", batch_elapsed)] {
+    for (name, elapsed) in [("latency", latency_elapsed), ("throughput", best_batch)] {
         let rate = events.len() as f64 / elapsed;
         assert!(
             rate >= PHASE_FLOOR_EVENTS_PER_SEC,
@@ -196,7 +320,7 @@ fn main() {
              {PHASE_FLOOR_EVENTS_PER_SEC:.0} floor"
         );
     }
-    let best = events.len() as f64 / latency_elapsed.min(batch_elapsed);
+    let best = events.len() as f64 / latency_elapsed.min(best_batch);
     assert!(
         best >= FLOOR_EVENTS_PER_SEC,
         "throughput regression: best phase {best:.0} events/s is below the \

@@ -25,6 +25,9 @@ pub struct StreamOptions {
     pub refresh_every: usize,
     /// Ingest batch size for sharded binning.
     pub batch_size: usize,
+    /// Engine state shards (`0` = one per available core). Output is
+    /// bit-identical for every value; this only changes parallelism.
+    pub num_shards: usize,
 }
 
 impl Default for StreamOptions {
@@ -33,6 +36,7 @@ impl Default for StreamOptions {
             window_capacity: None,
             refresh_every: 10_000,
             batch_size: 8_192,
+            num_shards: 0,
         }
     }
 }
@@ -89,6 +93,9 @@ OPTIONS:
     --refresh-every N    events between refresh ticks       [default: 10000]
     --batch-size N       ingest batch size for sharded
                          binning                            [default: 8192]
+    --shards N           engine state shards; ingest and refresh run one
+                         worker per shard and output is bit-identical for
+                         every value; 0 = one per core    [default: 0]
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -150,6 +157,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--batch-size must be positive".to_string());
                 }
                 stream_opts.batch_size = n;
+                want_stream = true;
+                i += 2;
+            }
+            "--shards" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.num_shards = v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
                 want_stream = true;
                 i += 2;
             }
@@ -398,7 +411,7 @@ fn run_stream(
         slim: opts.config,
         window_capacity: stream_opts.window_capacity,
         refresh_every: stream_opts.refresh_every,
-        num_shards: 0,
+        num_shards: stream_opts.num_shards,
         lsh,
     };
     // Pin the window origin to what the batch pipeline would use, so an
@@ -424,10 +437,18 @@ fn run_stream(
     }
     let replay_elapsed = start.elapsed();
     let stats = *engine.stats();
+    let num_shards = engine.num_shards();
     log(&format!(
-        "replayed in {replay_elapsed:.2?}: {} ticks, {} rescored (pair, window) terms, \
-         {} windows expired, {} late events dropped",
-        stats.ticks, stats.rescored_windows, stats.evicted_windows, stats.late_dropped
+        "replayed in {replay_elapsed:.2?} on {num_shards} shard(s): {} ticks, \
+         {} rescored (pair, window) terms ({} of {} tick-time cached pairs visited, \
+         {} retired), {} windows expired, {} late events dropped",
+        stats.ticks,
+        stats.rescored_windows,
+        stats.dirty_pairs_visited,
+        stats.cached_pairs_at_ticks,
+        stats.retired_pairs,
+        stats.evicted_windows,
+        stats.late_dropped
     ));
 
     let output = engine.into_finalized()?;
@@ -581,6 +602,7 @@ mod tests {
             ),
             ("--refresh-every", format!("{}", stream.refresh_every)),
             ("--batch-size", format!("{}", stream.batch_size)),
+            ("--shards", format!("{}", stream.num_shards)),
         ];
         for (flag, value) in documented {
             // The flag's doc entry spans from its line to the next flag.
@@ -635,6 +657,10 @@ mod tests {
         let o = parse(&["a.csv", "b.csv", "--batch-size", "1024"]).unwrap();
         assert_eq!(o.stream.unwrap().batch_size, 1024);
         assert!(parse(&["a.csv", "b.csv", "--batch-size", "0"]).is_err());
+        // --shards implies --stream; 0 means one shard per core.
+        let o = parse(&["a.csv", "b.csv", "--shards", "4"]).unwrap();
+        assert_eq!(o.stream.unwrap().num_shards, 4);
+        assert!(parse(&["a.csv", "b.csv", "--shards", "x"]).is_err());
         assert!(parse(&["--demo", "/tmp/x", "--stream"]).is_err());
     }
 
@@ -658,6 +684,9 @@ mod tests {
             right: Some(dir.join("right.csv")),
             stream: Some(StreamOptions {
                 refresh_every: 2_000,
+                // An explicit multi-shard run must still match batch
+                // output byte for byte.
+                num_shards: 3,
                 ..StreamOptions::default()
             }),
             out: Some(stream_out.clone()),

@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use geocell::CellId;
 
 use crate::dataset::LocationDataset;
+use crate::df::DfStats;
 use crate::record::EntityId;
 use crate::tree::{CellCounts, TemporalTree};
 use crate::window::{WindowIdx, WindowScheme};
@@ -206,11 +207,10 @@ pub struct HistorySet {
     scheme: WindowScheme,
     spatial_level: u8,
     domain: u32,
-    /// `(window, cell)` → number of distinct entities with that bin.
-    bin_df: HashMap<(WindowIdx, CellId), u32>,
-    /// Total bins across all histories; `avg_bins` is derived from it so
-    /// incremental appends/evictions keep the average exact.
-    total_bins: usize,
+    /// Document frequencies, total bins, entity count — kept in the
+    /// shard-mergeable [`DfStats`] form so a sharded engine can maintain
+    /// the same statistics as per-shard deltas (see [`crate::df`]).
+    stats: DfStats,
 }
 
 impl HistorySet {
@@ -226,39 +226,74 @@ impl HistorySet {
         domain: u32,
     ) -> Self {
         let mut histories = HashMap::with_capacity(dataset.num_entities());
-        let mut bin_df: HashMap<(WindowIdx, CellId), u32> = HashMap::new();
+        let mut stats = DfStats::new();
         for e in dataset.entities() {
             let h =
                 MobilityHistory::build(e, dataset.records_of(e), &scheme, spatial_level, domain);
             for w in h.windows().collect::<Vec<_>>() {
                 for &(cell, _) in h.bins_in(w) {
-                    *bin_df.entry((w, cell)).or_insert(0) += 1;
+                    stats.add_bin(w, cell);
                 }
             }
+            stats.add_entity();
             histories.insert(e, h);
         }
-        let total_bins = histories.values().map(|h| h.num_bins()).sum();
         Self {
             histories,
             scheme,
             spatial_level,
             domain,
-            bin_df,
-            total_bins,
+            stats,
         }
     }
 
     /// An empty history set over a fixed scheme/level, ready for
-    /// incremental [`HistorySet::append_record`] calls — the streaming
-    /// entry point. The window domain grows with the appended records.
+    /// incremental [`HistorySet::append_record`] calls. The window
+    /// domain grows with the appended records.
+    ///
+    /// This is the *single-map* incremental entry point, for library
+    /// consumers maintaining one coherent set under updates; its unit
+    /// tests pin the append/evict ↔ batch-build equivalence that the
+    /// shared [`MobilityHistory`]/[`DfStats`] maintenance relies on.
+    /// The sharded streaming engine uses the same primitives but owns
+    /// its histories partitioned by entity hash, folding statistics
+    /// through [`crate::df::DfDelta`]s and reassembling a set via
+    /// [`HistorySet::from_parts`] only at finalization.
     pub fn new_incremental(scheme: WindowScheme, spatial_level: u8) -> Self {
         Self {
             histories: HashMap::new(),
             scheme,
             spatial_level,
             domain: 0,
-            bin_df: HashMap::new(),
-            total_bins: 0,
+            stats: DfStats::new(),
+        }
+    }
+
+    /// Assembles a set from externally maintained parts — the sharded
+    /// streaming engine's finalization path: each shard owns a disjoint
+    /// slice of the histories, and `stats` is the barrier-merged
+    /// [`DfStats`] over all of them. The caller is responsible for
+    /// `stats` being consistent with `histories` (the engine maintains
+    /// both from the same append/evict events); `num_entities` is
+    /// asserted as a cheap consistency check.
+    pub fn from_parts(
+        scheme: WindowScheme,
+        spatial_level: u8,
+        domain: u32,
+        histories: HashMap<EntityId, MobilityHistory>,
+        stats: DfStats,
+    ) -> Self {
+        assert_eq!(
+            stats.num_entities(),
+            histories.len(),
+            "DfStats entity count must match the assembled histories"
+        );
+        Self {
+            histories,
+            scheme,
+            spatial_level,
+            domain,
+            stats,
         }
     }
 
@@ -283,14 +318,17 @@ impl HistorySet {
     /// threads and applies the appends serially.
     pub fn append_record_binned(&mut self, entity: EntityId, w: WindowIdx, cells: &[CellId]) {
         self.domain = self.domain.max(w + 1);
-        let h = self
-            .histories
-            .entry(entity)
-            .or_insert_with(|| MobilityHistory::empty(entity));
+        let mut created = false;
+        let h = self.histories.entry(entity).or_insert_with(|| {
+            created = true;
+            MobilityHistory::empty(entity)
+        });
         let new_bins = h.append(w, cells);
-        self.total_bins += new_bins.len();
+        if created {
+            self.stats.add_entity();
+        }
         for c in new_bins {
-            *self.bin_df.entry((w, c)).or_insert(0) += 1;
+            self.stats.add_bin(w, c);
         }
     }
 
@@ -305,17 +343,12 @@ impl HistorySet {
         };
         let bins = h.evict_window(w);
         let emptied = h.num_records() == 0;
-        self.total_bins -= bins.len();
         for &(c, _) in &bins {
-            if let Some(df) = self.bin_df.get_mut(&(w, c)) {
-                *df -= 1;
-                if *df == 0 {
-                    self.bin_df.remove(&(w, c));
-                }
-            }
+            self.stats.remove_bin(w, c);
         }
         if emptied {
             self.histories.remove(&entity);
+            self.stats.remove_entity();
         }
         bins
     }
@@ -342,6 +375,12 @@ impl HistorySet {
         self.histories.len()
     }
 
+    /// The dataset-level statistics (df/idf, total bins, entity count)
+    /// in their shard-mergeable form.
+    pub fn df_stats(&self) -> &DfStats {
+        &self.stats
+    }
+
     /// Shared window scheme.
     pub fn scheme(&self) -> &WindowScheme {
         &self.scheme
@@ -359,30 +398,21 @@ impl HistorySet {
 
     /// Average bins per history (`Σ|H_u'| / |U|`, paper Eq. 2 denominator).
     pub fn avg_bins(&self) -> f64 {
-        if self.histories.is_empty() {
-            0.0
-        } else {
-            self.total_bins as f64 / self.histories.len() as f64
-        }
+        self.stats.avg_bins()
     }
 
     /// Inverse document frequency of a time-location bin (paper Eq. 3):
     /// `ln(|U| / df)` where `df` is the number of entities whose history
     /// contains the bin. Bins never seen get the maximal idf `ln(|U|)`.
     pub fn idf(&self, w: WindowIdx, cell: CellId) -> f64 {
-        let df = self.bin_df.get(&(w, cell)).copied().unwrap_or(1).max(1);
-        (self.num_entities() as f64 / df as f64).ln()
+        self.stats.idf(w, cell)
     }
 
     /// BM25-inspired length normalization `L(u, E)` (paper Eq. 2):
     /// `(1 − b) + b · |H_u| / avg_bins`.
     pub fn length_norm(&self, e: EntityId, b: f64) -> f64 {
-        let bins = self.histories.get(&e).map(|h| h.num_bins()).unwrap_or(0) as f64;
-        let avg = self.avg_bins();
-        if avg == 0.0 {
-            return 1.0;
-        }
-        (1.0 - b) + b * bins / avg
+        let bins = self.histories.get(&e).map(|h| h.num_bins()).unwrap_or(0);
+        self.stats.length_norm_for(bins, b)
     }
 }
 

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod dataset;
+pub mod df;
 pub mod erf;
 pub mod gmm;
 pub mod history;
@@ -72,6 +73,7 @@ pub mod window;
 
 pub use config::{MatchingMethod, PairingMode, SlimConfig, ThresholdMethod};
 pub use dataset::LocationDataset;
+pub use df::{DfDelta, DfStats};
 pub use history::{record_cells, HistorySet, MobilityHistory};
 pub use matching::Edge;
 pub use record::{EntityId, Record, Timestamp};

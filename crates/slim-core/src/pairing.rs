@@ -8,7 +8,10 @@
 //! same with the *largest* distance and feeds the alibi check of Alg. 1.
 //! The Cartesian-product variant exists for the Fig. 10 ablation.
 
-use geocell::{bounded_distance_m, cell_center_and_radius, CellId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use geocell::{bounded_distance_m, cell_center_and_radius, CellId, LatLng};
 
 /// One selected pair: indices into the two bin slices plus the cell
 /// distance in metres.
@@ -22,16 +25,51 @@ pub struct BinPair {
     pub dist_m: f64,
 }
 
+/// Entries kept in the per-thread geometry memo before it is reset. The
+/// working set of real workloads is the distinct cells of one city-ish
+/// region (tens of thousands); the cap only guards against unbounded
+/// growth on planet-scale id churn.
+const GEOMETRY_CACHE_CAP: usize = 1 << 18;
+
+thread_local! {
+    /// Cell geometry memo: `cell_center_and_radius` walks the cell's four
+    /// vertices through trigonometry, and the same cells recur in every
+    /// window of every pair that visits them. The function is pure, so
+    /// memoized values are exact, and thread-locality keeps the scoring
+    /// hot path lock-free. The memo lives as long as its thread: a batch
+    /// scoring worker amortizes across its whole candidate chunk, a
+    /// serial (single-shard) streaming engine across all its ticks, and
+    /// short-lived multi-shard tick workers within one tick's job list —
+    /// the dominant reuse in every case, since a pair's cells recur per
+    /// window.
+    static CELL_GEOMETRY: RefCell<HashMap<CellId, (LatLng, f64)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Memoized [`cell_center_and_radius`].
+pub fn cached_cell_geometry(cell: CellId) -> (LatLng, f64) {
+    CELL_GEOMETRY.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if memo.len() >= GEOMETRY_CACHE_CAP {
+            memo.clear();
+        }
+        *memo
+            .entry(cell)
+            .or_insert_with(|| cell_center_and_radius(cell))
+    })
+}
+
 fn distance_matrix(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<f64> {
-    // Precompute each cell's center + radius once per side: the matrix is
-    // O(n·m) but the (trigonometry-heavy) vertex geometry is O(n + m).
+    // Look up each cell's center + radius once per side: the matrix is
+    // O(n·m) but the (trigonometry-heavy) vertex geometry is O(n + m)
+    // hash probes, hitting the thread-local memo for recurring cells.
     let ga: Vec<_> = a
         .iter()
-        .map(|&(c, _)| (c, cell_center_and_radius(c)))
+        .map(|&(c, _)| (c, cached_cell_geometry(c)))
         .collect();
     let gb: Vec<_> = b
         .iter()
-        .map(|&(c, _)| (c, cell_center_and_radius(c)))
+        .map(|&(c, _)| (c, cached_cell_geometry(c)))
         .collect();
     let mut d = Vec::with_capacity(a.len() * b.len());
     for (ca, pa) in &ga {
@@ -199,6 +237,20 @@ mod tests {
         let furthest = mutually_furthest(&e1, &e2);
         assert_eq!(furthest.len(), 1);
         assert!(furthest[0].dist_m > 60_000.0, "MFN exposes the distant bin");
+    }
+
+    #[test]
+    fn cached_geometry_matches_direct_computation() {
+        for &(lat, lng) in &[(37.0, -122.0), (10.0, 10.0), (-33.0, 151.0)] {
+            for level in [8u8, 12, 16] {
+                let c = CellId::from_latlng(LatLng::from_degrees(lat, lng), level);
+                let direct = cell_center_and_radius(c);
+                // First call populates the memo, second hits it; both must
+                // be bit-identical to the uncached computation.
+                assert_eq!(cached_cell_geometry(c), direct);
+                assert_eq!(cached_cell_geometry(c), direct);
+            }
+        }
     }
 
     #[test]

@@ -11,17 +11,28 @@
 //! switches so the Fig. 10 variants are pure configuration.
 
 use crate::config::{PairingMode, SlimConfig};
+use crate::df::DfStats;
 use crate::history::{HistorySet, MobilityHistory};
 use crate::pairing::{all_pairs, mutually_furthest, mutually_nearest, BinPair};
 use crate::proximity::{is_alibi, proximity_of_distance};
 use crate::record::EntityId;
 use crate::stats::LinkageStats;
 
-/// Scores entity pairs across two history sets under one configuration.
+/// Scores entity pairs across two datasets under one configuration.
+///
+/// The scoring arithmetic reads only the dataset-level [`DfStats`] (df /
+/// idf, average bins, entity count) plus the two endpoint histories, so
+/// the scorer comes in two flavours: over whole [`HistorySet`]s (the
+/// batch pipeline — entity-id lookups work) or over bare stats
+/// ([`SimilarityScorer::from_df_stats`], the sharded streaming engine —
+/// the caller resolves histories itself, e.g. across shard-partitioned
+/// maps). Both produce bit-identical scores for the same inputs.
 pub struct SimilarityScorer<'a> {
     cfg: &'a SlimConfig,
-    left: &'a HistorySet,
-    right: &'a HistorySet,
+    left_df: &'a DfStats,
+    right_df: &'a DfStats,
+    left: Option<&'a HistorySet>,
+    right: Option<&'a HistorySet>,
     runaway_m: f64,
 }
 
@@ -44,17 +55,44 @@ impl<'a> SimilarityScorer<'a> {
         );
         Self {
             cfg,
-            left,
-            right,
+            left_df: left.df_stats(),
+            right_df: right.df_stats(),
+            left: Some(left),
+            right: Some(right),
+            runaway_m: cfg.runaway_m(),
+        }
+    }
+
+    /// Creates a scorer from bare dataset-level statistics — for callers
+    /// that own the histories in another layout (the sharded streaming
+    /// engine partitions them by entity hash). Only the history-explicit
+    /// methods ([`SimilarityScorer::score_histories`],
+    /// [`SimilarityScorer::window_contribution`],
+    /// [`SimilarityScorer::pair_norm_bins`]) are usable; the caller must
+    /// guarantee both datasets share one window scheme and spatial level.
+    pub fn from_df_stats(cfg: &'a SlimConfig, left_df: &'a DfStats, right_df: &'a DfStats) -> Self {
+        Self {
+            cfg,
+            left_df,
+            right_df,
+            left: None,
+            right: None,
             runaway_m: cfg.runaway_m(),
         }
     }
 
     /// The similarity score `S(u, v)`. Returns `None` when either entity
     /// has no history. Work counters are accumulated into `stats`.
+    ///
+    /// # Panics
+    /// Panics on a scorer built with
+    /// [`SimilarityScorer::from_df_stats`] — there are no history sets
+    /// to look the entities up in.
     pub fn score(&self, u: EntityId, v: EntityId, stats: &mut LinkageStats) -> Option<f64> {
-        let hu = self.left.history(u)?;
-        let hv = self.right.history(v)?;
+        let left = self.left.expect("score-by-id needs history sets");
+        let right = self.right.expect("score-by-id needs history sets");
+        let hu = left.history(u)?;
+        let hv = right.history(v)?;
         Some(self.score_histories(hu, hv, stats))
     }
 
@@ -68,7 +106,7 @@ impl<'a> SimilarityScorer<'a> {
         stats: &mut LinkageStats,
     ) -> f64 {
         stats.scored_entity_pairs += 1;
-        let norm = self.pair_norm(hu.entity(), hv.entity());
+        let norm = self.pair_norm_bins(hu.num_bins(), hv.num_bins());
         let mut total = 0.0;
         for w in common_windows(hu, hv) {
             total += self.window_contribution(hu, hv, w, stats);
@@ -78,9 +116,28 @@ impl<'a> SimilarityScorer<'a> {
 
     /// The joint length normalization `L(u, E) · L(v, I)` of a pair
     /// under this configuration (1 when normalization is disabled).
+    ///
+    /// # Panics
+    /// Panics on a scorer built with
+    /// [`SimilarityScorer::from_df_stats`]; use
+    /// [`SimilarityScorer::pair_norm_bins`] with resolved bin counts.
     pub fn pair_norm(&self, u: EntityId, v: EntityId) -> f64 {
+        let left = self.left.expect("norm-by-id needs history sets");
+        let right = self.right.expect("norm-by-id needs history sets");
         if self.cfg.use_normalization {
-            self.left.length_norm(u, self.cfg.b) * self.right.length_norm(v, self.cfg.b)
+            left.length_norm(u, self.cfg.b) * right.length_norm(v, self.cfg.b)
+        } else {
+            1.0
+        }
+    }
+
+    /// [`SimilarityScorer::pair_norm`] from explicit history sizes (the
+    /// entity-id-free form): pass each endpoint's `|H_u|`, with 0 for a
+    /// missing history — exactly what the id lookup would resolve.
+    pub fn pair_norm_bins(&self, left_bins: usize, right_bins: usize) -> f64 {
+        if self.cfg.use_normalization {
+            self.left_df.length_norm_for(left_bins, self.cfg.b)
+                * self.right_df.length_norm_for(right_bins, self.cfg.b)
         } else {
             1.0
         }
@@ -155,8 +212,8 @@ impl<'a> SimilarityScorer<'a> {
         }
         let prox = proximity_of_distance(p.dist_m, self.runaway_m);
         let idf = if self.cfg.use_idf {
-            let idf_e = self.left.idf(w, bu[p.e_idx].0);
-            let idf_i = self.right.idf(w, bv[p.i_idx].0);
+            let idf_e = self.left_df.idf(w, bu[p.e_idx].0);
+            let idf_i = self.right_df.idf(w, bv[p.i_idx].0);
             idf_e.min(idf_i)
         } else {
             1.0

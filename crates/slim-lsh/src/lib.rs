@@ -46,7 +46,7 @@ pub mod signature;
 
 pub use banding::{
     bands_for_threshold, candidate_pairs, collision_probability, effective_threshold, fnv1a,
-    BucketIndex, IndexSide,
+    signature_buckets, signatures_collide, BucketIndex, IndexSide,
 };
 pub use lambertw::lambert_w0;
 pub use lsh::{LshConfig, LshFilter};

@@ -43,8 +43,13 @@ pub struct StreamConfig {
     /// ingested events (a *refresh tick*). `0` disables automatic ticks;
     /// call [`crate::StreamEngine::refresh`] manually.
     pub refresh_every: usize,
-    /// Worker threads for sharded ingest pre-binning and dirty-pair
-    /// rescoring. `0` = one shard per available core.
+    /// Engine state shards: per-entity state (histories, buffers, LSH
+    /// rings) and per-pair state (contribution caches, adjacency) are
+    /// partitioned by entity hash across this many
+    /// [`crate::shard::EngineShard`]s, and ingest/refresh phases run
+    /// one worker thread per shard. `0` = one shard per available
+    /// core. The engine's observable behaviour (links, stats,
+    /// finalized output) is bit-identical for every value.
     pub num_shards: usize,
     /// Optional incremental LSH candidate filter. `None` = brute-force
     /// candidates (every active cross-dataset pair).

@@ -1,52 +1,68 @@
-//! The incremental linkage engine.
+//! The incremental linkage engine — a coordinator over sharded state.
 //!
 //! ```text
-//! events ──► shard-by-entity binning ──► incremental histories + df/idf
-//!                                     └► incremental LSH ring signatures
-//!        refresh tick ──► dirty-pair window rescore ──► matching + GMM
-//!                                                      └► link updates
-//!        finalize ─────► exact batch pipeline over the live histories
+//! events ──► control scan (watermark / late-drop / tick schedule)
+//!              └► per-shard queues ──► shard-∥ apply: histories, rings,
+//!                                      min-records buffers, dirty marks
+//!              barrier: df/idf deltas · LSH partition upserts ·
+//!                       candidate registration (pair owner = Left shard)
+//! refresh ──► shard-∥ rescore of adjacency-reachable dirty pairs
+//!              barrier: edge assembly · matching · GMM threshold ·
+//!                       link diff
+//! finalize ─► exact batch pipeline over the merged live histories
 //! ```
 //!
-//! The engine maintains, per side, a [`HistorySet`] built record by
-//! record, a per-entity min-records buffer (mirroring the batch
-//! pipeline's sparse-entity filter), and a per-pair cache of
-//! *unnormalized per-window score contributions*. An arriving record
-//! only dirties its own window of its own entity; a refresh tick
-//! recomputes exactly the dirty `(pair, window)` contributions in
-//! parallel, reassembles scores as `Σ contributions / norm`, and re-runs
-//! matching + stop thresholding over the full cached edge set, emitting
-//! the resulting link deltas.
+//! Every piece of per-entity and per-pair state lives on one
+//! [`EngineShard`] keyed by entity hash; the engine owns only the
+//! dataset-global residue: the merged df/idf statistics, the
+//! partitioned LSH bucket index, the watermark, and the served link
+//! set. Ingest and refresh run shard-parallel under
+//! `std::thread::scope`; cross-shard effects are folded in at merge
+//! barriers as commutative deltas or coalesced ordered sets, which
+//! makes the engine's observable behaviour — served links, emitted
+//! [`LinkUpdate`] order, [`StreamStats`], and the finalized output —
+//! **bit-identical for every shard count**.
+//!
+//! A refresh tick discovers its work through the per-shard entity→pair
+//! [`crate::adjacency::AdjacencyIndex`]: only pairs adjacent to
+//! entities dirtied since the last tick are visited
+//! (`StreamStats::dirty_pairs_visited` vs
+//! `StreamStats::cached_pairs_at_ticks` measures the saving against
+//! the full cache sweep this replaced).
 //!
 //! Between ticks, cached contributions of *untouched* windows may lag
-//! the globally drifting idf statistics — refreshed lazily, exactly when
-//! one of their endpoints changes. [`StreamEngine::finalize`] closes the
-//! gap: it runs the unmodified batch pipeline over the incrementally
-//! built history sets, so an unbounded-window replay finalizes to the
-//! bit-identical output of [`slim_core::Slim::link`] on the same data —
-//! provided the window origins agree. An engine left to infer its
-//! origin takes the first event's timestamp; the batch pipeline takes
-//! the post-min-records-filter minimum. The two coincide unless the
-//! stream opens with a record of a sparse entity the batch filter
-//! drops; replay paths pin the origin via [`StreamEngine::with_origin`]
-//! + [`crate::batch_equivalent_origin`] to cover that case too.
+//! the globally drifting idf statistics — refreshed lazily, exactly
+//! when one of their endpoints changes. [`StreamEngine::finalize`]
+//! closes the gap: it runs the unmodified batch pipeline over the
+//! incrementally built history sets, so an unbounded-window replay
+//! finalizes to the bit-identical output of [`slim_core::Slim::link`]
+//! on the same data — provided the window origins agree. An engine
+//! left to infer its origin takes the first event's timestamp; the
+//! batch pipeline takes the post-min-records-filter minimum. The two
+//! coincide unless the stream opens with a record of a sparse entity
+//! the batch filter drops; replay paths pin the origin via
+//! [`StreamEngine::with_origin`] + [`crate::batch_equivalent_origin`]
+//! to cover that case too.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
-use geocell::CellId;
-use slim_core::history::record_cells;
-use slim_core::matching::{exact_max_matching, greedy_max_matching};
-use slim_core::similarity::SimilarityScorer;
-use slim_core::threshold::select_threshold;
+use slim_core::df::DfStats;
+use slim_core::similarity::{common_windows, SimilarityScorer};
 use slim_core::{
-    Edge, EntityId, HistorySet, LinkageOutput, LinkageStats, MatchingMethod, PreparedLinkage,
+    Edge, EntityId, HistorySet, LinkageOutput, LinkageStats, MobilityHistory, PreparedLinkage,
     Timestamp, WindowIdx, WindowScheme,
 };
+use slim_lsh::{signature_buckets, signatures_collide, BucketIndex};
 
 use crate::config::StreamConfig;
 use crate::event::{Side, StreamEvent};
-use crate::lsh::StreamLshIndex;
+use crate::lsh::LshGeometry;
+use crate::merge;
+use crate::shard::{
+    bin_event, entity_shard, lookup_history, run_per_shard, BinnedEvent, EngineShard,
+    ExpiryEffects, IngestEffects, RescoreJob, RescoreOutcome,
+};
 
 /// One change to the served link set, emitted by a refresh tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +80,9 @@ pub enum LinkUpdate {
     },
 }
 
-/// Engine work counters.
+/// Engine work counters. Every counter is defined over per-entity or
+/// per-pair events (or deterministic barrier merges), so the values are
+/// identical for any shard count on the same event stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Events accepted (including ones still in min-records buffers).
@@ -75,6 +93,18 @@ pub struct StreamStats {
     pub ticks: u64,
     /// `(pair, window)` contribution recomputations across all ticks.
     pub rescored_windows: u64,
+    /// Candidate pairs visited by refresh ticks. Every visited pair was
+    /// either freshly discovered or reached through the entity→pair
+    /// adjacency index from a dirty entity — never a blind cache sweep.
+    pub dirty_pairs_visited: u64,
+    /// Σ over ticks of the cached-pair total at tick time: the work a
+    /// full-cache sweep would have done. `dirty_pairs_visited` staying
+    /// below this is the adjacency index paying off.
+    pub cached_pairs_at_ticks: u64,
+    /// Cached pairs retired because their ring signatures no longer
+    /// collide in any LSH band *and* all their cached window
+    /// contributions were evicted.
+    pub retired_pairs: u64,
     /// Temporal windows expired out of the sliding window.
     pub evicted_windows: u64,
     /// Entities demoted because expiry left them at or below the
@@ -89,53 +119,63 @@ pub struct StreamStats {
     pub demoted_records: u64,
 }
 
-/// An event with its temporal/spatial binning done — the unit of work
-/// the sharded ingest path precomputes on worker threads.
-#[derive(Debug, Clone)]
-struct BinnedEvent {
-    side: Side,
-    entity: EntityId,
-    w: WindowIdx,
-    /// `record_cells` output at the similarity spatial level.
-    cells: Vec<CellId>,
-    /// `record_cells` output at the LSH spatial level (empty when LSH
-    /// is disabled).
-    lsh_cells: Vec<CellId>,
+/// The partitioned LSH runtime: shared banding geometry plus one
+/// [`BucketIndex`] partition per shard. At each merge barrier the same
+/// coalesced signature-update sequence is offered to every partition;
+/// each touches only the `(band, bucket)` slots it owns and the
+/// partners it reports are unioned per entity — the cross-shard
+/// candidate handoff.
+struct LshRuntime {
+    geom: LshGeometry,
+    partitions: Vec<BucketIndex>,
 }
+
+impl LshRuntime {
+    fn new(cfg: &crate::config::StreamLshConfig, num_shards: usize) -> Self {
+        let geom = LshGeometry::new(cfg);
+        let partitions = (0..num_shards)
+            .map(|p| {
+                BucketIndex::partitioned(
+                    geom.bands,
+                    geom.rows,
+                    geom.num_buckets,
+                    p as u64,
+                    num_shards as u64,
+                )
+            })
+            .collect();
+        Self { geom, partitions }
+    }
+}
+
+/// Minimum work items (queued events, signature updates, expiring
+/// entities) before a barrier phase spawns worker threads; below it the
+/// per-shard work runs inline (single-event `ingest` stays
+/// allocation-light and spawn-free).
+const PARALLEL_THRESHOLD: usize = 128;
+
+/// Spawn gate for tick rescoring — lower than [`PARALLEL_THRESHOLD`]
+/// because one rescore job (a pair's dirty windows) carries far more
+/// work than one ingest event.
+const PARALLEL_RESCORE_THRESHOLD: usize = 32;
 
 /// The event-driven linkage engine. See the module docs for the data
 /// flow; see [`StreamConfig`] for the knobs.
 pub struct StreamEngine {
     cfg: StreamConfig,
-    shards: usize,
+    /// Resolved shard count (≥ 1).
+    num_shards: usize,
     scheme: Option<WindowScheme>,
-    /// Incremental history sets, `[left, right]`; allocated on the first
-    /// event (whose timestamp becomes the window origin).
-    sets: Option<[HistorySet; 2]>,
-    /// Min-records buffers: entities whose record count has not yet
-    /// exceeded `slim.min_records` are parked here, exactly like the
-    /// batch pipeline's sparse-entity filter.
-    pending: [HashMap<EntityId, Vec<BinnedEvent>>; 2],
-    /// Entities that crossed the min-records threshold.
-    active: [HashSet<EntityId>; 2],
-    /// Windows touched per entity since the last tick.
-    dirty: [HashMap<EntityId, BTreeSet<WindowIdx>>; 2],
-    /// Candidate pairs discovered since the last tick; their full common
-    /// window set is scored at the next tick (their endpoints may carry
-    /// history predating the discovery).
-    fresh: HashSet<(EntityId, EntityId)>,
-    /// Entities whose history expired entirely; their pairs are dropped
-    /// at the next tick.
-    dead: [HashSet<EntityId>; 2],
-    /// Which entities have bins in which window — drives expiry.
-    window_entities: BTreeMap<WindowIdx, [BTreeSet<EntityId>; 2]>,
+    shards: Vec<EngineShard>,
+    /// Barrier-merged dataset-level statistics, `[left, right]`.
+    df: [DfStats; 2],
+    /// Total window domain (max appended window + 1).
+    domain: u32,
+    lsh: Option<LshRuntime>,
     /// Highest window index seen.
     watermark: WindowIdx,
     /// Windows below this index have expired.
     expired_below: WindowIdx,
-    /// Per candidate pair: window → unnormalized score contribution.
-    cache: HashMap<(EntityId, EntityId), BTreeMap<WindowIdx, f64>>,
-    lsh: Option<StreamLshIndex>,
     /// The currently served link set (as of the last tick).
     links: Vec<Edge>,
     events_since_refresh: usize,
@@ -150,22 +190,17 @@ impl StreamEngine {
     /// a batch run over data whose earliest record is known).
     pub fn new(cfg: StreamConfig) -> Result<Self, String> {
         cfg.validate()?;
-        let shards = cfg.effective_shards();
+        let num_shards = cfg.effective_shards();
         Ok(Self {
-            lsh: cfg.lsh.map(StreamLshIndex::new),
+            lsh: cfg.lsh.as_ref().map(|l| LshRuntime::new(l, num_shards)),
             cfg,
-            shards,
+            num_shards,
             scheme: None,
-            sets: None,
-            pending: [HashMap::new(), HashMap::new()],
-            active: [HashSet::new(), HashSet::new()],
-            dirty: [HashMap::new(), HashMap::new()],
-            fresh: HashSet::new(),
-            dead: [HashSet::new(), HashSet::new()],
-            window_entities: BTreeMap::new(),
+            shards: (0..num_shards).map(|_| EngineShard::default()).collect(),
+            df: [DfStats::new(), DfStats::new()],
+            domain: 0,
             watermark: 0,
             expired_below: 0,
-            cache: HashMap::new(),
             links: Vec::new(),
             events_since_refresh: 0,
             stats: StreamStats::default(),
@@ -181,12 +216,7 @@ impl StreamEngine {
     }
 
     fn init_scheme(&mut self, origin: Timestamp) {
-        let scheme = WindowScheme::new(origin, self.cfg.slim.window_width_secs);
-        self.sets = Some([
-            HistorySet::new_incremental(scheme, self.cfg.slim.spatial_level),
-            HistorySet::new_incremental(scheme, self.cfg.slim.spatial_level),
-        ]);
-        self.scheme = Some(scheme);
+        self.scheme = Some(WindowScheme::new(origin, self.cfg.slim.window_width_secs));
     }
 
     /// The engine's window scheme (`None` until the first event).
@@ -197,6 +227,11 @@ impl StreamEngine {
     /// The configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.cfg
+    }
+
+    /// The resolved shard count.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
     }
 
     /// Work counters.
@@ -216,43 +251,40 @@ impl StreamEngine {
 
     /// Number of active (past the min-records filter) entities.
     pub fn num_active(&self, side: Side) -> usize {
-        self.active[side.idx()].len()
+        self.shards.iter().map(|s| s.active[side.idx()].len()).sum()
     }
 
-    /// Number of candidate pairs currently tracked.
+    /// Number of candidate pairs currently tracked (across all shards).
     pub fn num_candidate_pairs(&self) -> usize {
-        self.cache.len()
+        self.shards.iter().map(|s| s.cache.len()).sum()
     }
 
-    /// The live history set of one side (`None` until the first event).
-    pub fn history_set(&self, side: Side) -> Option<&HistorySet> {
-        self.sets.as_ref().map(|s| &s[side.idx()])
+    /// The live history of one entity (`None` if filtered or expired).
+    pub fn history(&self, side: Side, entity: EntityId) -> Option<&MobilityHistory> {
+        lookup_history(&self.shards, side, entity)
     }
 
-    fn bin_event(
-        ev: &StreamEvent,
-        scheme: &WindowScheme,
-        level: u8,
-        lsh_level: Option<u8>,
-    ) -> BinnedEvent {
-        let record = ev.to_record();
-        // Point records at a finer LSH level share the geometry work:
-        // one fine lookup, coarsened exactly via the cell hierarchy.
-        let (cells, lsh_cells) = match lsh_level {
-            Some(l) if l >= level && !record.is_region() => {
-                let fine = CellId::from_latlng(record.location, l);
-                (vec![fine.parent(level)], vec![fine])
-            }
-            Some(l) => (record_cells(&record, level), record_cells(&record, l)),
-            None => (record_cells(&record, level), Vec::new()),
-        };
-        BinnedEvent {
-            side: ev.side,
-            entity: ev.entity,
-            w: scheme.window_of(ev.time),
-            cells,
-            lsh_cells,
-        }
+    /// Number of entities with a live history on one side.
+    pub fn num_tracked_entities(&self, side: Side) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.histories[side.idx()].len())
+            .sum()
+    }
+
+    /// Entity ids with a live history on one side, sorted.
+    pub fn tracked_entities_sorted(&self, side: Side) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.histories[side.idx()].keys().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn lsh_level(&self) -> Option<u8> {
+        self.lsh.as_ref().map(|l| l.geom.spatial_level)
     }
 
     /// Ingests one event. Returns link updates when this event completed
@@ -262,19 +294,24 @@ impl StreamEngine {
             self.init_scheme(ev.time);
         }
         let scheme = self.scheme.expect("initialized above");
-        let binned = Self::bin_event(
-            ev,
-            &scheme,
-            self.cfg.slim.spatial_level,
-            self.lsh.as_ref().map(|l| l.spatial_level()),
-        );
-        self.apply(binned)
+        let binned = bin_event(ev, &scheme, self.cfg.slim.spatial_level, self.lsh_level());
+        self.run(vec![binned])
     }
 
     /// Ingests a batch of events, sharding the spatial binning (the
     /// trigonometry-heavy part of ingestion) by entity hash across
-    /// worker threads, then applying the appends in stream order. Ticks
-    /// fire inside the batch exactly as they would one event at a time.
+    /// worker threads, then applying the appends shard-parallel in
+    /// stream order. Tick and expiry boundaries fire inside the batch
+    /// exactly as they would one event at a time (the control scan is
+    /// identical), and so do histories, statistics, and brute-force
+    /// candidates. With LSH enabled, collision checks are coalesced:
+    /// each entity's *final* signature per barrier segment is what hits
+    /// the bucket index, so a signature that collides only transiently
+    /// *within* one segment may not surface the candidate a one-event-
+    /// at-a-time replay would have seen (and vice versa) — an
+    /// approximation difference inside an already-approximate filter,
+    /// chosen deliberately: it is what makes candidate discovery
+    /// independent of the shard count.
     pub fn ingest_batch(&mut self, events: &[StreamEvent]) -> Vec<LinkUpdate> {
         let Some(first) = events.first() else {
             return Vec::new();
@@ -284,421 +321,429 @@ impl StreamEngine {
         }
         let scheme = self.scheme.expect("initialized above");
         let level = self.cfg.slim.spatial_level;
-        let lsh_level = self.lsh.as_ref().map(|l| l.spatial_level());
-        let shards = self.shards.clamp(1, events.len());
+        let lsh_level = self.lsh_level();
 
-        let mut binned: Vec<Option<BinnedEvent>> = vec![None; events.len()];
-        if shards == 1 {
-            for (i, ev) in events.iter().enumerate() {
-                binned[i] = Some(Self::bin_event(ev, &scheme, level, lsh_level));
-            }
+        let binned: Vec<BinnedEvent> = if self.num_shards == 1 || events.len() < PARALLEL_THRESHOLD
+        {
+            events
+                .iter()
+                .map(|ev| bin_event(ev, &scheme, level, lsh_level))
+                .collect()
         } else {
             // One pass partitions event indices by entity hash; each
             // worker then bins exactly its shard's events.
-            let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards];
             for (i, ev) in events.iter().enumerate() {
-                shard_indices[entity_shard(ev.side, ev.entity, shards)].push(i);
+                shard_indices[entity_shard(ev.side, ev.entity, self.num_shards)].push(i);
             }
-            let per_shard: Vec<Vec<(usize, BinnedEvent)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = shard_indices
-                    .iter()
-                    .map(|indices| {
-                        let scheme = &scheme;
-                        s.spawn(move || {
-                            indices
-                                .iter()
-                                .map(|&i| {
-                                    (i, Self::bin_event(&events[i], scheme, level, lsh_level))
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("binning threads must not panic"))
-                    .collect()
-            });
+            let per_shard: Vec<Vec<(usize, BinnedEvent)>> =
+                run_per_shard(shard_indices, true, |indices| {
+                    indices
+                        .iter()
+                        .map(|&i| (i, bin_event(&events[i], &scheme, level, lsh_level)))
+                        .collect()
+                });
+            let mut binned: Vec<Option<BinnedEvent>> = vec![None; events.len()];
             for shard in per_shard {
                 for (i, b) in shard {
                     binned[i] = Some(b);
                 }
             }
-        }
+            binned
+                .into_iter()
+                .map(|b| b.expect("every event binned"))
+                .collect()
+        };
+        self.run(binned)
+    }
 
+    /// The control scan: walks the binned events in stream order making
+    /// only the cheap global decisions (late-drop, watermark, expiry
+    /// and tick boundaries) and queues everything else per shard;
+    /// queues are flushed shard-parallel at each boundary. The control
+    /// decisions depend only on the event sequence, never on shard
+    /// state, so the segment structure — and with it every downstream
+    /// barrier — is identical for any shard count.
+    fn run(&mut self, binned: Vec<BinnedEvent>) -> Vec<LinkUpdate> {
+        let mut queues: Vec<Vec<BinnedEvent>> = (0..self.num_shards).map(|_| Vec::new()).collect();
+        let mut queued = 0usize;
         let mut updates = Vec::new();
-        for b in binned.into_iter().flatten() {
-            updates.extend(self.apply(b));
+        for b in binned {
+            if b.w < self.expired_below {
+                self.stats.late_dropped += 1;
+                continue;
+            }
+            self.stats.events += 1;
+            if b.w > self.watermark {
+                self.watermark = b.w;
+            }
+            let expire_to = self.cfg.window_capacity.and_then(|cap| {
+                let keep_from = (self.watermark + 1).saturating_sub(cap);
+                (keep_from > self.expired_below).then_some(keep_from)
+            });
+            queues[entity_shard(b.side, b.entity, self.num_shards)].push(b);
+            queued += 1;
+            if let Some(keep_from) = expire_to {
+                self.flush(&mut queues, &mut queued);
+                self.expire(keep_from);
+            }
+            self.events_since_refresh += 1;
+            if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
+                self.flush(&mut queues, &mut queued);
+                updates.extend(self.refresh());
+            }
         }
+        self.flush(&mut queues, &mut queued);
         updates
     }
 
-    fn apply(&mut self, binned: BinnedEvent) -> Vec<LinkUpdate> {
-        if binned.w < self.expired_below {
-            self.stats.late_dropped += 1;
-            return Vec::new();
+    /// Applies the queued segment on every shard (parallel when it pays)
+    /// and folds the effects in at the barrier.
+    fn flush(&mut self, queues: &mut [Vec<BinnedEvent>], queued: &mut usize) {
+        if *queued == 0 {
+            return;
         }
-        self.stats.events += 1;
-        let side = binned.side;
-        let entity = binned.entity;
-        let w = binned.w;
+        let min_records = self.cfg.slim.min_records;
+        let lsh_geom = self.lsh.as_ref().map(|l| l.geom);
+        let work: Vec<(&mut EngineShard, Vec<BinnedEvent>)> = self
+            .shards
+            .iter_mut()
+            .zip(queues.iter_mut())
+            .map(|(shard, queue)| (shard, std::mem::take(queue)))
+            .collect();
+        let effects: Vec<IngestEffects> =
+            run_per_shard(work, *queued >= PARALLEL_THRESHOLD, |(shard, events)| {
+                shard.apply_events(events, min_records, lsh_geom.as_ref())
+            });
+        *queued = 0;
 
-        if self.active[side.idx()].contains(&entity) {
-            self.append_active(binned);
-        } else {
-            let buffer = self.pending[side.idx()].entry(entity).or_default();
-            buffer.push(binned);
-            if buffer.len() > self.cfg.slim.min_records {
-                self.activate(side, entity);
+        let mut activations: Vec<(Side, EntityId)> = Vec::new();
+        let mut rebirths: Vec<(Side, EntityId)> = Vec::new();
+        let mut sig_changes: BTreeSet<(Side, EntityId)> = BTreeSet::new();
+        for fx in effects {
+            self.df[0].apply(&fx.df[0]);
+            self.df[1].apply(&fx.df[1]);
+            self.domain = self.domain.max(fx.domain);
+            sig_changes.extend(fx.sig_changes);
+            activations.extend(fx.activations);
+            rebirths.extend(fx.rebirths);
+        }
+        // An entity that expired away entirely and reactivated *before*
+        // a refresh tick processed its death still has cached pairs
+        // holding contributions from evicted windows that no dirty mark
+        // references anymore — they would be served as ghost links
+        // forever. Purge them first (O(degree) via the adjacency index),
+        // then let candidate registration rediscover live pairs fresh.
+        // `links` is left untouched: it is defined as "as of the last
+        // tick", and the next tick emits the Removed updates.
+        for (side, e) in rebirths {
+            for shard in &mut self.shards {
+                shard.drop_pairs_of(side, e);
             }
         }
-
-        self.advance_watermark(w);
-
-        self.events_since_refresh += 1;
-        if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
-            self.refresh()
+        if self.lsh.is_some() {
+            self.register_lsh_candidates(sig_changes);
         } else {
-            Vec::new()
+            // Brute force: each newly activated entity pairs with every
+            // active entity on the other side. Registration is
+            // idempotent and symmetric, so barrier timing yields exactly
+            // the per-event candidate set.
+            for (side, e) in activations {
+                let other = side.other();
+                let partners: Vec<EntityId> = self
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.active[other.idx()].iter().copied())
+                    .collect();
+                for p in partners {
+                    self.add_candidate(side, e, p);
+                }
+            }
         }
     }
 
-    /// Moves a buffered entity past the min-records filter: replays its
-    /// buffer into the history set and registers its candidate pairs.
-    fn activate(&mut self, side: Side, entity: EntityId) {
-        let buffered = self.pending[side.idx()].remove(&entity).unwrap_or_default();
-        self.active[side.idx()].insert(entity);
-        if self.dead[side.idx()].remove(&entity) {
-            // The entity expired away entirely and is now being reborn
-            // *before* a refresh tick processed its death. Its cached
-            // pairs still hold contributions from evicted windows that
-            // no dirty mark references anymore (death wiped them) — they
-            // would be served as ghost links forever. Drop them now; the
-            // candidate registration below rediscovers live pairs fresh.
-            let drop_pair = |&(u, v): &(EntityId, EntityId)| match side {
-                Side::Left => u == entity,
-                Side::Right => v == entity,
-            };
-            self.cache.retain(|pair, _| !drop_pair(pair));
-            self.fresh.retain(|pair| !drop_pair(pair));
-            // self.links is left untouched: it is defined as "as of the
-            // last tick", and the next tick emits the Removed updates.
-        }
-        for b in buffered {
-            self.append_active(b);
-        }
-        if self.lsh.is_none() {
-            // Brute force: pair with every active entity on the other side.
-            let partners: Vec<EntityId> = self.active[side.other().idx()].iter().copied().collect();
-            for p in partners {
-                self.add_candidate(side, entity, p);
-            }
-        }
-    }
-
+    /// Registers one discovered candidate pair with its owning shard.
     fn add_candidate(&mut self, side: Side, entity: EntityId, partner: EntityId) {
         let pair = match side {
             Side::Left => (entity, partner),
             Side::Right => (partner, entity),
         };
-        if let std::collections::hash_map::Entry::Vacant(slot) = self.cache.entry(pair) {
-            slot.insert(BTreeMap::new());
-            self.fresh.insert(pair);
-        }
+        let owner = entity_shard(Side::Left, pair.0, self.num_shards);
+        self.shards[owner].add_candidate(pair);
     }
 
-    fn append_active(&mut self, b: BinnedEvent) {
-        let side = b.side;
-        let sets = self.sets.as_mut().expect("scheme initialized");
-        sets[side.idx()].append_record_binned(b.entity, b.w, &b.cells);
-        self.dirty[side.idx()]
-            .entry(b.entity)
-            .or_default()
-            .insert(b.w);
-        self.window_entities.entry(b.w).or_default()[side.idx()].insert(b.entity);
-        let partners = self
-            .lsh
-            .as_mut()
-            .and_then(|lsh| lsh.add(side, b.entity, b.w, &b.lsh_cells));
-        if let Some(partners) = partners {
-            for p in partners {
-                if self.active[side.other().idx()].contains(&p) {
-                    self.add_candidate(side, b.entity, p);
-                }
-            }
-        }
-    }
-
-    /// Advances the watermark and expires windows that slid out of the
-    /// configured capacity.
-    fn advance_watermark(&mut self, w: WindowIdx) {
-        if w > self.watermark {
-            self.watermark = w;
-        }
-        let Some(capacity) = self.cfg.window_capacity else {
-            return;
-        };
-        let keep_from = (self.watermark + 1).saturating_sub(capacity);
-        if keep_from <= self.expired_below {
+    /// Applies a coalesced signature-update set to every bucket
+    /// partition and registers the unioned collision partners — the
+    /// cross-shard candidate handoff. Each entity's *final* signature is
+    /// applied exactly once, so the discovered pair set is independent
+    /// of both the application order and the shard count.
+    fn register_lsh_candidates(&mut self, changes: BTreeSet<(Side, EntityId)>) {
+        if changes.is_empty() {
             return;
         }
-        let expired: Vec<WindowIdx> = self
-            .window_entities
-            .range(..keep_from)
-            .map(|(&win, _)| win)
+        /// One coalesced update: the entity's precomputed per-band
+        /// buckets, or `None` when its ring vanished (index removal).
+        type SigUpdate = (Side, EntityId, Option<Vec<Option<u64>>>);
+        let geom = self.lsh.as_ref().expect("caller checked").geom;
+        // Resolve final signatures from the home-shard rings and hash
+        // each one's band buckets ONCE — every partition then filters
+        // the shared hashes to its owned slots, so the banding FNV cost
+        // stays independent of the partition count.
+        let updates: Vec<SigUpdate> = changes
+            .into_iter()
+            .map(|(side, e)| {
+                let home = &self.shards[entity_shard(side, e, self.num_shards)];
+                let buckets = home
+                    .rings
+                    .signature(side, e)
+                    .map(|sig| signature_buckets(&sig, geom.bands, geom.rows, geom.num_buckets));
+                (side, e, buckets)
+            })
             .collect();
-        for win in expired {
-            let sides = self.window_entities.remove(&win).expect("collected above");
-            self.stats.evicted_windows += 1;
-            for side in [Side::Left, Side::Right] {
-                for &e in &sides[side.idx()] {
-                    let sets = self.sets.as_mut().expect("scheme initialized");
-                    sets[side.idx()].evict_entity_window(e, win);
-                    self.dirty[side.idx()].entry(e).or_default().insert(win);
-                    // Expiry can *change* a ring signature (a formerly
-                    // dominated cell takes over the slot) — collisions
-                    // surfacing from that are candidates like any other.
-                    let partners = self.lsh.as_mut().and_then(|lsh| lsh.evict(side, e, win));
-                    if let Some(partners) = partners {
-                        for p in partners {
-                            if self.active[side.other().idx()].contains(&p) {
-                                self.add_candidate(side, e, p);
-                            }
-                        }
+
+        let lsh = self.lsh.as_mut().expect("caller checked");
+        let apply_one = |partition: &mut BucketIndex| -> Vec<Vec<EntityId>> {
+            updates
+                .iter()
+                .map(|(side, e, buckets)| match buckets {
+                    Some(buckets) => partition.upsert_hashed(side.index_side(), *e, buckets),
+                    None => {
+                        partition.remove(side.index_side(), *e);
+                        Vec::new()
                     }
-                    // Approximate the batch filter on the *live* slice:
-                    // an entity whose remaining records no longer exceed
-                    // min_records would be excluded by `Slim::prepare`
-                    // over the same window, so demote it — its leftover
-                    // evidence is discarded (counted in
-                    // `StreamStats::demoted_records`) and its pairs die
-                    // at the next tick. Fresh records re-buffer it like
-                    // any other sparse entity; the discarded ones no
-                    // longer count toward reactivation, which is the
-                    // conservative side of the batch semantics.
-                    let sets = self.sets.as_ref().expect("scheme initialized");
-                    let demote = match sets[side.idx()].history(e) {
-                        None => true,
-                        Some(h) => h.num_records() as usize <= self.cfg.slim.min_records,
-                    };
-                    if demote {
-                        self.stats.demoted_entities += 1;
-                        self.stats.demoted_records += sets[side.idx()]
-                            .history(e)
-                            .map(|h| h.num_records() as u64)
-                            .unwrap_or(0);
-                        let leftover: Vec<WindowIdx> = sets[side.idx()]
-                            .history(e)
-                            .map(|h| h.windows().collect())
-                            .unwrap_or_default();
-                        let sets = self.sets.as_mut().expect("scheme initialized");
-                        for lw in leftover {
-                            sets[side.idx()].evict_entity_window(e, lw);
-                            if let Some(sides) = self.window_entities.get_mut(&lw) {
-                                sides[side.idx()].remove(&e);
-                            }
-                        }
-                        if let Some(lsh) = &mut self.lsh {
-                            lsh.remove_entity(side, e);
-                        }
-                        self.active[side.idx()].remove(&e);
-                        self.dead[side.idx()].insert(e);
-                        self.dirty[side.idx()].remove(&e);
-                    }
+                })
+                .collect()
+        };
+        let reports: Vec<Vec<Vec<EntityId>>> = run_per_shard(
+            lsh.partitions.iter_mut().collect(),
+            updates.len() >= PARALLEL_THRESHOLD,
+            apply_one,
+        );
+
+        for (i, (side, e, _)) in updates.iter().enumerate() {
+            let mut partners: Vec<EntityId> = reports
+                .iter()
+                .flat_map(|per_partition| per_partition[i].iter().copied())
+                .collect();
+            partners.sort_unstable();
+            partners.dedup();
+            let other = side.other();
+            for p in partners {
+                let active = self.shards[entity_shard(other, p, self.num_shards)].active
+                    [other.idx()]
+                .contains(&p);
+                if active {
+                    self.add_candidate(*side, *e, p);
                 }
             }
         }
-        // Min-records buffers must not resurrect expired windows either.
-        for side in [Side::Left, Side::Right] {
-            for buffer in self.pending[side.idx()].values_mut() {
-                buffer.retain(|b| b.w >= keep_from);
-            }
-            self.pending[side.idx()].retain(|_, buffer| !buffer.is_empty());
+    }
+
+    /// Expires every window below `keep_from` shard-parallel, then
+    /// merges the effects: df deltas, demotion counters, the distinct
+    /// expired-window count, and eviction-driven signature changes.
+    fn expire(&mut self, keep_from: WindowIdx) {
+        let min_records = self.cfg.slim.min_records;
+        let lsh_geom = self.lsh.as_ref().map(|l| l.geom);
+        // Gate the spawns on the actual eviction footprint: a
+        // single-window rollover on the per-event ingest path touches a
+        // handful of entities and runs inline.
+        let expiring: usize = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .window_entities
+                    .range(..keep_from)
+                    .map(|(_, sides)| sides[0].len() + sides[1].len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let effects: Vec<ExpiryEffects> = run_per_shard(
+            self.shards.iter_mut().collect(),
+            expiring >= PARALLEL_THRESHOLD,
+            |shard| shard.expire(keep_from, min_records, lsh_geom.as_ref()),
+        );
+
+        let mut evicted: BTreeSet<WindowIdx> = BTreeSet::new();
+        let mut sig_changes: BTreeSet<(Side, EntityId)> = BTreeSet::new();
+        for fx in effects {
+            self.df[0].apply(&fx.df[0]);
+            self.df[1].apply(&fx.df[1]);
+            evicted.extend(fx.windows);
+            self.stats.demoted_entities += fx.demoted_entities;
+            self.stats.demoted_records += fx.demoted_records;
+            sig_changes.extend(fx.sig_changes);
+        }
+        self.stats.evicted_windows += evicted.len() as u64;
+        if self.lsh.is_some() {
+            self.register_lsh_candidates(sig_changes);
         }
         self.expired_below = keep_from;
     }
 
-    /// Runs a refresh tick: recomputes the dirty `(pair, window)`
-    /// contributions in parallel, rebuilds the edge set from the cache,
-    /// re-runs matching + stop thresholding, and returns the difference
-    /// to the previously served link set.
+    /// Runs a refresh tick: drops dead-endpoint pairs, rescales exactly
+    /// the adjacency-reachable dirty `(pair, window)` contributions
+    /// shard-parallel, retires collision-less empty pairs, reassembles
+    /// the edge set, re-runs matching + stop thresholding at the merge
+    /// barrier, and returns the difference to the previously served
+    /// link set.
     pub fn refresh(&mut self) -> Vec<LinkUpdate> {
         self.events_since_refresh = 0;
-        let Some(sets) = self.sets.as_ref() else {
+        if self.scheme.is_none() {
             return Vec::new();
-        };
+        }
         self.stats.ticks += 1;
 
-        // Drop pairs whose endpoint expired away entirely.
-        if !self.dead[0].is_empty() || !self.dead[1].is_empty() {
-            let (dead_l, dead_r) = (&self.dead[0], &self.dead[1]);
-            self.cache
-                .retain(|(u, v), _| !dead_l.contains(u) && !dead_r.contains(v));
-            self.fresh
-                .retain(|(u, v)| !dead_l.contains(u) && !dead_r.contains(v));
-            self.dead[0].clear();
-            self.dead[1].clear();
+        // Dead endpoints: drop their pairs wherever owned — O(degree)
+        // per entity through the adjacency index.
+        let mut dead: Vec<(Side, EntityId)> = Vec::new();
+        for shard in &mut self.shards {
+            for side in [Side::Left, Side::Right] {
+                dead.extend(shard.dead[side.idx()].drain().map(|e| (side, e)));
+            }
+        }
+        dead.sort_unstable();
+        for &(side, e) in &dead {
+            for shard in &mut self.shards {
+                shard.drop_pairs_of(side, e);
+            }
         }
 
-        // Gather dirty work: fresh pairs rescore all common windows,
-        // known pairs only the union of their endpoints' dirty windows.
-        type Job = ((EntityId, EntityId), Option<Vec<WindowIdx>>);
-        let jobs: Vec<Job> = self
-            .cache
-            .keys()
-            .filter_map(|&(u, v)| {
-                if self.fresh.contains(&(u, v)) {
-                    return Some(((u, v), None));
-                }
-                let du = self.dirty[0].get(&u);
-                let dv = self.dirty[1].get(&v);
-                if du.is_none() && dv.is_none() {
-                    return None;
-                }
-                let mut windows: Vec<WindowIdx> = Vec::new();
-                if let Some(du) = du {
-                    windows.extend(du.iter().copied());
-                }
-                if let Some(dv) = dv {
-                    windows.extend(dv.iter().copied());
-                }
-                windows.sort_unstable();
-                windows.dedup();
-                Some(((u, v), Some(windows)))
-            })
-            .collect();
-
-        let [left_set, right_set] = sets;
-        let scorer = SimilarityScorer::new(&self.cfg.slim, left_set, right_set);
-        type JobResult = (usize, Option<Vec<(WindowIdx, f64)>>);
-        let threads = self.shards.clamp(1, jobs.len().max(1));
-        let chunk = jobs.len().div_ceil(threads).max(1);
-        let results: Vec<(Vec<JobResult>, LinkageStats)> = std::thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .enumerate()
-                .map(|(chunk_idx, part)| {
-                    let scorer = &scorer;
-                    s.spawn(move || {
-                        let mut out = Vec::with_capacity(part.len());
-                        let mut stats = LinkageStats::default();
-                        for (j, ((u, v), spec)) in part.iter().enumerate() {
-                            let idx = chunk_idx * chunk + j;
-                            let (Some(hu), Some(hv)) =
-                                (left_set.history(*u), right_set.history(*v))
-                            else {
-                                out.push((idx, None));
-                                continue;
-                            };
-                            let windows: Vec<WindowIdx> = match spec {
-                                Some(ws) => ws.clone(),
-                                None => slim_core::similarity::common_windows(hu, hv).collect(),
-                            };
-                            let contributions: Vec<(WindowIdx, f64)> = windows
-                                .into_iter()
-                                .map(|w| (w, scorer.window_contribution(hu, hv, w, &mut stats)))
-                                .collect();
-                            out.push((idx, Some(contributions)));
-                        }
-                        (out, stats)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rescoring threads must not panic"))
-                .collect()
-        });
-
-        // Apply the recomputed contributions to the cache.
-        for (part, stats) in results {
-            self.scoring_stats.merge(&stats);
-            for (idx, contributions) in part {
-                let pair = jobs[idx].0;
-                match contributions {
-                    None => {
-                        self.cache.remove(&pair);
-                    }
-                    Some(contributions) => {
-                        self.stats.rescored_windows += contributions.len() as u64;
-                        let windows = self.cache.entry(pair).or_default();
-                        for (w, c) in contributions {
-                            if c == 0.0 {
-                                windows.remove(&w);
-                            } else {
-                                windows.insert(w, c);
-                            }
-                        }
-                    }
+        // Gather the global dirty list (sorted for reproducible job
+        // construction) and resolve it to per-shard work through each
+        // shard's adjacency index.
+        let mut dirty: Vec<(Side, EntityId, Vec<WindowIdx>)> = Vec::new();
+        for shard in &self.shards {
+            for side in [Side::Left, Side::Right] {
+                for (&e, windows) in &shard.dirty[side.idx()] {
+                    dirty.push((side, e, windows.iter().copied().collect()));
                 }
             }
         }
-        self.fresh.clear();
-        self.dirty[0].clear();
-        self.dirty[1].clear();
+        dirty.sort_unstable_by_key(|&(side, e, _)| (side, e));
 
-        // Reassemble edges from the cache and re-run matching +
-        // thresholding — the same arithmetic as the batch pipeline:
-        // score = Σ window contributions / pair norm.
-        let scorer = {
-            let [left_set, right_set] = self.sets.as_ref().expect("checked above");
-            SimilarityScorer::new(&self.cfg.slim, left_set, right_set)
-        };
-        let mut edges: Vec<Edge> = self
-            .cache
+        let jobs: Vec<Vec<RescoreJob>> =
+            self.shards.iter().map(|s| s.gather_jobs(&dirty)).collect();
+        self.stats.dirty_pairs_visited += jobs.iter().map(|j| j.len() as u64).sum::<u64>();
+        self.stats.cached_pairs_at_ticks += self
+            .shards
             .iter()
-            .filter_map(|(&(u, v), windows)| {
-                if windows.is_empty() {
-                    return None;
-                }
-                let score: f64 = windows.values().sum::<f64>() / scorer.pair_norm(u, v);
-                (score > 0.0).then_some(Edge {
-                    left: u,
-                    right: v,
-                    weight: score,
-                })
-            })
-            .collect();
-        edges.sort_by_key(|e| (e.left, e.right));
-        let matching = match self.cfg.slim.matching_method {
-            MatchingMethod::Greedy => greedy_max_matching(&edges),
-            MatchingMethod::HungarianExact => exact_max_matching(&edges),
-        };
-        let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
-        let threshold = select_threshold(&weights, self.cfg.slim.threshold_method);
-        let new_links: Vec<Edge> = match &threshold {
-            Some(t) => matching
-                .iter()
-                .filter(|e| e.weight >= t.threshold)
-                .copied()
-                .collect(),
-            None => matching,
-        };
+            .map(|s| s.cache.len() as u64)
+            .sum::<u64>();
 
-        let updates = diff_links(&self.links, &new_links);
+        // Rescore shard-parallel (read-only over all shards + merged
+        // stats), then apply each shard's outcomes to its own cache.
+        let outcomes = self.score_jobs(&jobs);
+        let mut emptied: Vec<(usize, (EntityId, EntityId))> = Vec::new();
+        for (idx, (shard, (shard_outcomes, shard_stats))) in
+            self.shards.iter_mut().zip(outcomes).enumerate()
+        {
+            self.scoring_stats.merge(&shard_stats);
+            let report = shard.apply_outcomes(shard_outcomes);
+            self.stats.rescored_windows += report.rescored_windows;
+            emptied.extend(report.emptied.into_iter().map(|p| (idx, p)));
+        }
+
+        // Candidate-set retirement: a pair whose cached contributions
+        // all evicted *and* whose ring signatures no longer share any
+        // LSH band has no path back into the link set except a fresh
+        // collision — drop it now; the bucket index would rediscover it.
+        // Only pairs visited this tick can have newly emptied, so the
+        // check is O(dirty), not O(cache).
+        if let Some(lsh) = &self.lsh {
+            let geom = lsh.geom;
+            let retire: Vec<(usize, (EntityId, EntityId))> = emptied
+                .into_iter()
+                .filter(|&(_, (u, v))| {
+                    let su = &self.shards[entity_shard(Side::Left, u, self.num_shards)];
+                    let sv = &self.shards[entity_shard(Side::Right, v, self.num_shards)];
+                    match (
+                        su.rings.signature(Side::Left, u),
+                        sv.rings.signature(Side::Right, v),
+                    ) {
+                        (Some(a), Some(b)) => {
+                            !signatures_collide(&a, &b, geom.bands, geom.rows, geom.num_buckets)
+                        }
+                        _ => true,
+                    }
+                })
+                .collect();
+            for (idx, pair) in retire {
+                self.shards[idx].retire(pair);
+                self.stats.retired_pairs += 1;
+            }
+        }
+
+        // The single merge barrier: edge assembly over every shard's
+        // cache, matching, GMM stop thresholding, link diff.
+        let edges = merge::assemble_edges(&self.shards, &self.df, &self.cfg.slim);
+        let new_links = merge::match_and_threshold(&self.cfg.slim, &edges);
+        let updates = merge::diff_links(&self.links, &new_links);
         self.links = new_links;
         updates
     }
 
-    /// Runs the **exact batch pipeline** over the incrementally built
-    /// history sets: brute-force candidates without LSH, the accumulated
-    /// candidate set with it. With an unbounded window this returns
-    /// output identical to [`slim_core::Slim::link`] over the same
-    /// records — the stream/batch equivalence contract.
-    pub fn finalize(&self) -> Result<LinkageOutput, String> {
-        let Some([left_set, right_set]) = self.sets.as_ref() else {
-            return Ok(LinkageOutput {
-                links: Vec::new(),
-                matching: Vec::new(),
-                num_edges: 0,
-                threshold: None,
-                stats: LinkageStats::default(),
-                elapsed: Duration::ZERO,
-            });
+    /// Rescores the given per-shard job lists against the merged df
+    /// statistics, resolving endpoint histories across shards. Pure
+    /// reads — runs shard-parallel when the tick is big enough to pay
+    /// for the spawns.
+    fn score_jobs(&self, jobs: &[Vec<RescoreJob>]) -> Vec<(Vec<RescoreOutcome>, LinkageStats)> {
+        let scorer = SimilarityScorer::from_df_stats(&self.cfg.slim, &self.df[0], &self.df[1]);
+        let score_list = |list: &[RescoreJob]| -> (Vec<RescoreOutcome>, LinkageStats) {
+            let mut out = Vec::with_capacity(list.len());
+            let mut stats = LinkageStats::default();
+            for (pair, spec) in list {
+                let (Some(hu), Some(hv)) = (
+                    lookup_history(&self.shards, Side::Left, pair.0),
+                    lookup_history(&self.shards, Side::Right, pair.1),
+                ) else {
+                    out.push((*pair, None));
+                    continue;
+                };
+                let windows: Vec<WindowIdx> = match spec {
+                    Some(ws) => ws.clone(),
+                    None => common_windows(hu, hv).collect(),
+                };
+                let contributions: Vec<(WindowIdx, f64)> = windows
+                    .into_iter()
+                    .map(|w| (w, scorer.window_contribution(hu, hv, w, &mut stats)))
+                    .collect();
+                out.push((*pair, Some(contributions)));
+            }
+            (out, stats)
         };
-        let left_set = left_set.clone();
-        let right_set = right_set.clone();
-        self.finalize_sets(left_set, right_set)
+
+        let total: usize = jobs.iter().map(Vec::len).sum();
+        run_per_shard(
+            jobs.iter().map(Vec::as_slice).collect(),
+            total >= PARALLEL_RESCORE_THRESHOLD,
+            score_list,
+        )
+    }
+
+    /// Runs the **exact batch pipeline** over the incrementally built
+    /// history sets (merged across shards): brute-force candidates
+    /// without LSH, the accumulated candidate set with it. With an
+    /// unbounded window this returns output identical to
+    /// [`slim_core::Slim::link`] over the same records — the
+    /// stream/batch equivalence contract, for every shard count.
+    pub fn finalize(&self) -> Result<LinkageOutput, String> {
+        let Some(scheme) = self.scheme else {
+            return Ok(empty_output());
+        };
+        let mut sets = [HashMap::new(), HashMap::new()];
+        for shard in &self.shards {
+            for side in [Side::Left, Side::Right] {
+                sets[side.idx()].extend(
+                    shard.histories[side.idx()]
+                        .iter()
+                        .map(|(&e, h)| (e, h.clone())),
+                );
+            }
+        }
+        let [left, right] = sets;
+        self.finalize_sets(scheme, left, right)
     }
 
     /// [`StreamEngine::finalize`] that consumes the engine, moving the
@@ -706,20 +751,36 @@ impl StreamEngine {
     /// — use this at the end of a replay to avoid a transient 2x of the
     /// engine's dominant state (the CLI `--stream` path does).
     pub fn into_finalized(mut self) -> Result<LinkageOutput, String> {
-        let Some([left_set, right_set]) = self.sets.take() else {
-            return self.finalize(); // empty-engine path
+        let Some(scheme) = self.scheme else {
+            return Ok(empty_output());
         };
-        self.finalize_sets(left_set, right_set)
+        let mut sets = [HashMap::new(), HashMap::new()];
+        for shard in &mut self.shards {
+            for side in [Side::Left, Side::Right] {
+                sets[side.idx()].extend(shard.histories[side.idx()].drain());
+            }
+        }
+        let [left, right] = sets;
+        self.finalize_sets(scheme, left, right)
     }
 
     fn finalize_sets(
         &self,
-        left_set: HistorySet,
-        right_set: HistorySet,
+        scheme: WindowScheme,
+        left: HashMap<EntityId, MobilityHistory>,
+        right: HashMap<EntityId, MobilityHistory>,
     ) -> Result<LinkageOutput, String> {
+        let level = self.cfg.slim.spatial_level;
+        let left_set = HistorySet::from_parts(scheme, level, self.domain, left, self.df[0].clone());
+        let right_set =
+            HistorySet::from_parts(scheme, level, self.domain, right, self.df[1].clone());
         let prepared = PreparedLinkage::from_history_sets(self.cfg.slim, left_set, right_set)?;
         Ok(if self.lsh.is_some() {
-            let mut candidates: Vec<(EntityId, EntityId)> = self.cache.keys().copied().collect();
+            let mut candidates: Vec<(EntityId, EntityId)> = self
+                .shards
+                .iter()
+                .flat_map(|s| s.cache.keys().copied())
+                .collect();
             candidates.sort_unstable();
             prepared.link_with_candidates(&candidates)
         } else {
@@ -728,38 +789,15 @@ impl StreamEngine {
     }
 }
 
-/// Deterministic entity→shard assignment (FNV-1a over side + id).
-fn entity_shard(side: Side, entity: EntityId, shards: usize) -> usize {
-    (slim_lsh::fnv1a([side.idx() as u64, entity.0].into_iter()) % shards as u64) as usize
-}
-
-/// Difference between two served link sets, ordered by `(left, right)`.
-fn diff_links(old: &[Edge], new: &[Edge]) -> Vec<LinkUpdate> {
-    let old_by_pair: HashMap<(EntityId, EntityId), Edge> =
-        old.iter().map(|e| ((e.left, e.right), *e)).collect();
-    let new_by_pair: HashMap<(EntityId, EntityId), Edge> =
-        new.iter().map(|e| ((e.left, e.right), *e)).collect();
-    let mut updates: Vec<((EntityId, EntityId), LinkUpdate)> = Vec::new();
-    for (&pair, &edge) in &new_by_pair {
-        match old_by_pair.get(&pair) {
-            None => updates.push((pair, LinkUpdate::Added(edge))),
-            Some(&prev) if prev.weight != edge.weight => updates.push((
-                pair,
-                LinkUpdate::Reweighted {
-                    previous: prev,
-                    current: edge,
-                },
-            )),
-            Some(_) => {}
-        }
+fn empty_output() -> LinkageOutput {
+    LinkageOutput {
+        links: Vec::new(),
+        matching: Vec::new(),
+        num_edges: 0,
+        threshold: None,
+        stats: LinkageStats::default(),
+        elapsed: Duration::ZERO,
     }
-    for (&pair, &edge) in &old_by_pair {
-        if !new_by_pair.contains_key(&pair) {
-            updates.push((pair, LinkUpdate::Removed(edge)));
-        }
-    }
-    updates.sort_by_key(|&(pair, _)| pair);
-    updates.into_iter().map(|(_, u)| u).collect()
 }
 
 #[cfg(test)]
@@ -841,6 +879,48 @@ mod tests {
         }
     }
 
+    /// The tentpole contract: the whole observable behaviour — served
+    /// links, stats, candidate pairs, finalized output — is
+    /// bit-identical for every shard count.
+    #[test]
+    fn shard_counts_are_observationally_identical() {
+        let (l, r) = two_views(7, 4);
+        let events = merge_datasets(&l, &r);
+        let run = |shards: usize| {
+            let mut cfg = stream_cfg();
+            cfg.num_shards = shards;
+            cfg.refresh_every = 40;
+            cfg.window_capacity = Some(12);
+            let mut engine = StreamEngine::new(cfg).unwrap();
+            let mut updates = Vec::new();
+            for chunk in events.chunks(64) {
+                updates.extend(engine.ingest_batch(chunk));
+            }
+            updates.extend(engine.refresh());
+            let links = engine.links().to_vec();
+            let stats = *engine.stats();
+            let scoring = *engine.scoring_stats();
+            let pairs = engine.num_candidate_pairs();
+            let finalized = engine.into_finalized().unwrap();
+            (updates, links, stats, scoring, pairs, finalized)
+        };
+        let reference = run(1);
+        assert!(reference.2.ticks > 0 && reference.2.evicted_windows > 0);
+        for shards in [2usize, 4, 7] {
+            let other = run(shards);
+            assert_eq!(reference.0, other.0, "{shards} shards: update streams");
+            assert_eq!(reference.1, other.1, "{shards} shards: served links");
+            assert_eq!(reference.2, other.2, "{shards} shards: stream stats");
+            assert_eq!(reference.3, other.3, "{shards} shards: scoring stats");
+            assert_eq!(reference.4, other.4, "{shards} shards: candidate pairs");
+            assert_eq!(reference.5.links.len(), other.5.links.len());
+            for (a, b) in reference.5.links.iter().zip(&other.5.links) {
+                assert_eq!((a.left, a.right), (b.left, b.right));
+                assert_eq!(a.weight, b.weight, "{shards} shards: finalized weights");
+            }
+        }
+    }
+
     #[test]
     fn single_tick_at_end_equals_finalize() {
         // With no intermediate ticks, every window is still dirty at the
@@ -900,6 +980,46 @@ mod tests {
         for link in engine.links() {
             assert_eq!(link.right.0, 1000 + link.left.0, "false link {link:?}");
         }
+    }
+
+    /// A refresh tick must visit exactly the pairs adjacent to the
+    /// entities dirtied since the last tick — the adjacency index's
+    /// marking contract, and the counter the full-cache sweep
+    /// comparison hangs off.
+    #[test]
+    fn adjacency_marks_exactly_the_touched_pairs() {
+        let (l, r) = two_views(4, 4);
+        let mut engine = StreamEngine::new(stream_cfg()).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        engine.refresh();
+        let cached = engine.num_candidate_pairs();
+        assert_eq!(cached, 16, "brute force tracks all 4×4 pairs");
+
+        // A clean tick visits nothing.
+        let visited_before = engine.stats().dirty_pairs_visited;
+        engine.refresh();
+        assert_eq!(
+            engine.stats().dirty_pairs_visited,
+            visited_before,
+            "no dirty entities → no visited pairs"
+        );
+
+        // One event for one left entity dirties exactly its 4 pairs.
+        engine.ingest(&StreamEvent::new(
+            Side::Left,
+            EntityId(2),
+            LatLng::from_degrees(37.06, -122.04),
+            Timestamp(26 * 900),
+        ));
+        let visited_before = engine.stats().dirty_pairs_visited;
+        engine.refresh();
+        let visited = engine.stats().dirty_pairs_visited - visited_before;
+        assert_eq!(
+            visited, 4,
+            "exactly the pairs containing the ingested entity"
+        );
+        // The tick-level proof that refresh no longer sweeps the cache.
+        assert!(engine.stats().dirty_pairs_visited < engine.stats().cached_pairs_at_ticks);
     }
 
     /// The globally earliest record belonging to a sparse entity the
@@ -976,11 +1096,7 @@ mod tests {
 
         let mut engine = StreamEngine::new(stream_cfg()).unwrap();
         engine.ingest_batch(&merge_datasets(&l, &r));
-        assert!(engine
-            .history_set(Side::Right)
-            .unwrap()
-            .history(EntityId(2999))
-            .is_none());
+        assert!(engine.history(Side::Right, EntityId(2999)).is_none());
         assert_eq!(engine.num_active(Side::Right), 3);
 
         let batch = Slim::new(SlimConfig::default()).unwrap().link(&l, &r);
@@ -1003,11 +1119,11 @@ mod tests {
         engine.ingest_batch(&merge_datasets(&l, &r));
         engine.refresh();
         assert!(engine.stats().evicted_windows > 0);
-        let hs = engine.history_set(Side::Left).unwrap();
-        assert!(hs.num_entities() > 0, "entities must survive activation");
+        let entities = engine.tracked_entities_sorted(Side::Left);
+        assert!(!entities.is_empty(), "entities must survive activation");
         // Only the last 10 windows of history remain.
-        for e in hs.entities_sorted() {
-            let h = hs.history(e).unwrap();
+        for e in entities {
+            let h = engine.history(Side::Left, e).unwrap();
             assert!(
                 h.num_windows() <= 10,
                 "{e} kept {} windows",
@@ -1041,10 +1157,7 @@ mod tests {
             ));
         }
         assert_eq!(engine.num_active(Side::Left), 0);
-        assert!(engine
-            .history_set(Side::Left)
-            .map(|hs| hs.num_entities() == 0)
-            .unwrap_or(true));
+        assert_eq!(engine.num_tracked_entities(Side::Left), 0);
     }
 
     /// An entity whose history expires away and who reactivates *before*
@@ -1149,10 +1262,7 @@ mod tests {
             0,
             "below-threshold entity demoted"
         );
-        assert!(engine
-            .history_set(Side::Left)
-            .map(|hs| hs.history(EntityId(1)).is_none())
-            .unwrap_or(true));
+        assert!(engine.history(Side::Left, EntityId(1)).is_none());
         // The discarded live evidence is accounted for.
         assert_eq!(engine.stats().demoted_entities, 1);
         assert_eq!(engine.stats().demoted_records, 5);
@@ -1209,26 +1319,59 @@ mod tests {
         assert!(!engine.links().is_empty());
     }
 
+    /// Candidate-set retirement: a pair whose signatures stop colliding
+    /// and whose cached contributions all expire must leave the cache,
+    /// with the retirement counted.
     #[test]
-    fn diff_links_reports_all_transitions() {
-        let e = |l: u64, r: u64, w: f64| Edge {
-            left: EntityId(l),
-            right: EntityId(r),
-            weight: w,
+    fn drifted_apart_pairs_retire() {
+        let mut cfg = stream_cfg();
+        cfg.window_capacity = Some(8);
+        cfg.slim.min_records = 2;
+        cfg.lsh = Some(crate::config::StreamLshConfig {
+            spans: 8,
+            base: slim_lsh::LshConfig {
+                step_windows: 1,
+                spatial_level: 12,
+                ..slim_lsh::LshConfig::default()
+            },
+        });
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        let feed = |eng: &mut StreamEngine, side, id: u64, lat: f64, lng: f64, k: i64| {
+            eng.ingest(&StreamEvent::new(
+                side,
+                EntityId(id),
+                LatLng::from_degrees(lat, lng),
+                Timestamp(k * 900),
+            ));
         };
-        let old = vec![e(1, 1, 1.0), e(2, 2, 2.0), e(3, 3, 3.0)];
-        let new = vec![e(2, 2, 2.5), e(3, 3, 3.0), e(4, 4, 4.0)];
-        let updates = diff_links(&old, &new);
+        // Windows 0..4: 1 ↔ 1001 co-located (collide, become a pair).
+        for k in 0..4 {
+            feed(&mut engine, Side::Left, 1, 37.0, -122.0, k);
+            feed(&mut engine, Side::Right, 1001, 37.0, -122.0, k);
+        }
+        engine.refresh();
+        assert_eq!(engine.num_candidate_pairs(), 1, "collision discovered");
+
+        // Both keep streaming but from different continents: the old
+        // co-located windows expire, the rings drift apart, and the pair
+        // has no evidence and no collision left.
+        for k in 4..20 {
+            feed(&mut engine, Side::Left, 1, 37.0, -122.0 + (k - 3) as f64, k);
+            feed(
+                &mut engine,
+                Side::Right,
+                1001,
+                -33.0,
+                151.0 + (k - 3) as f64,
+                k,
+            );
+        }
+        engine.refresh();
         assert_eq!(
-            updates,
-            vec![
-                LinkUpdate::Removed(e(1, 1, 1.0)),
-                LinkUpdate::Reweighted {
-                    previous: e(2, 2, 2.0),
-                    current: e(2, 2, 2.5)
-                },
-                LinkUpdate::Added(e(4, 4, 4.0)),
-            ]
+            engine.num_candidate_pairs(),
+            0,
+            "drifted pair must retire from the cache"
         );
+        assert_eq!(engine.stats().retired_pairs, 1);
     }
 }

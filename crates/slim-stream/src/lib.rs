@@ -13,20 +13,32 @@
 //!
 //! ## Architecture
 //!
+//! The engine state is **sharded end-to-end by entity hash**: each
+//! `EngineShard` owns its entities' histories, min-records buffers,
+//! LSH rings, and the contribution caches + entity→pair adjacency of
+//! the pairs it owns (owner = shard of the Left entity). Ingest and
+//! refresh run one worker per shard; only the dataset-global steps
+//! (df/idf statistics, bucket-partition handoff, edge assembly,
+//! matching, GMM thresholding) meet at merge barriers — and every
+//! barrier folds commutative deltas or sorted sets, so links, stats,
+//! and finalized output are bit-identical for every shard count.
+//!
 //! ```text
-//!            ┌────────────────────────────────────────────────────┐
-//! events ──► │ ingest: shard-by-entity-hash spatial binning (∥)   │
-//!            │   ├─► min-records buffer ──► incremental histories │
-//!            │   │                          + df / avg-bins stats │
-//!            │   └─► LSH ring signatures ─► incremental buckets ──┼─► candidates
-//!            │ expiry: windows < watermark − W evicted, stats     │
-//!            │         unwound, affected pairs marked dirty       │
-//!            └────────────────────────────────────────────────────┘
-//! tick  ───► rescore dirty (pair, window) contributions (∥)
-//!            score = Σ window contributions / length norm
-//!            matching + GMM stop threshold over all cached edges
+//!            ┌───────────── control scan (serial, cheap) ─────────────┐
+//!            │ late-drop · watermark · expiry / tick boundaries       │
+//! events ──► └───┬────────────────┬────────────────┬─────────────────┘
+//!                ▼                ▼                ▼
+//!            ┌─ shard 0 ─┐   ┌─ shard 1 ─┐ … ┌─ shard N ─┐   (∥ per shard)
+//!            │ bin + buffer + histories + rings + dirty  │
+//!            └───┬────────────────┬────────────────┬─────┘
+//!                ▼                ▼                ▼
+//!            ╞═ barrier: df/idf deltas · LSH partition upserts ═╡
+//!            ╞═          candidate pairs → owning shard        ═╡
+//! tick  ───► rescore adjacency-reachable dirty (pair, window) (∥)
+//!            retire collision-less empty pairs
+//!            ╞═ barrier: edges · matching · GMM threshold ═╡
 //!            ──► Vec<LinkUpdate>  (Added / Removed / Reweighted)
-//! finalize ► exact batch pipeline over the live history sets
+//! finalize ► exact batch pipeline over the merged live histories
 //! ```
 //!
 //! Three properties anchor the design:
@@ -43,11 +55,15 @@
 //!    [`batch_equivalent_origin`] for replays where a sparse entity
 //!    arrives first (the CLI `--stream` mode does).
 //! 2. **Bounded work per tick.** An event dirties one window of one
-//!    entity; a tick recomputes only dirty `(pair, window)`
-//!    contributions (in parallel), reusing the cached contributions of
-//!    untouched windows. Cached contributions may lag the globally
-//!    drifting idf statistics between ticks; they are refreshed lazily
-//!    when their window is touched, and exactly at finalization.
+//!    entity; a tick walks the entity→pair adjacency index from the
+//!    dirty entities and recomputes only the reachable `(pair, window)`
+//!    contributions (shard-parallel), reusing the cached contributions
+//!    of untouched windows — never a full cache sweep
+//!    ([`StreamStats::dirty_pairs_visited`] vs
+//!    [`StreamStats::cached_pairs_at_ticks`] is the proof). Cached
+//!    contributions may lag the globally drifting idf statistics
+//!    between ticks; they are refreshed lazily when their window is
+//!    touched, and exactly at finalization.
 //! 3. **Sliding-window semantics.** With `window_capacity = Some(W)`,
 //!    only the most recent `W` temporal windows of evidence are
 //!    retained: expired windows are evicted from histories, statistics,
@@ -83,10 +99,13 @@
 
 #![warn(missing_docs)]
 
+mod adjacency;
 pub mod config;
 pub mod engine;
 pub mod event;
 mod lsh;
+mod merge;
+mod shard;
 
 pub use config::{StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};

@@ -5,25 +5,65 @@
 //! signature here is a **ring**: slot `s` of the signature holds the
 //! dominating cell of the span currently mapped to `s = (w / step) mod
 //! spans`. As the watermark advances and old windows expire, slots roll
-//! over to newer spans; every slot change re-upserts the signature into
-//! the shared [`BucketIndex`], and the cross-side collisions reported by
-//! the upsert feed the engine's candidate set.
+//! over to newer spans.
+//!
+//! The state is split to match the sharded engine:
+//!
+//! * [`ShardRings`] — the per-entity ring counters, owned by the
+//!   entity's home [`crate::shard::EngineShard`] and mutated lock-free
+//!   during shard-parallel phases. Ring updates report whether the
+//!   derived signature *changed*; the shard coalesces changed entities
+//!   and the engine resolves their final signatures at the next merge
+//!   barrier.
+//! * [`LshGeometry`] — the banding parameters shared by every shard and
+//!   every partition of the engine's partitioned
+//!   [`slim_lsh::BucketIndex`] (see the engine for the partition
+//!   upsert/handoff protocol).
 
 use std::collections::{BTreeMap, HashMap};
 
 use geocell::CellId;
 use slim_core::{EntityId, WindowIdx};
-use slim_lsh::{bands_for_threshold, BucketIndex, IndexSide, Signature};
+use slim_lsh::{bands_for_threshold, IndexSide, Signature};
 
 use crate::config::StreamLshConfig;
 use crate::event::Side;
 
 impl Side {
-    fn index_side(self) -> IndexSide {
+    pub(crate) fn index_side(self) -> IndexSide {
         match self {
             Side::Left => IndexSide::Left,
             Side::Right => IndexSide::Right,
         }
+    }
+}
+
+/// The banding/ring geometry every shard and bucket partition shares.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LshGeometry {
+    pub(crate) spans: usize,
+    pub(crate) step_windows: u32,
+    pub(crate) spatial_level: u8,
+    pub(crate) bands: usize,
+    pub(crate) rows: usize,
+    pub(crate) num_buckets: u64,
+}
+
+impl LshGeometry {
+    pub(crate) fn new(cfg: &StreamLshConfig) -> Self {
+        let (bands, rows) = bands_for_threshold(cfg.spans, cfg.base.threshold);
+        Self {
+            spans: cfg.spans,
+            step_windows: cfg.base.step_windows,
+            spatial_level: cfg.base.spatial_level,
+            bands,
+            rows,
+            num_buckets: cfg.base.num_buckets,
+        }
+    }
+
+    fn slot_of(&self, w: WindowIdx) -> usize {
+        (w / self.step_windows) as usize % self.spans
     }
 }
 
@@ -72,37 +112,20 @@ impl SpanRing {
     }
 }
 
-/// The engine-side streaming LSH state: one ring per (side, entity) and
-/// the shared incremental bucket index.
-#[derive(Debug, Clone)]
-pub(crate) struct StreamLshIndex {
-    cfg: StreamLshConfig,
-    index: BucketIndex,
+/// One shard's ring state: the rings of every `(side, entity)` homed on
+/// that shard. All methods are shard-local; bucket-index effects are
+/// deferred to the engine's merge barrier via the returned
+/// changed-signature flags.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardRings {
     rings: HashMap<(Side, EntityId), SpanRing>,
 }
 
-impl StreamLshIndex {
-    pub(crate) fn new(cfg: StreamLshConfig) -> Self {
-        let (bands, rows) = bands_for_threshold(cfg.spans, cfg.base.threshold);
-        Self {
-            cfg,
-            index: BucketIndex::new(bands, rows, cfg.base.num_buckets),
-            rings: HashMap::new(),
-        }
-    }
-
-    /// The spatial level signatures are built at.
-    pub(crate) fn spatial_level(&self) -> u8 {
-        self.cfg.base.spatial_level
-    }
-
-    fn slot_of(&self, w: WindowIdx) -> usize {
-        (w / self.cfg.base.step_windows) as usize % self.cfg.spans
-    }
-
+impl ShardRings {
     /// Records one observation's cells for `(side, entity)` in window
-    /// `w`. Returns the entity's current cross-side collision partners
-    /// when its signature changed (`None` = signature unchanged).
+    /// `w`. Returns `true` when the entity's derived signature changed
+    /// (the engine must re-upsert it into the bucket partitions at the
+    /// next barrier).
     ///
     /// Each slot is owned by one span epoch at a time: content from an
     /// older epoch is cleared when a newer one claims the slot, and
@@ -111,20 +134,20 @@ impl StreamLshIndex {
     /// sliding-window expiry.
     pub(crate) fn add(
         &mut self,
+        geom: &LshGeometry,
         side: Side,
         entity: EntityId,
         w: WindowIdx,
         cells: &[CellId],
-    ) -> Option<Vec<EntityId>> {
-        let slot = self.slot_of(w);
-        let span = w / self.cfg.base.step_windows;
-        let spans = self.cfg.spans;
+    ) -> bool {
+        let slot = geom.slot_of(w);
+        let span = w / geom.step_windows;
         let ring = self
             .rings
             .entry((side, entity))
-            .or_insert_with(|| SpanRing::new(spans));
+            .or_insert_with(|| SpanRing::new(geom.spans));
         match ring.owners[slot] {
-            Some(owner) if owner > span => return None, // pre-ring straggler
+            Some(owner) if owner > span => return false, // pre-ring straggler
             Some(owner) if owner < span => {
                 ring.slots[slot].clear();
                 ring.owners[slot] = Some(span);
@@ -137,56 +160,64 @@ impl StreamLshIndex {
         }
         let dom = ring.dominating(slot);
         if dom == ring.sig[slot] {
-            return None;
+            return false;
         }
         ring.sig[slot] = dom;
-        let sig = Signature {
-            entity,
-            cells: ring.sig.clone(),
-        };
-        Some(self.index.upsert(side.index_side(), &sig))
-    }
-
-    /// Drops an entity's ring and bucket placements entirely (used when
-    /// the engine demotes an entity whose live evidence fell below the
-    /// min-records filter).
-    pub(crate) fn remove_entity(&mut self, side: Side, entity: EntityId) {
-        if self.rings.remove(&(side, entity)).is_some() {
-            self.index.remove(side.index_side(), entity);
-        }
+        true
     }
 
     /// Expires window `w` for `(side, entity)`: removes its counts from
-    /// the ring, re-deriving the affected slot. Returns collision
-    /// partners when the signature changed.
+    /// the ring, re-deriving the affected slot. Returns `true` when the
+    /// signature changed — including the ring emptying out entirely
+    /// (the entity's [`ShardRings::signature`] then resolves to `None`
+    /// and the barrier removes it from the bucket partitions).
     pub(crate) fn evict(
         &mut self,
+        geom: &LshGeometry,
         side: Side,
         entity: EntityId,
         w: WindowIdx,
-    ) -> Option<Vec<EntityId>> {
-        let slot = self.slot_of(w);
-        let ring = self.rings.get_mut(&(side, entity))?;
+    ) -> bool {
+        let slot = geom.slot_of(w);
+        let Some(ring) = self.rings.get_mut(&(side, entity)) else {
+            return false;
+        };
         let before = ring.slots[slot].len();
         ring.slots[slot].retain(|&(win, _), _| win != w);
         if ring.slots[slot].len() == before {
-            return None;
+            return false;
         }
         if ring.is_empty() {
             self.rings.remove(&(side, entity));
-            self.index.remove(side.index_side(), entity);
-            return None;
+            return true;
         }
         let dom = ring.dominating(slot);
         if dom == ring.sig[slot] {
-            return None;
+            return false;
         }
         ring.sig[slot] = dom;
-        let sig = Signature {
+        true
+    }
+
+    /// Drops an entity's ring entirely (the engine demoted it). Returns
+    /// `true` if a ring existed — the barrier must then remove the
+    /// entity from the bucket partitions.
+    pub(crate) fn remove_entity(&mut self, side: Side, entity: EntityId) -> bool {
+        self.rings.remove(&(side, entity)).is_some()
+    }
+
+    /// The entity's current signature (`None` = no live ring; the
+    /// barrier translates that into a bucket-index removal).
+    pub(crate) fn signature(&self, side: Side, entity: EntityId) -> Option<Signature> {
+        self.rings.get(&(side, entity)).map(|ring| Signature {
             entity,
             cells: ring.sig.clone(),
-        };
-        Some(self.index.upsert(side.index_side(), &sig))
+        })
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.rings.is_empty()
     }
 }
 
@@ -200,8 +231,8 @@ mod tests {
         CellId::from_latlng(LatLng::from_degrees(20.0, lng), 16)
     }
 
-    fn index(spans: usize, step: u32) -> StreamLshIndex {
-        StreamLshIndex::new(StreamLshConfig {
+    fn geom(spans: usize, step: u32) -> LshGeometry {
+        LshGeometry::new(&StreamLshConfig {
             spans,
             base: LshConfig {
                 step_windows: step,
@@ -211,48 +242,67 @@ mod tests {
         })
     }
 
+    /// Barrier-style collision check: upsert both current signatures
+    /// into one unpartitioned index and report the second one's
+    /// partners — what the engine's merge step computes.
+    fn collide(g: &LshGeometry, rings: &ShardRings) -> Vec<EntityId> {
+        let mut index = slim_lsh::BucketIndex::new(g.bands, g.rows, g.num_buckets);
+        let left = rings.signature(Side::Left, EntityId(1));
+        let right = rings.signature(Side::Right, EntityId(100));
+        if let Some(sig) = &left {
+            index.upsert(IndexSide::Left, sig);
+        }
+        match &right {
+            Some(sig) => index.upsert(IndexSide::Right, sig),
+            None => Vec::new(),
+        }
+    }
+
     #[test]
     fn matching_rings_collide() {
-        let mut idx = index(4, 2);
+        let g = geom(4, 2);
+        let mut rings = ShardRings::default();
         for w in 0..8 {
-            idx.add(Side::Left, EntityId(1), w, &[cell(0.0 + w as f64)]);
+            rings.add(&g, Side::Left, EntityId(1), w, &[cell(0.0 + w as f64)]);
+            rings.add(&g, Side::Right, EntityId(100), w, &[cell(0.0 + w as f64)]);
         }
-        let mut partners = Vec::new();
-        for w in 0..8 {
-            if let Some(p) = idx.add(Side::Right, EntityId(100), w, &[cell(0.0 + w as f64)]) {
-                partners = p;
-            }
-        }
-        assert_eq!(partners, vec![EntityId(1)], "identical rings must collide");
+        assert_eq!(
+            collide(&g, &rings),
+            vec![EntityId(1)],
+            "identical rings must collide"
+        );
     }
 
     #[test]
     fn disjoint_rings_do_not_collide() {
-        let mut idx = index(4, 2);
+        let g = geom(4, 2);
+        let mut rings = ShardRings::default();
         for w in 0..8 {
-            idx.add(Side::Left, EntityId(1), w, &[cell(w as f64)]);
-            let p = idx.add(Side::Right, EntityId(100), w, &[cell(90.0 + w as f64)]);
-            assert!(p.map(|v| v.is_empty()).unwrap_or(true), "window {w}");
+            rings.add(&g, Side::Left, EntityId(1), w, &[cell(w as f64)]);
+            rings.add(&g, Side::Right, EntityId(100), w, &[cell(90.0 + w as f64)]);
         }
+        assert!(collide(&g, &rings).is_empty());
     }
 
     #[test]
     fn eviction_rolls_slots_over() {
-        let mut idx = index(2, 1);
-        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
-        idx.add(Side::Left, EntityId(1), 1, &[cell(1.0)]);
+        let g = geom(2, 1);
+        let mut rings = ShardRings::default();
+        rings.add(&g, Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        rings.add(&g, Side::Left, EntityId(1), 1, &[cell(1.0)]);
         // Window 2 aliases slot 0; evict window 0 first (as the engine
         // does before reusing the slot), then fill it with new content.
-        idx.evict(Side::Left, EntityId(1), 0);
-        idx.add(Side::Left, EntityId(1), 2, &[cell(2.0)]);
-        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        assert_eq!(ring.sig[0], Some(cell(2.0)));
-        assert_eq!(ring.sig[1], Some(cell(1.0)));
-        // Evicting everything drops the entity from the bucket index.
-        idx.evict(Side::Left, EntityId(1), 1);
-        idx.evict(Side::Left, EntityId(1), 2);
-        assert!(idx.rings.is_empty());
-        assert!(idx.index.is_empty());
+        rings.evict(&g, Side::Left, EntityId(1), 0);
+        rings.add(&g, Side::Left, EntityId(1), 2, &[cell(2.0)]);
+        let sig = rings.signature(Side::Left, EntityId(1)).unwrap();
+        assert_eq!(sig.cells[0], Some(cell(2.0)));
+        assert_eq!(sig.cells[1], Some(cell(1.0)));
+        // Evicting everything drops the ring; the signature resolves to
+        // None, which the barrier turns into a bucket-index removal.
+        rings.evict(&g, Side::Left, EntityId(1), 1);
+        rings.evict(&g, Side::Left, EntityId(1), 2);
+        assert!(rings.signature(Side::Left, EntityId(1)).is_none());
+        assert!(rings.is_empty());
     }
 
     /// Without sliding-window expiry (unbounded engine), slot aliasing
@@ -260,37 +310,47 @@ mod tests {
     /// clears the stale counts, and pre-ring stragglers are ignored.
     #[test]
     fn slot_epochs_roll_without_eviction() {
-        let mut idx = index(2, 1);
-        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
-        idx.add(Side::Left, EntityId(1), 1, &[cell(1.0)]);
+        let g = geom(2, 1);
+        let mut rings = ShardRings::default();
+        rings.add(&g, Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        rings.add(&g, Side::Left, EntityId(1), 1, &[cell(1.0)]);
         // Window 2 aliases slot 0 (epoch 2 > epoch 0): old content must
         // be dropped, not merged.
-        idx.add(Side::Left, EntityId(1), 2, &[cell(2.0)]);
-        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        assert_eq!(ring.sig[0], Some(cell(2.0)));
-        assert_eq!(ring.slots[0].len(), 1, "stale epoch content cleared");
+        assert!(rings.add(&g, Side::Left, EntityId(1), 2, &[cell(2.0)]));
+        let sig = rings.signature(Side::Left, EntityId(1)).unwrap();
+        assert_eq!(sig.cells[0], Some(cell(2.0)));
         // A straggler for the long-gone window 0 must not resurrect it.
-        assert!(idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]).is_none());
-        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        assert_eq!(ring.sig[0], Some(cell(2.0)));
+        assert!(!rings.add(&g, Side::Left, EntityId(1), 0, &[cell(0.0)]));
+        let sig = rings.signature(Side::Left, EntityId(1)).unwrap();
+        assert_eq!(sig.cells[0], Some(cell(2.0)));
         // Repeated visits within the live epoch still accumulate.
-        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
-        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
-        let ring = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        assert_eq!(ring.sig[0], Some(cell(5.0)));
+        rings.add(&g, Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        rings.add(&g, Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        let sig = rings.signature(Side::Left, EntityId(1)).unwrap();
+        assert_eq!(sig.cells[0], Some(cell(5.0)));
     }
 
     #[test]
     fn dominating_cell_tracks_counts() {
-        let mut idx = index(1, 4);
-        idx.add(Side::Left, EntityId(1), 0, &[cell(0.0)]);
-        idx.add(Side::Left, EntityId(1), 1, &[cell(5.0)]);
-        let r = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        let first = r.sig[0];
+        let g = geom(1, 4);
+        let mut rings = ShardRings::default();
+        rings.add(&g, Side::Left, EntityId(1), 0, &[cell(0.0)]);
+        rings.add(&g, Side::Left, EntityId(1), 1, &[cell(5.0)]);
+        let first = rings.signature(Side::Left, EntityId(1)).unwrap().cells[0];
         // A second visit to cell(5.0) makes it dominate.
-        idx.add(Side::Left, EntityId(1), 2, &[cell(5.0)]);
-        let r = idx.rings.get(&(Side::Left, EntityId(1))).unwrap();
-        assert_eq!(r.sig[0], Some(cell(5.0)));
+        rings.add(&g, Side::Left, EntityId(1), 2, &[cell(5.0)]);
+        let sig = rings.signature(Side::Left, EntityId(1)).unwrap();
+        assert_eq!(sig.cells[0], Some(cell(5.0)));
         assert!(first.is_some());
+    }
+
+    #[test]
+    fn remove_entity_reports_presence() {
+        let g = geom(2, 1);
+        let mut rings = ShardRings::default();
+        assert!(!rings.remove_entity(Side::Left, EntityId(9)));
+        rings.add(&g, Side::Left, EntityId(9), 0, &[cell(0.0)]);
+        assert!(rings.remove_entity(Side::Left, EntityId(9)));
+        assert!(rings.signature(Side::Left, EntityId(9)).is_none());
     }
 }

@@ -1,0 +1,160 @@
+//! The single merge barrier of a refresh tick.
+//!
+//! Everything the sharded engine computes in parallel is per-entity or
+//! per-pair; only the dataset-global steps meet here: assembling the
+//! edge set from every shard's contribution cache, bipartite matching
+//! (greedy or exact Hungarian), GMM stop thresholding, and diffing the
+//! served link set. Each helper is deterministic in the face of
+//! arbitrary shard counts and thread interleavings: edges are sorted by
+//! `(left, right)` before matching, link diffs are sorted by pair, and
+//! every statistic folded across shards is a commutative sum.
+
+use std::collections::HashMap;
+
+use slim_core::df::DfStats;
+use slim_core::matching::{exact_max_matching, greedy_max_matching};
+use slim_core::similarity::SimilarityScorer;
+use slim_core::threshold::select_threshold;
+use slim_core::{Edge, EntityId, MatchingMethod, SlimConfig};
+
+use crate::engine::LinkUpdate;
+use crate::event::Side;
+use crate::shard::{lookup_history, run_per_shard, EngineShard};
+
+/// Assembles the bipartite edge set from every shard's pair cache:
+/// `score = Σ cached window contributions / pair length norm`, positive
+/// scores only, sorted by `(left, right)` — the same arithmetic and
+/// order the unsharded engine used, so the result is independent of the
+/// shard count.
+pub(crate) fn assemble_edges(
+    shards: &[EngineShard],
+    df: &[DfStats; 2],
+    cfg: &SlimConfig,
+) -> Vec<Edge> {
+    let scorer = SimilarityScorer::from_df_stats(cfg, &df[0], &df[1]);
+    let collect_one = |shard: &EngineShard| -> Vec<Edge> {
+        let mut edges = Vec::with_capacity(shard.cache.len());
+        for (&(u, v), windows) in &shard.cache {
+            if windows.is_empty() {
+                continue;
+            }
+            let bins_u = lookup_history(shards, Side::Left, u)
+                .map(|h| h.num_bins())
+                .unwrap_or(0);
+            let bins_v = lookup_history(shards, Side::Right, v)
+                .map(|h| h.num_bins())
+                .unwrap_or(0);
+            let score: f64 = windows.values().sum::<f64>() / scorer.pair_norm_bins(bins_u, bins_v);
+            if score > 0.0 {
+                edges.push(Edge {
+                    left: u,
+                    right: v,
+                    weight: score,
+                });
+            }
+        }
+        edges
+    };
+
+    let total_cached: usize = shards.iter().map(|s| s.cache.len()).sum();
+    let mut edges: Vec<Edge> =
+        run_per_shard(shards.iter().collect(), total_cached >= 64, |shard| {
+            collect_one(shard)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    edges.sort_by_key(|e| (e.left, e.right));
+    edges
+}
+
+/// Matching + stop thresholding over the assembled edges — the barrier
+/// steps shared verbatim with the batch pipeline.
+pub(crate) fn match_and_threshold(cfg: &SlimConfig, edges: &[Edge]) -> Vec<Edge> {
+    let matching = match cfg.matching_method {
+        MatchingMethod::Greedy => greedy_max_matching(edges),
+        MatchingMethod::HungarianExact => exact_max_matching(edges),
+    };
+    let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
+    let threshold = select_threshold(&weights, cfg.threshold_method);
+    match &threshold {
+        Some(t) => matching
+            .into_iter()
+            .filter(|e| e.weight >= t.threshold)
+            .collect(),
+        None => matching,
+    }
+}
+
+/// Difference between two served link sets, ordered by `(left, right)`.
+pub(crate) fn diff_links(old: &[Edge], new: &[Edge]) -> Vec<LinkUpdate> {
+    let old_by_pair: HashMap<(EntityId, EntityId), Edge> =
+        old.iter().map(|e| ((e.left, e.right), *e)).collect();
+    let new_by_pair: HashMap<(EntityId, EntityId), Edge> =
+        new.iter().map(|e| ((e.left, e.right), *e)).collect();
+    let mut updates: Vec<((EntityId, EntityId), LinkUpdate)> = Vec::new();
+    for (&pair, &edge) in &new_by_pair {
+        match old_by_pair.get(&pair) {
+            None => updates.push((pair, LinkUpdate::Added(edge))),
+            Some(&prev) if prev.weight != edge.weight => updates.push((
+                pair,
+                LinkUpdate::Reweighted {
+                    previous: prev,
+                    current: edge,
+                },
+            )),
+            Some(_) => {}
+        }
+    }
+    for (&pair, &edge) in &old_by_pair {
+        if !new_by_pair.contains_key(&pair) {
+            updates.push((pair, LinkUpdate::Removed(edge)));
+        }
+    }
+    updates.sort_by_key(|&(pair, _)| pair);
+    updates.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(l: u64, r: u64, w: f64) -> Edge {
+        Edge {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn diff_links_reports_all_transitions() {
+        let old = vec![e(1, 1, 1.0), e(2, 2, 2.0), e(3, 3, 3.0)];
+        let new = vec![e(2, 2, 2.5), e(3, 3, 3.0), e(4, 4, 4.0)];
+        let updates = diff_links(&old, &new);
+        assert_eq!(
+            updates,
+            vec![
+                LinkUpdate::Removed(e(1, 1, 1.0)),
+                LinkUpdate::Reweighted {
+                    previous: e(2, 2, 2.0),
+                    current: e(2, 2, 2.5)
+                },
+                LinkUpdate::Added(e(4, 4, 4.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn match_and_threshold_without_method_keeps_matching() {
+        let cfg = SlimConfig {
+            threshold_method: slim_core::ThresholdMethod::None,
+            ..SlimConfig::default()
+        };
+        let edges = vec![e(1, 1, 1.0), e(1, 2, 0.5), e(2, 2, 2.0)];
+        let links = match_and_threshold(&cfg, &edges);
+        // One-to-one matching picks the heavy pairings; no threshold cut.
+        assert_eq!(links.len(), 2);
+        assert!(links.iter().all(|l| l.left == l.right));
+    }
+}

@@ -1,0 +1,479 @@
+//! One shard of the engine state.
+//!
+//! The engine partitions every piece of per-entity and per-pair state by
+//! a deterministic entity hash ([`entity_shard`]): a shard owns the
+//! min-records buffers, mobility histories, dirty marks, LSH rings, and
+//! window membership of the entities homed on it, plus the cached
+//! `(pair, window)` score contributions and the entity→pair
+//! [`AdjacencyIndex`] of the pairs it owns (**owner = home shard of the
+//! pair's Left entity**).
+//!
+//! Shard methods are designed for the engine's phase structure: during a
+//! parallel phase each shard mutates only its own state and *describes*
+//! every cross-shard effect (df/idf adjustments, changed LSH signatures,
+//! activations, rebirths) in an effects value the engine folds in at the
+//! next merge barrier. Every effect is either commutative (integer
+//! deltas) or coalesced into ordered sets, so the barrier result — and
+//! with it the whole engine — is bit-identical for any shard count.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use geocell::CellId;
+use slim_core::df::DfDelta;
+use slim_core::history::record_cells;
+use slim_core::{EntityId, MobilityHistory, WindowIdx, WindowScheme};
+
+use crate::adjacency::{AdjacencyIndex, PairKey};
+use crate::event::{Side, StreamEvent};
+use crate::lsh::{LshGeometry, ShardRings};
+
+/// An event with its temporal/spatial binning done — the unit of work
+/// the sharded ingest path precomputes on worker threads.
+#[derive(Debug, Clone)]
+pub(crate) struct BinnedEvent {
+    pub(crate) side: Side,
+    pub(crate) entity: EntityId,
+    pub(crate) w: WindowIdx,
+    /// `record_cells` output at the similarity spatial level.
+    pub(crate) cells: Vec<CellId>,
+    /// `record_cells` output at the LSH spatial level (empty when LSH
+    /// is disabled).
+    pub(crate) lsh_cells: Vec<CellId>,
+}
+
+/// Bins one event: the trigonometry-heavy part of ingestion, safe to
+/// run on any worker thread.
+pub(crate) fn bin_event(
+    ev: &StreamEvent,
+    scheme: &WindowScheme,
+    level: u8,
+    lsh_level: Option<u8>,
+) -> BinnedEvent {
+    let record = ev.to_record();
+    // Point records at a finer LSH level share the geometry work:
+    // one fine lookup, coarsened exactly via the cell hierarchy.
+    let (cells, lsh_cells) = match lsh_level {
+        Some(l) if l >= level && !record.is_region() => {
+            let fine = geocell::CellId::from_latlng(record.location, l);
+            (vec![fine.parent(level)], vec![fine])
+        }
+        Some(l) => (record_cells(&record, level), record_cells(&record, l)),
+        None => (record_cells(&record, level), Vec::new()),
+    };
+    BinnedEvent {
+        side: ev.side,
+        entity: ev.entity,
+        w: scheme.window_of(ev.time),
+        cells,
+        lsh_cells,
+    }
+}
+
+/// Deterministic entity→shard assignment (FNV-1a over side + id).
+pub(crate) fn entity_shard(side: Side, entity: EntityId, shards: usize) -> usize {
+    (slim_lsh::fnv1a([side.idx() as u64, entity.0].into_iter()) % shards as u64) as usize
+}
+
+/// Resolves an entity's history across the shard partition.
+pub(crate) fn lookup_history(
+    shards: &[EngineShard],
+    side: Side,
+    entity: EntityId,
+) -> Option<&MobilityHistory> {
+    shards[entity_shard(side, entity, shards.len())].histories[side.idx()].get(&entity)
+}
+
+/// Runs one closure per work item — on scoped threads (one spawn per
+/// item) when `parallel`, inline otherwise. The single spawn-or-serial
+/// switch every shard-parallel phase shares; each call site supplies
+/// its own work-size gate through `parallel`, and either path preserves
+/// item order, so the choice never affects results.
+pub(crate) fn run_per_shard<I: Send, T: Send>(
+    items: Vec<I>,
+    parallel: bool,
+    f: impl Fn(I) -> T + Sync,
+) -> Vec<T> {
+    if parallel && items.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .into_iter()
+                .map(|item| {
+                    let f = &f;
+                    s.spawn(move || f(item))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker threads must not panic"))
+                .collect()
+        })
+    } else {
+        items.into_iter().map(f).collect()
+    }
+}
+
+/// Cross-shard effects of one shard's ingest phase, folded in at the
+/// merge barrier.
+#[derive(Debug, Default)]
+pub(crate) struct IngestEffects {
+    /// Per-side df/idf adjustments (commutative integer deltas).
+    pub(crate) df: [DfDelta; 2],
+    /// Entities whose LSH ring signature changed — coalesced: the
+    /// barrier upserts each entity's *final* signature once.
+    pub(crate) sig_changes: BTreeSet<(Side, EntityId)>,
+    /// Entities that crossed the min-records filter, in shard-local
+    /// stream order.
+    pub(crate) activations: Vec<(Side, EntityId)>,
+    /// Entities that died (expired away entirely) and re-activated
+    /// before a refresh tick processed the death: their cached pairs
+    /// hold ghost contributions and must be purged at the barrier —
+    /// before new candidate registration, so freshly discovered pairs
+    /// survive.
+    pub(crate) rebirths: Vec<(Side, EntityId)>,
+    /// Highest appended window + 1 (merged with `max`).
+    pub(crate) domain: u32,
+}
+
+/// Cross-shard effects of one shard's expiry phase.
+#[derive(Debug, Default)]
+pub(crate) struct ExpiryEffects {
+    /// Per-side df/idf adjustments.
+    pub(crate) df: [DfDelta; 2],
+    /// Entities whose ring signature changed (or whose ring vanished).
+    pub(crate) sig_changes: BTreeSet<(Side, EntityId)>,
+    /// Expired windows that had content on this shard; the engine
+    /// counts the cross-shard union so `evicted_windows` is
+    /// shard-count-independent.
+    pub(crate) windows: Vec<WindowIdx>,
+    /// Entities demoted below the min-records filter.
+    pub(crate) demoted_entities: u64,
+    /// Still-live records discarded by those demotions.
+    pub(crate) demoted_records: u64,
+}
+
+/// A rescore work item: one owned pair plus the windows to recompute
+/// (`None` = fresh pair, rescore all common windows).
+pub(crate) type RescoreJob = (PairKey, Option<Vec<WindowIdx>>);
+
+/// The result of rescoring one pair (`None` contributions = an endpoint
+/// history vanished; drop the pair).
+pub(crate) type RescoreOutcome = (PairKey, Option<Vec<(WindowIdx, f64)>>);
+
+/// What applying a tick's rescore outcomes changed on this shard.
+#[derive(Debug, Default)]
+pub(crate) struct ApplyReport {
+    /// `(pair, window)` contributions recomputed.
+    pub(crate) rescored_windows: u64,
+    /// Owned pairs whose cached contributions ended the tick empty —
+    /// the retirement candidates.
+    pub(crate) emptied: Vec<PairKey>,
+}
+
+/// One shard of engine state. See the module docs for the ownership
+/// rules and the phase/barrier contract.
+#[derive(Debug, Default)]
+pub(crate) struct EngineShard {
+    /// Min-records buffers: entities whose record count has not yet
+    /// exceeded `slim.min_records` are parked here, exactly like the
+    /// batch pipeline's sparse-entity filter.
+    pub(crate) pending: [HashMap<EntityId, Vec<BinnedEvent>>; 2],
+    /// Entities that crossed the min-records threshold.
+    pub(crate) active: [HashSet<EntityId>; 2],
+    /// This shard's slice of the per-side mobility histories.
+    pub(crate) histories: [HashMap<EntityId, MobilityHistory>; 2],
+    /// Windows touched per homed entity since the last tick.
+    pub(crate) dirty: [HashMap<EntityId, BTreeSet<WindowIdx>>; 2],
+    /// Homed entities whose history expired entirely; their pairs are
+    /// dropped at the next tick.
+    pub(crate) dead: [HashSet<EntityId>; 2],
+    /// Which homed entities have bins in which window — drives expiry.
+    pub(crate) window_entities: BTreeMap<WindowIdx, [BTreeSet<EntityId>; 2]>,
+    /// LSH rings of homed entities (empty when LSH is disabled).
+    pub(crate) rings: ShardRings,
+    /// Per owned candidate pair: window → unnormalized score
+    /// contribution.
+    pub(crate) cache: HashMap<PairKey, BTreeMap<WindowIdx, f64>>,
+    /// Owned pairs discovered since the last tick; their full common
+    /// window set is scored at the next tick.
+    pub(crate) fresh: HashSet<PairKey>,
+    /// Entity→pair adjacency over the owned pairs.
+    pub(crate) adjacency: AdjacencyIndex,
+}
+
+impl EngineShard {
+    /// Applies this shard's slice of one ingest segment, in stream
+    /// order, describing all cross-shard effects.
+    pub(crate) fn apply_events(
+        &mut self,
+        events: Vec<BinnedEvent>,
+        min_records: usize,
+        lsh: Option<&LshGeometry>,
+    ) -> IngestEffects {
+        let mut fx = IngestEffects::default();
+        for b in events {
+            let (side, entity) = (b.side, b.entity);
+            if self.active[side.idx()].contains(&entity) {
+                self.append_active(b, lsh, &mut fx);
+            } else {
+                let buffer = self.pending[side.idx()].entry(entity).or_default();
+                buffer.push(b);
+                if buffer.len() > min_records {
+                    self.activate(side, entity, lsh, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    /// Moves a buffered entity past the min-records filter: replays its
+    /// buffer into the history slice and records the activation for
+    /// barrier-time candidate registration.
+    fn activate(
+        &mut self,
+        side: Side,
+        entity: EntityId,
+        lsh: Option<&LshGeometry>,
+        fx: &mut IngestEffects,
+    ) {
+        let buffered = self.pending[side.idx()].remove(&entity).unwrap_or_default();
+        self.active[side.idx()].insert(entity);
+        if self.dead[side.idx()].remove(&entity) {
+            fx.rebirths.push((side, entity));
+        }
+        for b in buffered {
+            self.append_active(b, lsh, fx);
+        }
+        fx.activations.push((side, entity));
+    }
+
+    fn append_active(&mut self, b: BinnedEvent, lsh: Option<&LshGeometry>, fx: &mut IngestEffects) {
+        let side = b.side;
+        let mut created = false;
+        let h = self.histories[side.idx()]
+            .entry(b.entity)
+            .or_insert_with(|| {
+                created = true;
+                MobilityHistory::empty(b.entity)
+            });
+        let new_bins = h.append(b.w, &b.cells);
+        if created {
+            fx.df[side.idx()].add_entity();
+        }
+        for c in new_bins {
+            fx.df[side.idx()].add_bin(b.w, c);
+        }
+        fx.domain = fx.domain.max(b.w + 1);
+        self.dirty[side.idx()]
+            .entry(b.entity)
+            .or_default()
+            .insert(b.w);
+        self.window_entities.entry(b.w).or_default()[side.idx()].insert(b.entity);
+        if let Some(geom) = lsh {
+            if self.rings.add(geom, side, b.entity, b.w, &b.lsh_cells) {
+                fx.sig_changes.insert((side, b.entity));
+            }
+        }
+    }
+
+    /// Expires every window below `keep_from` on this shard: evicts the
+    /// affected histories (marking them dirty), unwinds df statistics
+    /// and rings, and demotes entities whose live evidence fell to the
+    /// min-records filter — all per-entity work, independent across
+    /// shards.
+    pub(crate) fn expire(
+        &mut self,
+        keep_from: WindowIdx,
+        min_records: usize,
+        lsh: Option<&LshGeometry>,
+    ) -> ExpiryEffects {
+        let mut fx = ExpiryEffects::default();
+        let expired: Vec<WindowIdx> = self
+            .window_entities
+            .range(..keep_from)
+            .map(|(&win, _)| win)
+            .collect();
+        for win in expired {
+            let sides = self.window_entities.remove(&win).expect("collected above");
+            fx.windows.push(win);
+            for side in [Side::Left, Side::Right] {
+                for &e in &sides[side.idx()] {
+                    self.evict_history_window(side, e, win, &mut fx.df);
+                    // Expiry can *change* a ring signature (a formerly
+                    // dominated cell takes over the slot) — collisions
+                    // surfacing from that are candidates like any other.
+                    if let Some(geom) = lsh {
+                        if self.rings.evict(geom, side, e, win) {
+                            fx.sig_changes.insert((side, e));
+                        }
+                    }
+                    // Approximate the batch filter on the *live* slice:
+                    // an entity whose remaining records no longer exceed
+                    // min_records would be excluded by `Slim::prepare`
+                    // over the same window, so demote it — its leftover
+                    // evidence is discarded (counted in
+                    // `StreamStats::demoted_records`) and its pairs die
+                    // at the next tick. Fresh records re-buffer it like
+                    // any other sparse entity; the discarded ones no
+                    // longer count toward reactivation, which is the
+                    // conservative side of the batch semantics.
+                    let demote = match self.histories[side.idx()].get(&e) {
+                        None => true,
+                        Some(h) => h.num_records() as usize <= min_records,
+                    };
+                    if demote {
+                        fx.demoted_entities += 1;
+                        fx.demoted_records += self.histories[side.idx()]
+                            .get(&e)
+                            .map(|h| h.num_records() as u64)
+                            .unwrap_or(0);
+                        let leftover: Vec<WindowIdx> = self.histories[side.idx()]
+                            .get(&e)
+                            .map(|h| h.windows().collect())
+                            .unwrap_or_default();
+                        for lw in leftover {
+                            self.evict_history_window(side, e, lw, &mut fx.df);
+                            if let Some(sides) = self.window_entities.get_mut(&lw) {
+                                sides[side.idx()].remove(&e);
+                            }
+                        }
+                        if lsh.is_some() && self.rings.remove_entity(side, e) {
+                            fx.sig_changes.insert((side, e));
+                        }
+                        self.active[side.idx()].remove(&e);
+                        self.dead[side.idx()].insert(e);
+                        self.dirty[side.idx()].remove(&e);
+                    }
+                }
+            }
+        }
+        // Min-records buffers must not resurrect expired windows either.
+        for side in [Side::Left, Side::Right] {
+            for buffer in self.pending[side.idx()].values_mut() {
+                buffer.retain(|b| b.w >= keep_from);
+            }
+            self.pending[side.idx()].retain(|_, buffer| !buffer.is_empty());
+        }
+        fx
+    }
+
+    /// Evicts one window of one homed entity's history, unwinding the
+    /// df delta and marking the entity dirty for the next tick.
+    fn evict_history_window(
+        &mut self,
+        side: Side,
+        e: EntityId,
+        w: WindowIdx,
+        df: &mut [DfDelta; 2],
+    ) {
+        let Some(h) = self.histories[side.idx()].get_mut(&e) else {
+            return;
+        };
+        let bins = h.evict_window(w);
+        let emptied = h.num_records() == 0;
+        for &(c, _) in &bins {
+            df[side.idx()].remove_bin(w, c);
+        }
+        if emptied {
+            self.histories[side.idx()].remove(&e);
+            df[side.idx()].remove_entity();
+        }
+        self.dirty[side.idx()].entry(e).or_default().insert(w);
+    }
+
+    /// Registers an owned candidate pair (idempotent): an empty
+    /// contribution cache, a fresh mark, and both adjacency endpoints.
+    pub(crate) fn add_candidate(&mut self, pair: PairKey) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.cache.entry(pair) {
+            slot.insert(BTreeMap::new());
+            self.fresh.insert(pair);
+            self.adjacency.insert(pair);
+        }
+    }
+
+    /// Drops every owned pair adjacent to `(side, entity)` — the
+    /// adjacency index makes this O(degree) instead of an O(cache)
+    /// sweep. Used for dead-endpoint cleanup and rebirth purges.
+    pub(crate) fn drop_pairs_of(&mut self, side: Side, entity: EntityId) -> usize {
+        let pairs = self.adjacency.pairs_of_sorted(side, entity);
+        for &pair in &pairs {
+            self.cache.remove(&pair);
+            self.fresh.remove(&pair);
+            self.adjacency.remove(pair);
+        }
+        pairs.len()
+    }
+
+    /// Builds this tick's rescore jobs: every owned fresh pair (all
+    /// common windows) plus every owned pair adjacent to a globally
+    /// dirty entity (exactly the union of its endpoints' dirty
+    /// windows). Sorted by pair for reproducible work lists.
+    pub(crate) fn gather_jobs(
+        &self,
+        dirty: &[(Side, EntityId, Vec<WindowIdx>)],
+    ) -> Vec<RescoreJob> {
+        let mut dirty_jobs: HashMap<PairKey, BTreeSet<WindowIdx>> = HashMap::new();
+        for (side, e, windows) in dirty {
+            let Some(pairs) = self.adjacency.pairs_of(*side, *e) else {
+                continue;
+            };
+            for &pair in pairs {
+                if self.fresh.contains(&pair) {
+                    continue;
+                }
+                dirty_jobs
+                    .entry(pair)
+                    .or_default()
+                    .extend(windows.iter().copied());
+            }
+        }
+        let mut jobs: Vec<RescoreJob> = self.fresh.iter().map(|&p| (p, None)).collect();
+        jobs.extend(
+            dirty_jobs
+                .into_iter()
+                .map(|(p, ws)| (p, Some(ws.into_iter().collect::<Vec<_>>()))),
+        );
+        jobs.sort_unstable_by_key(|&(pair, _)| pair);
+        jobs
+    }
+
+    /// Applies one tick's rescore outcomes to the owned pair cache and
+    /// resets the fresh/dirty marks.
+    pub(crate) fn apply_outcomes(&mut self, outcomes: Vec<RescoreOutcome>) -> ApplyReport {
+        let mut report = ApplyReport::default();
+        for (pair, contributions) in outcomes {
+            match contributions {
+                None => {
+                    // An endpoint history vanished between discovery and
+                    // scoring: drop the pair.
+                    self.cache.remove(&pair);
+                    self.fresh.remove(&pair);
+                    self.adjacency.remove(pair);
+                }
+                Some(contributions) => {
+                    report.rescored_windows += contributions.len() as u64;
+                    let windows = self.cache.entry(pair).or_default();
+                    for (w, c) in contributions {
+                        if c == 0.0 {
+                            windows.remove(&w);
+                        } else {
+                            windows.insert(w, c);
+                        }
+                    }
+                    if windows.is_empty() {
+                        report.emptied.push(pair);
+                    }
+                }
+            }
+        }
+        self.fresh.clear();
+        self.dirty[0].clear();
+        self.dirty[1].clear();
+        report
+    }
+
+    /// Retires one owned pair (candidate-set retirement).
+    pub(crate) fn retire(&mut self, pair: PairKey) {
+        self.cache.remove(&pair);
+        self.adjacency.remove(pair);
+    }
+}
