@@ -9,11 +9,26 @@
 //!    the percentiles include the refresh ticks that fire mid-stream;
 //! 2. **throughput@S** — events ingested through the sharded batch path
 //!    (the production hot path), timed end to end, once per engine
-//!    shard count S — the scaling curve of the sharded engine state.
+//!    shard count S — the scaling curve of the sharded engine state;
+//! 3. **tick latency** — each barrier timed individually: first at
+//!    sweep scale (manual evenly spaced ticks during the replay, where
+//!    nearly every cached pair is dirty — the cost profile of the
+//!    pre-edge-cache barrier), then under localized bursts over a
+//!    handful of entities, where the per-shard edge caches, the
+//!    incremental matcher, and the warm GMM fit must keep barrier work
+//!    proportional to the update footprint.
 //!
 //! Every run also proves the dirty-only refresh contract: across its
 //! ticks the engine must visit strictly fewer pairs than a full cache
-//! sweep would have (`dirty_pairs_visited < cached_pairs_at_ticks`).
+//! sweep would have (`dirty_pairs_visited < cached_pairs_at_ticks`) —
+//! and the localized phase asserts the sharper bounds on
+//! `edges_patched` and `matching_region_size` plus a localized-tick
+//! p95 strictly below the sweep-tick p95.
+//!
+//! `--smoke` (the CI form: `cargo bench --bench streaming -- --smoke`)
+//! shrinks the workload ~5x and disables the absolute throughput
+//! floors while keeping every structural assertion — the contract
+//! checks run everywhere, the floors only where hardware is known.
 
 use std::time::Instant;
 
@@ -148,8 +163,11 @@ fn assert_dirty_refresh(engine: &StreamEngine, phase: &str) {
 }
 
 fn main() {
-    // ~110k check-in events: 0.25 × 30k users at ~12 records per view.
-    let scenario = Scenario::sm(0.25, 42);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let lenient = smoke || std::env::var_os("STREAM_BENCH_LENIENT").is_some();
+    // ~110k check-in events: 0.25 × 30k users at ~12 records per view
+    // (~22k in `--smoke`).
+    let scenario = Scenario::sm(if smoke { 0.05 } else { 0.25 }, 42);
     let sample = scenario.sample(0.5, 42);
     let events = merge_datasets(&sample.left, &sample.right);
     println!(
@@ -249,17 +267,42 @@ fn main() {
     }
     drop(runs);
 
-    // Phase 3: localized updates — the regime the entity→pair adjacency
-    // index exists for. A populated engine receives bursts touching a
-    // handful of entities (no watermark movement, so no expiry churn);
-    // each tick must visit only those entities' pairs, a small fraction
-    // of the cache a full sweep would probe.
-    let (_, mut engine) = run_batch(0);
+    // Phase 3: tick latency, sweep scale vs localized updates — the
+    // regime the per-shard edge caches, the incremental matcher, and
+    // the warm-started GMM fit exist for. First the same replay with
+    // manual, evenly spaced ticks, each barrier timed: between these
+    // widely spaced ticks nearly every cached pair is dirty, so each
+    // barrier patches ~the whole edge set and re-matches ~everything —
+    // the sweep cost profile the pre-refactor barrier paid *every*
+    // tick. Then a populated engine receives bursts touching a handful
+    // of entities (no watermark movement, so no expiry churn); each
+    // tick must patch only those entities' edges and re-match only the
+    // components it touched, a small fraction of the caches.
+    let mut tick_cfg = bench_config(0);
+    tick_cfg.refresh_every = 0; // manual ticks only
+    let mut engine = StreamEngine::new(tick_cfg).expect("valid config");
+    let stride = (events.len() / 6).max(1);
+    let mut sweep_ticks_us: Vec<u64> = Vec::new();
+    for chunk in events.chunks(stride) {
+        engine.ingest_batch(chunk);
+        let t0 = Instant::now();
+        engine.refresh();
+        sweep_ticks_us.push(t0.elapsed().as_micros() as u64);
+    }
+
+    // Burst over entities that actually carry links, so each localized
+    // tick patches real edges (an entity without candidate pairs would
+    // make the phase trivially cheap and prove nothing).
     let last_time = events.last().expect("non-empty workload").time;
+    let linked: std::collections::HashSet<_> = engine.links().iter().map(|e| e.left).collect();
+    assert!(!linked.is_empty(), "sweep replay must serve links");
     let mut picks: Vec<slim::stream::StreamEvent> = Vec::new();
     let mut seen = std::collections::HashSet::new();
     for ev in events.iter().rev() {
-        if seen.insert((ev.side, ev.entity)) {
+        if ev.side == slim::stream::Side::Left
+            && linked.contains(&ev.entity)
+            && seen.insert(ev.entity)
+        {
             let mut ev = *ev;
             ev.time = last_time;
             picks.push(ev);
@@ -268,26 +311,64 @@ fn main() {
             }
         }
     }
-    let (v0, c0) = {
+    let (v0, c0, p0, r0) = {
         let s = engine.stats();
-        (s.dirty_pairs_visited, s.cached_pairs_at_ticks)
+        (
+            s.dirty_pairs_visited,
+            s.cached_pairs_at_ticks,
+            s.edges_patched,
+            s.matching_region_size,
+        )
     };
     let localized_start = Instant::now();
-    const LOCALIZED_ROUNDS: u64 = 5;
-    for _ in 0..LOCALIZED_ROUNDS {
+    // Enough samples that the p95 comparison below is not simply the
+    // max: one scheduler stall among the (microsecond-scale) localized
+    // ticks must not fail the run on shared CI hardware.
+    const LOCALIZED_ROUNDS: u64 = 20;
+    let mut localized_ticks_us: Vec<u64> = Vec::new();
+    // Work denominators accumulated per tick, like the counters they
+    // bound: what full sweeps of the pair cache / edge set would cost.
+    let (mut swept_edges, mut warm_selects) = (0u64, 0u64);
+    for round in 0..LOCALIZED_ROUNDS {
         for ev in &picks {
-            engine.ingest(ev);
+            // Nudge the position every round so the rescored window
+            // contributions — and with them the cached edge scores —
+            // genuinely change instead of re-resolving to the same bins.
+            let mut ev = *ev;
+            ev.location = slim::geo::LatLng::from_degrees(
+                ev.location.lat_deg() + 0.0004 * (round + 1) as f64,
+                ev.location.lng_deg(),
+            );
+            engine.ingest(&ev);
         }
+        swept_edges += engine.num_live_edges() as u64;
+        let warm_before = engine.stats().em_warm_iters;
+        let t0 = Instant::now();
         engine.refresh();
+        localized_ticks_us.push(t0.elapsed().as_micros() as u64);
+        warm_selects += u64::from(engine.stats().em_warm_iters > warm_before);
     }
     let localized_elapsed = localized_start.elapsed().as_secs_f64();
-    let (visited, swept) = {
+    let (visited, swept, patched, region) = {
         let s = engine.stats();
-        (s.dirty_pairs_visited - v0, s.cached_pairs_at_ticks - c0)
+        (
+            s.dirty_pairs_visited - v0,
+            s.cached_pairs_at_ticks - c0,
+            s.edges_patched - p0,
+            s.matching_region_size - r0,
+        )
     };
+    sweep_ticks_us.sort_unstable();
+    localized_ticks_us.sort_unstable();
+    let sweep_p50 = percentile(&sweep_ticks_us, 0.50);
+    let sweep_p95 = percentile(&sweep_ticks_us, 0.95);
+    let localized_p50 = percentile(&localized_ticks_us, 0.50);
+    let localized_p95 = percentile(&localized_ticks_us, 0.95);
     println!(
         "     localized: {} ticks over {} entities visited {visited} of {swept} \
-         cached pairs ({:.3}s)",
+         cached pairs, patched {patched} edges, region {region} of {swept_edges} \
+         edge-sweeps ({:.3}s); tick p50/p95 {localized_p50}/{localized_p95}µs vs \
+         sweep {sweep_p50}/{sweep_p95}µs",
         LOCALIZED_ROUNDS,
         picks.len(),
         localized_elapsed
@@ -295,21 +376,65 @@ fn main() {
     println!(
         "BENCH_STREAMING {{\"bench\":\"streaming_localized\",\"shards\":{},\"ticks\":{},\
          \"dirty_pairs_visited\":{visited},\"cached_pairs_at_ticks\":{swept},\
-         \"elapsed_s\":{:.6}}}",
+         \"edges_patched\":{patched},\"matching_region_size\":{region},\
+         \"live_edge_sweeps\":{swept_edges},\"elapsed_s\":{:.6}}}",
         engine.num_shards(),
         LOCALIZED_ROUNDS,
         localized_elapsed
     );
+    println!(
+        "BENCH_STREAMING {{\"bench\":\"streaming_ticks\",\"shards\":{},\
+         \"sweep_ticks\":{},\"sweep_tick_p50_us\":{sweep_p50},\"sweep_tick_p95_us\":{sweep_p95},\
+         \"localized_ticks\":{},\"localized_tick_p50_us\":{localized_p50},\
+         \"localized_tick_p95_us\":{localized_p95},\"em_warm_selects\":{warm_selects}}}",
+        engine.num_shards(),
+        sweep_ticks_us.len(),
+        localized_ticks_us.len(),
+    );
     assert!(
-        swept > 0 && visited < swept / 10,
+        visited > 0 && swept > 0 && visited < swept / 10,
         "localized refresh visited {visited} pairs of a {swept}-pair sweep — \
          tick work is not proportional to the update footprint"
     );
+    // The tentpole bounds: barrier work on a localized tick is patches
+    // + affected components, each non-trivial but under 10% of what a
+    // cache/edge-set sweep would touch.
+    assert!(
+        patched > 0 && patched < swept / 10,
+        "localized ticks patched {patched} edges of a {swept}-pair cache sweep — \
+         the edge caches are not bounding barrier assembly"
+    );
+    assert!(
+        region > 0 && swept_edges > 0 && region < swept_edges / 10,
+        "localized ticks re-matched {region} edges of {swept_edges} edge-sweeps — \
+         the incremental matcher is not bounding the conflict region"
+    );
+    assert!(
+        warm_selects == LOCALIZED_ROUNDS,
+        "only {warm_selects}/{LOCALIZED_ROUNDS} localized ticks used the \
+         warm-started GMM fit"
+    );
+    // The latency claim itself: a localized tick's p95 must beat the
+    // sweep-scale barrier measured in the same run on the same state.
+    assert!(
+        localized_p95 < sweep_p95,
+        "localized tick p95 {localized_p95}µs did not improve on the \
+         sweep-tick p95 {sweep_p95}µs"
+    );
 
-    // STREAM_BENCH_LENIENT turns the floors into report-only output for
-    // environments with no performance guarantees (shared CI runners).
-    if std::env::var_os("STREAM_BENCH_LENIENT").is_some() {
-        println!("floors not enforced (STREAM_BENCH_LENIENT set)");
+    // `--smoke` / STREAM_BENCH_LENIENT turn the absolute floors into
+    // report-only output for environments with no performance
+    // guarantees (shared CI runners); every structural assertion above
+    // still ran.
+    if lenient {
+        println!(
+            "floors not enforced ({})",
+            if smoke {
+                "--smoke"
+            } else {
+                "STREAM_BENCH_LENIENT set"
+            }
+        );
         return;
     }
     for (name, elapsed) in [("latency", latency_elapsed), ("throughput", best_batch)] {

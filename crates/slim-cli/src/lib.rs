@@ -441,12 +441,16 @@ fn run_stream(
     log(&format!(
         "replayed in {replay_elapsed:.2?} on {num_shards} shard(s): {} ticks, \
          {} rescored (pair, window) terms ({} of {} tick-time cached pairs visited, \
-         {} retired), {} windows expired, {} late events dropped",
+         {} retired), {} edge patches, matching region {} edges, {} warm EM iters, \
+         {} windows expired, {} late events dropped",
         stats.ticks,
         stats.rescored_windows,
         stats.dirty_pairs_visited,
         stats.cached_pairs_at_ticks,
         stats.retired_pairs,
+        stats.edges_patched,
+        stats.matching_region_size,
+        stats.em_warm_iters,
         stats.evicted_windows,
         stats.late_dropped
     ));
@@ -460,10 +464,18 @@ fn run_stream(
     let mut summary = format!(
         "stream: {} events at {:.0} events/s, {} ticks \
          ({added} added / {removed} removed / {reweighted} reweighted updates)\n\
+         ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
+         matching region {} edges, {} warm EM iters\n\
          {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
         stats.events,
         events_per_sec,
         stats.ticks,
+        stats.dirty_pairs_visited,
+        stats.cached_pairs_at_ticks,
+        stats.retired_pairs,
+        stats.edges_patched,
+        stats.matching_region_size,
+        stats.em_warm_iters,
         output.links.len(),
         output.matching.len(),
         output.num_edges,
@@ -694,6 +706,10 @@ mod tests {
         };
         let summary = run(&opts).unwrap();
         assert!(summary.contains("stream:"), "{summary}");
+        // The incremental-maintenance counters are part of the summary.
+        for needle in ["edges patched", "matching region", "warm EM iters"] {
+            assert!(summary.contains(needle), "missing `{needle}`: {summary}");
+        }
         let batch_links = std::fs::read_to_string(&batch_out).unwrap();
         let stream_links = std::fs::read_to_string(&stream_out).unwrap();
         assert_eq!(batch_links, stream_links, "stream/batch equivalence");

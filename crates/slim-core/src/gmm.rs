@@ -46,12 +46,16 @@ pub struct Gmm2 {
     pub iterations: u32,
 }
 
-/// Maximum EM iterations.
-const MAX_ITERS: u32 = 200;
 /// Convergence tolerance on average log-likelihood.
 const TOL: f64 = 1e-8;
 
 impl Gmm2 {
+    /// Maximum EM iterations of any fit. A returned mixture whose
+    /// [`Gmm2::iterations`] equals this cap ran out of budget and may
+    /// not have reached the likelihood tolerance — warm-start callers
+    /// use that to avoid seeding from an unconverged fit.
+    pub const MAX_ITERS: u32 = 200;
+
     /// Fits the mixture to `data` with EM. Needs at least 2 distinct
     /// values; returns `None` otherwise (degenerate input — callers fall
     /// back to keeping all links).
@@ -93,82 +97,160 @@ impl Gmm2 {
             c2.mean = sorted[sorted.len() - 1];
         }
 
-        let mut prev_ll = f64::NEG_INFINITY;
-        let mut iterations = 0;
-        let mut resp = vec![0.0f64; sorted.len()];
-        for it in 1..=MAX_ITERS {
-            iterations = it;
-            // E-step: responsibility of component 2 for each point.
-            let mut ll = 0.0;
-            for (i, &x) in sorted.iter().enumerate() {
-                let p1 = c1.weighted_pdf(x);
-                let p2 = c2.weighted_pdf(x);
-                let total = (p1 + p2).max(f64::MIN_POSITIVE);
-                resp[i] = p2 / total;
-                ll += total.ln();
-            }
-            ll /= sorted.len() as f64;
+        let points: Vec<(f64, f64)> = sorted.iter().map(|&x| (x, 1.0)).collect();
+        let em = em_loop(&points, sorted.len() as f64, var_floor, c1, c2);
+        Some(em.into_gmm())
+    }
 
-            // M-step.
-            let n2: f64 = resp.iter().sum();
-            let n1 = sorted.len() as f64 - n2;
-            if n1 < 1e-9 || n2 < 1e-9 {
-                break; // one component vanished; keep last params
-            }
-            let mean1 = sorted
-                .iter()
-                .zip(&resp)
-                .map(|(&x, &r)| (1.0 - r) * x)
-                .sum::<f64>()
-                / n1;
-            let mean2 = sorted.iter().zip(&resp).map(|(&x, &r)| r * x).sum::<f64>() / n2;
-            let var1 = (sorted
-                .iter()
-                .zip(&resp)
-                .map(|(&x, &r)| (1.0 - r) * (x - mean1).powi(2))
-                .sum::<f64>()
-                / n1)
-                .max(var_floor);
-            let var2 = (sorted
-                .iter()
-                .zip(&resp)
-                .map(|(&x, &r)| r * (x - mean2).powi(2))
-                .sum::<f64>()
-                / n2)
-                .max(var_floor);
-            c1 = Component {
-                weight: n1 / sorted.len() as f64,
-                mean: mean1,
-                std_dev: var1.sqrt(),
-            };
-            c2 = Component {
-                weight: n2 / sorted.len() as f64,
-                mean: mean2,
-                std_dev: var2.sqrt(),
-            };
-
-            if (ll - prev_ll).abs() < TOL {
-                break;
-            }
-            prev_ll = ll;
+    /// Warm-started EM over a **sorted weighted sample** — the
+    /// sufficient-statistics form an incremental caller maintains:
+    /// `points` is ascending `(value, count)` with positive counts and
+    /// finite values, the multiset equivalent of the `data` slice
+    /// [`Gmm2::fit`] takes. The mixture is seeded from `prev` (the last
+    /// converged fit) instead of the 2-means cold start, so a small
+    /// change to the sample typically converges in a handful of
+    /// iterations.
+    ///
+    /// Returns `None` when the sample is degenerate (fewer than 2
+    /// distinct values) **or when EM fails to reach the likelihood
+    /// tolerance within the iteration budget** — callers must fall back
+    /// to the cold [`Gmm2::fit`] in that case, which keeps every
+    /// warm-started pipeline convergent by construction.
+    pub fn fit_warm(points: &[(f64, u64)], prev: &Gmm2) -> Option<Gmm2> {
+        if points.len() < 2 {
+            return None;
         }
-
-        let (low, high) = if c1.mean <= c2.mean {
-            (c1, c2)
-        } else {
-            (c2, c1)
-        };
-        Some(Gmm2 {
-            low,
-            high,
-            avg_log_likelihood: prev_ll,
-            iterations,
-        })
+        let range = points[points.len() - 1].0 - points[0].0;
+        if !range.is_finite() || range <= 0.0 {
+            return None;
+        }
+        let var_floor = (range * 1e-3).powi(2).max(1e-12);
+        let weighted: Vec<(f64, f64)> = points.iter().map(|&(x, c)| (x, c as f64)).collect();
+        let n_total: f64 = weighted.iter().map(|&(_, c)| c).sum();
+        if n_total < 2.0 {
+            return None;
+        }
+        let em = em_loop(&weighted, n_total, var_floor, prev.low, prev.high);
+        em.converged.then(|| em.into_gmm())
     }
 
     /// Mixture density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
         self.low.weighted_pdf(x) + self.high.weighted_pdf(x)
+    }
+}
+
+/// Raw result of one EM run, before low/high ordering.
+struct EmOutcome {
+    c1: Component,
+    c2: Component,
+    avg_log_likelihood: f64,
+    iterations: u32,
+    /// Whether the log-likelihood tolerance was reached (as opposed to
+    /// exhausting the iteration budget or a component vanishing).
+    converged: bool,
+}
+
+impl EmOutcome {
+    fn into_gmm(self) -> Gmm2 {
+        let (low, high) = if self.c1.mean <= self.c2.mean {
+            (self.c1, self.c2)
+        } else {
+            (self.c2, self.c1)
+        };
+        Gmm2 {
+            low,
+            high,
+            avg_log_likelihood: self.avg_log_likelihood,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// The EM iteration shared by the cold and warm fits, over a weighted
+/// sample (`points` = `(value, count)`). With unit counts the
+/// arithmetic — every multiplication by `1.0` is exact — reproduces the
+/// historical unweighted loop bit-for-bit, which is what keeps
+/// [`Gmm2::fit`] stable across this refactor.
+fn em_loop(
+    points: &[(f64, f64)],
+    n_total: f64,
+    var_floor: f64,
+    mut c1: Component,
+    mut c2: Component,
+) -> EmOutcome {
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut resp = vec![0.0f64; points.len()];
+    for it in 1..=Gmm2::MAX_ITERS {
+        iterations = it;
+        // E-step: responsibility of component 2 for each point.
+        let mut ll = 0.0;
+        for (i, &(x, cnt)) in points.iter().enumerate() {
+            let p1 = c1.weighted_pdf(x);
+            let p2 = c2.weighted_pdf(x);
+            let total = (p1 + p2).max(f64::MIN_POSITIVE);
+            resp[i] = p2 / total;
+            ll += cnt * total.ln();
+        }
+        ll /= n_total;
+
+        // M-step.
+        let n2: f64 = points.iter().zip(&resp).map(|(&(_, c), &r)| c * r).sum();
+        let n1 = n_total - n2;
+        if n1 < 1e-9 || n2 < 1e-9 {
+            break; // one component vanished; keep last params
+        }
+        let mean1 = points
+            .iter()
+            .zip(&resp)
+            .map(|(&(x, c), &r)| ((1.0 - r) * c) * x)
+            .sum::<f64>()
+            / n1;
+        let mean2 = points
+            .iter()
+            .zip(&resp)
+            .map(|(&(x, c), &r)| (r * c) * x)
+            .sum::<f64>()
+            / n2;
+        let var1 = (points
+            .iter()
+            .zip(&resp)
+            .map(|(&(x, c), &r)| ((1.0 - r) * c) * (x - mean1).powi(2))
+            .sum::<f64>()
+            / n1)
+            .max(var_floor);
+        let var2 = (points
+            .iter()
+            .zip(&resp)
+            .map(|(&(x, c), &r)| (r * c) * (x - mean2).powi(2))
+            .sum::<f64>()
+            / n2)
+            .max(var_floor);
+        c1 = Component {
+            weight: n1 / n_total,
+            mean: mean1,
+            std_dev: var1.sqrt(),
+        };
+        c2 = Component {
+            weight: n2 / n_total,
+            mean: mean2,
+            std_dev: var2.sqrt(),
+        };
+
+        if (ll - prev_ll).abs() < TOL {
+            converged = true;
+            break;
+        }
+        prev_ll = ll;
+    }
+    EmOutcome {
+        c1,
+        c2,
+        avg_log_likelihood: prev_ll,
+        iterations,
+        converged,
     }
 }
 
@@ -288,5 +370,75 @@ mod tests {
         let g = Gmm2::fit(&data).unwrap();
         assert!(g.iterations >= 1);
         assert!(g.low.mean < g.high.mean);
+    }
+
+    /// Weighted multiset form of a sample, sorted ascending.
+    fn weighted(data: &[f64]) -> Vec<(f64, u64)> {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut out: Vec<(f64, u64)> = Vec::new();
+        for x in sorted {
+            match out.last_mut() {
+                Some((v, c)) if *v == x => *c += 1,
+                _ => out.push((x, 1)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn warm_fit_on_unchanged_data_converges_fast_to_same_mixture() {
+        let data = bimodal(5, 400, 10.0, 2.0, 400, 100.0, 5.0);
+        let cold = Gmm2::fit(&data).unwrap();
+        let warm = Gmm2::fit_warm(&weighted(&data), &cold).unwrap();
+        assert!(
+            warm.iterations <= 2,
+            "re-fit of a converged mixture took {} iterations",
+            warm.iterations
+        );
+        assert!((warm.low.mean - cold.low.mean).abs() < 1e-6);
+        assert!((warm.high.mean - cold.high.mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_fit_tracks_a_perturbed_sample_cheaply() {
+        let data = bimodal(6, 300, 10.0, 2.0, 300, 80.0, 4.0);
+        let cold = Gmm2::fit(&data).unwrap();
+        let mut shifted = data.clone();
+        shifted.truncate(shifted.len() - 5);
+        shifted.extend([81.0, 82.5, 79.0, 9.5, 11.0]);
+        let warm = Gmm2::fit_warm(&weighted(&shifted), &cold).unwrap();
+        let cold_again = Gmm2::fit(&shifted).unwrap();
+        assert!(
+            warm.iterations < cold_again.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold_again.iterations
+        );
+        assert!((warm.low.mean - cold_again.low.mean).abs() < 0.5);
+        assert!((warm.high.mean - cold_again.high.mean).abs() < 0.5);
+    }
+
+    #[test]
+    fn warm_fit_degenerate_inputs_return_none() {
+        let prev = Gmm2::fit(&[0.0, 1.0, 10.0, 11.0]).unwrap();
+        assert!(Gmm2::fit_warm(&[], &prev).is_none());
+        assert!(Gmm2::fit_warm(&[(3.0, 5)], &prev).is_none());
+        // Counts summing below 2 are rejected like a 1-point sample.
+        assert!(Gmm2::fit_warm(&[(1.0, 0), (2.0, 0)], &prev).is_none());
+    }
+
+    #[test]
+    fn weighted_multiset_fit_equals_expanded_sample_fit() {
+        // Ties collapsed to (value, count) must drive EM to the same
+        // mixture as the expanded duplicates.
+        let mut data = bimodal(7, 200, 5.0, 1.0, 200, 50.0, 3.0);
+        data.extend_from_slice(&[5.5; 40]);
+        data.extend_from_slice(&[49.5; 40]);
+        let cold = Gmm2::fit(&data).unwrap();
+        let warm = Gmm2::fit_warm(&weighted(&data), &cold).unwrap();
+        assert!((warm.low.mean - cold.low.mean).abs() < 1e-6);
+        assert!((warm.high.mean - cold.high.mean).abs() < 1e-6);
+        assert!((warm.low.weight - cold.low.weight).abs() < 1e-6);
     }
 }

@@ -75,9 +75,9 @@ pub use config::{MatchingMethod, PairingMode, SlimConfig, ThresholdMethod};
 pub use dataset::LocationDataset;
 pub use df::{DfDelta, DfStats};
 pub use history::{record_cells, HistorySet, MobilityHistory};
-pub use matching::Edge;
+pub use matching::{DeltaReport, Edge, EdgeDelta, IncrementalMatcher};
 pub use record::{EntityId, Record, Timestamp};
 pub use slim::{LinkageOutput, PreparedLinkage, Slim};
 pub use stats::LinkageStats;
-pub use threshold::StopThreshold;
+pub use threshold::{StopThreshold, ThresholdState, WarmSelection};
 pub use window::{WindowIdx, WindowScheme};

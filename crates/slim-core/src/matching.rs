@@ -5,8 +5,15 @@
 //! adapts "a simple greedy heuristic, which links the pair with the
 //! highest similarity at each step" — implemented here; an exact
 //! Hungarian solver lives in [`crate::hungarian`] for verification.
+//!
+//! For callers that maintain the edge set under updates (the streaming
+//! engine), [`IncrementalMatcher`] keeps the greedy matching itself
+//! incremental: a batch of edge deltas re-runs greedy selection only
+//! over the affected conflict region — the connected components of the
+//! delta endpoints — and is guaranteed edge-for-edge identical to
+//! [`greedy_max_matching`] over the full edge set.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -23,18 +30,25 @@ pub struct Edge {
     pub weight: f64,
 }
 
+/// The total order every matching path emits edges in: heaviest first,
+/// ties broken on `(left, right)` ids. Greedy selection consumes edges
+/// in this order, and `exact_max_matching` / the incremental matcher
+/// sort their outputs with it — one shared comparator, because
+/// identical output order across all three is a bit-identity contract.
+pub fn heaviest_first(a: &Edge, b: &Edge) -> std::cmp::Ordering {
+    b.weight
+        .partial_cmp(&a.weight)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.left.cmp(&b.left))
+        .then_with(|| a.right.cmp(&b.right))
+}
+
 /// Greedy maximum-weight matching: repeatedly select the heaviest edge
 /// whose endpoints are both unmatched. Ties break deterministically on
 /// `(left, right)` ids. Runs in `O(|E| log |E|)`.
 pub fn greedy_max_matching(edges: &[Edge]) -> Vec<Edge> {
     let mut order: Vec<&Edge> = edges.iter().collect();
-    order.sort_by(|a, b| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.left.cmp(&b.left))
-            .then_with(|| a.right.cmp(&b.right))
-    });
+    order.sort_by(|a, b| heaviest_first(a, b));
     let mut left_used: HashSet<EntityId> = HashSet::new();
     let mut right_used: HashSet<EntityId> = HashSet::new();
     let mut out = Vec::new();
@@ -82,13 +96,218 @@ pub fn exact_max_matching(edges: &[Edge]) -> Vec<Edge> {
             })
         })
         .collect();
-    // Heaviest first, like the greedy output.
-    out.sort_by(|a, b| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Heaviest first with the `(left, right)` tie-break greedy uses, so
+    // equal-weight assignments come out in one deterministic order.
+    out.sort_by(heaviest_first);
     out
+}
+
+/// One update to the bipartite edge set, keyed by pair: `Some(w)`
+/// upserts the edge's weight, `None` removes the edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeDelta {
+    /// Left endpoint of the pair.
+    pub left: EntityId,
+    /// Right endpoint of the pair.
+    pub right: EntityId,
+    /// New weight (`None` = the edge is gone).
+    pub weight: Option<f64>,
+}
+
+/// What one [`IncrementalMatcher::apply_deltas`] call changed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaReport {
+    /// Edges in the re-matched conflict region — the work bound: greedy
+    /// selection ran over exactly these, never the full edge set.
+    pub region_edges: usize,
+    /// Matched edges that left the matching (including old versions of
+    /// reweighted matches).
+    pub unmatched: Vec<Edge>,
+    /// Matched edges that entered the matching (including new versions
+    /// of reweighted matches).
+    pub matched: Vec<Edge>,
+}
+
+/// A greedy maximum-weight matching maintained under edge deltas.
+///
+/// The matcher owns a copy of the live edge set plus a per-endpoint
+/// adjacency. Applying a delta batch re-runs [`greedy_max_matching`]
+/// over the *conflict region only*: the union of connected components
+/// (in the updated graph, plus the endpoints of removed edges) that
+/// contain a changed edge's endpoint. Greedy decisions never cross
+/// component boundaries — an edge is taken iff no heavier edge in its
+/// own component claimed an endpoint first — so the maintained matching
+/// is **edge-for-edge identical** to a from-scratch
+/// [`greedy_max_matching`] over the full edge set, in the same order.
+#[derive(Debug, Default)]
+pub struct IncrementalMatcher {
+    /// Live edge weights, keyed by pair.
+    weights: HashMap<(EntityId, EntityId), f64>,
+    /// Per side: endpoint entity → pairs containing it.
+    adj: [HashMap<EntityId, HashSet<(EntityId, EntityId)>>; 2],
+    /// The current matching, keyed by pair.
+    matched: HashMap<(EntityId, EntityId), f64>,
+}
+
+impl IncrementalMatcher {
+    /// An empty matcher (no edges, empty matching).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The maintained matching, sorted heaviest-first with the
+    /// `(left, right)` tie-break — exactly the order
+    /// [`greedy_max_matching`] emits.
+    pub fn matching(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .matched
+            .iter()
+            .map(|(&(left, right), &weight)| Edge {
+                left,
+                right,
+                weight,
+            })
+            .collect();
+        out.sort_by(heaviest_first);
+        out
+    }
+
+    /// The live edge set sorted by `(left, right)` — the full-assembly
+    /// form callers outside the greedy path (e.g. an exact Hungarian
+    /// re-match) expect.
+    pub fn edges_sorted(&self) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .weights
+            .iter()
+            .map(|(&(left, right), &weight)| Edge {
+                left,
+                right,
+                weight,
+            })
+            .collect();
+        out.sort_by_key(|e| (e.left, e.right));
+        out
+    }
+
+    /// Applies one coalesced delta batch (at most one delta per pair)
+    /// and repairs the matching over the affected conflict region.
+    pub fn apply_deltas(&mut self, deltas: &[EdgeDelta]) -> DeltaReport {
+        let mut report = DeltaReport::default();
+        // Seed the region with every endpoint a delta actually touched.
+        let mut frontier: Vec<(usize, EntityId)> = Vec::new();
+        for d in deltas {
+            let pair = (d.left, d.right);
+            let changed = match d.weight {
+                Some(w) => match self.weights.insert(pair, w) {
+                    Some(old) if old == w => false,
+                    Some(_) => true,
+                    None => {
+                        self.adj[0].entry(d.left).or_default().insert(pair);
+                        self.adj[1].entry(d.right).or_default().insert(pair);
+                        true
+                    }
+                },
+                None => {
+                    let existed = self.weights.remove(&pair).is_some();
+                    if existed {
+                        for (side, e) in [(0, d.left), (1, d.right)] {
+                            if let Some(set) = self.adj[side].get_mut(&e) {
+                                set.remove(&pair);
+                                if set.is_empty() {
+                                    self.adj[side].remove(&e);
+                                }
+                            }
+                        }
+                    }
+                    existed
+                }
+            };
+            if changed {
+                frontier.push((0, d.left));
+                frontier.push((1, d.right));
+            }
+        }
+        if frontier.is_empty() {
+            return report;
+        }
+
+        // Flood the conflict region: connected components (in the
+        // updated graph) of the touched endpoints. A removed edge's
+        // endpoints are seeded even when now isolated, so their old
+        // matches are still torn down.
+        let mut region: [HashSet<EntityId>; 2] = [HashSet::new(), HashSet::new()];
+        while let Some((side, e)) = frontier.pop() {
+            if !region[side].insert(e) {
+                continue;
+            }
+            if let Some(pairs) = self.adj[side].get(&e) {
+                for &(l, r) in pairs {
+                    frontier.push((0, l));
+                    frontier.push((1, r));
+                }
+            }
+        }
+
+        // Collect the region's edges (every edge with an endpoint in
+        // the region has both endpoints in it) and re-run greedy over
+        // exactly that sub-multiset.
+        let mut region_edges: Vec<Edge> = Vec::new();
+        for &l in &region[0] {
+            if let Some(pairs) = self.adj[0].get(&l) {
+                for &(left, right) in pairs {
+                    region_edges.push(Edge {
+                        left,
+                        right,
+                        weight: self.weights[&(left, right)],
+                    });
+                }
+            }
+        }
+        report.region_edges = region_edges.len();
+        let local = greedy_max_matching(&region_edges);
+
+        // Swap the region's slice of the matching, reporting the churn:
+        // `unmatched` = old region matches not reproduced bit-identically,
+        // `matched` = new region matches that are not carried over.
+        let old_in_region: HashMap<(EntityId, EntityId), f64> = self
+            .matched
+            .iter()
+            .filter(|&(&(l, _), _)| region[0].contains(&l))
+            .map(|(&pair, &w)| (pair, w))
+            .collect();
+        let new_in_region: HashMap<(EntityId, EntityId), f64> = local
+            .iter()
+            .map(|e| ((e.left, e.right), e.weight))
+            .collect();
+        for (&pair, &old_w) in &old_in_region {
+            self.matched.remove(&pair);
+            if new_in_region.get(&pair) != Some(&old_w) {
+                report.unmatched.push(Edge {
+                    left: pair.0,
+                    right: pair.1,
+                    weight: old_w,
+                });
+            }
+        }
+        for (&pair, &w) in &new_in_region {
+            self.matched.insert(pair, w);
+            if old_in_region.get(&pair) != Some(&w) {
+                report.matched.push(Edge {
+                    left: pair.0,
+                    right: pair.1,
+                    weight: w,
+                });
+            }
+        }
+        report.unmatched.sort_by_key(|e| (e.left, e.right));
+        report.matched.sort_by_key(|e| (e.left, e.right));
+        report
+    }
 }
 
 /// Checks the one-to-one constraint of a matching — used in tests and
@@ -175,5 +394,120 @@ mod tests {
         assert!(!is_valid_matching(&[e(1, 1, 1.0), e(1, 2, 1.0)]));
         assert!(!is_valid_matching(&[e(1, 1, 1.0), e(2, 1, 1.0)]));
         assert!(is_valid_matching(&[e(1, 1, 1.0), e(2, 2, 1.0)]));
+    }
+
+    /// Regression: `exact_max_matching` used to sort its output by
+    /// weight only, so equal-weight assignments came back in the
+    /// Hungarian solver's internal order — input permutations of the
+    /// same graph produced permuted outputs.
+    #[test]
+    fn exact_matching_output_order_is_deterministic_under_ties() {
+        let edges = vec![e(1, 1, 2.0), e(2, 2, 2.0), e(3, 3, 2.0)];
+        let rev: Vec<Edge> = edges.iter().rev().copied().collect();
+        let m1 = exact_max_matching(&edges);
+        let m2 = exact_max_matching(&rev);
+        assert_eq!(m1, m2, "tie order must not depend on input order");
+        let lefts: Vec<u64> = m1.iter().map(|x| x.left.0).collect();
+        assert_eq!(lefts, vec![1, 2, 3], "(left, right) tie-break");
+    }
+
+    fn upsert(l: u64, r: u64, w: f64) -> EdgeDelta {
+        EdgeDelta {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: Some(w),
+        }
+    }
+
+    fn drop_edge(l: u64, r: u64) -> EdgeDelta {
+        EdgeDelta {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight: None,
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_greedy_from_scratch() {
+        let mut m = IncrementalMatcher::new();
+        let deltas = vec![
+            upsert(1, 1, 1.0),
+            upsert(1, 2, 5.0),
+            upsert(2, 1, 3.0),
+            upsert(3, 3, 2.0),
+        ];
+        let report = m.apply_deltas(&deltas);
+        assert_eq!(report.region_edges, 4);
+        let full: Vec<Edge> = deltas
+            .iter()
+            .map(|d| Edge {
+                left: d.left,
+                right: d.right,
+                weight: d.weight.unwrap(),
+            })
+            .collect();
+        assert_eq!(m.matching(), greedy_max_matching(&full));
+        assert_eq!(m.num_edges(), 4);
+    }
+
+    #[test]
+    fn incremental_region_stays_local() {
+        let mut m = IncrementalMatcher::new();
+        // Two disjoint components.
+        m.apply_deltas(&[
+            upsert(1, 1, 4.0),
+            upsert(1, 2, 3.0),
+            upsert(10, 10, 9.0),
+            upsert(11, 10, 8.0),
+        ]);
+        // Touching only the small component re-matches only it.
+        let report = m.apply_deltas(&[upsert(1, 2, 6.0)]);
+        assert_eq!(report.region_edges, 2, "other component left alone");
+        let expect =
+            greedy_max_matching(&[e(1, 1, 4.0), e(1, 2, 6.0), e(10, 10, 9.0), e(11, 10, 8.0)]);
+        assert_eq!(m.matching(), expect);
+        // A no-op delta (same weight) re-matches nothing at all.
+        let report = m.apply_deltas(&[upsert(1, 2, 6.0)]);
+        assert_eq!(report.region_edges, 0);
+        assert!(report.matched.is_empty() && report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn incremental_removal_tears_down_match() {
+        let mut m = IncrementalMatcher::new();
+        m.apply_deltas(&[upsert(1, 1, 10.0), upsert(1, 2, 9.0), upsert(2, 1, 9.0)]);
+        assert_eq!(m.matching()[0].weight, 10.0);
+        // Removing the matched edge lets the two 9.0 edges pair up.
+        let report = m.apply_deltas(&[drop_edge(1, 1)]);
+        assert_eq!(m.num_edges(), 2);
+        let expect = greedy_max_matching(&[e(1, 2, 9.0), e(2, 1, 9.0)]);
+        assert_eq!(m.matching(), expect);
+        assert_eq!(report.unmatched, vec![e(1, 1, 10.0)]);
+        assert_eq!(report.matched, vec![e(1, 2, 9.0), e(2, 1, 9.0)]);
+        // Removing an absent edge is a no-op.
+        let report = m.apply_deltas(&[drop_edge(7, 7)]);
+        assert_eq!(report, DeltaReport::default());
+    }
+
+    #[test]
+    fn incremental_churn_report_skips_carried_matches() {
+        let mut m = IncrementalMatcher::new();
+        m.apply_deltas(&[upsert(1, 1, 5.0), upsert(2, 2, 4.0)]);
+        // 2↔2 joins the component of 1↔1 via a light bridge; both stay
+        // matched at unchanged weights, so only the bridge's rejection
+        // is silent and the report is empty.
+        let report = m.apply_deltas(&[upsert(1, 2, 1.0)]);
+        assert_eq!(report.region_edges, 3);
+        assert!(report.matched.is_empty(), "{:?}", report.matched);
+        assert!(report.unmatched.is_empty(), "{:?}", report.unmatched);
+        assert_eq!(m.matching(), vec![e(1, 1, 5.0), e(2, 2, 4.0)]);
+    }
+
+    #[test]
+    fn incremental_edges_sorted_by_pair() {
+        let mut m = IncrementalMatcher::new();
+        m.apply_deltas(&[upsert(2, 1, 1.0), upsert(1, 2, 2.0), upsert(1, 1, 3.0)]);
+        let edges = m.edges_sorted();
+        assert_eq!(edges, vec![e(1, 1, 3.0), e(1, 2, 2.0), e(2, 1, 1.0)]);
     }
 }

@@ -81,13 +81,20 @@ fn gmm_expected_f1(scores: &[f64]) -> Option<StopThreshold> {
     let gmm = Gmm2::fit(scores)?;
     let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    best_expected_f1(&gmm, lo, hi)
+}
+
+/// Grid-searches `[lo, hi]` for the threshold maximizing expected F1
+/// under a fitted mixture — the selection step shared by the batch path
+/// and the warm-started [`ThresholdState`].
+fn best_expected_f1(gmm: &Gmm2, lo: f64, hi: f64) -> Option<StopThreshold> {
     if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
         return None;
     }
     let mut best = None::<StopThreshold>;
     for k in 0..=GRID {
         let s = lo + (hi - lo) * k as f64 / GRID as f64;
-        let (p, r, f1) = expected_metrics(&gmm, s);
+        let (p, r, f1) = expected_metrics(gmm, s);
         if best.map(|b| f1 > b.expected_f1).unwrap_or(true) {
             best = Some(StopThreshold {
                 threshold: s,
@@ -98,6 +105,161 @@ fn gmm_expected_f1(scores: &[f64]) -> Option<StopThreshold> {
         }
     }
     best
+}
+
+/// Result of one [`ThresholdState::select`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmSelection {
+    /// The selected threshold (`None` exactly when the stateless
+    /// [`select_threshold`] would return `None` on the same weights).
+    pub threshold: Option<StopThreshold>,
+    /// EM iterations spent on the warm-started path (0 when the cold
+    /// fit ran — no previous mixture, warm non-convergence, or a
+    /// non-GMM method).
+    pub warm_iters: u32,
+}
+
+/// Stop-threshold selection maintained **under weight deltas** — the
+/// streaming engine's form. The caller owns a matching that changes by
+/// a bounded region each tick; it feeds the departed and arrived
+/// matched weights through [`ThresholdState::remove`] /
+/// [`ThresholdState::insert`], and [`ThresholdState::select`] refits
+/// from the maintained multiset: a warm-started EM seeded from the
+/// previous tick's converged mixture (usually a couple of iterations)
+/// with an automatic fall back to the cold [`Gmm2::fit`] whenever the
+/// warm fit fails to converge — so the selected threshold is always a
+/// converged fit, and a pipeline that discards this state and refits
+/// cold (batch finalization) sees no contract change.
+///
+/// The multiset is kept as sorted `(weight, count)` sufficient
+/// statistics: inserts and removals are `O(log n)`, the EM pass is
+/// `O(distinct weights)` per iteration, and the degenerate-input
+/// checks (`< 2` distinct values, zero range) are `O(1)` reads of the
+/// map ends.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdState {
+    /// Total-order bit key of the weight → (weight, multiplicity).
+    weights: std::collections::BTreeMap<u64, (f64, u64)>,
+    /// Σ multiplicities.
+    n: u64,
+    /// The last converged mixture — the warm seed.
+    prev_gmm: Option<Gmm2>,
+}
+
+/// Monotone `f64 → u64` key: preserves numeric order for all finite
+/// values (the standard sign-flip total-order trick), so a `BTreeMap`
+/// over keys iterates weights ascending.
+fn weight_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+impl ThresholdState {
+    /// An empty state (no weights, no previous mixture).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of maintained weights (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds one matched weight.
+    pub fn insert(&mut self, w: f64) {
+        debug_assert!(w.is_finite(), "matched weights must be finite: {w}");
+        self.weights.entry(weight_key(w)).or_insert((w, 0)).1 += 1;
+        self.n += 1;
+    }
+
+    /// Removes one previously inserted matched weight. Removing a
+    /// weight that is not present is a caller bug; the call is a
+    /// debug-checked no-op in release builds.
+    pub fn remove(&mut self, w: f64) {
+        let key = weight_key(w);
+        match self.weights.get_mut(&key) {
+            Some((_, c)) if *c > 1 => {
+                *c -= 1;
+                self.n -= 1;
+            }
+            Some(_) => {
+                self.weights.remove(&key);
+                self.n -= 1;
+            }
+            None => debug_assert!(false, "removed weight {w} was never inserted"),
+        }
+    }
+
+    /// Selects the stop threshold over the maintained weights.
+    ///
+    /// For [`ThresholdMethod::GmmExpectedF1`] with a previous converged
+    /// mixture available, the fit is warm-started
+    /// ([`Gmm2::fit_warm`]); on warm non-convergence — or on the first
+    /// call — the cold [`Gmm2::fit`] runs, so the outcome is always a
+    /// converged fit over exactly the maintained weights. Other methods
+    /// delegate to the stateless [`select_threshold`].
+    pub fn select(&mut self, method: ThresholdMethod) -> WarmSelection {
+        if !matches!(method, ThresholdMethod::GmmExpectedF1) {
+            let values = self.values();
+            return WarmSelection {
+                threshold: select_threshold(&values, method),
+                warm_iters: 0,
+            };
+        }
+        // O(1) degeneracy gate off the sorted map ends, mirroring the
+        // checks inside `Gmm2::fit`.
+        let (lo, hi) = match (self.weights.values().next(), self.weights.values().last()) {
+            (Some(&(lo, _)), Some(&(hi, _))) if self.weights.len() >= 2 && hi > lo => (lo, hi),
+            _ => {
+                self.prev_gmm = None;
+                return WarmSelection {
+                    threshold: None,
+                    warm_iters: 0,
+                };
+            }
+        };
+        if let Some(prev) = &self.prev_gmm {
+            let points: Vec<(f64, u64)> = self.weights.values().copied().collect();
+            if let Some(gmm) = Gmm2::fit_warm(&points, prev) {
+                let warm_iters = gmm.iterations;
+                let threshold = best_expected_f1(&gmm, lo, hi);
+                self.prev_gmm = Some(gmm);
+                return WarmSelection {
+                    threshold,
+                    warm_iters,
+                };
+            }
+        }
+        // Cold path: bit-identical to the stateless selection over the
+        // same weights. A cold fit that exhausted the iteration budget
+        // may not have converged — don't seed the next tick from it, or
+        // every tick would pay the warm cap *and* the cold cap.
+        let values = self.values();
+        let gmm = Gmm2::fit(&values);
+        self.prev_gmm = gmm.filter(|g| g.iterations < Gmm2::MAX_ITERS);
+        WarmSelection {
+            threshold: gmm.as_ref().and_then(|g| best_expected_f1(g, lo, hi)),
+            warm_iters: 0,
+        }
+    }
+
+    /// The maintained weights expanded to a sorted `Vec`.
+    fn values(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n as usize);
+        for &(w, c) in self.weights.values() {
+            out.extend(std::iter::repeat_n(w, c as usize));
+        }
+        out
+    }
 }
 
 /// Otsu's method: the threshold maximizing between-class variance on a
@@ -262,6 +424,91 @@ mod tests {
             assert!(select_threshold(&[5.0], m).is_none());
             assert!(select_threshold(&[2.0, 2.0, 2.0], m).is_none());
         }
+    }
+
+    #[test]
+    fn warm_state_first_selection_matches_stateless() {
+        let scores = bimodal(8);
+        let mut state = ThresholdState::new();
+        for &w in &scores {
+            state.insert(w);
+        }
+        let warm = state.select(ThresholdMethod::GmmExpectedF1);
+        let stateless = select_threshold(&scores, ThresholdMethod::GmmExpectedF1).unwrap();
+        assert_eq!(warm.warm_iters, 0, "first fit must be cold");
+        assert_eq!(warm.threshold.unwrap(), stateless);
+    }
+
+    #[test]
+    fn warm_state_reselect_is_warm_and_agrees() {
+        let scores = bimodal(9);
+        let mut state = ThresholdState::new();
+        for &w in &scores {
+            state.insert(w);
+        }
+        let first = state.select(ThresholdMethod::GmmExpectedF1);
+        // A localized matching change: a few weights leave, a few enter.
+        for &w in &scores[..3] {
+            state.remove(w);
+        }
+        state.insert(550.0);
+        state.insert(1020.0);
+        let second = state.select(ThresholdMethod::GmmExpectedF1);
+        assert!(second.warm_iters > 0, "second fit must be warm-started");
+        let t1 = first.threshold.unwrap().threshold;
+        let t2 = second.threshold.unwrap().threshold;
+        assert!(
+            (t1 - t2).abs() < 100.0,
+            "warm threshold drifted: {t1} vs {t2}"
+        );
+        assert_eq!(state.len(), scores.len() - 1);
+    }
+
+    #[test]
+    fn warm_state_handles_duplicate_weights() {
+        let mut state = ThresholdState::new();
+        for _ in 0..50 {
+            state.insert(1.0);
+            state.insert(10.0);
+        }
+        state.insert(1.5);
+        let sel = state.select(ThresholdMethod::GmmExpectedF1);
+        let t = sel.threshold.unwrap().threshold;
+        assert!(t > 1.5 && t <= 10.0, "threshold {t}");
+        // Remove one copy of a duplicated weight: count drops, value stays.
+        state.remove(1.0);
+        assert_eq!(state.len(), 100);
+        let again = state.select(ThresholdMethod::GmmExpectedF1);
+        assert!(again.threshold.is_some());
+    }
+
+    #[test]
+    fn warm_state_degenerate_and_non_gmm_paths() {
+        let mut state = ThresholdState::new();
+        assert!(state.is_empty());
+        state.insert(2.0);
+        state.insert(2.0);
+        // One distinct value: degenerate, like the stateless path.
+        let sel = state.select(ThresholdMethod::GmmExpectedF1);
+        assert!(sel.threshold.is_none());
+        // Non-GMM methods delegate to the stateless selection.
+        let scores = bimodal(10);
+        for &w in &scores {
+            state.insert(w);
+        }
+        state.remove(2.0);
+        state.remove(2.0);
+        let o = state.select(ThresholdMethod::Otsu);
+        assert_eq!(o.warm_iters, 0);
+        assert_eq!(
+            o.threshold.map(|t| t.threshold),
+            otsu(&{
+                let mut s = scores.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                s
+            })
+        );
+        assert!(state.select(ThresholdMethod::None).threshold.is_none());
     }
 
     #[test]

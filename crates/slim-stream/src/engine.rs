@@ -6,9 +6,11 @@
 //!                                      min-records buffers, dirty marks
 //!              barrier: df/idf deltas · LSH partition upserts ·
 //!                       candidate registration (pair owner = Left shard)
-//! refresh ──► shard-∥ rescore of adjacency-reachable dirty pairs
-//!              barrier: edge assembly · matching · GMM threshold ·
-//!                       link diff
+//! refresh ──► shard-∥ rescore of adjacency-reachable dirty pairs,
+//!              patching each shard's sorted edge cache in place
+//!              barrier: k-way merge of per-shard edge-delta runs ·
+//!                       region-local incremental matching ·
+//!                       warm-started GMM threshold · link diff
 //! finalize ─► exact batch pipeline over the merged live histories
 //! ```
 //!
@@ -50,18 +52,19 @@ use std::time::Duration;
 use slim_core::df::DfStats;
 use slim_core::similarity::{common_windows, SimilarityScorer};
 use slim_core::{
-    Edge, EntityId, HistorySet, LinkageOutput, LinkageStats, MobilityHistory, PreparedLinkage,
-    Timestamp, WindowIdx, WindowScheme,
+    Edge, EntityId, HistorySet, IncrementalMatcher, LinkageOutput, LinkageStats, MatchingMethod,
+    MobilityHistory, PreparedLinkage, ThresholdState, Timestamp, WindowIdx, WindowScheme,
 };
 use slim_lsh::{signature_buckets, signatures_collide, BucketIndex};
 
+use crate::adjacency::PairKey;
 use crate::config::StreamConfig;
 use crate::event::{Side, StreamEvent};
 use crate::lsh::LshGeometry;
 use crate::merge;
 use crate::shard::{
     bin_event, entity_shard, lookup_history, run_per_shard, BinnedEvent, EngineShard,
-    ExpiryEffects, IngestEffects, RescoreJob, RescoreOutcome,
+    ExpiryEffects, IngestEffects, RescoreJob, RescoreOutcome, ScoredPair,
 };
 
 /// One change to the served link set, emitted by a refresh tick.
@@ -107,6 +110,20 @@ pub struct StreamStats {
     pub retired_pairs: u64,
     /// Temporal windows expired out of the sliding window.
     pub evicted_windows: u64,
+    /// Edge-cache entries patched (inserted, reweighted, or removed)
+    /// across all barriers. Every patch is one pair's cached edge
+    /// changing, so on a localized update this stays proportional to
+    /// the update footprint — never to the cache size the pre-refactor
+    /// barrier swept.
+    pub edges_patched: u64,
+    /// Σ over ticks of the incremental matcher's conflict-region size
+    /// (edges greedy selection actually re-ran over). Bounded by the
+    /// connected components the patched edges touch, not the edge set.
+    pub matching_region_size: u64,
+    /// Σ EM iterations spent in warm-started GMM threshold fits (0 on
+    /// cold fits — first tick, warm non-convergence fallback, or a
+    /// non-GMM threshold method).
+    pub em_warm_iters: u64,
     /// Entities demoted because expiry left them at or below the
     /// min-records threshold.
     pub demoted_entities: u64,
@@ -178,6 +195,12 @@ pub struct StreamEngine {
     expired_below: WindowIdx,
     /// The currently served link set (as of the last tick).
     links: Vec<Edge>,
+    /// The greedy matching maintained under edge deltas — mirrors the
+    /// union of the per-shard edge caches; repaired region-locally at
+    /// each barrier.
+    matcher: IncrementalMatcher,
+    /// Warm-started stop-threshold state over the matched weights.
+    threshold_state: ThresholdState,
     events_since_refresh: usize,
     stats: StreamStats,
     scoring_stats: LinkageStats,
@@ -202,6 +225,8 @@ impl StreamEngine {
             watermark: 0,
             expired_below: 0,
             links: Vec::new(),
+            matcher: IncrementalMatcher::new(),
+            threshold_state: ThresholdState::new(),
             events_since_refresh: 0,
             stats: StreamStats::default(),
             scoring_stats: LinkageStats::default(),
@@ -257,6 +282,13 @@ impl StreamEngine {
     /// Number of candidate pairs currently tracked (across all shards).
     pub fn num_candidate_pairs(&self) -> usize {
         self.shards.iter().map(|s| s.cache.len()).sum()
+    }
+
+    /// Number of live edges across the per-shard edge caches (pairs
+    /// whose assembled score was strictly positive at their last
+    /// rescore).
+    pub fn num_live_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.edges.len()).sum()
     }
 
     /// The live history of one entity (`None` if filtered or expired).
@@ -582,12 +614,14 @@ impl StreamEngine {
         self.expired_below = keep_from;
     }
 
-    /// Runs a refresh tick: drops dead-endpoint pairs, rescales exactly
+    /// Runs a refresh tick: drops dead-endpoint pairs, rescores exactly
     /// the adjacency-reachable dirty `(pair, window)` contributions
-    /// shard-parallel, retires collision-less empty pairs, reassembles
-    /// the edge set, re-runs matching + stop thresholding at the merge
-    /// barrier, and returns the difference to the previously served
-    /// link set.
+    /// shard-parallel (patching the per-shard edge caches in place),
+    /// retires collision-less empty pairs, then — at the merge barrier
+    /// — k-way merges the per-shard edge-delta runs, repairs the
+    /// maintained matching over the affected conflict region, refits
+    /// the stop threshold warm, and returns the difference to the
+    /// previously served link set.
     pub fn refresh(&mut self) -> Vec<LinkUpdate> {
         self.events_since_refresh = 0;
         if self.scheme.is_none() {
@@ -675,48 +709,123 @@ impl StreamEngine {
             }
         }
 
-        // The single merge barrier: edge assembly over every shard's
-        // cache, matching, GMM stop thresholding, link diff.
-        let edges = merge::assemble_edges(&self.shards, &self.df, &self.cfg.slim);
-        let new_links = merge::match_and_threshold(&self.cfg.slim, &edges);
+        // The merge barrier, delta-driven: drain each shard's
+        // pair-sorted edge-cache patch run, k-way merge the runs into
+        // the global delta batch, repair the maintained matching over
+        // the affected conflict region only, and refit the stop
+        // threshold warm from the previous tick's mixture — O(dirty +
+        // links) instead of the full-cache sweep this replaced.
+        let runs: Vec<Vec<(PairKey, Option<f64>)>> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.take_edge_deltas().into_iter().collect())
+            .collect();
+        let deltas = merge::merge_delta_runs(runs);
+        self.stats.edges_patched += deltas.len() as u64;
+        let new_links = match self.cfg.slim.matching_method {
+            MatchingMethod::Greedy => {
+                let report = self.matcher.apply_deltas(&deltas);
+                self.stats.matching_region_size += report.region_edges as u64;
+                for e in &report.unmatched {
+                    self.threshold_state.remove(e.weight);
+                }
+                for e in &report.matched {
+                    self.threshold_state.insert(e.weight);
+                }
+                let matching = self.matcher.matching();
+                let selection = self.threshold_state.select(self.cfg.slim.threshold_method);
+                self.stats.em_warm_iters += u64::from(selection.warm_iters);
+                match selection.threshold {
+                    Some(t) => matching
+                        .into_iter()
+                        .filter(|e| e.weight >= t.threshold)
+                        .collect(),
+                    None => matching,
+                }
+            }
+            // The exact Hungarian matching has no incremental form:
+            // assemble the full edge set by k-way-merging the per-shard
+            // sorted edge caches (no re-sort, no rescoring) and re-match
+            // from scratch.
+            MatchingMethod::HungarianExact => {
+                let edge_runs: Vec<Vec<(PairKey, f64)>> = self
+                    .shards
+                    .iter()
+                    .map(|s| s.edges.iter().map(|(&p, &w)| (p, w)).collect())
+                    .collect();
+                let edges = merge::kway_merge_edge_runs(edge_runs);
+                merge::exact_match_and_threshold(&self.cfg.slim, &edges)
+            }
+        };
         let updates = merge::diff_links(&self.links, &new_links);
         self.links = new_links;
         updates
     }
 
     /// Rescores the given per-shard job lists against the merged df
-    /// statistics, resolving endpoint histories across shards. Pure
-    /// reads — runs shard-parallel when the tick is big enough to pay
-    /// for the spawns.
+    /// statistics, resolving endpoint histories across shards, and
+    /// re-assembles each touched pair's edge score on the worker: the
+    /// recomputed contributions are merged with the pair's untouched
+    /// cached windows and normalized, so the barrier only has to patch
+    /// the outcome into the caches. Pure reads — runs shard-parallel
+    /// when the tick is big enough to pay for the spawns.
     fn score_jobs(&self, jobs: &[Vec<RescoreJob>]) -> Vec<(Vec<RescoreOutcome>, LinkageStats)> {
         let scorer = SimilarityScorer::from_df_stats(&self.cfg.slim, &self.df[0], &self.df[1]);
-        let score_list = |list: &[RescoreJob]| -> (Vec<RescoreOutcome>, LinkageStats) {
-            let mut out = Vec::with_capacity(list.len());
-            let mut stats = LinkageStats::default();
-            for (pair, spec) in list {
-                let (Some(hu), Some(hv)) = (
-                    lookup_history(&self.shards, Side::Left, pair.0),
-                    lookup_history(&self.shards, Side::Right, pair.1),
-                ) else {
-                    out.push((*pair, None));
-                    continue;
-                };
-                let windows: Vec<WindowIdx> = match spec {
-                    Some(ws) => ws.clone(),
-                    None => common_windows(hu, hv).collect(),
-                };
-                let contributions: Vec<(WindowIdx, f64)> = windows
-                    .into_iter()
-                    .map(|w| (w, scorer.window_contribution(hu, hv, w, &mut stats)))
-                    .collect();
-                out.push((*pair, Some(contributions)));
-            }
-            (out, stats)
-        };
+        let score_list =
+            |(owner, list): (usize, &[RescoreJob])| -> (Vec<RescoreOutcome>, LinkageStats) {
+                let mut out = Vec::with_capacity(list.len());
+                let mut stats = LinkageStats::default();
+                for (pair, spec) in list {
+                    let (Some(hu), Some(hv)) = (
+                        lookup_history(&self.shards, Side::Left, pair.0),
+                        lookup_history(&self.shards, Side::Right, pair.1),
+                    ) else {
+                        out.push((*pair, None));
+                        continue;
+                    };
+                    let windows: Vec<WindowIdx> = match spec {
+                        Some(ws) => ws.clone(),
+                        None => common_windows(hu, hv).collect(),
+                    };
+                    // Start from the owning shard's cached contributions of
+                    // the pair's untouched windows and patch in the
+                    // recomputed ones (dropping zeros), exactly as the
+                    // barrier-side apply used to.
+                    let mut merged = self.shards[owner]
+                        .cache
+                        .get(pair)
+                        .cloned()
+                        .unwrap_or_default();
+                    let rescored = windows.len() as u64;
+                    for w in windows {
+                        let c = scorer.window_contribution(hu, hv, w, &mut stats);
+                        if c == 0.0 {
+                            merged.remove(&w);
+                        } else {
+                            merged.insert(w, c);
+                        }
+                    }
+                    // `Σ contributions / pair norm` in ascending window
+                    // order — the same arithmetic and order the full
+                    // assembly sweep used, so a pair scored fresh here is
+                    // bit-identical to a from-scratch edge assembly.
+                    let sum: f64 = merged.values().sum();
+                    let score = sum / scorer.pair_norm_bins(hu.num_bins(), hv.num_bins());
+                    out.push((
+                        *pair,
+                        Some(ScoredPair {
+                            windows: merged,
+                            rescored,
+                            score,
+                        }),
+                    ));
+                }
+                (out, stats)
+            };
 
         let total: usize = jobs.iter().map(Vec::len).sum();
         run_per_shard(
-            jobs.iter().map(Vec::as_slice).collect(),
+            jobs.iter().map(Vec::as_slice).enumerate().collect(),
             total >= PARALLEL_RESCORE_THRESHOLD,
             score_list,
         )

@@ -35,8 +35,10 @@
 //!            ╞═ barrier: df/idf deltas · LSH partition upserts ═╡
 //!            ╞═          candidate pairs → owning shard        ═╡
 //! tick  ───► rescore adjacency-reachable dirty (pair, window) (∥)
+//!            patch per-shard sorted edge caches in place
 //!            retire collision-less empty pairs
-//!            ╞═ barrier: edges · matching · GMM threshold ═╡
+//!            ╞═ barrier: k-way merge of edge-delta runs   ═╡
+//!            ╞═ region-local delta matching · warm GMM fit ═╡
 //!            ──► Vec<LinkUpdate>  (Added / Removed / Reweighted)
 //! finalize ► exact batch pipeline over the merged live histories
 //! ```
@@ -60,10 +62,19 @@
 //!    contributions (shard-parallel), reusing the cached contributions
 //!    of untouched windows — never a full cache sweep
 //!    ([`StreamStats::dirty_pairs_visited`] vs
-//!    [`StreamStats::cached_pairs_at_ticks`] is the proof). Cached
-//!    contributions may lag the globally drifting idf statistics
-//!    between ticks; they are refreshed lazily when their window is
-//!    touched, and exactly at finalization.
+//!    [`StreamStats::cached_pairs_at_ticks`] is the proof). The
+//!    barrier is bounded the same way: each shard keeps its owned
+//!    pairs' assembled scores in a pair-sorted **edge cache** patched
+//!    in place, the barrier k-way merges the per-shard sorted delta
+//!    runs ([`StreamStats::edges_patched`]), the greedy matching is
+//!    repaired over the delta-touched components only
+//!    ([`StreamStats::matching_region_size`]), and the GMM stop
+//!    threshold refits warm from the previous tick's mixture
+//!    ([`StreamStats::em_warm_iters`]) with a cold fallback —
+//!    `O(dirty + links)` per tick end to end. Cached contributions (and cached
+//!    edge norms) may lag the globally drifting idf statistics between
+//!    ticks; they are refreshed lazily when their window is touched,
+//!    and exactly at finalization.
 //! 3. **Sliding-window semantics.** With `window_capacity = Some(W)`,
 //!    only the most recent `W` temporal windows of evidence are
 //!    retained: expired windows are evicted from histories, statistics,

@@ -1,80 +1,91 @@
 //! The single merge barrier of a refresh tick.
 //!
 //! Everything the sharded engine computes in parallel is per-entity or
-//! per-pair; only the dataset-global steps meet here: assembling the
-//! edge set from every shard's contribution cache, bipartite matching
-//! (greedy or exact Hungarian), GMM stop thresholding, and diffing the
-//! served link set. Each helper is deterministic in the face of
-//! arbitrary shard counts and thread interleavings: edges are sorted by
-//! `(left, right)` before matching, link diffs are sorted by pair, and
-//! every statistic folded across shards is a commutative sum.
+//! per-pair; only the dataset-global steps meet here. Since the
+//! per-shard **edge caches** landed, the barrier no longer sweeps the
+//! contribution caches: every shard maintains its owned pairs'
+//! assembled scores sorted by pair and describes each tick's changes as
+//! a sorted delta run, and the barrier k-way-merges those runs —
+//! `O(dirty)` — into the batch the incremental matcher and the
+//! warm-started threshold state consume. The full-assembly form
+//! ([`kway_merge_edge_runs`]) remains for the exact Hungarian path.
+//! Each helper is deterministic in the face of arbitrary shard counts
+//! and thread interleavings: runs are keyed by pair (each pair owned by
+//! exactly one shard), link diffs are sorted by pair, and every
+//! statistic folded across shards is a commutative sum.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
-use slim_core::df::DfStats;
-use slim_core::matching::{exact_max_matching, greedy_max_matching};
-use slim_core::similarity::SimilarityScorer;
+use slim_core::matching::exact_max_matching;
 use slim_core::threshold::select_threshold;
-use slim_core::{Edge, EntityId, MatchingMethod, SlimConfig};
+use slim_core::{Edge, EdgeDelta, EntityId, SlimConfig};
 
+use crate::adjacency::PairKey;
 use crate::engine::LinkUpdate;
-use crate::event::Side;
-use crate::shard::{lookup_history, run_per_shard, EngineShard};
 
-/// Assembles the bipartite edge set from every shard's pair cache:
-/// `score = Σ cached window contributions / pair length norm`, positive
-/// scores only, sorted by `(left, right)` — the same arithmetic and
-/// order the unsharded engine used, so the result is independent of the
-/// shard count.
-pub(crate) fn assemble_edges(
-    shards: &[EngineShard],
-    df: &[DfStats; 2],
-    cfg: &SlimConfig,
-) -> Vec<Edge> {
-    let scorer = SimilarityScorer::from_df_stats(cfg, &df[0], &df[1]);
-    let collect_one = |shard: &EngineShard| -> Vec<Edge> {
-        let mut edges = Vec::with_capacity(shard.cache.len());
-        for (&(u, v), windows) in &shard.cache {
-            if windows.is_empty() {
-                continue;
-            }
-            let bins_u = lookup_history(shards, Side::Left, u)
-                .map(|h| h.num_bins())
-                .unwrap_or(0);
-            let bins_v = lookup_history(shards, Side::Right, v)
-                .map(|h| h.num_bins())
-                .unwrap_or(0);
-            let score: f64 = windows.values().sum::<f64>() / scorer.pair_norm_bins(bins_u, bins_v);
-            if score > 0.0 {
-                edges.push(Edge {
-                    left: u,
-                    right: v,
-                    weight: score,
-                });
-            }
+/// K-way merges per-shard runs sorted by pair key into one globally
+/// sorted sequence. Pair ownership is exclusive, so no key appears in
+/// two runs; ties (impossible by construction) would break by run
+/// index to stay deterministic anyway.
+pub(crate) fn kway_merge<T>(runs: Vec<Vec<(PairKey, T)>>) -> Vec<(PairKey, T)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<(PairKey, T)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(PairKey, usize)>> = BinaryHeap::with_capacity(iters.len());
+    let mut heads: Vec<Option<(PairKey, T)>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        let head = it.next();
+        if let Some((key, _)) = &head {
+            heap.push(Reverse((*key, i)));
         }
-        edges
-    };
-
-    let total_cached: usize = shards.iter().map(|s| s.cache.len()).sum();
-    let mut edges: Vec<Edge> =
-        run_per_shard(shards.iter().collect(), total_cached >= 64, |shard| {
-            collect_one(shard)
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-    edges.sort_by_key(|e| (e.left, e.right));
-    edges
+        heads.push(head);
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (key, value) = heads[i].take().expect("heap entry implies a head");
+        out.push((key, value));
+        heads[i] = iters[i].next();
+        if let Some((next_key, _)) = &heads[i] {
+            heap.push(Reverse((*next_key, i)));
+        }
+    }
+    out
 }
 
-/// Matching + stop thresholding over the assembled edges — the barrier
-/// steps shared verbatim with the batch pipeline.
-pub(crate) fn match_and_threshold(cfg: &SlimConfig, edges: &[Edge]) -> Vec<Edge> {
-    let matching = match cfg.matching_method {
-        MatchingMethod::Greedy => greedy_max_matching(edges),
-        MatchingMethod::HungarianExact => exact_max_matching(edges),
-    };
+/// The barrier's delta assembly: drains every shard's edge-cache patch
+/// run and k-way-merges them into one pair-sorted [`EdgeDelta`] batch —
+/// `O(dirty · log shards)` work, independent of the cache size.
+pub(crate) fn merge_delta_runs(runs: Vec<Vec<(PairKey, Option<f64>)>>) -> Vec<EdgeDelta> {
+    kway_merge(runs)
+        .into_iter()
+        .map(|((left, right), weight)| EdgeDelta {
+            left,
+            right,
+            weight,
+        })
+        .collect()
+}
+
+/// Full edge assembly from the per-shard sorted edge caches — the
+/// cold-path form (exact Hungarian re-match), `O(edges · log shards)`
+/// with no re-sorting and no rescoring.
+pub(crate) fn kway_merge_edge_runs(runs: Vec<Vec<(PairKey, f64)>>) -> Vec<Edge> {
+    kway_merge(runs)
+        .into_iter()
+        .map(|((left, right), weight)| Edge {
+            left,
+            right,
+            weight,
+        })
+        .collect()
+}
+
+/// Exact matching + stateless stop thresholding over fully assembled
+/// edges — the barrier path for [`slim_core::MatchingMethod::HungarianExact`],
+/// which has no incremental form.
+pub(crate) fn exact_match_and_threshold(cfg: &SlimConfig, edges: &[Edge]) -> Vec<Edge> {
+    let matching = exact_max_matching(edges);
     let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
     let threshold = select_threshold(&weights, cfg.threshold_method);
     match &threshold {
@@ -146,15 +157,62 @@ mod tests {
     }
 
     #[test]
-    fn match_and_threshold_without_method_keeps_matching() {
+    fn exact_match_and_threshold_without_method_keeps_matching() {
         let cfg = SlimConfig {
             threshold_method: slim_core::ThresholdMethod::None,
             ..SlimConfig::default()
         };
         let edges = vec![e(1, 1, 1.0), e(1, 2, 0.5), e(2, 2, 2.0)];
-        let links = match_and_threshold(&cfg, &edges);
+        let links = exact_match_and_threshold(&cfg, &edges);
         // One-to-one matching picks the heavy pairings; no threshold cut.
         assert_eq!(links.len(), 2);
         assert!(links.iter().all(|l| l.left == l.right));
+    }
+
+    fn key(l: u64, r: u64) -> PairKey {
+        (EntityId(l), EntityId(r))
+    }
+
+    #[test]
+    fn kway_merge_interleaves_disjoint_sorted_runs() {
+        let runs = vec![
+            vec![(key(1, 5), "a"), (key(4, 0), "d")],
+            vec![],
+            vec![(key(2, 9), "b"), (key(3, 1), "c"), (key(9, 9), "e")],
+        ];
+        let merged = kway_merge(runs);
+        let order: Vec<&str> = merged.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d", "e"]);
+        assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(kway_merge::<()>(vec![]).is_empty());
+    }
+
+    #[test]
+    fn merge_delta_runs_keeps_upserts_and_removals() {
+        let runs = vec![
+            vec![(key(1, 1), Some(2.0)), (key(3, 3), None)],
+            vec![(key(2, 2), Some(1.0))],
+        ];
+        let deltas = merge_delta_runs(runs);
+        assert_eq!(
+            deltas,
+            vec![
+                EdgeDelta {
+                    left: EntityId(1),
+                    right: EntityId(1),
+                    weight: Some(2.0)
+                },
+                EdgeDelta {
+                    left: EntityId(2),
+                    right: EntityId(2),
+                    weight: Some(1.0)
+                },
+                EdgeDelta {
+                    left: EntityId(3),
+                    right: EntityId(3),
+                    weight: None
+                },
+            ]
+        );
     }
 }

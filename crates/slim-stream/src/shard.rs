@@ -155,9 +155,24 @@ pub(crate) struct ExpiryEffects {
 /// (`None` = fresh pair, rescore all common windows).
 pub(crate) type RescoreJob = (PairKey, Option<Vec<WindowIdx>>);
 
-/// The result of rescoring one pair (`None` contributions = an endpoint
-/// history vanished; drop the pair).
-pub(crate) type RescoreOutcome = (PairKey, Option<Vec<(WindowIdx, f64)>>);
+/// The result of rescoring one pair: the pair's *merged* contribution
+/// cache (untouched windows carried over, dirty windows recomputed,
+/// zeros dropped) plus its re-assembled edge score — computed on the
+/// worker so the barrier only patches. `None` = an endpoint history
+/// vanished; drop the pair.
+#[derive(Debug)]
+pub(crate) struct ScoredPair {
+    /// The pair's full window → contribution map after this tick.
+    pub(crate) windows: BTreeMap<WindowIdx, f64>,
+    /// How many windows were actually recomputed.
+    pub(crate) rescored: u64,
+    /// The normalized edge score over `windows` (`Σ contributions /
+    /// pair norm`); an edge exists iff it is strictly positive.
+    pub(crate) score: f64,
+}
+
+/// See [`ScoredPair`].
+pub(crate) type RescoreOutcome = (PairKey, Option<ScoredPair>);
 
 /// What applying a tick's rescore outcomes changed on this shard.
 #[derive(Debug, Default)]
@@ -198,6 +213,16 @@ pub(crate) struct EngineShard {
     pub(crate) fresh: HashSet<PairKey>,
     /// Entity→pair adjacency over the owned pairs.
     pub(crate) adjacency: AdjacencyIndex,
+    /// The shard's **edge cache**: assembled, normalized scores of its
+    /// owned pairs (strictly positive only), sorted by pair. Patched in
+    /// place by rescore outcomes instead of being rebuilt at every
+    /// barrier.
+    pub(crate) edges: BTreeMap<PairKey, f64>,
+    /// Edge-cache patches since the last barrier, coalesced by pair
+    /// (last write wins): `Some(score)` upserted, `None` removed. The
+    /// barrier drains these as one sorted run per shard and k-way
+    /// merges the runs into the global delta batch.
+    pub(crate) edge_deltas: BTreeMap<PairKey, Option<f64>>,
 }
 
 impl EngineShard {
@@ -390,6 +415,26 @@ impl EngineShard {
         }
     }
 
+    /// Patches one owned pair's entry in the edge cache: upsert when
+    /// the score is strictly positive, removal otherwise. Records a
+    /// delta for the next barrier only when the cached edge actually
+    /// changed, so no-op rescores cost nothing downstream.
+    pub(crate) fn patch_edge(&mut self, pair: PairKey, score: Option<f64>) {
+        let changed = match score {
+            Some(s) => self.edges.insert(pair, s) != Some(s),
+            None => self.edges.remove(&pair).is_some(),
+        };
+        if changed {
+            self.edge_deltas.insert(pair, score);
+        }
+    }
+
+    /// Drains the edge-cache patches accumulated since the last
+    /// barrier, sorted by pair.
+    pub(crate) fn take_edge_deltas(&mut self) -> BTreeMap<PairKey, Option<f64>> {
+        std::mem::take(&mut self.edge_deltas)
+    }
+
     /// Drops every owned pair adjacent to `(side, entity)` — the
     /// adjacency index makes this O(degree) instead of an O(cache)
     /// sweep. Used for dead-endpoint cleanup and rebirth purges.
@@ -399,6 +444,7 @@ impl EngineShard {
             self.cache.remove(&pair);
             self.fresh.remove(&pair);
             self.adjacency.remove(pair);
+            self.patch_edge(pair, None);
         }
         pairs.len()
     }
@@ -436,32 +482,29 @@ impl EngineShard {
         jobs
     }
 
-    /// Applies one tick's rescore outcomes to the owned pair cache and
-    /// resets the fresh/dirty marks.
+    /// Applies one tick's rescore outcomes to the owned pair cache —
+    /// swapping in the worker-merged window maps and patching the edge
+    /// cache — and resets the fresh/dirty marks.
     pub(crate) fn apply_outcomes(&mut self, outcomes: Vec<RescoreOutcome>) -> ApplyReport {
         let mut report = ApplyReport::default();
-        for (pair, contributions) in outcomes {
-            match contributions {
+        for (pair, scored) in outcomes {
+            match scored {
                 None => {
                     // An endpoint history vanished between discovery and
                     // scoring: drop the pair.
                     self.cache.remove(&pair);
                     self.fresh.remove(&pair);
                     self.adjacency.remove(pair);
+                    self.patch_edge(pair, None);
                 }
-                Some(contributions) => {
-                    report.rescored_windows += contributions.len() as u64;
-                    let windows = self.cache.entry(pair).or_default();
-                    for (w, c) in contributions {
-                        if c == 0.0 {
-                            windows.remove(&w);
-                        } else {
-                            windows.insert(w, c);
-                        }
-                    }
-                    if windows.is_empty() {
+                Some(scored) => {
+                    report.rescored_windows += scored.rescored;
+                    let score = (scored.score > 0.0).then_some(scored.score);
+                    if scored.windows.is_empty() {
                         report.emptied.push(pair);
                     }
+                    self.cache.insert(pair, scored.windows);
+                    self.patch_edge(pair, score);
                 }
             }
         }
@@ -475,5 +518,6 @@ impl EngineShard {
     pub(crate) fn retire(&mut self, pair: PairKey) {
         self.cache.remove(&pair);
         self.adjacency.remove(pair);
+        self.patch_edge(pair, None);
     }
 }

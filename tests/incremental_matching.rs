@@ -1,0 +1,133 @@
+//! Incremental-vs-full matching equivalence: the streaming engine's
+//! [`IncrementalMatcher`] repairs a greedy matching under edge deltas by
+//! re-running selection over the affected conflict region only. Its
+//! contract is exact — after **any** delta sequence, the maintained
+//! matching must be edge-for-edge identical (same pairs, same weights,
+//! same order) to [`greedy_max_matching`] over the full live edge set.
+//! The generators lean on small id and weight palettes so weight ties,
+//! re-weights, and removals of matched edges all occur constantly.
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+
+use slim::core::matching::{greedy_max_matching, is_valid_matching, Edge, EdgeDelta};
+use slim::core::{EntityId, IncrementalMatcher};
+
+/// One raw op: (left, right, action). Actions 0–1 remove the edge
+/// (~29% of ops); 2–8 upsert a weight from a tiny palette, so
+/// equal-weight conflicts are the norm, not the exception — exactly
+/// where a sloppy tie-break would diverge.
+type RawOp = (u64, u64, u8);
+
+const WEIGHTS: [f64; 5] = [0.25, 0.5, 1.0, 1.0, 2.0];
+
+fn op_weight(action: u8) -> Option<f64> {
+    (action >= 2).then(|| WEIGHTS[(action - 2) as usize % WEIGHTS.len()])
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<RawOp>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..6, 100u64..106, 0u8..9), 1..8),
+        1..25,
+    )
+}
+
+/// Coalesces one batch by pair, last write winning — the form the
+/// engine's per-shard `BTreeMap` delta runs guarantee.
+fn coalesce(batch: &[RawOp]) -> Vec<EdgeDelta> {
+    let mut by_pair: BTreeMap<(u64, u64), Option<f64>> = BTreeMap::new();
+    for &(l, r, action) in batch {
+        by_pair.insert((l, r), op_weight(action));
+    }
+    by_pair
+        .into_iter()
+        .map(|((l, r), weight)| EdgeDelta {
+            left: EntityId(l),
+            right: EntityId(r),
+            weight,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // After every applied batch, the incremental matching equals the
+    // from-scratch greedy matching over the full maintained edge set —
+    // pairs, weights, and emission order all identical.
+    #[test]
+    fn incremental_equals_full_greedy_under_random_deltas(batches in arb_batches()) {
+        let mut matcher = IncrementalMatcher::new();
+        let mut reference: HashMap<(u64, u64), f64> = HashMap::new();
+        for batch in &batches {
+            let deltas = coalesce(batch);
+            let report = matcher.apply_deltas(&deltas);
+            for d in &deltas {
+                match d.weight {
+                    Some(w) => {
+                        reference.insert((d.left.0, d.right.0), w);
+                    }
+                    None => {
+                        reference.remove(&(d.left.0, d.right.0));
+                    }
+                }
+            }
+            let full: Vec<Edge> = {
+                let mut edges: Vec<Edge> = reference
+                    .iter()
+                    .map(|(&(l, r), &weight)| Edge {
+                        left: EntityId(l),
+                        right: EntityId(r),
+                        weight,
+                    })
+                    .collect();
+                edges.sort_by_key(|e| (e.left, e.right));
+                edges
+            };
+            let expected = greedy_max_matching(&full);
+            let got = matcher.matching();
+            prop_assert!(
+                got == expected,
+                "diverged after batch {:?} over edges {:?}: {:?} vs {:?}",
+                batch,
+                full,
+                got,
+                expected
+            );
+            prop_assert!(is_valid_matching(&got));
+            prop_assert!(matcher.num_edges() == full.len());
+            prop_assert!(
+                report.region_edges <= full.len(),
+                "conflict region {} larger than the edge set {}",
+                report.region_edges, full.len()
+            );
+            // The churn report is consistent with the matching diff:
+            // every reported arrival is matched, every departure is not
+            // (at its reported weight).
+            for e in &report.matched {
+                prop_assert!(got.contains(e), "reported arrival {e:?} not matched");
+            }
+            for e in &report.unmatched {
+                prop_assert!(!got.contains(e), "reported departure {e:?} still matched");
+            }
+        }
+    }
+
+    // Deltas that change nothing (re-upserting the current weight,
+    // removing an absent edge) must not grow the conflict region.
+    #[test]
+    fn noop_deltas_cost_nothing(batch in prop::collection::vec((0u64..6, 100u64..106, 2u8..9), 1..8)) {
+        let mut matcher = IncrementalMatcher::new();
+        let deltas = coalesce(&batch);
+        matcher.apply_deltas(&deltas);
+        let before = matcher.matching();
+        let report = matcher.apply_deltas(&deltas);
+        prop_assert!(report.region_edges == 0, "re-upserting current weights re-matched");
+        prop_assert!(report.matched.is_empty() && report.unmatched.is_empty());
+        let absent = [EdgeDelta { left: EntityId(99), right: EntityId(999), weight: None }];
+        let report = matcher.apply_deltas(&absent);
+        prop_assert!(report.region_edges == 0, "removing an absent edge re-matched");
+        prop_assert_eq!(matcher.matching(), before);
+    }
+}
