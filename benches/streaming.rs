@@ -16,7 +16,14 @@
 //!    pre-edge-cache barrier), then under localized bursts over a
 //!    handful of entities, where the per-shard edge caches, the
 //!    incremental matcher, and the warm GMM fit must keep barrier work
-//!    proportional to the update footprint.
+//!    proportional to the update footprint;
+//! 4. **ingest** — the same events drained through the async ingestion
+//!    front-end (`StreamEngine::drive`): producer thread, bounded
+//!    channel, watermark reorder buffer. Reports sustained events/s
+//!    plus the backpressure counters (`blocked_producer_ns`,
+//!    `queue_high_watermark`) and asserts nothing was dropped or late.
+//!    `--source synthetic` runs this phase alone (the CI smoke form:
+//!    `cargo bench --bench streaming -- --source synthetic --smoke`).
 //!
 //! Every run also proves the dirty-only refresh contract: across its
 //! ticks the engine must visit strictly fewer pairs than a full cache
@@ -162,9 +169,93 @@ fn assert_dirty_refresh(engine: &StreamEngine, phase: &str) {
     );
 }
 
+/// Phase 4: the ingestion front-end at full pressure. A producer thread
+/// feeds the bounded channel as fast as it can; the engine drains it
+/// with `EveryN` ticks. The producer (a vector copy) vastly outruns the
+/// engine, so the queue must fill and the blocked-time counter must
+/// move — the backpressure contract, asserted structurally on every
+/// run. Returns the sustained ingest rate for the floor check.
+fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
+    use slim::stream::source::SyntheticSource;
+    use slim::stream::{DriveOptions, TickPolicy};
+
+    const QUEUE_CAP: usize = 8_192;
+    let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+    let source = SyntheticSource::from_events(events.to_vec());
+    let opts = DriveOptions {
+        queue_cap: QUEUE_CAP,
+        source_batch: 4_096,
+        tick_policy: TickPolicy::EveryN(20_000),
+        max_lag_secs: 0,
+    };
+    let start = Instant::now();
+    let report = engine.drive(source, &opts).expect("drive");
+    engine.refresh();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let events_per_sec = report.events_delivered as f64 / elapsed_s;
+    let stats = engine.stats();
+    println!(
+        "{:>14}: {} events in {:.3}s → {:.0} events/s \
+         (queue high-watermark {}/{QUEUE_CAP}, producer blocked {:.1}ms, \
+         {} late, {} ticks, {} links)",
+        "ingest",
+        report.events_delivered,
+        elapsed_s,
+        events_per_sec,
+        report.queue_high_watermark,
+        report.blocked_producer_ns as f64 / 1e6,
+        report.late_events,
+        stats.ticks,
+        engine.links().len(),
+    );
+    println!(
+        "BENCH_STREAMING {{\"bench\":\"streaming_ingest\",\"shards\":{},\"events\":{},\
+         \"elapsed_s\":{elapsed_s:.6},\"events_per_sec\":{events_per_sec:.1},\
+         \"queue_cap\":{QUEUE_CAP},\"queue_high_watermark\":{},\
+         \"blocked_producer_ns\":{},\"late_events\":{},\"source_batches\":{},\
+         \"ticks\":{},\"links\":{}}}",
+        engine.num_shards(),
+        report.events_delivered,
+        report.queue_high_watermark,
+        report.blocked_producer_ns,
+        report.late_events,
+        report.source_batches,
+        stats.ticks,
+        engine.links().len(),
+    );
+    assert_eq!(
+        report.events_delivered,
+        events.len() as u64,
+        "the bounded channel must never drop events"
+    );
+    assert_eq!(report.late_events, 0, "canonical replay has no disorder");
+    assert!(
+        report.queue_high_watermark >= 1 && report.queue_high_watermark <= QUEUE_CAP as u64,
+        "queue high-watermark {} outside 1..={QUEUE_CAP}",
+        report.queue_high_watermark
+    );
+    assert!(
+        report.blocked_producer_ns > 0,
+        "a full-speed producer against a {QUEUE_CAP}-event queue must hit \
+         backpressure at least once"
+    );
+    assert_dirty_refresh(&engine, "ingest");
+    events_per_sec
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let lenient = smoke || std::env::var_os("STREAM_BENCH_LENIENT").is_some();
+    // `--source synthetic` runs only the ingest-front-end phase.
+    let ingest_only = match args.iter().position(|a| a == "--source") {
+        Some(i) => {
+            let src = args.get(i + 1).map(String::as_str).unwrap_or("");
+            assert_eq!(src, "synthetic", "only `--source synthetic` is benchable");
+            true
+        }
+        None => false,
+    };
     // ~110k check-in events: 0.25 × 30k users at ~12 records per view
     // (~22k in `--smoke`).
     let scenario = Scenario::sm(if smoke { 0.05 } else { 0.25 }, 42);
@@ -176,6 +267,27 @@ fn main() {
         sample.left.num_entities(),
         sample.right.num_entities()
     );
+
+    if ingest_only {
+        let rate = run_ingest_phase(&events);
+        if lenient {
+            println!(
+                "floors not enforced ({})",
+                if smoke {
+                    "--smoke"
+                } else {
+                    "STREAM_BENCH_LENIENT set"
+                }
+            );
+        } else {
+            assert!(
+                rate >= FLOOR_EVENTS_PER_SEC,
+                "ingest regression: {rate:.0} events/s is below the \
+                 {FLOOR_EVENTS_PER_SEC:.0} floor"
+            );
+        }
+        return;
+    }
 
     // Phase 1: per-event latency (ticks included), default shards.
     let run_latency = || {
@@ -422,6 +534,9 @@ fn main() {
          sweep-tick p95 {sweep_p95}µs"
     );
 
+    // Phase 4: the async ingestion front-end over the same events.
+    let ingest_rate = run_ingest_phase(&events);
+
     // `--smoke` / STREAM_BENCH_LENIENT turn the absolute floors into
     // report-only output for environments with no performance
     // guarantees (shared CI runners); every structural assertion above
@@ -450,5 +565,10 @@ fn main() {
         best >= FLOOR_EVENTS_PER_SEC,
         "throughput regression: best phase {best:.0} events/s is below the \
          {FLOOR_EVENTS_PER_SEC:.0} floor"
+    );
+    assert!(
+        ingest_rate >= FLOOR_EVENTS_PER_SEC,
+        "ingest regression: the front-end sustained {ingest_rate:.0} events/s, \
+         below the {FLOOR_EVENTS_PER_SEC:.0} floor"
     );
 }

@@ -7,6 +7,8 @@
 //! ```text
 //! slim-link LEFT.csv RIGHT.csv [options]
 //! slim-link --stream LEFT.csv RIGHT.csv [options]   # replay as an event stream
+//! slim-link --stream --source tcp HOST:PORT         # tail a live feed
+//! slim-link --stream --source synthetic             # generated live workload
 //! slim-link --demo out-dir            # generate a linkable sample pair
 //! ```
 
@@ -15,19 +17,63 @@
 use std::path::PathBuf;
 
 use slim_core::{MatchingMethod, SlimConfig, ThresholdMethod};
+use slim_stream::TickPolicy;
 
-/// Streaming-replay options (`--stream`).
+/// Which ingestion front-end feeds the streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceKind {
+    /// Replay the two CSV datasets as the canonical merged stream.
+    #[default]
+    Csv,
+    /// Tail a live TCP feed of side-tagged event lines (the positional
+    /// argument is the `host:port` to connect to).
+    Tcp,
+    /// A slim-datagen workload delivered as a live source.
+    Synthetic,
+}
+
+impl SourceKind {
+    /// The `--source` spelling (also used in the summary line).
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Csv => "csv",
+            SourceKind::Tcp => "tcp",
+            SourceKind::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// Streaming options (`--stream`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamOptions {
     /// Sliding-window capacity in temporal windows (`None` = unbounded).
     pub window_capacity: Option<u32>,
-    /// Refresh-tick interval in events.
+    /// Refresh-tick interval in events (the `every:N` tick policy;
+    /// superseded by an explicit `--tick-policy`).
     pub refresh_every: usize,
-    /// Ingest batch size for sharded binning.
+    /// Ingest batch size: source poll size and channel drain size.
     pub batch_size: usize,
     /// Engine state shards (`0` = one per available core). Output is
     /// bit-identical for every value; this only changes parallelism.
     pub num_shards: usize,
+    /// The ingestion front-end.
+    pub source: SourceKind,
+    /// Explicit tick policy (`None` = `every:refresh_every`).
+    pub tick_policy: Option<TickPolicy>,
+    /// Bounded ingest queue capacity in events; a full queue blocks the
+    /// feed (counted backpressure), never drops.
+    pub queue_cap: usize,
+    /// Out-of-order tolerance of the reorder buffer in event-time
+    /// seconds, independent of the tick policy (a `watermark:LAG`
+    /// policy uses the larger of the two). `0` = feed must be in
+    /// order; disordered arrivals are counted late and dropped.
+    pub max_lag_secs: i64,
+    /// Synthetic source pacing in events/s (`0` = unthrottled).
+    pub rate: f64,
+    /// Synthetic workload scale factor.
+    pub synthetic_scale: f64,
+    /// Synthetic workload seed.
+    pub synthetic_seed: u64,
 }
 
 impl Default for StreamOptions {
@@ -37,6 +83,13 @@ impl Default for StreamOptions {
             refresh_every: 10_000,
             batch_size: 8_192,
             num_shards: 0,
+            source: SourceKind::Csv,
+            tick_policy: None,
+            queue_cap: 65_536,
+            max_lag_secs: 0,
+            rate: 0.0,
+            synthetic_scale: 0.05,
+            synthetic_seed: 42,
         }
     }
 }
@@ -56,6 +109,8 @@ pub struct CliOptions {
     pub lsh: Option<slim_lsh::LshConfig>,
     /// Replay the datasets as a timestamped event stream (`--stream`).
     pub stream: Option<StreamOptions>,
+    /// The `host:port` of a live feed (`--source tcp`).
+    pub tcp_addr: Option<String>,
     /// Output CSV path (stdout when `None`).
     pub out: Option<PathBuf>,
     /// Print per-step progress.
@@ -69,9 +124,12 @@ slim-link — link the entities of two location datasets (SLIM, SIGMOD'20)
 USAGE:
     slim-link LEFT.csv RIGHT.csv [OPTIONS]
     slim-link --stream LEFT.csv RIGHT.csv [OPTIONS]
+    slim-link --stream --source tcp HOST:PORT [OPTIONS]
+    slim-link --stream --source synthetic [OPTIONS]
     slim-link --demo DIR [OPTIONS]
 
 CSV format: entity_id,latitude,longitude,timestamp[,accuracy_m]
+TCP feed format (one event per line): side(L|R),entity_id,latitude,longitude,timestamp[,accuracy_m]
 
 OPTIONS:
     --window-mins N      temporal window width in minutes   [default: 15]
@@ -96,6 +154,26 @@ OPTIONS:
     --shards N           engine state shards; ingest and refresh run one
                          worker per shard and output is bit-identical for
                          every value; 0 = one per core    [default: 0]
+    --source MODE        ingestion front-end: csv (replay the two CSVs),
+                         tcp (tail a live feed at the HOST:PORT given in
+                         place of the dataset paths), or synthetic (a
+                         generated live workload)         [default: csv]
+    --tick-policy SPEC   when refresh ticks fire while draining the
+                         source: every:N (ingested events), event-time:S
+                         (stream seconds), or watermark:LAG (buffer out-
+                         of-order events up to LAG seconds and tick as
+                         temporal windows seal)   [default: every:10000]
+    --queue-cap N        bounded ingest queue capacity in events; a full
+                         queue blocks the feed — counted backpressure,
+                         never dropped events          [default: 65536]
+    --max-lag SECS       out-of-order tolerance of the ingest reorder
+                         buffer in event-time seconds, independent of
+                         the tick policy; older arrivals are counted
+                         late and dropped                 [default: 0]
+    --rate F             synthetic source pacing in events/s;
+                         0 = unthrottled                  [default: 0]
+    --synthetic-scale F  synthetic workload scale         [default: 0.05]
+    --synthetic-seed N   synthetic workload seed          [default: 42]
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -163,6 +241,75 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--shards" => {
                 let v = take_value(args, i, arg)?;
                 stream_opts.num_shards = v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--source" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.source = match v.as_str() {
+                    "csv" => SourceKind::Csv,
+                    "tcp" => SourceKind::Tcp,
+                    "synthetic" => SourceKind::Synthetic,
+                    other => {
+                        return Err(format!("unknown source `{other}` (csv | tcp | synthetic)"))
+                    }
+                };
+                want_stream = true;
+                i += 2;
+            }
+            "--tick-policy" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.tick_policy = Some(parse_tick_policy(&v)?);
+                want_stream = true;
+                i += 2;
+            }
+            "--queue-cap" => {
+                let v = take_value(args, i, arg)?;
+                let n: usize = v.parse().map_err(|_| format!("bad --queue-cap `{v}`"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be positive".to_string());
+                }
+                stream_opts.queue_cap = n;
+                want_stream = true;
+                i += 2;
+            }
+            "--max-lag" => {
+                let v = take_value(args, i, arg)?;
+                let lag: i64 = v.parse().map_err(|_| format!("bad --max-lag `{v}`"))?;
+                if lag < 0 {
+                    return Err("--max-lag must be non-negative".to_string());
+                }
+                stream_opts.max_lag_secs = lag;
+                want_stream = true;
+                i += 2;
+            }
+            "--rate" => {
+                let v = take_value(args, i, arg)?;
+                let r: f64 = v.parse().map_err(|_| format!("bad --rate `{v}`"))?;
+                if !(r.is_finite() && r >= 0.0) {
+                    return Err("--rate must be a non-negative number".to_string());
+                }
+                stream_opts.rate = r;
+                want_stream = true;
+                i += 2;
+            }
+            "--synthetic-scale" => {
+                let v = take_value(args, i, arg)?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --synthetic-scale `{v}`"))?;
+                if !(s > 0.0 && s <= 4.0) {
+                    return Err("--synthetic-scale must be in (0, 4]".to_string());
+                }
+                stream_opts.synthetic_scale = s;
+                want_stream = true;
+                i += 2;
+            }
+            "--synthetic-seed" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.synthetic_seed = v
+                    .parse()
+                    .map_err(|_| format!("bad --synthetic-seed `{v}`"))?;
                 want_stream = true;
                 i += 2;
             }
@@ -248,14 +395,40 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
 
     if opts.demo.is_none() {
-        if positional.len() != 2 {
-            return Err(format!(
-                "expected exactly two dataset paths, got {}\n\n{USAGE}",
-                positional.len()
-            ));
+        // What the positional arguments mean depends on the stream
+        // source: csv links two datasets, tcp connects to an address,
+        // synthetic needs nothing.
+        let source = if want_stream {
+            stream_opts.source
+        } else {
+            SourceKind::Csv
+        };
+        match source {
+            SourceKind::Csv => {
+                if positional.len() != 2 {
+                    return Err(format!(
+                        "expected exactly two dataset paths, got {}\n\n{USAGE}",
+                        positional.len()
+                    ));
+                }
+                opts.right = Some(positional.pop().unwrap());
+                opts.left = Some(positional.pop().unwrap());
+            }
+            SourceKind::Tcp => {
+                if positional.len() != 1 {
+                    return Err(format!(
+                        "--source tcp expects exactly one HOST:PORT argument, got {}",
+                        positional.len()
+                    ));
+                }
+                opts.tcp_addr = Some(positional.pop().unwrap().to_string_lossy().into_owned());
+            }
+            SourceKind::Synthetic => {
+                if !positional.is_empty() {
+                    return Err("--source synthetic takes no dataset paths".to_string());
+                }
+            }
         }
-        opts.right = Some(positional.pop().unwrap());
-        opts.left = Some(positional.pop().unwrap());
     } else if !positional.is_empty() {
         return Err("--demo takes no dataset paths".to_string());
     }
@@ -272,11 +445,54 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     Ok(opts)
 }
 
+/// Parses a `--tick-policy` spec: `every:N`, `event-time:SECS`, or
+/// `watermark:LAG_SECS`.
+pub fn parse_tick_policy(spec: &str) -> Result<TickPolicy, String> {
+    let (kind, value) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad --tick-policy `{spec}` (expected kind:value)"))?;
+    match kind {
+        "every" => {
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("bad tick count `{value}`"))?;
+            Ok(TickPolicy::EveryN(n))
+        }
+        "event-time" => {
+            let s: i64 = value
+                .parse()
+                .map_err(|_| format!("bad interval `{value}`"))?;
+            if s <= 0 {
+                return Err("event-time interval must be positive".to_string());
+            }
+            Ok(TickPolicy::EventTime { interval_secs: s })
+        }
+        "watermark" => {
+            let s: i64 = value.parse().map_err(|_| format!("bad lag `{value}`"))?;
+            if s < 0 {
+                return Err("watermark lag must be non-negative".to_string());
+            }
+            Ok(TickPolicy::Watermark { max_lag_secs: s })
+        }
+        other => Err(format!(
+            "unknown tick policy `{other}` (every | event-time | watermark)"
+        )),
+    }
+}
+
 /// Runs the linkage described by `opts`, returning the rendered summary
 /// (links go to `opts.out` or are included in the summary for stdout).
 pub fn run(opts: &CliOptions) -> Result<String, String> {
     use slim_core::io;
     use slim_core::Slim;
+
+    // Live sources have no datasets to load up front: hand off to the
+    // streaming front-end immediately.
+    if let Some(stream_opts) = &opts.stream {
+        if stream_opts.source != SourceKind::Csv {
+            return run_stream(opts, stream_opts, None);
+        }
+    }
 
     let (left, right) = if let Some(dir) = &opts.demo {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -322,7 +538,7 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
     ));
 
     if let Some(stream_opts) = &opts.stream {
-        return run_stream(opts, stream_opts, &left_ds, &right_ds, log);
+        return run_stream(opts, stream_opts, Some((&left_ds, &right_ds)));
     }
 
     let slim = Slim::new(opts.config)?;
@@ -378,21 +594,26 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
     Ok(summary)
 }
 
-/// Streaming replay: flattens the two datasets into one time-ordered
-/// event stream, feeds it through the incremental engine in sharded
-/// batches, reports the link updates of every refresh tick, and closes
-/// with the exact finalized link set.
+/// Streaming mode: builds the configured ingestion front-end (CSV
+/// replay, live TCP feed, or synthetic workload), lets the engine drain
+/// it through the bounded backpressured channel with the configured
+/// tick policy, and closes with the exact finalized link set.
 fn run_stream(
     opts: &CliOptions,
     stream_opts: &StreamOptions,
-    left_ds: &slim_core::LocationDataset,
-    right_ds: &slim_core::LocationDataset,
-    log: impl Fn(&str),
+    datasets: Option<(&slim_core::LocationDataset, &slim_core::LocationDataset)>,
 ) -> Result<String, String> {
     use slim_core::io;
+    use slim_stream::source::{CsvReplaySource, SyntheticSource, TcpLineSource};
     use slim_stream::{
-        batch_equivalent_origin, merge_datasets, LinkUpdate, StreamConfig, StreamEngine,
-        StreamLshConfig,
+        batch_equivalent_origin, merge_datasets, DriveOptions, LinkUpdate, StreamConfig,
+        StreamEngine, StreamLshConfig, TickPolicy,
+    };
+
+    let log = |msg: &str| {
+        if opts.verbose {
+            eprintln!("[slim-link] {msg}");
+        }
     };
 
     let lsh = opts.lsh.map(|base| {
@@ -414,32 +635,89 @@ fn run_stream(
         num_shards: stream_opts.num_shards,
         lsh,
     };
-    // Pin the window origin to what the batch pipeline would use, so an
-    // unbounded replay finalizes bit-identically even when the earliest
-    // record belongs to a sparse entity the min-records filter drops.
-    let mut engine = match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
-        Some(origin) => StreamEngine::with_origin(cfg, origin)?,
-        None => StreamEngine::new(cfg)?,
+    let drive_opts = DriveOptions {
+        queue_cap: stream_opts.queue_cap,
+        source_batch: stream_opts.batch_size.max(1),
+        tick_policy: stream_opts
+            .tick_policy
+            .unwrap_or(TickPolicy::EveryN(stream_opts.refresh_every)),
+        max_lag_secs: stream_opts.max_lag_secs,
     };
 
-    let events = merge_datasets(left_ds, right_ds);
-    log(&format!("replaying {} events", events.len()));
-    let start = std::time::Instant::now();
-    let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
-    for batch in events.chunks(stream_opts.batch_size.max(1)) {
-        for update in engine.ingest_batch(batch) {
-            match update {
-                LinkUpdate::Added(_) => added += 1,
-                LinkUpdate::Removed(_) => removed += 1,
-                LinkUpdate::Reweighted { .. } => reweighted += 1,
+    // Build the engine and the source. Replay-style sources know their
+    // data up front, so the window origin is pinned to what the batch
+    // pipeline would use — an unbounded replay then finalizes
+    // bit-identically even when the earliest record belongs to a sparse
+    // entity the min-records filter drops. A live TCP feed cannot be
+    // pinned; its origin is the first event.
+    let (mut engine, source): (StreamEngine, Box<dyn slim_stream::StreamSource + Send>) =
+        match stream_opts.source {
+            SourceKind::Csv => {
+                let (left_ds, right_ds) = datasets.expect("csv streams load datasets first");
+                let engine =
+                    match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
+                        Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                        None => StreamEngine::new(cfg)?,
+                    };
+                let source = CsvReplaySource::from_datasets(left_ds, right_ds);
+                log(&format!("replaying {} events", source.events().len()));
+                (engine, Box::new(source))
             }
+            SourceKind::Tcp => {
+                let addr = opts.tcp_addr.as_deref().expect("validated by parse_args");
+                log(&format!("tailing live feed at {addr}"));
+                (
+                    StreamEngine::new(cfg)?,
+                    Box::new(TcpLineSource::connect(addr)?),
+                )
+            }
+            SourceKind::Synthetic => {
+                let scenario = slim_datagen::Scenario::cab(
+                    stream_opts.synthetic_scale,
+                    stream_opts.synthetic_seed,
+                );
+                let synthetic_sample = scenario.sample(0.5, stream_opts.synthetic_seed);
+                let engine = match batch_equivalent_origin(
+                    &synthetic_sample.left,
+                    &synthetic_sample.right,
+                    opts.config.min_records,
+                ) {
+                    Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                    None => StreamEngine::new(cfg)?,
+                };
+                let events = merge_datasets(&synthetic_sample.left, &synthetic_sample.right);
+                log(&format!(
+                    "feeding {} synthetic events{}",
+                    events.len(),
+                    if stream_opts.rate > 0.0 {
+                        format!(" at {} events/s", stream_opts.rate)
+                    } else {
+                        String::new()
+                    }
+                ));
+                let mut source = SyntheticSource::from_events(events);
+                if stream_opts.rate > 0.0 {
+                    source = source.with_rate(stream_opts.rate);
+                }
+                (engine, Box::new(source))
+            }
+        };
+
+    let start = std::time::Instant::now();
+    let report = engine.drive(source, &drive_opts)?;
+    let replay_elapsed = start.elapsed();
+    let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
+    for update in &report.updates {
+        match update {
+            LinkUpdate::Added(_) => added += 1,
+            LinkUpdate::Removed(_) => removed += 1,
+            LinkUpdate::Reweighted { .. } => reweighted += 1,
         }
     }
-    let replay_elapsed = start.elapsed();
     let stats = *engine.stats();
     let num_shards = engine.num_shards();
     log(&format!(
-        "replayed in {replay_elapsed:.2?} on {num_shards} shard(s): {} ticks, \
+        "drained in {replay_elapsed:.2?} on {num_shards} shard(s): {} ticks, \
          {} rescored (pair, window) terms ({} of {} tick-time cached pairs visited, \
          {} retired), {} edge patches, matching region {} edges, {} warm EM iters, \
          {} windows expired, {} late events dropped",
@@ -462,14 +740,22 @@ fn run_stream(
         0.0
     };
     let mut summary = format!(
-        "stream: {} events at {:.0} events/s, {} ticks \
+        "stream: {} events via {} source at {:.0} events/s, {} ticks \
          ({added} added / {removed} removed / {reweighted} reweighted updates)\n\
+         ingest: queue high-watermark {} of {}, producer blocked {:.2} ms, \
+         {} late events, {} source stalls\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
          matching region {} edges, {} warm EM iters\n\
          {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
         stats.events,
+        stream_opts.source.label(),
         events_per_sec,
         stats.ticks,
+        report.queue_high_watermark,
+        stream_opts.queue_cap,
+        report.blocked_producer_ns as f64 / 1e6,
+        report.late_events,
+        report.source_stalls,
         stats.dirty_pairs_visited,
         stats.cached_pairs_at_ticks,
         stats.retired_pairs,
@@ -731,6 +1017,150 @@ mod tests {
         };
         let err = run(&bad).unwrap_err();
         assert!(err.contains("step_windows"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_flags_parse() {
+        // --source implies --stream; tcp repurposes the positional
+        // argument as the feed address.
+        let o = parse(&["--source", "tcp", "127.0.0.1:4455"]).unwrap();
+        assert_eq!(o.stream.unwrap().source, SourceKind::Tcp);
+        assert_eq!(o.tcp_addr.as_deref(), Some("127.0.0.1:4455"));
+        assert!(parse(&["--source", "tcp"]).is_err(), "tcp needs an addr");
+        assert!(parse(&["--source", "tcp", "a", "b"]).is_err());
+        // synthetic takes no paths at all.
+        let o = parse(&["--source", "synthetic", "--rate", "50000"]).unwrap();
+        let s = o.stream.unwrap();
+        assert_eq!(s.source, SourceKind::Synthetic);
+        assert!((s.rate - 50_000.0).abs() < 1e-9);
+        assert!(parse(&["--source", "synthetic", "x.csv"]).is_err());
+        assert!(parse(&["--source", "carrier-pigeon", "a", "b"]).is_err());
+        // Tick policies parse into the pump's enum.
+        let o = parse(&["a.csv", "b.csv", "--tick-policy", "every:500"]).unwrap();
+        assert_eq!(o.stream.unwrap().tick_policy, Some(TickPolicy::EveryN(500)));
+        let o = parse(&["a.csv", "b.csv", "--tick-policy", "event-time:3600"]).unwrap();
+        assert_eq!(
+            o.stream.unwrap().tick_policy,
+            Some(TickPolicy::EventTime {
+                interval_secs: 3600
+            })
+        );
+        let o = parse(&["a.csv", "b.csv", "--tick-policy", "watermark:900"]).unwrap();
+        assert_eq!(
+            o.stream.unwrap().tick_policy,
+            Some(TickPolicy::Watermark { max_lag_secs: 900 })
+        );
+        for bad in [
+            "nonsense",
+            "every:x",
+            "event-time:0",
+            "event-time:-5",
+            "watermark:-1",
+            "cron:*",
+        ] {
+            assert!(
+                parse(&["a.csv", "b.csv", "--tick-policy", bad]).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+        // Queue capacity and synthetic knobs.
+        let o = parse(&["a.csv", "b.csv", "--queue-cap", "128"]).unwrap();
+        assert_eq!(o.stream.unwrap().queue_cap, 128);
+        assert!(parse(&["a.csv", "b.csv", "--queue-cap", "0"]).is_err());
+        assert!(parse(&["a.csv", "b.csv", "--rate", "-1"]).is_err());
+        let o = parse(&["--source", "synthetic", "--synthetic-scale", "0.2"]).unwrap();
+        assert!((o.stream.unwrap().synthetic_scale - 0.2).abs() < 1e-12);
+        assert!(parse(&["--source", "synthetic", "--synthetic-scale", "9"]).is_err());
+        let o = parse(&["--source", "synthetic", "--synthetic-seed", "7"]).unwrap();
+        assert_eq!(o.stream.unwrap().synthetic_seed, 7);
+        // Reorder tolerance decoupled from the tick policy.
+        let o = parse(&["a.csv", "b.csv", "--max-lag", "900"]).unwrap();
+        assert_eq!(o.stream.unwrap().max_lag_secs, 900);
+        assert!(parse(&["a.csv", "b.csv", "--max-lag", "-1"]).is_err());
+    }
+
+    /// The new ingest flags' documented defaults must match
+    /// `StreamOptions::default()` — same drift guard as the original
+    /// audit, for the front-end knobs.
+    #[test]
+    fn usage_defaults_cover_ingest_flags() {
+        let stream = StreamOptions::default();
+        assert!(
+            USAGE.contains("--source MODE") && USAGE.contains("[default: csv]"),
+            "source mode default undocumented"
+        );
+        assert_eq!(stream.source, SourceKind::Csv);
+        assert!(USAGE.contains(&format!("[default: every:{}]", stream.refresh_every)));
+        assert_eq!(
+            stream.tick_policy, None,
+            "default policy is every:refresh_every"
+        );
+        assert!(USAGE.contains(&format!("[default: {}]", stream.queue_cap)));
+        assert!(USAGE.contains("--max-lag SECS"));
+        assert_eq!(stream.max_lag_secs, 0);
+        assert!(USAGE.contains(&format!("[default: {}]", stream.synthetic_seed)));
+        assert!(USAGE.contains(&format!("[default: {}]", stream.synthetic_scale)));
+        assert_eq!(stream.rate, 0.0);
+    }
+
+    /// `--source tcp` end to end over a loopback socket: a listener
+    /// feeds side-tagged event lines, the CLI tails the feed to EOF,
+    /// and the summary reports the source type plus the queue
+    /// high-watermark and late/blocked backpressure counters.
+    #[test]
+    fn tcp_source_end_to_end() {
+        use std::io::Write;
+
+        let scenario = slim_datagen::Scenario::cab(0.04, 9);
+        let sample = scenario.sample(0.5, 9);
+        let events = slim_stream::merge_datasets(&sample.left, &sample.right);
+        assert!(events.len() > 1_000, "fixture too small");
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        let feeder = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().expect("accept");
+            let mut w = std::io::BufWriter::new(conn);
+            writeln!(w, "side,entity_id,latitude,longitude,timestamp").unwrap();
+            for ev in &events {
+                writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+            }
+            events.len()
+        });
+
+        let dir = std::env::temp_dir().join("slim_cli_tcp_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("links.csv");
+        let opts = CliOptions {
+            tcp_addr: Some(addr),
+            stream: Some(StreamOptions {
+                source: SourceKind::Tcp,
+                refresh_every: 2_000,
+                num_shards: 2,
+                queue_cap: 512,
+                ..StreamOptions::default()
+            }),
+            out: Some(out.clone()),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        let fed = feeder.join().expect("feeder");
+
+        assert!(summary.contains("via tcp source"), "{summary}");
+        assert!(
+            summary.contains(&format!("stream: {fed} events")),
+            "{summary}"
+        );
+        assert!(summary.contains("queue high-watermark"), "{summary}");
+        assert!(summary.contains("late events"), "{summary}");
+        assert!(summary.contains("producer blocked"), "{summary}");
+        let links = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            links.lines().count() > 1,
+            "live feed produced no links:\n{summary}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

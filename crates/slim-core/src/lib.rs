@@ -67,6 +67,7 @@ pub mod similarity;
 pub mod slim;
 pub mod stats;
 pub mod threshold;
+pub mod time;
 pub mod tree;
 pub mod tuning;
 pub mod window;
@@ -80,4 +81,5 @@ pub use record::{EntityId, Record, Timestamp};
 pub use slim::{LinkageOutput, PreparedLinkage, Slim};
 pub use stats::LinkageStats;
 pub use threshold::{StopThreshold, ThresholdState, WarmSelection};
+pub use time::Watermark;
 pub use window::{WindowIdx, WindowScheme};

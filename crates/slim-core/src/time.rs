@@ -1,0 +1,128 @@
+//! Event-time primitives for out-of-order streams.
+//!
+//! A live feed does not arrive in timestamp order: independent producers
+//! race, networks reorder, and buffers flush late. The standard tool is
+//! a **low watermark** — a monotone lower bound on the event times still
+//! to come, derived from the highest time seen so far minus a bounded
+//! *lag* the stream is allowed to be disordered by. Events strictly
+//! below the watermark can be released in timestamp order exactly once
+//! (nothing earlier can still arrive, by the lag contract); events
+//! arriving *below* an already-advanced watermark broke the contract
+//! and are **late**.
+
+use crate::record::Timestamp;
+
+/// A low watermark over an event stream with bounded out-of-order lag.
+///
+/// `observe` feeds arrival timestamps; [`Watermark::frontier`] is the
+/// monotone bound `max_seen - lag`: every event with `time < frontier`
+/// is safe to emit in timestamp order, and an *arrival* with
+/// `time < frontier` is late ([`Watermark::is_late`]). With `lag = 0`
+/// the stream is asserted non-decreasing: any arrival strictly older
+/// than the newest one seen is late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermark {
+    max_seen: Option<i64>,
+    lag_secs: i64,
+}
+
+impl Watermark {
+    /// A watermark tolerating event-time disorder up to `lag_secs`.
+    ///
+    /// # Panics
+    /// Panics if `lag_secs` is negative.
+    pub fn new(lag_secs: i64) -> Self {
+        assert!(lag_secs >= 0, "watermark lag must be non-negative");
+        Self {
+            max_seen: None,
+            lag_secs,
+        }
+    }
+
+    /// The configured out-of-order tolerance in seconds.
+    #[inline]
+    pub fn lag_secs(&self) -> i64 {
+        self.lag_secs
+    }
+
+    /// The highest event time observed so far.
+    #[inline]
+    pub fn max_seen(&self) -> Option<Timestamp> {
+        self.max_seen.map(Timestamp)
+    }
+
+    /// The current frontier `max_seen - lag` (`None` before the first
+    /// observation). Monotone non-decreasing under `observe`.
+    #[inline]
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.max_seen
+            .map(|m| Timestamp(m.saturating_sub(self.lag_secs)))
+    }
+
+    /// Whether an arrival at `t` is late: strictly below the frontier,
+    /// i.e. events at or after `t` may already have been released.
+    #[inline]
+    pub fn is_late(&self, t: Timestamp) -> bool {
+        matches!(self.frontier(), Some(f) if t < f)
+    }
+
+    /// Feeds one arrival time and returns the (possibly advanced)
+    /// frontier. Lateness of the arrival itself is judged against the
+    /// frontier *before* this observation — call [`Watermark::is_late`]
+    /// first.
+    pub fn observe(&mut self, t: Timestamp) -> Option<Timestamp> {
+        self.max_seen = Some(self.max_seen.map_or(t.secs(), |m| m.max(t.secs())));
+        self.frontier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_trails_by_lag() {
+        let mut wm = Watermark::new(100);
+        assert_eq!(wm.frontier(), None);
+        wm.observe(Timestamp(1000));
+        assert_eq!(wm.frontier(), Some(Timestamp(900)));
+        assert_eq!(wm.max_seen(), Some(Timestamp(1000)));
+        // Older observations never move the frontier backwards.
+        wm.observe(Timestamp(500));
+        assert_eq!(wm.frontier(), Some(Timestamp(900)));
+        wm.observe(Timestamp(2000));
+        assert_eq!(wm.frontier(), Some(Timestamp(1900)));
+    }
+
+    #[test]
+    fn lateness_is_strictly_below_frontier() {
+        let mut wm = Watermark::new(50);
+        wm.observe(Timestamp(1000));
+        assert!(wm.is_late(Timestamp(949)));
+        assert!(!wm.is_late(Timestamp(950)), "at the frontier is not late");
+        assert!(!wm.is_late(Timestamp(1000)));
+    }
+
+    #[test]
+    fn zero_lag_asserts_nondecreasing_arrival() {
+        let mut wm = Watermark::new(0);
+        assert!(!wm.is_late(Timestamp(10)));
+        wm.observe(Timestamp(10));
+        // Ties are fine; strictly older arrivals are late.
+        assert!(!wm.is_late(Timestamp(10)));
+        assert!(wm.is_late(Timestamp(9)));
+    }
+
+    #[test]
+    fn saturates_near_i64_min() {
+        let mut wm = Watermark::new(i64::MAX);
+        wm.observe(Timestamp(0));
+        assert_eq!(wm.frontier(), Some(Timestamp(-i64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lag_panics() {
+        let _ = Watermark::new(-1);
+    }
+}

@@ -124,6 +124,19 @@ pub struct StreamStats {
     /// cold fits — first tick, warm non-convergence fallback, or a
     /// non-GMM threshold method).
     pub em_warm_iters: u64,
+    /// Total nanoseconds an ingestion-front-end producer spent blocked
+    /// on a full bounded channel across [`StreamEngine::drive`] runs —
+    /// nonzero means backpressure reached the feed (the engine is the
+    /// bottleneck, not the source).
+    pub blocked_producer_ns: u64,
+    /// Highest bounded-channel occupancy observed by any
+    /// [`StreamEngine::drive`] run (≤ its `queue_cap`).
+    pub queue_high_watermark: u64,
+    /// Arrivals rejected by the front-end watermark reorder buffer for
+    /// exceeding the configured out-of-order lag. Distinct from
+    /// [`StreamStats::late_dropped`], which counts events whose
+    /// *window* had already expired out of the sliding window.
+    pub late_events: u64,
     /// Entities demoted because expiry left them at or below the
     /// min-records threshold.
     pub demoted_entities: u64,
@@ -317,6 +330,38 @@ impl StreamEngine {
 
     fn lsh_level(&self) -> Option<u8> {
         self.lsh.as_ref().map(|l| l.geom.spatial_level)
+    }
+
+    /// Drains a [`crate::source::StreamSource`] to EOF through the
+    /// bounded ingestion front-end: the source runs on a producer
+    /// thread behind a backpressured channel, arrivals are restored to
+    /// canonical order by the watermark reorder buffer, and refresh
+    /// ticks fire per [`crate::source::TickPolicy`] — the inverted
+    /// loop where the engine pulls its feed instead of being pushed
+    /// events. Overrides the engine's `refresh_every` with the policy
+    /// (an `EveryN(n)` policy installs `n`; the others disable the
+    /// internal counter and tick from the pump). Does *not* refresh or
+    /// finalize at EOF; callers decide how to close the stream.
+    pub fn drive<S: crate::source::StreamSource + Send>(
+        &mut self,
+        source: S,
+        opts: &crate::source::DriveOptions,
+    ) -> Result<crate::source::IngestReport, String> {
+        crate::source::pump::run(self, source, opts)
+    }
+
+    /// Installs the tick policy's internal refresh interval (the pump
+    /// owns external ticking for the non-`EveryN` policies).
+    pub(crate) fn set_refresh_every(&mut self, n: usize) {
+        self.cfg.refresh_every = n;
+        self.events_since_refresh = 0;
+    }
+
+    /// Folds one drive run's channel/watermark counters into the stats.
+    pub(crate) fn absorb_ingest_report(&mut self, blocked_ns: u64, high_wm: u64, late: u64) {
+        self.stats.blocked_producer_ns += blocked_ns;
+        self.stats.queue_high_watermark = self.stats.queue_high_watermark.max(high_wm);
+        self.stats.late_events += late;
     }
 
     /// Ingests one event. Returns link updates when this event completed

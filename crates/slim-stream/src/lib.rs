@@ -13,6 +13,14 @@
 //!
 //! ## Architecture
 //!
+//! Upstream of the engine sits the **async ingestion front-end**
+//! ([`source`]): a [`source::StreamSource`] (CSV replay, live TCP
+//! feed, synthetic workload) runs on a producer thread behind a
+//! bounded backpressured channel, a watermark reorder buffer restores
+//! canonical event order under bounded out-of-order delivery, and a
+//! [`source::TickPolicy`] schedules refresh ticks —
+//! [`StreamEngine::drive`] drains a source to EOF. The engine proper:
+//!
 //! The engine state is **sharded end-to-end by entity hash**: each
 //! `EngineShard` owns its entities' histories, min-records buffers,
 //! LSH rings, and the contribution caches + entity→pair adjacency of
@@ -117,7 +125,13 @@ pub mod event;
 mod lsh;
 mod merge;
 mod shard;
+pub mod source;
+pub mod testing;
 
 pub use config::{StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};
+pub use source::{
+    CsvReplaySource, DriveOptions, IngestReport, StreamSource, SyntheticSource, TcpLineSource,
+    TickPolicy,
+};

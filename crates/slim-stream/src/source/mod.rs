@@ -1,0 +1,248 @@
+//! The async ingestion front-end: sources, the bounded channel, and the
+//! pump that drains them into the engine.
+//!
+//! Everything upstream of [`crate::StreamEngine::ingest_batch`] lives
+//! here. A [`StreamSource`] produces event batches (from a CSV replay, a
+//! live TCP feed, or a synthetic generator); the pump
+//! ([`crate::StreamEngine::drive`]) runs it on a producer thread behind
+//! a **bounded channel** ([`channel`]) whose backpressure is explicit
+//! (`blocked_producer_ns`, `queue_high_watermark`), restores canonical
+//! event order through a **watermark reorder buffer** ([`reorder`]), and
+//! fires refresh ticks according to a [`TickPolicy`]:
+//!
+//! ```text
+//!  source ──► producer thread ──► bounded channel ──► reorder buffer
+//!  (csv │ tcp │ synthetic │ scripted)      (backpressure)   (watermark)
+//!                                                              │ canonical order
+//!                                                              ▼
+//!                                   tick policy ──► engine control scan
+//! ```
+//!
+//! The reorder buffer is what preserves the engine's bit-identity
+//! contracts under a live feed: any delivery schedule whose event-time
+//! disorder stays within the configured lag reaches the engine in
+//! exactly the canonical `(time, side, entity)` order a sorted replay
+//! would use, so links, update streams, and finalized output match the
+//! direct replay path bit for bit (`tests/ingest_equivalence.rs`).
+
+pub mod channel;
+mod csv;
+pub(crate) mod pump;
+mod reorder;
+mod synthetic;
+mod tcp;
+
+pub use channel::{ChannelStats, SendError};
+pub use csv::CsvReplaySource;
+pub use pump::{DriveOptions, IngestReport};
+pub use reorder::ReorderBuffer;
+pub use synthetic::{Clock, SyntheticSource, WallClock};
+pub use tcp::TcpLineSource;
+
+use geocell::LatLng;
+use slim_core::{EntityId, Timestamp};
+
+use crate::event::{Side, StreamEvent};
+
+/// One poll of a [`StreamSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePoll {
+    /// Events, in delivery order (not necessarily event-time order).
+    Batch(Vec<StreamEvent>),
+    /// No events available right now; the stream is not over. The pump
+    /// yields and polls again.
+    Pending,
+    /// End of stream: no further events will ever be produced.
+    End,
+}
+
+/// A pull-based producer of stream events. The pump owns the source on
+/// a dedicated producer thread and polls it for batches, pushing every
+/// event through the bounded channel — so an implementation may block
+/// (e.g. on a socket read) without stalling the engine's consumer side.
+pub trait StreamSource {
+    /// Produces the next batch of at most `max` events.
+    fn next_batch(&mut self, max: usize) -> Result<SourcePoll, String>;
+}
+
+impl<S: StreamSource + ?Sized> StreamSource for Box<S> {
+    fn next_batch(&mut self, max: usize) -> Result<SourcePoll, String> {
+        (**self).next_batch(max)
+    }
+}
+
+/// When the pump fires refresh ticks while draining a source. Replaces
+/// the engine's hard-coded every-N-events counter as the CLI-facing
+/// policy; `EveryN` reproduces it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickPolicy {
+    /// Refresh after every `n` accepted events (the legacy
+    /// `--refresh-every` behaviour; `0` = no automatic ticks).
+    EveryN(usize),
+    /// Refresh when released event time crosses a boundary of the
+    /// `interval_secs` grid (anchored at the engine's window origin):
+    /// ticks track the *stream's* clock, not the arrival count.
+    EventTime {
+        /// Tick-grid width in event-time seconds (must be positive).
+        interval_secs: i64,
+    },
+    /// Buffer out-of-order arrivals up to `max_lag_secs` of event-time
+    /// disorder, and refresh whenever the watermark frontier seals a
+    /// temporal window of the engine's scheme — every tick therefore
+    /// serves links over fully-delivered windows only.
+    Watermark {
+        /// Out-of-order tolerance in event-time seconds.
+        max_lag_secs: i64,
+    },
+}
+
+impl Default for TickPolicy {
+    /// The engine's own ingest-count default
+    /// ([`crate::StreamConfig::default`]'s `refresh_every`).
+    fn default() -> Self {
+        TickPolicy::EveryN(crate::StreamConfig::default().refresh_every)
+    }
+}
+
+/// The side-tagged event line format shared by CSV feeds and
+/// [`TcpLineSource`]:
+///
+/// ```text
+/// side,entity_id,latitude,longitude,timestamp[,accuracy_m]
+/// ```
+///
+/// `side` is `L`/`R` (also accepted: `left`/`right`/`0`/`1`, any case).
+/// Blank lines and a `side,...` header are skipped (`Ok(None)`).
+pub fn parse_event_line(line: &str) -> Result<Option<StreamEvent>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split(',').map(str::trim);
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .filter(|f| !f.is_empty())
+            .ok_or_else(|| format!("missing field `{name}` in `{trimmed}`"))
+    };
+    let side = match next("side")? {
+        "L" | "l" | "left" | "LEFT" | "Left" | "0" => Side::Left,
+        "R" | "r" | "right" | "RIGHT" | "Right" | "1" => Side::Right,
+        "side" => return Ok(None), // header line
+        other => return Err(format!("bad side `{other}` (expected L or R)")),
+    };
+    let num = |name: &str, v: &str| -> Result<f64, String> {
+        v.parse()
+            .map_err(|_| format!("field `{name}` is not a number: `{v}`"))
+    };
+    let entity_s = next("entity_id")?;
+    let entity: u64 = entity_s
+        .parse()
+        .map_err(|_| format!("field `entity_id` is not an integer: `{entity_s}`"))?;
+    let lat = num("latitude", next("latitude")?)?;
+    let lng = num("longitude", next("longitude")?)?;
+    let ts_s = next("timestamp")?;
+    let ts: i64 = ts_s
+        .parse()
+        .map_err(|_| format!("field `timestamp` is not an integer: `{ts_s}`"))?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lng) {
+        return Err(format!("coordinates out of range: ({lat}, {lng})"));
+    }
+    let accuracy = match fields.next().map(str::trim).filter(|f| !f.is_empty()) {
+        Some(a) => {
+            let v = num("accuracy_m", a)?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("accuracy must be non-negative, got {v}"));
+            }
+            v
+        }
+        None => 0.0,
+    };
+    Ok(Some(StreamEvent {
+        side,
+        entity: EntityId(entity),
+        location: LatLng::from_degrees(lat, lng),
+        time: Timestamp(ts),
+        accuracy_m: accuracy,
+    }))
+}
+
+/// Renders an event in the [`parse_event_line`] wire format (no
+/// trailing newline).
+pub fn format_event_line(ev: &StreamEvent) -> String {
+    format!(
+        "{},{},{:.7},{:.7},{}{}",
+        match ev.side {
+            Side::Left => 'L',
+            Side::Right => 'R',
+        },
+        ev.entity.0,
+        ev.location.lat_deg(),
+        ev.location.lng_deg(),
+        ev.time.secs(),
+        if ev.accuracy_m > 0.0 {
+            format!(",{}", ev.accuracy_m)
+        } else {
+            String::new()
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_line_roundtrip() {
+        let ev = StreamEvent {
+            side: Side::Right,
+            entity: EntityId(42),
+            location: LatLng::from_degrees(37.5, -122.25),
+            time: Timestamp(12345),
+            accuracy_m: 80.0,
+        };
+        let back = parse_event_line(&format_event_line(&ev)).unwrap().unwrap();
+        assert_eq!(back.side, ev.side);
+        assert_eq!(back.entity, ev.entity);
+        assert_eq!(back.time, ev.time);
+        assert!((back.location.lat_deg() - 37.5).abs() < 1e-6);
+        assert!((back.accuracy_m - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn header_and_blank_lines_skip() {
+        assert_eq!(parse_event_line("").unwrap(), None);
+        assert_eq!(parse_event_line("  \t ").unwrap(), None);
+        assert_eq!(
+            parse_event_line("side,entity_id,latitude,longitude,timestamp").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn side_aliases_parse() {
+        for (s, side) in [("L", Side::Left), ("right", Side::Right), ("0", Side::Left)] {
+            let ev = parse_event_line(&format!("{s},1,0.0,0.0,5"))
+                .unwrap()
+                .unwrap();
+            assert_eq!(ev.side, side, "alias {s}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_event_line("X,1,0.0,0.0,5").is_err());
+        assert!(parse_event_line("L,abc,0.0,0.0,5").is_err());
+        assert!(parse_event_line("L,1,95.0,0.0,5").is_err());
+        assert!(parse_event_line("L,1,0.0").is_err());
+        assert!(parse_event_line("L,1,0.0,0.0,5,-3").is_err());
+    }
+
+    #[test]
+    fn default_tick_policy_matches_engine_default() {
+        assert_eq!(
+            TickPolicy::default(),
+            TickPolicy::EveryN(crate::StreamConfig::default().refresh_every)
+        );
+    }
+}

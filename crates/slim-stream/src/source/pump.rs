@@ -1,0 +1,532 @@
+//! The pump: a producer thread drains a [`StreamSource`] into the
+//! bounded channel; the calling thread drains the channel through the
+//! watermark reorder buffer into the engine, firing refresh ticks per
+//! [`TickPolicy`]. This inverts the PR-1 loop ("caller pushes events")
+//! into "the engine drains its source", which is what lets `slim-link
+//! --stream` tail a live feed instead of replaying a file it owns.
+//!
+//! Determinism: the events the engine sees — and for `EveryN` the exact
+//! tick positions — depend only on the *canonical order* restored by
+//! the reorder buffer, never on producer/consumer interleaving, so any
+//! delivery schedule within the lag bound is bit-identical to a sorted
+//! replay. `EventTime` ticks are a function of released event times,
+//! equally schedule-independent. `Watermark` ticks follow the frontier,
+//! whose *final* state (and therefore the post-drive link set, after
+//! one refresh) is schedule-independent even though intermediate tick
+//! count is not.
+
+use slim_core::{Timestamp, WindowIdx, WindowScheme};
+
+use crate::engine::{LinkUpdate, StreamEngine};
+use crate::event::StreamEvent;
+use crate::source::reorder::ReorderBuffer;
+use crate::source::{channel, SourcePoll, StreamSource, TickPolicy};
+
+/// Pump configuration: the bounded channel and the tick policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveOptions {
+    /// Bounded-channel capacity in events: the producer blocks (never
+    /// drops) when this many events are in flight.
+    pub queue_cap: usize,
+    /// Maximum events per source poll and per channel drain.
+    pub source_batch: usize,
+    /// When to fire refresh ticks while draining.
+    pub tick_policy: TickPolicy,
+    /// Out-of-order tolerance (event-time seconds) of the reorder
+    /// buffer for the `EveryN`/`EventTime` policies; `Watermark` uses
+    /// the larger of this and its own `max_lag_secs`. `0` asserts
+    /// time-nondecreasing delivery — disordered arrivals are counted
+    /// late and dropped.
+    pub max_lag_secs: i64,
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        Self {
+            queue_cap: 65_536,
+            source_batch: 4_096,
+            tick_policy: TickPolicy::default(),
+            max_lag_secs: 0,
+        }
+    }
+}
+
+/// What one [`StreamEngine::drive`] run did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Events released into the engine (the engine may still count some
+    /// as `late_dropped` if their window expired — that is sliding-
+    /// window lateness, distinct from delivery lateness below).
+    pub events_delivered: u64,
+    /// Arrivals rejected by the reorder buffer for exceeding the
+    /// out-of-order lag bound.
+    pub late_events: u64,
+    /// Nanoseconds the producer spent blocked on a full channel.
+    pub blocked_producer_ns: u64,
+    /// Highest channel occupancy observed (≤ `queue_cap`).
+    pub queue_high_watermark: u64,
+    /// Source polls that returned a batch.
+    pub source_batches: u64,
+    /// Source polls that returned [`SourcePoll::Pending`].
+    pub source_stalls: u64,
+    /// Refresh ticks fired by the pump itself (`EventTime`/`Watermark`
+    /// policies; `EveryN` ticks run inside the engine and are counted
+    /// in [`crate::StreamStats::ticks`] only).
+    pub policy_ticks: u64,
+    /// Every link update emitted while draining, in order.
+    pub updates: Vec<LinkUpdate>,
+}
+
+/// Per-policy tick state over the released (canonically ordered)
+/// stream.
+enum Ticker {
+    /// Engine-internal counter (configured via `refresh_every`).
+    EveryN,
+    /// Tick when released event time crosses an `interval`-grid
+    /// boundary anchored at the origin.
+    EventTime {
+        interval: i64,
+        scheme: Option<WindowScheme>,
+        last_cell: Option<WindowIdx>,
+    },
+    /// Tick when the watermark frontier seals an engine window; events
+    /// of unsealed windows wait in `pending`.
+    Watermark {
+        width: i64,
+        scheme: Option<WindowScheme>,
+        sealed_below: WindowIdx,
+        pending: Vec<StreamEvent>,
+    },
+}
+
+impl Ticker {
+    fn new(policy: TickPolicy, window_width_secs: i64, origin: Option<Timestamp>) -> Ticker {
+        let scheme_from = |width: i64| origin.map(|o| WindowScheme::new(o, width));
+        match policy {
+            TickPolicy::EveryN(_) => Ticker::EveryN,
+            TickPolicy::EventTime { interval_secs } => Ticker::EventTime {
+                interval: interval_secs,
+                scheme: scheme_from(interval_secs),
+                last_cell: None,
+            },
+            TickPolicy::Watermark { .. } => Ticker::Watermark {
+                width: window_width_secs,
+                scheme: scheme_from(window_width_secs),
+                sealed_below: 0,
+                pending: Vec::new(),
+            },
+        }
+    }
+
+    /// Ingests the newly released events, refreshing at policy
+    /// boundaries. `frontier` is the reorder buffer's current frontier
+    /// (for the `Watermark` policy's sealing check).
+    fn feed(
+        &mut self,
+        engine: &mut StreamEngine,
+        released: &mut Vec<StreamEvent>,
+        frontier: Option<Timestamp>,
+        report: &mut IngestReport,
+    ) {
+        match self {
+            Ticker::EveryN => {
+                if !released.is_empty() {
+                    report.events_delivered += released.len() as u64;
+                    report.updates.extend(engine.ingest_batch(released));
+                    released.clear();
+                }
+            }
+            Ticker::EventTime {
+                interval,
+                scheme,
+                last_cell,
+            } => {
+                let mut start = 0usize;
+                for i in 0..released.len() {
+                    let ev = &released[i];
+                    let s = *scheme.get_or_insert_with(|| WindowScheme::new(ev.time, *interval));
+                    let cell = s.window_of(ev.time);
+                    if let Some(last) = *last_cell {
+                        if cell > last {
+                            // The grid boundary between `last` and
+                            // `cell` was crossed: serve everything
+                            // strictly before it, then tick.
+                            if i > start {
+                                report.events_delivered += (i - start) as u64;
+                                report
+                                    .updates
+                                    .extend(engine.ingest_batch(&released[start..i]));
+                                start = i;
+                            }
+                            report.policy_ticks += 1;
+                            report.updates.extend(engine.refresh());
+                        }
+                    }
+                    *last_cell = Some(cell);
+                }
+                if released.len() > start {
+                    report.events_delivered += (released.len() - start) as u64;
+                    report
+                        .updates
+                        .extend(engine.ingest_batch(&released[start..]));
+                }
+                released.clear();
+            }
+            Ticker::Watermark {
+                width,
+                scheme,
+                sealed_below,
+                pending,
+            } => {
+                if let Some(first) = released.first() {
+                    scheme.get_or_insert_with(|| WindowScheme::new(first.time, *width));
+                }
+                pending.append(released);
+                let Some(s) = *scheme else { return };
+                let newly_sealed = frontier.map_or(0, |f| s.window_of(f));
+                if newly_sealed > *sealed_below {
+                    // Serve exactly the sealed windows' events (a
+                    // prefix: `pending` is canonically ordered).
+                    let cut = pending.partition_point(|ev| s.window_of(ev.time) < newly_sealed);
+                    if cut > 0 {
+                        report.events_delivered += cut as u64;
+                        report.updates.extend(engine.ingest_batch(&pending[..cut]));
+                        pending.drain(..cut);
+                    }
+                    *sealed_below = newly_sealed;
+                    report.policy_ticks += 1;
+                    report.updates.extend(engine.refresh());
+                }
+            }
+        }
+    }
+
+    /// End of stream: everything still pending is served (without a
+    /// closing tick — callers decide whether to refresh or finalize).
+    fn finish(&mut self, engine: &mut StreamEngine, report: &mut IngestReport) {
+        if let Ticker::Watermark { pending, .. } = self {
+            if !pending.is_empty() {
+                report.events_delivered += pending.len() as u64;
+                report.updates.extend(engine.ingest_batch(pending));
+                pending.clear();
+            }
+        }
+    }
+}
+
+/// See [`StreamEngine::drive`].
+pub(crate) fn run<S: StreamSource + Send>(
+    engine: &mut StreamEngine,
+    source: S,
+    opts: &DriveOptions,
+) -> Result<IngestReport, String> {
+    if opts.queue_cap == 0 {
+        return Err("drive: queue_cap must be positive".into());
+    }
+    if opts.source_batch == 0 {
+        return Err("drive: source_batch must be positive".into());
+    }
+    if opts.max_lag_secs < 0 {
+        return Err("drive: max_lag_secs must be non-negative".into());
+    }
+    let lag = match opts.tick_policy {
+        TickPolicy::EveryN(n) => {
+            engine.set_refresh_every(n);
+            opts.max_lag_secs
+        }
+        TickPolicy::EventTime { interval_secs } => {
+            if interval_secs <= 0 {
+                return Err("drive: EventTime interval must be positive".into());
+            }
+            engine.set_refresh_every(0);
+            opts.max_lag_secs
+        }
+        TickPolicy::Watermark { max_lag_secs } => {
+            if max_lag_secs < 0 {
+                return Err("drive: watermark lag must be non-negative".into());
+            }
+            engine.set_refresh_every(0);
+            max_lag_secs.max(opts.max_lag_secs)
+        }
+    };
+
+    let mut report = IngestReport::default();
+    let mut reorder = ReorderBuffer::new(lag);
+    // Tick grids anchor at the engine's pinned origin when there is
+    // one, else at the first released event (which is also what the
+    // engine will adopt as its window origin).
+    let origin = engine.scheme().map(|s| s.window_start(0));
+    let mut ticker = Ticker::new(
+        opts.tick_policy,
+        engine.config().slim.window_width_secs,
+        origin,
+    );
+
+    let (producer_result, channel_stats) = std::thread::scope(|scope| {
+        let (tx, rx) = channel::bounded::<StreamEvent>(opts.queue_cap);
+        let batch_max = opts.source_batch;
+        let producer = scope.spawn(move || {
+            let mut source = source;
+            let (mut batches, mut stalls) = (0u64, 0u64);
+            let result = loop {
+                match source.next_batch(batch_max) {
+                    Ok(SourcePoll::Batch(events)) => {
+                        batches += 1;
+                        // One lock per batch (not per event); blocks
+                        // under backpressure with the same accounting.
+                        if tx.send_all(events).is_err() {
+                            break Ok(());
+                        }
+                    }
+                    Ok(SourcePoll::Pending) => {
+                        // A stalled source (e.g. rate pacing between
+                        // due events) must not busy-spin a core; a
+                        // short bounded sleep caps the poll rate
+                        // without affecting delivered order.
+                        stalls += 1;
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    Ok(SourcePoll::End) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            (result, batches, stalls)
+        });
+
+        let mut arrivals: Vec<StreamEvent> = Vec::new();
+        let mut released: Vec<StreamEvent> = Vec::new();
+        let watermark_ticks = matches!(ticker, Ticker::Watermark { .. });
+        while rx.recv_many(&mut arrivals, opts.source_batch) {
+            for ev in arrivals.drain(..) {
+                reorder.push(ev, &mut released);
+                // Watermark sealing must be checked as the frontier
+                // advances — per arrival, which is what keeps its tick
+                // positions a function of the delivery schedule rather
+                // than of channel timing. The other policies are
+                // chunking-independent and feed per drained chunk.
+                if watermark_ticks {
+                    ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+                }
+            }
+            ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+        }
+        // EOF: the channel is closed *and* fully drained; release the
+        // still-buffered tail in canonical order.
+        reorder.flush(&mut released);
+        ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+        ticker.finish(engine, &mut report);
+        let stats = rx.stats();
+        let (result, batches, stalls) = producer
+            .join()
+            .unwrap_or_else(|_| (Err("drive: source producer thread panicked".into()), 0, 0));
+        report.source_batches = batches;
+        report.source_stalls = stalls;
+        (result, stats)
+    });
+    producer_result?;
+
+    report.late_events = reorder.late_events();
+    report.blocked_producer_ns = channel_stats.blocked_producer_ns;
+    report.queue_high_watermark = channel_stats.queue_high_watermark;
+    engine.absorb_ingest_report(
+        report.blocked_producer_ns,
+        report.queue_high_watermark,
+        report.late_events,
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use crate::event::Side;
+    use crate::testing::{script, ScriptStep, ScriptedSource};
+    use geocell::LatLng;
+    use slim_core::{EntityId, Timestamp};
+
+    fn ev(side: Side, entity: u64, t: i64) -> StreamEvent {
+        // Left entity `e` and right entity `100 + e` share a distinct
+        // anchor, so exactly the e ↔ 100+e pairs are linkable.
+        let key = (entity % 100) as f64;
+        StreamEvent::new(
+            side,
+            EntityId(entity),
+            LatLng::from_degrees(5.0 + 7.0 * key, -100.0 + 9.0 * key),
+            Timestamp(t),
+        )
+    }
+
+    fn engine() -> StreamEngine {
+        let cfg = StreamConfig {
+            num_shards: 2,
+            refresh_every: 0,
+            ..StreamConfig::default()
+        };
+        StreamEngine::new(cfg).unwrap()
+    }
+
+    /// A linkable canonical-order workload: left/right co-located pairs.
+    fn workload(windows: i64) -> Vec<StreamEvent> {
+        let mut events = Vec::new();
+        for k in 0..windows {
+            for e in 0..4u64 {
+                events.push(ev(Side::Left, e, k * 900 + 10 * e as i64));
+                events.push(ev(Side::Right, 100 + e, k * 900 + 10 * e as i64 + 400));
+            }
+        }
+        events.sort_by_key(|e| (e.time, e.side, e.entity));
+        events
+    }
+
+    /// Backpressure path: a queue far smaller than the workload still
+    /// delivers every event — nothing dropped, fully drained at EOF —
+    /// and the scripted stalls are surfaced in the report.
+    #[test]
+    fn tiny_queue_delivers_everything() {
+        let events = workload(12);
+        let total = events.len() as u64;
+        let mut steps = Vec::new();
+        for chunk in events.chunks(23) {
+            steps.push(ScriptStep::Batch(chunk.to_vec()));
+            steps.push(ScriptStep::Stall(2));
+        }
+        let mut engine = engine();
+        let report = engine
+            .drive(
+                ScriptedSource::new(steps),
+                &DriveOptions {
+                    queue_cap: 4,
+                    source_batch: 16,
+                    tick_policy: TickPolicy::EveryN(0),
+                    max_lag_secs: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.events_delivered, total);
+        assert_eq!(engine.stats().events, total);
+        assert_eq!(report.late_events, 0);
+        assert!(report.source_stalls >= 2, "stalls not surfaced");
+        assert!(report.queue_high_watermark >= 1);
+        assert!(report.queue_high_watermark <= 4);
+        // Channel counters land in the engine's stats too.
+        assert_eq!(
+            engine.stats().queue_high_watermark,
+            report.queue_high_watermark
+        );
+        engine.refresh();
+        assert!(!engine.links().is_empty(), "workload must link");
+    }
+
+    /// Zero-lag + out-of-order delivery: the disordered arrivals are
+    /// counted late and dropped — no panic, no order corruption.
+    #[test]
+    fn zero_lag_counts_late_events() {
+        let mut events = workload(6);
+        let n = events.len();
+        // Deliver two mid-stream events only after the newest one: with
+        // zero lag they arrive below the watermark and must be rejected
+        // (counted), never reordered into the past.
+        let b = events.remove(10);
+        let a = events.remove(5);
+        events.push(a);
+        events.push(b);
+        let mut engine = engine();
+        let report = engine
+            .drive(script(events.clone(), 16), &DriveOptions::default())
+            .unwrap();
+        assert_eq!(report.late_events, 2, "both displaced arrivals are late");
+        assert_eq!(report.events_delivered, n as u64 - 2);
+        assert_eq!(engine.stats().late_events, 2);
+    }
+
+    /// The watermark policy buffers bounded disorder, serves only
+    /// sealed windows at each tick, and loses nothing at EOF.
+    #[test]
+    fn watermark_policy_seals_windows() {
+        let mut events = workload(8);
+        // Bounded shuffle: displace some events by < 900 s of disorder.
+        for i in (3..events.len() - 4).step_by(7) {
+            events.swap(i, i + 3);
+        }
+        let mut engine = engine();
+        let report = engine
+            .drive(
+                script(events.clone(), 32),
+                &DriveOptions {
+                    tick_policy: TickPolicy::Watermark { max_lag_secs: 900 },
+                    ..DriveOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.late_events, 0, "disorder stayed within the lag");
+        assert_eq!(report.events_delivered, events.len() as u64);
+        assert!(report.policy_ticks > 0, "frontier must seal windows");
+        assert_eq!(engine.stats().ticks, report.policy_ticks);
+        engine.refresh();
+        assert!(!engine.links().is_empty());
+    }
+
+    /// EventTime ticks follow released event time: one tick per crossed
+    /// grid boundary, independent of delivery chunking.
+    #[test]
+    fn event_time_ticks_once_per_interval() {
+        let events = workload(10); // spans 10 engine windows of 900 s
+        let run = |chunk: usize| {
+            let mut engine = engine();
+            let report = engine
+                .drive(
+                    script(events.clone(), chunk),
+                    &DriveOptions {
+                        tick_policy: TickPolicy::EventTime {
+                            interval_secs: 1800,
+                        },
+                        ..DriveOptions::default()
+                    },
+                )
+                .unwrap();
+            (report.policy_ticks, engine.stats().ticks)
+        };
+        let (ticks_a, engine_ticks_a) = run(7);
+        let (ticks_b, engine_ticks_b) = run(111);
+        assert_eq!(ticks_a, ticks_b, "chunking must not move ticks");
+        assert_eq!(engine_ticks_a, engine_ticks_b);
+        // 10 windows of 900 s = 5 grid cells of 1800 s = 4 crossings.
+        assert_eq!(ticks_a, 4);
+    }
+
+    #[test]
+    fn source_errors_propagate() {
+        let mut engine = engine();
+        let steps = vec![
+            ScriptStep::Batch(workload(2)),
+            ScriptStep::Error("feed fell over".into()),
+        ];
+        let err = engine
+            .drive(ScriptedSource::new(steps), &DriveOptions::default())
+            .unwrap_err();
+        assert!(err.contains("fell over"), "{err}");
+        // Events before the error were still delivered.
+        assert!(engine.stats().events > 0);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut engine = engine();
+        let opts = DriveOptions {
+            queue_cap: 0,
+            ..DriveOptions::default()
+        };
+        assert!(engine.drive(script(Vec::new(), 1), &opts).is_err());
+        let opts = DriveOptions {
+            tick_policy: TickPolicy::EventTime { interval_secs: 0 },
+            ..DriveOptions::default()
+        };
+        assert!(engine.drive(script(Vec::new(), 1), &opts).is_err());
+        let opts = DriveOptions {
+            max_lag_secs: -1,
+            ..DriveOptions::default()
+        };
+        assert!(engine.drive(script(Vec::new(), 1), &opts).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Watermark-driven reordering of bounded out-of-order arrivals.
+//!
+//! The engine's bit-identity contracts (stream/batch equivalence,
+//! shard-count invariance, deterministic update streams) are all stated
+//! over the **canonical event order** `(time, side, entity)` that
+//! [`crate::event::merge_datasets`] produces. A live feed does not
+//! arrive in that order; this buffer restores it for any disorder within
+//! a declared lag: events are held until the [`slim_core::Watermark`]
+//! frontier passes them, then released in canonical order. Arrivals that
+//! broke the lag contract (strictly below the frontier) can no longer be
+//! ordered — they are counted as *late* and rejected instead of
+//! corrupting the order or panicking.
+
+use std::collections::BTreeMap;
+
+use slim_core::{EntityId, Timestamp, Watermark};
+
+use crate::event::{Side, StreamEvent};
+
+/// Holds out-of-order events until the watermark passes them, releasing
+/// in canonical `(time, side, entity)` order. With `max_lag_secs = 0`
+/// the input is asserted time-nondecreasing: any arrival strictly older
+/// than the newest one seen is late.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    wm: Watermark,
+    /// Pending events keyed by canonical order; events with identical
+    /// keys keep arrival order (they are indistinguishable to the
+    /// canonical sort anyway).
+    pending: BTreeMap<(Timestamp, Side, EntityId), Vec<StreamEvent>>,
+    buffered: usize,
+    late_events: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer tolerating event-time disorder up to `max_lag_secs`.
+    pub fn new(max_lag_secs: i64) -> Self {
+        Self {
+            wm: Watermark::new(max_lag_secs),
+            pending: BTreeMap::new(),
+            buffered: 0,
+            late_events: 0,
+        }
+    }
+
+    /// Accepts one arrival and appends every event the advanced
+    /// watermark now releases to `out`, in canonical order. A late
+    /// arrival is counted and dropped (nothing is appended for it).
+    pub fn push(&mut self, ev: StreamEvent, out: &mut Vec<StreamEvent>) {
+        if self.wm.is_late(ev.time) {
+            self.late_events += 1;
+            return;
+        }
+        self.wm.observe(ev.time);
+        self.pending
+            .entry((ev.time, ev.side, ev.entity))
+            .or_default()
+            .push(ev);
+        self.buffered += 1;
+        self.release(out);
+    }
+
+    /// Moves every event strictly below the frontier to `out`.
+    fn release(&mut self, out: &mut Vec<StreamEvent>) {
+        let Some(frontier) = self.wm.frontier() else {
+            return;
+        };
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.key().0 >= frontier {
+                break;
+            }
+            let events = entry.remove();
+            self.buffered -= events.len();
+            out.extend(events);
+        }
+    }
+
+    /// End of stream: releases everything still buffered, in canonical
+    /// order.
+    pub fn flush(&mut self, out: &mut Vec<StreamEvent>) {
+        for (_, events) in std::mem::take(&mut self.pending) {
+            out.extend(events);
+        }
+        self.buffered = 0;
+    }
+
+    /// Arrivals rejected for breaking the lag contract.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Events currently held back waiting for the watermark.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// The current watermark frontier (`None` before the first arrival).
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.wm.frontier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+
+    fn ev(side: Side, entity: u64, t: i64) -> StreamEvent {
+        StreamEvent::new(
+            side,
+            EntityId(entity),
+            LatLng::from_degrees(0.0, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    fn times(events: &[StreamEvent]) -> Vec<i64> {
+        events.iter().map(|e| e.time.secs()).collect()
+    }
+
+    #[test]
+    fn bounded_disorder_is_restored_to_canonical_order() {
+        let mut buf = ReorderBuffer::new(100);
+        let mut out = Vec::new();
+        for &t in &[50i64, 30, 80, 60, 200, 150, 300] {
+            buf.push(ev(Side::Left, 1, t), &mut out);
+        }
+        buf.flush(&mut out);
+        assert_eq!(times(&out), vec![30, 50, 60, 80, 150, 200, 300]);
+        assert_eq!(buf.late_events(), 0);
+        assert_eq!(buf.buffered(), 0);
+    }
+
+    #[test]
+    fn ties_sort_by_side_then_entity() {
+        let mut buf = ReorderBuffer::new(10);
+        let mut out = Vec::new();
+        buf.push(ev(Side::Right, 5, 100), &mut out);
+        buf.push(ev(Side::Left, 9, 100), &mut out);
+        buf.push(ev(Side::Left, 2, 100), &mut out);
+        buf.flush(&mut out);
+        let keys: Vec<(Side, u64)> = out.iter().map(|e| (e.side, e.entity.0)).collect();
+        assert_eq!(
+            keys,
+            vec![(Side::Left, 2), (Side::Left, 9), (Side::Right, 5)]
+        );
+    }
+
+    #[test]
+    fn zero_lag_rejects_out_of_order_and_passes_in_order() {
+        let mut buf = ReorderBuffer::new(0);
+        let mut out = Vec::new();
+        for &t in &[10i64, 20, 20, 15, 30, 29] {
+            buf.push(ev(Side::Left, 1, t), &mut out);
+        }
+        buf.flush(&mut out);
+        // 15 and 29 arrived below the already-released frontier.
+        assert_eq!(buf.late_events(), 2);
+        assert_eq!(times(&out), vec![10, 20, 20, 30]);
+    }
+
+    #[test]
+    fn releases_only_below_the_frontier() {
+        let mut buf = ReorderBuffer::new(50);
+        let mut out = Vec::new();
+        buf.push(ev(Side::Left, 1, 100), &mut out);
+        assert!(out.is_empty(), "frontier 50 releases nothing");
+        buf.push(ev(Side::Left, 1, 200), &mut out);
+        // Frontier 150: the event at 100 is safe, 200 still held.
+        assert_eq!(times(&out), vec![100]);
+        assert_eq!(buf.buffered(), 1);
+    }
+
+    #[test]
+    fn exact_duplicates_survive_with_arrival_order() {
+        let mut buf = ReorderBuffer::new(0);
+        let mut out = Vec::new();
+        let a = ev(Side::Left, 1, 10);
+        buf.push(a, &mut out);
+        buf.push(a, &mut out);
+        buf.flush(&mut out);
+        assert_eq!(out.len(), 2, "duplicates are data, not errors");
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic test doubles for the ingestion front-end, shared by
+//! unit tests, the integration suites (`tests/ingest_equivalence.rs`),
+//! and the bench smoke paths.
+//!
+//! The two flakiness sources a streaming harness usually drags into CI
+//! are **sleeps** (to "let the producer catch up") and the **wall
+//! clock** (rate pacing). Neither appears here: [`ScriptedSource`]
+//! replays an exact script of batches, stalls, EOF, and errors, and
+//! [`VirtualClock`] is an explicitly advanced clock that plugs into
+//! [`crate::source::SyntheticSource`]'s rate control.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::event::StreamEvent;
+use crate::source::{Clock, SourcePoll, StreamSource};
+
+/// One step of a [`ScriptedSource`] script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptStep {
+    /// Deliver these events (in this delivery order) as one batch.
+    Batch(Vec<StreamEvent>),
+    /// Report [`SourcePoll::Pending`] for this many polls.
+    Stall(u32),
+    /// Fail the stream with this error.
+    Error(String),
+}
+
+/// A source that replays a fixed script: batches are delivered exactly
+/// as written (split only when a poll asks for fewer events), stalls
+/// surface as `Pending` the scripted number of times, and the script's
+/// end is EOF. Completely deterministic — the delivered sequence never
+/// depends on thread timing.
+#[derive(Debug)]
+pub struct ScriptedSource {
+    steps: std::collections::VecDeque<ScriptStep>,
+    /// Remainder of a batch a smaller `max` split.
+    carry: Vec<StreamEvent>,
+}
+
+impl ScriptedSource {
+    /// A source replaying `steps` in order.
+    pub fn new(steps: Vec<ScriptStep>) -> Self {
+        Self {
+            steps: steps.into(),
+            carry: Vec::new(),
+        }
+    }
+}
+
+/// Shorthand: delivers `events` in batches of `batch` with no stalls.
+pub fn script(events: Vec<StreamEvent>, batch: usize) -> ScriptedSource {
+    ScriptedSource::new(
+        events
+            .chunks(batch.max(1))
+            .map(|c| ScriptStep::Batch(c.to_vec()))
+            .collect(),
+    )
+}
+
+impl StreamSource for ScriptedSource {
+    fn next_batch(&mut self, max: usize) -> Result<SourcePoll, String> {
+        let max = max.max(1);
+        loop {
+            if !self.carry.is_empty() {
+                let n = self.carry.len().min(max);
+                let rest = self.carry.split_off(n);
+                let batch = std::mem::replace(&mut self.carry, rest);
+                return Ok(SourcePoll::Batch(batch));
+            }
+            match self.steps.front_mut() {
+                None => return Ok(SourcePoll::End),
+                Some(ScriptStep::Stall(n)) => {
+                    if *n == 0 {
+                        self.steps.pop_front();
+                        continue;
+                    }
+                    *n -= 1;
+                    return Ok(SourcePoll::Pending);
+                }
+                Some(ScriptStep::Error(_)) => {
+                    let Some(ScriptStep::Error(e)) = self.steps.pop_front() else {
+                        unreachable!("checked above");
+                    };
+                    return Err(e);
+                }
+                Some(ScriptStep::Batch(_)) => {
+                    let Some(ScriptStep::Batch(events)) = self.steps.pop_front() else {
+                        unreachable!("checked above");
+                    };
+                    if events.is_empty() {
+                        continue;
+                    }
+                    self.carry = events;
+                }
+            }
+        }
+    }
+}
+
+/// A manually advanced monotone clock for rate-control tests. Cloning
+/// shares the underlying time, so a test can hold one handle while the
+/// source owns another.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now_ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance_ns(ms * 1_000_000);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Side;
+    use geocell::LatLng;
+    use slim_core::{EntityId, Timestamp};
+
+    fn ev(t: i64) -> StreamEvent {
+        StreamEvent::new(
+            Side::Left,
+            EntityId(1),
+            LatLng::from_degrees(0.0, 0.0),
+            Timestamp(t),
+        )
+    }
+
+    #[test]
+    fn script_replays_batches_stalls_and_eof() {
+        let mut src = ScriptedSource::new(vec![
+            ScriptStep::Batch(vec![ev(1), ev(2), ev(3)]),
+            ScriptStep::Stall(2),
+            ScriptStep::Batch(vec![ev(4)]),
+        ]);
+        // A smaller `max` splits the batch; the remainder carries over.
+        assert_eq!(
+            src.next_batch(2).unwrap(),
+            SourcePoll::Batch(vec![ev(1), ev(2)])
+        );
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::Batch(vec![ev(3)]));
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::Pending);
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::Pending);
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::Batch(vec![ev(4)]));
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::End);
+        assert_eq!(src.next_batch(2).unwrap(), SourcePoll::End);
+    }
+
+    #[test]
+    fn scripted_error_fails_the_stream() {
+        let mut src = ScriptedSource::new(vec![ScriptStep::Error("boom".into())]);
+        assert_eq!(src.next_batch(1).unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn virtual_clock_advances_on_demand() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now_ns(), 0);
+        handle.advance_ms(3);
+        assert_eq!(clock.now_ns(), 3_000_000);
+    }
+}

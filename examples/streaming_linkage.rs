@@ -1,15 +1,19 @@
-//! Streaming linkage demo: replay a synthetic taxi world through the
-//! incremental engine and watch links appear, shift, and fade as the
-//! sliding window advances.
+//! Streaming linkage demo: the engine *drains* a live synthetic feed
+//! through the async ingestion front-end — producer thread, bounded
+//! backpressured channel, watermark reorder buffer — with an event-time
+//! tick policy, then scores the served links against ground truth.
 //!
 //! ```text
 //! cargo run --release --example streaming_linkage
 //! ```
 
-use slim::core::Timestamp;
 use slim::datagen::Scenario;
 use slim::eval::evaluate_edges;
-use slim::stream::{merge_datasets, LinkUpdate, StreamConfig, StreamEngine};
+use slim::stream::source::SyntheticSource;
+use slim::stream::{
+    batch_equivalent_origin, merge_datasets, DriveOptions, LinkUpdate, StreamConfig, StreamEngine,
+    TickPolicy,
+};
 
 fn main() {
     // A small taxi fleet observed by two services over ~4 days; 60% of
@@ -18,7 +22,7 @@ fn main() {
     let sample = scenario.sample(0.6, 2024);
     let events = merge_datasets(&sample.left, &sample.right);
     println!(
-        "replaying {} events from {} + {} taxis\n",
+        "live feed: {} events from {} + {} taxis\n",
         events.len(),
         sample.left.num_entities(),
         sample.right.num_entities()
@@ -27,40 +31,58 @@ fn main() {
     let cfg = StreamConfig {
         // Keep the most recent day of evidence (96 × 15 min windows).
         window_capacity: Some(96),
-        // Re-match every 2,000 events.
-        refresh_every: 2_000,
+        // Ticks come from the drive policy below, not an event counter.
+        refresh_every: 0,
         ..StreamConfig::default()
     };
-    let mut engine = StreamEngine::new(cfg).expect("valid config");
+    // Pin the window origin so a replayed feed matches batch windows.
+    let origin = batch_equivalent_origin(&sample.left, &sample.right, cfg.slim.min_records);
+    let mut engine = match origin {
+        Some(o) => StreamEngine::with_origin(cfg, o).expect("valid config"),
+        None => StreamEngine::new(cfg).expect("valid config"),
+    };
 
-    for ev in &events {
-        let updates = engine.ingest(ev);
-        if updates.is_empty() {
-            continue;
+    // The feed: the merged workload delivered as a live source. Swap in
+    // `TcpLineSource::connect("host:port")` to tail a real socket, or
+    // `.with_rate(50_000.0)` to pace delivery.
+    let source = SyntheticSource::from_events(events);
+    let report = engine
+        .drive(
+            source,
+            &DriveOptions {
+                // A deliberately small queue: watch the backpressure
+                // counters move when the engine falls behind the feed.
+                queue_cap: 4_096,
+                // Re-match every 2 hours of *stream* time.
+                tick_policy: TickPolicy::EventTime {
+                    interval_secs: 2 * 3600,
+                },
+                ..DriveOptions::default()
+            },
+        )
+        .expect("drive");
+
+    let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
+    for u in &report.updates {
+        match u {
+            LinkUpdate::Added(_) => added += 1,
+            LinkUpdate::Removed(_) => removed += 1,
+            LinkUpdate::Reweighted { .. } => reweighted += 1,
         }
-        let (mut added, mut removed, mut reweighted) = (0, 0, 0);
-        for u in &updates {
-            match u {
-                LinkUpdate::Added(_) => added += 1,
-                LinkUpdate::Removed(_) => removed += 1,
-                LinkUpdate::Reweighted { .. } => reweighted += 1,
-            }
-        }
-        let stats = engine.stats();
-        println!(
-            "tick {:>3} @ t={:>7}s: {:>3} links served ({added:+} added, -{removed} removed, \
-             {reweighted} reweighted; {} windows expired so far)",
-            stats.ticks,
-            ev.time.secs()
-                - events
-                    .first()
-                    .map(|e| e.time)
-                    .unwrap_or(Timestamp(0))
-                    .secs(),
-            engine.links().len(),
-            stats.evicted_windows,
-        );
     }
+    println!(
+        "drained: {} events, {} event-time ticks ({added} added / -{removed} removed / \
+         {reweighted} reweighted updates)",
+        report.events_delivered, report.policy_ticks,
+    );
+    println!(
+        "ingest: queue high-watermark {} of 4096, producer blocked {:.1} ms, \
+         {} late events, {} source stalls",
+        report.queue_high_watermark,
+        report.blocked_producer_ns as f64 / 1e6,
+        report.late_events,
+        report.source_stalls,
+    );
 
     // One last tick over the tail of the stream, then score the served
     // links against the ground truth the generator kept.
