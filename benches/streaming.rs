@@ -23,7 +23,21 @@
 //!    plus the backpressure counters (`blocked_producer_ns`,
 //!    `queue_high_watermark`) and asserts nothing was dropped or late.
 //!    `--source synthetic` runs this phase alone (the CI smoke form:
-//!    `cargo bench --bench streaming -- --source synthetic --smoke`).
+//!    `cargo bench --bench streaming -- --source synthetic --smoke`);
+//! 5. **skew** — a Zipf hot-entity workload (left-side skew, so the
+//!    hot entities' home shards own nearly all dirty-pair work) run
+//!    once per `--workers` count (default sweep 1,2,4) through the
+//!    work-stealing pool and once through the static per-shard
+//!    partition baseline (`PoolMode::Static`). Asserts the observable
+//!    output is **bit-identical across every worker count, schedule,
+//!    and the static baseline**, that chunks were actually stolen
+//!    (`steal_events > 0`), and — on hosts with ≥ 4 cores, floors on —
+//!    that the stealing pool beats the static partition ≥ 1.3× on
+//!    ingest+refresh throughput.
+//!
+//! Every `BENCH_STREAMING` record printed by a run is also persisted to
+//! `BENCH_STREAMING.json` at the repo root (smoke and full runs alike),
+//! so the perf trajectory is tracked across PRs.
 //!
 //! Every run also proves the dirty-only refresh contract: across its
 //! ticks the engine must visit strictly fewer pairs than a full cache
@@ -61,7 +75,46 @@ const PHASE_FLOOR_EVENTS_PER_SEC: f64 = 15_000.0;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 use slim::lsh::LshConfig;
-use slim::stream::{merge_datasets, StreamConfig, StreamEngine, StreamLshConfig};
+use slim::stream::{merge_datasets, PoolMode, StreamConfig, StreamEngine, StreamLshConfig};
+
+/// Collects every `BENCH_STREAMING` record of the run and persists the
+/// set to `BENCH_STREAMING.json` at the repo root — the cross-PR perf
+/// trail. Records are flushed at every exit path, so `--smoke` and
+/// `--source synthetic` runs leave a file too.
+struct BenchLog {
+    smoke: bool,
+    records: Vec<String>,
+}
+
+impl BenchLog {
+    fn new(smoke: bool) -> Self {
+        Self {
+            smoke,
+            records: Vec::new(),
+        }
+    }
+
+    /// Prints one machine-readable record and retains it for the file.
+    fn emit(&mut self, json: String) {
+        println!("BENCH_STREAMING {json}");
+        self.records.push(json);
+    }
+
+    /// Writes `BENCH_STREAMING.json` (repo root, overwriting).
+    fn write(&self) {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_STREAMING.json");
+        let body = format!(
+            "{{\n  \"bench\": \"streaming\",\n  \"smoke\": {},\n  \"records\": [\n    {}\n  ]\n}}\n",
+            self.smoke,
+            self.records.join(",\n    ")
+        );
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("bench records written to {path}");
+        }
+    }
+}
 
 fn bench_config(num_shards: usize) -> StreamConfig {
     StreamConfig {
@@ -105,7 +158,7 @@ struct Phase {
     max_us: f64,
 }
 
-fn report(phase: &Phase, engine: &StreamEngine) {
+fn report(log: &mut BenchLog, phase: &Phase, engine: &StreamEngine) {
     let stats = engine.stats();
     let events_per_sec = phase.events as f64 / phase.elapsed_s;
     println!(
@@ -125,8 +178,8 @@ fn report(phase: &Phase, engine: &StreamEngine) {
         stats.cached_pairs_at_ticks,
         stats.retired_pairs,
     );
-    println!(
-        "BENCH_STREAMING {{\"bench\":\"streaming_{}\",\"shards\":{},\"events\":{},\
+    log.emit(format!(
+        "{{\"bench\":\"streaming_{}\",\"shards\":{},\"events\":{},\
          \"elapsed_s\":{:.6},\"events_per_sec\":{:.1},\"p50_event_us\":{:.2},\
          \"p99_event_us\":{:.2},\"max_event_us\":{:.2},\"ticks\":{},\"rescored_windows\":{},\
          \"dirty_pairs_visited\":{},\"cached_pairs_at_ticks\":{},\"retired_pairs\":{},\
@@ -148,7 +201,7 @@ fn report(phase: &Phase, engine: &StreamEngine) {
         stats.late_dropped,
         engine.num_candidate_pairs(),
         engine.links().len(),
-    );
+    ));
 }
 
 /// The dirty-only refresh contract on the bulk replay: ticks visit only
@@ -175,7 +228,7 @@ fn assert_dirty_refresh(engine: &StreamEngine, phase: &str) {
 /// engine, so the queue must fill and the blocked-time counter must
 /// move — the backpressure contract, asserted structurally on every
 /// run. Returns the sustained ingest rate for the floor check.
-fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
+fn run_ingest_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) -> f64 {
     use slim::stream::source::SyntheticSource;
     use slim::stream::{DriveOptions, TickPolicy};
 
@@ -187,6 +240,7 @@ fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
         source_batch: 4_096,
         tick_policy: TickPolicy::EveryN(20_000),
         max_lag_secs: 0,
+        ..DriveOptions::default()
     };
     let start = Instant::now();
     let report = engine.drive(source, &opts).expect("drive");
@@ -208,8 +262,8 @@ fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
         stats.ticks,
         engine.links().len(),
     );
-    println!(
-        "BENCH_STREAMING {{\"bench\":\"streaming_ingest\",\"shards\":{},\"events\":{},\
+    log.emit(format!(
+        "{{\"bench\":\"streaming_ingest\",\"shards\":{},\"events\":{},\
          \"elapsed_s\":{elapsed_s:.6},\"events_per_sec\":{events_per_sec:.1},\
          \"queue_cap\":{QUEUE_CAP},\"queue_high_watermark\":{},\
          \"blocked_producer_ns\":{},\"late_events\":{},\"source_batches\":{},\
@@ -222,7 +276,7 @@ fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
         report.source_batches,
         stats.ticks,
         engine.links().len(),
-    );
+    ));
     assert_eq!(
         report.events_delivered,
         events.len() as u64,
@@ -243,10 +297,235 @@ fn run_ingest_phase(events: &[slim::stream::StreamEvent]) -> f64 {
     events_per_sec
 }
 
+/// What one skew-phase replay observed — everything that must be
+/// bit-identical across worker counts and steal schedules.
+#[derive(PartialEq)]
+struct SkewObservation {
+    links: Vec<slim::core::Edge>,
+    stats: slim::stream::StreamStats,
+    scoring: slim::core::LinkageStats,
+    candidate_pairs: usize,
+}
+
+/// Phase 5: the Zipf hot-entity workload. The left view is heavily
+/// skewed (rank-frequency exponent 1.4) while the right view is
+/// uniform, so under "pair owner = Left entity's shard" the hot
+/// entities' home shards own nearly all rescore work of every tick —
+/// the regime where the old static per-shard partition stalls the
+/// barrier on one straggler worker. Runs the replay once per sweep
+/// worker count through the stealing pool, then once through the
+/// static-partition baseline, asserting bit-identity everywhere,
+/// `steal_events > 0` on the multi-worker stealing run, and (floors
+/// on, ≥ 4 cores) a ≥ 1.3× ingest+refresh speedup over the baseline.
+fn run_skew_phase(log: &mut BenchLog, smoke: bool, lenient: bool, sweep: &[usize]) {
+    use slim::datagen::{zipf_sample, ZipfConfig};
+
+    const SKEW_SHARDS: usize = 8;
+    const INGEST_CHUNK: usize = 2_048;
+    // Exponent 2.0 puts ~60% of the left view's records — and with
+    // them ~60% of every tick's per-bin rescore work, since a pair's
+    // scoring cost scales with its endpoints' per-window bin counts —
+    // on rank 0, so the static partition pins most of each tick to
+    // rank 0's home shard.
+    let gen = ZipfConfig {
+        num_entities: if smoke { 120 } else { 240 },
+        exponent: 2.0,
+        hot_interval_secs: if smoke { 12.0 } else { 6.0 },
+        span_secs: 6 * 3600,
+        right_interval_secs: Some(240.0),
+        seed: 42,
+        ..ZipfConfig::default()
+    };
+    let sample = zipf_sample(&gen);
+    let events = merge_datasets(&sample.left, &sample.right);
+    let hottest = sample
+        .left
+        .entities_sorted()
+        .iter()
+        .map(|&e| sample.left.records_of(e).len())
+        .max()
+        .unwrap_or(0);
+    println!(
+        "          skew: {} events over {} + {} entities (hottest left entity: {} records, {:.0}% of its view)",
+        events.len(),
+        sample.left.num_entities(),
+        sample.right.num_entities(),
+        hottest,
+        100.0 * hottest as f64 / sample.left.num_records().max(1) as f64,
+    );
+
+    let run = |workers: usize, mode: PoolMode| -> (f64, SkewObservation, StreamEngine) {
+        let cfg = StreamConfig {
+            window_capacity: None,
+            refresh_every: 0, // manual ticks, timed with the ingest
+            num_shards: SKEW_SHARDS,
+            num_workers: workers,
+            pool_mode: mode,
+            lsh: None,
+            slim: slim::core::SlimConfig {
+                // 1-minute windows: a tick's ingest chunk spans dozens
+                // of windows, so a hot entity dirties ~every one of
+                // them while a cold entity dirties one or two — per-
+                // pair rescore work then scales with endpoint event
+                // rate, exactly the skew the static partition cannot
+                // absorb.
+                window_width_secs: 60,
+                ..slim::core::SlimConfig::default()
+            },
+        };
+        let mut engine = StreamEngine::new(cfg).expect("valid config");
+        let t0 = Instant::now();
+        for chunk in events.chunks(INGEST_CHUNK) {
+            engine.ingest_batch(chunk);
+            engine.refresh();
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let obs = SkewObservation {
+            links: engine.links().to_vec(),
+            stats: *engine.stats(),
+            scoring: *engine.scoring_stats(),
+            candidate_pairs: engine.num_candidate_pairs(),
+        };
+        (elapsed, obs, engine)
+    };
+
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<SkewObservation> = None;
+    let mut steal_stats_at_max: Option<slim::stream::StreamStats> = None;
+    let wmax = sweep.iter().copied().max().unwrap_or(1);
+    for &workers in sweep {
+        let (elapsed, obs, engine) = run(workers, PoolMode::Stealing);
+        let stats = *engine.stats();
+        println!(
+            "          skew: {workers} stealing workers → {:.3}s \
+             ({:.0} events/s; {} steals, busy max/min {:.1}/{:.1} ms)",
+            elapsed,
+            events.len() as f64 / elapsed,
+            stats.steal_events,
+            stats.max_worker_busy_ns as f64 / 1e6,
+            stats.min_worker_busy_ns as f64 / 1e6,
+        );
+        log.emit(format!(
+            "{{\"bench\":\"streaming_skew\",\"mode\":\"stealing\",\"shards\":{SKEW_SHARDS},\
+             \"workers\":{workers},\"events\":{},\"elapsed_s\":{elapsed:.6},\
+             \"events_per_sec\":{:.1},\"ticks\":{},\"steal_events\":{},\
+             \"max_worker_busy_ns\":{},\"min_worker_busy_ns\":{},\"links\":{}}}",
+            events.len(),
+            events.len() as f64 / elapsed,
+            stats.ticks,
+            stats.steal_events,
+            stats.max_worker_busy_ns,
+            stats.min_worker_busy_ns,
+            obs.links.len(),
+        ));
+        // Bit-identity across the whole sweep (StreamStats equality
+        // deliberately excludes the scheduling telemetry).
+        match &reference {
+            None => reference = Some(obs),
+            Some(reference) => assert!(
+                *reference == obs,
+                "{workers}-worker skew replay diverged from {}-worker reference",
+                sweep[0]
+            ),
+        }
+        if workers == wmax {
+            steal_stats_at_max = Some(stats);
+        }
+        results.push((workers, elapsed));
+    }
+
+    // The baseline: same worker count, static per-shard partition.
+    let (static_elapsed, static_obs, static_engine) = run(wmax, PoolMode::Static);
+    let static_stats = *static_engine.stats();
+    println!(
+        "          skew: {wmax} static workers   → {:.3}s \
+         ({:.0} events/s; busy max/min {:.1}/{:.1} ms — the straggler gap)",
+        static_elapsed,
+        events.len() as f64 / static_elapsed,
+        static_stats.max_worker_busy_ns as f64 / 1e6,
+        static_stats.min_worker_busy_ns as f64 / 1e6,
+    );
+    log.emit(format!(
+        "{{\"bench\":\"streaming_skew\",\"mode\":\"static\",\"shards\":{SKEW_SHARDS},\
+         \"workers\":{wmax},\"events\":{},\"elapsed_s\":{static_elapsed:.6},\
+         \"events_per_sec\":{:.1},\"steal_events\":{},\
+         \"max_worker_busy_ns\":{},\"min_worker_busy_ns\":{}}}",
+        events.len(),
+        events.len() as f64 / static_elapsed,
+        static_stats.steal_events,
+        static_stats.max_worker_busy_ns,
+        static_stats.min_worker_busy_ns,
+    ));
+    assert!(
+        reference.as_ref() == Some(&static_obs),
+        "static-partition replay diverged from the stealing replays"
+    );
+    assert_eq!(
+        static_stats.steal_events, 0,
+        "the static baseline must not steal"
+    );
+
+    if wmax > 1 {
+        let steal_stats = steal_stats_at_max.expect("sweep ran wmax");
+        assert!(
+            steal_stats.steal_events > 0,
+            "a {wmax}-worker stealing run over a Zipf-skewed workload must \
+             actually steal chunks"
+        );
+        let steal_elapsed = results
+            .iter()
+            .find(|&&(w, _)| w == wmax)
+            .map(|&(_, e)| e)
+            .expect("sweep ran wmax");
+        let mut speedup = static_elapsed / steal_elapsed;
+        println!("          skew: stealing vs static partition at {wmax} workers: {speedup:.2}x");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if !lenient && cores >= 4 && wmax >= 4 {
+            if speedup < 1.3 {
+                // Same retry discipline as the absolute floors: one
+                // noisy-neighbor window on a shared runner can sink
+                // either side of a relative-timing comparison, so
+                // re-measure both once and take the best ratio before
+                // judging.
+                let (steal_again, _, _) = run(wmax, PoolMode::Stealing);
+                let (static_again, _, _) = run(wmax, PoolMode::Static);
+                speedup = speedup.max(static_again / steal_again);
+                println!(
+                    "          skew: re-measured stealing vs static: {speedup:.2}x (best of 2)"
+                );
+            }
+            assert!(
+                speedup >= 1.3,
+                "work stealing recovered only {speedup:.2}x over the static \
+                 partition on a {cores}-core host (need ≥ 1.3x)"
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let lenient = smoke || std::env::var_os("STREAM_BENCH_LENIENT").is_some();
+    // `--workers 1,2,4`: the pool-size sweep of the skew phase. Every
+    // count in the list must produce bit-identical summaries (the CI
+    // smoke step passes the sweep explicitly).
+    let workers_sweep: Vec<usize> = match args.iter().position(|a| a == "--workers") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--workers requires a comma-separated list")
+            .split(',')
+            .map(|w| w.trim().parse().expect("bad --workers entry"))
+            .collect(),
+        None => vec![1, 2, 4],
+    };
+    assert!(
+        !workers_sweep.is_empty(),
+        "--workers list must be non-empty"
+    );
+    let mut log = BenchLog::new(smoke);
     // `--source synthetic` runs only the ingest-front-end phase.
     let ingest_only = match args.iter().position(|a| a == "--source") {
         Some(i) => {
@@ -269,7 +548,8 @@ fn main() {
     );
 
     if ingest_only {
-        let rate = run_ingest_phase(&events);
+        let rate = run_ingest_phase(&mut log, &events);
+        log.write();
         if lenient {
             println!(
                 "floors not enforced ({})",
@@ -311,6 +591,7 @@ fn main() {
     }
     latencies_ns.sort_unstable();
     report(
+        &mut log,
         &Phase {
             name: "latency".to_string(),
             shards: engine.num_shards(),
@@ -363,6 +644,7 @@ fn main() {
     let mut best_batch = f64::INFINITY;
     for (shards, batch_elapsed, engine) in &runs {
         report(
+            &mut log,
             &Phase {
                 name: format!("throughput@{shards}"),
                 shards: *shards,
@@ -485,24 +767,24 @@ fn main() {
         picks.len(),
         localized_elapsed
     );
-    println!(
-        "BENCH_STREAMING {{\"bench\":\"streaming_localized\",\"shards\":{},\"ticks\":{},\
+    log.emit(format!(
+        "{{\"bench\":\"streaming_localized\",\"shards\":{},\"ticks\":{},\
          \"dirty_pairs_visited\":{visited},\"cached_pairs_at_ticks\":{swept},\
          \"edges_patched\":{patched},\"matching_region_size\":{region},\
          \"live_edge_sweeps\":{swept_edges},\"elapsed_s\":{:.6}}}",
         engine.num_shards(),
         LOCALIZED_ROUNDS,
         localized_elapsed
-    );
-    println!(
-        "BENCH_STREAMING {{\"bench\":\"streaming_ticks\",\"shards\":{},\
+    ));
+    log.emit(format!(
+        "{{\"bench\":\"streaming_ticks\",\"shards\":{},\
          \"sweep_ticks\":{},\"sweep_tick_p50_us\":{sweep_p50},\"sweep_tick_p95_us\":{sweep_p95},\
          \"localized_ticks\":{},\"localized_tick_p50_us\":{localized_p50},\
          \"localized_tick_p95_us\":{localized_p95},\"em_warm_selects\":{warm_selects}}}",
         engine.num_shards(),
         sweep_ticks_us.len(),
         localized_ticks_us.len(),
-    );
+    ));
     assert!(
         visited > 0 && swept > 0 && visited < swept / 10,
         "localized refresh visited {visited} pairs of a {swept}-pair sweep — \
@@ -535,7 +817,13 @@ fn main() {
     );
 
     // Phase 4: the async ingestion front-end over the same events.
-    let ingest_rate = run_ingest_phase(&events);
+    let ingest_rate = run_ingest_phase(&mut log, &events);
+
+    // Phase 5: the Zipf/hot-entity skew phase — static partition vs
+    // the work-stealing pool, swept over `--workers` with bit-identity
+    // asserted across the sweep.
+    run_skew_phase(&mut log, smoke, lenient, &workers_sweep);
+    log.write();
 
     // `--smoke` / STREAM_BENCH_LENIENT turn the absolute floors into
     // report-only output for environments with no performance

@@ -56,8 +56,15 @@ pub struct StreamOptions {
     /// Engine state shards (`0` = one per available core). Output is
     /// bit-identical for every value; this only changes parallelism.
     pub num_shards: usize,
+    /// Persistent worker-pool size, decoupled from `num_shards`: shard
+    /// work is split into chunks distributed over work-stealing deques,
+    /// so a hot shard no longer pins tick latency to one thread. `0` =
+    /// one worker per core. Output is bit-identical for every value.
+    pub num_workers: usize,
     /// The ingestion front-end.
     pub source: SourceKind,
+    /// Line format of a `--source tcp` feed.
+    pub wire: slim_stream::WireFormat,
     /// Explicit tick policy (`None` = `every:refresh_every`).
     pub tick_policy: Option<TickPolicy>,
     /// Bounded ingest queue capacity in events; a full queue blocks the
@@ -83,7 +90,9 @@ impl Default for StreamOptions {
             refresh_every: 10_000,
             batch_size: 8_192,
             num_shards: 0,
+            num_workers: 0,
             source: SourceKind::Csv,
+            wire: slim_stream::WireFormat::Csv,
             tick_policy: None,
             queue_cap: 65_536,
             max_lag_secs: 0,
@@ -151,13 +160,21 @@ OPTIONS:
     --refresh-every N    events between refresh ticks       [default: 10000]
     --batch-size N       ingest batch size for sharded
                          binning                            [default: 8192]
-    --shards N           engine state shards; ingest and refresh run one
-                         worker per shard and output is bit-identical for
-                         every value; 0 = one per core    [default: 0]
+    --shards N           engine state shards (the state partition);
+                         output is bit-identical for every value;
+                         0 = one per core                 [default: 0]
+    --workers N          persistent worker-pool size executing chunked
+                         shard work with work stealing — decoupled from
+                         --shards, so a hot shard is drained by every
+                         free worker; output is bit-identical for every
+                         value; 0 = one per core          [default: 0]
     --source MODE        ingestion front-end: csv (replay the two CSVs),
                          tcp (tail a live feed at the HOST:PORT given in
                          place of the dataset paths), or synthetic (a
                          generated live workload)         [default: csv]
+    --wire FORMAT        --source tcp line format: csv
+                         (side,entity,lat,lng,ts[,acc]) or jsonl (one
+                         flat JSON object per line)       [default: csv]
     --tick-policy SPEC   when refresh ticks fire while draining the
                          source: every:N (ingested events), event-time:S
                          (stream seconds), or watermark:LAG (buffer out-
@@ -241,6 +258,22 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--shards" => {
                 let v = take_value(args, i, arg)?;
                 stream_opts.num_shards = v.parse().map_err(|_| format!("bad --shards `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--workers" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.num_workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--wire" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.wire = match v.as_str() {
+                    "csv" => slim_stream::WireFormat::Csv,
+                    "jsonl" => slim_stream::WireFormat::Jsonl,
+                    other => return Err(format!("unknown wire format `{other}` (csv | jsonl)")),
+                };
                 want_stream = true;
                 i += 2;
             }
@@ -633,7 +666,9 @@ fn run_stream(
         window_capacity: stream_opts.window_capacity,
         refresh_every: stream_opts.refresh_every,
         num_shards: stream_opts.num_shards,
+        num_workers: stream_opts.num_workers,
         lsh,
+        ..StreamConfig::default()
     };
     let drive_opts = DriveOptions {
         queue_cap: stream_opts.queue_cap,
@@ -642,6 +677,7 @@ fn run_stream(
             .tick_policy
             .unwrap_or(TickPolicy::EveryN(stream_opts.refresh_every)),
         max_lag_secs: stream_opts.max_lag_secs,
+        ..DriveOptions::default()
     };
 
     // Build the engine and the source. Replay-style sources know their
@@ -665,10 +701,13 @@ fn run_stream(
             }
             SourceKind::Tcp => {
                 let addr = opts.tcp_addr.as_deref().expect("validated by parse_args");
-                log(&format!("tailing live feed at {addr}"));
+                log(&format!(
+                    "tailing live feed at {addr} ({} wire)",
+                    stream_opts.wire.label()
+                ));
                 (
                     StreamEngine::new(cfg)?,
-                    Box::new(TcpLineSource::connect(addr)?),
+                    Box::new(TcpLineSource::connect_with(addr, stream_opts.wire)?),
                 )
             }
             SourceKind::Synthetic => {
@@ -716,6 +755,7 @@ fn run_stream(
     }
     let stats = *engine.stats();
     let num_shards = engine.num_shards();
+    let num_workers = engine.num_workers();
     log(&format!(
         "drained in {replay_elapsed:.2?} on {num_shards} shard(s): {} ticks, \
          {} rescored (pair, window) terms ({} of {} tick-time cached pairs visited, \
@@ -744,6 +784,8 @@ fn run_stream(
          ({added} added / {removed} removed / {reweighted} reweighted updates)\n\
          ingest: queue high-watermark {} of {}, producer blocked {:.2} ms, \
          {} late events, {} source stalls\n\
+         pool: {} shards on {} workers, {} chunk steals, \
+         worker busy max/min {:.2}/{:.2} ms\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
          matching region {} edges, {} warm EM iters\n\
          {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
@@ -756,6 +798,11 @@ fn run_stream(
         report.blocked_producer_ns as f64 / 1e6,
         report.late_events,
         report.source_stalls,
+        num_shards,
+        num_workers,
+        stats.steal_events,
+        stats.max_worker_busy_ns as f64 / 1e6,
+        stats.min_worker_busy_ns as f64 / 1e6,
         stats.dirty_pairs_visited,
         stats.cached_pairs_at_ticks,
         stats.retired_pairs,
@@ -901,6 +948,7 @@ mod tests {
             ("--refresh-every", format!("{}", stream.refresh_every)),
             ("--batch-size", format!("{}", stream.batch_size)),
             ("--shards", format!("{}", stream.num_shards)),
+            ("--workers", format!("{}", stream.num_workers)),
         ];
         for (flag, value) in documented {
             // The flag's doc entry spans from its line to the next flag.
@@ -959,6 +1007,11 @@ mod tests {
         let o = parse(&["a.csv", "b.csv", "--shards", "4"]).unwrap();
         assert_eq!(o.stream.unwrap().num_shards, 4);
         assert!(parse(&["a.csv", "b.csv", "--shards", "x"]).is_err());
+        // --workers is decoupled from --shards and also implies --stream.
+        let o = parse(&["a.csv", "b.csv", "--shards", "8", "--workers", "4"]).unwrap();
+        let s = o.stream.unwrap();
+        assert_eq!((s.num_shards, s.num_workers), (8, 4));
+        assert!(parse(&["a.csv", "b.csv", "--workers", "x"]).is_err());
         assert!(parse(&["--demo", "/tmp/x", "--stream"]).is_err());
     }
 
@@ -982,9 +1035,10 @@ mod tests {
             right: Some(dir.join("right.csv")),
             stream: Some(StreamOptions {
                 refresh_every: 2_000,
-                // An explicit multi-shard run must still match batch
-                // output byte for byte.
+                // An explicit multi-shard, multi-worker run must still
+                // match batch output byte for byte.
                 num_shards: 3,
+                num_workers: 2,
                 ..StreamOptions::default()
             }),
             out: Some(stream_out.clone()),
@@ -992,8 +1046,15 @@ mod tests {
         };
         let summary = run(&opts).unwrap();
         assert!(summary.contains("stream:"), "{summary}");
-        // The incremental-maintenance counters are part of the summary.
-        for needle in ["edges patched", "matching region", "warm EM iters"] {
+        // The incremental-maintenance and pool counters are part of the
+        // summary.
+        for needle in [
+            "edges patched",
+            "matching region",
+            "warm EM iters",
+            "chunk steals",
+            "worker busy max/min",
+        ] {
             assert!(summary.contains(needle), "missing `{needle}`: {summary}");
         }
         let batch_links = std::fs::read_to_string(&batch_out).unwrap();
@@ -1078,6 +1139,10 @@ mod tests {
         let o = parse(&["a.csv", "b.csv", "--max-lag", "900"]).unwrap();
         assert_eq!(o.stream.unwrap().max_lag_secs, 900);
         assert!(parse(&["a.csv", "b.csv", "--max-lag", "-1"]).is_err());
+        // The tcp wire format.
+        let o = parse(&["--source", "tcp", "127.0.0.1:4455", "--wire", "jsonl"]).unwrap();
+        assert_eq!(o.stream.unwrap().wire, slim_stream::WireFormat::Jsonl);
+        assert!(parse(&["a.csv", "b.csv", "--wire", "xml"]).is_err());
     }
 
     /// The new ingest flags' documented defaults must match
@@ -1102,6 +1167,9 @@ mod tests {
         assert!(USAGE.contains(&format!("[default: {}]", stream.synthetic_seed)));
         assert!(USAGE.contains(&format!("[default: {}]", stream.synthetic_scale)));
         assert_eq!(stream.rate, 0.0);
+        // The tcp wire format defaults to the CSV line wire.
+        assert!(USAGE.contains("--wire FORMAT"));
+        assert_eq!(stream.wire, slim_stream::WireFormat::Csv);
     }
 
     /// `--source tcp` end to end over a loopback socket: a listener

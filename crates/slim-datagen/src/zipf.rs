@@ -1,0 +1,276 @@
+//! Zipf-skewed hot-entity workloads.
+//!
+//! The Cab/SM scenarios sample every entity at the same mean rate —
+//! exactly the uniform load a statically partitioned engine likes. Real
+//! feeds are nothing like that: a delivery fleet's busiest vehicles, a
+//! check-in service's power users, or a surveillance feed's downtown
+//! cameras produce orders of magnitude more events than the median
+//! entity. This module generates that regime with exact ground truth:
+//! entity **rank `r` is sampled at `hot_interval_secs · (r+1)^exponent`
+//! mean intervals**, so per-entity record counts follow the Zipf
+//! rank-frequency law `count(r) ∝ (r+1)^{-exponent}`.
+//!
+//! Under entity-hash sharding this concentrates the dirty-pair and
+//! ingest work of a tick onto the hot entities' home shards —
+//! `benches/streaming.rs` uses it to demonstrate the static per-shard
+//! partition stalling on the hottest shard and the work-stealing pool
+//! recovering the lost parallelism.
+
+use std::collections::HashMap;
+
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use slim_core::{EntityId, LocationDataset};
+
+use crate::sampling::{sample_records, SamplingMode, TwoViewSample, ViewConfig};
+use crate::taxi::{taxi_world, TaxiConfig};
+
+/// Configuration of [`zipf_sample`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConfig {
+    /// Ground-truth entities (each present in both views).
+    pub num_entities: usize,
+    /// Zipf rank-frequency exponent: rank `r` carries `(r+1)^{-s}` of
+    /// the sampling rate. `0` = uniform load (the skew-free control).
+    pub exponent: f64,
+    /// Mean seconds between samples of the *hottest* entity (rank 0);
+    /// rank `r` samples every `hot_interval_secs · (r+1)^exponent`
+    /// seconds on average.
+    pub hot_interval_secs: f64,
+    /// Simulated span in seconds.
+    pub span_secs: i64,
+    /// GPS noise standard deviation, metres.
+    pub gps_noise_m: f64,
+    /// When set, the **right** view ignores the Zipf law and samples
+    /// every entity at this uniform mean interval. That concentrates
+    /// the skew on the left side — and, under the streaming engine's
+    /// "pair owner = Left entity's shard" rule, onto the hot left
+    /// entities' home shards, the exact worst case for a static
+    /// partition. `None` = both views follow the same Zipf law.
+    pub right_interval_secs: Option<f64>,
+    /// RNG seed (world building and sampling both derive from it).
+    pub seed: u64,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        Self {
+            num_entities: 200,
+            exponent: 1.2,
+            hot_interval_secs: 30.0,
+            span_secs: 6 * 3600,
+            gps_noise_m: 20.0,
+            right_interval_secs: None,
+            seed: 42,
+        }
+    }
+}
+
+impl ZipfConfig {
+    /// The mean sampling interval of rank `rank`.
+    pub fn interval_of(&self, rank: usize) -> f64 {
+        self.hot_interval_secs * ((rank + 1) as f64).powf(self.exponent)
+    }
+}
+
+/// Samples a two-view Zipf-skewed workload with exact ground truth.
+/// Both views observe the same taxi-style world; entity rank (= world
+/// order, deterministic per seed) sets the per-entity sampling rate of
+/// *both* views, so an entity hot on one side is hot on the other —
+/// the worst case for a statically partitioned engine, since the home
+/// shards of the few hot entities own nearly all dirty pairs. Right
+/// ids are shuffled into `1_000_000..` exactly like
+/// [`crate::sampling::sample_two_views`].
+///
+/// # Panics
+/// Panics on a non-positive entity count, span, or hot interval, or a
+/// negative exponent.
+pub fn zipf_sample(cfg: &ZipfConfig) -> TwoViewSample {
+    assert!(cfg.num_entities > 0, "need at least one entity");
+    assert!(cfg.exponent >= 0.0, "Zipf exponent must be non-negative");
+    assert!(cfg.hot_interval_secs > 0.0, "hot interval must be positive");
+    assert!(cfg.span_secs > 0, "span must be positive");
+
+    let world = taxi_world(&TaxiConfig {
+        num_taxis: cfg.num_entities,
+        span_secs: cfg.span_secs,
+        seed: cfg.seed,
+        ..TaxiConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A1F_C0DE);
+    let mut right_ids: Vec<u64> = (0..world.len() as u64).map(|k| 1_000_000 + k).collect();
+    right_ids.shuffle(&mut rng);
+
+    let mut left_records = Vec::new();
+    let mut right_records = Vec::new();
+    let mut ground_truth = HashMap::new();
+    for (rank, (gt_id, traj)) in world.entities.iter().enumerate() {
+        let view = |interval: f64| ViewConfig {
+            mean_interval_secs: interval,
+            gps_noise_m: cfg.gps_noise_m,
+            inclusion_prob: 1.0,
+            mode: SamplingMode::Poisson,
+        };
+        let left_view = view(cfg.interval_of(rank));
+        let right_view = view(
+            cfg.right_interval_secs
+                .unwrap_or(left_view.mean_interval_secs),
+        );
+        let left_id = EntityId(*gt_id);
+        let right_id = EntityId(right_ids[rank]);
+        let mut lrng = StdRng::seed_from_u64(cfg.seed ^ (0xA110_0000 + rank as u64));
+        let mut rrng = StdRng::seed_from_u64(cfg.seed ^ (0xB220_0000 + rank as u64));
+        let l = sample_records(left_id, traj, &left_view, &mut lrng);
+        let r = sample_records(right_id, traj, &right_view, &mut rrng);
+        if !l.is_empty() && !r.is_empty() {
+            ground_truth.insert(left_id, right_id);
+        }
+        left_records.extend(l);
+        right_records.extend(r);
+    }
+    TwoViewSample {
+        left: LocationDataset::from_records(left_records),
+        right: LocationDataset::from_records(right_records),
+        ground_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ZipfConfig {
+        ZipfConfig {
+            num_entities: 60,
+            exponent: 1.3,
+            hot_interval_secs: 60.0,
+            span_secs: 4 * 3600,
+            seed: 11,
+            ..ZipfConfig::default()
+        }
+    }
+
+    /// Per-rank record counts of the left view, rank = world order
+    /// (ids are `0..n` in world order for the taxi generator).
+    fn rank_counts(sample: &TwoViewSample, n: usize) -> Vec<usize> {
+        (0..n as u64)
+            .map(|e| sample.left.records_of(EntityId(e)).len())
+            .collect()
+    }
+
+    #[test]
+    fn rank_frequency_follows_the_zipf_law() {
+        let c = cfg();
+        let s = zipf_sample(&c);
+        let counts = rank_counts(&s, c.num_entities);
+        // The head dominates: rank 0 far above rank 9 far above rank 49
+        // (Poisson noise makes neighbouring ranks overlap; decade gaps
+        // don't).
+        assert!(
+            counts[0] > 3 * counts[9].max(1),
+            "rank 0 ({}) vs rank 9 ({})",
+            counts[0],
+            counts[9]
+        );
+        assert!(
+            counts[9] > 2 * counts[49].max(1),
+            "rank 9 ({}) vs rank 49 ({})",
+            counts[9],
+            counts[49]
+        );
+        // The realized top-1 share tracks 1/H_n(s) — for n = 60,
+        // s = 1.3 that is ≈ 36% — well within a loose band.
+        let total: usize = counts.iter().sum();
+        let share = counts[0] as f64 / total as f64;
+        assert!(
+            (0.2..=0.55).contains(&share),
+            "rank-0 share {share} outside the Zipf band"
+        );
+        // Both views exist and ground truth maps the dense head.
+        assert!(s.num_common() >= 10, "common entities: {}", s.num_common());
+        assert!(s.right.num_records() > 0);
+    }
+
+    #[test]
+    fn zero_exponent_is_the_uniform_control() {
+        let c = ZipfConfig {
+            exponent: 0.0,
+            ..cfg()
+        };
+        let s = zipf_sample(&c);
+        let counts = rank_counts(&s, c.num_entities);
+        let (lo, hi) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        // Poisson counts with equal means: spread stays small.
+        assert!(
+            hi < 2.5 * lo.max(1.0),
+            "uniform control is skewed: min {lo}, max {hi}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = zipf_sample(&cfg());
+        let b = zipf_sample(&cfg());
+        assert_eq!(a.left.num_records(), b.left.num_records());
+        assert_eq!(a.right.num_records(), b.right.num_records());
+        assert_eq!(a.ground_truth, b.ground_truth);
+        for e in a.left.entities_sorted() {
+            let (ra, rb) = (a.left.records_of(e), b.left.records_of(e));
+            assert_eq!(ra.len(), rb.len());
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.time, y.time, "entity {e} sampling must be bit-stable");
+            }
+        }
+        let c = zipf_sample(&ZipfConfig { seed: 12, ..cfg() });
+        assert_ne!(
+            a.left.num_records(),
+            c.left.num_records(),
+            "a different seed should perturb the sample"
+        );
+    }
+
+    #[test]
+    fn uniform_right_side_flattens_only_the_right_view() {
+        let c = ZipfConfig {
+            right_interval_secs: Some(300.0),
+            ..cfg()
+        };
+        let s = zipf_sample(&c);
+        // Left keeps the Zipf head; right is near-uniform.
+        let left = rank_counts(&s, c.num_entities);
+        assert!(left[0] > 3 * left[9].max(1));
+        let right: Vec<usize> = s
+            .right
+            .entities_sorted()
+            .iter()
+            .map(|&e| s.right.records_of(e).len())
+            .collect();
+        let (lo, hi) = (
+            *right.iter().min().unwrap() as f64,
+            *right.iter().max().unwrap() as f64,
+        );
+        assert!(
+            hi < 3.0 * lo.max(1.0),
+            "right view should be uniform: min {lo}, max {hi}"
+        );
+    }
+
+    #[test]
+    fn interval_of_scales_by_rank() {
+        let c = cfg();
+        assert!((c.interval_of(0) - c.hot_interval_secs).abs() < 1e-12);
+        assert!(c.interval_of(9) > 10.0 * c.interval_of(0) / 2.0);
+        assert!(c.interval_of(20) > c.interval_of(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entity")]
+    fn zero_entities_panics() {
+        let _ = zipf_sample(&ZipfConfig {
+            num_entities: 0,
+            ..ZipfConfig::default()
+        });
+    }
+}

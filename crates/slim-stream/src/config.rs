@@ -3,6 +3,8 @@
 use slim_core::SlimConfig;
 use slim_lsh::LshConfig;
 
+use crate::steal::PoolMode;
+
 /// Configuration of the incremental LSH candidate filter in streaming
 /// mode.
 ///
@@ -51,6 +53,20 @@ pub struct StreamConfig {
     /// core. The engine's observable behaviour (links, stats,
     /// finalized output) is bit-identical for every value.
     pub num_shards: usize,
+    /// Workers in the persistent execution pool — **decoupled from
+    /// [`StreamConfig::num_shards`]**: shards partition *state*, workers
+    /// execute *chunks* of shard work distributed over work-stealing
+    /// deques, so a hot shard's queue is consumed by every free worker
+    /// instead of stalling its home thread. `0` = one worker per
+    /// available core. Output is bit-identical for every value.
+    pub num_workers: usize,
+    /// How the pool places and schedules chunks. The default
+    /// ([`PoolMode::Stealing`]) is the production mode;
+    /// [`PoolMode::Static`] reproduces the old static per-shard
+    /// partition (benchmark baseline), [`PoolMode::Scripted`] runs a
+    /// seeded pseudo-random schedule (property tests). Results are
+    /// bit-identical across all modes.
+    pub pool_mode: PoolMode,
     /// Optional incremental LSH candidate filter. `None` = brute-force
     /// candidates (every active cross-dataset pair).
     pub lsh: Option<StreamLshConfig>,
@@ -63,6 +79,8 @@ impl Default for StreamConfig {
             window_capacity: None,
             refresh_every: 10_000,
             num_shards: 0,
+            num_workers: 0,
+            pool_mode: PoolMode::default(),
             lsh: None,
         }
     }
@@ -113,6 +131,18 @@ impl StreamConfig {
                 .unwrap_or(1)
         }
     }
+
+    /// The effective pool worker count (resolving `0` to the core
+    /// count).
+    pub fn effective_workers(&self) -> usize {
+        if self.num_workers > 0 {
+            self.num_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +153,18 @@ mod tests {
     fn default_is_valid() {
         assert!(StreamConfig::default().validate().is_ok());
         assert!(StreamConfig::default().effective_shards() >= 1);
+        assert!(StreamConfig::default().effective_workers() >= 1);
+        assert_eq!(StreamConfig::default().pool_mode, PoolMode::Stealing);
+    }
+
+    #[test]
+    fn explicit_worker_count_wins_over_core_count() {
+        let cfg = StreamConfig {
+            num_workers: 3,
+            ..StreamConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(), 3);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //! [`EngineShard`] keyed by entity hash; the engine owns only the
 //! dataset-global residue: the merged df/idf statistics, the
 //! partitioned LSH bucket index, the watermark, and the served link
-//! set. Ingest and refresh run shard-parallel under
-//! `std::thread::scope`; cross-shard effects are folded in at merge
-//! barriers as commutative deltas or coalesced ordered sets, which
-//! makes the engine's observable behaviour — served links, emitted
-//! [`LinkUpdate`] order, [`StreamStats`], and the finalized output —
-//! **bit-identical for every shard count**.
+//! set. Parallel phases run on a **persistent work-stealing worker
+//! pool** ([`crate::pool`]) spawned once per engine and reused across
+//! every ingest, refresh, and finalize phase: each phase's work is cut
+//! into deterministic chunks (fixed-size slices of binning / rescore
+//! queues, one chunk per shard where per-shard order matters) whose
+//! outputs are merged in chunk-id order at the barrier, and cross-shard
+//! effects are folded in as commutative deltas or coalesced ordered
+//! sets — which makes the engine's observable behaviour — served
+//! links, emitted [`LinkUpdate`] order, [`StreamStats`], and the
+//! finalized output — **bit-identical for every shard count, worker
+//! count, and steal schedule**.
 //!
 //! A refresh tick discovers its work through the per-shard entity→pair
 //! [`crate::adjacency::AdjacencyIndex`]: only pairs adjacent to
@@ -62,10 +67,12 @@ use crate::config::StreamConfig;
 use crate::event::{Side, StreamEvent};
 use crate::lsh::LshGeometry;
 use crate::merge;
+use crate::pool::{chunk_ranges, WorkerPool};
 use crate::shard::{
-    bin_event, entity_shard, lookup_history, run_per_shard, BinnedEvent, EngineShard,
-    ExpiryEffects, IngestEffects, RescoreJob, RescoreOutcome, ScoredPair,
+    bin_event, entity_shard, lookup_history, BinnedEvent, EngineShard, ExpiryEffects,
+    IngestEffects, RescoreJob, RescoreOutcome, ScoredPair,
 };
+use crate::steal::PoolMode;
 
 /// One change to the served link set, emitted by a refresh tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,10 +90,17 @@ pub enum LinkUpdate {
     },
 }
 
-/// Engine work counters. Every counter is defined over per-entity or
+/// Engine work counters. Every counter except the scheduling telemetry
+/// at the bottom ([`StreamStats::steal_events`],
+/// [`StreamStats::max_worker_busy_ns`],
+/// [`StreamStats::min_worker_busy_ns`]) is defined over per-entity or
 /// per-pair events (or deterministic barrier merges), so the values are
-/// identical for any shard count on the same event stream.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// identical for any shard count, worker count, and steal schedule on
+/// the same event stream. The scheduling telemetry reports *how* the
+/// worker pool ran — it legitimately varies run to run, and is
+/// therefore **excluded from `PartialEq`** (the bit-identity contract
+/// the equivalence tests compare).
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StreamStats {
     /// Events accepted (including ones still in min-records buffers).
     pub events: u64,
@@ -147,7 +161,49 @@ pub struct StreamStats {
     /// engine would otherwise have to retain raw events for every
     /// active entity just to re-buffer them.
     pub demoted_records: u64,
+    /// Chunks of shard work executed by a pool worker other than the
+    /// one they were placed on — nonzero means the stealing pool
+    /// actually rebalanced a skewed phase. Scheduling telemetry:
+    /// varies with worker count and schedule, excluded from equality.
+    pub steal_events: u64,
+    /// Highest per-worker busy time (nanoseconds) across the pool over
+    /// the engine's lifetime. Under a static partition with a hot
+    /// shard, this diverges from [`StreamStats::min_worker_busy_ns`];
+    /// with stealing the two converge. Scheduling telemetry, excluded
+    /// from equality.
+    pub max_worker_busy_ns: u64,
+    /// Lowest per-worker busy time (nanoseconds) across the pool — `0`
+    /// until every worker has executed at least one chunk. Scheduling
+    /// telemetry, excluded from equality.
+    pub min_worker_busy_ns: u64,
 }
+
+impl PartialEq for StreamStats {
+    /// Equality over the deterministic counters only: the scheduling
+    /// telemetry (`steal_events`, `max_worker_busy_ns`,
+    /// `min_worker_busy_ns`) describes where and when chunks ran, which
+    /// the bit-identity contract explicitly leaves free.
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events
+            && self.late_dropped == other.late_dropped
+            && self.ticks == other.ticks
+            && self.rescored_windows == other.rescored_windows
+            && self.dirty_pairs_visited == other.dirty_pairs_visited
+            && self.cached_pairs_at_ticks == other.cached_pairs_at_ticks
+            && self.retired_pairs == other.retired_pairs
+            && self.evicted_windows == other.evicted_windows
+            && self.edges_patched == other.edges_patched
+            && self.matching_region_size == other.matching_region_size
+            && self.em_warm_iters == other.em_warm_iters
+            && self.blocked_producer_ns == other.blocked_producer_ns
+            && self.queue_high_watermark == other.queue_high_watermark
+            && self.late_events == other.late_events
+            && self.demoted_entities == other.demoted_entities
+            && self.demoted_records == other.demoted_records
+    }
+}
+
+impl Eq for StreamStats {}
 
 /// The partitioned LSH runtime: shared banding geometry plus one
 /// [`BucketIndex`] partition per shard. At each merge barrier the same
@@ -179,15 +235,26 @@ impl LshRuntime {
 }
 
 /// Minimum work items (queued events, signature updates, expiring
-/// entities) before a barrier phase spawns worker threads; below it the
-/// per-shard work runs inline (single-event `ingest` stays
-/// allocation-light and spawn-free).
+/// entities) before a phase is dispatched to the worker pool; below it
+/// the per-shard work runs inline (single-event `ingest` stays
+/// allocation-light and dispatch-free).
 const PARALLEL_THRESHOLD: usize = 128;
 
-/// Spawn gate for tick rescoring — lower than [`PARALLEL_THRESHOLD`]
+/// Pool gate for tick rescoring — lower than [`PARALLEL_THRESHOLD`]
 /// because one rescore job (a pair's dirty windows) carries far more
 /// work than one ingest event.
 const PARALLEL_RESCORE_THRESHOLD: usize = 32;
+
+/// Events per binning chunk. Fixed (never derived from the worker
+/// count) so chunk ids — and the chunk-id-ordered reassembly — are
+/// identical for every worker count.
+const INGEST_BIN_CHUNK: usize = 512;
+
+/// Rescore jobs per chunk: a hot shard's job list splits into many
+/// stealable chunks, which is what makes tick latency track total
+/// dirty work instead of the hottest shard. Fixed for the same
+/// determinism reason as [`INGEST_BIN_CHUNK`].
+const RESCORE_CHUNK: usize = 32;
 
 /// The event-driven linkage engine. See the module docs for the data
 /// flow; see [`StreamConfig`] for the knobs.
@@ -195,6 +262,12 @@ pub struct StreamEngine {
     cfg: StreamConfig,
     /// Resolved shard count (≥ 1).
     num_shards: usize,
+    /// Resolved pool worker count (≥ 1).
+    num_workers: usize,
+    /// The persistent execution pool: spawned once (lazily, on the
+    /// first phase big enough to parallelize) and reused by every
+    /// ingest, refresh, and finalize phase until the engine drops.
+    pool: WorkerPool,
     scheme: Option<WindowScheme>,
     shards: Vec<EngineShard>,
     /// Barrier-merged dataset-level statistics, `[left, right]`.
@@ -227,10 +300,13 @@ impl StreamEngine {
     pub fn new(cfg: StreamConfig) -> Result<Self, String> {
         cfg.validate()?;
         let num_shards = cfg.effective_shards();
+        let num_workers = cfg.effective_workers();
         Ok(Self {
             lsh: cfg.lsh.as_ref().map(|l| LshRuntime::new(l, num_shards)),
+            pool: WorkerPool::new(num_workers, cfg.pool_mode),
             cfg,
             num_shards,
+            num_workers,
             scheme: None,
             shards: (0..num_shards).map(|_| EngineShard::default()).collect(),
             df: [DfStats::new(), DfStats::new()],
@@ -270,6 +346,22 @@ impl StreamEngine {
     /// The resolved shard count.
     pub fn num_shards(&self) -> usize {
         self.num_shards
+    }
+
+    /// The resolved worker-pool size (decoupled from
+    /// [`StreamEngine::num_shards`]).
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Refreshes the scheduling telemetry in [`StreamStats`] from the
+    /// pool's lifetime counters. Called after every phase that may have
+    /// dispatched chunks.
+    fn sync_pool_stats(&mut self) {
+        self.stats.steal_events = self.pool.steal_events();
+        let (max, min) = self.pool.busy_spread_ns();
+        self.stats.max_worker_busy_ns = max;
+        self.stats.min_worker_busy_ns = min;
     }
 
     /// Work counters.
@@ -375,10 +467,13 @@ impl StreamEngine {
         self.run(vec![binned])
     }
 
-    /// Ingests a batch of events, sharding the spatial binning (the
-    /// trigonometry-heavy part of ingestion) by entity hash across
-    /// worker threads, then applying the appends shard-parallel in
-    /// stream order. Tick and expiry boundaries fire inside the batch
+    /// Ingests a batch of events, spreading the spatial binning (the
+    /// trigonometry-heavy part of ingestion) across the worker pool as
+    /// fixed-size chunks of the event list — skew-proof by
+    /// construction: a hot entity's events land in many stealable
+    /// chunks instead of one shard's bin queue — then applying the
+    /// appends shard-parallel in stream order. Tick and expiry
+    /// boundaries fire inside the batch
     /// exactly as they would one event at a time (the control scan is
     /// identical), and so do histories, statistics, and brute-force
     /// candidates. With LSH enabled, collision checks are coalesced:
@@ -400,21 +495,23 @@ impl StreamEngine {
         let level = self.cfg.slim.spatial_level;
         let lsh_level = self.lsh_level();
 
-        let binned: Vec<BinnedEvent> = if self.num_shards == 1 || events.len() < PARALLEL_THRESHOLD
-        {
+        let binned_parallel = self.num_workers > 1 && events.len() >= PARALLEL_THRESHOLD;
+        let binned: Vec<BinnedEvent> = if !binned_parallel {
             events
                 .iter()
                 .map(|ev| bin_event(ev, &scheme, level, lsh_level))
                 .collect()
-        } else {
-            // One pass partitions event indices by entity hash; each
-            // worker then bins exactly its shard's events.
+        } else if matches!(self.cfg.pool_mode, PoolMode::Static) {
+            // The legacy static partition (benchmark baseline): event
+            // indices are partitioned by home shard and each partition
+            // is one pinned chunk — a hot entity's events all bin on
+            // one worker.
             let mut shard_indices: Vec<Vec<usize>> = vec![Vec::new(); self.num_shards];
             for (i, ev) in events.iter().enumerate() {
                 shard_indices[entity_shard(ev.side, ev.entity, self.num_shards)].push(i);
             }
             let per_shard: Vec<Vec<(usize, BinnedEvent)>> =
-                run_per_shard(shard_indices, true, |indices| {
+                self.pool.run(shard_indices, |indices| {
                     indices
                         .iter()
                         .map(|&i| (i, bin_event(&events[i], &scheme, level, lsh_level)))
@@ -430,8 +527,33 @@ impl StreamEngine {
                 .into_iter()
                 .map(|b| b.expect("every event binned"))
                 .collect()
+        } else {
+            // Stealing modes: fixed-size contiguous chunks, reassembled
+            // in chunk-id order — identical output to the serial map
+            // for every worker count and schedule.
+            let chunks: Vec<&[StreamEvent]> = chunk_ranges(events.len(), INGEST_BIN_CHUNK)
+                .into_iter()
+                .map(|r| &events[r])
+                .collect();
+            self.pool
+                .run(chunks, |chunk| {
+                    chunk
+                        .iter()
+                        .map(|ev| bin_event(ev, &scheme, level, lsh_level))
+                        .collect::<Vec<BinnedEvent>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
         };
-        self.run(binned)
+        let updates = self.run(binned);
+        if binned_parallel {
+            // The control scan's flushes may all have run inline (e.g.
+            // a mostly-late-dropped batch); the binning phase above
+            // still dispatched chunks, so refresh the telemetry here.
+            self.sync_pool_stats();
+        }
+        updates
     }
 
     /// The control scan: walks the binned events in stream order making
@@ -474,8 +596,11 @@ impl StreamEngine {
         updates
     }
 
-    /// Applies the queued segment on every shard (parallel when it pays)
-    /// and folds the effects in at the barrier.
+    /// Applies the queued segment on every shard (parallel when it
+    /// pays) and folds the effects in at the barrier. Application must
+    /// respect per-shard stream order, so the chunk grain here is one
+    /// shard's queue — stealing still lets idle workers take whole
+    /// shard queues off a busy worker's deque.
     fn flush(&mut self, queues: &mut [Vec<BinnedEvent>], queued: &mut usize) {
         if *queued == 0 {
             return;
@@ -488,10 +613,10 @@ impl StreamEngine {
             .zip(queues.iter_mut())
             .map(|(shard, queue)| (shard, std::mem::take(queue)))
             .collect();
-        let effects: Vec<IngestEffects> =
-            run_per_shard(work, *queued >= PARALLEL_THRESHOLD, |(shard, events)| {
-                shard.apply_events(events, min_records, lsh_geom.as_ref())
-            });
+        let parallel = *queued >= PARALLEL_THRESHOLD;
+        let effects: Vec<IngestEffects> = self.pool.run_gated(parallel, work, |(shard, events)| {
+            shard.apply_events(events, min_records, lsh_geom.as_ref())
+        });
         *queued = 0;
 
         let mut activations: Vec<(Side, EntityId)> = Vec::new();
@@ -536,6 +661,12 @@ impl StreamEngine {
                     self.add_candidate(side, e, p);
                 }
             }
+        }
+        if parallel {
+            // Telemetry refresh only when chunks may have dispatched —
+            // the below-threshold (single-event) path stays free of the
+            // pool's atomic counters.
+            self.sync_pool_stats();
         }
     }
 
@@ -591,11 +722,9 @@ impl StreamEngine {
                 })
                 .collect()
         };
-        let reports: Vec<Vec<Vec<EntityId>>> = run_per_shard(
-            lsh.partitions.iter_mut().collect(),
-            updates.len() >= PARALLEL_THRESHOLD,
-            apply_one,
-        );
+        let partitions: Vec<&mut BucketIndex> = lsh.partitions.iter_mut().collect();
+        let parallel = updates.len() >= PARALLEL_THRESHOLD;
+        let reports: Vec<Vec<Vec<EntityId>>> = self.pool.run_gated(parallel, partitions, apply_one);
 
         for (i, (side, e, _)) in updates.iter().enumerate() {
             let mut partners: Vec<EntityId> = reports
@@ -636,11 +765,11 @@ impl StreamEngine {
                     .sum::<usize>()
             })
             .sum();
-        let effects: Vec<ExpiryEffects> = run_per_shard(
-            self.shards.iter_mut().collect(),
-            expiring >= PARALLEL_THRESHOLD,
-            |shard| shard.expire(keep_from, min_records, lsh_geom.as_ref()),
-        );
+        let work: Vec<&mut EngineShard> = self.shards.iter_mut().collect();
+        let parallel = expiring >= PARALLEL_THRESHOLD;
+        let effects: Vec<ExpiryEffects> = self.pool.run_gated(parallel, work, |shard| {
+            shard.expire(keep_from, min_records, lsh_geom.as_ref())
+        });
 
         let mut evicted: BTreeSet<WindowIdx> = BTreeSet::new();
         let mut sig_changes: BTreeSet<(Side, EntityId)> = BTreeSet::new();
@@ -655,6 +784,9 @@ impl StreamEngine {
         self.stats.evicted_windows += evicted.len() as u64;
         if self.lsh.is_some() {
             self.register_lsh_candidates(sig_changes);
+        }
+        if parallel {
+            self.sync_pool_stats();
         }
         self.expired_below = keep_from;
     }
@@ -804,6 +936,7 @@ impl StreamEngine {
         };
         let updates = merge::diff_links(&self.links, &new_links);
         self.links = new_links;
+        self.sync_pool_stats();
         updates
     }
 
@@ -812,8 +945,14 @@ impl StreamEngine {
     /// re-assembles each touched pair's edge score on the worker: the
     /// recomputed contributions are merged with the pair's untouched
     /// cached windows and normalized, so the barrier only has to patch
-    /// the outcome into the caches. Pure reads — runs shard-parallel
-    /// when the tick is big enough to pay for the spawns.
+    /// the outcome into the caches. Pure reads — dispatched to the
+    /// worker pool as fixed-size **chunks of each shard's job list**
+    /// when the tick is big enough to pay: a hot shard's jobs split
+    /// into many stealable chunks, so tick latency tracks total dirty
+    /// work, not the hottest shard ([`PoolMode::Static`] keeps the
+    /// legacy one-chunk-per-shard partition as the benchmark baseline).
+    /// Chunk outputs are regrouped per owning shard in chunk-id order,
+    /// which reproduces the sequential job order exactly.
     fn score_jobs(&self, jobs: &[Vec<RescoreJob>]) -> Vec<(Vec<RescoreOutcome>, LinkageStats)> {
         let scorer = SimilarityScorer::from_df_stats(&self.cfg.slim, &self.df[0], &self.df[1]);
         let score_list =
@@ -869,11 +1008,43 @@ impl StreamEngine {
             };
 
         let total: usize = jobs.iter().map(Vec::len).sum();
-        run_per_shard(
-            jobs.iter().map(Vec::as_slice).enumerate().collect(),
-            total >= PARALLEL_RESCORE_THRESHOLD,
-            score_list,
-        )
+        if total < PARALLEL_RESCORE_THRESHOLD || self.num_workers == 1 {
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(owner, list)| score_list((owner, list.as_slice())))
+                .collect();
+        }
+        // Chunk each shard's job list; the grain is per-shard under
+        // the static baseline and RESCORE_CHUNK under stealing modes.
+        let mut owners: Vec<usize> = Vec::new();
+        let mut chunks: Vec<(usize, &[RescoreJob])> = Vec::new();
+        for (owner, list) in jobs.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let grain = if matches!(self.cfg.pool_mode, PoolMode::Static) {
+                list.len()
+            } else {
+                RESCORE_CHUNK
+            };
+            for range in chunk_ranges(list.len(), grain) {
+                owners.push(owner);
+                chunks.push((owner, &list[range]));
+            }
+        }
+        let outs = self.pool.run(chunks, score_list);
+        // Regroup per owning shard; chunks were pushed (shard asc,
+        // range asc), so concatenation restores the sequential order.
+        let mut per_shard: Vec<(Vec<RescoreOutcome>, LinkageStats)> = jobs
+            .iter()
+            .map(|_| (Vec::new(), LinkageStats::default()))
+            .collect();
+        for (owner, (outcomes, stats)) in owners.into_iter().zip(outs) {
+            per_shard[owner].0.extend(outcomes);
+            per_shard[owner].1.merge(&stats);
+        }
+        per_shard
     }
 
     /// Runs the **exact batch pipeline** over the incrementally built
@@ -886,15 +1057,31 @@ impl StreamEngine {
         let Some(scheme) = self.scheme else {
             return Ok(empty_output());
         };
+        // Deep-cloning the histories is the expensive part of the
+        // borrowing finalizer; hand one chunk per shard to the pool
+        // when the state is big enough to pay. The merged map contents
+        // are independent of chunk scheduling.
+        let clone_one = |shard: &EngineShard| -> [Vec<(EntityId, MobilityHistory)>; 2] {
+            [Side::Left, Side::Right].map(|side| {
+                shard.histories[side.idx()]
+                    .iter()
+                    .map(|(&e, h)| (e, h.clone()))
+                    .collect()
+            })
+        };
+        let total: usize = self
+            .shards
+            .iter()
+            .map(|s| s.histories[0].len() + s.histories[1].len())
+            .sum();
+        let shards: Vec<&EngineShard> = self.shards.iter().collect();
+        let cloned: Vec<[Vec<(EntityId, MobilityHistory)>; 2]> =
+            self.pool
+                .run_gated(total >= PARALLEL_THRESHOLD, shards, clone_one);
         let mut sets = [HashMap::new(), HashMap::new()];
-        for shard in &self.shards {
-            for side in [Side::Left, Side::Right] {
-                sets[side.idx()].extend(
-                    shard.histories[side.idx()]
-                        .iter()
-                        .map(|(&e, h)| (e, h.clone())),
-                );
-            }
+        for [left, right] in cloned {
+            sets[0].extend(left);
+            sets[1].extend(right);
         }
         let [left, right] = sets;
         self.finalize_sets(scheme, left, right)
@@ -1073,6 +1260,84 @@ mod tests {
                 assert_eq!(a.weight, b.weight, "{shards} shards: finalized weights");
             }
         }
+    }
+
+    /// The execution-pool contract: worker count, pool mode, and steal
+    /// schedule may only move chunks between threads — links, updates,
+    /// stats (scheduling telemetry excluded by `PartialEq`), and
+    /// finalized output stay bit-identical. Batches are large enough to
+    /// actually engage the pool (≥ the parallel thresholds).
+    #[test]
+    fn worker_counts_and_steal_schedules_are_observationally_identical() {
+        let (l, r) = two_views(7, 4);
+        let events = merge_datasets(&l, &r);
+        let run = |workers: usize, mode: PoolMode| {
+            let mut cfg = stream_cfg();
+            cfg.num_shards = 4;
+            cfg.num_workers = workers;
+            cfg.pool_mode = mode;
+            cfg.refresh_every = 150;
+            cfg.window_capacity = Some(12);
+            let mut engine = StreamEngine::new(cfg).unwrap();
+            let mut updates = Vec::new();
+            for chunk in events.chunks(400) {
+                updates.extend(engine.ingest_batch(chunk));
+            }
+            updates.extend(engine.refresh());
+            let links = engine.links().to_vec();
+            let stats = *engine.stats();
+            let scoring = *engine.scoring_stats();
+            let pairs = engine.num_candidate_pairs();
+            let finalized = engine.into_finalized().unwrap();
+            (updates, links, stats, scoring, pairs, finalized)
+        };
+        let reference = run(1, PoolMode::Stealing);
+        assert!(reference.2.ticks > 0);
+        for (workers, mode) in [
+            (2, PoolMode::Stealing),
+            (4, PoolMode::Stealing),
+            (4, PoolMode::Static),
+            (3, PoolMode::Scripted { seed: 0xFEED }),
+            (3, PoolMode::Scripted { seed: 7 }),
+        ] {
+            let other = run(workers, mode);
+            let tag = format!("{workers} workers, {mode:?}");
+            assert_eq!(reference.0, other.0, "{tag}: update streams");
+            assert_eq!(reference.1, other.1, "{tag}: served links");
+            assert_eq!(reference.2, other.2, "{tag}: stream stats");
+            assert_eq!(reference.3, other.3, "{tag}: scoring stats");
+            assert_eq!(reference.4, other.4, "{tag}: candidate pairs");
+            assert_eq!(reference.5.links.len(), other.5.links.len(), "{tag}");
+            for (a, b) in reference.5.links.iter().zip(&other.5.links) {
+                assert_eq!((a.left, a.right), (b.left, b.right), "{tag}");
+                assert_eq!(a.weight, b.weight, "{tag}: finalized weights");
+            }
+        }
+    }
+
+    /// The scheduling telemetry moves when the pool actually runs: a
+    /// multi-worker replay with pool-sized batches must record busy
+    /// time, and a 1-worker engine reports workers = 1.
+    #[test]
+    fn pool_telemetry_is_wired_through_stats() {
+        let (l, r) = two_views(7, 4);
+        let events = merge_datasets(&l, &r);
+        let mut cfg = stream_cfg();
+        cfg.num_shards = 4;
+        cfg.num_workers = 4;
+        cfg.refresh_every = 0;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        assert_eq!(engine.num_workers(), 4);
+        for chunk in events.chunks(600) {
+            engine.ingest_batch(chunk);
+        }
+        engine.refresh();
+        let stats = engine.stats();
+        assert!(
+            stats.max_worker_busy_ns > 0,
+            "pool phases must record busy time"
+        );
+        assert!(stats.max_worker_busy_ns >= stats.min_worker_busy_ns);
     }
 
     #[test]

@@ -24,12 +24,18 @@
 //! The engine state is **sharded end-to-end by entity hash**: each
 //! `EngineShard` owns its entities' histories, min-records buffers,
 //! LSH rings, and the contribution caches + entity→pair adjacency of
-//! the pairs it owns (owner = shard of the Left entity). Ingest and
-//! refresh run one worker per shard; only the dataset-global steps
-//! (df/idf statistics, bucket-partition handoff, edge assembly,
+//! the pairs it owns (owner = shard of the Left entity). Execution is
+//! decoupled from that partition: a **persistent work-stealing worker
+//! pool** (spawned once per engine, `--workers`, independent of
+//! `--shards`) runs every parallel phase over *chunks* of the per-shard
+//! work queues, so a hot entity's home shard is consumed by every free
+//! worker instead of stalling the barrier. Only the dataset-global
+//! steps (df/idf statistics, bucket-partition handoff, edge assembly,
 //! matching, GMM thresholding) meet at merge barriers — and every
-//! barrier folds commutative deltas or sorted sets, so links, stats,
-//! and finalized output are bit-identical for every shard count.
+//! barrier folds commutative deltas, sorted sets, or chunk-id-ordered
+//! outputs, so links, stats, and finalized output are bit-identical
+//! for every shard count, every worker count, and every steal
+//! schedule.
 //!
 //! ```text
 //!            ┌───────────── control scan (serial, cheap) ─────────────┐
@@ -124,8 +130,10 @@ pub mod engine;
 pub mod event;
 mod lsh;
 mod merge;
+mod pool;
 mod shard;
 pub mod source;
+mod steal;
 pub mod testing;
 
 pub use config::{StreamConfig, StreamLshConfig};
@@ -133,5 +141,6 @@ pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};
 pub use source::{
     CsvReplaySource, DriveOptions, IngestReport, StreamSource, SyntheticSource, TcpLineSource,
-    TickPolicy,
+    TickPolicy, WireFormat,
 };
+pub use steal::PoolMode;

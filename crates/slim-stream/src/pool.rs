@@ -1,0 +1,396 @@
+//! The persistent worker pool behind every parallel engine phase.
+//!
+//! Before this pool, each ingest / refresh phase spawned one scoped
+//! thread per shard (`std::thread::scope`) and joined them at the
+//! barrier: thread churn on every phase, and a *static* partition — one
+//! hot entity's home shard became the straggler while every other core
+//! idled at the join. The pool inverts both properties:
+//!
+//! * **Persistent.** `workers − 1` threads are spawned lazily on the
+//!   first parallel phase of a [`crate::StreamEngine`] and reused for
+//!   every subsequent ingest, refresh, and finalize phase; the engine
+//!   thread itself participates as worker 0.
+//! * **Work-stealing.** A phase is a list of [chunks](crate::steal) —
+//!   deterministic slices of the per-shard work queues — distributed
+//!   over per-worker deques. Idle workers steal from the back of busy
+//!   workers' deques, so a hot shard's queue is consumed by every free
+//!   core instead of serializing on its home worker.
+//!
+//! **Determinism.** Chunk construction is a pure function of the work
+//! lists (never of the worker count), every chunk computes a pure
+//! function of its input, and [`WorkerPool::run`] returns outputs in
+//! chunk-id order — so links, update streams, stats, and finalized
+//! output are bit-identical for every worker count, every
+//! [`PoolMode`], and every steal schedule. Only the scheduling
+//! telemetry ([`WorkerPool::steal_events`],
+//! [`WorkerPool::busy_spread_ns`]) varies.
+//!
+//! **Safety.** Workers receive the phase task as a type-erased raw
+//! reference. The invariant making that sound: `run` does not return
+//! until every chunk has *finished executing* (`ChunkQueues::is_done`),
+//! and a worker only dereferences the task pointer while executing a
+//! chunk it claimed — a claimed-but-unfinished chunk keeps the phase
+//! incomplete, so the borrow can never be outlived. Stale task pointers
+//! held by late-waking workers are never dereferenced because their
+//! queues are already empty.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::steal::{ChunkQueues, PoolMode};
+
+/// Splits `0..len` into contiguous ranges of at most `grain` — the
+/// chunk shape every phase uses. Grain constants are fixed (never
+/// derived from the worker count), which is what keeps chunk ids — and
+/// with them the merged outputs — identical across worker counts.
+pub(crate) fn chunk_ranges(len: usize, grain: usize) -> Vec<std::ops::Range<usize>> {
+    let grain = grain.max(1);
+    (0..len)
+        .step_by(grain)
+        .map(|s| s..(s + grain).min(len))
+        .collect()
+}
+
+/// A type-erased borrow of the phase closure. Only dereferenced while a
+/// claimed chunk is executing (see the module safety notes).
+#[derive(Clone, Copy)]
+struct TaskRef {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointer is only dereferenced under the phase-lifetime
+// invariant documented on the module; the pointee is `Sync`.
+unsafe impl Send for TaskRef {}
+
+fn task_ref<F: Fn(usize) + Sync>(f: &F) -> TaskRef {
+    unsafe fn call<F: Fn(usize) + Sync>(data: *const (), id: usize) {
+        (*(data as *const F))(id)
+    }
+    TaskRef {
+        data: f as *const F as *const (),
+        call: call::<F>,
+    }
+}
+
+/// One published phase: the erased task plus its chunk distribution.
+#[derive(Clone)]
+struct PhaseRef {
+    task: TaskRef,
+    queues: Arc<ChunkQueues>,
+}
+
+struct Ctl {
+    /// Bumped once per published phase; workers run each epoch once.
+    epoch: u64,
+    phase: Option<PhaseRef>,
+    shutdown: bool,
+}
+
+struct Shared {
+    ctl: Mutex<Ctl>,
+    /// Workers wait here for the next epoch.
+    work: Condvar,
+    /// The submitter waits here for phase completion.
+    done: Condvar,
+    /// Pool-lifetime chunk steals (cross-deque pops).
+    steal_events: AtomicU64,
+    /// Pool-lifetime busy nanoseconds per worker — the skew telemetry:
+    /// under a static partition with a hot shard, max ≫ min; with
+    /// stealing they converge.
+    busy_ns: Vec<AtomicU64>,
+    panicked: AtomicBool,
+}
+
+/// A slot written by exactly one chunk (disjoint-index discipline).
+struct Slot<T>(std::cell::UnsafeCell<Option<T>>);
+
+// SAFETY: each slot index is accessed by exactly one executing chunk,
+// and the submitter reads only after the phase completed.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// See the module docs. One pool per [`crate::StreamEngine`].
+pub(crate) struct WorkerPool {
+    workers: usize,
+    mode: PoolMode,
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes whole phases: `run` holds this from publish to
+    /// completion, so concurrent `&self` callers cannot interleave two
+    /// phases on one pool.
+    submit: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` total workers (the submitting thread counts
+    /// as worker 0; `workers − 1` threads are spawned lazily on first
+    /// use). `workers == 1` runs every phase inline.
+    pub(crate) fn new(workers: usize, mode: PoolMode) -> Self {
+        let workers = workers.max(1);
+        Self {
+            workers,
+            mode,
+            shared: Arc::new(Shared {
+                ctl: Mutex::new(Ctl {
+                    epoch: 0,
+                    phase: None,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                steal_events: AtomicU64::new(0),
+                busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                panicked: AtomicBool::new(false),
+            }),
+            threads: Mutex::new(Vec::new()),
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Chunks executed by a worker other than the one they were placed
+    /// on, over the pool's lifetime.
+    pub(crate) fn steal_events(&self) -> u64 {
+        self.shared.steal_events.load(Ordering::Relaxed)
+    }
+
+    /// `(max, min)` busy nanoseconds across workers over the pool's
+    /// lifetime. `min` stays 0 until every worker has executed at least
+    /// one chunk.
+    pub(crate) fn busy_spread_ns(&self) -> (u64, u64) {
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        for b in &self.shared.busy_ns {
+            let v = b.load(Ordering::Relaxed);
+            max = max.max(v);
+            min = min.min(v);
+        }
+        (max, if min == u64::MAX { 0 } else { min })
+    }
+
+    /// The work-size-gated form of [`WorkerPool::run`] — the single
+    /// dispatch switch every engine phase shares. `parallel = false`
+    /// (the phase's work is below its threshold) runs a plain inline
+    /// map: no pool involvement, no telemetry, which is what keeps the
+    /// single-event ingest path dispatch-free.
+    pub(crate) fn run_gated<I: Send, T: Send>(
+        &self,
+        parallel: bool,
+        items: Vec<I>,
+        f: impl Fn(I) -> T + Sync,
+    ) -> Vec<T> {
+        if parallel && items.len() > 1 {
+            self.run(items, f)
+        } else {
+            items.into_iter().map(f).collect()
+        }
+    }
+
+    /// Executes `f` once per item, returning outputs in item order.
+    /// Items are the phase's chunks: item `i` is chunk id `i`. Inline
+    /// when the pool has one worker or one item; otherwise distributed
+    /// over the worker deques per the pool's [`PoolMode`].
+    pub(crate) fn run<I: Send, T: Send>(&self, items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            // Inline, but still on the books: busy time feeds the same
+            // telemetry so 1-worker baselines are comparable.
+            let t0 = Instant::now();
+            let out: Vec<T> = items.into_iter().map(f).collect();
+            self.shared.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return out;
+        }
+        self.ensure_spawned();
+
+        let input: Vec<Slot<I>> = items
+            .into_iter()
+            .map(|i| Slot(std::cell::UnsafeCell::new(Some(i))))
+            .collect();
+        let output: Vec<Slot<T>> = (0..n)
+            .map(|_| Slot(std::cell::UnsafeCell::new(None)))
+            .collect();
+        let runner = |id: usize| {
+            // SAFETY: chunk ids are claimed exactly once, so slot `id`
+            // has exactly one accessor.
+            let item = unsafe { (*input[id].0.get()).take().expect("chunk claimed once") };
+            let value = f(item);
+            unsafe { *output[id].0.get() = Some(value) };
+        };
+
+        let _phase_guard = self.submit.lock().expect("pool poisoned");
+        let queues = Arc::new(ChunkQueues::new(n, self.workers, self.mode));
+        let phase = PhaseRef {
+            task: task_ref(&runner),
+            queues: Arc::clone(&queues),
+        };
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool poisoned");
+            ctl.epoch += 1;
+            ctl.phase = Some(phase.clone());
+            self.shared.work.notify_all();
+        }
+        // Participate as worker 0, then wait for the stragglers.
+        Self::drain(&self.shared, &phase, 0);
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool poisoned");
+            while !queues.is_done() {
+                ctl = self.shared.done.wait(ctl).expect("pool poisoned");
+            }
+            ctl.phase = None;
+        }
+        self.shared
+            .steal_events
+            .fetch_add(queues.steals(), Ordering::Relaxed);
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("pool worker panicked while executing a chunk");
+        }
+        output
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("every chunk executed"))
+            .collect()
+    }
+
+    /// The chunk-execution loop shared by workers and the submitter.
+    fn drain(shared: &Shared, phase: &PhaseRef, worker: usize) {
+        while let Some(id) = phase.queues.pop(worker) {
+            let t0 = Instant::now();
+            let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: see the module safety notes — the task borrow
+                // is alive because this chunk is claimed but not yet
+                // completed.
+                unsafe { (phase.task.call)(phase.task.data, id) }
+            }))
+            .is_ok();
+            shared.busy_ns[worker].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if !ok {
+                shared.panicked.store(true, Ordering::Relaxed);
+            }
+            if phase.queues.complete_one() {
+                // Lock-then-notify so the submitter cannot miss the
+                // final completion between its check and its wait.
+                let _ctl = shared.ctl.lock().expect("pool poisoned");
+                shared.done.notify_all();
+            }
+        }
+    }
+
+    fn worker_loop(shared: Arc<Shared>, worker: usize) {
+        let mut seen = 0u64;
+        loop {
+            let phase = {
+                let mut ctl = shared.ctl.lock().expect("pool poisoned");
+                loop {
+                    if ctl.shutdown {
+                        return;
+                    }
+                    if ctl.epoch > seen {
+                        seen = ctl.epoch;
+                        break ctl.phase.clone();
+                    }
+                    ctl = shared.work.wait(ctl).expect("pool poisoned");
+                }
+            };
+            if let Some(phase) = phase {
+                Self::drain(&shared, &phase, worker);
+            }
+        }
+    }
+
+    fn ensure_spawned(&self) {
+        let mut threads = self.threads.lock().expect("pool poisoned");
+        if !threads.is_empty() {
+            return;
+        }
+        for w in 1..self.workers {
+            let shared = Arc::clone(&self.shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("slim-pool-{w}"))
+                    .spawn(move || Self::worker_loop(shared, w))
+                    .expect("spawn pool worker"),
+            );
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.shared.ctl.lock().expect("pool poisoned");
+            ctl.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.threads.lock().expect("pool poisoned").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_come_back_in_chunk_order() {
+        let pool = WorkerPool::new(4, PoolMode::Stealing);
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for _ in 0..3 {
+            // Repeated phases reuse the same workers.
+            let got = pool.run(items.clone(), |x| x * x + 1);
+            assert_eq!(got, expect);
+        }
+        let (max, min) = pool.busy_spread_ns();
+        assert!(max > 0 && max >= min);
+    }
+
+    #[test]
+    fn mutable_borrows_ride_through_chunks() {
+        // The engine's phase shape: chunks carry &mut slices of engine
+        // state plus owned work, mutated on whichever worker runs them.
+        let pool = WorkerPool::new(3, PoolMode::Stealing);
+        let mut cells: Vec<u64> = vec![0; 64];
+        let work: Vec<(&mut u64, u64)> = cells.iter_mut().zip(0u64..).collect();
+        let sums = pool.run(work, |(cell, add)| {
+            *cell += add * 2;
+            *cell
+        });
+        assert_eq!(sums, (0..64).map(|x| x * 2).collect::<Vec<u64>>());
+        assert_eq!(cells[63], 126);
+    }
+
+    #[test]
+    fn scripted_schedules_change_nothing_observable() {
+        let items: Vec<u64> = (0..200).collect();
+        let reference = WorkerPool::new(1, PoolMode::Stealing).run(items.clone(), |x| x * 3);
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let pool = WorkerPool::new(4, PoolMode::Scripted { seed });
+            assert_eq!(pool.run(items.clone(), |x| x * 3), reference, "seed {seed}");
+        }
+        let pool = WorkerPool::new(4, PoolMode::Static);
+        assert_eq!(pool.run(items, |x| x * 3), reference, "static mode");
+    }
+
+    #[test]
+    fn empty_and_singleton_phases_are_inline() {
+        let pool = WorkerPool::new(4, PoolMode::Stealing);
+        assert_eq!(pool.run(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(pool.run(vec![9u8], |x| x + 1), vec![10]);
+        // Neither dispatched to the deques, so nothing could be stolen.
+        assert_eq!(pool.steal_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn chunk_panics_propagate_to_the_submitter() {
+        let pool = WorkerPool::new(2, PoolMode::Stealing);
+        pool.run((0..16).collect::<Vec<u32>>(), |x| {
+            assert!(x != 7, "injected failure");
+            x
+        });
+    }
+}

@@ -83,35 +83,6 @@ pub(crate) fn lookup_history(
     shards[entity_shard(side, entity, shards.len())].histories[side.idx()].get(&entity)
 }
 
-/// Runs one closure per work item — on scoped threads (one spawn per
-/// item) when `parallel`, inline otherwise. The single spawn-or-serial
-/// switch every shard-parallel phase shares; each call site supplies
-/// its own work-size gate through `parallel`, and either path preserves
-/// item order, so the choice never affects results.
-pub(crate) fn run_per_shard<I: Send, T: Send>(
-    items: Vec<I>,
-    parallel: bool,
-    f: impl Fn(I) -> T + Sync,
-) -> Vec<T> {
-    if parallel && items.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = items
-                .into_iter()
-                .map(|item| {
-                    let f = &f;
-                    s.spawn(move || f(item))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker threads must not panic"))
-                .collect()
-        })
-    } else {
-        items.into_iter().map(f).collect()
-    }
-}
-
 /// Cross-shard effects of one shard's ingest phase, folded in at the
 /// merge barrier.
 #[derive(Debug, Default)]

@@ -104,6 +104,37 @@ impl Default for TickPolicy {
     }
 }
 
+/// Line formats a [`TcpLineSource`] feed can speak (`--wire`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Comma-separated values, one event per line — see
+    /// [`parse_event_line`].
+    #[default]
+    Csv,
+    /// JSON lines: one flat JSON object per line — see
+    /// [`parse_event_jsonl`].
+    Jsonl,
+}
+
+impl WireFormat {
+    /// The `--wire` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireFormat::Csv => "csv",
+            WireFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// Parses one feed line in the given [`WireFormat`]. `Ok(None)` =
+/// skippable line (blank, or a CSV header).
+pub fn parse_wire_line(format: WireFormat, line: &str) -> Result<Option<StreamEvent>, String> {
+    match format {
+        WireFormat::Csv => parse_event_line(line),
+        WireFormat::Jsonl => parse_event_jsonl(line),
+    }
+}
+
 /// The side-tagged event line format shared by CSV feeds and
 /// [`TcpLineSource`]:
 ///
@@ -165,6 +196,230 @@ pub fn parse_event_line(line: &str) -> Result<Option<StreamEvent>, String> {
         time: Timestamp(ts),
         accuracy_m: accuracy,
     }))
+}
+
+/// One scanned JSON scalar (the only shapes the event wire needs).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonScalar {
+    Str(String),
+    Num(f64),
+}
+
+/// Scans one flat JSON object (`{"key": scalar, ...}`) into key/value
+/// pairs. No nesting, no arrays — deliberately minimal: the event wire
+/// is flat, and the sanctioned dependency set has no JSON crate. String
+/// values understand `\"`, `\\`, `\/`, `\n`, `\t`, `\r` escapes.
+/// Allocates a char buffer per line plus a `String` per key — simpler
+/// than zero-copy byte slicing, and affordable because it runs on the
+/// decoupled producer thread, behind the bounded channel, never on the
+/// engine's ingest path.
+fn scan_flat_json(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if bytes.get(*i) != Some(&'"') {
+            return Err(format!("expected string at offset {i} in `{line}`"));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = bytes.get(*i) {
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = bytes.get(*i).copied().ok_or("truncated escape")?;
+                    *i += 1;
+                    out.push(match esc {
+                        '"' => '"',
+                        '\\' => '\\',
+                        '/' => '/',
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => return Err(format!("unsupported escape `\\{other}`")),
+                    });
+                }
+                other => out.push(other),
+            }
+        }
+        Err(format!("unterminated string in `{line}`"))
+    };
+    let parse_number = |i: &mut usize| -> Result<f64, String> {
+        let start = *i;
+        while *i < bytes.len() && matches!(bytes[*i], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
+            *i += 1;
+        }
+        let text: String = bytes[start..*i].iter().collect();
+        text.parse()
+            .map_err(|_| format!("bad number `{text}` in `{line}`"))
+    };
+
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&'{') {
+        return Err(format!("expected a JSON object, got `{line}`"));
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            let key = parse_string(&mut i)?;
+            skip_ws(&mut i);
+            if bytes.get(i) != Some(&':') {
+                return Err(format!("expected `:` after key `{key}` in `{line}`"));
+            }
+            i += 1;
+            skip_ws(&mut i);
+            let value = match bytes.get(i) {
+                Some('"') => JsonScalar::Str(parse_string(&mut i)?),
+                Some('0'..='9' | '-' | '+' | '.') => JsonScalar::Num(parse_number(&mut i)?),
+                other => return Err(format!("unsupported value {other:?} in `{line}`")),
+            };
+            fields.push((key, value));
+            skip_ws(&mut i);
+            match bytes.get(i) {
+                Some(',') => i += 1,
+                Some('}') => {
+                    i += 1;
+                    break;
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?} in `{line}`")),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != bytes.len() {
+        return Err(format!("trailing garbage after JSON object in `{line}`"));
+    }
+    Ok(fields)
+}
+
+/// The JSON-lines event wire format, one flat object per line:
+///
+/// ```text
+/// {"side":"L","entity":42,"lat":37.5,"lng":-122.25,"ts":12345,"acc":80.0}
+/// ```
+///
+/// Accepted key aliases: `lat`/`latitude`, `lng`/`lon`/`longitude`,
+/// `ts`/`time`/`timestamp`, `acc`/`accuracy`/`accuracy_m` (optional).
+/// `side` takes the same spellings as the CSV format (`L`, `right`,
+/// `0`, …) as a string, or the numbers `0`/`1`. Key order is free,
+/// unknown keys are ignored (forward compatibility), and blank lines
+/// are skipped (`Ok(None)`). Range validation matches
+/// [`parse_event_line`].
+pub fn parse_event_jsonl(line: &str) -> Result<Option<StreamEvent>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let fields = scan_flat_json(trimmed)?;
+    let mut side: Option<Side> = None;
+    let mut entity: Option<u64> = None;
+    let mut lat: Option<f64> = None;
+    let mut lng: Option<f64> = None;
+    let mut ts: Option<i64> = None;
+    let mut accuracy = 0.0f64;
+    let as_int = |v: &JsonScalar, name: &str| -> Result<i64, String> {
+        match v {
+            // Bound to f64's exactly-representable integer range: a
+            // saturating `as i64` of e.g. 1e300 would otherwise accept
+            // a corrupt line as Timestamp(i64::MAX) and poison the
+            // watermark frontier for the rest of the stream.
+            JsonScalar::Num(n) if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 => {
+                Ok(*n as i64)
+            }
+            JsonScalar::Str(s) => s
+                .parse()
+                .map_err(|_| format!("field `{name}` is not an integer: `{s}`")),
+            _ => Err(format!("field `{name}` is not an integer: {v:?}")),
+        }
+    };
+    let as_num = |v: &JsonScalar, name: &str| -> Result<f64, String> {
+        match v {
+            JsonScalar::Num(n) => Ok(*n),
+            JsonScalar::Str(s) => s
+                .parse()
+                .map_err(|_| format!("field `{name}` is not a number: `{s}`")),
+        }
+    };
+    for (key, value) in &fields {
+        match key.as_str() {
+            "side" => {
+                let spelled = match value {
+                    JsonScalar::Str(s) => s.clone(),
+                    JsonScalar::Num(n) => format!("{n}"),
+                };
+                side = Some(match spelled.as_str() {
+                    "L" | "l" | "left" | "LEFT" | "Left" | "0" => Side::Left,
+                    "R" | "r" | "right" | "RIGHT" | "Right" | "1" => Side::Right,
+                    other => return Err(format!("bad side `{other}` (expected L or R)")),
+                });
+            }
+            "entity" | "entity_id" => {
+                let v = as_int(value, "entity")?;
+                if v < 0 {
+                    return Err(format!("field `entity` must be non-negative, got {v}"));
+                }
+                entity = Some(v as u64);
+            }
+            "lat" | "latitude" => lat = Some(as_num(value, "lat")?),
+            "lng" | "lon" | "longitude" => lng = Some(as_num(value, "lng")?),
+            "ts" | "time" | "timestamp" => ts = Some(as_int(value, "ts")?),
+            "acc" | "accuracy" | "accuracy_m" => {
+                let v = as_num(value, "acc")?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("accuracy must be non-negative, got {v}"));
+                }
+                accuracy = v;
+            }
+            _ => {} // unknown keys tolerated
+        }
+    }
+    let missing = |name: &str| format!("missing field `{name}` in `{trimmed}`");
+    let side = side.ok_or_else(|| missing("side"))?;
+    let entity = entity.ok_or_else(|| missing("entity"))?;
+    let lat = lat.ok_or_else(|| missing("lat"))?;
+    let lng = lng.ok_or_else(|| missing("lng"))?;
+    let ts = ts.ok_or_else(|| missing("ts"))?;
+    if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lng) {
+        return Err(format!("coordinates out of range: ({lat}, {lng})"));
+    }
+    Ok(Some(StreamEvent {
+        side,
+        entity: EntityId(entity),
+        location: LatLng::from_degrees(lat, lng),
+        time: Timestamp(ts),
+        accuracy_m: accuracy,
+    }))
+}
+
+/// Renders an event in the [`parse_event_jsonl`] wire format (no
+/// trailing newline).
+pub fn format_event_jsonl(ev: &StreamEvent) -> String {
+    format!(
+        "{{\"side\":\"{}\",\"entity\":{},\"lat\":{:.7},\"lng\":{:.7},\"ts\":{}{}}}",
+        match ev.side {
+            Side::Left => 'L',
+            Side::Right => 'R',
+        },
+        ev.entity.0,
+        ev.location.lat_deg(),
+        ev.location.lng_deg(),
+        ev.time.secs(),
+        if ev.accuracy_m > 0.0 {
+            format!(",\"acc\":{}", ev.accuracy_m)
+        } else {
+            String::new()
+        }
+    )
 }
 
 /// Renders an event in the [`parse_event_line`] wire format (no
@@ -236,6 +491,75 @@ mod tests {
         assert!(parse_event_line("L,1,95.0,0.0,5").is_err());
         assert!(parse_event_line("L,1,0.0").is_err());
         assert!(parse_event_line("L,1,0.0,0.0,5,-3").is_err());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ev = StreamEvent {
+            side: Side::Right,
+            entity: EntityId(42),
+            location: LatLng::from_degrees(37.5, -122.25),
+            time: Timestamp(12345),
+            accuracy_m: 80.0,
+        };
+        let line = format_event_jsonl(&ev);
+        let back = parse_event_jsonl(&line).unwrap().unwrap();
+        assert_eq!(back.side, ev.side);
+        assert_eq!(back.entity, ev.entity);
+        assert_eq!(back.time, ev.time);
+        assert!((back.location.lat_deg() - 37.5).abs() < 1e-6);
+        assert!((back.accuracy_m - 80.0).abs() < 1e-9);
+        // Wire-format dispatch reaches the same parser.
+        assert_eq!(
+            parse_wire_line(WireFormat::Jsonl, &line).unwrap().unwrap(),
+            back
+        );
+        assert_eq!(WireFormat::Jsonl.label(), "jsonl");
+        assert_eq!(WireFormat::default(), WireFormat::Csv);
+    }
+
+    #[test]
+    fn jsonl_accepts_aliases_reordering_and_unknown_keys() {
+        let ev = parse_event_jsonl(
+            r#" { "timestamp": 9, "longitude": -1.5, "latitude": 2.25,
+                  "entity_id": "7", "side": "left", "source": "gps-v2" } "#,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(ev.side, Side::Left);
+        assert_eq!(ev.entity, EntityId(7));
+        assert_eq!(ev.time, Timestamp(9));
+        assert!((ev.location.lng_deg() - -1.5).abs() < 1e-9);
+        assert_eq!(ev.accuracy_m, 0.0);
+        // Numeric side spelling, escaped string values tolerated.
+        let ev = parse_event_jsonl(r#"{"side":1,"entity":3,"lat":0,"lng":0,"ts":-5}"#)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ev.side, Side::Right);
+        assert_eq!(ev.time, Timestamp(-5));
+        // Blank lines skip like the CSV wire.
+        assert_eq!(parse_event_jsonl("   ").unwrap(), None);
+    }
+
+    #[test]
+    fn jsonl_malformed_lines_error() {
+        for bad in [
+            "not json at all",
+            r#"{"side":"L","entity":1,"lat":0,"lng":0}"#, // missing ts
+            r#"{"side":"X","entity":1,"lat":0,"lng":0,"ts":1}"#, // bad side
+            r#"{"side":"L","entity":1.5,"lat":0,"lng":0,"ts":1}"#, // fractional id
+            r#"{"side":"L","entity":1,"lat":95,"lng":0,"ts":1}"#, // out of range
+            r#"{"side":"L","entity":1,"lat":0,"lng":0,"ts":1} trailing"#,
+            r#"{"side":"L","entity":1,"lat":0,"lng":0,"ts":1,"acc":-2}"#,
+            r#"{"side":"L","entity":-3,"lat":0,"lng":0,"ts":1}"#,
+            r#"{"side":"L" "entity":1}"#, // missing comma
+            // Integers beyond f64's exact range must error, not
+            // saturate into a frontier-poisoning timestamp.
+            r#"{"side":"L","entity":1,"lat":0,"lng":0,"ts":1e300}"#,
+            r#"{"side":"L","entity":1e300,"lat":0,"lng":0,"ts":1}"#,
+        ] {
+            assert!(parse_event_jsonl(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub struct DriveOptions {
     /// Bounded-channel capacity in events: the producer blocks (never
     /// drops) when this many events are in flight.
     pub queue_cap: usize,
+    /// Adaptive queue sizing ceiling: when above `queue_cap`, the pump
+    /// doubles the channel capacity (up to this cap) whenever a drain
+    /// interval accumulates more than
+    /// [`QueueSizer::DEFAULT_GROW_THRESHOLD_NS`] of fresh producer
+    /// blocked time — backpressure still bounds the queue, it just
+    /// stops throttling a feed the engine could actually absorb. `0`
+    /// (or `== queue_cap`) keeps the classic fixed capacity.
+    pub queue_cap_max: usize,
     /// Maximum events per source poll and per channel drain.
     pub source_batch: usize,
     /// When to fire refresh ticks while draining.
@@ -44,6 +52,7 @@ impl Default for DriveOptions {
     fn default() -> Self {
         Self {
             queue_cap: 65_536,
+            queue_cap_max: 0,
             source_batch: 4_096,
             tick_policy: TickPolicy::default(),
             max_lag_secs: 0,
@@ -63,8 +72,11 @@ pub struct IngestReport {
     pub late_events: u64,
     /// Nanoseconds the producer spent blocked on a full channel.
     pub blocked_producer_ns: u64,
-    /// Highest channel occupancy observed (≤ `queue_cap`).
+    /// Highest channel occupancy observed (≤ the final capacity).
     pub queue_high_watermark: u64,
+    /// The channel capacity at EOF: `queue_cap` unless adaptive sizing
+    /// (`queue_cap_max`) grew it mid-drive.
+    pub queue_grown_to: u64,
     /// Source polls that returned a batch.
     pub source_batches: u64,
     /// Source polls that returned [`SourcePoll::Pending`].
@@ -223,6 +235,12 @@ pub(crate) fn run<S: StreamSource + Send>(
     if opts.queue_cap == 0 {
         return Err("drive: queue_cap must be positive".into());
     }
+    if opts.queue_cap_max != 0 && opts.queue_cap_max < opts.queue_cap {
+        return Err(format!(
+            "drive: queue_cap_max {} is below queue_cap {}",
+            opts.queue_cap_max, opts.queue_cap
+        ));
+    }
     if opts.source_batch == 0 {
         return Err("drive: source_batch must be positive".into());
     }
@@ -262,7 +280,7 @@ pub(crate) fn run<S: StreamSource + Send>(
         origin,
     );
 
-    let (producer_result, channel_stats) = std::thread::scope(|scope| {
+    let (producer_result, channel_stats, queue_grown_to) = std::thread::scope(|scope| {
         let (tx, rx) = channel::bounded::<StreamEvent>(opts.queue_cap);
         let batch_max = opts.source_batch;
         let producer = scope.spawn(move || {
@@ -296,7 +314,17 @@ pub(crate) fn run<S: StreamSource + Send>(
         let mut arrivals: Vec<StreamEvent> = Vec::new();
         let mut released: Vec<StreamEvent> = Vec::new();
         let watermark_ticks = matches!(ticker, Ticker::Watermark { .. });
+        // Adaptive queue sizing: observed once per drain interval, so
+        // a sustained backlog grows the queue while a one-off stall
+        // does not.
+        let mut sizer = (opts.queue_cap_max > opts.queue_cap)
+            .then(|| channel::QueueSizer::new(opts.queue_cap, opts.queue_cap_max));
         while rx.recv_many(&mut arrivals, opts.source_batch) {
+            if let Some(sizer) = &mut sizer {
+                if let Some(cap) = sizer.observe(rx.stats().blocked_producer_ns) {
+                    rx.set_capacity(cap);
+                }
+            }
             for ev in arrivals.drain(..) {
                 reorder.push(ev, &mut released);
                 // Watermark sealing must be checked as the frontier
@@ -316,18 +344,20 @@ pub(crate) fn run<S: StreamSource + Send>(
         ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
         ticker.finish(engine, &mut report);
         let stats = rx.stats();
+        let final_cap = sizer.map_or(opts.queue_cap, |s| s.capacity()) as u64;
         let (result, batches, stalls) = producer
             .join()
             .unwrap_or_else(|_| (Err("drive: source producer thread panicked".into()), 0, 0));
         report.source_batches = batches;
         report.source_stalls = stalls;
-        (result, stats)
+        (result, stats, final_cap)
     });
     producer_result?;
 
     report.late_events = reorder.late_events();
     report.blocked_producer_ns = channel_stats.blocked_producer_ns;
     report.queue_high_watermark = channel_stats.queue_high_watermark;
+    report.queue_grown_to = queue_grown_to;
     engine.absorb_ingest_report(
         report.blocked_producer_ns,
         report.queue_high_watermark,
@@ -399,7 +429,7 @@ mod tests {
                     queue_cap: 4,
                     source_batch: 16,
                     tick_policy: TickPolicy::EveryN(0),
-                    max_lag_secs: 0,
+                    ..DriveOptions::default()
                 },
             )
             .unwrap();
@@ -510,11 +540,55 @@ mod tests {
         assert!(engine.stats().events > 0);
     }
 
+    /// Adaptive sizing end to end: the drive completes losslessly, the
+    /// final capacity stays inside `[queue_cap, queue_cap_max]`, and a
+    /// fixed-capacity drive reports its capacity untouched. (Whether
+    /// growth actually triggers depends on scheduler timing — the
+    /// deterministic policy decisions are pinned by the `QueueSizer`
+    /// unit tests.)
+    #[test]
+    fn adaptive_queue_growth_stays_bounded_and_lossless() {
+        let events = workload(12);
+        let total = events.len() as u64;
+        let mut adaptive = engine();
+        let report = adaptive
+            .drive(
+                script(events.clone(), 16),
+                &DriveOptions {
+                    queue_cap: 4,
+                    queue_cap_max: 64,
+                    source_batch: 16,
+                    tick_policy: TickPolicy::EveryN(0),
+                    max_lag_secs: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(report.events_delivered, total, "adaptive drive lost events");
+        assert!(
+            (4..=64).contains(&(report.queue_grown_to as usize)),
+            "final capacity {} outside [4, 64]",
+            report.queue_grown_to
+        );
+        // Fixed capacity reports itself verbatim.
+        let mut fixed = engine();
+        let report = fixed
+            .drive(script(events, 16), &DriveOptions::default())
+            .unwrap();
+        assert_eq!(report.queue_grown_to, 65_536);
+    }
+
     #[test]
     fn invalid_options_rejected() {
         let mut engine = engine();
         let opts = DriveOptions {
             queue_cap: 0,
+            ..DriveOptions::default()
+        };
+        assert!(engine.drive(script(Vec::new(), 1), &opts).is_err());
+        // An adaptive ceiling below the initial capacity is an error.
+        let opts = DriveOptions {
+            queue_cap: 512,
+            queue_cap_max: 16,
             ..DriveOptions::default()
         };
         assert!(engine.drive(script(Vec::new(), 1), &opts).is_err());

@@ -1,16 +1,19 @@
 //! Live TCP feed: tail a loopback socket of side-tagged event lines.
 //!
-//! The feeder writes one [`crate::source::parse_event_line`] record per
-//! `\n`-terminated line; the source parses whatever the socket delivers
-//! and reports EOF when the peer closes. Reads block on the producer
-//! thread — the pump's bounded channel keeps the engine side decoupled —
-//! so no timeouts, polling, or async runtime are needed.
+//! The feeder writes one record per `\n`-terminated line, in either the
+//! CSV wire format ([`crate::source::parse_event_line`]) or JSON lines
+//! ([`crate::source::parse_event_jsonl`]) — chosen per connection via
+//! [`WireFormat`]. The source parses whatever the socket delivers
+//! (chunk boundaries never have to align with lines) and reports EOF
+//! when the peer closes. Reads block on the producer thread — the
+//! pump's bounded channel keeps the engine side decoupled — so no
+//! timeouts, polling, or async runtime are needed.
 
 use std::io::Read;
 use std::net::TcpStream;
 
 use crate::event::StreamEvent;
-use crate::source::{parse_event_line, SourcePoll, StreamSource};
+use crate::source::{parse_wire_line, SourcePoll, StreamSource, WireFormat};
 
 /// Read-buffer growth unit: large enough that a healthy feed needs few
 /// syscalls, small enough not to matter per connection.
@@ -20,6 +23,7 @@ const READ_CHUNK: usize = 64 * 1024;
 #[derive(Debug)]
 pub struct TcpLineSource {
     stream: TcpStream,
+    format: WireFormat,
     /// Raw bytes received but not yet split into complete lines.
     buf: Vec<u8>,
     /// Parsed events not yet handed out (a single read can complete
@@ -29,17 +33,28 @@ pub struct TcpLineSource {
 }
 
 impl TcpLineSource {
-    /// Connects to a feeder at `addr` (e.g. `127.0.0.1:9999`).
+    /// Connects to a CSV-wire feeder at `addr` (e.g. `127.0.0.1:9999`).
     pub fn connect(addr: &str) -> Result<Self, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-        Ok(Self::from_stream(stream))
+        Self::connect_with(addr, WireFormat::Csv)
     }
 
-    /// Wraps an already-established connection (e.g. one accepted from a
-    /// listener).
+    /// Connects to a feeder speaking the given wire format.
+    pub fn connect_with(addr: &str, format: WireFormat) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+        Ok(Self::from_stream_with(stream, format))
+    }
+
+    /// Wraps an already-established CSV-wire connection (e.g. one
+    /// accepted from a listener).
     pub fn from_stream(stream: TcpStream) -> Self {
+        Self::from_stream_with(stream, WireFormat::Csv)
+    }
+
+    /// Wraps an established connection speaking the given wire format.
+    pub fn from_stream_with(stream: TcpStream, format: WireFormat) -> Self {
         Self {
             stream,
+            format,
             buf: Vec::new(),
             parsed: std::collections::VecDeque::new(),
             peer_closed: false,
@@ -54,7 +69,7 @@ impl TcpLineSource {
             start += nl + 1;
             let line =
                 std::str::from_utf8(line).map_err(|_| "feed sent non-UTF-8 line".to_string())?;
-            if let Some(ev) = parse_event_line(line)? {
+            if let Some(ev) = parse_wire_line(self.format, line)? {
                 self.parsed.push_back(ev);
             }
         }
@@ -63,7 +78,7 @@ impl TcpLineSource {
             // final line rather than silently dropping data.
             let line = std::str::from_utf8(&self.buf[start..])
                 .map_err(|_| "feed sent non-UTF-8 line".to_string())?;
-            if let Some(ev) = parse_event_line(line)? {
+            if let Some(ev) = parse_wire_line(self.format, line)? {
                 self.parsed.push_back(ev);
             }
             start = self.buf.len();
@@ -160,6 +175,84 @@ mod tests {
         for (a, b) in got.iter().zip(&events) {
             assert_eq!((a.side, a.entity, a.time), (b.side, b.entity, b.time));
         }
+    }
+
+    /// The JSONL wire over a real loopback socket with ragged write
+    /// chunks (lines split mid-object): exact reassembly, EOF on
+    /// hangup, and the unterminated final object still delivered.
+    #[test]
+    fn tails_a_jsonl_feed_in_ragged_chunks() {
+        use crate::source::format_event_jsonl;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        let events: Vec<StreamEvent> = (0..30)
+            .map(|k| {
+                ev(
+                    if k % 3 == 0 { Side::Left } else { Side::Right },
+                    k % 7,
+                    500 + k as i64,
+                )
+            })
+            .collect();
+        let mut payload: String = events
+            .iter()
+            .map(|e| format_event_jsonl(e) + "\n")
+            .collect();
+        // Blank line mid-stream must be skipped; the final newline is
+        // dropped so the last object arrives unterminated.
+        payload.insert(payload.len() / 2, '\n');
+        payload.pop();
+        let feeder = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // 13-byte chunks: no write boundary aligns with an object.
+            for chunk in payload.as_bytes().chunks(13) {
+                conn.write_all(chunk).expect("write");
+            }
+        });
+
+        let mut src = TcpLineSource::connect_with(&addr, WireFormat::Jsonl).expect("connect");
+        let mut got = Vec::new();
+        loop {
+            match src.next_batch(4).expect("healthy feed") {
+                SourcePoll::Batch(b) => got.extend(b),
+                SourcePoll::End => break,
+                SourcePoll::Pending => unreachable!("blocking reads never return Pending"),
+            }
+        }
+        feeder.join().expect("feeder");
+        assert_eq!(got.len(), events.len());
+        for (a, b) in got.iter().zip(&events) {
+            assert_eq!((a.side, a.entity, a.time), (b.side, b.entity, b.time));
+        }
+    }
+
+    #[test]
+    fn malformed_jsonl_line_surfaces_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let feeder = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.write_all(
+                b"{\"side\":\"L\",\"entity\":1,\"lat\":0,\"lng\":0,\"ts\":5}\n{broken\n",
+            )
+            .unwrap();
+        });
+        let mut src = TcpLineSource::connect_with(&addr, WireFormat::Jsonl).unwrap();
+        let mut saw_err = false;
+        for _ in 0..4 {
+            match src.next_batch(10) {
+                Ok(SourcePoll::End) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.contains("broken") || e.contains("expected"), "{e}");
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        feeder.join().unwrap();
+        assert!(saw_err, "malformed JSONL line must error");
     }
 
     #[test]

@@ -166,6 +166,7 @@ fn run_fronted(steps: Vec<ScriptStep>, shards: usize, policy: TickPolicy) -> Obs
                 source_batch: 13,
                 tick_policy: policy,
                 max_lag_secs: LAG_SECS,
+                ..DriveOptions::default()
             },
         )
         .expect("drive");

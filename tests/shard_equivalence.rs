@@ -11,7 +11,8 @@ use slim::core::{EntityId, LinkageStats, Timestamp};
 use slim::geo::LatLng;
 use slim::lsh::LshConfig;
 use slim::stream::{
-    LinkUpdate, Side, StreamConfig, StreamEngine, StreamEvent, StreamLshConfig, StreamStats,
+    LinkUpdate, PoolMode, Side, StreamConfig, StreamEngine, StreamEvent, StreamLshConfig,
+    StreamStats,
 };
 
 /// Raw tuples → events. Entities orbit one of a few regional anchors
@@ -81,6 +82,68 @@ fn replay(events: &[StreamEvent], mut cfg: StreamConfig, shards: usize) -> Obser
     }
 }
 
+/// Like [`replay`], but through the persistent worker pool: explicit
+/// worker count + pool mode, and batches big enough (256 ≥ the
+/// engine's parallel thresholds) that phases actually dispatch chunks
+/// to the stealing deques instead of running inline.
+fn replay_pool(
+    events: &[StreamEvent],
+    mut cfg: StreamConfig,
+    workers: usize,
+    mode: PoolMode,
+) -> Observation {
+    cfg.num_workers = workers;
+    cfg.pool_mode = mode;
+    let mut engine = StreamEngine::new(cfg).expect("valid config");
+    let mut updates = Vec::new();
+    for chunk in events.chunks(256) {
+        updates.extend(engine.ingest_batch(chunk));
+    }
+    updates.extend(engine.refresh());
+    let served = engine.links().to_vec();
+    let stats = *engine.stats();
+    let scoring = *engine.scoring_stats();
+    let candidate_pairs = engine.num_candidate_pairs();
+    let finalized = engine
+        .into_finalized()
+        .expect("finalize")
+        .links
+        .into_iter()
+        .map(|e| (e.left, e.right, e.weight))
+        .collect();
+    Observation {
+        updates,
+        served,
+        stats,
+        scoring,
+        candidate_pairs,
+        finalized,
+    }
+}
+
+/// A denser stream than [`arb_events`] so pool-sized batches carry
+/// enough work to cross the engine's parallel-dispatch thresholds.
+fn arb_dense_events() -> impl Strategy<Value = Vec<StreamEvent>> {
+    prop::collection::vec((0u8..2, 0u64..24, 0.0f64..0.01, 0i64..60_000), 500..1100).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(side, entity, jitter, t)| {
+                    let side = if side == 0 { Side::Left } else { Side::Right };
+                    let region = (entity % 3) as f64;
+                    let lat = -20.0 + 18.0 * region + jitter;
+                    let lng = -100.0 + 40.0 * region + 100.0 * jitter;
+                    StreamEvent::new(
+                        side,
+                        EntityId(entity),
+                        LatLng::from_degrees(lat, lng),
+                        Timestamp(t),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -128,6 +191,49 @@ proptest! {
         for shards in [2usize, 4, 7] {
             let other = replay(&events, cfg, shards);
             prop_assert!(reference == other, "{} shards diverged from 1 shard:\n{:#?}\nvs\n{:#?}", shards, reference, other);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The work-stealing execution pool under randomized steal schedules:
+    // the scripted scheduler hook (`PoolMode::Scripted { seed }`) draws
+    // chunk placement and per-worker victim order from the proptest
+    // seed, so every case exercises a different schedule — and every
+    // schedule, worker count, and the static-partition baseline must be
+    // observationally identical to the 1-worker replay. Chunk outputs
+    // merge in chunk-id order at the barrier; this test is the contract
+    // that that merge leaves no schedule dependence behind.
+    #[test]
+    fn steal_schedules_and_worker_counts_are_invariant(
+        events in arb_dense_events(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = StreamConfig {
+            num_shards: 5,
+            window_capacity: Some(16),
+            refresh_every: 97,
+            slim: slim::core::SlimConfig {
+                min_records: 2,
+                ..slim::core::SlimConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        let reference = replay_pool(&events, cfg, 1, PoolMode::Stealing);
+        for (workers, mode) in [
+            (2usize, PoolMode::Scripted { seed }),
+            (4, PoolMode::Scripted { seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) }),
+            (4, PoolMode::Stealing),
+            (4, PoolMode::Static),
+        ] {
+            let other = replay_pool(&events, cfg, workers, mode);
+            prop_assert!(
+                reference == other,
+                "{} workers under {:?} diverged from 1 worker:\n{:#?}\nvs\n{:#?}",
+                workers, mode, reference, other
+            );
         }
     }
 }
