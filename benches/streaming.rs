@@ -76,11 +76,19 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
 use slim::lsh::LshConfig;
 use slim::stream::{merge_datasets, PoolMode, StreamConfig, StreamEngine, StreamLshConfig};
+use slim::telemetry::JsonObj;
+
+/// The `BENCH_STREAMING.json` envelope layout. Bumped whenever the
+/// envelope or record fields change shape, so trend tooling can refuse
+/// files it does not understand instead of misreading them.
+const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Collects every `BENCH_STREAMING` record of the run and persists the
 /// set to `BENCH_STREAMING.json` at the repo root — the cross-PR perf
 /// trail. Records are flushed at every exit path, so `--smoke` and
-/// `--source synthetic` runs leave a file too.
+/// `--source synthetic` runs leave a file too. Records are serialized
+/// through `slim::telemetry::JsonObj` — the same path the engine's
+/// metrics snapshots use — instead of hand-rolled format strings.
 struct BenchLog {
     smoke: bool,
     records: Vec<String>,
@@ -95,17 +103,26 @@ impl BenchLog {
     }
 
     /// Prints one machine-readable record and retains it for the file.
-    fn emit(&mut self, json: String) {
+    fn emit(&mut self, record: JsonObj) {
+        let json = record.render();
         println!("BENCH_STREAMING {json}");
         self.records.push(json);
     }
 
-    /// Writes `BENCH_STREAMING.json` (repo root, overwriting).
+    /// Writes `BENCH_STREAMING.json` (repo root, overwriting). The
+    /// envelope carries the schema version plus enough host/revision
+    /// context to compare runs across machines and commits.
     fn write(&self) {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_STREAMING.json");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let body = format!(
-            "{{\n  \"bench\": \"streaming\",\n  \"smoke\": {},\n  \"records\": [\n    {}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"streaming\",\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \
+             \"smoke\": {},\n  \"host_cores\": {cores},\n  \"git_revision\": \"{}\",\n  \
+             \"records\": [\n    {}\n  ]\n}}\n",
             self.smoke,
+            git_revision(),
             self.records.join(",\n    ")
         );
         if let Err(e) = std::fs::write(path, body) {
@@ -114,6 +131,21 @@ impl BenchLog {
             println!("bench records written to {path}");
         }
     }
+}
+
+/// The repo's short HEAD revision, or `unknown` outside a git checkout
+/// (e.g. a source tarball) — the bench must degrade, not fail.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn bench_config(num_shards: usize) -> StreamConfig {
@@ -178,30 +210,31 @@ fn report(log: &mut BenchLog, phase: &Phase, engine: &StreamEngine) {
         stats.cached_pairs_at_ticks,
         stats.retired_pairs,
     );
-    log.emit(format!(
-        "{{\"bench\":\"streaming_{}\",\"shards\":{},\"events\":{},\
-         \"elapsed_s\":{:.6},\"events_per_sec\":{:.1},\"p50_event_us\":{:.2},\
-         \"p99_event_us\":{:.2},\"max_event_us\":{:.2},\"ticks\":{},\"rescored_windows\":{},\
-         \"dirty_pairs_visited\":{},\"cached_pairs_at_ticks\":{},\"retired_pairs\":{},\
-         \"evicted_windows\":{},\"late_dropped\":{},\"candidate_pairs\":{},\"links\":{}}}",
-        phase.name,
-        phase.shards,
-        phase.events,
-        phase.elapsed_s,
-        events_per_sec,
-        phase.p50_us,
-        phase.p99_us,
-        phase.max_us,
-        stats.ticks,
-        stats.rescored_windows,
-        stats.dirty_pairs_visited,
-        stats.cached_pairs_at_ticks,
-        stats.retired_pairs,
-        stats.evicted_windows,
-        stats.late_dropped,
-        engine.num_candidate_pairs(),
-        engine.links().len(),
-    ));
+    // The engine-side counters come from the telemetry snapshot — the
+    // same struct (and serialization path) the `--metrics-*` outputs
+    // use — rather than a second hand-maintained field list.
+    let snap = engine.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    log.emit(
+        JsonObj::new()
+            .str("bench", &format!("streaming_{}", phase.name))
+            .u64("shards", phase.shards as u64)
+            .u64("events", phase.events as u64)
+            .f64("elapsed_s", phase.elapsed_s)
+            .f64("events_per_sec", events_per_sec)
+            .f64("p50_event_us", phase.p50_us)
+            .f64("p99_event_us", phase.p99_us)
+            .f64("max_event_us", phase.max_us)
+            .u64("ticks", counter("ticks"))
+            .u64("rescored_windows", counter("rescored_windows"))
+            .u64("dirty_pairs_visited", counter("dirty_pairs_visited"))
+            .u64("cached_pairs_at_ticks", counter("cached_pairs_at_ticks"))
+            .u64("retired_pairs", counter("retired_pairs"))
+            .u64("evicted_windows", counter("evicted_windows"))
+            .u64("late_dropped", counter("late_dropped"))
+            .u64("candidate_pairs", engine.num_candidate_pairs() as u64)
+            .u64("links", engine.links().len() as u64),
+    );
 }
 
 /// The dirty-only refresh contract on the bulk replay: ticks visit only
@@ -228,18 +261,31 @@ fn assert_dirty_refresh(engine: &StreamEngine, phase: &str) {
 /// engine, so the queue must fill and the blocked-time counter must
 /// move — the backpressure contract, asserted structurally on every
 /// run. Returns the sustained ingest rate for the floor check.
-fn run_ingest_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) -> f64 {
+fn run_ingest_phase(
+    log: &mut BenchLog,
+    events: &[slim::stream::StreamEvent],
+    metrics_every: u64,
+) -> f64 {
     use slim::stream::source::SyntheticSource;
     use slim::stream::{DriveOptions, TickPolicy};
+    use slim::telemetry::VecSink;
 
     const QUEUE_CAP: usize = 8_192;
     let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+    // `--metrics-every N`: run with periodic snapshots on (the CI smoke
+    // form), capturing them so the cadence contract is asserted — and
+    // so the bench measures the engine *with* its telemetry path live.
+    let sink = VecSink::new();
+    if metrics_every > 0 {
+        engine.set_metrics_sink(Box::new(sink.clone()));
+    }
     let source = SyntheticSource::from_events(events.to_vec());
     let opts = DriveOptions {
         queue_cap: QUEUE_CAP,
         source_batch: 4_096,
         tick_policy: TickPolicy::EveryN(20_000),
         max_lag_secs: 0,
+        metrics_every,
         ..DriveOptions::default()
     };
     let start = Instant::now();
@@ -262,21 +308,30 @@ fn run_ingest_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) ->
         stats.ticks,
         engine.links().len(),
     );
-    log.emit(format!(
-        "{{\"bench\":\"streaming_ingest\",\"shards\":{},\"events\":{},\
-         \"elapsed_s\":{elapsed_s:.6},\"events_per_sec\":{events_per_sec:.1},\
-         \"queue_cap\":{QUEUE_CAP},\"queue_high_watermark\":{},\
-         \"blocked_producer_ns\":{},\"late_events\":{},\"source_batches\":{},\
-         \"ticks\":{},\"links\":{}}}",
-        engine.num_shards(),
-        report.events_delivered,
-        report.queue_high_watermark,
-        report.blocked_producer_ns,
-        report.late_events,
-        report.source_batches,
-        stats.ticks,
-        engine.links().len(),
-    ));
+    let snapshots = sink.collected().len() as u64;
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_ingest")
+            .u64("shards", engine.num_shards() as u64)
+            .u64("events", report.events_delivered)
+            .f64("elapsed_s", elapsed_s)
+            .f64("events_per_sec", events_per_sec)
+            .u64("queue_cap", QUEUE_CAP as u64)
+            .u64("queue_high_watermark", report.queue_high_watermark)
+            .u64("blocked_producer_ns", report.blocked_producer_ns)
+            .u64("late_events", report.late_events)
+            .u64("source_batches", report.source_batches)
+            .u64("metrics_every", metrics_every)
+            .u64("metrics_snapshots", snapshots)
+            .u64("ticks", stats.ticks)
+            .u64("links", engine.links().len() as u64),
+    );
+    if let Some(expected) = report.events_delivered.checked_div(metrics_every) {
+        assert_eq!(
+            snapshots, expected,
+            "snapshot cadence must be one per crossed {metrics_every}-event boundary"
+        );
+    }
     assert_eq!(
         report.events_delivered,
         events.len() as u64,
@@ -361,6 +416,7 @@ fn run_skew_phase(log: &mut BenchLog, smoke: bool, lenient: bool, sweep: &[usize
             num_shards: SKEW_SHARDS,
             num_workers: workers,
             pool_mode: mode,
+            telemetry: true,
             lsh: None,
             slim: slim::core::SlimConfig {
                 // 1-minute windows: a tick's ingest chunk spans dozens
@@ -405,19 +461,21 @@ fn run_skew_phase(log: &mut BenchLog, smoke: bool, lenient: bool, sweep: &[usize
             stats.max_worker_busy_ns as f64 / 1e6,
             stats.min_worker_busy_ns as f64 / 1e6,
         );
-        log.emit(format!(
-            "{{\"bench\":\"streaming_skew\",\"mode\":\"stealing\",\"shards\":{SKEW_SHARDS},\
-             \"workers\":{workers},\"events\":{},\"elapsed_s\":{elapsed:.6},\
-             \"events_per_sec\":{:.1},\"ticks\":{},\"steal_events\":{},\
-             \"max_worker_busy_ns\":{},\"min_worker_busy_ns\":{},\"links\":{}}}",
-            events.len(),
-            events.len() as f64 / elapsed,
-            stats.ticks,
-            stats.steal_events,
-            stats.max_worker_busy_ns,
-            stats.min_worker_busy_ns,
-            obs.links.len(),
-        ));
+        log.emit(
+            JsonObj::new()
+                .str("bench", "streaming_skew")
+                .str("mode", "stealing")
+                .u64("shards", SKEW_SHARDS as u64)
+                .u64("workers", workers as u64)
+                .u64("events", events.len() as u64)
+                .f64("elapsed_s", elapsed)
+                .f64("events_per_sec", events.len() as f64 / elapsed)
+                .u64("ticks", stats.ticks)
+                .u64("steal_events", stats.steal_events)
+                .u64("max_worker_busy_ns", stats.max_worker_busy_ns)
+                .u64("min_worker_busy_ns", stats.min_worker_busy_ns)
+                .u64("links", obs.links.len() as u64),
+        );
         // Bit-identity across the whole sweep (StreamStats equality
         // deliberately excludes the scheduling telemetry).
         match &reference {
@@ -445,17 +503,19 @@ fn run_skew_phase(log: &mut BenchLog, smoke: bool, lenient: bool, sweep: &[usize
         static_stats.max_worker_busy_ns as f64 / 1e6,
         static_stats.min_worker_busy_ns as f64 / 1e6,
     );
-    log.emit(format!(
-        "{{\"bench\":\"streaming_skew\",\"mode\":\"static\",\"shards\":{SKEW_SHARDS},\
-         \"workers\":{wmax},\"events\":{},\"elapsed_s\":{static_elapsed:.6},\
-         \"events_per_sec\":{:.1},\"steal_events\":{},\
-         \"max_worker_busy_ns\":{},\"min_worker_busy_ns\":{}}}",
-        events.len(),
-        events.len() as f64 / static_elapsed,
-        static_stats.steal_events,
-        static_stats.max_worker_busy_ns,
-        static_stats.min_worker_busy_ns,
-    ));
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_skew")
+            .str("mode", "static")
+            .u64("shards", SKEW_SHARDS as u64)
+            .u64("workers", wmax as u64)
+            .u64("events", events.len() as u64)
+            .f64("elapsed_s", static_elapsed)
+            .f64("events_per_sec", events.len() as f64 / static_elapsed)
+            .u64("steal_events", static_stats.steal_events)
+            .u64("max_worker_busy_ns", static_stats.max_worker_busy_ns)
+            .u64("min_worker_busy_ns", static_stats.min_worker_busy_ns),
+    );
     assert!(
         reference.as_ref() == Some(&static_obs),
         "static-partition replay diverged from the stealing replays"
@@ -525,6 +585,17 @@ fn main() {
         !workers_sweep.is_empty(),
         "--workers list must be non-empty"
     );
+    // `--metrics-every N`: run the ingest phase with periodic telemetry
+    // snapshots enabled (asserting the cadence contract); the CI smoke
+    // step passes it explicitly.
+    let metrics_every: u64 = match args.iter().position(|a| a == "--metrics-every") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--metrics-every requires a value")
+            .parse()
+            .expect("bad --metrics-every value"),
+        None => 0,
+    };
     let mut log = BenchLog::new(smoke);
     // `--source synthetic` runs only the ingest-front-end phase.
     let ingest_only = match args.iter().position(|a| a == "--source") {
@@ -548,7 +619,7 @@ fn main() {
     );
 
     if ingest_only {
-        let rate = run_ingest_phase(&mut log, &events);
+        let rate = run_ingest_phase(&mut log, &events, metrics_every);
         log.write();
         if lenient {
             println!(
@@ -767,24 +838,30 @@ fn main() {
         picks.len(),
         localized_elapsed
     );
-    log.emit(format!(
-        "{{\"bench\":\"streaming_localized\",\"shards\":{},\"ticks\":{},\
-         \"dirty_pairs_visited\":{visited},\"cached_pairs_at_ticks\":{swept},\
-         \"edges_patched\":{patched},\"matching_region_size\":{region},\
-         \"live_edge_sweeps\":{swept_edges},\"elapsed_s\":{:.6}}}",
-        engine.num_shards(),
-        LOCALIZED_ROUNDS,
-        localized_elapsed
-    ));
-    log.emit(format!(
-        "{{\"bench\":\"streaming_ticks\",\"shards\":{},\
-         \"sweep_ticks\":{},\"sweep_tick_p50_us\":{sweep_p50},\"sweep_tick_p95_us\":{sweep_p95},\
-         \"localized_ticks\":{},\"localized_tick_p50_us\":{localized_p50},\
-         \"localized_tick_p95_us\":{localized_p95},\"em_warm_selects\":{warm_selects}}}",
-        engine.num_shards(),
-        sweep_ticks_us.len(),
-        localized_ticks_us.len(),
-    ));
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_localized")
+            .u64("shards", engine.num_shards() as u64)
+            .u64("ticks", LOCALIZED_ROUNDS)
+            .u64("dirty_pairs_visited", visited)
+            .u64("cached_pairs_at_ticks", swept)
+            .u64("edges_patched", patched)
+            .u64("matching_region_size", region)
+            .u64("live_edge_sweeps", swept_edges)
+            .f64("elapsed_s", localized_elapsed),
+    );
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_ticks")
+            .u64("shards", engine.num_shards() as u64)
+            .u64("sweep_ticks", sweep_ticks_us.len() as u64)
+            .u64("sweep_tick_p50_us", sweep_p50)
+            .u64("sweep_tick_p95_us", sweep_p95)
+            .u64("localized_ticks", localized_ticks_us.len() as u64)
+            .u64("localized_tick_p50_us", localized_p50)
+            .u64("localized_tick_p95_us", localized_p95)
+            .u64("em_warm_selects", warm_selects),
+    );
     assert!(
         visited > 0 && swept > 0 && visited < swept / 10,
         "localized refresh visited {visited} pairs of a {swept}-pair sweep — \
@@ -817,7 +894,7 @@ fn main() {
     );
 
     // Phase 4: the async ingestion front-end over the same events.
-    let ingest_rate = run_ingest_phase(&mut log, &events);
+    let ingest_rate = run_ingest_phase(&mut log, &events, metrics_every);
 
     // Phase 5: the Zipf/hot-entity skew phase — static partition vs
     // the work-stealing pool, swept over `--workers` with bit-identity

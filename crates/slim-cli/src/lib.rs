@@ -81,6 +81,12 @@ pub struct StreamOptions {
     pub synthetic_scale: f64,
     /// Synthetic workload seed.
     pub synthetic_seed: u64,
+    /// Events between telemetry snapshots (`0` = no periodic
+    /// snapshots). Each snapshot is one flat JSONL line on stderr (or
+    /// the `--metrics-file`) and refreshes the `--metrics-addr` scrape
+    /// page. Purely observational: engine output is bit-identical for
+    /// every cadence.
+    pub metrics_every: u64,
 }
 
 impl Default for StreamOptions {
@@ -99,6 +105,7 @@ impl Default for StreamOptions {
             rate: 0.0,
             synthetic_scale: 0.05,
             synthetic_seed: 42,
+            metrics_every: 0,
         }
     }
 }
@@ -120,6 +127,12 @@ pub struct CliOptions {
     pub stream: Option<StreamOptions>,
     /// The `host:port` of a live feed (`--source tcp`).
     pub tcp_addr: Option<String>,
+    /// Write JSONL metrics snapshots here instead of stderr
+    /// (`--metrics-file`; implies `--stream`).
+    pub metrics_file: Option<PathBuf>,
+    /// Serve the latest snapshot as Prometheus text exposition at this
+    /// `host:port` (`--metrics-addr`; implies `--stream`).
+    pub metrics_addr: Option<String>,
     /// Output CSV path (stdout when `None`).
     pub out: Option<PathBuf>,
     /// Print per-step progress.
@@ -191,6 +204,21 @@ OPTIONS:
                          0 = unthrottled                  [default: 0]
     --synthetic-scale F  synthetic workload scale         [default: 0.05]
     --synthetic-seed N   synthetic workload seed          [default: 42]
+    --metrics-every N    events between telemetry snapshots while
+                         streaming; each snapshot is one flat JSONL
+                         line on stderr (or --metrics-file) and
+                         refreshes the --metrics-addr page; output is
+                         bit-identical for every cadence; 0 = periodic
+                         snapshots off                    [default: 0]
+    --metrics-file FILE  write JSONL metrics snapshots to FILE instead
+                         of stderr; a final snapshot matching the
+                         summary counters closes the stream (implies
+                         --stream)
+    --metrics-addr ADDR  serve the latest snapshot as Prometheus text
+                         exposition over HTTP at ADDR (host:port, e.g.
+                         127.0.0.1:9898; port 0 picks one — the bound
+                         address is logged with --verbose; implies
+                         --stream)
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -343,6 +371,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 stream_opts.synthetic_seed = v
                     .parse()
                     .map_err(|_| format!("bad --synthetic-seed `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--metrics-every" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.metrics_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --metrics-every `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--metrics-file" => {
+                opts.metrics_file = Some(PathBuf::from(take_value(args, i, arg)?));
+                want_stream = true;
+                i += 2;
+            }
+            "--metrics-addr" => {
+                opts.metrics_addr = Some(take_value(args, i, arg)?);
                 want_stream = true;
                 i += 2;
             }
@@ -627,6 +673,31 @@ pub fn run(opts: &CliOptions) -> Result<String, String> {
     Ok(summary)
 }
 
+/// The `--metrics-*` snapshot sink: every snapshot becomes one flat
+/// JSONL line (stderr or `--metrics-file`) and, when `--metrics-addr`
+/// is live, republishes the scrape page — one serialization path for
+/// both faces of the same snapshot.
+struct CliMetricsSink {
+    out: Option<Box<dyn std::io::Write + Send>>,
+    page: Option<slim_telemetry::PublishedPage>,
+}
+
+impl slim_telemetry::SnapshotSink for CliMetricsSink {
+    fn emit(&mut self, snapshot: &slim_telemetry::Snapshot) {
+        use std::io::Write;
+        if let Some(w) = &mut self.out {
+            // Line-at-a-time with an explicit flush: a tailing consumer
+            // (or a crashed run's post-mortem) only ever sees whole
+            // JSONL lines.
+            let _ = writeln!(w, "{}", snapshot.to_jsonl());
+            let _ = w.flush();
+        }
+        if let Some(page) = &self.page {
+            page.publish(snapshot.to_exposition());
+        }
+    }
+}
+
 /// Streaming mode: builds the configured ingestion front-end (CSV
 /// replay, live TCP feed, or synthetic workload), lets the engine drain
 /// it through the bounded backpressured channel with the configured
@@ -677,6 +748,7 @@ fn run_stream(
             .tick_policy
             .unwrap_or(TickPolicy::EveryN(stream_opts.refresh_every)),
         max_lag_secs: stream_opts.max_lag_secs,
+        metrics_every: stream_opts.metrics_every,
         ..DriveOptions::default()
     };
 
@@ -742,6 +814,41 @@ fn run_stream(
             }
         };
 
+    // Telemetry outputs. The scrape endpoint binds before the drive so
+    // it serves throughout; publishing the zeroed pre-drive snapshot
+    // means an early scrape reads a valid exposition page rather than
+    // an empty body.
+    let metrics_server = match &opts.metrics_addr {
+        Some(addr) => {
+            let server = slim_telemetry::MetricsServer::bind(addr)?;
+            log(&format!(
+                "serving metrics at http://{}/metrics",
+                server.local_addr()
+            ));
+            server.handle().publish(engine.snapshot().to_exposition());
+            Some(server)
+        }
+        None => None,
+    };
+    let metrics_on =
+        stream_opts.metrics_every > 0 || opts.metrics_file.is_some() || metrics_server.is_some();
+    if metrics_on {
+        let out: Option<Box<dyn std::io::Write + Send>> = match &opts.metrics_file {
+            Some(path) => Some(Box::new(std::io::BufWriter::new(
+                std::fs::File::create(path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?,
+            ))),
+            // Periodic snapshots without a file go to stderr; an
+            // address alone only feeds the scrape page.
+            None if stream_opts.metrics_every > 0 => Some(Box::new(std::io::stderr())),
+            None => None,
+        };
+        engine.set_metrics_sink(Box::new(CliMetricsSink {
+            out,
+            page: metrics_server.as_ref().map(|s| s.handle()),
+        }));
+    }
+
     let start = std::time::Instant::now();
     let report = engine.drive(source, &drive_opts)?;
     let replay_elapsed = start.elapsed();
@@ -773,6 +880,35 @@ fn run_stream(
         stats.late_dropped
     ));
 
+    if metrics_on {
+        // The final snapshot closes the JSONL stream (and the scrape
+        // page) with exactly the counters the summary prints below.
+        engine.emit_snapshot();
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let span_digest = {
+        let parts: Vec<String> = engine
+            .phase_histograms()
+            .into_iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| {
+                format!(
+                    "{} {:.2}/{:.2}/{:.2}",
+                    name.trim_start_matches("phase."),
+                    ms(h.p50()),
+                    ms(h.p95()),
+                    ms(h.max())
+                )
+            })
+            .collect();
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join(", ")
+        }
+    };
+    let latency = engine.event_latency_histogram();
+
     let output = engine.into_finalized()?;
     let events_per_sec = if replay_elapsed.as_secs_f64() > 0.0 {
         stats.events as f64 / replay_elapsed.as_secs_f64()
@@ -788,6 +924,8 @@ fn run_stream(
          worker busy max/min {:.2}/{:.2} ms\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
          matching region {} edges, {} warm EM iters\n\
+         spans (ms p50/p95/max): {span_digest}\n\
+         latency: admit→serve p50/p95/max {:.2}/{:.2}/{:.2} ms over {} events\n\
          {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
         stats.events,
         stream_opts.source.label(),
@@ -809,6 +947,10 @@ fn run_stream(
         stats.edges_patched,
         stats.matching_region_size,
         stats.em_warm_iters,
+        ms(latency.p50()),
+        ms(latency.p95()),
+        ms(latency.max()),
+        latency.count(),
         output.links.len(),
         output.matching.len(),
         output.num_edges,
@@ -949,6 +1091,7 @@ mod tests {
             ("--batch-size", format!("{}", stream.batch_size)),
             ("--shards", format!("{}", stream.num_shards)),
             ("--workers", format!("{}", stream.num_workers)),
+            ("--metrics-every", format!("{}", stream.metrics_every)),
         ];
         for (flag, value) in documented {
             // The flag's doc entry spans from its line to the next flag.
@@ -1016,6 +1159,22 @@ mod tests {
     }
 
     #[test]
+    fn metrics_flags_parse() {
+        // Each metrics flag implies --stream, like the other streaming
+        // knobs.
+        let o = parse(&["a.csv", "b.csv", "--metrics-every", "500"]).unwrap();
+        assert_eq!(o.stream.unwrap().metrics_every, 500);
+        let o = parse(&["a.csv", "b.csv", "--metrics-file", "/tmp/m.jsonl"]).unwrap();
+        assert!(o.stream.is_some());
+        assert_eq!(o.metrics_file.unwrap().to_str().unwrap(), "/tmp/m.jsonl");
+        let o = parse(&["a.csv", "b.csv", "--metrics-addr", "127.0.0.1:0"]).unwrap();
+        assert!(o.stream.is_some());
+        assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(parse(&["a.csv", "b.csv", "--metrics-every", "x"]).is_err());
+        assert!(parse(&["a.csv", "b.csv", "--metrics-every"]).is_err());
+    }
+
+    #[test]
     fn stream_replay_end_to_end_matches_batch() {
         // Generate a demo pair, then link it both ways: the unbounded
         // streaming replay must produce the same links CSV as batch.
@@ -1054,6 +1213,8 @@ mod tests {
             "warm EM iters",
             "chunk steals",
             "worker busy max/min",
+            "spans (ms p50/p95/max)",
+            "latency: admit→serve",
         ] {
             assert!(summary.contains(needle), "missing `{needle}`: {summary}");
         }
@@ -1230,6 +1391,168 @@ mod tests {
             "live feed produced no links:\n{summary}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--metrics-every` + `--metrics-file` end to end: every line of
+    /// the file parses as flat JSONL, timestamps and sequence numbers
+    /// are monotonic, counters never decrease, and the final snapshot
+    /// agrees with the summary counters exactly.
+    #[test]
+    fn metrics_jsonl_snapshots_end_to_end() {
+        use slim_telemetry::{parse_flat_jsonl, JsonValue};
+
+        let dir = std::env::temp_dir().join("slim_cli_metrics_jsonl_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CliOptions {
+            demo: Some(dir.clone()),
+            out: Some(dir.join("batch.csv")),
+            ..CliOptions::default()
+        };
+        run(&opts).unwrap();
+
+        let metrics = dir.join("metrics.jsonl");
+        let opts = CliOptions {
+            left: Some(dir.join("left.csv")),
+            right: Some(dir.join("right.csv")),
+            stream: Some(StreamOptions {
+                refresh_every: 1_000,
+                metrics_every: 500,
+                // Multi-shard so the binning phase actually dispatches
+                // (a single shard takes the span-free gated path).
+                num_shards: 3,
+                num_workers: 2,
+                ..StreamOptions::default()
+            }),
+            metrics_file: Some(metrics.clone()),
+            out: Some(dir.join("links.csv")),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "expected several snapshots:\n{text}");
+        let field = |fields: &[(String, JsonValue)], name: &str| -> u64 {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("snapshot missing `{name}`"))
+        };
+        let (mut prev_ts, mut prev_events, mut prev_ticks) = (0u64, 0u64, 0u64);
+        let mut last = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let fields = parse_flat_jsonl(line).unwrap_or_else(|e| panic!("line {i}: {e}"));
+            assert_eq!(field(&fields, "seq"), i as u64, "dense sequence numbers");
+            let ts = field(&fields, "ts_ns");
+            assert!(ts >= prev_ts, "timestamps must be monotonic");
+            prev_ts = ts;
+            let events = field(&fields, "events");
+            let ticks = field(&fields, "ticks");
+            assert!(events >= prev_events, "counters never decrease");
+            assert!(ticks >= prev_ticks, "counters never decrease");
+            (prev_events, prev_ticks) = (events, ticks);
+            last = fields;
+        }
+        // The final snapshot is the summary, serialized: same event and
+        // tick counts as the rendered report.
+        assert!(
+            summary.contains(&format!("stream: {prev_events} events")),
+            "final snapshot disagrees with the summary:\n{summary}"
+        );
+        assert!(
+            summary.contains(&format!("{prev_ticks} ticks")),
+            "final snapshot disagrees with the summary:\n{summary}"
+        );
+        // Phase histograms ride along in flattened digest form.
+        assert!(field(&last, "phase.bin.count") > 0);
+        assert!(field(&last, "tick.count") >= prev_ticks);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--metrics-addr` end to end: while the drive is provably alive
+    /// (the TCP feed is held open), a raw loopback GET reads the
+    /// Prometheus text exposition page — counters, summaries, and the
+    /// snapshot sequence gauge.
+    #[test]
+    fn metrics_addr_serves_exposition() {
+        use std::io::{Read, Write};
+
+        let scenario = slim_datagen::Scenario::cab(0.04, 11);
+        let sample = scenario.sample(0.5, 11);
+        let events = slim_stream::merge_datasets(&sample.left, &sample.right);
+        assert!(events.len() > 1_000, "fixture too small");
+
+        let feed = std::net::TcpListener::bind("127.0.0.1:0").expect("bind feed");
+        let feed_addr = feed.local_addr().unwrap().to_string();
+        // Reserve a port for the scrape endpoint by binding :0 and
+        // releasing it; nothing else in the test process binds ports in
+        // between.
+        let metrics_addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().unwrap().to_string()
+        };
+        let scrape_target = metrics_addr.clone();
+        let feeder = std::thread::spawn(move || {
+            let (conn, _) = feed.accept().expect("accept");
+            let mut w = std::io::BufWriter::new(conn);
+            let half = events.len() / 2;
+            for ev in &events[..half] {
+                writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+            }
+            w.flush().unwrap();
+            // The feed stays open, so the engine (and its scrape
+            // endpoint) cannot exit; poll until the server answers.
+            let mut body = String::new();
+            for _ in 0..400 {
+                if let Ok(mut conn) = std::net::TcpStream::connect(&scrape_target) {
+                    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+                    let mut response = String::new();
+                    if conn.read_to_string(&mut response).is_ok() {
+                        if let Some(b) = response.split("\r\n\r\n").nth(1) {
+                            if b.contains("slim_events") {
+                                body = b.to_string();
+                                break;
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            for ev in &events[half..] {
+                writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+            }
+            body
+        });
+
+        let opts = CliOptions {
+            tcp_addr: Some(feed_addr),
+            metrics_addr: Some(metrics_addr),
+            stream: Some(StreamOptions {
+                source: SourceKind::Tcp,
+                refresh_every: 1_000,
+                metrics_every: 200,
+                queue_cap: 65_536,
+                ..StreamOptions::default()
+            }),
+            out: Some(std::env::temp_dir().join("slim_cli_metrics_addr_links.csv")),
+            // Keep the periodic snapshots off the test's stderr.
+            metrics_file: Some(std::env::temp_dir().join("slim_cli_metrics_addr_metrics.jsonl")),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        let body = feeder.join().expect("feeder");
+
+        assert!(
+            body.contains("# TYPE slim_events counter"),
+            "no exposition page scraped:\n{body}"
+        );
+        assert!(body.contains("slim_snapshot_seq"), "{body}");
+        assert!(body.contains("# TYPE slim_event_latency summary"), "{body}");
+        assert!(summary.contains("spans (ms p50/p95/max)"), "{summary}");
+        let _ = std::fs::remove_file(std::env::temp_dir().join("slim_cli_metrics_addr_links.csv"));
+        let _ =
+            std::fs::remove_file(std::env::temp_dir().join("slim_cli_metrics_addr_metrics.jsonl"));
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct StreamConfig {
     /// Optional incremental LSH candidate filter. `None` = brute-force
     /// candidates (every active cross-dataset pair).
     pub lsh: Option<StreamLshConfig>,
+    /// Record phase-span, worker-busy, and event-latency histograms
+    /// (`true` by default). Telemetry is strictly observational: links,
+    /// update streams, stats, and finalized output are bit-identical
+    /// whether this is on or off — disabling it only skips the clock
+    /// reads and histogram updates on the hot paths.
+    pub telemetry: bool,
 }
 
 impl Default for StreamConfig {
@@ -82,6 +88,7 @@ impl Default for StreamConfig {
             num_workers: 0,
             pool_mode: PoolMode::default(),
             lsh: None,
+            telemetry: true,
         }
     }
 }

@@ -52,6 +52,7 @@
 //! to cover that case too.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Duration;
 
 use slim_core::df::DfStats;
@@ -61,6 +62,7 @@ use slim_core::{
     MobilityHistory, PreparedLinkage, ThresholdState, Timestamp, WindowIdx, WindowScheme,
 };
 use slim_lsh::{signature_buckets, signatures_collide, BucketIndex};
+use slim_telemetry::{Histogram, MetricsRegistry, Snapshot, SnapshotSink};
 
 use crate::adjacency::PairKey;
 use crate::config::StreamConfig;
@@ -72,7 +74,9 @@ use crate::shard::{
     bin_event, entity_shard, lookup_history, BinnedEvent, EngineShard, ExpiryEffects,
     IngestEffects, RescoreJob, RescoreOutcome, ScoredPair,
 };
+use crate::source::Clock;
 use crate::steal::PoolMode;
+use crate::telemetry::{EngineTelemetry, PhaseId};
 
 /// One change to the served link set, emitted by a refresh tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -290,6 +294,8 @@ pub struct StreamEngine {
     events_since_refresh: usize,
     stats: StreamStats,
     scoring_stats: LinkageStats,
+    /// Engine-thread spans, event latency, and the snapshot plumbing.
+    tel: EngineTelemetry,
 }
 
 impl StreamEngine {
@@ -303,7 +309,8 @@ impl StreamEngine {
         let num_workers = cfg.effective_workers();
         Ok(Self {
             lsh: cfg.lsh.as_ref().map(|l| LshRuntime::new(l, num_shards)),
-            pool: WorkerPool::new(num_workers, cfg.pool_mode),
+            pool: WorkerPool::new(num_workers, cfg.pool_mode, cfg.telemetry),
+            tel: EngineTelemetry::new(cfg.telemetry),
             cfg,
             num_shards,
             num_workers,
@@ -456,6 +463,118 @@ impl StreamEngine {
         self.stats.late_events += late;
     }
 
+    /// Swaps the telemetry clock everywhere spans are timed: the
+    /// engine-thread barrier spans, the pool's per-chunk spans and busy
+    /// totals, event latency, and snapshot timestamps. Substituting a
+    /// [`crate::testing::VirtualClock`] makes every recorded value an
+    /// exact function of the test's clock advances — CI never sleeps to
+    /// observe telemetry.
+    pub fn set_telemetry_clock(&mut self, clock: Arc<dyn Clock + Sync>) {
+        self.pool.set_clock(Arc::clone(&clock));
+        self.tel.set_clock(clock);
+    }
+
+    /// Installs the consumer of periodic snapshots (JSONL writer,
+    /// test collector, scrape-page publisher). Snapshots are emitted by
+    /// [`StreamEngine::emit_snapshot`] — on a cadence by the drive loop
+    /// when [`crate::DriveOptions::metrics_every`] is set, or whenever
+    /// the caller asks.
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn SnapshotSink>) {
+        self.tel.set_sink(sink);
+    }
+
+    /// A point-in-time metrics snapshot: every [`StreamStats`] counter,
+    /// the engine gauges (served links, live edges, candidate pairs),
+    /// and all span/busy/latency histograms. Does not consume a
+    /// sequence number — the returned snapshot carries the sequence the
+    /// *next* emission would get.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry().snapshot(self.tel.seq(), self.tel.now_ns())
+    }
+
+    /// Builds one snapshot, advances the sequence, and hands it to the
+    /// installed sink (no-op without one).
+    pub fn emit_snapshot(&mut self) {
+        let snapshot = self.registry().snapshot(self.tel.seq(), self.tel.now_ns());
+        self.tel.emit(&snapshot);
+    }
+
+    /// The merged phase-span histograms by series name: the six
+    /// pool-dispatched phases (per-worker recorders folded in worker-id
+    /// order) followed by the engine-thread barrier spans and the
+    /// whole-tick span.
+    pub fn phase_histograms(&self) -> Vec<(&'static str, Histogram)> {
+        let mut out: Vec<(&'static str, Histogram)> = PhaseId::ALL
+            .iter()
+            .zip(self.pool.phase_histograms())
+            .map(|(p, h)| (p.name(), h))
+            .collect();
+        out.push(("phase.edge_merge", self.tel.edge_merge.clone()));
+        out.push(("phase.match", self.tel.matching.clone()));
+        out.push(("phase.threshold", self.tel.threshold.clone()));
+        out.push(("tick", self.tel.tick.clone()));
+        out
+    }
+
+    /// The end-to-end event-latency histogram (source admit → served at
+    /// a refresh tick), recorded by [`StreamEngine::drive`].
+    pub fn event_latency_histogram(&self) -> Histogram {
+        self.tel.event_latency.clone()
+    }
+
+    /// Records `n` events served with the given admit→tick latency
+    /// (no-op with telemetry disabled). Called by the pump.
+    pub(crate) fn record_event_latency(&mut self, latency_ns: u64, n: u64) {
+        if self.tel.enabled {
+            self.tel.event_latency.record_n(latency_ns, n);
+        }
+    }
+
+    /// The clock the telemetry layer reads (shared with the pump so
+    /// admit timestamps and span timestamps agree).
+    pub(crate) fn telemetry_clock(&self) -> Arc<dyn Clock + Sync> {
+        self.tel.clock()
+    }
+
+    /// Whether span/latency recording is on.
+    pub(crate) fn telemetry_enabled(&self) -> bool {
+        self.tel.enabled
+    }
+
+    /// Assembles the full metric registry behind every snapshot — the
+    /// single serialization path the CLI, the bench harness, and the
+    /// scrape endpoint all consume.
+    fn registry(&self) -> MetricsRegistry {
+        let s = &self.stats;
+        let mut reg = MetricsRegistry::new();
+        reg.counter_set("events", s.events);
+        reg.counter_set("late_dropped", s.late_dropped);
+        reg.counter_set("ticks", s.ticks);
+        reg.counter_set("rescored_windows", s.rescored_windows);
+        reg.counter_set("dirty_pairs_visited", s.dirty_pairs_visited);
+        reg.counter_set("cached_pairs_at_ticks", s.cached_pairs_at_ticks);
+        reg.counter_set("retired_pairs", s.retired_pairs);
+        reg.counter_set("evicted_windows", s.evicted_windows);
+        reg.counter_set("edges_patched", s.edges_patched);
+        reg.counter_set("matching_region_size", s.matching_region_size);
+        reg.counter_set("em_warm_iters", s.em_warm_iters);
+        reg.counter_set("blocked_producer_ns", s.blocked_producer_ns);
+        reg.counter_set("queue_high_watermark", s.queue_high_watermark);
+        reg.counter_set("late_events", s.late_events);
+        reg.counter_set("demoted_entities", s.demoted_entities);
+        reg.counter_set("demoted_records", s.demoted_records);
+        reg.counter_set("steal_events", s.steal_events);
+        reg.gauge_set("links", self.links.len() as f64);
+        reg.gauge_set("live_edges", self.num_live_edges() as f64);
+        reg.gauge_set("candidate_pairs", self.num_candidate_pairs() as f64);
+        for (name, h) in self.phase_histograms() {
+            reg.histogram_set(name, h);
+        }
+        reg.histogram_set("event_latency", self.tel.event_latency.clone());
+        reg.histogram_set("worker_busy", self.pool.busy_histogram());
+        reg
+    }
+
     /// Ingests one event. Returns link updates when this event completed
     /// a refresh interval (empty otherwise).
     pub fn ingest(&mut self, ev: &StreamEvent) -> Vec<LinkUpdate> {
@@ -511,7 +630,7 @@ impl StreamEngine {
                 shard_indices[entity_shard(ev.side, ev.entity, self.num_shards)].push(i);
             }
             let per_shard: Vec<Vec<(usize, BinnedEvent)>> =
-                self.pool.run(shard_indices, |indices| {
+                self.pool.run(PhaseId::Bin, shard_indices, |indices| {
                     indices
                         .iter()
                         .map(|&i| (i, bin_event(&events[i], &scheme, level, lsh_level)))
@@ -536,7 +655,7 @@ impl StreamEngine {
                 .map(|r| &events[r])
                 .collect();
             self.pool
-                .run(chunks, |chunk| {
+                .run(PhaseId::Bin, chunks, |chunk| {
                     chunk
                         .iter()
                         .map(|ev| bin_event(ev, &scheme, level, lsh_level))
@@ -614,9 +733,11 @@ impl StreamEngine {
             .map(|(shard, queue)| (shard, std::mem::take(queue)))
             .collect();
         let parallel = *queued >= PARALLEL_THRESHOLD;
-        let effects: Vec<IngestEffects> = self.pool.run_gated(parallel, work, |(shard, events)| {
-            shard.apply_events(events, min_records, lsh_geom.as_ref())
-        });
+        let effects: Vec<IngestEffects> =
+            self.pool
+                .run_gated(PhaseId::Apply, parallel, work, |(shard, events)| {
+                    shard.apply_events(events, min_records, lsh_geom.as_ref())
+                });
         *queued = 0;
 
         let mut activations: Vec<(Side, EntityId)> = Vec::new();
@@ -724,7 +845,9 @@ impl StreamEngine {
         };
         let partitions: Vec<&mut BucketIndex> = lsh.partitions.iter_mut().collect();
         let parallel = updates.len() >= PARALLEL_THRESHOLD;
-        let reports: Vec<Vec<Vec<EntityId>>> = self.pool.run_gated(parallel, partitions, apply_one);
+        let reports: Vec<Vec<Vec<EntityId>>> =
+            self.pool
+                .run_gated(PhaseId::Lsh, parallel, partitions, apply_one);
 
         for (i, (side, e, _)) in updates.iter().enumerate() {
             let mut partners: Vec<EntityId> = reports
@@ -767,9 +890,11 @@ impl StreamEngine {
             .sum();
         let work: Vec<&mut EngineShard> = self.shards.iter_mut().collect();
         let parallel = expiring >= PARALLEL_THRESHOLD;
-        let effects: Vec<ExpiryEffects> = self.pool.run_gated(parallel, work, |shard| {
-            shard.expire(keep_from, min_records, lsh_geom.as_ref())
-        });
+        let effects: Vec<ExpiryEffects> =
+            self.pool
+                .run_gated(PhaseId::Expire, parallel, work, |shard| {
+                    shard.expire(keep_from, min_records, lsh_geom.as_ref())
+                });
 
         let mut evicted: BTreeSet<WindowIdx> = BTreeSet::new();
         let mut sig_changes: BTreeSet<(Side, EntityId)> = BTreeSet::new();
@@ -804,6 +929,10 @@ impl StreamEngine {
         if self.scheme.is_none() {
             return Vec::new();
         }
+        // Span starts (`None` with telemetry off, skipping the clock
+        // reads entirely). Recording happens strictly after the output
+        // is computed, so it can never perturb it.
+        let t_tick = self.tel.enabled.then(|| self.tel.now_ns());
         self.stats.ticks += 1;
 
         // Dead endpoints: drop their pairs wherever owned — O(degree)
@@ -892,6 +1021,7 @@ impl StreamEngine {
         // the affected conflict region only, and refit the stop
         // threshold warm from the previous tick's mixture — O(dirty +
         // links) instead of the full-cache sweep this replaced.
+        let t_merge = self.tel.enabled.then(|| self.tel.now_ns());
         let runs: Vec<Vec<(PairKey, Option<f64>)>> = self
             .shards
             .iter_mut()
@@ -899,8 +1029,13 @@ impl StreamEngine {
             .collect();
         let deltas = merge::merge_delta_runs(runs);
         self.stats.edges_patched += deltas.len() as u64;
+        if let Some(t0) = t_merge {
+            let span = self.tel.now_ns().saturating_sub(t0);
+            self.tel.edge_merge.record(span);
+        }
         let new_links = match self.cfg.slim.matching_method {
             MatchingMethod::Greedy => {
+                let t_match = self.tel.enabled.then(|| self.tel.now_ns());
                 let report = self.matcher.apply_deltas(&deltas);
                 self.stats.matching_region_size += report.region_edges as u64;
                 for e in &report.unmatched {
@@ -910,33 +1045,54 @@ impl StreamEngine {
                     self.threshold_state.insert(e.weight);
                 }
                 let matching = self.matcher.matching();
+                if let Some(t0) = t_match {
+                    let span = self.tel.now_ns().saturating_sub(t0);
+                    self.tel.matching.record(span);
+                }
+                let t_thresh = self.tel.enabled.then(|| self.tel.now_ns());
                 let selection = self.threshold_state.select(self.cfg.slim.threshold_method);
                 self.stats.em_warm_iters += u64::from(selection.warm_iters);
-                match selection.threshold {
+                let links = match selection.threshold {
                     Some(t) => matching
                         .into_iter()
                         .filter(|e| e.weight >= t.threshold)
                         .collect(),
                     None => matching,
+                };
+                if let Some(t0) = t_thresh {
+                    let span = self.tel.now_ns().saturating_sub(t0);
+                    self.tel.threshold.record(span);
                 }
+                links
             }
             // The exact Hungarian matching has no incremental form:
             // assemble the full edge set by k-way-merging the per-shard
             // sorted edge caches (no re-sort, no rescoring) and re-match
-            // from scratch.
+            // from scratch. The whole arm (including its embedded
+            // threshold selection) counts as matching time.
             MatchingMethod::HungarianExact => {
+                let t_match = self.tel.enabled.then(|| self.tel.now_ns());
                 let edge_runs: Vec<Vec<(PairKey, f64)>> = self
                     .shards
                     .iter()
                     .map(|s| s.edges.iter().map(|(&p, &w)| (p, w)).collect())
                     .collect();
                 let edges = merge::kway_merge_edge_runs(edge_runs);
-                merge::exact_match_and_threshold(&self.cfg.slim, &edges)
+                let links = merge::exact_match_and_threshold(&self.cfg.slim, &edges);
+                if let Some(t0) = t_match {
+                    let span = self.tel.now_ns().saturating_sub(t0);
+                    self.tel.matching.record(span);
+                }
+                links
             }
         };
         let updates = merge::diff_links(&self.links, &new_links);
         self.links = new_links;
         self.sync_pool_stats();
+        if let Some(t0) = t_tick {
+            let span = self.tel.now_ns().saturating_sub(t0);
+            self.tel.tick.record(span);
+        }
         updates
     }
 
@@ -1033,7 +1189,7 @@ impl StreamEngine {
                 chunks.push((owner, &list[range]));
             }
         }
-        let outs = self.pool.run(chunks, score_list);
+        let outs = self.pool.run(PhaseId::Rescore, chunks, score_list);
         // Regroup per owning shard; chunks were pushed (shard asc,
         // range asc), so concatenation restores the sequential order.
         let mut per_shard: Vec<(Vec<RescoreOutcome>, LinkageStats)> = jobs
@@ -1075,9 +1231,12 @@ impl StreamEngine {
             .map(|s| s.histories[0].len() + s.histories[1].len())
             .sum();
         let shards: Vec<&EngineShard> = self.shards.iter().collect();
-        let cloned: Vec<[Vec<(EntityId, MobilityHistory)>; 2]> =
-            self.pool
-                .run_gated(total >= PARALLEL_THRESHOLD, shards, clone_one);
+        let cloned: Vec<[Vec<(EntityId, MobilityHistory)>; 2]> = self.pool.run_gated(
+            PhaseId::FinalizeClone,
+            total >= PARALLEL_THRESHOLD,
+            shards,
+            clone_one,
+        );
         let mut sets = [HashMap::new(), HashMap::new()];
         for [left, right] in cloned {
             sets[0].extend(left);
@@ -1151,6 +1310,74 @@ mod tests {
 
     fn rec(e: u64, t: i64, lat: f64, lng: f64) -> Record {
         Record::new(EntityId(e), LatLng::from_degrees(lat, lng), Timestamp(t))
+    }
+
+    /// Guard on the manual `PartialEq`: every `StreamStats` field
+    /// participates in equality except exactly the scheduling-telemetry
+    /// trio (`steal_events`, `max_worker_busy_ns`,
+    /// `min_worker_busy_ns`). The exhaustive destructuring (no `..`)
+    /// makes adding a field a compile error here, forcing an explicit
+    /// decision about which side of the contract it lands on — and the
+    /// probe below then verifies the `eq` impl agrees.
+    #[test]
+    fn stream_stats_equality_covers_exactly_the_deterministic_fields() {
+        let base = StreamStats::default();
+        // Compile-time field inventory.
+        let StreamStats {
+            events: _,
+            late_dropped: _,
+            ticks: _,
+            rescored_windows: _,
+            dirty_pairs_visited: _,
+            cached_pairs_at_ticks: _,
+            retired_pairs: _,
+            evicted_windows: _,
+            edges_patched: _,
+            matching_region_size: _,
+            em_warm_iters: _,
+            blocked_producer_ns: _,
+            queue_high_watermark: _,
+            late_events: _,
+            demoted_entities: _,
+            demoted_records: _,
+            steal_events: _,
+            max_worker_busy_ns: _,
+            min_worker_busy_ns: _,
+        } = base;
+        let excluded = ["steal_events", "max_worker_busy_ns", "min_worker_busy_ns"];
+        // One probe per field of the inventory above, same order.
+        type Probe = (&'static str, fn(&mut StreamStats));
+        let fields: [Probe; 19] = [
+            ("events", |s| s.events += 1),
+            ("late_dropped", |s| s.late_dropped += 1),
+            ("ticks", |s| s.ticks += 1),
+            ("rescored_windows", |s| s.rescored_windows += 1),
+            ("dirty_pairs_visited", |s| s.dirty_pairs_visited += 1),
+            ("cached_pairs_at_ticks", |s| s.cached_pairs_at_ticks += 1),
+            ("retired_pairs", |s| s.retired_pairs += 1),
+            ("evicted_windows", |s| s.evicted_windows += 1),
+            ("edges_patched", |s| s.edges_patched += 1),
+            ("matching_region_size", |s| s.matching_region_size += 1),
+            ("em_warm_iters", |s| s.em_warm_iters += 1),
+            ("blocked_producer_ns", |s| s.blocked_producer_ns += 1),
+            ("queue_high_watermark", |s| s.queue_high_watermark += 1),
+            ("late_events", |s| s.late_events += 1),
+            ("demoted_entities", |s| s.demoted_entities += 1),
+            ("demoted_records", |s| s.demoted_records += 1),
+            ("steal_events", |s| s.steal_events += 1),
+            ("max_worker_busy_ns", |s| s.max_worker_busy_ns += 1),
+            ("min_worker_busy_ns", |s| s.min_worker_busy_ns += 1),
+        ];
+        for (name, bump) in fields {
+            let mut probe = base;
+            bump(&mut probe);
+            let participates = probe != base;
+            assert_eq!(
+                participates,
+                !excluded.contains(&name),
+                "field `{name}` is on the wrong side of the StreamStats equality contract"
+            );
+        }
     }
 
     /// `n` entities seen by both services (right ids offset by 1000),
@@ -1338,6 +1565,79 @@ mod tests {
             "pool phases must record busy time"
         );
         assert!(stats.max_worker_busy_ns >= stats.min_worker_busy_ns);
+    }
+
+    /// The snapshot is a faithful projection of the engine: every
+    /// `StreamStats` counter by name, the live gauges, and one series
+    /// per span histogram — under a virtual clock the span values are
+    /// exact (all zero), only the counts move.
+    #[test]
+    fn telemetry_snapshot_reflects_stats_and_phases() {
+        use crate::testing::VirtualClock;
+        let (l, r) = two_views(7, 4);
+        let events = merge_datasets(&l, &r);
+        let mut cfg = stream_cfg();
+        cfg.num_shards = 4;
+        cfg.num_workers = 2;
+        cfg.refresh_every = 150;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        engine.set_telemetry_clock(Arc::new(VirtualClock::new()));
+        for chunk in events.chunks(400) {
+            engine.ingest_batch(chunk);
+        }
+        engine.refresh();
+
+        let snap = engine.snapshot();
+        let stats = *engine.stats();
+        assert_eq!(snap.counter("events"), Some(stats.events));
+        assert_eq!(snap.counter("ticks"), Some(stats.ticks));
+        assert_eq!(
+            snap.counter("rescored_windows"),
+            Some(stats.rescored_windows)
+        );
+        assert_eq!(snap.gauge("links"), Some(engine.links().len() as f64));
+        let tick = snap.hist("tick").expect("tick histogram present");
+        assert_eq!(tick.count, stats.ticks);
+        assert_eq!((tick.sum, tick.max), (0, 0), "virtual clock: exact zeros");
+        let by_name = engine.phase_histograms();
+        let bin = &by_name
+            .iter()
+            .find(|(n, _)| *n == "phase.bin")
+            .expect("bin phase present")
+            .1;
+        assert!(bin.count() > 0, "binning chunks must have recorded spans");
+        assert_eq!((bin.sum(), bin.max()), (0, 0));
+        // Exactness: an identical second run reproduces the span
+        // histograms bit-for-bit (worker-busy and steals may differ).
+        let mut again = StreamEngine::new(cfg).unwrap();
+        again.set_telemetry_clock(Arc::new(VirtualClock::new()));
+        for chunk in events.chunks(400) {
+            again.ingest_batch(chunk);
+        }
+        again.refresh();
+        assert_eq!(engine.phase_histograms(), again.phase_histograms());
+    }
+
+    /// `telemetry: false` records nothing — and (the house invariant,
+    /// property-tested end to end in `tests/telemetry_equivalence.rs`)
+    /// changes nothing observable.
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let (l, r) = two_views(6, 3);
+        let mut cfg = stream_cfg();
+        cfg.telemetry = false;
+        cfg.refresh_every = 200;
+        let mut engine = StreamEngine::new(cfg).unwrap();
+        engine.ingest_batch(&merge_datasets(&l, &r));
+        engine.refresh();
+        assert!(engine
+            .phase_histograms()
+            .iter()
+            .all(|(_, h)| h.count() == 0));
+        assert_eq!(engine.event_latency_histogram().count(), 0);
+        // Snapshots still carry the counters.
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("events"), Some(engine.stats().events));
     }
 
     #[test]

@@ -134,6 +134,7 @@ mod pool;
 mod shard;
 pub mod source;
 mod steal;
+pub mod telemetry;
 pub mod testing;
 
 pub use config::{StreamConfig, StreamLshConfig};
@@ -144,3 +145,4 @@ pub use source::{
     TickPolicy, WireFormat,
 };
 pub use steal::PoolMode;
+pub use telemetry::PhaseId;

@@ -37,9 +37,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
+use slim_telemetry::Histogram;
+
+use crate::source::{Clock, WallClock};
 use crate::steal::{ChunkQueues, PoolMode};
+use crate::telemetry::PhaseId;
 
 /// Splits `0..len` into contiguous ranges of at most `grain` — the
 /// chunk shape every phase uses. Grain constants are fixed (never
@@ -75,11 +78,13 @@ fn task_ref<F: Fn(usize) + Sync>(f: &F) -> TaskRef {
     }
 }
 
-/// One published phase: the erased task plus its chunk distribution.
+/// One published phase: the erased task, its chunk distribution, and
+/// the span-histogram slot its chunk timings land in.
 #[derive(Clone)]
 struct PhaseRef {
     task: TaskRef,
     queues: Arc<ChunkQueues>,
+    phase: PhaseId,
 }
 
 struct Ctl {
@@ -101,6 +106,17 @@ struct Shared {
     /// under a static partition with a hot shard, max ≫ min; with
     /// stealing they converge.
     busy_ns: Vec<AtomicU64>,
+    /// The span clock. Swappable (a `VirtualClock` makes recorded spans
+    /// exactly reproducible); read once per drain, never per chunk.
+    clock: Mutex<Arc<dyn Clock + Sync>>,
+    /// Gates the per-phase span histograms below (busy totals are
+    /// always kept — they predate the phase recorders and stay cheap).
+    record_spans: bool,
+    /// Per-worker phase-span recorders, indexed `[worker][PhaseId]`.
+    /// Each worker only ever locks its own slot while executing, so
+    /// recording never makes one worker wait on another; the merged
+    /// view is assembled in worker-id order at read time.
+    recorders: Vec<Mutex<Vec<Histogram>>>,
     panicked: AtomicBool,
 }
 
@@ -126,8 +142,9 @@ pub(crate) struct WorkerPool {
 impl WorkerPool {
     /// A pool of `workers` total workers (the submitting thread counts
     /// as worker 0; `workers − 1` threads are spawned lazily on first
-    /// use). `workers == 1` runs every phase inline.
-    pub(crate) fn new(workers: usize, mode: PoolMode) -> Self {
+    /// use). `workers == 1` runs every phase inline. `record_spans`
+    /// enables the per-phase span histograms.
+    pub(crate) fn new(workers: usize, mode: PoolMode, record_spans: bool) -> Self {
         let workers = workers.max(1);
         Self {
             workers,
@@ -142,11 +159,22 @@ impl WorkerPool {
                 done: Condvar::new(),
                 steal_events: AtomicU64::new(0),
                 busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+                clock: Mutex::new(Arc::new(WallClock::new())),
+                record_spans,
+                recorders: (0..workers)
+                    .map(|_| Mutex::new(vec![Histogram::new(); PhaseId::COUNT]))
+                    .collect(),
                 panicked: AtomicBool::new(false),
             }),
             threads: Mutex::new(Vec::new()),
             submit: Mutex::new(()),
         }
+    }
+
+    /// Swaps the span clock (testing: a `VirtualClock` makes every
+    /// recorded span an exact function of the test's clock advances).
+    pub(crate) fn set_clock(&self, clock: Arc<dyn Clock + Sync>) {
+        *self.shared.clock.lock().expect("pool poisoned") = clock;
     }
 
     /// Chunks executed by a worker other than the one they were placed
@@ -155,18 +183,40 @@ impl WorkerPool {
         self.shared.steal_events.load(Ordering::Relaxed)
     }
 
-    /// `(max, min)` busy nanoseconds across workers over the pool's
-    /// lifetime. `min` stays 0 until every worker has executed at least
-    /// one chunk.
-    pub(crate) fn busy_spread_ns(&self) -> (u64, u64) {
-        let mut max = 0u64;
-        let mut min = u64::MAX;
+    /// Histogram over the current per-worker lifetime busy totals (one
+    /// sample per worker, idle workers contributing 0) — the full
+    /// busy-time distribution the old bare max/min pair summarized.
+    pub(crate) fn busy_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
         for b in &self.shared.busy_ns {
-            let v = b.load(Ordering::Relaxed);
-            max = max.max(v);
-            min = min.min(v);
+            h.record(b.load(Ordering::Relaxed));
         }
-        (max, if min == u64::MAX { 0 } else { min })
+        h
+    }
+
+    /// `(max, min)` busy nanoseconds across workers over the pool's
+    /// lifetime — the legacy pair, now *derived* from
+    /// [`WorkerPool::busy_histogram`] (which tracks min/max exactly, so
+    /// the values are bit-identical to the old direct scan). `min`
+    /// stays 0 until every worker has executed at least one chunk.
+    pub(crate) fn busy_spread_ns(&self) -> (u64, u64) {
+        let h = self.busy_histogram();
+        (h.max(), h.min())
+    }
+
+    /// The merged per-phase span histograms, indexed by
+    /// [`PhaseId::idx`]. Per-worker recorders are folded in worker-id
+    /// order (merging commutes regardless — the order is fixed so the
+    /// read itself is reproducible).
+    pub(crate) fn phase_histograms(&self) -> Vec<Histogram> {
+        let mut merged = vec![Histogram::new(); PhaseId::COUNT];
+        for rec in &self.shared.recorders {
+            let rec = rec.lock().expect("pool poisoned");
+            for (m, h) in merged.iter_mut().zip(rec.iter()) {
+                m.merge(h);
+            }
+        }
+        merged
     }
 
     /// The work-size-gated form of [`WorkerPool::run`] — the single
@@ -176,12 +226,13 @@ impl WorkerPool {
     /// single-event ingest path dispatch-free.
     pub(crate) fn run_gated<I: Send, T: Send>(
         &self,
+        phase: PhaseId,
         parallel: bool,
         items: Vec<I>,
         f: impl Fn(I) -> T + Sync,
     ) -> Vec<T> {
         if parallel && items.len() > 1 {
-            self.run(items, f)
+            self.run(phase, items, f)
         } else {
             items.into_iter().map(f).collect()
         }
@@ -190,18 +241,31 @@ impl WorkerPool {
     /// Executes `f` once per item, returning outputs in item order.
     /// Items are the phase's chunks: item `i` is chunk id `i`. Inline
     /// when the pool has one worker or one item; otherwise distributed
-    /// over the worker deques per the pool's [`PoolMode`].
-    pub(crate) fn run<I: Send, T: Send>(&self, items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    /// over the worker deques per the pool's [`PoolMode`]. Chunk spans
+    /// are recorded under `phase` (one whole-phase span on the inline
+    /// path).
+    pub(crate) fn run<I: Send, T: Send>(
+        &self,
+        phase: PhaseId,
+        items: Vec<I>,
+        f: impl Fn(I) -> T + Sync,
+    ) -> Vec<T> {
         let n = items.len();
         if n == 0 {
             return Vec::new();
         }
         if self.workers == 1 || n == 1 {
-            // Inline, but still on the books: busy time feeds the same
-            // telemetry so 1-worker baselines are comparable.
-            let t0 = Instant::now();
+            // Inline, but still on the books: busy time and the phase
+            // span feed the same telemetry so 1-worker baselines are
+            // comparable.
+            let clock = Arc::clone(&self.shared.clock.lock().expect("pool poisoned"));
+            let t0 = clock.now_ns();
             let out: Vec<T> = items.into_iter().map(f).collect();
-            self.shared.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let span = clock.now_ns().saturating_sub(t0);
+            self.shared.busy_ns[0].fetch_add(span, Ordering::Relaxed);
+            if self.shared.record_spans {
+                self.shared.recorders[0].lock().expect("pool poisoned")[phase.idx()].record(span);
+            }
             return out;
         }
         self.ensure_spawned();
@@ -226,6 +290,7 @@ impl WorkerPool {
         let phase = PhaseRef {
             task: task_ref(&runner),
             queues: Arc::clone(&queues),
+            phase,
         };
         {
             let mut ctl = self.shared.ctl.lock().expect("pool poisoned");
@@ -256,8 +321,9 @@ impl WorkerPool {
 
     /// The chunk-execution loop shared by workers and the submitter.
     fn drain(shared: &Shared, phase: &PhaseRef, worker: usize) {
+        let clock = Arc::clone(&shared.clock.lock().expect("pool poisoned"));
         while let Some(id) = phase.queues.pop(worker) {
-            let t0 = Instant::now();
+            let t0 = clock.now_ns();
             let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // SAFETY: see the module safety notes — the task borrow
                 // is alive because this chunk is claimed but not yet
@@ -265,7 +331,12 @@ impl WorkerPool {
                 unsafe { (phase.task.call)(phase.task.data, id) }
             }))
             .is_ok();
-            shared.busy_ns[worker].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let span = clock.now_ns().saturating_sub(t0);
+            shared.busy_ns[worker].fetch_add(span, Ordering::Relaxed);
+            if shared.record_spans {
+                shared.recorders[worker].lock().expect("pool poisoned")[phase.phase.idx()]
+                    .record(span);
+            }
             if !ok {
                 shared.panicked.store(true, Ordering::Relaxed);
             }
@@ -336,26 +407,34 @@ mod tests {
 
     #[test]
     fn outputs_come_back_in_chunk_order() {
-        let pool = WorkerPool::new(4, PoolMode::Stealing);
+        let pool = WorkerPool::new(4, PoolMode::Stealing, true);
         let items: Vec<u64> = (0..257).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
         for _ in 0..3 {
             // Repeated phases reuse the same workers.
-            let got = pool.run(items.clone(), |x| x * x + 1);
+            let got = pool.run(PhaseId::Bin, items.clone(), |x| x * x + 1);
             assert_eq!(got, expect);
         }
         let (max, min) = pool.busy_spread_ns();
         assert!(max > 0 && max >= min);
+        // The legacy pair is derived from the busy histogram.
+        let busy = pool.busy_histogram();
+        assert_eq!((busy.max(), busy.min()), (max, min));
+        assert_eq!(busy.count(), 4, "one sample per worker");
+        // Every executed chunk left a span in the phase recorder.
+        let spans = pool.phase_histograms();
+        assert_eq!(spans[PhaseId::Bin.idx()].count(), 3 * 257);
+        assert_eq!(spans[PhaseId::Rescore.idx()].count(), 0);
     }
 
     #[test]
     fn mutable_borrows_ride_through_chunks() {
         // The engine's phase shape: chunks carry &mut slices of engine
         // state plus owned work, mutated on whichever worker runs them.
-        let pool = WorkerPool::new(3, PoolMode::Stealing);
+        let pool = WorkerPool::new(3, PoolMode::Stealing, true);
         let mut cells: Vec<u64> = vec![0; 64];
         let work: Vec<(&mut u64, u64)> = cells.iter_mut().zip(0u64..).collect();
-        let sums = pool.run(work, |(cell, add)| {
+        let sums = pool.run(PhaseId::Apply, work, |(cell, add)| {
             *cell += add * 2;
             *cell
         });
@@ -366,29 +445,66 @@ mod tests {
     #[test]
     fn scripted_schedules_change_nothing_observable() {
         let items: Vec<u64> = (0..200).collect();
-        let reference = WorkerPool::new(1, PoolMode::Stealing).run(items.clone(), |x| x * 3);
+        let reference =
+            WorkerPool::new(1, PoolMode::Stealing, true)
+                .run(PhaseId::Bin, items.clone(), |x| x * 3);
         for seed in [0u64, 1, 42, u64::MAX] {
-            let pool = WorkerPool::new(4, PoolMode::Scripted { seed });
-            assert_eq!(pool.run(items.clone(), |x| x * 3), reference, "seed {seed}");
+            let pool = WorkerPool::new(4, PoolMode::Scripted { seed }, true);
+            assert_eq!(
+                pool.run(PhaseId::Bin, items.clone(), |x| x * 3),
+                reference,
+                "seed {seed}"
+            );
         }
-        let pool = WorkerPool::new(4, PoolMode::Static);
-        assert_eq!(pool.run(items, |x| x * 3), reference, "static mode");
+        let pool = WorkerPool::new(4, PoolMode::Static, true);
+        assert_eq!(
+            pool.run(PhaseId::Bin, items, |x| x * 3),
+            reference,
+            "static mode"
+        );
     }
 
     #[test]
     fn empty_and_singleton_phases_are_inline() {
-        let pool = WorkerPool::new(4, PoolMode::Stealing);
-        assert_eq!(pool.run(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
-        assert_eq!(pool.run(vec![9u8], |x| x + 1), vec![10]);
+        let pool = WorkerPool::new(4, PoolMode::Stealing, true);
+        assert_eq!(
+            pool.run(PhaseId::Bin, Vec::<u8>::new(), |x| x),
+            Vec::<u8>::new()
+        );
+        assert_eq!(pool.run(PhaseId::Bin, vec![9u8], |x| x + 1), vec![10]);
         // Neither dispatched to the deques, so nothing could be stolen.
         assert_eq!(pool.steal_events(), 0);
+        // The singleton still recorded one whole-phase span inline.
+        assert_eq!(pool.phase_histograms()[PhaseId::Bin.idx()].count(), 1);
+    }
+
+    #[test]
+    fn disabled_recording_keeps_busy_totals_only() {
+        let pool = WorkerPool::new(2, PoolMode::Stealing, false);
+        let got = pool.run(PhaseId::Rescore, (0..64u64).collect(), |x| x + 1);
+        assert_eq!(got.len(), 64);
+        assert!(pool.busy_spread_ns().0 > 0, "busy totals always accrue");
+        assert!(pool.phase_histograms().iter().all(|h| h.count() == 0));
+    }
+
+    #[test]
+    fn virtual_clock_makes_spans_exact() {
+        use crate::testing::VirtualClock;
+        let pool = WorkerPool::new(3, PoolMode::Stealing, true);
+        pool.set_clock(Arc::new(VirtualClock::new()));
+        pool.run(PhaseId::Apply, (0..100u64).collect(), |x| x);
+        let spans = &pool.phase_histograms()[PhaseId::Apply.idx()];
+        // A constant clock times every chunk at exactly zero — the
+        // histogram is a pure function of the chunk count.
+        assert_eq!((spans.count(), spans.sum(), spans.max()), (100, 0, 0));
+        assert_eq!(pool.busy_spread_ns(), (0, 0));
     }
 
     #[test]
     #[should_panic(expected = "pool worker panicked")]
     fn chunk_panics_propagate_to_the_submitter() {
-        let pool = WorkerPool::new(2, PoolMode::Stealing);
-        pool.run((0..16).collect::<Vec<u32>>(), |x| {
+        let pool = WorkerPool::new(2, PoolMode::Stealing, true);
+        pool.run(PhaseId::Bin, (0..16).collect::<Vec<u32>>(), |x| {
             assert!(x != 7, "injected failure");
             x
         });

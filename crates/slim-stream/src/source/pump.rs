@@ -46,6 +46,14 @@ pub struct DriveOptions {
     /// time-nondecreasing delivery — disordered arrivals are counted
     /// late and dropped.
     pub max_lag_secs: i64,
+    /// Emit one metrics snapshot to the engine's installed sink per
+    /// this many delivered events (`0` = never). Snapshot *timing* —
+    /// and therefore a mid-drive snapshot's contents — follows the
+    /// channel's delivery chunking, which is OS-schedule-dependent;
+    /// that is fine because snapshots are pure observations: the
+    /// engine's links, updates, stats, and finalized output are
+    /// bit-identical at every cadence.
+    pub metrics_every: u64,
 }
 
 impl Default for DriveOptions {
@@ -56,6 +64,7 @@ impl Default for DriveOptions {
             source_batch: 4_096,
             tick_policy: TickPolicy::default(),
             max_lag_secs: 0,
+            metrics_every: 0,
         }
     }
 }
@@ -226,6 +235,93 @@ impl Ticker {
     }
 }
 
+/// Per-drive telemetry bookkeeping: event-latency accounting (source
+/// admit → served-at-tick) and the snapshot cadence. Strictly
+/// observational — it reads the engine's counters and clock, never
+/// influences what is delivered or when ticks fire.
+struct PumpTelemetry {
+    clock: std::sync::Arc<dyn crate::source::Clock + Sync>,
+    /// Latency recording on (the engine's telemetry flag).
+    latency_on: bool,
+    /// Snapshot cadence in delivered events (`0` = off).
+    metrics_every: u64,
+    /// Clock reading when the current channel chunk was drained — the
+    /// admit timestamp its events inherit.
+    admit_ns: u64,
+    /// Delivered count already attributed to an admit group.
+    delivered_seen: u64,
+    /// Tick count already credited with serving its admits.
+    served_ticks: u64,
+    /// Delivered-but-unserved admit groups: `(admit_ns, events)`.
+    admits: Vec<(u64, u64)>,
+    /// Snapshot boundaries already emitted.
+    snapshot_marks: u64,
+}
+
+impl PumpTelemetry {
+    fn new(engine: &StreamEngine, metrics_every: u64) -> Self {
+        Self {
+            clock: engine.telemetry_clock(),
+            latency_on: engine.telemetry_enabled(),
+            metrics_every,
+            admit_ns: 0,
+            delivered_seen: 0,
+            served_ticks: engine.stats().ticks,
+            admits: Vec::new(),
+            snapshot_marks: 0,
+        }
+    }
+
+    /// Stamps the admit time for the arrivals about to be fed.
+    fn stamp_admit(&mut self) {
+        if self.latency_on {
+            self.admit_ns = self.clock.now_ns();
+        }
+    }
+
+    /// After a `Ticker::feed`: attribute newly delivered events to the
+    /// current admit stamp, settle latencies if a tick served them, and
+    /// emit snapshots at crossed cadence boundaries.
+    fn observe(&mut self, engine: &mut StreamEngine, report: &IngestReport) {
+        if self.latency_on {
+            if report.events_delivered > self.delivered_seen {
+                let n = report.events_delivered - self.delivered_seen;
+                self.delivered_seen = report.events_delivered;
+                self.admits.push((self.admit_ns, n));
+            }
+            let ticks = engine.stats().ticks;
+            if ticks > self.served_ticks && !self.admits.is_empty() {
+                self.served_ticks = ticks;
+                let now = self.clock.now_ns();
+                for (admit, n) in self.admits.drain(..) {
+                    engine.record_event_latency(now.saturating_sub(admit), n);
+                }
+            }
+        } else {
+            self.delivered_seen = report.events_delivered;
+        }
+        if let Some(marks_due) = self.delivered_seen.checked_div(self.metrics_every) {
+            while marks_due > self.snapshot_marks {
+                self.snapshot_marks += 1;
+                engine.emit_snapshot();
+            }
+        }
+    }
+
+    /// EOF: events delivered after the last tick are counted as served
+    /// now — the stream is over, nothing later can serve them.
+    fn finish(&mut self, engine: &mut StreamEngine, report: &IngestReport) {
+        self.stamp_admit();
+        self.observe(engine, report);
+        if self.latency_on && !self.admits.is_empty() {
+            let now = self.clock.now_ns();
+            for (admit, n) in self.admits.drain(..) {
+                engine.record_event_latency(now.saturating_sub(admit), n);
+            }
+        }
+    }
+}
+
 /// See [`StreamEngine::drive`].
 pub(crate) fn run<S: StreamSource + Send>(
     engine: &mut StreamEngine,
@@ -279,6 +375,7 @@ pub(crate) fn run<S: StreamSource + Send>(
         engine.config().slim.window_width_secs,
         origin,
     );
+    let mut tel = PumpTelemetry::new(engine, opts.metrics_every);
 
     let (producer_result, channel_stats, queue_grown_to) = std::thread::scope(|scope| {
         let (tx, rx) = channel::bounded::<StreamEvent>(opts.queue_cap);
@@ -325,6 +422,7 @@ pub(crate) fn run<S: StreamSource + Send>(
                     rx.set_capacity(cap);
                 }
             }
+            tel.stamp_admit();
             for ev in arrivals.drain(..) {
                 reorder.push(ev, &mut released);
                 // Watermark sealing must be checked as the frontier
@@ -334,15 +432,18 @@ pub(crate) fn run<S: StreamSource + Send>(
                 // chunking-independent and feed per drained chunk.
                 if watermark_ticks {
                     ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+                    tel.observe(engine, &report);
                 }
             }
             ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+            tel.observe(engine, &report);
         }
         // EOF: the channel is closed *and* fully drained; release the
         // still-buffered tail in canonical order.
         reorder.flush(&mut released);
         ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
         ticker.finish(engine, &mut report);
+        tel.finish(engine, &report);
         let stats = rx.stats();
         let final_cap = sizer.map_or(opts.queue_cap, |s| s.capacity()) as u64;
         let (result, batches, stalls) = producer
@@ -559,7 +660,7 @@ mod tests {
                     queue_cap_max: 64,
                     source_batch: 16,
                     tick_policy: TickPolicy::EveryN(0),
-                    max_lag_secs: 0,
+                    ..DriveOptions::default()
                 },
             )
             .unwrap();
@@ -575,6 +676,54 @@ mod tests {
             .drive(script(events, 16), &DriveOptions::default())
             .unwrap();
         assert_eq!(report.queue_grown_to, 65_536);
+    }
+
+    /// Snapshot cadence: `metrics_every = N` emits one snapshot per N
+    /// delivered events (boundary-crossing, robust to chunking), with
+    /// monotonic sequence numbers and non-decreasing counters — and the
+    /// end-to-end latency histogram under a constant [`VirtualClock`]
+    /// holds exactly one zero-valued sample per delivered event.
+    #[test]
+    fn metrics_cadence_and_event_latency() {
+        use crate::testing::VirtualClock;
+        use slim_telemetry::VecSink;
+        use std::sync::Arc;
+
+        let events = workload(10);
+        let total = events.len() as u64;
+        let mut engine = engine();
+        engine.set_telemetry_clock(Arc::new(VirtualClock::new()));
+        let sink = VecSink::new();
+        engine.set_metrics_sink(Box::new(sink.clone()));
+        let report = engine
+            .drive(
+                script(events, 16),
+                &DriveOptions {
+                    tick_policy: TickPolicy::EveryN(10),
+                    metrics_every: 25,
+                    ..DriveOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.events_delivered, total);
+        let snaps = sink.collected();
+        assert_eq!(
+            snaps.len() as u64,
+            total / 25,
+            "one snapshot per crossed 25-event boundary"
+        );
+        let mut prev_events = 0;
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.seq, i as u64, "sequence numbers are dense");
+            let events = snap.counter("events").unwrap();
+            assert!(events >= prev_events, "counters never decrease");
+            prev_events = events;
+        }
+        // Constant virtual time: every delivered event was admitted and
+        // served at the same instant.
+        let lat = engine.event_latency_histogram();
+        assert_eq!(lat.count(), total);
+        assert_eq!((lat.sum(), lat.max()), (0, 0));
     }
 
     #[test]

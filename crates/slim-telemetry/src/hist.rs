@@ -1,0 +1,279 @@
+//! Log-bucketed histograms.
+//!
+//! The bucket layout is the HDR-style base-2-with-subdivisions scheme:
+//! values `0..8` get exact buckets, and every octave `[2^o, 2^(o+1))`
+//! above that is split into 8 linear sub-buckets, so a quantile read
+//! from a bucket lower bound is at most 12.5% below the true value.
+//! `count`, `sum`, `min`, and `max` are tracked exactly. The layout is
+//! fixed (never derived from the data), so two histograms over the same
+//! value multiset are bit-identical regardless of recording order — and
+//! merging per-worker histograms commutes.
+
+/// Sub-buckets per octave (8 → ≤ 12.5% relative quantile error).
+const SUBS: usize = 8;
+/// Buckets below the first subdivided octave (values 0..8 are exact).
+const EXACT: usize = 8;
+
+/// A mergeable log-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts, grown lazily up to the highest observed bucket.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket index of `v` (a pure function of the value).
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // ≥ 3
+    let sub = ((v >> (octave - 3)) & (SUBS as u64 - 1)) as usize;
+    EXACT + (octave - 3) * SUBS + sub
+}
+
+/// The smallest value mapping to bucket `idx` (the quantile estimate).
+fn lower_bound(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let octave = (idx - EXACT) / SUBS + 3;
+    let sub = ((idx - EXACT) % SUBS) as u64;
+    (EXACT as u64 + sub) << (octave - 3)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples (one bucket update).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_of(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Folds `other` into `self`. Merging commutes and associates: any
+    /// merge tree over per-worker histograms yields the same result as
+    /// central recording.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.min(u64::MAX as u128) as u64
+    }
+
+    /// Exact smallest sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean sample (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the lower bound of the bucket
+    /// holding the rank-`⌈q·count⌉` sample, clamped into `[min, max]`
+    /// (and `quantile(1.0)` is the exact max). `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return lower_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        // Buckets 0..16 are exact, so every quantile is exact too.
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(1.0 / 16.0), 0);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in (1..100_000u64).step_by(37) {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = h.quantile(q) as f64;
+            let rank = (q * h.count() as f64).ceil() as usize;
+            let exact = (1 + 37 * (rank - 1)) as f64;
+            assert!(
+                est <= exact && est >= exact * (1.0 - 0.125) - 1.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_equals_central_recording() {
+        let values: Vec<u64> = (0..500u64).map(|k| k * k % 7919 + k).collect();
+        let mut central = Histogram::new();
+        for &v in &values {
+            central.record(v);
+        }
+        // Split across three "workers", merged in two different orders.
+        let parts: Vec<Histogram> = values
+            .chunks(170)
+            .map(|c| {
+                let mut h = Histogram::new();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut fwd = Histogram::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, central);
+        assert_eq!(rev, central);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(
+            (h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p99()),
+            (0, 0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(12_345, 40);
+        let mut b = Histogram::new();
+        for _ in 0..40 {
+            b.record(12_345);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.mean(), 12_345 * 40 / 40);
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone() {
+        // Bucket indices never decrease with the value, and every lower
+        // bound maps back into its own bucket.
+        let mut prev = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 1 << 20, u64::MAX] {
+            let idx = bucket_of(v);
+            assert!(idx >= prev, "bucket_of({v})");
+            assert!(lower_bound(idx) <= v);
+            assert_eq!(bucket_of(lower_bound(idx)), idx);
+            prev = idx;
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Named metric series and point-in-time snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::json::JsonObj;
+
+/// One series in a [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+enum Series {
+    /// Monotonic counter: `set` asserts non-decreasing readings.
+    Counter(u64),
+    /// Point-in-time reading.
+    Gauge(f64),
+    /// A distribution.
+    Histogram(Histogram),
+}
+
+/// A registry of named series (counters, gauges, histograms). Names
+/// are dot-separated paths (`"phase.bin_ns"`); iteration and snapshot
+/// order is the sorted name order, so rendered output is deterministic
+/// for deterministic inputs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    series: BTreeMap<String, Series>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self
+            .series
+            .entry(name.to_string())
+            .or_insert(Series::Counter(0))
+        {
+            Series::Counter(v) => *v += delta,
+            other => panic!("series `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the named monotonic counter to an absolute reading. The
+    /// reading must be `>=` the previous one — counters never go down.
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        match self
+            .series
+            .entry(name.to_string())
+            .or_insert(Series::Counter(0))
+        {
+            Series::Counter(v) => {
+                debug_assert!(value >= *v, "counter `{name}` went backwards");
+                *v = value;
+            }
+            other => panic!("series `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self
+            .series
+            .entry(name.to_string())
+            .or_insert(Series::Gauge(0.0))
+        {
+            Series::Gauge(v) => *v = value,
+            other => panic!("series `{name}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records one sample into the named histogram (created empty).
+    pub fn observe(&mut self, name: &str, sample: u64) {
+        self.histogram_mut(name).record(sample);
+    }
+
+    /// Replaces the named histogram with `hist` (how merged per-worker
+    /// recorders are published into a registry).
+    pub fn histogram_set(&mut self, name: &str, hist: Histogram) {
+        self.series
+            .insert(name.to_string(), Series::Histogram(hist));
+    }
+
+    /// The named histogram, created empty on first use.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        match self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::Histogram(Histogram::new()))
+        {
+            Series::Histogram(h) => h,
+            other => panic!("series `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// A point-in-time snapshot of every series, tagged with a sequence
+    /// number and a caller-supplied timestamp (no clock is sampled
+    /// here — determinism is the caller's to keep).
+    pub fn snapshot(&self, seq: u64, ts_ns: u64) -> Snapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (name, series) in &self.series {
+            match series {
+                Series::Counter(v) => counters.push((name.clone(), *v)),
+                Series::Gauge(v) => gauges.push((name.clone(), *v)),
+                Series::Histogram(h) => hists.push((name.clone(), HistogramSummary::of(h))),
+            }
+        }
+        Snapshot {
+            seq,
+            ts_ns,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+/// The digest of one histogram inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact minimum (`0` when empty).
+    pub min: u64,
+    /// Exact maximum (`0` when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Digests `h`.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+}
+
+/// A point-in-time reading of a registry: every counter, gauge, and
+/// histogram digest, plus the snapshot sequence number and timestamp.
+/// Rendered as flat JSONL ([`Snapshot::to_jsonl`]) or Prometheus text
+/// exposition ([`Snapshot::to_exposition`]) — both from this one
+/// struct, so the two exposure paths can never drift apart.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Snapshot sequence number within one emitting process (0-based).
+    pub seq: u64,
+    /// Caller-supplied timestamp, nanoseconds since the caller's clock
+    /// origin.
+    pub ts_ns: u64,
+    /// `(name, value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, digest)` per histogram, sorted by name.
+    pub hists: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named gauge's value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram digest, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistogramSummary> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The snapshot as a [`JsonObj`] (the shared serialization path):
+    /// `seq` and `ts_ns` first, then counters, gauges, and flattened
+    /// histogram digests (`<name>.count`, `.sum`, `.min`, `.max`,
+    /// `.p50`, `.p95`, `.p99`).
+    pub fn to_json_obj(&self) -> JsonObj {
+        let mut obj = JsonObj::new().u64("seq", self.seq).u64("ts_ns", self.ts_ns);
+        for (name, v) in &self.counters {
+            obj = obj.u64(name, *v);
+        }
+        for (name, v) in &self.gauges {
+            obj = obj.f64(name, *v);
+        }
+        for (name, h) in &self.hists {
+            obj = obj
+                .u64(&format!("{name}.count"), h.count)
+                .u64(&format!("{name}.sum"), h.sum)
+                .u64(&format!("{name}.min"), h.min)
+                .u64(&format!("{name}.max"), h.max)
+                .u64(&format!("{name}.p50"), h.p50)
+                .u64(&format!("{name}.p95"), h.p95)
+                .u64(&format!("{name}.p99"), h.p99);
+        }
+        obj
+    }
+
+    /// One flat JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json_obj().render()
+    }
+
+    /// The Prometheus text exposition page: counters as `counter`,
+    /// gauges as `gauge`, histograms as `summary` (quantiles plus
+    /// `_sum`/`_count`/`_min`/`_max`). Series names are mangled to
+    /// metric-name charset (`.` → `_`) and prefixed `slim_`.
+    pub fn to_exposition(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            if v.is_finite() {
+                let _ = writeln!(out, "{m} {v:?}");
+            } else {
+                let _ = writeln!(out, "{m} 0");
+            }
+        }
+        for (name, h) in &self.hists {
+            let m = mangle(name);
+            let _ = writeln!(out, "# TYPE {m} summary");
+            let _ = writeln!(out, "{m}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{m}{{quantile=\"0.95\"}} {}", h.p95);
+            let _ = writeln!(out, "{m}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{m}_sum {}", h.sum);
+            let _ = writeln!(out, "{m}_count {}", h.count);
+            let _ = writeln!(out, "{m}_min {}", h.min);
+            let _ = writeln!(out, "{m}_max {}", h.max);
+        }
+        let _ = writeln!(out, "# TYPE slim_snapshot_seq gauge");
+        let _ = writeln!(out, "slim_snapshot_seq {}", self.seq);
+        out
+    }
+}
+
+/// `phase.bin_ns` → `slim_phase_bin_ns`.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(5 + name.len());
+    out.push_str("slim_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_jsonl;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("events", 40);
+        reg.counter_add("events", 2);
+        reg.counter_set("ticks", 7);
+        reg.gauge_set("links", 3.0);
+        for v in [10u64, 20, 30, 1_000] {
+            reg.observe("tick_ns", v);
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_orders_series_by_name() {
+        let snap = sample_registry().snapshot(5, 99);
+        assert_eq!(snap.counter("events"), Some(42));
+        assert_eq!(snap.counter("ticks"), Some(7));
+        assert_eq!(snap.gauge("links"), Some(3.0));
+        let h = snap.hist("tick_ns").unwrap();
+        assert_eq!((h.count, h.min, h.max), (4, 10, 1_000));
+        // Sorted name order.
+        assert_eq!(snap.counters[0].0, "events");
+        assert_eq!(snap.counters[1].0, "ticks");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_flat_parser() {
+        let snap = sample_registry().snapshot(1, 123_456);
+        let fields = parse_flat_jsonl(&snap.to_jsonl()).unwrap();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("missing {key}"))
+        };
+        assert_eq!(get("seq"), 1);
+        assert_eq!(get("ts_ns"), 123_456);
+        assert_eq!(get("events"), 42);
+        assert_eq!(get("tick_ns.count"), 4);
+        assert_eq!(get("tick_ns.max"), 1_000);
+    }
+
+    #[test]
+    fn exposition_format_is_prometheus_shaped() {
+        let page = sample_registry().snapshot(0, 0).to_exposition();
+        assert!(page.contains("# TYPE slim_events counter\nslim_events 42\n"));
+        assert!(page.contains("# TYPE slim_links gauge\nslim_links 3.0\n"));
+        assert!(page.contains("# TYPE slim_tick_ns summary\n"));
+        assert!(page.contains("slim_tick_ns{quantile=\"0.99\"}"));
+        assert!(page.contains("slim_tick_ns_count 4\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn series_kinds_do_not_alias() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+}

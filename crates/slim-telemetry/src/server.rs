@@ -1,0 +1,171 @@
+//! The scrape endpoint: a loopback TCP listener serving the latest
+//! exposition page over minimal HTTP/1.0 — connect, read, done. The
+//! accept loop mirrors the `source/tcp.rs` loopback patterns (bind
+//! `127.0.0.1:0`, blocking accepts, a thread per listener) and doubles
+//! as the dry run for the roadmap's `--serve` query endpoint: shared
+//! published state behind an `Arc`, a shutdown flag, and a self-connect
+//! to wake the final accept.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared handle publishing the page a [`MetricsServer`] serves.
+#[derive(Clone, Default)]
+pub struct PublishedPage {
+    body: Arc<Mutex<String>>,
+}
+
+impl PublishedPage {
+    /// Replaces the served page body.
+    pub fn publish(&self, body: String) {
+        *self.body.lock().expect("page poisoned") = body;
+    }
+
+    fn read(&self) -> String {
+        self.body.lock().expect("page poisoned").clone()
+    }
+}
+
+/// A Prometheus-style scrape endpoint. Every connection receives the
+/// most recently [published](MetricsServer::handle) exposition page as
+/// a `text/plain` HTTP response and is closed — no keep-alive, no
+/// routing, no request parsing beyond draining the request head.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    page: PublishedPage,
+    shutdown: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop.
+    pub fn bind(addr: &str) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("metrics: binding {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("metrics: local addr: {e}"))?;
+        let page = PublishedPage::default();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_loop = {
+            let page = page.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("slim-metrics".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(conn) = conn {
+                            serve_one(conn, &page.read());
+                        }
+                    }
+                })
+                .map_err(|e| format!("metrics: spawning accept loop: {e}"))?
+        };
+        Ok(Self {
+            addr: local,
+            page,
+            shutdown,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The bound address (the resolved port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The publishing handle: cheap to clone, safe to hand to the
+    /// emitting thread.
+    pub fn handle(&self) -> PublishedPage {
+        self.page.clone()
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_loop.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Answers one scrape: drain what the client sent (best effort, capped
+/// and bounded in time), write the page, close. Errors are dropped —
+/// a misbehaving scraper must not affect the server.
+fn serve_one(mut conn: TcpStream, body: &str) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut head = [0u8; 1024];
+    let _ = conn.read(&mut head);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = conn.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A curl-less scrape: raw GET over loopback, assert the HTTP head
+    /// and that the body is the published page.
+    #[test]
+    fn serves_the_published_page_over_loopback() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        server
+            .handle()
+            .publish("# TYPE slim_events counter\nslim_events 7\n".to_string());
+        let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"));
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        assert_eq!(body, "# TYPE slim_events counter\nslim_events 7\n");
+    }
+
+    /// Scrapes observe publishes in order: a second publish changes the
+    /// next response.
+    #[test]
+    fn republishing_updates_subsequent_scrapes() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let scrape = || {
+            let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+            conn.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            conn.read_to_string(&mut response).unwrap();
+            response.split("\r\n\r\n").nth(1).unwrap().to_string()
+        };
+        server.handle().publish("slim_seq 0\n".into());
+        assert_eq!(scrape(), "slim_seq 0\n");
+        server.handle().publish("slim_seq 1\n".into());
+        assert_eq!(scrape(), "slim_seq 1\n");
+    }
+
+    #[test]
+    fn drop_shuts_the_listener_down() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: either connections are refused or a
+        // fresh bind on the same port succeeds.
+        assert!(
+            TcpStream::connect(addr).is_err() || TcpListener::bind(addr).is_ok(),
+            "listener still holding {addr}"
+        );
+    }
+}

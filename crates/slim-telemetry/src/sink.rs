@@ -1,0 +1,91 @@
+//! Where periodic snapshots go.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::registry::Snapshot;
+
+/// A consumer of periodic [`Snapshot`]s. Emission must never perturb
+/// the instrumented computation: implementations only read the
+/// snapshot and perform I/O on the emitting thread.
+pub trait SnapshotSink: Send {
+    /// Consumes one snapshot.
+    fn emit(&mut self, snapshot: &Snapshot);
+}
+
+/// Writes each snapshot as one JSONL line to a writer (a file, stderr,
+/// a pipe). Write errors are swallowed — telemetry must never take the
+/// engine down.
+pub struct WriterSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// A sink over `writer`.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+}
+
+impl<W: Write + Send> SnapshotSink for WriterSink<W> {
+    fn emit(&mut self, snapshot: &Snapshot) {
+        let _ = writeln!(self.writer, "{}", snapshot.to_jsonl());
+        let _ = self.writer.flush();
+    }
+}
+
+/// Collects snapshots into a shared vector — the test double.
+#[derive(Clone, Default)]
+pub struct VecSink {
+    snapshots: Arc<Mutex<Vec<Snapshot>>>,
+}
+
+impl VecSink {
+    /// An empty sink; clones share the collected vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything emitted so far.
+    pub fn collected(&self) -> Vec<Snapshot> {
+        self.snapshots.lock().expect("sink poisoned").clone()
+    }
+}
+
+impl SnapshotSink for VecSink {
+    fn emit(&mut self, snapshot: &Snapshot) {
+        self.snapshots
+            .lock()
+            .expect("sink poisoned")
+            .push(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn writer_sink_emits_one_line_per_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("events", 9);
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = WriterSink::new(buf);
+        sink.emit(&reg.snapshot(0, 10));
+        sink.emit(&reg.snapshot(1, 20));
+        let text = String::from_utf8(sink.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"ts_ns\":10,"));
+        assert!(lines[1].starts_with("{\"seq\":1,\"ts_ns\":20,"));
+    }
+
+    #[test]
+    fn vec_sink_shares_across_clones() {
+        let sink = VecSink::new();
+        let mut handle = sink.clone();
+        handle.emit(&MetricsRegistry::new().snapshot(0, 0));
+        assert_eq!(sink.collected().len(), 1);
+    }
+}

@@ -58,3 +58,7 @@ pub use slim_datagen as datagen;
 
 /// Metrics and per-figure experiment drivers.
 pub use slim_eval as eval;
+
+/// Telemetry substrate: histograms, metric registries, snapshots, and
+/// the scrape endpoint.
+pub use slim_telemetry as telemetry;
