@@ -890,7 +890,7 @@ fn run_stream(
         let parts: Vec<String> = engine
             .phase_histograms()
             .into_iter()
-            .filter(|(_, h)| h.count() > 0)
+            .filter(|(name, h)| h.count() > 0 && *name != "score_kernel_ns")
             .map(|(name, h)| {
                 format!(
                     "{} {:.2}/{:.2}/{:.2}",
@@ -908,6 +908,14 @@ fn run_stream(
         }
     };
     let latency = engine.event_latency_histogram();
+    // The scoring kernel is reported in ns/window, not in the ms span
+    // digest: its spans are per (pair, window) contribution.
+    let kernel = engine.score_kernel_histogram();
+    let kernel_mean_ns = if kernel.count() > 0 {
+        kernel.sum() as f64 / kernel.count() as f64
+    } else {
+        0.0
+    };
 
     let output = engine.into_finalized()?;
     let events_per_sec = if replay_elapsed.as_secs_f64() > 0.0 {
@@ -925,6 +933,8 @@ fn run_stream(
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
          matching region {} edges, {} warm EM iters\n\
          spans (ms p50/p95/max): {span_digest}\n\
+         kernel: {kernel_mean_ns:.0} ns/window mean over {} rescored windows \
+         (p50/p95 {}/{} ns)\n\
          latency: admit→serve p50/p95/max {:.2}/{:.2}/{:.2} ms over {} events\n\
          {} links ({} matched, {} positive edges, {} pairs scored) at finalization in {:.2?}\n",
         stats.events,
@@ -947,6 +957,9 @@ fn run_stream(
         stats.edges_patched,
         stats.matching_region_size,
         stats.em_warm_iters,
+        kernel.count(),
+        kernel.p50(),
+        kernel.p95(),
         ms(latency.p50()),
         ms(latency.p95()),
         ms(latency.max()),
@@ -1214,6 +1227,7 @@ mod tests {
             "chunk steals",
             "worker busy max/min",
             "spans (ms p50/p95/max)",
+            "ns/window mean over",
             "latency: admit→serve",
         ] {
             assert!(summary.contains(needle), "missing `{needle}`: {summary}");

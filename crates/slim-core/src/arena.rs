@@ -1,0 +1,611 @@
+//! Columnar (struct-of-arrays) storage for mobility histories.
+//!
+//! [`crate::history::MobilityHistory`] is an array-of-structs: each
+//! entity owns a `BTreeMap` of per-window bin vectors behind a hash
+//! lookup, so a scan-heavy scoring pass chases pointers for every
+//! window of every pair. A [`HistoryArena`] stores the same leaf bins
+//! of *many* entities in three parallel columns —
+//!
+//! ```text
+//! directory (per entity)        parallel column vecs
+//! ┌─────────┬───────────────┐   wins:   [w0 w0 w1 w1 w1 | w0 w2 | …]
+//! │ entity  │ off len cap   │   cells:  [c3 c9 c1 c4 c7 | c2 c5 | …]
+//! │ 42      │ 0   5   8     │──► counts: [2  1  1  3  1 | 1  4  | …]
+//! │ 17      │ 8   2   4     │   └── entity 42 ──┘ └─ 17 ─┘
+//! └─────────┴───────────────┘
+//! ```
+//!
+//! — with each entity a contiguous index range: `wins` ascending, and
+//! cells sorted within each window run (the exact order
+//! `MobilityHistory::bins_in` exposes, which is what keeps scoring over
+//! arena slices bit-identical to scoring over per-entity structs).
+//!
+//! * **Append** grows an entity in place while its range has slack and
+//!   relocates it to the column tail with a doubled chunk otherwise
+//!   (tail-chunk growth — an O(1) amortized copy, no global shifting).
+//! * **Window eviction** is a *range advance* when the evicted window
+//!   is the range's leading run (the common case: sliding-window expiry
+//!   walks windows in ascending order), and an in-range shift
+//!   otherwise.
+//! * Abandoned slots (relocations, advanced-over prefixes, tombstoned
+//!   entities) are reclaimed by a periodic **compaction** pass once
+//!   they outnumber the live bins; [`HistoryArena::compactions`] counts
+//!   the passes for telemetry.
+//! * A fully evicted entity leaves a tombstone in the directory whose
+//!   **generation** counter is bumped if the entity returns — unit
+//!   tests and (future) snapshot consumers can detect range reuse.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use geocell::CellId;
+
+use crate::history::MobilityHistory;
+use crate::record::EntityId;
+use crate::tree::CellCounts;
+use crate::window::WindowIdx;
+
+/// Smallest tail chunk allocated for a fresh or relocated entity.
+const MIN_CHUNK: usize = 4;
+
+/// Compaction floor: dead slots must exceed both this and the live bin
+/// count before a pass runs, so small arenas never churn.
+const COMPACT_MIN_DEAD: usize = 64;
+
+/// Directory entry: one entity's contiguous column range plus the
+/// per-window record counts eviction needs to unwind `num_records`.
+#[derive(Debug, Clone, Default)]
+struct EntitySlot {
+    off: usize,
+    len: usize,
+    /// Physical slots reserved at `off` (`len ≤ cap`); the slack is
+    /// in-place append room.
+    cap: usize,
+    /// Bumped every time an emptied entity is re-created.
+    generation: u32,
+    /// Explicitly tombstoned via [`HistoryArena::remove_entity`].
+    dead: bool,
+    num_records: u32,
+    /// Records per window, sorted by window.
+    window_records: Vec<(WindowIdx, u32)>,
+}
+
+/// A struct-of-arrays arena holding the leaf bins of many mobility
+/// histories. See the module docs for the layout.
+#[derive(Debug, Default)]
+pub struct HistoryArena {
+    wins: Vec<WindowIdx>,
+    cells: Vec<CellId>,
+    counts: Vec<u32>,
+    dir: HashMap<EntityId, EntitySlot>,
+    /// Bins currently reachable through the directory.
+    live_bins: usize,
+    /// Physically abandoned slots (not reusable slack) awaiting
+    /// compaction.
+    dead_slots: usize,
+    /// Directory entries that are not tombstones.
+    live_entities: usize,
+    compactions: u64,
+}
+
+/// A borrowed view of one entity's columns: `wins` ascending with one
+/// entry per bin, `cells` sorted within each window run, `counts`
+/// parallel to both.
+#[derive(Debug, Clone, Copy)]
+pub struct EntityView<'a> {
+    /// Window index of each bin (ascending, one entry per bin).
+    pub wins: &'a [WindowIdx],
+    /// Cell id of each bin (sorted within a window run).
+    pub cells: &'a [CellId],
+    /// Record count of each bin.
+    pub counts: &'a [u32],
+    num_records: u32,
+}
+
+impl<'a> EntityView<'a> {
+    /// Total bins, `|H_u|`.
+    pub fn num_bins(&self) -> usize {
+        self.wins.len()
+    }
+
+    /// Total records aggregated into this entity.
+    pub fn num_records(&self) -> u32 {
+        self.num_records
+    }
+
+    /// The `(cells, counts)` column slices of one window (both empty if
+    /// the window has no bins) — the exact content and order of
+    /// [`MobilityHistory::bins_in`].
+    pub fn window_run(&self, w: WindowIdx) -> (&'a [CellId], &'a [u32]) {
+        let r0 = self.wins.partition_point(|&x| x < w);
+        let r1 = r0 + self.wins[r0..].partition_point(|&x| x == w);
+        (&self.cells[r0..r1], &self.counts[r0..r1])
+    }
+
+    /// Non-empty windows, ascending (run starts of `wins`).
+    pub fn windows(&self) -> impl Iterator<Item = WindowIdx> + 'a {
+        let wins = self.wins;
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            let w = *wins.get(i)?;
+            while i < wins.len() && wins[i] == w {
+                i += 1;
+            }
+            Some(w)
+        })
+    }
+}
+
+impl HistoryArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record's bins to `e` (creating or resurrecting the
+    /// entity as needed): `cells` must be sorted and deduplicated
+    /// ([`crate::history::record_cells`] output), `w` the record's
+    /// window. Returns the cells that created *new* bins (for document-
+    /// frequency maintenance) and whether the entity was created by
+    /// this call — the same contract as
+    /// [`MobilityHistory::append`] plus entity creation.
+    pub fn append(&mut self, e: EntityId, w: WindowIdx, cells: &[CellId]) -> (Vec<CellId>, bool) {
+        let created = match self.dir.get_mut(&e) {
+            Some(slot) if slot.len > 0 => false,
+            Some(slot) => {
+                // Emptied or tombstoned: resurrect under a new
+                // generation, abandoning any leftover slack.
+                slot.generation += 1;
+                slot.off = self.wins.len();
+                self.dead_slots += slot.cap;
+                slot.cap = 0;
+                slot.dead = false;
+                true
+            }
+            None => {
+                self.dir.insert(
+                    e,
+                    EntitySlot {
+                        off: self.wins.len(),
+                        ..EntitySlot::default()
+                    },
+                );
+                true
+            }
+        };
+        if created {
+            self.live_entities += 1;
+        }
+        let mut new_bins = Vec::new();
+        for &c in cells {
+            if self.insert_bin(e, w, c) {
+                new_bins.push(c);
+            }
+        }
+        let slot = self.dir.get_mut(&e).expect("slot created above");
+        slot.num_records += 1;
+        match slot
+            .window_records
+            .binary_search_by_key(&w, |&(win, _)| win)
+        {
+            Ok(i) => slot.window_records[i].1 += 1,
+            Err(i) => slot.window_records.insert(i, (w, 1)),
+        }
+        self.maybe_compact();
+        (new_bins, created)
+    }
+
+    /// Bumps the bin `(e, w, c)` or inserts it; `true` if inserted.
+    fn insert_bin(&mut self, e: EntityId, w: WindowIdx, c: CellId) -> bool {
+        let slot = &self.dir[&e];
+        let (off, len) = (slot.off, slot.len);
+        let wins = &self.wins[off..off + len];
+        let r0 = wins.partition_point(|&x| x < w);
+        let r1 = r0 + wins[r0..].partition_point(|&x| x == w);
+        match self.cells[off + r0..off + r1].binary_search(&c) {
+            Ok(i) => {
+                self.counts[off + r0 + i] += 1;
+                false
+            }
+            Err(i) => {
+                self.insert_slot(e, r0 + i, w, c);
+                true
+            }
+        }
+    }
+
+    /// Inserts a new bin at range-relative position `pos`, shifting
+    /// within the slack when there is room and relocating the entity to
+    /// the column tail with a doubled chunk otherwise.
+    fn insert_slot(&mut self, e: EntityId, pos: usize, w: WindowIdx, c: CellId) {
+        let slot = self.dir.get_mut(&e).expect("slot exists");
+        let (off, len, cap) = (slot.off, slot.len, slot.cap);
+        if len < cap {
+            let abs = off + pos;
+            self.wins.copy_within(abs..off + len, abs + 1);
+            self.cells.copy_within(abs..off + len, abs + 1);
+            self.counts.copy_within(abs..off + len, abs + 1);
+            self.wins[abs] = w;
+            self.cells[abs] = c;
+            self.counts[abs] = 1;
+            slot.len += 1;
+        } else {
+            // Tail-chunk growth: copy the range to the tail with the
+            // new bin spliced in and a doubled slack behind it. The
+            // slack is filled with copies of the inserted bin — never
+            // read until overwritten.
+            let new_cap = (len + 1).next_power_of_two().max(MIN_CHUNK);
+            let new_off = self.wins.len();
+            self.wins.extend_from_within(off..off + pos);
+            self.cells.extend_from_within(off..off + pos);
+            self.counts.extend_from_within(off..off + pos);
+            self.wins.push(w);
+            self.cells.push(c);
+            self.counts.push(1);
+            self.wins.extend_from_within(off + pos..off + len);
+            self.cells.extend_from_within(off + pos..off + len);
+            self.counts.extend_from_within(off + pos..off + len);
+            self.wins.resize(new_off + new_cap, w);
+            self.cells.resize(new_off + new_cap, c);
+            self.counts.resize(new_off + new_cap, 0);
+            self.dead_slots += cap;
+            let slot = self.dir.get_mut(&e).expect("slot exists");
+            slot.off = new_off;
+            slot.len = len + 1;
+            slot.cap = new_cap;
+        }
+        self.live_bins += 1;
+    }
+
+    /// Drops every bin of window `w` from entity `e`, unwinding the
+    /// record counters. Returns the removed bins in
+    /// [`MobilityHistory::evict_window`]'s form. The caller decides
+    /// what an emptied entity means (see
+    /// [`HistoryArena::remove_entity`]).
+    pub fn evict_window(&mut self, e: EntityId, w: WindowIdx) -> CellCounts {
+        let Some(slot) = self.dir.get_mut(&e) else {
+            return CellCounts::new();
+        };
+        let (off, len) = (slot.off, slot.len);
+        let wins = &self.wins[off..off + len];
+        let r0 = wins.partition_point(|&x| x < w);
+        let r1 = r0 + wins[r0..].partition_point(|&x| x == w);
+        if r0 == r1 {
+            return CellCounts::new();
+        }
+        let run = r1 - r0;
+        let out: CellCounts = (off + r0..off + r1)
+            .map(|i| (self.cells[i], self.counts[i]))
+            .collect();
+        if r0 == 0 {
+            // Range advance: expiry walks windows in ascending order,
+            // so the evicted run is almost always the leading one.
+            slot.off += run;
+            slot.cap -= run;
+            self.dead_slots += run;
+        } else {
+            // Mid-range eviction: shift the tail left; the freed slots
+            // become slack at the end of the range.
+            self.wins.copy_within(off + r1..off + len, off + r0);
+            self.cells.copy_within(off + r1..off + len, off + r0);
+            self.counts.copy_within(off + r1..off + len, off + r0);
+        }
+        slot.len -= run;
+        if let Ok(i) = slot
+            .window_records
+            .binary_search_by_key(&w, |&(win, _)| win)
+        {
+            let (_, cnt) = slot.window_records.remove(i);
+            slot.num_records -= cnt;
+        }
+        if slot.len == 0 {
+            // Evicted to empty: the entity is gone observably (its
+            // slack is reclaimed at tombstone or resurrection time).
+            self.live_entities -= 1;
+        }
+        self.live_bins -= run;
+        self.maybe_compact();
+        out
+    }
+
+    /// Tombstones `e`: the directory entry stays (preserving the
+    /// generation counter) but the entity no longer exists observably.
+    /// Returns `false` if the entity was absent or already tombstoned.
+    pub fn remove_entity(&mut self, e: EntityId) -> bool {
+        let Some(slot) = self.dir.get_mut(&e) else {
+            return false;
+        };
+        if slot.dead {
+            return false;
+        }
+        if slot.len > 0 {
+            self.live_entities -= 1;
+        }
+        self.live_bins -= slot.len;
+        self.dead_slots += slot.cap;
+        slot.len = 0;
+        slot.cap = 0;
+        slot.num_records = 0;
+        slot.window_records.clear();
+        slot.dead = true;
+        self.maybe_compact();
+        true
+    }
+
+    /// The live view of `e`'s columns, `None` for absent or tombstoned
+    /// entities.
+    pub fn view(&self, e: EntityId) -> Option<EntityView<'_>> {
+        let slot = self.dir.get(&e)?;
+        if slot.len == 0 {
+            return None;
+        }
+        Some(EntityView {
+            wins: &self.wins[slot.off..slot.off + slot.len],
+            cells: &self.cells[slot.off..slot.off + slot.len],
+            counts: &self.counts[slot.off..slot.off + slot.len],
+            num_records: slot.num_records,
+        })
+    }
+
+    /// Total records of `e` (0 for absent/tombstoned entities).
+    pub fn num_records(&self, e: EntityId) -> u32 {
+        self.dir.get(&e).map(|s| s.num_records).unwrap_or(0)
+    }
+
+    /// The generation of `e`'s directory entry (0 on first creation,
+    /// bumped per tombstone resurrection); `None` if never seen.
+    pub fn generation(&self, e: EntityId) -> Option<u32> {
+        self.dir.get(&e).map(|s| s.generation)
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.live_entities
+    }
+
+    /// Whether the arena holds no live entities.
+    pub fn is_empty(&self) -> bool {
+        self.live_entities == 0
+    }
+
+    /// Live entity ids, unordered.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.dir.iter().filter(|(_, s)| s.len > 0).map(|(&e, _)| e)
+    }
+
+    /// Compaction passes run so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Rebuilds `e` as an owned [`MobilityHistory`] (the finalization
+    /// path); `None` for absent/tombstoned entities.
+    pub fn materialize(&self, e: EntityId) -> Option<MobilityHistory> {
+        let slot = self.dir.get(&e)?;
+        if slot.len == 0 {
+            return None;
+        }
+        let (off, len) = (slot.off, slot.len);
+        let mut leaves: BTreeMap<WindowIdx, CellCounts> = BTreeMap::new();
+        let mut i = off;
+        while i < off + len {
+            let w = self.wins[i];
+            let mut run = CellCounts::new();
+            while i < off + len && self.wins[i] == w {
+                run.push((self.cells[i], self.counts[i]));
+                i += 1;
+            }
+            leaves.insert(w, run);
+        }
+        let window_records = slot.window_records.iter().copied().collect();
+        Some(MobilityHistory::from_leaves(e, leaves, window_records))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead_slots >= COMPACT_MIN_DEAD && self.dead_slots > self.live_bins {
+            self.compact();
+        }
+    }
+
+    /// Rewrites the columns with every live range contiguous (in
+    /// current-offset order) and no slack, dropping all dead slots.
+    pub fn compact(&mut self) {
+        let mut order: Vec<EntityId> = self
+            .dir
+            .iter()
+            .filter(|(_, s)| s.len > 0)
+            .map(|(&e, _)| e)
+            .collect();
+        order.sort_unstable_by_key(|e| self.dir[e].off);
+        let mut wins = Vec::with_capacity(self.live_bins);
+        let mut cells = Vec::with_capacity(self.live_bins);
+        let mut counts = Vec::with_capacity(self.live_bins);
+        for e in order {
+            let slot = self.dir.get_mut(&e).expect("collected above");
+            let (off, len) = (slot.off, slot.len);
+            slot.off = wins.len();
+            slot.cap = len;
+            wins.extend_from_slice(&self.wins[off..off + len]);
+            cells.extend_from_slice(&self.cells[off..off + len]);
+            counts.extend_from_slice(&self.counts[off..off + len]);
+        }
+        self.wins = wins;
+        self.cells = cells;
+        self.counts = counts;
+        self.dead_slots = 0;
+        self.compactions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geocell::LatLng;
+
+    fn cell(k: u64) -> CellId {
+        CellId::from_latlng(
+            LatLng::from_degrees(10.0 + 0.01 * k as f64, 20.0 + 0.01 * k as f64),
+            16,
+        )
+    }
+
+    fn sorted(mut v: Vec<CellId>) -> Vec<CellId> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Appends must mirror `MobilityHistory::append` bin for bin.
+    #[test]
+    fn append_matches_mobility_history() {
+        let mut arena = HistoryArena::new();
+        let mut h = MobilityHistory::empty(EntityId(1));
+        let records: Vec<(WindowIdx, Vec<CellId>)> = vec![
+            (3, sorted(vec![cell(1)])),
+            (1, sorted(vec![cell(2), cell(3)])),
+            (3, sorted(vec![cell(1), cell(4)])),
+            (2, sorted(vec![cell(5)])),
+            (1, sorted(vec![cell(2)])),
+        ];
+        for (w, cells) in &records {
+            let (new_a, _) = arena.append(EntityId(1), *w, cells);
+            let new_h = h.append(*w, cells);
+            assert_eq!(new_a, new_h, "new-bin reports must agree");
+        }
+        let v = arena.view(EntityId(1)).unwrap();
+        assert_eq!(v.num_bins(), h.num_bins());
+        assert_eq!(v.num_records(), h.num_records());
+        assert_eq!(
+            v.windows().collect::<Vec<_>>(),
+            h.windows().collect::<Vec<_>>()
+        );
+        for w in h.windows() {
+            let (cells, counts) = v.window_run(w);
+            let legacy = h.bins_in(w);
+            assert_eq!(cells.len(), legacy.len());
+            for (i, &(c, n)) in legacy.iter().enumerate() {
+                assert_eq!((cells[i], counts[i]), (c, n), "window {w} bin {i}");
+            }
+        }
+        // Absent windows yield empty runs, like `bins_in`.
+        assert_eq!(v.window_run(99), (&[][..], &[][..]));
+    }
+
+    /// Evicting the leading window advances the range; evicting a
+    /// middle window shifts — both must match the per-entity structs.
+    #[test]
+    fn evict_matches_mobility_history() {
+        let mut arena = HistoryArena::new();
+        let mut h = MobilityHistory::empty(EntityId(7));
+        for w in 0..5u32 {
+            let cs = sorted(vec![cell(w as u64), cell(w as u64 + 1)]);
+            arena.append(EntityId(7), w, &cs);
+            h.append(w, &cs);
+        }
+        // Leading run (range advance).
+        assert_eq!(arena.evict_window(EntityId(7), 0), h.evict_window(0));
+        // Mid-range run (shift).
+        assert_eq!(arena.evict_window(EntityId(7), 3), h.evict_window(3));
+        // Absent window is a no-op on both.
+        assert_eq!(arena.evict_window(EntityId(7), 3), h.evict_window(3));
+        let v = arena.view(EntityId(7)).unwrap();
+        assert_eq!(v.num_records(), h.num_records());
+        assert_eq!(v.num_bins(), h.num_bins());
+        assert_eq!(v.windows().collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn tombstone_and_generation_reuse() {
+        let mut arena = HistoryArena::new();
+        let cs = sorted(vec![cell(1)]);
+        arena.append(EntityId(5), 0, &cs);
+        assert_eq!(arena.generation(EntityId(5)), Some(0));
+        assert_eq!(arena.len(), 1);
+        arena.evict_window(EntityId(5), 0);
+        assert!(arena.remove_entity(EntityId(5)));
+        assert!(arena.view(EntityId(5)).is_none());
+        assert_eq!(arena.num_records(EntityId(5)), 0);
+        assert_eq!(arena.len(), 0);
+        // A second removal is a no-op.
+        assert!(!arena.remove_entity(EntityId(5)));
+        // Resurrection bumps the generation and reports creation.
+        let (_, created) = arena.append(EntityId(5), 9, &cs);
+        assert!(created);
+        assert_eq!(arena.generation(EntityId(5)), Some(1));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(
+            arena
+                .view(EntityId(5))
+                .unwrap()
+                .windows()
+                .collect::<Vec<_>>(),
+            vec![9]
+        );
+    }
+
+    /// Eviction churn beyond the floor triggers compaction, and a
+    /// compacted arena answers every query unchanged.
+    #[test]
+    fn compaction_preserves_content() {
+        let mut arena = HistoryArena::new();
+        let mut reference: Vec<MobilityHistory> = Vec::new();
+        for e in 0..8u64 {
+            let mut h = MobilityHistory::empty(EntityId(e));
+            for w in 0..40u32 {
+                let cs = sorted(vec![cell(e * 100 + w as u64)]);
+                arena.append(EntityId(e), w, &cs);
+                h.append(w, &cs);
+            }
+            reference.push(h);
+        }
+        // Slide a window over everything: lots of leading-run advances.
+        for w in 0..35u32 {
+            for e in 0..8u64 {
+                arena.evict_window(EntityId(e), w);
+                reference[e as usize].evict_window(w);
+            }
+        }
+        assert!(arena.compactions() > 0, "churn must have compacted");
+        for e in 0..8u64 {
+            let v = arena.view(EntityId(e)).unwrap();
+            let h = &reference[e as usize];
+            assert_eq!(v.num_bins(), h.num_bins());
+            assert_eq!(v.num_records(), h.num_records());
+            for w in h.windows() {
+                let (cells, counts) = v.window_run(w);
+                let legacy = h.bins_in(w);
+                assert_eq!(cells.len(), legacy.len());
+                for (i, &(c, n)) in legacy.iter().enumerate() {
+                    assert_eq!((cells[i], counts[i]), (c, n));
+                }
+            }
+        }
+        // Appending after compaction still works (ranges relocated).
+        let (new_bins, created) = arena.append(EntityId(3), 50, &sorted(vec![cell(999)]));
+        assert!(!created);
+        assert_eq!(new_bins.len(), 1);
+    }
+
+    /// Materialized histories must round-trip through the batch
+    /// constructor: same bins, counters, and query behaviour.
+    #[test]
+    fn materialize_round_trips() {
+        let mut arena = HistoryArena::new();
+        let mut h = MobilityHistory::empty(EntityId(2));
+        for (w, k) in [(0u32, 1u64), (0, 2), (4, 1), (7, 3)] {
+            let cs = sorted(vec![cell(k), cell(k + 1)]);
+            arena.append(EntityId(2), w, &cs);
+            h.append(w, &cs);
+        }
+        let m = arena.materialize(EntityId(2)).unwrap();
+        assert_eq!(m.entity(), EntityId(2));
+        assert_eq!(m.num_bins(), h.num_bins());
+        assert_eq!(m.num_records(), h.num_records());
+        assert_eq!(m.num_windows(), h.num_windows());
+        for w in h.windows() {
+            assert_eq!(m.bins_in(w), h.bins_in(w), "window {w}");
+        }
+        assert_eq!(m.dominating_cell(0, 8, 12), h.dominating_cell(0, 8, 12));
+        assert!(arena.materialize(EntityId(99)).is_none());
+    }
+}

@@ -105,6 +105,33 @@ impl MobilityHistory {
         }
     }
 
+    /// Rebuilds a history from externally maintained leaves — the
+    /// materialization path of [`crate::arena::HistoryArena`]. `leaves`
+    /// must hold sorted `(cell, count)` bins per window and
+    /// `window_records` the true per-window record counts (they differ
+    /// for region records). Counters are derived and the temporal tree
+    /// rebuilt, so the result answers every query exactly like a
+    /// history maintained by [`MobilityHistory::append`] /
+    /// [`MobilityHistory::evict_window`] over the same content.
+    pub fn from_leaves(
+        entity: EntityId,
+        leaves: BTreeMap<WindowIdx, CellCounts>,
+        window_records: BTreeMap<WindowIdx, u32>,
+    ) -> Self {
+        let num_bins = leaves.values().map(Vec::len).sum();
+        let num_records = window_records.values().sum();
+        let domain = leaves.keys().next_back().map(|&w| w + 1).unwrap_or(1);
+        let tree = TemporalTree::build(domain, leaves.iter().map(|(&w, c)| (w, c.clone())));
+        Self {
+            entity,
+            leaves,
+            num_bins,
+            num_records,
+            window_records,
+            tree,
+        }
+    }
+
     /// An empty history ready for incremental [`MobilityHistory::append`]
     /// calls — the streaming entry point. The temporal tree grows with
     /// the appended windows.

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod dataset;
 pub mod df;
@@ -72,6 +73,7 @@ pub mod tree;
 pub mod tuning;
 pub mod window;
 
+pub use arena::{EntityView, HistoryArena};
 pub use config::{MatchingMethod, PairingMode, SlimConfig, ThresholdMethod};
 pub use dataset::LocationDataset;
 pub use df::{DfDelta, DfStats};

@@ -59,17 +59,57 @@ pub fn cached_cell_geometry(cell: CellId) -> (LatLng, f64) {
     })
 }
 
-fn distance_matrix(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<f64> {
+/// A read-only cell-id column over a window's bins. Pairing only ever
+/// reads cell ids, so it is generic over the storage layout: the
+/// classic array-of-structs `&[(CellId, u32)]` bins of
+/// [`crate::history::MobilityHistory`] and the bare `&[CellId]` column
+/// of [`crate::arena::HistoryArena`] monomorphize to the *identical*
+/// arithmetic — bit-identical pair selections for identical cell
+/// content.
+pub trait BinColumn: Copy {
+    /// Number of bins.
+    fn len(&self) -> usize;
+    /// Whether there are no bins.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Cell id of the `i`-th bin.
+    fn cell(&self, i: usize) -> CellId;
+}
+
+impl BinColumn for &[(CellId, u32)] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn cell(&self, i: usize) -> CellId {
+        self[i].0
+    }
+}
+
+impl BinColumn for &[CellId] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn cell(&self, i: usize) -> CellId {
+        self[i]
+    }
+}
+
+fn distance_matrix<A: BinColumn, B: BinColumn>(a: A, b: B) -> Vec<f64> {
     // Look up each cell's center + radius once per side: the matrix is
     // O(n·m) but the (trigonometry-heavy) vertex geometry is O(n + m)
     // hash probes, hitting the thread-local memo for recurring cells.
-    let ga: Vec<_> = a
-        .iter()
-        .map(|&(c, _)| (c, cached_cell_geometry(c)))
+    let ga: Vec<_> = (0..a.len())
+        .map(|i| {
+            let c = a.cell(i);
+            (c, cached_cell_geometry(c))
+        })
         .collect();
-    let gb: Vec<_> = b
-        .iter()
-        .map(|&(c, _)| (c, cached_cell_geometry(c)))
+    let gb: Vec<_> = (0..b.len())
+        .map(|i| {
+            let c = b.cell(i);
+            (c, cached_cell_geometry(c))
+        })
         .collect();
     let mut d = Vec::with_capacity(a.len() * b.len());
     for (ca, pa) in &ga {
@@ -87,7 +127,7 @@ fn distance_matrix(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<f64> {
 
 /// Greedy extremal matching shared by [`mutually_nearest`] and
 /// [`mutually_furthest`]. `want_min` selects the objective.
-fn extremal_pairs(a: &[(CellId, u32)], b: &[(CellId, u32)], want_min: bool) -> Vec<BinPair> {
+fn extremal_pairs<A: BinColumn, B: BinColumn>(a: A, b: B, want_min: bool) -> Vec<BinPair> {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
         return Vec::new();
@@ -147,8 +187,28 @@ pub fn mutually_furthest(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<BinPai
     extremal_pairs(a, b, false)
 }
 
+/// [`mutually_nearest`] over bare cell-id columns (the arena layout);
+/// bit-identical output for identical cell content.
+pub fn mutually_nearest_cells(a: &[CellId], b: &[CellId]) -> Vec<BinPair> {
+    extremal_pairs(a, b, true)
+}
+
+/// [`mutually_furthest`] over bare cell-id columns.
+pub fn mutually_furthest_cells(a: &[CellId], b: &[CellId]) -> Vec<BinPair> {
+    extremal_pairs(a, b, false)
+}
+
 /// The Cartesian product of bins — the "All Pairs" ablation.
 pub fn all_pairs(a: &[(CellId, u32)], b: &[(CellId, u32)]) -> Vec<BinPair> {
+    all_pairs_generic(a, b)
+}
+
+/// [`all_pairs`] over bare cell-id columns.
+pub fn all_pairs_cells(a: &[CellId], b: &[CellId]) -> Vec<BinPair> {
+    all_pairs_generic(a, b)
+}
+
+fn all_pairs_generic<A: BinColumn, B: BinColumn>(a: A, b: B) -> Vec<BinPair> {
     let d = distance_matrix(a, b);
     let mut out = Vec::with_capacity(a.len() * b.len());
     for ai in 0..a.len() {

@@ -13,7 +13,10 @@
 use crate::config::{PairingMode, SlimConfig};
 use crate::df::DfStats;
 use crate::history::{HistorySet, MobilityHistory};
-use crate::pairing::{all_pairs, mutually_furthest, mutually_nearest, BinPair};
+use crate::pairing::{
+    all_pairs, all_pairs_cells, mutually_furthest, mutually_furthest_cells, mutually_nearest,
+    mutually_nearest_cells, BinColumn, BinPair,
+};
 use crate::proximity::{is_alibi, proximity_of_distance};
 use crate::record::EntityId;
 use crate::stats::LinkageStats;
@@ -198,12 +201,63 @@ impl<'a> SimilarityScorer<'a> {
         total
     }
 
-    /// One bin pair's weighted proximity contribution (unnormalized).
-    fn contribution(
+    /// [`SimilarityScorer::window_contribution`] over struct-of-arrays
+    /// window runs: `(cu, nu)` / `(cv, nv)` are each one window's
+    /// parallel `(cells, counts)` column slices (the
+    /// [`crate::arena::EntityView::window_run`] shape — cells sorted,
+    /// counts positionally parallel). Every arithmetic operation, its
+    /// order, and every stats counter bump mirror the per-entity path
+    /// exactly, so the two layouts produce bit-identical contributions
+    /// for identical bin content.
+    pub fn window_contribution_cells(
         &self,
         w: crate::window::WindowIdx,
-        bu: &[(geocell::CellId, u32)],
-        bv: &[(geocell::CellId, u32)],
+        (cu, nu): (&[geocell::CellId], &[u32]),
+        (cv, nv): (&[geocell::CellId], &[u32]),
+        stats: &mut LinkageStats,
+    ) -> f64 {
+        if cu.is_empty() || cv.is_empty() {
+            return 0.0;
+        }
+        stats.bin_pair_comparisons += (cu.len() * cv.len()) as u64;
+        let ru: u32 = nu.iter().sum();
+        let rv: u32 = nv.iter().sum();
+        stats.record_pair_comparisons += ru as u64 * rv as u64;
+
+        let mut total = 0.0;
+        let pairs = match self.cfg.pairing {
+            PairingMode::MutuallyNearest => mutually_nearest_cells(cu, cv),
+            PairingMode::AllPairs => all_pairs_cells(cu, cv),
+        };
+        for p in &pairs {
+            total += self.contribution(w, cu, cv, p, stats);
+        }
+
+        if self.cfg.use_mfn && self.cfg.pairing == PairingMode::MutuallyNearest {
+            for p in mutually_furthest_cells(cu, cv) {
+                if pairs
+                    .iter()
+                    .any(|q| q.e_idx == p.e_idx && q.i_idx == p.i_idx)
+                {
+                    continue;
+                }
+                let delta = self.contribution(w, cu, cv, &p, stats);
+                if delta < 0.0 {
+                    total += delta;
+                }
+            }
+        }
+        total
+    }
+
+    /// One bin pair's weighted proximity contribution (unnormalized).
+    /// Generic over the bin layout (see [`BinColumn`]) so both storage
+    /// paths run the identical float sequence.
+    fn contribution<A: BinColumn, B: BinColumn>(
+        &self,
+        w: crate::window::WindowIdx,
+        bu: A,
+        bv: B,
         p: &BinPair,
         stats: &mut LinkageStats,
     ) -> f64 {
@@ -212,8 +266,8 @@ impl<'a> SimilarityScorer<'a> {
         }
         let prox = proximity_of_distance(p.dist_m, self.runaway_m);
         let idf = if self.cfg.use_idf {
-            let idf_e = self.left_df.idf(w, bu[p.e_idx].0);
-            let idf_i = self.right_df.idf(w, bv[p.i_idx].0);
+            let idf_e = self.left_df.idf(w, bu.cell(p.e_idx));
+            let idf_i = self.right_df.idf(w, bv.cell(p.i_idx));
             idf_e.min(idf_i)
         } else {
             1.0
@@ -499,6 +553,57 @@ mod tests {
         assert_eq!(full, reassembled, "must be the identical arithmetic");
         // Non-common windows contribute exactly zero.
         assert_eq!(scorer.window_contribution(hu, hv, 9999, &mut stats), 0.0);
+    }
+
+    /// The struct-of-arrays contribution kernel must be bit-identical
+    /// to the per-entity path — same float result, same stats bumps —
+    /// in every pairing/ablation mode.
+    #[test]
+    fn cells_kernel_matches_window_contribution() {
+        let mut left = vec![
+            rec(1, 0, 37.0, -122.0),
+            rec(1, 100, 37.01, -122.01),
+            rec(1, 1000, 37.1, -122.1),
+            rec(1, 2100, 40.0, -100.0), // alibi material
+        ];
+        let mut right = vec![
+            rec(2, 10, 37.0, -122.0),
+            rec(2, 20, 37.02, -122.0),
+            rec(2, 1100, 37.1, -122.1),
+            rec(2, 2050, 37.2, -122.2),
+        ];
+        left.extend(fillers(500));
+        right.extend(fillers(600));
+        let (l, r) = sets(left, right);
+        let (hu, hv) = (
+            l.history(EntityId(1)).unwrap(),
+            r.history(EntityId(2)).unwrap(),
+        );
+        for (pairing, use_mfn) in [
+            (PairingMode::MutuallyNearest, true),
+            (PairingMode::MutuallyNearest, false),
+            (PairingMode::AllPairs, false),
+        ] {
+            let mut c = cfg();
+            c.pairing = pairing;
+            c.use_mfn = use_mfn;
+            let scorer = SimilarityScorer::new(&c, &l, &r);
+            for w in common_windows(hu, hv).chain([9999]) {
+                let (bu, bv) = (hu.bins_in(w), hv.bins_in(w));
+                let split = |bins: &[(geocell::CellId, u32)]| {
+                    let cells: Vec<_> = bins.iter().map(|&(c, _)| c).collect();
+                    let counts: Vec<_> = bins.iter().map(|&(_, n)| n).collect();
+                    (cells, counts)
+                };
+                let ((cu, nu), (cv, nv)) = (split(bu), split(bv));
+                let mut s1 = LinkageStats::default();
+                let mut s2 = LinkageStats::default();
+                let legacy = scorer.window_contribution(hu, hv, w, &mut s1);
+                let soa = scorer.window_contribution_cells(w, (&cu, &nu), (&cv, &nv), &mut s2);
+                assert_eq!(legacy.to_bits(), soa.to_bits(), "window {w}");
+                assert_eq!(s1, s2, "stats must bump identically, window {w}");
+            }
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use slim_core::df::DfStats;
-use slim_core::similarity::{common_windows, SimilarityScorer};
+use slim_core::similarity::SimilarityScorer;
 use slim_core::{
     Edge, EntityId, HistorySet, IncrementalMatcher, LinkageOutput, LinkageStats, MatchingMethod,
     MobilityHistory, PreparedLinkage, ThresholdState, Timestamp, WindowIdx, WindowScheme,
@@ -71,11 +71,12 @@ use crate::lsh::LshGeometry;
 use crate::merge;
 use crate::pool::{chunk_ranges, WorkerPool};
 use crate::shard::{
-    bin_event, entity_shard, lookup_history, BinnedEvent, EngineShard, ExpiryEffects,
-    IngestEffects, RescoreJob, RescoreOutcome, ScoredPair,
+    bin_event, entity_shard, lookup_view, BinnedEvent, EngineShard, ExpiryEffects, IngestEffects,
+    RescoreJob, RescoreOutcome, ScoredPair,
 };
 use crate::source::Clock;
 use crate::steal::PoolMode;
+use crate::store::{common_windows_of, for_common_runs, window_contribution_view, HistoryView};
 use crate::telemetry::{EngineTelemetry, PhaseId};
 
 /// One change to the served link set, emitted by a refresh tick.
@@ -94,14 +95,16 @@ pub enum LinkUpdate {
     },
 }
 
-/// Engine work counters. Every counter except the scheduling telemetry
-/// at the bottom ([`StreamStats::steal_events`],
+/// Engine work counters. Every counter except
+/// [`StreamStats::arena_compactions`] and the scheduling telemetry at
+/// the bottom ([`StreamStats::steal_events`],
 /// [`StreamStats::max_worker_busy_ns`],
 /// [`StreamStats::min_worker_busy_ns`]) is defined over per-entity or
 /// per-pair events (or deterministic barrier merges), so the values are
 /// identical for any shard count, worker count, and steal schedule on
 /// the same event stream. The scheduling telemetry reports *how* the
-/// worker pool ran — it legitimately varies run to run, and is
+/// worker pool ran — it legitimately varies run to run — and arena
+/// compaction counts follow the per-shard partition; both are
 /// therefore **excluded from `PartialEq`** (the bit-identity contract
 /// the equivalence tests compare).
 #[derive(Debug, Clone, Copy, Default)]
@@ -158,13 +161,19 @@ pub struct StreamStats {
     /// Entities demoted because expiry left them at or below the
     /// min-records threshold.
     pub demoted_entities: u64,
-    /// Still-live records discarded by those demotions. An entity
-    /// hovering around the threshold therefore under-links relative to
-    /// a batch run over the live slice (which would count these records
-    /// toward the filter) — a deliberately conservative trade: the
-    /// engine would otherwise have to retain raw events for every
-    /// active entity just to re-buffer them.
+    /// Still-live records unwound from the active slice by those
+    /// demotions. The records are not lost: they move back into the
+    /// entity's min-records pending buffer (the demotion re-buffer
+    /// ring), so they keep counting toward reactivation exactly as a
+    /// batch run over the live slice would count them.
     pub demoted_records: u64,
+    /// Columnar-arena compaction passes across all shards (0 under
+    /// [`crate::StorageMode::Legacy`]). Compaction triggers on
+    /// per-shard arena fill, which depends on how entities partition
+    /// across shards — deterministic for a fixed shard count but
+    /// legitimately different across shard counts, so this is
+    /// **excluded from `PartialEq`** like the scheduling telemetry.
+    pub arena_compactions: u64,
     /// Chunks of shard work executed by a pool worker other than the
     /// one they were placed on — nonzero means the stealing pool
     /// actually rebalanced a skewed phase. Scheduling telemetry:
@@ -185,8 +194,10 @@ pub struct StreamStats {
 impl PartialEq for StreamStats {
     /// Equality over the deterministic counters only: the scheduling
     /// telemetry (`steal_events`, `max_worker_busy_ns`,
-    /// `min_worker_busy_ns`) describes where and when chunks ran, which
-    /// the bit-identity contract explicitly leaves free.
+    /// `min_worker_busy_ns`) describes where and when chunks ran, and
+    /// `arena_compactions` follows the per-shard arena fill — both are
+    /// degrees of freedom the bit-identity contract explicitly leaves
+    /// free.
     fn eq(&self, other: &Self) -> bool {
         self.events == other.events
             && self.late_dropped == other.late_dropped
@@ -204,6 +215,7 @@ impl PartialEq for StreamStats {
             && self.late_events == other.late_events
             && self.demoted_entities == other.demoted_entities
             && self.demoted_records == other.demoted_records
+        // arena_compactions deliberately absent: shard-partition-dependent.
     }
 }
 
@@ -307,6 +319,10 @@ impl StreamEngine {
         cfg.validate()?;
         let num_shards = cfg.effective_shards();
         let num_workers = cfg.effective_workers();
+        let storage = cfg.storage;
+        // Demotion (and with it the re-buffer ring) only exists under a
+        // bounded window — unbounded engines never expire evidence.
+        let retain_live = cfg.window_capacity.is_some();
         Ok(Self {
             lsh: cfg.lsh.as_ref().map(|l| LshRuntime::new(l, num_shards)),
             pool: WorkerPool::new(num_workers, cfg.pool_mode, cfg.telemetry),
@@ -315,7 +331,9 @@ impl StreamEngine {
             num_shards,
             num_workers,
             scheme: None,
-            shards: (0..num_shards).map(|_| EngineShard::default()).collect(),
+            shards: (0..num_shards)
+                .map(|_| EngineShard::new(storage, retain_live))
+                .collect(),
             df: [DfStats::new(), DfStats::new()],
             domain: 0,
             watermark: 0,
@@ -371,6 +389,16 @@ impl StreamEngine {
         self.stats.min_worker_busy_ns = min;
     }
 
+    /// Refreshes [`StreamStats::arena_compactions`] from the per-shard
+    /// stores. Called after phases that append or evict history.
+    fn sync_arena_stats(&mut self) {
+        self.stats.arena_compactions = self
+            .shards
+            .iter()
+            .map(|s| s.histories[0].compactions() + s.histories[1].compactions())
+            .sum();
+    }
+
     /// Work counters.
     pub fn stats(&self) -> &StreamStats {
         &self.stats
@@ -404,8 +432,11 @@ impl StreamEngine {
     }
 
     /// The live history of one entity (`None` if filtered or expired).
-    pub fn history(&self, side: Side, entity: EntityId) -> Option<&MobilityHistory> {
-        lookup_history(&self.shards, side, entity)
+    /// Owned: the arena storage materializes the per-entity struct on
+    /// demand; this is an inspection API, not a hot path.
+    pub fn history(&self, side: Side, entity: EntityId) -> Option<MobilityHistory> {
+        self.shards[entity_shard(side, entity, self.num_shards)].histories[side.idx()]
+            .materialize(entity)
     }
 
     /// Number of entities with a live history on one side.
@@ -421,7 +452,7 @@ impl StreamEngine {
         let mut out: Vec<EntityId> = self
             .shards
             .iter()
-            .flat_map(|s| s.histories[side.idx()].keys().copied())
+            .flat_map(|s| s.histories[side.idx()].entity_ids())
             .collect();
         out.sort_unstable();
         out
@@ -512,8 +543,16 @@ impl StreamEngine {
         out.push(("phase.edge_merge", self.tel.edge_merge.clone()));
         out.push(("phase.match", self.tel.matching.clone()));
         out.push(("phase.threshold", self.tel.threshold.clone()));
+        out.push(("score_kernel_ns", self.tel.score_kernel.clone()));
         out.push(("tick", self.tel.tick.clone()));
         out
+    }
+
+    /// The rescore scoring-kernel histogram: one span per `(pair,
+    /// window)` contribution recomputed during refresh ticks, in
+    /// nanoseconds per window (the `score_kernel_ns` series).
+    pub fn score_kernel_histogram(&self) -> Histogram {
+        self.tel.score_kernel.clone()
     }
 
     /// The end-to-end event-latency histogram (source admit → served at
@@ -563,6 +602,7 @@ impl StreamEngine {
         reg.counter_set("late_events", s.late_events);
         reg.counter_set("demoted_entities", s.demoted_entities);
         reg.counter_set("demoted_records", s.demoted_records);
+        reg.counter_set("arena_compactions", s.arena_compactions);
         reg.counter_set("steal_events", s.steal_events);
         reg.gauge_set("links", self.links.len() as f64);
         reg.gauge_set("live_edges", self.num_live_edges() as f64);
@@ -789,6 +829,7 @@ impl StreamEngine {
             // pool's atomic counters.
             self.sync_pool_stats();
         }
+        self.sync_arena_stats();
     }
 
     /// Registers one discovered candidate pair with its owning shard.
@@ -913,6 +954,7 @@ impl StreamEngine {
         if parallel {
             self.sync_pool_stats();
         }
+        self.sync_arena_stats();
         self.expired_below = keep_from;
     }
 
@@ -976,10 +1018,11 @@ impl StreamEngine {
         // stats), then apply each shard's outcomes to its own cache.
         let outcomes = self.score_jobs(&jobs);
         let mut emptied: Vec<(usize, (EntityId, EntityId))> = Vec::new();
-        for (idx, (shard, (shard_outcomes, shard_stats))) in
+        for (idx, (shard, (shard_outcomes, shard_stats, shard_kernel))) in
             self.shards.iter_mut().zip(outcomes).enumerate()
         {
             self.scoring_stats.merge(&shard_stats);
+            self.tel.score_kernel.merge(&shard_kernel);
             let report = shard.apply_outcomes(shard_outcomes);
             self.stats.rescored_windows += report.rescored_windows;
             emptied.extend(report.emptied.into_iter().map(|p| (idx, p)));
@@ -1109,59 +1152,106 @@ impl StreamEngine {
     /// legacy one-chunk-per-shard partition as the benchmark baseline).
     /// Chunk outputs are regrouped per owning shard in chunk-id order,
     /// which reproduces the sequential job order exactly.
-    fn score_jobs(&self, jobs: &[Vec<RescoreJob>]) -> Vec<(Vec<RescoreOutcome>, LinkageStats)> {
+    fn score_jobs(
+        &self,
+        jobs: &[Vec<RescoreJob>],
+    ) -> Vec<(Vec<RescoreOutcome>, LinkageStats, Histogram)> {
         let scorer = SimilarityScorer::from_df_stats(&self.cfg.slim, &self.df[0], &self.df[1]);
-        let score_list =
-            |(owner, list): (usize, &[RescoreJob])| -> (Vec<RescoreOutcome>, LinkageStats) {
-                let mut out = Vec::with_capacity(list.len());
-                let mut stats = LinkageStats::default();
-                for (pair, spec) in list {
-                    let (Some(hu), Some(hv)) = (
-                        lookup_history(&self.shards, Side::Left, pair.0),
-                        lookup_history(&self.shards, Side::Right, pair.1),
-                    ) else {
-                        out.push((*pair, None));
-                        continue;
-                    };
-                    let windows: Vec<WindowIdx> = match spec {
-                        Some(ws) => ws.clone(),
-                        None => common_windows(hu, hv).collect(),
-                    };
-                    // Start from the owning shard's cached contributions of
-                    // the pair's untouched windows and patch in the
-                    // recomputed ones (dropping zeros), exactly as the
-                    // barrier-side apply used to.
-                    let mut merged = self.shards[owner]
-                        .cache
-                        .get(pair)
-                        .cloned()
-                        .unwrap_or_default();
-                    let rescored = windows.len() as u64;
-                    for w in windows {
-                        let c = scorer.window_contribution(hu, hv, w, &mut stats);
-                        if c == 0.0 {
-                            merged.remove(&w);
-                        } else {
-                            merged.insert(w, c);
-                        }
+        // Per-window kernel timing: one chained clock read per scored
+        // window, recorded into a chunk-local histogram and merged at
+        // the barrier — `None` with telemetry off, skipping every read.
+        let clock = self.tel.enabled.then(|| self.tel.clock());
+        fn lap(clock: &Option<Arc<dyn Clock + Sync>>, t_last: &mut u64, hist: &mut Histogram) {
+            if let Some(c) = clock {
+                let t = c.now_ns();
+                hist.record(t.saturating_sub(*t_last));
+                *t_last = t;
+            }
+        }
+        let score_list = |(owner, list): (usize, &[RescoreJob])| -> (
+            Vec<RescoreOutcome>,
+            LinkageStats,
+            Histogram,
+        ) {
+            let mut out = Vec::with_capacity(list.len());
+            let mut stats = LinkageStats::default();
+            let mut kernel = Histogram::new();
+            for (pair, spec) in list {
+                let (Some(hu), Some(hv)) = (
+                    lookup_view(&self.shards, Side::Left, pair.0),
+                    lookup_view(&self.shards, Side::Right, pair.1),
+                ) else {
+                    out.push((*pair, None));
+                    continue;
+                };
+                // Start from the owning shard's cached contributions of
+                // the pair's untouched windows and patch in the
+                // recomputed ones (dropping zeros), exactly as the
+                // barrier-side apply used to.
+                let mut merged = self.shards[owner]
+                    .cache
+                    .get(pair)
+                    .cloned()
+                    .unwrap_or_default();
+                let mut t_last = clock.as_ref().map(|c| c.now_ns()).unwrap_or(0);
+                let rescored = match (spec, hu, hv) {
+                    // The batch kernel: a fresh pair with both endpoints
+                    // in arena storage is scored by one linear merge
+                    // over the two entities' window columns, feeding
+                    // contiguous cell/count slices straight into the
+                    // scorer — no hashing, no per-window lookup. The
+                    // per-window arithmetic (and its accumulation
+                    // order) is exactly `window_contribution`'s, so the
+                    // result is bit-identical to the legacy path.
+                    (None, HistoryView::Arena(vu), HistoryView::Arena(vv)) => {
+                        let mut n = 0u64;
+                        for_common_runs(&vu, &vv, |w, ru, rv| {
+                            let c = scorer.window_contribution_cells(w, ru, rv, &mut stats);
+                            if c == 0.0 {
+                                merged.remove(&w);
+                            } else {
+                                merged.insert(w, c);
+                            }
+                            n += 1;
+                            lap(&clock, &mut t_last, &mut kernel);
+                        });
+                        n
                     }
-                    // `Σ contributions / pair norm` in ascending window
-                    // order — the same arithmetic and order the full
-                    // assembly sweep used, so a pair scored fresh here is
-                    // bit-identical to a from-scratch edge assembly.
-                    let sum: f64 = merged.values().sum();
-                    let score = sum / scorer.pair_norm_bins(hu.num_bins(), hv.num_bins());
-                    out.push((
-                        *pair,
-                        Some(ScoredPair {
-                            windows: merged,
-                            rescored,
-                            score,
-                        }),
-                    ));
-                }
-                (out, stats)
-            };
+                    _ => {
+                        let windows: Vec<WindowIdx> = match spec {
+                            Some(ws) => ws.clone(),
+                            None => common_windows_of(&hu, &hv),
+                        };
+                        let n = windows.len() as u64;
+                        for w in windows {
+                            let c = window_contribution_view(&scorer, &hu, &hv, w, &mut stats);
+                            if c == 0.0 {
+                                merged.remove(&w);
+                            } else {
+                                merged.insert(w, c);
+                            }
+                            lap(&clock, &mut t_last, &mut kernel);
+                        }
+                        n
+                    }
+                };
+                // `Σ contributions / pair norm` in ascending window
+                // order — the same arithmetic and order the full
+                // assembly sweep used, so a pair scored fresh here is
+                // bit-identical to a from-scratch edge assembly.
+                let sum: f64 = merged.values().sum();
+                let score = sum / scorer.pair_norm_bins(hu.num_bins(), hv.num_bins());
+                out.push((
+                    *pair,
+                    Some(ScoredPair {
+                        windows: merged,
+                        rescored,
+                        score,
+                    }),
+                ));
+            }
+            (out, stats, kernel)
+        };
 
         let total: usize = jobs.iter().map(Vec::len).sum();
         if total < PARALLEL_RESCORE_THRESHOLD || self.num_workers == 1 {
@@ -1192,13 +1282,14 @@ impl StreamEngine {
         let outs = self.pool.run(PhaseId::Rescore, chunks, score_list);
         // Regroup per owning shard; chunks were pushed (shard asc,
         // range asc), so concatenation restores the sequential order.
-        let mut per_shard: Vec<(Vec<RescoreOutcome>, LinkageStats)> = jobs
+        let mut per_shard: Vec<(Vec<RescoreOutcome>, LinkageStats, Histogram)> = jobs
             .iter()
-            .map(|_| (Vec::new(), LinkageStats::default()))
+            .map(|_| (Vec::new(), LinkageStats::default(), Histogram::new()))
             .collect();
-        for (owner, (outcomes, stats)) in owners.into_iter().zip(outs) {
+        for (owner, (outcomes, stats, kernel)) in owners.into_iter().zip(outs) {
             per_shard[owner].0.extend(outcomes);
             per_shard[owner].1.merge(&stats);
+            per_shard[owner].2.merge(&kernel);
         }
         per_shard
     }
@@ -1213,15 +1304,16 @@ impl StreamEngine {
         let Some(scheme) = self.scheme else {
             return Ok(empty_output());
         };
-        // Deep-cloning the histories is the expensive part of the
-        // borrowing finalizer; hand one chunk per shard to the pool
-        // when the state is big enough to pay. The merged map contents
-        // are independent of chunk scheduling.
+        // Materializing owned histories (deep clones from the legacy
+        // map, struct rebuilds from the arena columns) is the expensive
+        // part of the borrowing finalizer; hand one chunk per shard to
+        // the pool when the state is big enough to pay. The merged map
+        // contents are independent of chunk scheduling.
         let clone_one = |shard: &EngineShard| -> [Vec<(EntityId, MobilityHistory)>; 2] {
             [Side::Left, Side::Right].map(|side| {
                 shard.histories[side.idx()]
-                    .iter()
-                    .map(|(&e, h)| (e, h.clone()))
+                    .materialize_all()
+                    .into_iter()
                     .collect()
             })
         };
@@ -1257,7 +1349,7 @@ impl StreamEngine {
         let mut sets = [HashMap::new(), HashMap::new()];
         for shard in &mut self.shards {
             for side in [Side::Left, Side::Right] {
-                sets[side.idx()].extend(shard.histories[side.idx()].drain());
+                sets[side.idx()].extend(shard.histories[side.idx()].drain_map());
             }
         }
         let [left, right] = sets;
@@ -1340,14 +1432,20 @@ mod tests {
             late_events: _,
             demoted_entities: _,
             demoted_records: _,
+            arena_compactions: _,
             steal_events: _,
             max_worker_busy_ns: _,
             min_worker_busy_ns: _,
         } = base;
-        let excluded = ["steal_events", "max_worker_busy_ns", "min_worker_busy_ns"];
+        let excluded = [
+            "arena_compactions",
+            "steal_events",
+            "max_worker_busy_ns",
+            "min_worker_busy_ns",
+        ];
         // One probe per field of the inventory above, same order.
         type Probe = (&'static str, fn(&mut StreamStats));
-        let fields: [Probe; 19] = [
+        let fields: [Probe; 20] = [
             ("events", |s| s.events += 1),
             ("late_dropped", |s| s.late_dropped += 1),
             ("ticks", |s| s.ticks += 1),
@@ -1364,6 +1462,7 @@ mod tests {
             ("late_events", |s| s.late_events += 1),
             ("demoted_entities", |s| s.demoted_entities += 1),
             ("demoted_records", |s| s.demoted_records += 1),
+            ("arena_compactions", |s| s.arena_compactions += 1),
             ("steal_events", |s| s.steal_events += 1),
             ("max_worker_busy_ns", |s| s.max_worker_busy_ns += 1),
             ("min_worker_busy_ns", |s| s.min_worker_busy_ns += 1),

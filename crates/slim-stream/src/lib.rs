@@ -134,10 +134,11 @@ mod pool;
 mod shard;
 pub mod source;
 mod steal;
+mod store;
 pub mod telemetry;
 pub mod testing;
 
-pub use config::{StreamConfig, StreamLshConfig};
+pub use config::{StorageMode, StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};
 pub use source::{

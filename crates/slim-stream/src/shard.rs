@@ -21,11 +21,13 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use geocell::CellId;
 use slim_core::df::DfDelta;
 use slim_core::history::record_cells;
-use slim_core::{EntityId, MobilityHistory, WindowIdx, WindowScheme};
+use slim_core::{EntityId, WindowIdx, WindowScheme};
 
 use crate::adjacency::{AdjacencyIndex, PairKey};
+use crate::config::StorageMode;
 use crate::event::{Side, StreamEvent};
 use crate::lsh::{LshGeometry, ShardRings};
+use crate::store::{HistoryStore, HistoryView};
 
 /// An event with its temporal/spatial binning done — the unit of work
 /// the sharded ingest path precomputes on worker threads.
@@ -74,13 +76,13 @@ pub(crate) fn entity_shard(side: Side, entity: EntityId, shards: usize) -> usize
     (slim_lsh::fnv1a([side.idx() as u64, entity.0].into_iter()) % shards as u64) as usize
 }
 
-/// Resolves an entity's history across the shard partition.
-pub(crate) fn lookup_history(
+/// Resolves an entity's history view across the shard partition.
+pub(crate) fn lookup_view(
     shards: &[EngineShard],
     side: Side,
     entity: EntityId,
-) -> Option<&MobilityHistory> {
-    shards[entity_shard(side, entity, shards.len())].histories[side.idx()].get(&entity)
+) -> Option<HistoryView<'_>> {
+    shards[entity_shard(side, entity, shards.len())].histories[side.idx()].view(entity)
 }
 
 /// Cross-shard effects of one shard's ingest phase, folded in at the
@@ -157,7 +159,7 @@ pub(crate) struct ApplyReport {
 
 /// One shard of engine state. See the module docs for the ownership
 /// rules and the phase/barrier contract.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct EngineShard {
     /// Min-records buffers: entities whose record count has not yet
     /// exceeded `slim.min_records` are parked here, exactly like the
@@ -166,7 +168,18 @@ pub(crate) struct EngineShard {
     /// Entities that crossed the min-records threshold.
     pub(crate) active: [HashSet<EntityId>; 2],
     /// This shard's slice of the per-side mobility histories.
-    pub(crate) histories: [HashMap<EntityId, MobilityHistory>; 2],
+    pub(crate) histories: [HistoryStore; 2],
+    /// Raw still-live events of active homed entities, in stream order
+    /// — the demotion re-buffer ring. Maintained only in
+    /// sliding-window mode (`retain_live`): when expiry demotes an
+    /// entity below the min-records filter, its live events move back
+    /// into the pending buffer instead of being discarded, so they
+    /// keep counting toward reactivation exactly like any other
+    /// sparse entity's. Entries expire with their windows.
+    pub(crate) live_events: [HashMap<EntityId, Vec<BinnedEvent>>; 2],
+    /// Whether `live_events` is maintained (true iff the engine has a
+    /// bounded window — unbounded engines never demote).
+    retain_live: bool,
     /// Windows touched per homed entity since the last tick.
     pub(crate) dirty: [HashMap<EntityId, BTreeSet<WindowIdx>>; 2],
     /// Homed entities whose history expired entirely; their pairs are
@@ -197,6 +210,28 @@ pub(crate) struct EngineShard {
 }
 
 impl EngineShard {
+    /// An empty shard using the given history representation.
+    /// `retain_live` enables the demotion re-buffer ring (pointless —
+    /// and therefore off — when the window is unbounded).
+    pub(crate) fn new(storage: StorageMode, retain_live: bool) -> Self {
+        Self {
+            pending: Default::default(),
+            active: Default::default(),
+            histories: [HistoryStore::new(storage), HistoryStore::new(storage)],
+            live_events: Default::default(),
+            retain_live,
+            dirty: Default::default(),
+            dead: Default::default(),
+            window_entities: BTreeMap::new(),
+            rings: ShardRings::default(),
+            cache: HashMap::new(),
+            fresh: HashSet::new(),
+            adjacency: AdjacencyIndex::default(),
+            edges: BTreeMap::new(),
+            edge_deltas: BTreeMap::new(),
+        }
+    }
+
     /// Applies this shard's slice of one ingest segment, in stream
     /// order, describing all cross-shard effects.
     pub(crate) fn apply_events(
@@ -244,14 +279,7 @@ impl EngineShard {
 
     fn append_active(&mut self, b: BinnedEvent, lsh: Option<&LshGeometry>, fx: &mut IngestEffects) {
         let side = b.side;
-        let mut created = false;
-        let h = self.histories[side.idx()]
-            .entry(b.entity)
-            .or_insert_with(|| {
-                created = true;
-                MobilityHistory::empty(b.entity)
-            });
-        let new_bins = h.append(b.w, &b.cells);
+        let (new_bins, created) = self.histories[side.idx()].append(b.entity, b.w, &b.cells);
         if created {
             fx.df[side.idx()].add_entity();
         }
@@ -268,6 +296,14 @@ impl EngineShard {
             if self.rings.add(geom, side, b.entity, b.w, &b.lsh_cells) {
                 fx.sig_changes.insert((side, b.entity));
             }
+        }
+        if self.retain_live {
+            // Park the consumed event in the re-buffer ring (no clone —
+            // the event is moved, its cells already applied above).
+            self.live_events[side.idx()]
+                .entry(b.entity)
+                .or_default()
+                .push(b);
         }
     }
 
@@ -294,6 +330,16 @@ impl EngineShard {
             for side in [Side::Left, Side::Right] {
                 for &e in &sides[side.idx()] {
                     self.evict_history_window(side, e, win, &mut fx.df);
+                    // The re-buffer ring expires in lockstep with the
+                    // history: only still-live raw events may re-buffer.
+                    let mut ring_emptied = false;
+                    if let Some(ring) = self.live_events[side.idx()].get_mut(&e) {
+                        ring.retain(|b| b.w >= keep_from);
+                        ring_emptied = ring.is_empty();
+                    }
+                    if ring_emptied {
+                        self.live_events[side.idx()].remove(&e);
+                    }
                     // Expiry can *change* a ring signature (a formerly
                     // dominated cell takes over the slot) — collisions
                     // surfacing from that are candidates like any other.
@@ -306,26 +352,20 @@ impl EngineShard {
                     // an entity whose remaining records no longer exceed
                     // min_records would be excluded by `Slim::prepare`
                     // over the same window, so demote it — its leftover
-                    // evidence is discarded (counted in
-                    // `StreamStats::demoted_records`) and its pairs die
-                    // at the next tick. Fresh records re-buffer it like
-                    // any other sparse entity; the discarded ones no
-                    // longer count toward reactivation, which is the
-                    // conservative side of the batch semantics.
-                    let demote = match self.histories[side.idx()].get(&e) {
-                        None => true,
-                        Some(h) => h.num_records() as usize <= min_records,
-                    };
+                    // evidence is unwound from histories/df/rings
+                    // (counted in `StreamStats::demoted_records`) and
+                    // its pairs die at the next tick. The raw live
+                    // events move back into the pending buffer, so they
+                    // keep counting toward reactivation exactly like
+                    // any other sparse entity's — the batch filter over
+                    // the same live slice would make the same call once
+                    // fresh records push it past min_records again.
+                    let live = self.histories[side.idx()].num_records(e);
+                    let demote = live as usize <= min_records;
                     if demote {
                         fx.demoted_entities += 1;
-                        fx.demoted_records += self.histories[side.idx()]
-                            .get(&e)
-                            .map(|h| h.num_records() as u64)
-                            .unwrap_or(0);
-                        let leftover: Vec<WindowIdx> = self.histories[side.idx()]
-                            .get(&e)
-                            .map(|h| h.windows().collect())
-                            .unwrap_or_default();
+                        fx.demoted_records += live as u64;
+                        let leftover = self.histories[side.idx()].windows_of(e);
                         for lw in leftover {
                             self.evict_history_window(side, e, lw, &mut fx.df);
                             if let Some(sides) = self.window_entities.get_mut(&lw) {
@@ -338,6 +378,14 @@ impl EngineShard {
                         self.active[side.idx()].remove(&e);
                         self.dead[side.idx()].insert(e);
                         self.dirty[side.idx()].remove(&e);
+                        // Re-buffer the still-live raw events (pruned to
+                        // the window above). `live <= min_records`, so
+                        // the buffer cannot immediately re-activate.
+                        if let Some(events) = self.live_events[side.idx()].remove(&e) {
+                            if !events.is_empty() {
+                                self.pending[side.idx()].insert(e, events);
+                            }
+                        }
                     }
                 }
             }
@@ -361,16 +409,14 @@ impl EngineShard {
         w: WindowIdx,
         df: &mut [DfDelta; 2],
     ) {
-        let Some(h) = self.histories[side.idx()].get_mut(&e) else {
+        if !self.histories[side.idx()].contains(e) {
             return;
-        };
-        let bins = h.evict_window(w);
-        let emptied = h.num_records() == 0;
+        }
+        let (bins, emptied) = self.histories[side.idx()].evict_window(e, w);
         for &(c, _) in &bins {
             df[side.idx()].remove_bin(w, c);
         }
         if emptied {
-            self.histories[side.idx()].remove(&e);
             df[side.idx()].remove_entity();
         }
         self.dirty[side.idx()].entry(e).or_default().insert(w);

@@ -104,6 +104,11 @@ pub(crate) struct EngineTelemetry {
     /// End-to-end event latency: source admit (drained off the bounded
     /// channel) → served at a refresh tick. Recorded by the pump.
     pub(crate) event_latency: Histogram,
+    /// Per-window spans of the rescore scoring kernel (one record per
+    /// `(pair, window)` contribution recomputed). Recorded chunk-local
+    /// on the workers and merged at the tick barrier in chunk-id
+    /// order, so the aggregate is reproducible under a virtual clock.
+    pub(crate) score_kernel: Histogram,
 }
 
 impl EngineTelemetry {
@@ -118,6 +123,7 @@ impl EngineTelemetry {
             threshold: Histogram::new(),
             tick: Histogram::new(),
             event_latency: Histogram::new(),
+            score_kernel: Histogram::new(),
         }
     }
 

@@ -1,20 +1,20 @@
-//! Regression coverage for the **min-records demotion gap** (a known,
-//! documented divergence — see ROADMAP "Exact sliding-window
-//! min-records semantics").
+//! Regression coverage for **exact sliding-window min-records
+//! semantics** (the former ROADMAP "min-records demotion gap", closed
+//! by the demotion re-buffer ring).
 //!
 //! When sliding-window expiry leaves an entity with `min_records` or
-//! fewer live records, the engine demotes it outright and discards its
-//! still-live records (counted in `StreamStats::demoted_records`),
-//! because re-buffering them would require retaining raw events for
-//! every active entity. An entity *oscillating* around the threshold
-//! therefore under-links relative to a batch run over the live slice:
-//! its post-demotion records start an empty buffer even though the live
-//! slice holds enough total evidence to pass the filter.
+//! fewer live records, the engine demotes it — unwinding its history,
+//! df statistics, and rings — but its still-live raw events move back
+//! into the min-records pending buffer instead of being discarded: the
+//! per-shard ring of live events makes re-buffering possible without
+//! replaying the stream. An entity *oscillating* around the threshold
+//! therefore re-activates as soon as fresh records push its live
+//! evidence past the filter again, exactly like a batch run over the
+//! live slice would keep it.
 //!
-//! The first test pins down **today's** behaviour exactly (so any
-//! accidental semantic change trips it); the `#[ignore]`d second test
-//! encodes the **desired** exact semantics the ROADMAP re-buffering fix
-//! would provide — un-ignore it when that lands.
+//! The first test pins the demote/re-buffer/re-activate cycle exactly
+//! (counters included); the second asserts the headline equivalence:
+//! the oscillating pair links just as the live-slice batch does.
 
 use slim::core::{EntityId, LocationDataset, Record, Slim, SlimConfig, ThresholdMethod, Timestamp};
 use slim::geo::LatLng;
@@ -55,8 +55,12 @@ fn event(side: Side, entity: u64, window: i64, offset: i64) -> StreamEvent {
 /// 13..=16. With a 10-window capacity and `min_records = 5` (the
 /// default), the watermark reaching window 13 leaves the oscillating
 /// entities exactly 5 live records (windows 4..=8) — at the threshold,
-/// so both are demoted and their live evidence discarded. Their 4
-/// resumed records then re-buffer from zero and never reactivate.
+/// so both are demoted with their 5 live events re-buffered. Each
+/// resumed record then tips the buffer over the filter and
+/// re-activates them; each subsequent stable-pair-driven expiry drops
+/// them back to exactly 5 live records and demotes them again — 4
+/// demote/re-activate cycles per entity (watermarks 13..=16), ending
+/// active with 6 live records (windows 7..=8, 13..=16).
 fn fixture_events() -> Vec<StreamEvent> {
     let mut events = Vec::new();
     for w in 0..=16i64 {
@@ -117,67 +121,61 @@ fn has_pair(links: &[slim::core::Edge], left: u64, right: u64) -> bool {
         .any(|e| (e.left, e.right) == (EntityId(left), EntityId(right)))
 }
 
-/// Today's (documented, conservative) behaviour: the oscillating pair
-/// is demoted at the threshold — live records discarded and counted —
-/// and under-links versus the batch pipeline over the same live slice.
+/// The demote/re-buffer/re-activate cycle, pinned exactly: each of the
+/// 4 stable-pair-driven expiries (watermarks 13..=16) demotes both
+/// oscillating entities at exactly 5 live records, the re-buffered
+/// events plus the next resumed record re-activate them, and they end
+/// the stream active with their full live-slice history.
 #[test]
-fn oscillating_entity_under_links_vs_live_slice_batch() {
+fn oscillating_entity_rebuffers_and_reactivates() {
     let engine = run_stream();
     let stats = engine.stats();
 
-    // The demotion itself, exactly: both oscillating entities, 5 live
-    // records each (windows 4..=8) at the moment window 13 expired
-    // window 3.
-    assert_eq!(stats.demoted_entities, 2, "exactly the oscillating pair");
-    assert_eq!(stats.demoted_records, 10, "5 still-live records each");
+    // 4 demote cycles × 2 entities, 5 still-live records re-buffered
+    // each time — the counters still account every unwind.
+    assert_eq!(stats.demoted_entities, 8, "4 cycles × the oscillating pair");
+    assert_eq!(stats.demoted_records, 40, "5 re-buffered records per cycle");
 
-    // Post-demotion records re-buffer from zero: 4 live records ≤
-    // min_records, so the entities never reactivate.
-    assert_eq!(engine.num_active(Side::Left), 2, "stable lefts only");
-    assert_eq!(engine.num_active(Side::Right), 2, "stable rights only");
-    assert!(engine.history(Side::Left, EntityId(1)).is_none());
-    assert!(engine.history(Side::Right, EntityId(1001)).is_none());
+    // The re-buffered evidence re-activated them: all three pairs end
+    // the stream active, with the oscillating histories intact over
+    // the live slice (windows 7..=8, 13..=16 → 6 records).
+    assert_eq!(engine.num_active(Side::Left), 3, "oscillating left is back");
+    assert_eq!(
+        engine.num_active(Side::Right),
+        3,
+        "oscillating right is back"
+    );
+    let h = engine
+        .history(Side::Left, EntityId(1))
+        .expect("re-activated entity keeps its live history");
+    assert_eq!(h.num_records(), 6, "windows 7..=8 and 13..=16");
+    assert!(engine.history(Side::Right, EntityId(1001)).is_some());
 
-    // The stable pairs link; the oscillating pair does not — neither in
-    // the served set nor at finalization.
+    // Every pair links — served and finalized.
     assert!(has_pair(engine.links(), 4, 1004), "{:?}", engine.links());
     assert!(has_pair(engine.links(), 5, 1005), "{:?}", engine.links());
-    assert!(
-        !has_pair(engine.links(), 1, 1001),
-        "demotion gap unexpectedly closed — update this regression test \
-         and check off the ROADMAP item: {:?}",
-        engine.links()
-    );
+    assert!(has_pair(engine.links(), 1, 1001), "{:?}", engine.links());
     let finalized = engine.finalize().unwrap();
-    assert!(!has_pair(&finalized.links, 1, 1001));
+    assert!(has_pair(&finalized.links, 1, 1001));
+}
 
-    // The under-linking is real, not an artifact of sparse evidence:
-    // batch linkage over the identical live slice keeps the pair (6
-    // records each inside windows 7..=16 clear the min-records filter).
+/// The headline equivalence the re-buffer ring exists for: the
+/// oscillating pair links exactly as the batch pipeline over the same
+/// live slice does — the live slice holds 6 records per oscillating
+/// entity, above the filter, and demotion no longer forgets them.
+#[test]
+fn oscillating_entity_links_like_live_slice_batch() {
+    let engine = run_stream();
     let batch = live_slice_batch();
     assert!(
         has_pair(&batch.links, 1, 1001),
         "live slice must link the oscillating pair: {:?}",
         batch.links
     );
-    assert!(has_pair(&batch.links, 4, 1004));
-    assert!(has_pair(&batch.links, 5, 1005));
-}
-
-/// The **desired** exact semantics (ROADMAP: retain a bounded
-/// per-entity ring of raw live events and re-buffer instead of
-/// discarding at demotion): the oscillating pair's live-slice evidence
-/// would keep it linked. Ignored until the re-buffering fix lands —
-/// un-ignore and delete the inverse assertion above when it does.
-#[test]
-#[ignore = "documents the ROADMAP re-buffering fix; demotion currently discards live records"]
-fn oscillating_entity_links_like_live_slice_batch() {
-    let engine = run_stream();
     assert!(
         has_pair(engine.links(), 1, 1001),
-        "exact min-records semantics: the live slice holds {} records \
-         for the oscillating pair, above the filter",
-        6
+        "exact min-records semantics: the live slice holds 6 records \
+         for the oscillating pair, above the filter"
     );
     let finalized = engine.finalize().unwrap();
     assert!(has_pair(&finalized.links, 1, 1001));
