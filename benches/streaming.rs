@@ -46,7 +46,18 @@
 //!    **bit-identical** — links, counters, scoring stats, candidates,
 //!    and finalized output. Runs in the `--source synthetic` CI smoke
 //!    form too, so `score_kernel_ns` lands in `BENCH_STREAMING.json`
-//!    on every CI run.
+//!    on every CI run;
+//! 7. **connections** — the multi-connection ingest tier: the replay is
+//!    dealt round-robin to N loopback TCP clients whose feeds the
+//!    accept loop fans into the engine through the MPSC channel and the
+//!    watermark frontier merge. One record per connection count (16 in
+//!    the CI smoke form; the full sweep reaches 128 concurrent
+//!    connections with a ≥ 50k events/s aggregate floor), asserting
+//!    every connection's events arrive, nothing is late, and the
+//!    frontier served exactly N connections — plus one bursty record
+//!    where each client paces itself with a seeded on/off
+//!    (`slim::datagen::bursty_offsets`) schedule, the uneven-rate
+//!    regime the frontier merge exists for.
 //!
 //! Every `BENCH_STREAMING` record printed by a run is also persisted to
 //! `BENCH_STREAMING.json` at the repo root (smoke and full runs alike),
@@ -365,6 +376,219 @@ fn run_ingest_phase(
     );
     assert_dirty_refresh(&engine, "ingest");
     events_per_sec
+}
+
+/// Phase 7: the multi-connection ingest tier over real loopback
+/// sockets. For each connection count the replay is dealt round-robin
+/// to that many TCP clients; each client's wire bytes are rendered
+/// before the clock starts, so the timed region is accept → parse →
+/// MPSC fan-in → frontier merge → engine, not CSV formatting. The
+/// reorder lag covers the whole event-time span, which makes every
+/// cross-connection interleaving deterministic: all events delivered,
+/// none late, regardless of how the clients race. Returns the
+/// aggregate rate at the highest connection count for the floor check.
+fn run_connections_phase(
+    log: &mut BenchLog,
+    events: &[slim::stream::StreamEvent],
+    sweep: &[usize],
+) -> f64 {
+    use std::io::Write;
+
+    use slim::stream::source::format_event_line;
+    use slim::stream::{DriveOptions, TcpIngestTier, TickPolicy, WireFormat};
+
+    const QUEUE_CAP: usize = 8_192;
+    // The canonical replay is time-sorted; a lag covering its span
+    // keeps the frontier below every event until the feeds finish.
+    let span = events.last().expect("non-empty workload").time.secs()
+        - events.first().expect("non-empty workload").time.secs();
+    let mut rate_at_max = 0.0;
+    for &conns in sweep {
+        // Pre-render each connection's feed.
+        let mut feeds: Vec<Vec<u8>> = vec![Vec::new(); conns];
+        for (i, ev) in events.iter().enumerate() {
+            let buf = &mut feeds[i % conns];
+            buf.extend_from_slice(format_event_line(ev).as_bytes());
+            buf.push(b'\n');
+        }
+        let tier = TcpIngestTier::bind("127.0.0.1:0", WireFormat::Csv, conns).expect("bind tier");
+        let addr = tier.local_addr().expect("tier addr");
+        let writers: Vec<std::thread::JoinHandle<()>> = feeds
+            .into_iter()
+            .map(|bytes| {
+                std::thread::spawn(move || {
+                    // With many simultaneous dials the accept backlog
+                    // can drop a SYN; retry until the tier answers.
+                    let mut stream = loop {
+                        match std::net::TcpStream::connect(addr) {
+                            Ok(s) => break s,
+                            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                        }
+                    };
+                    stream.write_all(&bytes).expect("write feed");
+                })
+            })
+            .collect();
+
+        let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+        let opts = DriveOptions {
+            queue_cap: QUEUE_CAP,
+            source_batch: 4_096,
+            tick_policy: TickPolicy::EveryN(20_000),
+            max_lag_secs: span + 1,
+            ..DriveOptions::default()
+        };
+        let start = Instant::now();
+        let report = engine.drive_fan_in(tier, &opts).expect("drive_fan_in");
+        engine.refresh();
+        let elapsed_s = start.elapsed().as_secs_f64();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let events_per_sec = report.events_delivered as f64 / elapsed_s;
+        println!(
+            "   connections: {conns:>4} feeds → {} events in {:.3}s → {:.0} events/s \
+             (queue high-watermark {}/{QUEUE_CAP}, producers blocked {:.1}ms, \
+             {} late, {} ticks)",
+            report.events_delivered,
+            elapsed_s,
+            events_per_sec,
+            report.queue_high_watermark,
+            report.blocked_producer_ns as f64 / 1e6,
+            report.late_events,
+            engine.stats().ticks,
+        );
+        log.emit(
+            JsonObj::new()
+                .str("bench", "streaming_connections")
+                .str("mode", "full_speed")
+                .u64("connections", conns as u64)
+                .u64("events", report.events_delivered)
+                .f64("elapsed_s", elapsed_s)
+                .f64("events_per_sec", events_per_sec)
+                .u64("queue_cap", QUEUE_CAP as u64)
+                .u64("queue_high_watermark", report.queue_high_watermark)
+                .u64("blocked_producer_ns", report.blocked_producer_ns)
+                .u64("late_events", report.late_events)
+                .u64("connections_served", report.connections)
+                .u64("malformed_lines", report.malformed_lines)
+                .u64("ticks", engine.stats().ticks),
+        );
+        assert_eq!(
+            report.events_delivered,
+            events.len() as u64,
+            "{conns} connections: every feed's events must arrive"
+        );
+        assert_eq!(report.late_events, 0, "the lag covers the whole span");
+        assert_eq!(report.connections, conns as u64);
+        assert_eq!(report.malformed_lines, 0, "the feeds are clean");
+        assert_eq!(report.idle_evictions, 0, "no feed ever idles here");
+        rate_at_max = events_per_sec;
+    }
+    rate_at_max
+}
+
+/// Phase 7b: the same tier under *bursty* feeds — each client paces
+/// itself with a seeded on/off schedule (`slim::datagen`), so the
+/// tier sees dense per-connection bursts separated by silences, at
+/// genuinely different duty cycles per connection. Structural record
+/// only (the clients deliberately sleep): everything still arrives,
+/// nothing is late, and the realized aggregate rate is reported for
+/// the trend file.
+fn run_bursty_connections(log: &mut BenchLog, events: &[slim::stream::StreamEvent], conns: usize) {
+    use std::io::Write;
+
+    use slim::datagen::{bursty_offsets, BurstyConfig};
+    use slim::stream::source::format_event_line;
+    use slim::stream::{DriveOptions, TcpIngestTier, TickPolicy, WireFormat};
+
+    let span = events.last().expect("non-empty workload").time.secs()
+        - events.first().expect("non-empty workload").time.secs();
+    let mut slices: Vec<Vec<String>> = vec![Vec::new(); conns];
+    for (i, ev) in events.iter().enumerate() {
+        slices[i % conns].push(format_event_line(ev));
+    }
+    let tier = TcpIngestTier::bind("127.0.0.1:0", WireFormat::Csv, conns).expect("bind tier");
+    let addr = tier.local_addr().expect("tier addr");
+    let writers: Vec<std::thread::JoinHandle<()>> = slices
+        .into_iter()
+        .enumerate()
+        .map(|(conn, lines)| {
+            std::thread::spawn(move || {
+                // Distinct seeds give each connection its own duty
+                // cycle — the uneven-rate mix the frontier must merge.
+                let schedule = bursty_offsets(
+                    &BurstyConfig {
+                        mean_on_secs: 0.02,
+                        mean_off_secs: 0.03,
+                        on_rate_events_per_sec: 100_000.0,
+                        seed: 42 ^ conn as u64,
+                    },
+                    lines.len(),
+                );
+                let mut stream = loop {
+                    match std::net::TcpStream::connect(addr) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                    }
+                };
+                let t0 = Instant::now();
+                for (line, off) in lines.iter().zip(&schedule) {
+                    let target = std::time::Duration::from_secs_f64(*off);
+                    if let Some(wait) = target.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    stream.write_all(line.as_bytes()).expect("write line");
+                    stream.write_all(b"\n").expect("write newline");
+                }
+            })
+        })
+        .collect();
+
+    let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+    let opts = DriveOptions {
+        queue_cap: 8_192,
+        source_batch: 4_096,
+        tick_policy: TickPolicy::EveryN(20_000),
+        max_lag_secs: span + 1,
+        ..DriveOptions::default()
+    };
+    let start = Instant::now();
+    let report = engine.drive_fan_in(tier, &opts).expect("drive_fan_in");
+    engine.refresh();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    let events_per_sec = report.events_delivered as f64 / elapsed_s;
+    println!(
+        "   connections: {conns:>4} bursty feeds → {} events in {:.3}s → {:.0} events/s \
+         ({} source stalls while feeds slept, {} late)",
+        report.events_delivered,
+        elapsed_s,
+        events_per_sec,
+        report.source_stalls,
+        report.late_events,
+    );
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_connections")
+            .str("mode", "bursty")
+            .u64("connections", conns as u64)
+            .u64("events", report.events_delivered)
+            .f64("elapsed_s", elapsed_s)
+            .f64("events_per_sec", events_per_sec)
+            .u64("late_events", report.late_events)
+            .u64("source_stalls", report.source_stalls)
+            .u64("connections_served", report.connections),
+    );
+    assert_eq!(
+        report.events_delivered,
+        events.len() as u64,
+        "bursty feeds: every event must arrive"
+    );
+    assert_eq!(report.late_events, 0, "the lag covers the whole span");
+    assert_eq!(report.connections, conns as u64);
 }
 
 /// What one skew-phase replay observed — everything that must be
@@ -749,6 +973,10 @@ fn main() {
         // The kernel microbench rides along in the smoke form so the
         // score_kernel_ns series is persisted on every CI run.
         run_kernel_phase(&mut log, &events);
+        // So does the multi-connection tier, at CI scale: 16 loopback
+        // feeds full speed, then 16 bursty feeds.
+        run_connections_phase(&mut log, &events, &[16]);
+        run_bursty_connections(&mut log, &events, 16);
         log.write();
         if lenient {
             println!(
@@ -1033,6 +1261,11 @@ fn main() {
     // Phase 6: the scoring-kernel microbench — arena vs legacy store,
     // bit-identity asserted, ns/window reported from score_kernel_ns.
     run_kernel_phase(&mut log, &events);
+
+    // Phase 7: the multi-connection ingest tier, swept up to 128
+    // concurrent loopback feeds, plus the bursty uneven-rate record.
+    let connections_rate = run_connections_phase(&mut log, &events, &[16, 64, 128]);
+    run_bursty_connections(&mut log, &events, 16);
     log.write();
 
     // `--smoke` / STREAM_BENCH_LENIENT turn the absolute floors into
@@ -1068,5 +1301,10 @@ fn main() {
         ingest_rate >= FLOOR_EVENTS_PER_SEC,
         "ingest regression: the front-end sustained {ingest_rate:.0} events/s, \
          below the {FLOOR_EVENTS_PER_SEC:.0} floor"
+    );
+    assert!(
+        connections_rate >= FLOOR_EVENTS_PER_SEC,
+        "fan-in regression: 128 connections sustained {connections_rate:.0} \
+         events/s aggregate, below the {FLOOR_EVENTS_PER_SEC:.0} floor"
     );
 }

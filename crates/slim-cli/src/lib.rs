@@ -65,6 +65,17 @@ pub struct StreamOptions {
     pub source: SourceKind,
     /// Line format of a `--source tcp` feed.
     pub wire: slim_stream::WireFormat,
+    /// `--source tcp` multi-connection mode: listen at the given
+    /// address and accept exactly this many client feeds, fanned into
+    /// the engine through the MPSC channel with per-connection
+    /// watermarks merged into a global frontier. `0` = classic
+    /// single-connection mode (dial the address as a client).
+    pub connections: usize,
+    /// Evict a connection from the watermark frontier after this many
+    /// seconds without an event, so one stalled client cannot freeze
+    /// event time for everyone (`0` = never evict; revived connections
+    /// re-merge, their too-old events are counted late).
+    pub idle_timeout_secs: u64,
     /// Explicit tick policy (`None` = `every:refresh_every`).
     pub tick_policy: Option<TickPolicy>,
     /// Bounded ingest queue capacity in events; a full queue blocks the
@@ -99,6 +110,8 @@ impl Default for StreamOptions {
             num_workers: 0,
             source: SourceKind::Csv,
             wire: slim_stream::WireFormat::Csv,
+            connections: 0,
+            idle_timeout_secs: 0,
             tick_policy: None,
             queue_cap: 65_536,
             max_lag_secs: 0,
@@ -188,6 +201,17 @@ OPTIONS:
     --wire FORMAT        --source tcp line format: csv
                          (side,entity,lat,lng,ts[,acc]) or jsonl (one
                          flat JSON object per line)       [default: csv]
+    --connections N      --source tcp multi-connection mode: listen at
+                         HOST:PORT and accept exactly N client feeds,
+                         fanned into the engine with per-connection
+                         watermarks merged into a global frontier;
+                         0 = dial HOST:PORT as a single client
+                                                          [default: 0]
+    --idle-timeout SECS  evict a connection from the watermark frontier
+                         after SECS without an event, so one stalled
+                         client cannot freeze event time; revived
+                         connections re-merge, their too-old events are
+                         counted late; 0 = wait forever   [default: 0]
     --tick-policy SPEC   when refresh ticks fire while draining the
                          source: every:N (ingested events), event-time:S
                          (stream seconds), or watermark:LAG (buffer out-
@@ -302,6 +326,20 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     "jsonl" => slim_stream::WireFormat::Jsonl,
                     other => return Err(format!("unknown wire format `{other}` (csv | jsonl)")),
                 };
+                want_stream = true;
+                i += 2;
+            }
+            "--connections" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.connections =
+                    v.parse().map_err(|_| format!("bad --connections `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--idle-timeout" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.idle_timeout_secs =
+                    v.parse().map_err(|_| format!("bad --idle-timeout `{v}`"))?;
                 want_stream = true;
                 i += 2;
             }
@@ -517,6 +555,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     if want_stream {
         if opts.demo.is_some() {
             return Err("--stream cannot be combined with --demo".to_string());
+        }
+        if stream_opts.connections > 0 && stream_opts.source != SourceKind::Tcp {
+            return Err("--connections requires --source tcp".to_string());
+        }
+        if stream_opts.idle_timeout_secs > 0 && stream_opts.connections == 0 {
+            return Err(
+                "--idle-timeout requires --connections (the frontier only evicts fan-in feeds)"
+                    .to_string(),
+            );
         }
         opts.stream = Some(stream_opts);
     }
@@ -749,8 +796,17 @@ fn run_stream(
             .unwrap_or(TickPolicy::EveryN(stream_opts.refresh_every)),
         max_lag_secs: stream_opts.max_lag_secs,
         metrics_every: stream_opts.metrics_every,
+        idle_timeout_secs: stream_opts.idle_timeout_secs,
         ..DriveOptions::default()
     };
+
+    /// Which drive loop the configured front-end needs: one source
+    /// behind the SPSC pump, or a multi-connection tier behind the
+    /// MPSC fan-in with frontier merge.
+    enum FrontEnd {
+        Single(Box<dyn slim_stream::StreamSource + Send>),
+        FanIn(slim_stream::TcpIngestTier),
+    }
 
     // Build the engine and the source. Replay-style sources know their
     // data up front, so the window origin is pinned to what the batch
@@ -758,61 +814,80 @@ fn run_stream(
     // bit-identically even when the earliest record belongs to a sparse
     // entity the min-records filter drops. A live TCP feed cannot be
     // pinned; its origin is the first event.
-    let (mut engine, source): (StreamEngine, Box<dyn slim_stream::StreamSource + Send>) =
-        match stream_opts.source {
-            SourceKind::Csv => {
-                let (left_ds, right_ds) = datasets.expect("csv streams load datasets first");
-                let engine =
-                    match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
-                        Some(origin) => StreamEngine::with_origin(cfg, origin)?,
-                        None => StreamEngine::new(cfg)?,
-                    };
-                let source = CsvReplaySource::from_datasets(left_ds, right_ds);
-                log(&format!("replaying {} events", source.events().len()));
-                (engine, Box::new(source))
-            }
-            SourceKind::Tcp => {
-                let addr = opts.tcp_addr.as_deref().expect("validated by parse_args");
+    let (mut engine, source): (StreamEngine, FrontEnd) = match stream_opts.source {
+        SourceKind::Csv => {
+            let (left_ds, right_ds) = datasets.expect("csv streams load datasets first");
+            let engine = match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
+                Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                None => StreamEngine::new(cfg)?,
+            };
+            let source = CsvReplaySource::from_datasets(left_ds, right_ds);
+            log(&format!("replaying {} events", source.events().len()));
+            (engine, FrontEnd::Single(Box::new(source)))
+        }
+        SourceKind::Tcp => {
+            let addr = opts.tcp_addr.as_deref().expect("validated by parse_args");
+            if stream_opts.connections > 0 {
+                // Multi-connection mode: the address is where *we*
+                // listen; exactly `connections` clients dial in and
+                // are merged through the watermark frontier.
+                let tier = slim_stream::TcpIngestTier::bind(
+                    addr,
+                    stream_opts.wire,
+                    stream_opts.connections,
+                )?;
+                log(&format!(
+                    "listening at {} for {} feed connections ({} wire)",
+                    tier.local_addr()?,
+                    tier.connections(),
+                    stream_opts.wire.label()
+                ));
+                (StreamEngine::new(cfg)?, FrontEnd::FanIn(tier))
+            } else {
                 log(&format!(
                     "tailing live feed at {addr} ({} wire)",
                     stream_opts.wire.label()
                 ));
                 (
                     StreamEngine::new(cfg)?,
-                    Box::new(TcpLineSource::connect_with(addr, stream_opts.wire)?),
+                    FrontEnd::Single(Box::new(TcpLineSource::connect_with(
+                        addr,
+                        stream_opts.wire,
+                    )?)),
                 )
             }
-            SourceKind::Synthetic => {
-                let scenario = slim_datagen::Scenario::cab(
-                    stream_opts.synthetic_scale,
-                    stream_opts.synthetic_seed,
-                );
-                let synthetic_sample = scenario.sample(0.5, stream_opts.synthetic_seed);
-                let engine = match batch_equivalent_origin(
-                    &synthetic_sample.left,
-                    &synthetic_sample.right,
-                    opts.config.min_records,
-                ) {
-                    Some(origin) => StreamEngine::with_origin(cfg, origin)?,
-                    None => StreamEngine::new(cfg)?,
-                };
-                let events = merge_datasets(&synthetic_sample.left, &synthetic_sample.right);
-                log(&format!(
-                    "feeding {} synthetic events{}",
-                    events.len(),
-                    if stream_opts.rate > 0.0 {
-                        format!(" at {} events/s", stream_opts.rate)
-                    } else {
-                        String::new()
-                    }
-                ));
-                let mut source = SyntheticSource::from_events(events);
+        }
+        SourceKind::Synthetic => {
+            let scenario = slim_datagen::Scenario::cab(
+                stream_opts.synthetic_scale,
+                stream_opts.synthetic_seed,
+            );
+            let synthetic_sample = scenario.sample(0.5, stream_opts.synthetic_seed);
+            let engine = match batch_equivalent_origin(
+                &synthetic_sample.left,
+                &synthetic_sample.right,
+                opts.config.min_records,
+            ) {
+                Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                None => StreamEngine::new(cfg)?,
+            };
+            let events = merge_datasets(&synthetic_sample.left, &synthetic_sample.right);
+            log(&format!(
+                "feeding {} synthetic events{}",
+                events.len(),
                 if stream_opts.rate > 0.0 {
-                    source = source.with_rate(stream_opts.rate);
+                    format!(" at {} events/s", stream_opts.rate)
+                } else {
+                    String::new()
                 }
-                (engine, Box::new(source))
+            ));
+            let mut source = SyntheticSource::from_events(events);
+            if stream_opts.rate > 0.0 {
+                source = source.with_rate(stream_opts.rate);
             }
-        };
+            (engine, FrontEnd::Single(Box::new(source)))
+        }
+    };
 
     // Telemetry outputs. The scrape endpoint binds before the drive so
     // it serves throughout; publishing the zeroed pre-drive snapshot
@@ -850,7 +925,10 @@ fn run_stream(
     }
 
     let start = std::time::Instant::now();
-    let report = engine.drive(source, &drive_opts)?;
+    let report = match source {
+        FrontEnd::Single(source) => engine.drive(source, &drive_opts)?,
+        FrontEnd::FanIn(tier) => engine.drive_fan_in(tier, &drive_opts)?,
+    };
     let replay_elapsed = start.elapsed();
     let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
     for update in &report.updates {
@@ -928,6 +1006,8 @@ fn run_stream(
          ({added} added / {removed} removed / {reweighted} reweighted updates)\n\
          ingest: queue high-watermark {} of {}, producer blocked {:.2} ms, \
          {} late events, {} source stalls\n\
+         conns: {} connections served, {} malformed lines skipped, \
+         {} idle evictions\n\
          pool: {} shards on {} workers, {} chunk steals, \
          worker busy max/min {:.2}/{:.2} ms\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
@@ -946,6 +1026,9 @@ fn run_stream(
         report.blocked_producer_ns as f64 / 1e6,
         report.late_events,
         report.source_stalls,
+        stats.connections_served,
+        stats.malformed_lines,
+        stats.idle_evictions,
         num_shards,
         num_workers,
         stats.steal_events,
@@ -1105,6 +1188,8 @@ mod tests {
             ("--shards", format!("{}", stream.num_shards)),
             ("--workers", format!("{}", stream.num_workers)),
             ("--metrics-every", format!("{}", stream.metrics_every)),
+            ("--connections", format!("{}", stream.connections)),
+            ("--idle-timeout", format!("{}", stream.idle_timeout_secs)),
         ];
         for (flag, value) in documented {
             // The flag's doc entry spans from its line to the next flag.
@@ -1222,6 +1307,7 @@ mod tests {
         // summary.
         for needle in [
             "edges patched",
+            "conns:",
             "matching region",
             "warm EM iters",
             "chunk steals",
@@ -1345,6 +1431,38 @@ mod tests {
         // The tcp wire format defaults to the CSV line wire.
         assert!(USAGE.contains("--wire FORMAT"));
         assert_eq!(stream.wire, slim_stream::WireFormat::Csv);
+        // Multi-connection mode is opt-in; idle eviction is opt-in.
+        assert!(USAGE.contains("--connections N"));
+        assert_eq!(stream.connections, 0);
+        assert!(USAGE.contains("--idle-timeout SECS"));
+        assert_eq!(stream.idle_timeout_secs, 0);
+    }
+
+    #[test]
+    fn connection_flags_parse() {
+        // --connections implies --stream; only the tcp source listens.
+        let o = parse(&["--source", "tcp", "127.0.0.1:0", "--connections", "8"]).unwrap();
+        assert_eq!(o.stream.unwrap().connections, 8);
+        let o = parse(&[
+            "--source",
+            "tcp",
+            "127.0.0.1:0",
+            "--connections",
+            "4",
+            "--idle-timeout",
+            "30",
+        ])
+        .unwrap();
+        let s = o.stream.unwrap();
+        assert_eq!((s.connections, s.idle_timeout_secs), (4, 30));
+        assert!(parse(&["--source", "tcp", "x:1", "--connections", "nope"]).is_err());
+        assert!(parse(&["--source", "tcp", "x:1", "--idle-timeout", "-3"]).is_err());
+        // A fan-in over a CSV replay makes no sense.
+        let err = parse(&["a.csv", "b.csv", "--connections", "4"]).unwrap_err();
+        assert!(err.contains("requires --source tcp"), "{err}");
+        // Idle eviction only exists on the fan-in frontier.
+        let err = parse(&["--source", "tcp", "127.0.0.1:0", "--idle-timeout", "30"]).unwrap_err();
+        assert!(err.contains("requires --connections"), "{err}");
     }
 
     /// `--source tcp` end to end over a loopback socket: a listener
@@ -1403,6 +1521,103 @@ mod tests {
         assert!(
             links.lines().count() > 1,
             "live feed produced no links:\n{summary}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--source tcp --connections 3` end to end: the CLI listens, three
+    /// loopback clients each deliver a round-robin slice of the demo
+    /// events (one of them salted with garbage lines), the fan-in
+    /// frontier merges their watermarks, and the summary's `conns:` line
+    /// reports the served connection and malformed-line counts.
+    #[test]
+    fn multi_connection_tcp_end_to_end() {
+        use std::io::Write;
+
+        let scenario = slim_datagen::Scenario::cab(0.04, 9);
+        let sample = scenario.sample(0.5, 9);
+        let events = slim_stream::merge_datasets(&sample.left, &sample.right);
+        assert!(events.len() > 1_000, "fixture too small");
+        // A lag covering the whole event-time span makes every
+        // cross-connection interleaving deterministic: nothing is late.
+        let span = events.last().unwrap().time.secs() - events.first().unwrap().time.secs();
+
+        // Reserve a port by binding :0 and releasing it; nothing else
+        // in the test process binds ports in between.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().unwrap().to_string()
+        };
+
+        let mut feeders = Vec::new();
+        for conn in 0..3usize {
+            let addr = addr.clone();
+            let slice: Vec<slim_stream::StreamEvent> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 == conn)
+                .map(|(_, ev)| *ev)
+                .collect();
+            feeders.push(std::thread::spawn(move || {
+                // The CLI binds after this thread starts: dial until the
+                // listener is up.
+                let mut stream = loop {
+                    match std::net::TcpStream::connect(&addr) {
+                        Ok(s) => break s,
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                };
+                let mut w = std::io::BufWriter::new(&mut stream);
+                for (i, ev) in slice.iter().enumerate() {
+                    if conn == 0 && i % 500 == 0 {
+                        writeln!(w, "not an event at all").unwrap();
+                    }
+                    writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+                }
+                slice.len()
+            }));
+        }
+
+        let dir = std::env::temp_dir().join("slim_cli_multi_conn_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("links.csv");
+        let opts = CliOptions {
+            tcp_addr: Some(addr),
+            stream: Some(StreamOptions {
+                source: SourceKind::Tcp,
+                connections: 3,
+                refresh_every: 2_000,
+                max_lag_secs: span + 1,
+                num_shards: 2,
+                queue_cap: 512,
+                ..StreamOptions::default()
+            }),
+            out: Some(out.clone()),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        let fed: usize = feeders.into_iter().map(|f| f.join().expect("feeder")).sum();
+
+        assert_eq!(fed, events.len());
+        assert!(
+            summary.contains(&format!("stream: {fed} events")),
+            "every connection's events must arrive:\n{summary}"
+        );
+        assert!(summary.contains("via tcp source"), "{summary}");
+        let garbage = events.len().div_ceil(3).div_ceil(500);
+        assert!(
+            summary.contains(&format!(
+                "conns: 3 connections served, {garbage} malformed lines skipped, \
+                 0 idle evictions"
+            )),
+            "{summary}"
+        );
+        assert!(summary.contains(" 0 late events"), "{summary}");
+        let links = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            links.lines().count() > 1,
+            "fan-in feed produced no links:\n{summary}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

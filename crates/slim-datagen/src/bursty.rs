@@ -1,0 +1,188 @@
+//! Bursty (on/off) arrival schedules for uneven per-connection rates.
+//!
+//! The Cab/SM scenarios and the Zipf workload shape *which entities*
+//! are hot; this module shapes *when a feed talks*. Real ingest
+//! connections are not smooth: a vehicle uploads a buffered trace when
+//! it regains coverage, a check-in service flushes batches, a sensor
+//! sleeps between duty cycles. The resulting regime is an on/off
+//! process — dense bursts at the wire rate separated by silent gaps —
+//! which is exactly what stresses a multi-connection ingest tier: the
+//! watermark frontier must wait out each connection's silences without
+//! stalling the stream, and per-connection backpressure arrives in
+//! spikes rather than as steady load.
+//!
+//! [`bursty_offsets`] turns a config into the delivery-time offset of
+//! each of a connection's events: exponentially distributed ON phases
+//! delivering at a fixed wire rate, alternating with exponentially
+//! distributed OFF silences. Different seeds give different
+//! connections genuinely different duty cycles — the uneven-rate mix
+//! `benches/streaming.rs` drives through the fan-in tier.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::rng::exponential;
+
+/// Configuration of [`bursty_offsets`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyConfig {
+    /// Mean length of an ON phase in seconds (exponentially
+    /// distributed; each phase delivers events back to back at
+    /// `on_rate_events_per_sec`).
+    pub mean_on_secs: f64,
+    /// Mean length of an OFF silence in seconds (exponentially
+    /// distributed). `0` = no silences: the schedule degenerates to a
+    /// steady feed at the ON rate.
+    pub mean_off_secs: f64,
+    /// Delivery rate *while ON*, in events per second. The long-run
+    /// mean rate is this times the duty cycle
+    /// `mean_on / (mean_on + mean_off)`.
+    pub on_rate_events_per_sec: f64,
+    /// RNG seed. Per-connection schedules should derive distinct seeds
+    /// (e.g. `base ^ conn`) so the bursts of different feeds do not
+    /// line up.
+    pub seed: u64,
+}
+
+impl Default for BurstyConfig {
+    fn default() -> Self {
+        Self {
+            mean_on_secs: 2.0,
+            mean_off_secs: 8.0,
+            on_rate_events_per_sec: 5_000.0,
+            seed: 42,
+        }
+    }
+}
+
+impl BurstyConfig {
+    /// The long-run mean delivery rate in events/s: the ON rate scaled
+    /// by the duty cycle.
+    pub fn mean_rate(&self) -> f64 {
+        self.on_rate_events_per_sec * self.mean_on_secs / (self.mean_on_secs + self.mean_off_secs)
+    }
+}
+
+/// The delivery-time offset, in seconds from the connection's start,
+/// of each of `n` events under the on/off process: within an ON phase
+/// events are spaced `1 / on_rate` apart; when the phase's
+/// exponentially drawn length is spent, the clock jumps over an
+/// exponentially drawn OFF silence and the next burst begins. Offsets
+/// are non-decreasing, and the whole schedule is a pure function of
+/// the config (seed included).
+///
+/// # Panics
+/// Panics on a non-positive ON duration or rate, or a negative OFF
+/// duration.
+pub fn bursty_offsets(cfg: &BurstyConfig, n: usize) -> Vec<f64> {
+    assert!(cfg.mean_on_secs > 0.0, "mean ON duration must be positive");
+    assert!(
+        cfg.mean_off_secs >= 0.0,
+        "mean OFF duration must be non-negative"
+    );
+    assert!(cfg.on_rate_events_per_sec > 0.0, "ON rate must be positive");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB0_0575);
+    let spacing = 1.0 / cfg.on_rate_events_per_sec;
+    let mut offsets = Vec::with_capacity(n);
+    let mut now = 0.0f64;
+    let mut phase_left = exponential(&mut rng, cfg.mean_on_secs);
+    while offsets.len() < n {
+        if phase_left <= 0.0 {
+            if cfg.mean_off_secs > 0.0 {
+                now += exponential(&mut rng, cfg.mean_off_secs);
+            }
+            phase_left = exponential(&mut rng, cfg.mean_on_secs);
+            continue;
+        }
+        offsets.push(now);
+        now += spacing;
+        phase_left -= spacing;
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BurstyConfig {
+        BurstyConfig {
+            mean_on_secs: 1.0,
+            mean_off_secs: 5.0,
+            on_rate_events_per_sec: 100.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_deterministic() {
+        let a = bursty_offsets(&cfg(), 2_000);
+        assert_eq!(a.len(), 2_000);
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must not go back"
+        );
+        let b = bursty_offsets(&cfg(), 2_000);
+        assert_eq!(a, b, "same config, same schedule — bit for bit");
+        let c = bursty_offsets(&BurstyConfig { seed: 8, ..cfg() }, 2_000);
+        assert_ne!(a, c, "a different seed must move the bursts");
+    }
+
+    #[test]
+    fn silences_separate_wire_rate_bursts() {
+        let c = cfg();
+        let offs = bursty_offsets(&c, 5_000);
+        let gaps: Vec<f64> = offs.windows(2).map(|w| w[1] - w[0]).collect();
+        let spacing = 1.0 / c.on_rate_events_per_sec;
+        // Within a burst, consecutive events sit at exactly the wire
+        // spacing; most gaps are intra-burst.
+        let intra = gaps.iter().filter(|g| (**g - spacing).abs() < 1e-9).count();
+        assert!(
+            intra > gaps.len() / 2,
+            "bursts should dominate: {intra} of {}",
+            gaps.len()
+        );
+        // The silences are orders of magnitude longer than the spacing.
+        let longest = gaps.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            longest > 50.0 * spacing,
+            "expected OFF gaps ≫ wire spacing, longest {longest}"
+        );
+        // The realized mean rate tracks the duty-cycled prediction
+        // (loose band: exponential phases are noisy).
+        let realized = offs.len() as f64 / offs.last().unwrap();
+        let predicted = c.mean_rate();
+        assert!(
+            (0.3..=3.0).contains(&(realized / predicted)),
+            "realized {realized} events/s vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn zero_off_time_is_a_steady_feed() {
+        let c = BurstyConfig {
+            mean_off_secs: 0.0,
+            ..cfg()
+        };
+        let offs = bursty_offsets(&c, 1_000);
+        let spacing = 1.0 / c.on_rate_events_per_sec;
+        for (i, off) in offs.iter().enumerate() {
+            assert!(
+                (off - i as f64 * spacing).abs() < 1e-6,
+                "event {i} at {off}, expected steady spacing"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ON rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = bursty_offsets(
+            &BurstyConfig {
+                on_rate_events_per_sec: 0.0,
+                ..BurstyConfig::default()
+            },
+            10,
+        );
+    }
+}

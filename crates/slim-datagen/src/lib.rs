@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bursty;
 pub mod checkin;
 pub mod rng;
 pub mod sampling;
@@ -27,6 +28,7 @@ pub mod taxi;
 pub mod trajectory;
 pub mod zipf;
 
+pub use bursty::{bursty_offsets, BurstyConfig};
 pub use checkin::{checkin_world, CheckinConfig};
 pub use sampling::{sample_two_views, SamplingMode, TwoViewSample, ViewConfig};
 pub use scenario::Scenario;

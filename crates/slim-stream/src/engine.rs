@@ -96,10 +96,11 @@ pub enum LinkUpdate {
 }
 
 /// Engine work counters. Every counter except
-/// [`StreamStats::arena_compactions`] and the scheduling telemetry at
-/// the bottom ([`StreamStats::steal_events`],
+/// [`StreamStats::arena_compactions`], the scheduling telemetry
+/// ([`StreamStats::steal_events`],
 /// [`StreamStats::max_worker_busy_ns`],
-/// [`StreamStats::min_worker_busy_ns`]) is defined over per-entity or
+/// [`StreamStats::min_worker_busy_ns`]), and the stall-timing-dependent
+/// [`StreamStats::idle_evictions`] is defined over per-entity or
 /// per-pair events (or deterministic barrier merges), so the values are
 /// identical for any shard count, worker count, and steal schedule on
 /// the same event stream. The scheduling telemetry reports *how* the
@@ -189,6 +190,20 @@ pub struct StreamStats {
     /// until every worker has executed at least one chunk. Scheduling
     /// telemetry, excluded from equality.
     pub min_worker_busy_ns: u64,
+    /// Wire lines that failed to parse on a lenient (multi-connection)
+    /// ingest path and were counted + skipped instead of killing the
+    /// connection. A pure function of the fed bytes, so included in
+    /// equality.
+    pub malformed_lines: u64,
+    /// Connections that completed the fan-in protocol (joined the
+    /// frontier) across [`StreamEngine::drive_fan_in`] runs. A function
+    /// of the scripted/accepted connection set, so included in equality.
+    pub connections_served: u64,
+    /// Connections evicted from the frontier merge for exceeding the
+    /// idle timeout. Depends on wall-clock arrival timing (which thread
+    /// stalled how long), so — like the scheduling telemetry —
+    /// **excluded from `PartialEq`**.
+    pub idle_evictions: u64,
 }
 
 impl PartialEq for StreamStats {
@@ -215,7 +230,10 @@ impl PartialEq for StreamStats {
             && self.late_events == other.late_events
             && self.demoted_entities == other.demoted_entities
             && self.demoted_records == other.demoted_records
+            && self.malformed_lines == other.malformed_lines
+            && self.connections_served == other.connections_served
         // arena_compactions deliberately absent: shard-partition-dependent.
+        // idle_evictions deliberately absent: stall-timing-dependent.
     }
 }
 
@@ -306,6 +324,10 @@ pub struct StreamEngine {
     events_since_refresh: usize,
     stats: StreamStats,
     scoring_stats: LinkageStats,
+    /// Connections currently merged into the fan-in frontier (a gauge:
+    /// rises on Join, falls on Leave/eviction, `0` outside
+    /// [`StreamEngine::drive_fan_in`] runs).
+    live_connections: u64,
     /// Engine-thread spans, event latency, and the snapshot plumbing.
     tel: EngineTelemetry,
 }
@@ -344,6 +366,7 @@ impl StreamEngine {
             events_since_refresh: 0,
             stats: StreamStats::default(),
             scoring_stats: LinkageStats::default(),
+            live_connections: 0,
         })
     }
 
@@ -494,6 +517,56 @@ impl StreamEngine {
         self.stats.late_events += late;
     }
 
+    /// Folds one fan-in run's connection counters into the stats.
+    pub(crate) fn absorb_fan_in_report(
+        &mut self,
+        connections: u64,
+        malformed_lines: u64,
+        idle_evictions: u64,
+    ) {
+        self.stats.connections_served += connections;
+        self.stats.malformed_lines += malformed_lines;
+        self.stats.idle_evictions += idle_evictions;
+    }
+
+    /// Updates the `live_connections` gauge (connections currently
+    /// merged into the fan-in frontier). Maintained by the fan-in pump
+    /// as connections join and leave; returns to `0` when a drive ends.
+    pub(crate) fn set_live_connections(&mut self, live: u64) {
+        self.live_connections = live;
+    }
+
+    /// Records one per-connection frontier-lag observation (how far a
+    /// connection's watermark trails the leader's, in event-time
+    /// seconds — a pure function of the fed events, so the histogram is
+    /// reproducible run to run). No-op with telemetry disabled.
+    pub(crate) fn record_frontier_lag(&mut self, lag_secs: u64) {
+        if self.tel.enabled {
+            self.tel.frontier_lag.record(lag_secs);
+        }
+    }
+
+    /// The per-connection frontier-lag histogram (event-time seconds a
+    /// connection's watermark trailed the frontier leader at each
+    /// advance), recorded by [`StreamEngine::drive_fan_in`].
+    pub fn frontier_lag_histogram(&self) -> Histogram {
+        self.tel.frontier_lag.clone()
+    }
+
+    /// Drains a multi-connection fan-in tier to EOF: every connection
+    /// produces into one bounded MPSC channel (Join/Event/Leave
+    /// protocol), per-connection watermarks are merged into the global
+    /// min-frontier by [`crate::source::ConnectionFrontier`], and the
+    /// frontier governs reorder-buffer release and `Watermark` ticks.
+    /// The multi-producer sibling of [`StreamEngine::drive`].
+    pub fn drive_fan_in<F: crate::source::FanIn + Send>(
+        &mut self,
+        fan_in: F,
+        opts: &crate::source::DriveOptions,
+    ) -> Result<crate::source::IngestReport, String> {
+        crate::source::pump::run_fan_in(self, fan_in, opts)
+    }
+
     /// Swaps the telemetry clock everywhere spans are timed: the
     /// engine-thread barrier spans, the pool's per-chunk spans and busy
     /// totals, event latency, and snapshot timestamps. Substituting a
@@ -604,13 +677,18 @@ impl StreamEngine {
         reg.counter_set("demoted_records", s.demoted_records);
         reg.counter_set("arena_compactions", s.arena_compactions);
         reg.counter_set("steal_events", s.steal_events);
+        reg.counter_set("malformed_lines", s.malformed_lines);
+        reg.counter_set("connections_served", s.connections_served);
+        reg.counter_set("idle_evictions", s.idle_evictions);
         reg.gauge_set("links", self.links.len() as f64);
         reg.gauge_set("live_edges", self.num_live_edges() as f64);
         reg.gauge_set("candidate_pairs", self.num_candidate_pairs() as f64);
+        reg.gauge_set("live_connections", self.live_connections as f64);
         for (name, h) in self.phase_histograms() {
             reg.histogram_set(name, h);
         }
         reg.histogram_set("event_latency", self.tel.event_latency.clone());
+        reg.histogram_set("frontier_lag", self.tel.frontier_lag.clone());
         reg.histogram_set("worker_busy", self.pool.busy_histogram());
         reg
     }
@@ -1436,16 +1514,20 @@ mod tests {
             steal_events: _,
             max_worker_busy_ns: _,
             min_worker_busy_ns: _,
+            malformed_lines: _,
+            connections_served: _,
+            idle_evictions: _,
         } = base;
         let excluded = [
             "arena_compactions",
             "steal_events",
             "max_worker_busy_ns",
             "min_worker_busy_ns",
+            "idle_evictions",
         ];
         // One probe per field of the inventory above, same order.
         type Probe = (&'static str, fn(&mut StreamStats));
-        let fields: [Probe; 20] = [
+        let fields: [Probe; 23] = [
             ("events", |s| s.events += 1),
             ("late_dropped", |s| s.late_dropped += 1),
             ("ticks", |s| s.ticks += 1),
@@ -1466,6 +1548,9 @@ mod tests {
             ("steal_events", |s| s.steal_events += 1),
             ("max_worker_busy_ns", |s| s.max_worker_busy_ns += 1),
             ("min_worker_busy_ns", |s| s.min_worker_busy_ns += 1),
+            ("malformed_lines", |s| s.malformed_lines += 1),
+            ("connections_served", |s| s.connections_served += 1),
+            ("idle_evictions", |s| s.idle_evictions += 1),
         ];
         for (name, bump) in fields {
             let mut probe = base;

@@ -142,8 +142,8 @@ pub use config::{StorageMode, StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};
 pub use source::{
-    CsvReplaySource, DriveOptions, IngestReport, StreamSource, SyntheticSource, TcpLineSource,
-    TickPolicy, WireFormat,
+    ConnMessage, ConnectionFrontier, CsvReplaySource, DriveOptions, FanIn, IngestReport,
+    StreamSource, SyntheticSource, TcpIngestTier, TcpLineSource, TickPolicy, WireFormat,
 };
 pub use steal::PoolMode;
 pub use telemetry::PhaseId;

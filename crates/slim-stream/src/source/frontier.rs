@@ -1,0 +1,381 @@
+//! The merged event-time frontier of a multi-connection ingest tier.
+//!
+//! Every live connection carries its own watermark (the newest event
+//! time it has delivered, minus the lag bound); the **global frontier**
+//! is the minimum watermark over the live connections — the engine may
+//! only consume events strictly below it, because any live connection
+//! could still deliver an event down to its own watermark. The merge is
+//! maintained *incrementally* under small per-connection deltas
+//! (advance / join / leave / idle-eviction) instead of recomputed over
+//! the whole set — the same delta-localized shape as the FO+MOD
+//! update machinery the design borrows from: an ordered multiset of
+//! active watermarks makes every mutation `O(log n)` and the min a
+//! first-element read.
+//!
+//! Three policy decisions keep a fleet of real clients from freezing
+//! event time:
+//!
+//! - **The frontier is monotone.** A connection joining with an old
+//!   watermark can never pull the emitted frontier backwards; its
+//!   too-old events are counted late instead.
+//! - **A joined connection holds the frontier until its first event.**
+//!   Otherwise the gap between `accept()` and the first delivered line
+//!   would let the other connections seal windows the newcomer is about
+//!   to fill.
+//! - **Idle connections are evicted from the merge.** A stalled client
+//!   (no traffic for `idle_timeout_ns`) stops holding the minimum; if
+//!   it revives, it re-enters the merge at its new watermark and any
+//!   events now below the frontier are late — counted, never silently
+//!   lost.
+//!
+//! The struct is single-threaded and clock-free: callers supply
+//! `now_ns` readings, which is what makes every decision replayable
+//! under [`crate::testing::VirtualClock`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use slim_core::Timestamp;
+
+/// Per-connection record of the merge.
+#[derive(Debug)]
+struct ConnState {
+    /// Newest watermark this connection advanced to (`None` until its
+    /// first event).
+    watermark: Option<Timestamp>,
+    /// `now_ns` of the last advance (or the join).
+    last_seen_ns: u64,
+    /// Evicted from the merge for idleness; revives on the next
+    /// advance.
+    idle: bool,
+}
+
+/// Incremental min-watermark merge over live connections. See the
+/// module docs for the policy; see [`crate::StreamEngine::drive_fan_in`]
+/// for the consumer loop that owns one.
+#[derive(Debug)]
+pub struct ConnectionFrontier {
+    /// Idle-eviction bound in clock nanoseconds (`0` = never evict).
+    idle_timeout_ns: u64,
+    conns: HashMap<u64, ConnState>,
+    /// Ordered multiset of the watermarks participating in the merge
+    /// (live, non-idle, watermarked connections), keyed unique by
+    /// connection id.
+    active: BTreeSet<(Timestamp, u64)>,
+    /// Live non-idle connections that have no watermark yet — each one
+    /// holds the frontier in place.
+    unwatermarked: usize,
+    /// The monotone emitted frontier.
+    emitted: Option<Timestamp>,
+    /// The leader: the highest watermark any connection reached (for
+    /// per-connection lag observation).
+    max_watermark: Option<Timestamp>,
+    /// Most connections ever live at once.
+    peak_live: usize,
+    /// Total connections that ever joined.
+    joined: u64,
+    /// Idle evictions performed.
+    idle_evictions: u64,
+}
+
+impl ConnectionFrontier {
+    /// A merge evicting connections idle for longer than
+    /// `idle_timeout_ns` (`0` disables eviction).
+    pub fn new(idle_timeout_ns: u64) -> Self {
+        Self {
+            idle_timeout_ns,
+            conns: HashMap::new(),
+            active: BTreeSet::new(),
+            unwatermarked: 0,
+            emitted: None,
+            max_watermark: None,
+            peak_live: 0,
+            joined: 0,
+            idle_evictions: 0,
+        }
+    }
+
+    /// Recomputes the emitted frontier after a delta. `O(1)`: the
+    /// candidate minimum is the first element of the ordered set, and
+    /// any unwatermarked connection vetoes advancement entirely.
+    fn refresh(&mut self) {
+        if self.unwatermarked > 0 {
+            return;
+        }
+        if let Some(&(min, _)) = self.active.first() {
+            self.emitted = Some(self.emitted.map_or(min, |e| e.max(min)));
+        }
+    }
+
+    /// Registers a connection. It holds the frontier until its first
+    /// [`ConnectionFrontier::advance`] (or its idle eviction).
+    pub fn join(&mut self, conn: u64, now_ns: u64) {
+        let prev = self.conns.insert(
+            conn,
+            ConnState {
+                watermark: None,
+                last_seen_ns: now_ns,
+                idle: false,
+            },
+        );
+        debug_assert!(prev.is_none(), "connection {conn} joined twice");
+        self.unwatermarked += 1;
+        self.joined += 1;
+        self.peak_live = self.peak_live.max(self.conns.len());
+    }
+
+    /// Advances a connection's watermark (monotone per connection; a
+    /// lower candidate is ignored) and re-merges. An idle connection
+    /// revives here. Returns the connection's lag behind the leader in
+    /// event-time seconds — the per-connection frontier-lag telemetry
+    /// observation — or `None` for an unknown connection.
+    pub fn advance(&mut self, conn: u64, watermark: Timestamp, now_ns: u64) -> Option<u64> {
+        let state = self.conns.get_mut(&conn)?;
+        state.last_seen_ns = now_ns;
+        let was_merged = !state.idle && state.watermark.is_some();
+        if state.idle {
+            state.idle = false;
+        } else if state.watermark.is_none() {
+            self.unwatermarked -= 1;
+        }
+        let new_wm = state.watermark.map_or(watermark, |w| w.max(watermark));
+        if was_merged {
+            let old = state.watermark.expect("merged implies watermarked");
+            if new_wm > old {
+                self.active.remove(&(old, conn));
+                self.active.insert((new_wm, conn));
+            }
+        } else {
+            self.active.insert((new_wm, conn));
+        }
+        state.watermark = Some(new_wm);
+        self.max_watermark = Some(self.max_watermark.map_or(new_wm, |m| m.max(new_wm)));
+        self.refresh();
+        let lag = self
+            .max_watermark
+            .expect("set above")
+            .secs()
+            .saturating_sub(new_wm.secs());
+        Some(lag.max(0) as u64)
+    }
+
+    /// Removes a connection (EOF, error, or death — churn is all the
+    /// same to the merge); the minimum may rise.
+    pub fn leave(&mut self, conn: u64) {
+        let Some(state) = self.conns.remove(&conn) else {
+            return;
+        };
+        match state.watermark {
+            Some(wm) if !state.idle => {
+                self.active.remove(&(wm, conn));
+            }
+            None if !state.idle => self.unwatermarked -= 1,
+            _ => {}
+        }
+        self.refresh();
+    }
+
+    /// Evicts every non-idle connection whose last activity is more
+    /// than the idle timeout before `now_ns` from the merge (they stay
+    /// live and revive on their next advance). Returns how many were
+    /// evicted. No-op when the timeout is `0`.
+    pub fn evict_idle(&mut self, now_ns: u64) -> usize {
+        if self.idle_timeout_ns == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        for (&conn, state) in &mut self.conns {
+            if !state.idle && now_ns.saturating_sub(state.last_seen_ns) > self.idle_timeout_ns {
+                state.idle = true;
+                match state.watermark {
+                    Some(wm) => {
+                        self.active.remove(&(wm, conn));
+                    }
+                    None => self.unwatermarked -= 1,
+                }
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.idle_evictions += evicted as u64;
+            self.refresh();
+        }
+        evicted
+    }
+
+    /// The monotone merged frontier (`None` until every live connection
+    /// has delivered its first event at least once).
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.emitted
+    }
+
+    /// Whether `time` is strictly below the emitted frontier — the
+    /// fan-in lateness test.
+    pub fn is_late(&self, time: Timestamp) -> bool {
+        self.emitted.is_some_and(|f| time < f)
+    }
+
+    /// Live connections right now (idle ones included — they are
+    /// connected, just not merged).
+    pub fn live(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Live connections currently evicted from the merge for idleness.
+    pub fn idle(&self) -> usize {
+        self.conns.values().filter(|s| s.idle).count()
+    }
+
+    /// Most connections ever live at once.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total connections that ever joined.
+    pub fn joined(&self) -> u64 {
+        self.joined
+    }
+
+    /// Idle evictions performed over the merge's lifetime.
+    pub fn idle_evictions(&self) -> u64 {
+        self.idle_evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: i64) -> Timestamp {
+        Timestamp(t)
+    }
+
+    #[test]
+    fn frontier_is_the_min_over_live_connections() {
+        let mut f = ConnectionFrontier::new(0);
+        assert_eq!(f.frontier(), None);
+        f.join(1, 0);
+        f.join(2, 0);
+        f.advance(1, ts(100), 0);
+        // Conn 2 has no watermark yet: the frontier is held.
+        assert_eq!(f.frontier(), None);
+        assert_eq!(f.advance(2, ts(40), 0), Some(60), "lag behind leader");
+        assert_eq!(f.frontier(), Some(ts(40)));
+        f.advance(2, ts(70), 0);
+        assert_eq!(f.frontier(), Some(ts(70)));
+        // The faster connection advancing does not move the min.
+        f.advance(1, ts(500), 0);
+        assert_eq!(f.frontier(), Some(ts(70)));
+        assert_eq!(f.live(), 2);
+        assert_eq!(f.joined(), 2);
+    }
+
+    #[test]
+    fn leave_releases_the_hold_and_raises_the_min() {
+        let mut f = ConnectionFrontier::new(0);
+        f.join(1, 0);
+        f.join(2, 0);
+        f.advance(1, ts(100), 0);
+        f.advance(2, ts(30), 0);
+        assert_eq!(f.frontier(), Some(ts(30)));
+        f.leave(2);
+        assert_eq!(f.frontier(), Some(ts(100)), "min rises to the survivor");
+        f.leave(1);
+        // No live watermarks left: the emitted frontier stays put.
+        assert_eq!(f.frontier(), Some(ts(100)));
+        assert_eq!(f.live(), 0);
+    }
+
+    #[test]
+    fn frontier_is_monotone_under_late_joins() {
+        let mut f = ConnectionFrontier::new(0);
+        f.join(1, 0);
+        f.advance(1, ts(200), 0);
+        assert_eq!(f.frontier(), Some(ts(200)));
+        // A newcomer holds further advancement but cannot rewind.
+        f.join(2, 0);
+        f.advance(1, ts(300), 0);
+        assert_eq!(f.frontier(), Some(ts(200)), "held by the newcomer");
+        f.advance(2, ts(50), 0);
+        assert_eq!(f.frontier(), Some(ts(200)), "never backwards");
+        assert!(f.is_late(ts(199)));
+        assert!(!f.is_late(ts(200)), "at the frontier is not late");
+        f.advance(2, ts(250), 0);
+        assert_eq!(f.frontier(), Some(ts(250)));
+    }
+
+    #[test]
+    fn per_connection_watermarks_are_monotone() {
+        let mut f = ConnectionFrontier::new(0);
+        f.join(1, 0);
+        f.advance(1, ts(100), 0);
+        // A stale lower candidate (bounded disorder within one
+        // connection) must not rewind its watermark.
+        f.advance(1, ts(60), 0);
+        assert_eq!(f.frontier(), Some(ts(100)));
+    }
+
+    /// The stalled-client policy end to end, on a virtual timeline: an
+    /// idle connection is evicted from the merge (frontier resumes),
+    /// and revives at its next advance.
+    #[test]
+    fn idle_eviction_unfreezes_and_revival_re_merges() {
+        const TIMEOUT: u64 = 1_000;
+        let mut f = ConnectionFrontier::new(TIMEOUT);
+        f.join(1, 0);
+        f.join(2, 0);
+        f.advance(1, ts(100), 0);
+        f.advance(2, ts(90), 0);
+        assert_eq!(f.frontier(), Some(ts(90)));
+        // Conn 2 goes quiet while conn 1 keeps advancing.
+        f.advance(1, ts(400), 500);
+        assert_eq!(f.frontier(), Some(ts(90)), "stalled conn holds the min");
+        assert_eq!(f.evict_idle(900), 0, "not yet past the timeout");
+        assert_eq!(f.evict_idle(1_200), 1, "conn 2 idle for 1_200 ns");
+        assert_eq!(f.frontier(), Some(ts(400)), "frontier resumed");
+        assert_eq!(f.idle(), 1);
+        assert_eq!(f.live(), 2, "idle is still connected");
+        assert_eq!(f.idle_evictions(), 1);
+        // Revival: the connection re-enters the merge at its new
+        // watermark; its pre-frontier events are late.
+        assert!(f.is_late(ts(300)));
+        f.advance(2, ts(350), 1_300);
+        assert_eq!(f.idle(), 0);
+        assert_eq!(f.frontier(), Some(ts(400)), "monotone through revival");
+        f.advance(2, ts(600), 1_400);
+        f.advance(1, ts(700), 1_400);
+        assert_eq!(f.frontier(), Some(ts(600)), "revived conn merges again");
+    }
+
+    #[test]
+    fn unwatermarked_idle_connection_stops_holding() {
+        let mut f = ConnectionFrontier::new(100);
+        f.join(1, 0);
+        f.join(2, 0);
+        // Conn 1 stays fresh (seen at 450); conn 2 never delivers.
+        f.advance(1, ts(50), 450);
+        assert_eq!(f.frontier(), None, "held by the silent joiner");
+        assert_eq!(f.evict_idle(500), 1, "only the silent joiner is idle");
+        assert_eq!(f.frontier(), Some(ts(50)), "hold released");
+    }
+
+    #[test]
+    fn zero_timeout_never_evicts() {
+        let mut f = ConnectionFrontier::new(0);
+        f.join(1, 0);
+        f.advance(1, ts(10), 0);
+        assert_eq!(f.evict_idle(u64::MAX), 0);
+        assert_eq!(f.idle(), 0);
+    }
+
+    #[test]
+    fn peak_live_tracks_concurrency() {
+        let mut f = ConnectionFrontier::new(0);
+        f.join(1, 0);
+        f.join(2, 0);
+        f.leave(1);
+        f.join(3, 0);
+        assert_eq!(f.peak_live(), 2);
+        assert_eq!(f.joined(), 3);
+        assert_eq!(f.live(), 2);
+    }
+}

@@ -24,9 +24,27 @@
 //! exactly the canonical `(time, side, entity)` order a sorted replay
 //! would use, so links, update streams, and finalized output match the
 //! direct replay path bit for bit (`tests/ingest_equivalence.rs`).
+//!
+//! The **multi-connection tier** generalizes the left edge of that
+//! picture: a [`TcpIngestTier`] accept loop ([`listener`]) serves many
+//! concurrent clients, each reader thread fanning `Join`/`Event`/
+//! `Leave` messages into the same channel (now MPSC), and a
+//! [`ConnectionFrontier`] ([`frontier`]) merges the per-connection
+//! watermarks into the global minimum that governs reorder release:
+//!
+//! ```text
+//!  conn 0 ──► reader ─┐
+//!  conn 1 ──► reader ─┼──► MPSC channel ──► frontier merge ──► reorder
+//!  conn N ──► reader ─┘    (backpressure)   (min watermark     buffer
+//!                                            over live conns)    │
+//!                                                                ▼
+//!                                     tick policy ──► engine control scan
+//! ```
 
 pub mod channel;
 mod csv;
+mod frontier;
+mod listener;
 pub(crate) mod pump;
 mod reorder;
 mod synthetic;
@@ -34,6 +52,8 @@ mod tcp;
 
 pub use channel::{ChannelStats, SendError};
 pub use csv::CsvReplaySource;
+pub use frontier::ConnectionFrontier;
+pub use listener::{ConnMessage, FanIn, TcpIngestTier};
 pub use pump::{DriveOptions, IngestReport};
 pub use reorder::ReorderBuffer;
 pub use synthetic::{Clock, SyntheticSource, WallClock};

@@ -54,6 +54,13 @@ pub struct DriveOptions {
     /// engine's links, updates, stats, and finalized output are
     /// bit-identical at every cadence.
     pub metrics_every: u64,
+    /// Fan-in only ([`StreamEngine::drive_fan_in`]): a connection with
+    /// no traffic for this many clock seconds is evicted from the
+    /// frontier merge so one stalled client cannot freeze event time
+    /// (it revives on its next event; events now below the frontier
+    /// are counted late). `0` disables eviction — the frontier waits
+    /// for the slowest connection forever.
+    pub idle_timeout_secs: u64,
 }
 
 impl Default for DriveOptions {
@@ -65,6 +72,7 @@ impl Default for DriveOptions {
             tick_policy: TickPolicy::default(),
             max_lag_secs: 0,
             metrics_every: 0,
+            idle_timeout_secs: 0,
         }
     }
 }
@@ -94,6 +102,15 @@ pub struct IngestReport {
     /// policies; `EveryN` ticks run inside the engine and are counted
     /// in [`crate::StreamStats::ticks`] only).
     pub policy_ticks: u64,
+    /// Fan-in drives: connections that joined the frontier merge.
+    pub connections: u64,
+    /// Fan-in drives: malformed wire lines counted and skipped across
+    /// all connections (lenient parsing).
+    pub malformed_lines: u64,
+    /// Fan-in drives: connections evicted from the frontier merge for
+    /// exceeding the idle timeout (revivals can re-evict, so this may
+    /// exceed the connection count).
+    pub idle_evictions: u64,
     /// Every link update emitted while draining, in order.
     pub updates: Vec<LinkUpdate>,
 }
@@ -322,12 +339,10 @@ impl PumpTelemetry {
     }
 }
 
-/// See [`StreamEngine::drive`].
-pub(crate) fn run<S: StreamSource + Send>(
-    engine: &mut StreamEngine,
-    source: S,
-    opts: &DriveOptions,
-) -> Result<IngestReport, String> {
+/// Validates the drive options, installs the tick policy's refresh
+/// interval on the engine, and resolves the effective reorder lag.
+/// Shared by [`run`] and [`run_fan_in`].
+fn validate(engine: &mut StreamEngine, opts: &DriveOptions) -> Result<i64, String> {
     if opts.queue_cap == 0 {
         return Err("drive: queue_cap must be positive".into());
     }
@@ -343,26 +358,35 @@ pub(crate) fn run<S: StreamSource + Send>(
     if opts.max_lag_secs < 0 {
         return Err("drive: max_lag_secs must be non-negative".into());
     }
-    let lag = match opts.tick_policy {
+    match opts.tick_policy {
         TickPolicy::EveryN(n) => {
             engine.set_refresh_every(n);
-            opts.max_lag_secs
+            Ok(opts.max_lag_secs)
         }
         TickPolicy::EventTime { interval_secs } => {
             if interval_secs <= 0 {
                 return Err("drive: EventTime interval must be positive".into());
             }
             engine.set_refresh_every(0);
-            opts.max_lag_secs
+            Ok(opts.max_lag_secs)
         }
         TickPolicy::Watermark { max_lag_secs } => {
             if max_lag_secs < 0 {
                 return Err("drive: watermark lag must be non-negative".into());
             }
             engine.set_refresh_every(0);
-            max_lag_secs.max(opts.max_lag_secs)
+            Ok(max_lag_secs.max(opts.max_lag_secs))
         }
-    };
+    }
+}
+
+/// See [`StreamEngine::drive`].
+pub(crate) fn run<S: StreamSource + Send>(
+    engine: &mut StreamEngine,
+    source: S,
+    opts: &DriveOptions,
+) -> Result<IngestReport, String> {
+    let lag = validate(engine, opts)?;
 
     let mut report = IngestReport::default();
     let mut reorder = ReorderBuffer::new(lag);
@@ -464,6 +488,161 @@ pub(crate) fn run<S: StreamSource + Send>(
         report.queue_high_watermark,
         report.late_events,
     );
+    Ok(report)
+}
+
+/// How long the fan-in consumer waits on an empty channel before
+/// checking for idle connections (only when an idle timeout is set —
+/// without one the consumer parks indefinitely like [`run`]'s).
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// See [`StreamEngine::drive_fan_in`]. The multi-producer pump: the
+/// fan-in tier runs on one producer thread (spawning its own
+/// per-connection senders), and this consumer drains the shared MPSC
+/// channel, maintaining the [`ConnectionFrontier`] merge from the
+/// in-band `Join`/`Event`/`Leave` protocol. Each connection's
+/// watermark is derived here as `event time − lag`, *after* the event
+/// is buffered — so the frontier can never release past an event still
+/// in flight, and any delivery schedule whose per-connection disorder
+/// stays within the lag reaches the engine in canonical order, bit-
+/// identical to a single merged replay.
+pub(crate) fn run_fan_in<F: crate::source::FanIn + Send>(
+    engine: &mut StreamEngine,
+    fan_in: F,
+    opts: &DriveOptions,
+) -> Result<IngestReport, String> {
+    use crate::source::channel::RecvTimeout;
+    use crate::source::{ConnMessage, ConnectionFrontier};
+
+    let lag = validate(engine, opts)?;
+    let mut report = IngestReport::default();
+    let mut reorder = ReorderBuffer::new(lag);
+    let origin = engine.scheme().map(|s| s.window_start(0));
+    let mut ticker = Ticker::new(
+        opts.tick_policy,
+        engine.config().slim.window_width_secs,
+        origin,
+    );
+    let mut tel = PumpTelemetry::new(engine, opts.metrics_every);
+    let clock = engine.telemetry_clock();
+    let idle_ns = opts.idle_timeout_secs.saturating_mul(1_000_000_000);
+    let mut frontier = ConnectionFrontier::new(idle_ns);
+
+    let (producer_result, channel_stats, queue_grown_to) = std::thread::scope(|scope| {
+        let (tx, rx) = channel::bounded::<ConnMessage>(opts.queue_cap);
+        let producer = scope.spawn(move || fan_in.run(tx));
+
+        let mut arrivals: Vec<ConnMessage> = Vec::new();
+        let mut released: Vec<StreamEvent> = Vec::new();
+        let watermark_ticks = matches!(ticker, Ticker::Watermark { .. });
+        let mut sizer = (opts.queue_cap_max > opts.queue_cap)
+            .then(|| channel::QueueSizer::new(opts.queue_cap, opts.queue_cap_max));
+        loop {
+            let drained = if idle_ns == 0 {
+                rx.recv_many(&mut arrivals, opts.source_batch)
+            } else {
+                match rx.recv_many_timeout(&mut arrivals, opts.source_batch, IDLE_POLL) {
+                    RecvTimeout::Items => true,
+                    RecvTimeout::Closed => false,
+                    RecvTimeout::TimedOut => {
+                        // Total quiet: eviction is then the only way
+                        // the frontier can move, so check it here too,
+                        // not just per drained chunk.
+                        if frontier.evict_idle(clock.now_ns()) > 0 {
+                            tel.stamp_admit();
+                            reorder.release_below(frontier.frontier(), &mut released);
+                            ticker.feed(engine, &mut released, frontier.frontier(), &mut report);
+                            tel.observe(engine, &report);
+                        }
+                        continue;
+                    }
+                }
+            };
+            if !drained {
+                break;
+            }
+            if let Some(sizer) = &mut sizer {
+                if let Some(cap) = sizer.observe(rx.stats().blocked_producer_ns) {
+                    rx.set_capacity(cap);
+                }
+            }
+            tel.stamp_admit();
+            let now = clock.now_ns();
+            for msg in arrivals.drain(..) {
+                match msg {
+                    ConnMessage::Join { conn } => {
+                        frontier.join(conn, now);
+                        report.connections += 1;
+                        engine.set_live_connections(frontier.live() as u64);
+                    }
+                    ConnMessage::Event { conn, event } => {
+                        // Lateness is decided against the frontier as
+                        // it stood *before* this event's own advance —
+                        // an in-lag event can therefore never be late.
+                        if frontier.is_late(event.time) {
+                            reorder.count_late();
+                        } else {
+                            reorder.hold(event);
+                        }
+                        let wm = Timestamp(event.time.secs().saturating_sub(lag));
+                        if let Some(lag_secs) = frontier.advance(conn, wm, now) {
+                            engine.record_frontier_lag(lag_secs);
+                        }
+                        // Watermark sealing tracks the frontier per
+                        // arrival, exactly like the single-source pump.
+                        if watermark_ticks {
+                            reorder.release_below(frontier.frontier(), &mut released);
+                            ticker.feed(engine, &mut released, frontier.frontier(), &mut report);
+                            tel.observe(engine, &report);
+                        }
+                    }
+                    ConnMessage::Leave {
+                        conn,
+                        malformed_lines,
+                    } => {
+                        report.malformed_lines += malformed_lines;
+                        frontier.leave(conn);
+                        engine.set_live_connections(frontier.live() as u64);
+                    }
+                }
+            }
+            frontier.evict_idle(now);
+            reorder.release_below(frontier.frontier(), &mut released);
+            ticker.feed(engine, &mut released, frontier.frontier(), &mut report);
+            tel.observe(engine, &report);
+        }
+        // EOF: every sender (one per connection, plus the tier's own)
+        // has dropped and the queue is drained — release the buffered
+        // tail in canonical order.
+        reorder.flush(&mut released);
+        ticker.feed(engine, &mut released, frontier.frontier(), &mut report);
+        ticker.finish(engine, &mut report);
+        tel.finish(engine, &report);
+        let stats = rx.stats();
+        let final_cap = sizer.map_or(opts.queue_cap, |s| s.capacity()) as u64;
+        let result = producer
+            .join()
+            .unwrap_or_else(|_| Err("drive: fan-in tier thread panicked".into()));
+        (result, stats, final_cap)
+    });
+    producer_result?;
+
+    report.late_events = reorder.late_events();
+    report.blocked_producer_ns = channel_stats.blocked_producer_ns;
+    report.queue_high_watermark = channel_stats.queue_high_watermark;
+    report.queue_grown_to = queue_grown_to;
+    report.idle_evictions = frontier.idle_evictions();
+    engine.absorb_ingest_report(
+        report.blocked_producer_ns,
+        report.queue_high_watermark,
+        report.late_events,
+    );
+    engine.absorb_fan_in_report(
+        report.connections,
+        report.malformed_lines,
+        report.idle_evictions,
+    );
+    engine.set_live_connections(0);
     Ok(report)
 }
 
@@ -724,6 +903,95 @@ mod tests {
         let lat = engine.event_latency_histogram();
         assert_eq!(lat.count(), total);
         assert_eq!((lat.sum(), lat.max()), (0, 0));
+    }
+
+    /// The fan-in pump vs the single-source pump on the same workload:
+    /// identical update stream and links, with the connection counters
+    /// landing in the report and the engine stats. Per-connection
+    /// delivery is in-order here, so no arrival is ever late no matter
+    /// how the three producer threads interleave.
+    #[test]
+    fn fan_in_matches_the_single_source_drive() {
+        use crate::testing::ScriptedConnections;
+
+        let events = workload(10);
+        let total = events.len() as u64;
+        // Round-robin partition: each connection plays its slice (still
+        // time-sorted) in small batches with scheduling stalls.
+        let conns: Vec<Vec<ScriptStep>> = (0..3usize)
+            .map(|c| {
+                events
+                    .iter()
+                    .skip(c)
+                    .step_by(3)
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .chunks(5)
+                    .flat_map(|ch| [ScriptStep::Batch(ch.to_vec()), ScriptStep::Stall(1)])
+                    .collect()
+            })
+            .collect();
+        let opts = DriveOptions {
+            tick_policy: TickPolicy::EveryN(50),
+            max_lag_secs: 2_000,
+            ..DriveOptions::default()
+        };
+        let mut fan = engine();
+        let fan_report = fan
+            .drive_fan_in(ScriptedConnections::single_stage(conns), &opts)
+            .unwrap();
+        assert_eq!(fan_report.events_delivered, total);
+        assert_eq!(fan_report.connections, 3);
+        assert_eq!(fan_report.late_events, 0);
+        assert_eq!(fan_report.malformed_lines, 0);
+        assert_eq!(fan_report.idle_evictions, 0, "no timeout configured");
+        assert_eq!(fan.stats().connections_served, 3);
+
+        let mut direct = engine();
+        let direct_report = direct.drive(script(events, 16), &opts).unwrap();
+        assert_eq!(fan_report.updates, direct_report.updates);
+        assert_eq!(fan.links(), direct.links());
+        assert_eq!(fan.stats().events, direct.stats().events);
+        assert_eq!(fan.stats().ticks, direct.stats().ticks);
+    }
+
+    /// A dying connection (scripted `Error`) is churn, not a drive
+    /// failure: the survivors' events all arrive and the drive reports
+    /// every connection that joined.
+    #[test]
+    fn fan_in_tolerates_a_dying_connection() {
+        use crate::testing::ScriptedConnections;
+
+        let events = workload(6);
+        let survivor: Vec<StreamEvent> = events.iter().step_by(2).copied().collect();
+        let victim_delivers: Vec<StreamEvent> =
+            events.iter().skip(1).step_by(2).take(4).copied().collect();
+        let delivered = (survivor.len() + victim_delivers.len()) as u64;
+        let conns = vec![
+            survivor
+                .chunks(7)
+                .map(|c| ScriptStep::Batch(c.to_vec()))
+                .collect(),
+            vec![
+                ScriptStep::Batch(victim_delivers),
+                ScriptStep::Error("connection reset".into()),
+                ScriptStep::Batch(events.clone()), // lost with the connection
+            ],
+        ];
+        let mut engine = engine();
+        let report = engine
+            .drive_fan_in(
+                ScriptedConnections::single_stage(conns),
+                &DriveOptions {
+                    tick_policy: TickPolicy::EveryN(0),
+                    max_lag_secs: 10_000,
+                    ..DriveOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.connections, 2);
+        assert_eq!(report.events_delivered + report.late_events, delivered);
+        assert_eq!(engine.stats().connections_served, 2);
     }
 
     #[test]

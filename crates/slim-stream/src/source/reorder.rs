@@ -75,6 +75,42 @@ impl ReorderBuffer {
         }
     }
 
+    /// Buffers one arrival **without** advancing the internal
+    /// watermark — the multi-connection fan-in path, where release is
+    /// governed by the merged
+    /// [`crate::source::ConnectionFrontier`] instead of this buffer's
+    /// own max-lag frontier. The caller decides lateness against that
+    /// external frontier before holding; call
+    /// [`ReorderBuffer::release_below`] to drain.
+    pub fn hold(&mut self, ev: StreamEvent) {
+        self.pending
+            .entry((ev.time, ev.side, ev.entity))
+            .or_default()
+            .push(ev);
+        self.buffered += 1;
+    }
+
+    /// Moves every held event strictly below `frontier` to `out`, in
+    /// canonical order (the externally-driven twin of the internal
+    /// release in [`ReorderBuffer::push`]).
+    pub fn release_below(&mut self, frontier: Option<Timestamp>, out: &mut Vec<StreamEvent>) {
+        let Some(frontier) = frontier else { return };
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.key().0 >= frontier {
+                break;
+            }
+            let events = entry.remove();
+            self.buffered -= events.len();
+            out.extend(events);
+        }
+    }
+
+    /// Counts one arrival rejected as late (the fan-in path decides
+    /// lateness against the merged frontier, outside this buffer).
+    pub fn count_late(&mut self) {
+        self.late_events += 1;
+    }
+
     /// End of stream: releases everything still buffered, in canonical
     /// order.
     pub fn flush(&mut self, out: &mut Vec<StreamEvent>) {
@@ -169,6 +205,30 @@ mod tests {
         // Frontier 150: the event at 100 is safe, 200 still held.
         assert_eq!(times(&out), vec![100]);
         assert_eq!(buf.buffered(), 1);
+    }
+
+    /// The externally-frontiered path: `hold` never releases on its
+    /// own, `release_below` drains exactly the prefix strictly below
+    /// the supplied frontier, and `flush` empties the rest.
+    #[test]
+    fn external_frontier_governs_release() {
+        let mut buf = ReorderBuffer::new(0);
+        let mut out = Vec::new();
+        for &t in &[50i64, 30, 80, 60] {
+            buf.hold(ev(Side::Left, 1, t));
+        }
+        assert_eq!(buf.buffered(), 4);
+        assert!(out.is_empty());
+        buf.release_below(None, &mut out);
+        assert!(out.is_empty(), "no frontier, no release");
+        buf.release_below(Some(Timestamp(60)), &mut out);
+        assert_eq!(times(&out), vec![30, 50], "strictly below 60");
+        assert_eq!(buf.buffered(), 2);
+        buf.count_late();
+        assert_eq!(buf.late_events(), 1);
+        buf.flush(&mut out);
+        assert_eq!(times(&out), vec![30, 50, 60, 80]);
+        assert_eq!(buf.buffered(), 0);
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct TcpLineSource {
     /// more lines than one `next_batch` asks for).
     parsed: std::collections::VecDeque<StreamEvent>,
     peer_closed: bool,
+    /// Count-and-skip malformed lines instead of failing the stream
+    /// (the multi-connection listener's hardening mode — one garbage
+    /// client line must not kill the connection).
+    lenient: bool,
+    /// Malformed lines skipped so far (lenient mode only).
+    malformed_lines: u64,
 }
 
 impl TcpLineSource {
@@ -58,6 +64,44 @@ impl TcpLineSource {
             buf: Vec::new(),
             parsed: std::collections::VecDeque::new(),
             peer_closed: false,
+            lenient: false,
+            malformed_lines: 0,
+        }
+    }
+
+    /// Switches to lenient parsing: malformed lines (bad wire syntax,
+    /// out-of-range fields, non-UTF-8 bytes) are counted in
+    /// [`TcpLineSource::malformed_lines`] and skipped instead of
+    /// failing the stream. I/O errors still fail it — a dead socket is
+    /// not a parse problem.
+    pub fn lenient(mut self) -> Self {
+        self.lenient = true;
+        self
+    }
+
+    /// Malformed lines skipped so far (only advances in
+    /// [`TcpLineSource::lenient`] mode).
+    pub fn malformed_lines(&self) -> u64 {
+        self.malformed_lines
+    }
+
+    /// Parses one line, honouring the lenient mode.
+    fn parse_line(
+        format: WireFormat,
+        lenient: bool,
+        malformed_lines: &mut u64,
+        line: &[u8],
+    ) -> Result<Option<StreamEvent>, String> {
+        let parsed = std::str::from_utf8(line)
+            .map_err(|_| "feed sent non-UTF-8 line".to_string())
+            .and_then(|l| parse_wire_line(format, l));
+        match parsed {
+            Ok(ev) => Ok(ev),
+            Err(_) if lenient => {
+                *malformed_lines += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -66,19 +110,20 @@ impl TcpLineSource {
         let mut start = 0;
         while let Some(nl) = self.buf[start..].iter().position(|&b| b == b'\n') {
             let line = &self.buf[start..start + nl];
+            let parsed =
+                Self::parse_line(self.format, self.lenient, &mut self.malformed_lines, line)?;
             start += nl + 1;
-            let line =
-                std::str::from_utf8(line).map_err(|_| "feed sent non-UTF-8 line".to_string())?;
-            if let Some(ev) = parse_wire_line(self.format, line)? {
+            if let Some(ev) = parsed {
                 self.parsed.push_back(ev);
             }
         }
         if include_partial_tail && start < self.buf.len() {
             // Peer closed mid-line: treat the unterminated tail as a
             // final line rather than silently dropping data.
-            let line = std::str::from_utf8(&self.buf[start..])
-                .map_err(|_| "feed sent non-UTF-8 line".to_string())?;
-            if let Some(ev) = parse_wire_line(self.format, line)? {
+            let line = &self.buf[start..];
+            let parsed =
+                Self::parse_line(self.format, self.lenient, &mut self.malformed_lines, line)?;
+            if let Some(ev) = parsed {
                 self.parsed.push_back(ev);
             }
             start = self.buf.len();
@@ -303,5 +348,37 @@ mod tests {
         }
         feeder.join().unwrap();
         assert!(saw_err, "malformed line must error");
+    }
+
+    /// Lenient mode (the listener's hardening): garbage lines — bad
+    /// syntax, out-of-range fields, non-UTF-8 bytes, truncated JSON —
+    /// are counted and skipped, and every valid line around them still
+    /// arrives. The strict default above keeps erroring.
+    #[test]
+    fn lenient_mode_counts_and_skips_garbage() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let feeder = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            conn.write_all(b"L,1,0.0,0.0,5\n").unwrap();
+            conn.write_all(b"not,an,event,line,at_all\n").unwrap();
+            conn.write_all(b"L,2,95.0,0.0,6\n").unwrap(); // lat out of range
+            conn.write_all(&[0xFF, 0xFE, b'\n']).unwrap(); // non-UTF-8
+            conn.write_all(b"R,3,0.0,0.0,7\n").unwrap();
+        });
+        let mut src = TcpLineSource::connect(&addr).unwrap().lenient();
+        let mut got = Vec::new();
+        loop {
+            match src.next_batch(10).expect("lenient feed never parse-fails") {
+                SourcePoll::Batch(b) => got.extend(b),
+                SourcePoll::End => break,
+                SourcePoll::Pending => unreachable!(),
+            }
+        }
+        feeder.join().unwrap();
+        assert_eq!(got.len(), 2, "both valid lines around the garbage");
+        assert_eq!(got[0].entity, EntityId(1));
+        assert_eq!(got[1].entity, EntityId(3));
+        assert_eq!(src.malformed_lines(), 3);
     }
 }

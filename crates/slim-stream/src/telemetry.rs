@@ -104,6 +104,11 @@ pub(crate) struct EngineTelemetry {
     /// End-to-end event latency: source admit (drained off the bounded
     /// channel) → served at a refresh tick. Recorded by the pump.
     pub(crate) event_latency: Histogram,
+    /// Per-connection frontier lag: event-time seconds a connection's
+    /// watermark trailed the frontier leader at each advance. Recorded
+    /// by the fan-in pump; a pure function of the fed events (no clock
+    /// reads), so reproducible run to run.
+    pub(crate) frontier_lag: Histogram,
     /// Per-window spans of the rescore scoring kernel (one record per
     /// `(pair, window)` contribution recomputed). Recorded chunk-local
     /// on the workers and merged at the tick barrier in chunk-id
@@ -123,6 +128,7 @@ impl EngineTelemetry {
             threshold: Histogram::new(),
             tick: Histogram::new(),
             event_latency: Histogram::new(),
+            frontier_lag: Histogram::new(),
             score_kernel: Histogram::new(),
         }
     }

@@ -10,10 +10,11 @@
 //! [`crate::source::SyntheticSource`]'s rate control.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use crate::event::StreamEvent;
-use crate::source::{Clock, SourcePoll, StreamSource};
+use crate::source::channel::Sender;
+use crate::source::{Clock, ConnMessage, FanIn, SourcePoll, StreamSource};
 
 /// One step of a [`ScriptedSource`] script.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +99,110 @@ impl StreamSource for ScriptedSource {
     }
 }
 
+/// A deterministic multi-connection fan-in tier: stages of scripted
+/// connections, each playing its own [`ScriptStep`] schedule on its own
+/// thread through the shared MPSC channel — the test double for
+/// [`crate::source::TcpIngestTier`] behind the same
+/// [`crate::source::FanIn`] seam.
+///
+/// Within a stage every connection `Join`s before any of them delivers
+/// an event (an internal barrier), so the frontier merge knows all
+/// participants up front; stages run strictly one after another (the
+/// next spawns only when every thread of the current one has finished),
+/// so a later stage's `Join`s are enqueued after *all* of an earlier
+/// stage's messages — mid-stream joins and leaves exercise churn
+/// without manufacturing nondeterministic lateness. Within a stage,
+/// thread interleaving is deliberately free: that schedule freedom is
+/// exactly what the equivalence property tests quantify over.
+///
+/// Step semantics per connection: `Batch` delivers its events in order,
+/// `Stall` yields the thread that many times (schedule perturbation,
+/// not wall-time), and `Error` kills the connection — it leaves
+/// immediately, the remaining steps unplayed (death churn; never a
+/// drive failure).
+#[derive(Debug)]
+pub struct ScriptedConnections {
+    /// `stages[s][c]` = the script of stage `s`'s connection `c`.
+    /// Connection ids are assigned globally in stage-then-index order.
+    stages: Vec<Vec<Vec<ScriptStep>>>,
+}
+
+impl ScriptedConnections {
+    /// A tier playing `stages` sequentially, each stage's connections
+    /// concurrently.
+    pub fn new(stages: Vec<Vec<Vec<ScriptStep>>>) -> Self {
+        Self { stages }
+    }
+
+    /// A tier with every connection live at once.
+    pub fn single_stage(conns: Vec<Vec<ScriptStep>>) -> Self {
+        Self::new(vec![conns])
+    }
+}
+
+impl FanIn for ScriptedConnections {
+    fn run(self, tx: Sender<ConnMessage>) -> Result<(), String> {
+        let mut next_conn = 0u64;
+        for stage in self.stages {
+            if stage.is_empty() {
+                continue;
+            }
+            let base = next_conn;
+            next_conn += stage.len() as u64;
+            let all_joined = Barrier::new(stage.len());
+            std::thread::scope(|scope| {
+                for (i, steps) in stage.into_iter().enumerate() {
+                    let tx = tx.clone();
+                    let all_joined = &all_joined;
+                    scope.spawn(move || play_connection(base + i as u64, steps, &tx, all_joined));
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One scripted connection's life: `Join`, barrier, the script, then
+/// `Leave`. Send failures mean the receiver (the drive) is gone — the
+/// barrier is still honored so sibling threads cannot deadlock.
+fn play_connection(
+    conn: u64,
+    steps: Vec<ScriptStep>,
+    tx: &Sender<ConnMessage>,
+    all_joined: &Barrier,
+) {
+    let joined = tx.send(ConnMessage::Join { conn }).is_ok();
+    all_joined.wait();
+    if !joined {
+        return;
+    }
+    for step in steps {
+        match step {
+            ScriptStep::Batch(events) => {
+                let batch = events
+                    .into_iter()
+                    .map(|event| ConnMessage::Event { conn, event });
+                if tx.send_all(batch).is_err() {
+                    return;
+                }
+            }
+            ScriptStep::Stall(n) => {
+                for _ in 0..n {
+                    std::thread::yield_now();
+                }
+            }
+            // The connection dies mid-script: everything after is lost,
+            // but the Leave below still reports the departure (a real
+            // reader thread does the same on an IO error).
+            ScriptStep::Error(_) => break,
+        }
+    }
+    let _ = tx.send(ConnMessage::Leave {
+        conn,
+        malformed_lines: 0,
+    });
+}
+
 /// A manually advanced monotone clock for rate-control tests. Cloning
 /// shares the underlying time, so a test can hold one handle while the
 /// source owns another.
@@ -169,6 +274,64 @@ mod tests {
     fn scripted_error_fails_the_stream() {
         let mut src = ScriptedSource::new(vec![ScriptStep::Error("boom".into())]);
         assert_eq!(src.next_batch(1).unwrap_err(), "boom");
+    }
+
+    /// The fan-in protocol invariants the equivalence tests lean on:
+    /// per-connection Join→events→Leave bracketing in channel FIFO
+    /// order, all of a stage's Joins before any of its events, stage
+    /// barriers (later Joins after all earlier messages), and `Error`
+    /// as death churn (early Leave, remaining steps lost).
+    #[test]
+    fn scripted_connections_honor_the_protocol_order() {
+        use crate::source::channel;
+
+        let stage0 = vec![
+            vec![
+                ScriptStep::Batch(vec![ev(10), ev(20)]),
+                ScriptStep::Stall(3),
+                ScriptStep::Batch(vec![ev(30)]),
+            ],
+            vec![
+                ScriptStep::Batch(vec![ev(15)]),
+                ScriptStep::Error("dies".into()),
+                ScriptStep::Batch(vec![ev(99)]), // never delivered
+            ],
+        ];
+        let stage1 = vec![vec![ScriptStep::Batch(vec![ev(40)])]];
+        let tier = ScriptedConnections::new(vec![stage0, stage1]);
+        let (tx, rx) = channel::bounded::<ConnMessage>(8);
+        let producer = std::thread::spawn(move || tier.run(tx));
+        let mut msgs = Vec::new();
+        let mut buf = Vec::new();
+        while rx.recv_many(&mut buf, 16) {
+            msgs.append(&mut buf);
+        }
+        producer.join().unwrap().unwrap();
+
+        let pos = |pred: &dyn Fn(&ConnMessage) -> bool| msgs.iter().position(pred);
+        let join_of = |c: u64| pos(&move |m| matches!(m, ConnMessage::Join { conn } if *conn == c));
+        let leave_of =
+            |c: u64| pos(&move |m| matches!(m, ConnMessage::Leave { conn, .. } if *conn == c));
+        let first_event =
+            pos(&|m| matches!(m, ConnMessage::Event { .. })).expect("events delivered");
+        // Stage 0: both joins precede any event.
+        assert!(join_of(0).unwrap() < first_event);
+        assert!(join_of(1).unwrap() < first_event);
+        // Stage barrier: conn 2 joins only after both stage-0 leaves.
+        assert!(join_of(2).unwrap() > leave_of(0).unwrap());
+        assert!(join_of(2).unwrap() > leave_of(1).unwrap());
+        // Death churn: conn 1 left early, its post-error event is lost.
+        let times: Vec<i64> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                ConnMessage::Event { event, .. } => Some(event.time.secs()),
+                _ => None,
+            })
+            .collect();
+        assert!(!times.contains(&99), "post-death events must be lost");
+        let mut sorted = times;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![10, 15, 20, 30, 40]);
     }
 
     #[test]
