@@ -22,9 +22,14 @@
 //!    channel, watermark reorder buffer. Reports sustained events/s
 //!    plus the backpressure counters (`blocked_producer_ns`,
 //!    `queue_high_watermark`) and asserts nothing was dropped or late.
-//!    `--source synthetic` runs this phase plus the kernel microbench
-//!    (the CI smoke form:
-//!    `cargo bench --bench streaming -- --source synthetic --smoke`);
+//!    `--source synthetic` runs this phase plus the serve, kernel, and
+//!    connection phases (the CI smoke form:
+//!    `cargo bench --bench streaming -- --source synthetic --smoke`),
+//!    and is followed by **serve** — the same drive repeated with a
+//!    loopback link-query client hammering the epoch-snapshot read
+//!    path for the whole run, reporting live-query p50/p95 alongside
+//!    ingest throughput and asserting zero lost events and one
+//!    published epoch per tick barrier;
 //! 5. **skew** — a Zipf hot-entity workload (left-side skew, so the
 //!    hot entities' home shards own nearly all dirty-pair work) run
 //!    once per `--workers` count (default sweep 1,2,4) through the
@@ -376,6 +381,151 @@ fn run_ingest_phase(
     );
     assert_dirty_refresh(&engine, "ingest");
     events_per_sec
+}
+
+/// Serve-while-ingest: the same front-end drive with a link-query
+/// client hammering the epoch endpoint for the whole run. The client
+/// walks EPOCH / THRESHOLD / LINKS round-robin over one loopback
+/// connection, timing each query write→reply end to end (client side,
+/// row reads included) — the read-path latency a consumer actually
+/// sees while the barriers keep publishing. Asserts the drive lost
+/// nothing with serving on, that every tick published exactly one
+/// epoch, and that the client observed only monotone epoch ids.
+fn run_serve_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use slim::stream::source::SyntheticSource;
+    use slim::stream::{DriveOptions, LinkQueryServer, TickPolicy};
+
+    const QUEUE_CAP: usize = 8_192;
+    let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+    let server =
+        LinkQueryServer::bind("127.0.0.1:0", engine.epoch_pointer()).expect("bind query server");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let client = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let conn = std::net::TcpStream::connect(addr).expect("connect query client");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = conn;
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut last_epoch = 0u64;
+            let mut head = String::new();
+            let mut row = String::new();
+            for i in 0u64.. {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let query: String = match i % 3 {
+                    0 => "EPOCH\n".to_string(),
+                    1 => "THRESHOLD\n".to_string(),
+                    _ => format!("LINKS {}\n", i % 997),
+                };
+                let t0 = Instant::now();
+                writer.write_all(query.as_bytes()).expect("write query");
+                head.clear();
+                reader.read_line(&mut head).expect("read reply");
+                assert!(
+                    head.starts_with("OK") || head.starts_with("ERR"),
+                    "unframed reply {head:?}"
+                );
+                if i % 3 == 2 && head.starts_with("OK ") {
+                    let rows: usize = head[3..].trim().parse().expect("LINKS count");
+                    for _ in 0..rows {
+                        row.clear();
+                        reader.read_line(&mut row).expect("read row");
+                    }
+                }
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                if i % 3 == 0 {
+                    let epoch: u64 = head
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix("epoch=").and_then(|v| v.parse().ok()))
+                        .expect("epoch id in reply");
+                    assert!(epoch >= last_epoch, "epoch ids must be monotone");
+                    last_epoch = epoch;
+                }
+            }
+            (latencies_ns, last_epoch)
+        })
+    };
+
+    let source = SyntheticSource::from_events(events.to_vec());
+    let opts = DriveOptions {
+        queue_cap: QUEUE_CAP,
+        source_batch: 4_096,
+        tick_policy: TickPolicy::EveryN(20_000),
+        max_lag_secs: 0,
+        ..DriveOptions::default()
+    };
+    let start = Instant::now();
+    let report = engine.drive(source, &opts).expect("drive");
+    engine.refresh();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let (mut latencies_ns, last_epoch) = client.join().expect("query client");
+    let serve_report = server.report();
+    drop(server);
+    engine.absorb_serve_report(serve_report.queries_served, &serve_report.query_latency);
+
+    let events_per_sec = report.events_delivered as f64 / elapsed_s;
+    let queries_per_sec = latencies_ns.len() as f64 / elapsed_s;
+    latencies_ns.sort_unstable();
+    let (q_p50_us, q_p95_us) = (
+        percentile(&latencies_ns, 0.50) as f64 / 1e3,
+        percentile(&latencies_ns, 0.95) as f64 / 1e3,
+    );
+    let stats = engine.stats();
+    println!(
+        "{:>14}: {} events in {:.3}s → {:.0} events/s with {} live queries \
+         ({:.0} queries/s, query p50 {:.1}µs, p95 {:.1}µs; \
+         {} epochs published, client reached epoch {})",
+        "serve",
+        report.events_delivered,
+        elapsed_s,
+        events_per_sec,
+        stats.queries_served,
+        queries_per_sec,
+        q_p50_us,
+        q_p95_us,
+        stats.snapshots_published,
+        last_epoch,
+    );
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_serve")
+            .u64("shards", engine.num_shards() as u64)
+            .u64("events", report.events_delivered)
+            .f64("elapsed_s", elapsed_s)
+            .f64("events_per_sec", events_per_sec)
+            .u64("queries", stats.queries_served)
+            .f64("queries_per_sec", queries_per_sec)
+            .f64("query_p50_us", q_p50_us)
+            .f64("query_p95_us", q_p95_us)
+            .u64("epochs_published", stats.snapshots_published)
+            .u64("ticks", stats.ticks)
+            .u64("links", engine.links().len() as u64),
+    );
+    // The acceptance claims: serving reads loses no events and delays
+    // no barrier — every event arrived, every tick published exactly
+    // one epoch, and the client was answered throughout.
+    assert_eq!(
+        report.events_delivered,
+        events.len() as u64,
+        "the drive must lose nothing while serving reads"
+    );
+    assert_eq!(
+        stats.snapshots_published, stats.ticks,
+        "every tick barrier publishes exactly one epoch"
+    );
+    assert!(
+        stats.queries_served > 0 && stats.queries_served == latencies_ns.len() as u64,
+        "the server must count exactly the client's answered queries"
+    );
 }
 
 /// Phase 7: the multi-connection ingest tier over real loopback
@@ -970,6 +1120,9 @@ fn main() {
 
     if ingest_only {
         let rate = run_ingest_phase(&mut log, &events, metrics_every);
+        // Serve-while-ingest rides along in the smoke form so the
+        // query-latency series is persisted on every CI run.
+        run_serve_phase(&mut log, &events);
         // The kernel microbench rides along in the smoke form so the
         // score_kernel_ns series is persisted on every CI run.
         run_kernel_phase(&mut log, &events);
@@ -1252,6 +1405,10 @@ fn main() {
 
     // Phase 4: the async ingestion front-end over the same events.
     let ingest_rate = run_ingest_phase(&mut log, &events, metrics_every);
+
+    // Phase 4b: the same drive with a link-query client hammering the
+    // epoch-snapshot read path throughout — zero lost events asserted.
+    run_serve_phase(&mut log, &events);
 
     // Phase 5: the Zipf/hot-entity skew phase — static partition vs
     // the work-stealing pool, swept over `--workers` with bit-identity

@@ -146,6 +146,10 @@ pub struct CliOptions {
     /// Serve the latest snapshot as Prometheus text exposition at this
     /// `host:port` (`--metrics-addr`; implies `--stream`).
     pub metrics_addr: Option<String>,
+    /// Answer link queries over TCP at this `host:port` from the
+    /// engine's published epoch snapshots while ingesting (`--serve`;
+    /// implies `--stream`).
+    pub serve_addr: Option<String>,
     /// Output CSV path (stdout when `None`).
     pub out: Option<PathBuf>,
     /// Print per-step progress.
@@ -243,6 +247,12 @@ OPTIONS:
                          127.0.0.1:9898; port 0 picks one — the bound
                          address is logged with --verbose; implies
                          --stream)
+    --serve ADDR         answer link queries over TCP at ADDR while
+                         ingesting, from the epoch snapshot published at
+                         each refresh tick (line protocol: LINKS ENTITY,
+                         THRESHOLD, EPOCH; one reply per line; port 0
+                         picks one — the bound address is logged with
+                         --verbose; implies --stream)
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -427,6 +437,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--metrics-addr" => {
                 opts.metrics_addr = Some(take_value(args, i, arg)?);
+                want_stream = true;
+                i += 2;
+            }
+            "--serve" => {
+                opts.serve_addr = Some(take_value(args, i, arg)?);
                 want_stream = true;
                 i += 2;
             }
@@ -905,6 +920,18 @@ fn run_stream(
         }
         None => None,
     };
+    // The link-query endpoint also binds before the drive: clients can
+    // connect and query mid-ingest, reading whatever epoch the tick
+    // barriers have published so far (epoch 0 — empty — until the
+    // first tick).
+    let link_server = match &opts.serve_addr {
+        Some(addr) => {
+            let server = slim_stream::LinkQueryServer::bind(addr, engine.epoch_pointer())?;
+            log(&format!("serving link queries at {}", server.local_addr()));
+            Some(server)
+        }
+        None => None,
+    };
     let metrics_on =
         stream_opts.metrics_every > 0 || opts.metrics_file.is_some() || metrics_server.is_some();
     if metrics_on {
@@ -930,6 +957,13 @@ fn run_stream(
         FrontEnd::FanIn(tier) => engine.drive_fan_in(tier, &drive_opts)?,
     };
     let replay_elapsed = start.elapsed();
+    // Tear the query endpoint down (joining its handler threads) and
+    // fold its counters into the engine before the summary snapshot.
+    if let Some(server) = link_server {
+        let serve_report = server.report();
+        drop(server);
+        engine.absorb_serve_report(serve_report.queries_served, &serve_report.query_latency);
+    }
     let (mut added, mut removed, mut reweighted) = (0usize, 0usize, 0usize);
     for update in &report.updates {
         match update {
@@ -986,6 +1020,7 @@ fn run_stream(
         }
     };
     let latency = engine.event_latency_histogram();
+    let query_latency = engine.query_latency_histogram();
     // The scoring kernel is reported in ns/window, not in the ms span
     // digest: its spans are per (pair, window) contribution.
     let kernel = engine.score_kernel_histogram();
@@ -1008,6 +1043,8 @@ fn run_stream(
          {} late events, {} source stalls\n\
          conns: {} connections served, {} malformed lines skipped, \
          {} idle evictions\n\
+         serve: {} epochs published, {} link queries answered, \
+         query p50/p95 {:.2}/{:.2} ms\n\
          pool: {} shards on {} workers, {} chunk steals, \
          worker busy max/min {:.2}/{:.2} ms\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
@@ -1029,6 +1066,10 @@ fn run_stream(
         stats.connections_served,
         stats.malformed_lines,
         stats.idle_evictions,
+        stats.snapshots_published,
+        stats.queries_served,
+        ms(query_latency.p50()),
+        ms(query_latency.p95()),
         num_shards,
         num_workers,
         stats.steal_events,
@@ -1268,6 +1309,11 @@ mod tests {
         let o = parse(&["a.csv", "b.csv", "--metrics-addr", "127.0.0.1:0"]).unwrap();
         assert!(o.stream.is_some());
         assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        // --serve implies --stream the same way.
+        let o = parse(&["a.csv", "b.csv", "--serve", "127.0.0.1:0"]).unwrap();
+        assert!(o.stream.is_some());
+        assert_eq!(o.serve_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(parse(&["a.csv", "b.csv", "--serve"]).is_err());
         assert!(parse(&["a.csv", "b.csv", "--metrics-every", "x"]).is_err());
         assert!(parse(&["a.csv", "b.csv", "--metrics-every"]).is_err());
     }
@@ -1782,6 +1828,121 @@ mod tests {
         let _ = std::fs::remove_file(std::env::temp_dir().join("slim_cli_metrics_addr_links.csv"));
         let _ =
             std::fs::remove_file(std::env::temp_dir().join("slim_cli_metrics_addr_metrics.jsonl"));
+    }
+
+    /// `--serve` end to end: while the drive is provably alive (the
+    /// TCP feed is held open after the first half of the events), a
+    /// loopback client walks the query protocol against the epoch
+    /// snapshots published mid-ingest, and the summary reports the
+    /// folded-in serve counters.
+    #[test]
+    fn serve_answers_link_queries_mid_drive() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let scenario = slim_datagen::Scenario::cab(0.04, 11);
+        let sample = scenario.sample(0.5, 11);
+        let events = slim_stream::merge_datasets(&sample.left, &sample.right);
+        assert!(events.len() > 1_000, "fixture too small");
+
+        let feed = std::net::TcpListener::bind("127.0.0.1:0").expect("bind feed");
+        let feed_addr = feed.local_addr().unwrap().to_string();
+        // Reserve a port for the query endpoint by binding :0 and
+        // releasing it; nothing else in the test process binds ports in
+        // between.
+        let serve_addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe");
+            probe.local_addr().unwrap().to_string()
+        };
+        let query_target = serve_addr.clone();
+        let feeder = std::thread::spawn(move || {
+            let (conn, _) = feed.accept().expect("accept");
+            let mut w = std::io::BufWriter::new(conn);
+            let half = events.len() / 2;
+            for ev in &events[..half] {
+                writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+            }
+            w.flush().unwrap();
+            // The feed stays open, so the engine (and its query
+            // endpoint) cannot exit; poll until a post-tick epoch
+            // answers, then walk the protocol on that connection.
+            let mut observed = String::new();
+            'poll: for _ in 0..400 {
+                if let Ok(conn) = std::net::TcpStream::connect(&query_target) {
+                    let mut r = BufReader::new(conn.try_clone().expect("clone"));
+                    let mut q = conn;
+                    let mut line = String::new();
+                    if q.write_all(b"EPOCH\n").is_err() || r.read_line(&mut line).is_err() {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        continue;
+                    }
+                    let epoch: u64 = line
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix("epoch=").and_then(|v| v.parse().ok()))
+                        .unwrap_or(0);
+                    if epoch == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                        continue;
+                    }
+                    q.write_all(b"THRESHOLD\nLINKS 0\n").unwrap();
+                    let mut thresh = String::new();
+                    r.read_line(&mut thresh).unwrap();
+                    assert!(thresh.starts_with("OK "), "bad THRESHOLD reply: {thresh}");
+                    let mut head = String::new();
+                    r.read_line(&mut head).unwrap();
+                    assert!(head.starts_with("OK "), "bad LINKS reply: {head}");
+                    let rows: usize = head.trim()[3..].parse().expect("LINKS count");
+                    for _ in 0..rows {
+                        let mut row = String::new();
+                        r.read_line(&mut row).unwrap();
+                        assert_eq!(row.trim().split(',').count(), 3, "bad link row: {row}");
+                    }
+                    observed = line;
+                    break 'poll;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            for ev in &events[half..] {
+                writeln!(w, "{}", slim_stream::source::format_event_line(ev)).unwrap();
+            }
+            observed
+        });
+
+        let opts = CliOptions {
+            tcp_addr: Some(feed_addr),
+            serve_addr: Some(serve_addr),
+            stream: Some(StreamOptions {
+                source: SourceKind::Tcp,
+                refresh_every: 200,
+                queue_cap: 65_536,
+                ..StreamOptions::default()
+            }),
+            out: Some(std::env::temp_dir().join("slim_cli_serve_links.csv")),
+            ..CliOptions::default()
+        };
+        let summary = run(&opts).unwrap();
+        let observed = feeder.join().expect("feeder");
+
+        assert!(
+            observed.starts_with("OK epoch="),
+            "no live epoch observed mid-drive:\n{observed}"
+        );
+        let serve_line = summary
+            .lines()
+            .find(|l| l.contains("link queries answered"))
+            .expect("serve summary line");
+        assert!(
+            !serve_line.trim_start().starts_with("serve: 0 epochs"),
+            "{serve_line}"
+        );
+        // The feeder issued at least EPOCH + THRESHOLD + LINKS.
+        let queries: u64 = serve_line
+            .split(',')
+            .nth(1)
+            .and_then(|part| part.trim().split(' ').next())
+            .and_then(|n| n.parse().ok())
+            .expect("query count in serve line");
+        assert!(queries >= 3, "{serve_line}");
+        let _ = std::fs::remove_file(std::env::temp_dir().join("slim_cli_serve_links.csv"));
     }
 
     #[test]

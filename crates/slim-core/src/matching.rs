@@ -30,6 +30,16 @@ pub struct Edge {
     pub weight: f64,
 }
 
+impl Edge {
+    /// The one-line wire rendering of an edge — `left,right,weight` —
+    /// the row format of the streaming query protocol's `LINKS`
+    /// replies. The weight prints with `f64`'s shortest round-trip
+    /// formatting, so parsing the text back recovers the exact score.
+    pub fn wire_line(&self) -> String {
+        format!("{},{},{}", self.left.0, self.right.0, self.weight)
+    }
+}
+
 /// The total order every matching path emits edges in: heaviest first,
 /// ties broken on `(left, right)` ids. Greedy selection consumes edges
 /// in this order, and `exact_max_matching` / the incremental matcher
@@ -335,6 +345,21 @@ mod tests {
     #[test]
     fn empty_graph() {
         assert!(greedy_max_matching(&[]).is_empty());
+    }
+
+    /// The wire rendering round-trips the weight exactly: Rust's `f64`
+    /// Display is shortest-round-trip, so parsing the text back yields
+    /// the original bits.
+    #[test]
+    fn wire_line_round_trips_the_weight() {
+        let edge = e(42, 1042, 0.1 + 0.2); // a classic non-representable sum
+        let line = edge.wire_line();
+        let mut parts = line.split(',');
+        assert_eq!(parts.next(), Some("42"));
+        assert_eq!(parts.next(), Some("1042"));
+        let w: f64 = parts.next().unwrap().parse().unwrap();
+        assert_eq!(w.to_bits(), edge.weight.to_bits());
+        assert_eq!(parts.next(), None);
     }
 
     #[test]

@@ -74,6 +74,7 @@ use crate::shard::{
     bin_event, entity_shard, lookup_view, BinnedEvent, EngineShard, ExpiryEffects, IngestEffects,
     RescoreJob, RescoreOutcome, ScoredPair,
 };
+use crate::snapshot::{EpochLog, EpochPointer, LinkSnapshot};
 use crate::source::Clock;
 use crate::steal::PoolMode;
 use crate::store::{common_windows_of, for_common_runs, window_contribution_view, HistoryView};
@@ -204,6 +205,16 @@ pub struct StreamStats {
     /// stalled how long), so — like the scheduling telemetry —
     /// **excluded from `PartialEq`**.
     pub idle_evictions: u64,
+    /// Epoch snapshots published at tick barriers (one per refresh tick
+    /// that ran with a window scheme). A pure function of the stream
+    /// prefix + tick schedule, so included in equality.
+    pub snapshots_published: u64,
+    /// Link queries answered by epoch-snapshot query servers, folded in
+    /// via [`StreamEngine::absorb_serve_report`] after a serving run. A
+    /// function of the queries the clients issued, so included in
+    /// equality (both sides of a comparison fold in the same report —
+    /// or none).
+    pub queries_served: u64,
 }
 
 impl PartialEq for StreamStats {
@@ -232,6 +243,8 @@ impl PartialEq for StreamStats {
             && self.demoted_records == other.demoted_records
             && self.malformed_lines == other.malformed_lines
             && self.connections_served == other.connections_served
+            && self.snapshots_published == other.snapshots_published
+            && self.queries_served == other.queries_served
         // arena_compactions deliberately absent: shard-partition-dependent.
         // idle_evictions deliberately absent: stall-timing-dependent.
     }
@@ -330,6 +343,12 @@ pub struct StreamEngine {
     live_connections: u64,
     /// Engine-thread spans, event latency, and the snapshot plumbing.
     tel: EngineTelemetry,
+    /// The published epoch pointer: swapped at each tick barrier, loaded
+    /// by query servers and reader threads holding a clone.
+    epoch: EpochPointer,
+    /// Optional observation hook recording every published epoch (the
+    /// equivalence tests' complete publication sequence).
+    epoch_log: Option<EpochLog>,
 }
 
 impl StreamEngine {
@@ -367,6 +386,8 @@ impl StreamEngine {
             stats: StreamStats::default(),
             scoring_stats: LinkageStats::default(),
             live_connections: 0,
+            epoch: EpochPointer::new(),
+            epoch_log: None,
         })
     }
 
@@ -642,6 +663,39 @@ impl StreamEngine {
         }
     }
 
+    /// A clone of the epoch pointer — hand it to a
+    /// [`crate::serve::LinkQueryServer`] (or any reader thread) to serve
+    /// the engine's published snapshots. Loads through the clone observe
+    /// every subsequent tick-barrier publication.
+    pub fn epoch_pointer(&self) -> EpochPointer {
+        self.epoch.clone()
+    }
+
+    /// Installs an observation log that records every epoch published
+    /// from now on (see [`EpochLog`]). Strictly observational — the
+    /// served snapshots are the same `Arc`s with or without a log.
+    pub fn set_epoch_log(&mut self, log: EpochLog) {
+        self.epoch_log = Some(log);
+    }
+
+    /// Folds a query server's post-run report into the engine's
+    /// counters: `queries` lands in [`StreamStats::queries_served`], and
+    /// the per-query handling spans merge into the `query_latency`
+    /// histogram (histogram merge skipped with telemetry disabled — a
+    /// disabled engine snapshots its counters with empty histograms).
+    pub fn absorb_serve_report(&mut self, queries: u64, latency: &Histogram) {
+        self.stats.queries_served += queries;
+        if self.tel.enabled {
+            self.tel.query_latency.merge(latency);
+        }
+    }
+
+    /// The per-query handling-span histogram folded in by
+    /// [`StreamEngine::absorb_serve_report`].
+    pub fn query_latency_histogram(&self) -> Histogram {
+        self.tel.query_latency.clone()
+    }
+
     /// The clock the telemetry layer reads (shared with the pump so
     /// admit timestamps and span timestamps agree).
     pub(crate) fn telemetry_clock(&self) -> Arc<dyn Clock + Sync> {
@@ -680,6 +734,8 @@ impl StreamEngine {
         reg.counter_set("malformed_lines", s.malformed_lines);
         reg.counter_set("connections_served", s.connections_served);
         reg.counter_set("idle_evictions", s.idle_evictions);
+        reg.counter_set("snapshots_published", s.snapshots_published);
+        reg.counter_set("queries_served", s.queries_served);
         reg.gauge_set("links", self.links.len() as f64);
         reg.gauge_set("live_edges", self.num_live_edges() as f64);
         reg.gauge_set("candidate_pairs", self.num_candidate_pairs() as f64);
@@ -689,6 +745,7 @@ impl StreamEngine {
         }
         reg.histogram_set("event_latency", self.tel.event_latency.clone());
         reg.histogram_set("frontier_lag", self.tel.frontier_lag.clone());
+        reg.histogram_set("query_latency", self.tel.query_latency.clone());
         reg.histogram_set("worker_busy", self.pool.busy_histogram());
         reg
     }
@@ -1184,7 +1241,7 @@ impl StreamEngine {
                     let span = self.tel.now_ns().saturating_sub(t0);
                     self.tel.threshold.record(span);
                 }
-                links
+                (links, selection.threshold.map(|t| t.threshold))
             }
             // The exact Hungarian matching has no incremental form:
             // assemble the full edge set by k-way-merging the per-shard
@@ -1199,22 +1256,45 @@ impl StreamEngine {
                     .map(|s| s.edges.iter().map(|(&p, &w)| (p, w)).collect())
                     .collect();
                 let edges = merge::kway_merge_edge_runs(edge_runs);
-                let links = merge::exact_match_and_threshold(&self.cfg.slim, &edges);
+                let (links, threshold) = merge::exact_match_and_threshold(&self.cfg.slim, &edges);
                 if let Some(t0) = t_match {
                     let span = self.tel.now_ns().saturating_sub(t0);
                     self.tel.matching.record(span);
                 }
-                links
+                (links, threshold)
             }
         };
+        let (new_links, tick_threshold) = new_links;
         let updates = merge::diff_links(&self.links, &new_links);
         self.links = new_links;
+        self.publish_epoch(tick_threshold);
         self.sync_pool_stats();
         if let Some(t0) = t_tick {
             let span = self.tel.now_ns().saturating_sub(t0);
             self.tel.tick.record(span);
         }
         updates
+    }
+
+    /// The tick barrier's publication step: freezes the served state
+    /// into an immutable [`LinkSnapshot`] and swaps it behind the epoch
+    /// pointer. Runs after the link set settles and before the tick span
+    /// closes; readers loading mid-barrier keep the previous epoch —
+    /// nothing torn is ever visible.
+    fn publish_epoch(&mut self, threshold: Option<f64>) {
+        self.stats.snapshots_published += 1;
+        let scheme = self.scheme.expect("refresh ran, so the scheme exists");
+        let snapshot = Arc::new(LinkSnapshot {
+            epoch: self.stats.snapshots_published,
+            events: self.stats.events,
+            links: self.links.clone(),
+            threshold,
+            frontier: Some(scheme.window_start(self.watermark + 1)),
+        });
+        if let Some(log) = &self.epoch_log {
+            log.push(&snapshot);
+        }
+        self.epoch.publish(snapshot);
     }
 
     /// Rescores the given per-shard job lists against the merged df
@@ -1517,6 +1597,8 @@ mod tests {
             malformed_lines: _,
             connections_served: _,
             idle_evictions: _,
+            snapshots_published: _,
+            queries_served: _,
         } = base;
         let excluded = [
             "arena_compactions",
@@ -1527,7 +1609,7 @@ mod tests {
         ];
         // One probe per field of the inventory above, same order.
         type Probe = (&'static str, fn(&mut StreamStats));
-        let fields: [Probe; 23] = [
+        let fields: [Probe; 25] = [
             ("events", |s| s.events += 1),
             ("late_dropped", |s| s.late_dropped += 1),
             ("ticks", |s| s.ticks += 1),
@@ -1551,6 +1633,8 @@ mod tests {
             ("malformed_lines", |s| s.malformed_lines += 1),
             ("connections_served", |s| s.connections_served += 1),
             ("idle_evictions", |s| s.idle_evictions += 1),
+            ("snapshots_published", |s| s.snapshots_published += 1),
+            ("queries_served", |s| s.queries_served += 1),
         ];
         for (name, bump) in fields {
             let mut probe = base;

@@ -131,7 +131,9 @@ pub mod event;
 mod lsh;
 mod merge;
 mod pool;
+pub mod serve;
 mod shard;
+pub mod snapshot;
 pub mod source;
 mod steal;
 mod store;
@@ -141,6 +143,8 @@ pub mod testing;
 pub use config::{StorageMode, StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};
+pub use serve::{LinkQueryServer, ServeReport};
+pub use snapshot::{EpochLog, EpochPointer, LinkSnapshot};
 pub use source::{
     ConnMessage, ConnectionFrontier, CsvReplaySource, DriveOptions, FanIn, IngestReport,
     StreamSource, SyntheticSource, TcpIngestTier, TcpLineSource, TickPolicy, WireFormat,

@@ -83,18 +83,24 @@ pub(crate) fn kway_merge_edge_runs(runs: Vec<Vec<(PairKey, f64)>>) -> Vec<Edge> 
 
 /// Exact matching + stateless stop thresholding over fully assembled
 /// edges — the barrier path for [`slim_core::MatchingMethod::HungarianExact`],
-/// which has no incremental form.
-pub(crate) fn exact_match_and_threshold(cfg: &SlimConfig, edges: &[Edge]) -> Vec<Edge> {
+/// which has no incremental form. Returns the links plus the selected
+/// matched-weight threshold (`None` when no threshold was selected) so
+/// the tick barrier can publish both into its epoch snapshot.
+pub(crate) fn exact_match_and_threshold(
+    cfg: &SlimConfig,
+    edges: &[Edge],
+) -> (Vec<Edge>, Option<f64>) {
     let matching = exact_max_matching(edges);
     let weights: Vec<f64> = matching.iter().map(|e| e.weight).collect();
     let threshold = select_threshold(&weights, cfg.threshold_method);
-    match &threshold {
+    let links = match &threshold {
         Some(t) => matching
             .into_iter()
             .filter(|e| e.weight >= t.threshold)
             .collect(),
         None => matching,
-    }
+    };
+    (links, threshold.map(|t| t.threshold))
 }
 
 /// Difference between two served link sets, ordered by `(left, right)`.
@@ -163,10 +169,11 @@ mod tests {
             ..SlimConfig::default()
         };
         let edges = vec![e(1, 1, 1.0), e(1, 2, 0.5), e(2, 2, 2.0)];
-        let links = exact_match_and_threshold(&cfg, &edges);
+        let (links, threshold) = exact_match_and_threshold(&cfg, &edges);
         // One-to-one matching picks the heavy pairings; no threshold cut.
         assert_eq!(links.len(), 2);
         assert!(links.iter().all(|l| l.left == l.right));
+        assert_eq!(threshold, None, "ThresholdMethod::None selects nothing");
     }
 
     fn key(l: u64, r: u64) -> PairKey {

@@ -114,6 +114,12 @@ pub(crate) struct EngineTelemetry {
     /// on the workers and merged at the tick barrier in chunk-id
     /// order, so the aggregate is reproducible under a virtual clock.
     pub(crate) score_kernel: Histogram,
+    /// Per-query handling spans of the epoch-snapshot query server
+    /// ([`crate::serve::LinkQueryServer`]). Recorded server-side on the
+    /// connection handlers and folded in after the run by
+    /// [`crate::StreamEngine::absorb_serve_report`] — never touched on
+    /// the engine's hot paths.
+    pub(crate) query_latency: Histogram,
 }
 
 impl EngineTelemetry {
@@ -130,6 +136,7 @@ impl EngineTelemetry {
             event_latency: Histogram::new(),
             frontier_lag: Histogram::new(),
             score_kernel: Histogram::new(),
+            query_latency: Histogram::new(),
         }
     }
 

@@ -1,0 +1,174 @@
+//! Query-protocol hardening under fuzzed input: the link-query server
+//! fed arbitrary garbage, truncated commands, junk-suffixed commands,
+//! and binary noise answers **every** line with exactly one `OK`/`ERR`
+//! reply, never panics, and never wedges — after any amount of abuse a
+//! valid query on the same connection still gets a correct answer, and
+//! the served-query counter accounts for every answered line. Only an
+//! oversized line may end a connection (after its `ERR` reply), and
+//! even that never takes the server down.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use slim::core::{EntityId, Timestamp};
+use slim::stream::serve::MAX_QUERY_LINE;
+use slim::stream::{EpochPointer, LinkQueryServer, LinkSnapshot};
+
+fn edge(l: u64, r: u64, w: f64) -> slim::core::Edge {
+    slim::core::Edge {
+        left: EntityId(l),
+        right: EntityId(r),
+        weight: w,
+    }
+}
+
+/// A pointer serving a fixed non-trivial epoch, so valid `LINKS`
+/// queries exercise the multi-row reply path.
+fn published() -> EpochPointer {
+    let pointer = EpochPointer::new();
+    pointer.publish(Arc::new(LinkSnapshot {
+        epoch: 3,
+        events: 1234,
+        links: vec![edge(42, 1042, 0.75), edge(7, 8, 0.5), edge(9, 42, 0.25)],
+        threshold: Some(0.25),
+        frontier: Some(Timestamp(9000)),
+    }));
+    pointer
+}
+
+/// One fuzzed query line: a valid command, a truncation of one, a
+/// junk-suffixed one, or printable garbage. Never contains `\n`/`\r`
+/// (framing belongs to the feeder) and never exceeds
+/// [`MAX_QUERY_LINE`] (oversized lines close the connection by
+/// contract and get their own test).
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        0u8..=5,                                 // shape selector
+        0u64..2_000,                             // entity
+        0usize..16,                              // truncation cut
+        prop::collection::vec(0u8..=255, 0..24), // garbage bytes
+    )
+        .prop_map(|(shape, entity, cut, noise)| {
+            let noise: String = noise
+                .into_iter()
+                .map(|b| (b' ' + b % 95) as char) // printable ASCII
+                .collect();
+            let valid = match entity % 3 {
+                0 => "EPOCH".to_string(),
+                1 => "THRESHOLD".to_string(),
+                _ => format!("LINKS {entity}"),
+            };
+            let line = match shape {
+                0 => valid,
+                1 => {
+                    // Truncate a valid command mid-byte (ASCII, so any
+                    // cut is a char boundary).
+                    valid[..cut % valid.len()].to_string()
+                }
+                2 => format!("{valid} {noise}"), // junk-suffixed
+                3 => String::new(),              // empty: still answered
+                4 => format!("LINKS {noise}"),   // LINKS with a bad arg
+                _ => noise,                      // raw printable garbage
+            };
+            line.replace(['\n', '\r'], " ")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Every fuzzed line — on one long-lived connection — gets exactly
+    // one reply starting with `OK` or `ERR` (plus the advertised row
+    // count after a valid `LINKS`), the connection keeps serving
+    // afterwards, and the query counter matches the answered lines.
+    #[test]
+    fn every_fuzzed_line_is_answered(lines in prop::collection::vec(arb_query(), 1..60)) {
+        let server = LinkQueryServer::bind("127.0.0.1:0", published()).expect("bind");
+        let conn = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut writer = conn;
+        for line in &lines {
+            writer.write_all(line.as_bytes()).expect("write");
+            writer.write_all(b"\n").expect("write newline");
+            let mut head = String::new();
+            reader.read_line(&mut head).expect("read reply");
+            prop_assert!(
+                head.starts_with("OK") || head.starts_with("ERR"),
+                "unframed reply to {:?}: {:?}",
+                line,
+                head
+            );
+            // A valid LINKS reply advertises its row count; consume the
+            // rows so the stream stays framed for the next query.
+            if head.starts_with("OK ") && line.split_whitespace().next() == Some("LINKS") {
+                let rows: usize = head[3..].trim().parse().expect("LINKS count");
+                for _ in 0..rows {
+                    let mut row = String::new();
+                    reader.read_line(&mut row).expect("read row");
+                    let fields: Vec<&str> = row.trim_end().split(',').collect();
+                    prop_assert!(fields.len() == 3, "bad link row {:?}", row);
+                    prop_assert!(fields[2].parse::<f64>().is_ok(), "bad weight {:?}", row);
+                }
+            }
+        }
+        // No wedge: a valid query after the garbage still answers.
+        writer.write_all(b"EPOCH\n").expect("write");
+        let mut head = String::new();
+        reader.read_line(&mut head).expect("read reply");
+        prop_assert!(head.starts_with("OK epoch=3"), "{:?}", head);
+        // Every answered line was counted (the count lands before the
+        // reply reaches the socket, so reading the reply suffices).
+        prop_assert_eq!(server.queries_served(), lines.len() as u64 + 1);
+    }
+}
+
+/// Binary noise (invalid UTF-8 included) is still answered — lossily
+/// decoded, classified as an unknown command, never a panic.
+#[test]
+fn binary_noise_gets_an_error_reply() {
+    let server = LinkQueryServer::bind("127.0.0.1:0", published()).expect("bind");
+    let conn = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut writer = conn;
+    writer.write_all(b"\x80\xff\xfe\x00junk\n").expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(reply.starts_with("ERR"), "{reply:?}");
+    writer.write_all(b"THRESHOLD\n").expect("write");
+    reply.clear();
+    reader.read_line(&mut reply).expect("read reply");
+    assert_eq!(reply.trim_end(), "OK 0.25");
+}
+
+/// An oversized garbage line ends its connection (one `ERR` reply, then
+/// EOF) but never the server: a fresh connection is served as if
+/// nothing happened.
+#[test]
+fn oversized_garbage_closes_the_connection_not_the_server() {
+    let server = LinkQueryServer::bind("127.0.0.1:0", published()).expect("bind");
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    let long: Vec<u8> = (0..MAX_QUERY_LINE + 100)
+        .map(|i| b' ' + (i % 95) as u8)
+        .collect();
+    conn.write_all(&long).expect("write");
+    conn.write_all(b"\n").expect("write newline");
+    let mut reply = String::new();
+    let mut reader = BufReader::new(&mut conn);
+    reader.read_line(&mut reply).expect("read reply");
+    assert_eq!(reply.trim_end(), "ERR line too long");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "connection must close after oversized");
+    drop(conn);
+
+    let fresh = TcpStream::connect(server.local_addr()).expect("reconnect");
+    let mut reader = BufReader::new(fresh.try_clone().expect("clone"));
+    let mut writer = fresh;
+    writer.write_all(b"EPOCH\n").expect("write");
+    let mut head = String::new();
+    reader.read_line(&mut head).expect("read reply");
+    assert!(head.starts_with("OK epoch=3"), "{head:?}");
+}
