@@ -62,7 +62,15 @@
 //!    frontier served exactly N connections — plus one bursty record
 //!    where each client paces itself with a seeded on/off
 //!    (`slim::datagen::bursty_offsets`) schedule, the uneven-rate
-//!    regime the frontier merge exists for.
+//!    regime the frontier merge exists for;
+//! 8. **checkpoint** — the ingest drive run once with durability off
+//!    and once writing CRC-framed checkpoints every 20k events
+//!    (keep-2 retention) into a scratch directory, reporting the
+//!    events/s overhead of the checkpoint path and the write-latency
+//!    p50/p95 from `checkpoint_write_ns`, and asserting the served
+//!    links are bit-identical with checkpointing on, that checkpoints
+//!    were actually written, and that retention pruned the directory.
+//!    Runs in the `--source synthetic` CI smoke form too.
 //!
 //! Every `BENCH_STREAMING` record printed by a run is also persisted to
 //! `BENCH_STREAMING.json` at the repo root (smoke and full runs alike),
@@ -1065,6 +1073,115 @@ fn run_kernel_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) {
     }
 }
 
+/// Phase 8: checkpoint overhead. The same front-end drive runs once
+/// with durability off and once writing CRC-framed checkpoints every
+/// 20k events (`--checkpoint-every` equivalent, keep-2 retention) into
+/// a scratch directory. Reports the events/s cost of the checkpoint
+/// path plus the write-latency p50/p95 from the `checkpoint_write_ns`
+/// histogram, and asserts the durability path is purely additive: the
+/// served links are bit-identical with checkpointing on, checkpoints
+/// were actually written, and retention held the directory at ≤ keep
+/// files. Timing is report-only — the checkpoint fsyncs are at the
+/// mercy of the host's storage stack.
+fn run_checkpoint_phase(log: &mut BenchLog, events: &[slim::stream::StreamEvent]) {
+    use slim::stream::source::SyntheticSource;
+    use slim::stream::{DriveOptions, TickPolicy};
+
+    const CKPT_EVERY: u64 = 20_000;
+    const CKPT_KEEP: usize = 2;
+    let dir = std::env::temp_dir().join(format!("slim_bench_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let opts = DriveOptions {
+        queue_cap: 8_192,
+        source_batch: 4_096,
+        tick_policy: TickPolicy::EveryN(20_000),
+        max_lag_secs: 0,
+        ..DriveOptions::default()
+    };
+    let run = |checkpoint: bool| {
+        let mut engine = StreamEngine::new(bench_config(0)).expect("valid config");
+        if checkpoint {
+            engine.set_checkpoint_policy(dir.clone(), CKPT_EVERY, CKPT_KEEP);
+        }
+        let source = SyntheticSource::from_events(events.to_vec());
+        let t0 = Instant::now();
+        let report = engine.drive(source, &opts).expect("drive");
+        engine.refresh();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(report.events_delivered, events.len() as u64);
+        (elapsed, engine)
+    };
+
+    let (off_elapsed, off_engine) = run(false);
+    let (on_elapsed, on_engine) = run(true);
+    let stats = off_engine.stats();
+    let ckpt_stats = on_engine.stats();
+    let hist = on_engine.checkpoint_write_histogram();
+    let off_rate = events.len() as f64 / off_elapsed;
+    let on_rate = events.len() as f64 / on_elapsed;
+    let overhead_pct = 100.0 * (off_rate - on_rate) / off_rate;
+    println!(
+        "    checkpoint: off {:.0} events/s, on {:.0} events/s ({:+.1}% overhead; \
+         {} checkpoints, {} bytes, write p50/p95 {:.2}/{:.2} ms)",
+        off_rate,
+        on_rate,
+        overhead_pct,
+        ckpt_stats.checkpoints_written,
+        ckpt_stats.checkpoint_bytes,
+        hist.p50() as f64 / 1e6,
+        hist.p95() as f64 / 1e6,
+    );
+    log.emit(
+        JsonObj::new()
+            .str("bench", "streaming_checkpoint")
+            .u64("events", events.len() as u64)
+            .u64("checkpoint_every", CKPT_EVERY)
+            .f64("elapsed_off_s", off_elapsed)
+            .f64("elapsed_on_s", on_elapsed)
+            .f64("events_per_sec_off", off_rate)
+            .f64("events_per_sec_on", on_rate)
+            .f64("overhead_pct", overhead_pct)
+            .u64("checkpoints_written", ckpt_stats.checkpoints_written)
+            .u64("checkpoint_bytes", ckpt_stats.checkpoint_bytes)
+            .u64("checkpoint_write_p50_ns", hist.p50())
+            .u64("checkpoint_write_p95_ns", hist.p95())
+            .u64("ticks", ckpt_stats.ticks)
+            .u64("links", on_engine.links().len() as u64),
+    );
+    // The durability contract: checkpointing changes nothing observable
+    // and actually persisted something, under the retention bound.
+    assert!(
+        ckpt_stats.checkpoints_written > 0,
+        "a {}-event replay at --checkpoint-every {CKPT_EVERY} must write checkpoints",
+        events.len()
+    );
+    assert_eq!(
+        hist.count(),
+        ckpt_stats.checkpoints_written,
+        "every checkpoint write must land in checkpoint_write_ns"
+    );
+    assert!(
+        off_engine.links() == on_engine.links(),
+        "checkpointing changed the served links — the durability path is \
+         not purely additive"
+    );
+    assert_eq!(
+        stats.ticks, ckpt_stats.ticks,
+        "checkpointing changed the tick count"
+    );
+    let on_disk = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".slim"))
+        .count();
+    assert!(
+        (1..=CKPT_KEEP).contains(&on_disk),
+        "retention left {on_disk} checkpoint files (keep {CKPT_KEEP})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -1130,6 +1247,10 @@ fn main() {
         // feeds full speed, then 16 bursty feeds.
         run_connections_phase(&mut log, &events, &[16]);
         run_bursty_connections(&mut log, &events, 16);
+        // And the checkpoint-overhead record, so the durability cost
+        // and write-latency series land in BENCH_STREAMING.json on
+        // every CI run.
+        run_checkpoint_phase(&mut log, &events);
         log.write();
         if lenient {
             println!(
@@ -1423,6 +1544,10 @@ fn main() {
     // concurrent loopback feeds, plus the bursty uneven-rate record.
     let connections_rate = run_connections_phase(&mut log, &events, &[16, 64, 128]);
     run_bursty_connections(&mut log, &events, 16);
+
+    // Phase 8: the checkpoint-overhead record — durability cost vs the
+    // checkpoint-off drive, plus the write-latency percentiles.
+    run_checkpoint_phase(&mut log, &events);
     log.write();
 
     // `--smoke` / STREAM_BENCH_LENIENT turn the absolute floors into

@@ -114,9 +114,14 @@ impl CellId {
     /// Panics if the value is not a valid cell id (bad face or missing
     /// sentinel bit).
     pub fn from_u64(raw: u64) -> Self {
+        Self::try_from_u64(raw).unwrap_or_else(|| panic!("invalid cell id {raw:#x}"))
+    }
+
+    /// Fallible twin of [`CellId::from_u64`] for untrusted input (e.g.
+    /// deserialization): `None` instead of a panic on invalid bits.
+    pub fn try_from_u64(raw: u64) -> Option<Self> {
         let id = CellId(raw);
-        assert!(id.is_valid(), "invalid cell id {raw:#x}");
-        id
+        id.is_valid().then_some(id)
     }
 
     /// Whether the raw bits form a structurally valid id.

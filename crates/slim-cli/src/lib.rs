@@ -98,6 +98,16 @@ pub struct StreamOptions {
     /// page. Purely observational: engine output is bit-identical for
     /// every cadence.
     pub metrics_every: u64,
+    /// Write a crash-recovery checkpoint every this many consumed
+    /// events into the `--checkpoint-dir` (`0` = checkpointing off).
+    /// Purely additive: the served links and finalized output are
+    /// bit-identical at every cadence.
+    pub checkpoint_every: u64,
+    /// Checkpoint retention: keep the newest K checkpoint files,
+    /// pruning older ones after each successful write. At least 2 is
+    /// recommended so a checkpoint torn mid-write leaves a valid
+    /// predecessor to fall back to.
+    pub checkpoint_keep: usize,
 }
 
 impl Default for StreamOptions {
@@ -119,6 +129,8 @@ impl Default for StreamOptions {
             synthetic_scale: 0.05,
             synthetic_seed: 42,
             metrics_every: 0,
+            checkpoint_every: 0,
+            checkpoint_keep: 2,
         }
     }
 }
@@ -150,6 +162,13 @@ pub struct CliOptions {
     /// engine's published epoch snapshots while ingesting (`--serve`;
     /// implies `--stream`).
     pub serve_addr: Option<String>,
+    /// Directory for crash-recovery checkpoints (`--checkpoint-dir`;
+    /// implies `--stream`). Writes happen at the `--checkpoint-every`
+    /// cadence; `--recover` reads the newest valid one back.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `--checkpoint-dir`
+    /// instead of starting fresh (`--recover`; implies `--stream`).
+    pub recover: bool,
     /// Output CSV path (stdout when `None`).
     pub out: Option<PathBuf>,
     /// Print per-step progress.
@@ -253,6 +272,20 @@ OPTIONS:
                          THRESHOLD, EPOCH; one reply per line; port 0
                          picks one — the bound address is logged with
                          --verbose; implies --stream)
+    --checkpoint-dir DIR write crash-recovery checkpoints into DIR
+                         (CRC-framed, written atomically: temp file +
+                         fsync + rename; implies --stream)
+    --checkpoint-every N events between checkpoints; requires
+                         --checkpoint-dir; output is bit-identical at
+                         every cadence; 0 = off          [default: 0]
+    --checkpoint-keep K  keep the newest K checkpoint files, pruning
+                         older ones after each write; >= 2 leaves a
+                         fall-back for a torn newest    [default: 2]
+    --recover            resume from the newest valid checkpoint in
+                         --checkpoint-dir (falling back past torn or
+                         corrupt files), skip the already-consumed
+                         event prefix, and continue bit-identically to
+                         a run that never crashed
     --out FILE           write links CSV here (default: stdout)
     --demo DIR           generate a synthetic dataset pair in DIR, then link it
     --verbose            progress output on stderr
@@ -445,6 +478,36 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 want_stream = true;
                 i += 2;
             }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(take_value(args, i, arg)?));
+                want_stream = true;
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let v = take_value(args, i, arg)?;
+                stream_opts.checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every `{v}`"))?;
+                want_stream = true;
+                i += 2;
+            }
+            "--checkpoint-keep" => {
+                let v = take_value(args, i, arg)?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-keep `{v}`"))?;
+                if k == 0 {
+                    return Err("--checkpoint-keep must be positive".to_string());
+                }
+                stream_opts.checkpoint_keep = k;
+                want_stream = true;
+                i += 2;
+            }
+            "--recover" => {
+                opts.recover = true;
+                want_stream = true;
+                i += 1;
+            }
             "--exact-matching" => {
                 opts.config.matching_method = MatchingMethod::HungarianExact;
                 i += 1;
@@ -577,6 +640,19 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         if stream_opts.idle_timeout_secs > 0 && stream_opts.connections == 0 {
             return Err(
                 "--idle-timeout requires --connections (the frontier only evicts fan-in feeds)"
+                    .to_string(),
+            );
+        }
+        if stream_opts.checkpoint_every > 0 && opts.checkpoint_dir.is_none() {
+            return Err("--checkpoint-every requires --checkpoint-dir".to_string());
+        }
+        if opts.recover && opts.checkpoint_dir.is_none() {
+            return Err("--recover requires --checkpoint-dir".to_string());
+        }
+        if opts.checkpoint_dir.is_some() && stream_opts.connections > 0 {
+            return Err(
+                "checkpointing is single-source: --checkpoint-dir cannot be combined \
+                 with --connections"
                     .to_string(),
             );
         }
@@ -815,6 +891,19 @@ fn run_stream(
         ..DriveOptions::default()
     };
 
+    // A recovered engine restores its origin, counters, and link state
+    // from the newest valid checkpoint, so the fresh-engine origin
+    // pinning below is bypassed for it.
+    let recover_dir = if opts.recover {
+        Some(
+            opts.checkpoint_dir
+                .clone()
+                .ok_or_else(|| "--recover requires --checkpoint-dir".to_string())?,
+        )
+    } else {
+        None
+    };
+
     /// Which drive loop the configured front-end needs: one source
     /// behind the SPSC pump, or a multi-connection tier behind the
     /// MPSC fan-in with frontier merge.
@@ -832,9 +921,12 @@ fn run_stream(
     let (mut engine, source): (StreamEngine, FrontEnd) = match stream_opts.source {
         SourceKind::Csv => {
             let (left_ds, right_ds) = datasets.expect("csv streams load datasets first");
-            let engine = match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
-                Some(origin) => StreamEngine::with_origin(cfg, origin)?,
-                None => StreamEngine::new(cfg)?,
+            let engine = match &recover_dir {
+                Some(dir) => StreamEngine::recover(cfg, dir)?,
+                None => match batch_equivalent_origin(left_ds, right_ds, opts.config.min_records) {
+                    Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                    None => StreamEngine::new(cfg)?,
+                },
             };
             let source = CsvReplaySource::from_datasets(left_ds, right_ds);
             log(&format!("replaying {} events", source.events().len()));
@@ -863,8 +955,12 @@ fn run_stream(
                     "tailing live feed at {addr} ({} wire)",
                     stream_opts.wire.label()
                 ));
+                let engine = match &recover_dir {
+                    Some(dir) => StreamEngine::recover(cfg, dir)?,
+                    None => StreamEngine::new(cfg)?,
+                };
                 (
-                    StreamEngine::new(cfg)?,
+                    engine,
                     FrontEnd::Single(Box::new(TcpLineSource::connect_with(
                         addr,
                         stream_opts.wire,
@@ -878,13 +974,16 @@ fn run_stream(
                 stream_opts.synthetic_seed,
             );
             let synthetic_sample = scenario.sample(0.5, stream_opts.synthetic_seed);
-            let engine = match batch_equivalent_origin(
-                &synthetic_sample.left,
-                &synthetic_sample.right,
-                opts.config.min_records,
-            ) {
-                Some(origin) => StreamEngine::with_origin(cfg, origin)?,
-                None => StreamEngine::new(cfg)?,
+            let engine = match &recover_dir {
+                Some(dir) => StreamEngine::recover(cfg, dir)?,
+                None => match batch_equivalent_origin(
+                    &synthetic_sample.left,
+                    &synthetic_sample.right,
+                    opts.config.min_records,
+                ) {
+                    Some(origin) => StreamEngine::with_origin(cfg, origin)?,
+                    None => StreamEngine::new(cfg)?,
+                },
             };
             let events = merge_datasets(&synthetic_sample.left, &synthetic_sample.right);
             log(&format!(
@@ -903,6 +1002,32 @@ fn run_stream(
             (engine, FrontEnd::Single(Box::new(source)))
         }
     };
+
+    if opts.recover {
+        let s = engine.stats();
+        log(&format!(
+            "recovered {} events, {} links, epoch {} ({} corrupt checkpoint file(s) skipped)",
+            s.events,
+            engine.links().len(),
+            s.snapshots_published,
+            s.checkpoints_rejected
+        ));
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        if stream_opts.checkpoint_every > 0 {
+            engine.set_checkpoint_policy(
+                dir.clone(),
+                stream_opts.checkpoint_every,
+                stream_opts.checkpoint_keep,
+            );
+            log(&format!(
+                "checkpointing every {} events into {} (keep {})",
+                stream_opts.checkpoint_every,
+                dir.display(),
+                stream_opts.checkpoint_keep
+            ));
+        }
+    }
 
     // Telemetry outputs. The scrape endpoint binds before the drive so
     // it serves throughout; publishing the zeroed pre-drive snapshot
@@ -1021,6 +1146,7 @@ fn run_stream(
     };
     let latency = engine.event_latency_histogram();
     let query_latency = engine.query_latency_histogram();
+    let ckpt_write = engine.checkpoint_write_histogram();
     // The scoring kernel is reported in ns/window, not in the ms span
     // digest: its spans are per (pair, window) contribution.
     let kernel = engine.score_kernel_histogram();
@@ -1045,6 +1171,8 @@ fn run_stream(
          {} idle evictions\n\
          serve: {} epochs published, {} link queries answered, \
          query p50/p95 {:.2}/{:.2} ms\n\
+         ckpt: {} checkpoints written ({} bytes), {} rejected at recovery, \
+         write p50/p95 {:.2}/{:.2} ms\n\
          pool: {} shards on {} workers, {} chunk steals, \
          worker busy max/min {:.2}/{:.2} ms\n\
          ticks: {} of {} cached pairs visited, {} retired, {} edges patched, \
@@ -1070,6 +1198,11 @@ fn run_stream(
         stats.queries_served,
         ms(query_latency.p50()),
         ms(query_latency.p95()),
+        stats.checkpoints_written,
+        stats.checkpoint_bytes,
+        stats.checkpoints_rejected,
+        ms(ckpt_write.p50()),
+        ms(ckpt_write.p95()),
         num_shards,
         num_workers,
         stats.steal_events,
@@ -1231,6 +1364,8 @@ mod tests {
             ("--metrics-every", format!("{}", stream.metrics_every)),
             ("--connections", format!("{}", stream.connections)),
             ("--idle-timeout", format!("{}", stream.idle_timeout_secs)),
+            ("--checkpoint-every", format!("{}", stream.checkpoint_every)),
+            ("--checkpoint-keep", format!("{}", stream.checkpoint_keep)),
         ];
         for (flag, value) in documented {
             // The flag's doc entry spans from its line to the next flag.
@@ -1386,6 +1521,138 @@ mod tests {
         let err = run(&bad).unwrap_err();
         assert!(err.contains("step_windows"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--checkpoint-dir` + `--checkpoint-every` write recoverable
+    /// checkpoints during a CSV replay, and a `--recover` run over the
+    /// same datasets resumes from the newest one and produces the
+    /// byte-identical links CSV and the same summary counters as the
+    /// uninterrupted run — the CLI face of the crash-recovery contract.
+    #[test]
+    fn stream_checkpoint_and_recover_match_the_unbroken_run() {
+        let dir = std::env::temp_dir().join("slim_cli_ckpt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CliOptions {
+            demo: Some(dir.clone()),
+            out: Some(dir.join("demo.csv")),
+            ..CliOptions::default()
+        };
+        run(&opts).unwrap();
+
+        let ckpt_dir = dir.join("ckpts");
+        let stream_opts = StreamOptions {
+            refresh_every: 2_000,
+            num_shards: 2,
+            num_workers: 2,
+            checkpoint_every: 500,
+            ..StreamOptions::default()
+        };
+        let unbroken_out = dir.join("unbroken.csv");
+        let opts = CliOptions {
+            left: Some(dir.join("left.csv")),
+            right: Some(dir.join("right.csv")),
+            stream: Some(stream_opts),
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            out: Some(unbroken_out.clone()),
+            ..CliOptions::default()
+        };
+        let unbroken_summary = run(&opts).unwrap();
+        assert!(unbroken_summary.contains("ckpt:"), "{unbroken_summary}");
+        assert!(
+            !unbroken_summary.contains("ckpt: 0 checkpoints"),
+            "no checkpoints were written:\n{unbroken_summary}"
+        );
+        let files: Vec<_> = std::fs::read_dir(&ckpt_dir)
+            .expect("checkpoint dir exists")
+            .filter_map(|e| e.ok())
+            .collect();
+        assert!(
+            !files.is_empty() && files.len() <= 2,
+            "retention keeps at most --checkpoint-keep files, found {}",
+            files.len()
+        );
+
+        // "Crash" after the newest checkpoint: recover and replay the
+        // same datasets — the already-consumed prefix is skipped and
+        // the run finishes exactly like the unbroken one.
+        let recovered_out = dir.join("recovered.csv");
+        let opts = CliOptions {
+            recover: true,
+            out: Some(recovered_out.clone()),
+            ..opts
+        };
+        let recovered_summary = run(&opts).unwrap();
+        let unbroken_links = std::fs::read_to_string(&unbroken_out).unwrap();
+        let recovered_links = std::fs::read_to_string(&recovered_out).unwrap();
+        assert_eq!(unbroken_links, recovered_links, "recovered links diverged");
+        // The headline counters agree: total events (prefix included)
+        // and ticks. The update counts rightly differ — a recovered
+        // run's report covers only the post-recovery deltas — and the
+        // events/s rate is wall-clock.
+        let head = |summary: &str| {
+            let line = summary.lines().next().expect("summary line");
+            let (events, rest) = line.split_once(" at ").expect("rate");
+            let ticks = rest
+                .split_once(", ")
+                .and_then(|(_, t)| t.split_once(" ("))
+                .expect("ticks")
+                .0;
+            (events.to_string(), ticks.to_string())
+        };
+        assert_eq!(
+            head(&unbroken_summary),
+            head(&recovered_summary),
+            "recovered stream counters diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let o = parse(&[
+            "a.csv",
+            "b.csv",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "5000",
+            "--checkpoint-keep",
+            "3",
+        ])
+        .unwrap();
+        assert!(o.stream.is_some(), "--checkpoint-dir implies --stream");
+        assert_eq!(
+            o.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ck"))
+        );
+        let s = o.stream.unwrap();
+        assert_eq!((s.checkpoint_every, s.checkpoint_keep), (5000, 3));
+        assert!(!o.recover);
+        let o = parse(&["a.csv", "b.csv", "--checkpoint-dir", "/tmp/ck", "--recover"]).unwrap();
+        assert!(o.recover);
+        // Cadence and recovery both need a directory; keep must be
+        // positive; fan-in drives cannot checkpoint.
+        assert!(parse(&["a.csv", "b.csv", "--checkpoint-every", "100"]).is_err());
+        assert!(parse(&["a.csv", "b.csv", "--recover"]).is_err());
+        assert!(parse(&[
+            "a.csv",
+            "b.csv",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-keep",
+            "0"
+        ])
+        .is_err());
+        assert!(parse(&[
+            "127.0.0.1:0",
+            "--source",
+            "tcp",
+            "--connections",
+            "2",
+            "--checkpoint-dir",
+            "/tmp/ck"
+        ])
+        .is_err());
     }
 
     #[test]

@@ -401,6 +401,63 @@ impl HistoryArena {
         Some(MobilityHistory::from_leaves(e, leaves, window_records))
     }
 
+    /// One entity's live columns plus the per-window record counts —
+    /// the checkpoint-serialization export. The columns come back in
+    /// exactly the canonical order [`EntityView`] exposes, so
+    /// [`HistoryArena::restore_entity`] round-trips bit-identically.
+    /// `None` for absent/tombstoned entities.
+    #[allow(clippy::type_complexity)]
+    pub fn export_entity(
+        &self,
+        e: EntityId,
+    ) -> Option<(Vec<WindowIdx>, Vec<CellId>, Vec<u32>, Vec<(WindowIdx, u32)>)> {
+        let slot = self.dir.get(&e)?;
+        if slot.len == 0 {
+            return None;
+        }
+        let (off, len) = (slot.off, slot.len);
+        Some((
+            self.wins[off..off + len].to_vec(),
+            self.cells[off..off + len].to_vec(),
+            self.counts[off..off + len].to_vec(),
+            slot.window_records.clone(),
+        ))
+    }
+
+    /// Restores one entity from a [`HistoryArena::export_entity`] dump:
+    /// the columns land contiguously at the tail (no slack, generation
+    /// 0) and the counters are rebuilt, so a recovered arena answers
+    /// every query exactly like the checkpointed one. The entity must
+    /// not already exist (recovery fills a fresh arena).
+    pub fn restore_entity(
+        &mut self,
+        e: EntityId,
+        wins: Vec<WindowIdx>,
+        cells: Vec<CellId>,
+        counts: Vec<u32>,
+        window_records: Vec<(WindowIdx, u32)>,
+    ) {
+        let n = wins.len();
+        debug_assert!(n > 0, "restoring an empty entity");
+        debug_assert!(cells.len() == n && counts.len() == n, "ragged columns");
+        debug_assert!(!self.dir.contains_key(&e), "entity restored twice");
+        let slot = EntitySlot {
+            off: self.wins.len(),
+            len: n,
+            cap: n,
+            generation: 0,
+            dead: false,
+            num_records: window_records.iter().map(|&(_, c)| c).sum(),
+            window_records,
+        };
+        self.wins.extend_from_slice(&wins);
+        self.cells.extend_from_slice(&cells);
+        self.counts.extend_from_slice(&counts);
+        self.dir.insert(e, slot);
+        self.live_bins += n;
+        self.live_entities += 1;
+    }
+
     fn maybe_compact(&mut self) {
         if self.dead_slots >= COMPACT_MIN_DEAD && self.dead_slots > self.live_bins {
             self.compact();

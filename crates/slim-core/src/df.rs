@@ -109,6 +109,36 @@ impl DfStats {
         self.num_entities -= 1;
     }
 
+    /// The per-bin document frequencies in sorted `(window, cell)`
+    /// order — a canonical dump for checkpoint serialization (the
+    /// internal map iterates in hash order).
+    pub fn sorted_entries(&self) -> Vec<(WindowIdx, CellId, u32)> {
+        let mut out: Vec<(WindowIdx, CellId, u32)> = self
+            .bin_df
+            .iter()
+            .map(|(&(w, cell), &df)| (w, cell, df))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reconstructs statistics from a [`DfStats::sorted_entries`] dump
+    /// plus the two scalar counters — the checkpoint-recovery inverse.
+    pub fn from_parts(
+        entries: Vec<(WindowIdx, CellId, u32)>,
+        total_bins: usize,
+        num_entities: usize,
+    ) -> Self {
+        Self {
+            bin_df: entries
+                .into_iter()
+                .map(|(w, cell, df)| ((w, cell), df))
+                .collect(),
+            total_bins,
+            num_entities,
+        }
+    }
+
     /// Applies one shard's accumulated delta. Deltas are integer
     /// adjustments, so application order across shards does not affect
     /// the merged state.

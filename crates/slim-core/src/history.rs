@@ -215,6 +215,14 @@ impl MobilityHistory {
         self.bins_in(w).iter().map(|&(_, c)| c).sum()
     }
 
+    /// The true per-window record counts, ascending by window. Differs
+    /// from [`MobilityHistory::records_in`] for region records (one
+    /// record lands in several cells); checkpoint serialization needs
+    /// the exact counts so [`MobilityHistory::from_leaves`] round-trips.
+    pub fn window_record_counts(&self) -> impl Iterator<Item = (WindowIdx, u32)> + '_ {
+        self.window_records.iter().map(|(&w, &c)| (w, c))
+    }
+
     /// Dominating grid cell over the window range `[lo, hi)`, coarsened to
     /// `level` (must be ≤ the history's bin level). `None` if no records.
     pub fn dominating_cell(&self, lo: WindowIdx, hi: WindowIdx, level: u8) -> Option<CellId> {

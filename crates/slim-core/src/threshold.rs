@@ -252,6 +252,21 @@ impl ThresholdState {
         }
     }
 
+    /// The last converged mixture (the warm seed for the next
+    /// [`ThresholdState::select`]) — exported for checkpointing so a
+    /// recovered engine's next tick warm-starts exactly like the
+    /// unbroken run's would.
+    pub fn warm_seed(&self) -> Option<Gmm2> {
+        self.prev_gmm
+    }
+
+    /// Restores the warm seed from a checkpoint (the inverse of
+    /// [`ThresholdState::warm_seed`]). The weight multiset itself is
+    /// rebuilt by re-inserting the recovered matching's weights.
+    pub fn set_warm_seed(&mut self, seed: Option<Gmm2>) {
+        self.prev_gmm = seed;
+    }
+
     /// The maintained weights expanded to a sorted `Vec`.
     fn values(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.n as usize);

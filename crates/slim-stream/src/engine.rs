@@ -52,19 +52,25 @@
 //! to cover that case too.
 
 use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use slim_core::df::DfStats;
 use slim_core::similarity::SimilarityScorer;
 use slim_core::{
-    Edge, EntityId, HistorySet, IncrementalMatcher, LinkageOutput, LinkageStats, MatchingMethod,
-    MobilityHistory, PreparedLinkage, ThresholdState, Timestamp, WindowIdx, WindowScheme,
+    Edge, EdgeDelta, EntityId, HistorySet, IncrementalMatcher, LinkageOutput, LinkageStats,
+    MatchingMethod, MobilityHistory, PreparedLinkage, ThresholdState, Timestamp, WindowIdx,
+    WindowScheme,
 };
 use slim_lsh::{signature_buckets, signatures_collide, BucketIndex};
 use slim_telemetry::{Histogram, MetricsRegistry, Snapshot, SnapshotSink};
 
 use crate::adjacency::PairKey;
+use crate::checkpoint::{
+    self, CheckpointPolicy, CheckpointState, ConfigFingerprint, DfDump, EngineDump, MetaDump,
+    ResumeState, ShardsDump,
+};
 use crate::config::StreamConfig;
 use crate::event::{Side, StreamEvent};
 use crate::lsh::LshGeometry;
@@ -79,6 +85,7 @@ use crate::source::Clock;
 use crate::steal::PoolMode;
 use crate::store::{common_windows_of, for_common_runs, window_contribution_view, HistoryView};
 use crate::telemetry::{EngineTelemetry, PhaseId};
+use crate::testing::FaultPlan;
 
 /// One change to the served link set, emitted by a refresh tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -215,6 +222,20 @@ pub struct StreamStats {
     /// equality (both sides of a comparison fold in the same report —
     /// or none).
     pub queries_served: u64,
+    /// Checkpoint files written durably (temp + fsync + rename
+    /// completed). A function of the checkpoint cadence, not of the
+    /// event stream — a checkpoint-off run has 0 while producing
+    /// identical output — so **excluded from `PartialEq`** like the
+    /// scheduling telemetry.
+    pub checkpoints_written: u64,
+    /// Checkpoint files rejected during recovery (bad magic, torn
+    /// frame, checksum mismatch) before a valid one loaded. Only a
+    /// recovered run can have these; the unbroken reference it must
+    /// compare equal to never does — **excluded from `PartialEq`**.
+    pub checkpoints_rejected: u64,
+    /// Total bytes of durable checkpoint payload written. Follows
+    /// `checkpoints_written`, so likewise **excluded from `PartialEq`**.
+    pub checkpoint_bytes: u64,
 }
 
 impl PartialEq for StreamStats {
@@ -247,6 +268,9 @@ impl PartialEq for StreamStats {
             && self.queries_served == other.queries_served
         // arena_compactions deliberately absent: shard-partition-dependent.
         // idle_evictions deliberately absent: stall-timing-dependent.
+        // checkpoints_written / checkpoints_rejected / checkpoint_bytes
+        // deliberately absent: durability-cadence-dependent (a recovered
+        // run must compare equal to the unbroken reference).
     }
 }
 
@@ -349,6 +373,17 @@ pub struct StreamEngine {
     /// Optional observation hook recording every published epoch (the
     /// equivalence tests' complete publication sequence).
     epoch_log: Option<EpochLog>,
+    /// Active durability policy (`None` = checkpointing off). Lives on
+    /// the engine — not on the `Copy + Eq` [`StreamConfig`] /
+    /// `DriveOptions` — because it holds a path and never participates
+    /// in equality contracts.
+    checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injection for the crash/recover harness
+    /// (default: no faults).
+    fault_plan: FaultPlan,
+    /// Pump-side resume state loaded by [`StreamEngine::recover`],
+    /// consumed by the next drive.
+    resume: Option<ResumeState>,
 }
 
 impl StreamEngine {
@@ -388,6 +423,9 @@ impl StreamEngine {
             live_connections: 0,
             epoch: EpochPointer::new(),
             epoch_log: None,
+            checkpoint: None,
+            fault_plan: FaultPlan::default(),
+            resume: None,
         })
     }
 
@@ -528,7 +566,12 @@ impl StreamEngine {
     /// owns external ticking for the non-`EveryN` policies).
     pub(crate) fn set_refresh_every(&mut self, n: usize) {
         self.cfg.refresh_every = n;
-        self.events_since_refresh = 0;
+        // A pending recovery resume carries the checkpointed tick
+        // counter; resetting it would shift every subsequent `EveryN`
+        // tick relative to the unbroken run.
+        if self.resume.is_none() {
+            self.events_since_refresh = 0;
+        }
     }
 
     /// Folds one drive run's channel/watermark counters into the stats.
@@ -586,6 +629,349 @@ impl StreamEngine {
         opts: &crate::source::DriveOptions,
     ) -> Result<crate::source::IngestReport, String> {
         crate::source::pump::run_fan_in(self, fan_in, opts)
+    }
+
+    /// Enables crash-safe checkpointing: every `every` consumed source
+    /// events, [`StreamEngine::drive`] serializes the complete engine +
+    /// pump state into `dir` (atomic temp-file + fsync + rename),
+    /// retaining the newest `keep` files. `every = 0` disables
+    /// checkpointing again. See [`StreamEngine::recover`] for the read
+    /// side and the `checkpoint` module docs for the file format.
+    pub fn set_checkpoint_policy(&mut self, dir: PathBuf, every: u64, keep: usize) {
+        self.checkpoint = (every > 0).then(|| CheckpointPolicy {
+            dir,
+            every,
+            keep: keep.max(1),
+        });
+    }
+
+    /// The active durability policy, if any.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Installs a deterministic fault plan (kill-at-event, torn write,
+    /// bit flip) for the crash/recover test harness. Strictly a testing
+    /// hook: the default plan injects nothing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan (all-`None` by default).
+    pub(crate) fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
+    }
+
+    /// Hands the recovered pump state (reorder buffer, ticker, resume
+    /// offset) to the drive loop — present exactly once, on the first
+    /// drive after [`StreamEngine::recover`].
+    pub(crate) fn take_resume_state(&mut self) -> Option<ResumeState> {
+        self.resume.take()
+    }
+
+    /// Serializes the complete current state plus `pump` and installs
+    /// it atomically in the policy directory, then prunes beyond the
+    /// retention count. `corrupt` applies the fault plan's torn-write /
+    /// bit-flip corruption to the image first (the harness's
+    /// crash-mid-write simulation). No-op without a policy.
+    pub(crate) fn write_checkpoint(
+        &mut self,
+        pump: ResumeState,
+        corrupt: bool,
+    ) -> Result<(), String> {
+        let Some(policy) = self.checkpoint.clone() else {
+            return Ok(());
+        };
+        let t0 = self.tel.enabled.then(|| self.tel.now_ns());
+        let consumed = pump.consumed;
+        let state = self.capture_state(pump);
+        let mut bytes = checkpoint::encode(&state);
+        if corrupt {
+            checkpoint::apply_fault(&mut bytes, &self.fault_plan);
+        }
+        let written = checkpoint::write_atomic(&policy.dir, consumed, &bytes)?;
+        checkpoint::prune_old(&policy.dir, policy.keep);
+        self.stats.checkpoints_written += 1;
+        self.stats.checkpoint_bytes += written;
+        if let Some(t0) = t0 {
+            let span = self.tel.now_ns().saturating_sub(t0);
+            self.tel.checkpoint_write.record(span);
+        }
+        Ok(())
+    }
+
+    /// Freezes the engine into its checkpoint image. Shard state is
+    /// merged into globally sorted collections (the image is
+    /// shard-agnostic); the published epoch's scalars are read back
+    /// from the epoch pointer so recovery can republish it verbatim.
+    fn capture_state(&self, pump: ResumeState) -> CheckpointState {
+        let snap = self.epoch.load();
+        let mut shards = ShardsDump::default();
+        for shard in &self.shards {
+            for side in [Side::Left, Side::Right] {
+                let i = side.idx();
+                for e in shard.histories[i].entity_ids() {
+                    let dump = shard.histories[i]
+                        .export_entity(e)
+                        .expect("listed by entity_ids");
+                    shards.histories[i].push((e, dump));
+                }
+                shards.pending[i].extend(shard.pending[i].iter().map(|(&e, v)| (e, v.clone())));
+                shards.live_events[i]
+                    .extend(shard.live_events[i].iter().map(|(&e, v)| (e, v.clone())));
+                shards.active[i].extend(shard.active[i].iter().copied());
+                shards.dirty[i].extend(
+                    shard.dirty[i]
+                        .iter()
+                        .map(|(&e, ws)| (e, ws.iter().copied().collect::<Vec<_>>())),
+                );
+                shards.dead[i].extend(shard.dead[i].iter().copied());
+            }
+            shards.rings.extend(shard.rings.export());
+            shards.cache.extend(
+                shard
+                    .cache
+                    .iter()
+                    .map(|(&p, m)| (p, m.iter().map(|(&w, &v)| (w, v)).collect::<Vec<_>>())),
+            );
+            shards.fresh.extend(shard.fresh.iter().copied());
+            shards
+                .edges
+                .extend(shard.edges.iter().map(|(&p, &w)| (p, w)));
+            shards
+                .edge_deltas
+                .extend(shard.edge_deltas.iter().map(|(&p, &w)| (p, w)));
+        }
+        // Canonical global order: the image must be byte-identical for
+        // every shard count (and the per-shard maps iterate in hash
+        // order anyway).
+        for i in 0..2 {
+            shards.histories[i].sort_unstable_by_key(|&(e, _)| e);
+            shards.pending[i].sort_unstable_by_key(|&(e, _)| e);
+            shards.live_events[i].sort_unstable_by_key(|&(e, _)| e);
+            shards.active[i].sort_unstable();
+            shards.dirty[i].sort_unstable_by_key(|&(e, _)| e);
+            shards.dead[i].sort_unstable();
+        }
+        shards.rings.sort_unstable_by_key(|d| (d.side, d.entity));
+        shards.cache.sort_unstable_by_key(|&(p, _)| p);
+        shards.fresh.sort_unstable();
+        shards.edges.sort_unstable_by_key(|&(p, _)| p);
+        shards.edge_deltas.sort_unstable_by_key(|&(p, _)| p);
+
+        CheckpointState {
+            meta: MetaDump {
+                consumed: pump.consumed,
+                fingerprint: ConfigFingerprint::of(&self.cfg),
+            },
+            engine: EngineDump {
+                origin: self.scheme.as_ref().map(|s| s.window_start(0).secs()),
+                domain: self.domain,
+                watermark: self.watermark,
+                expired_below: self.expired_below,
+                events_since_refresh: self.events_since_refresh as u64,
+                stats: self.stats,
+                scoring: self.scoring_stats,
+                links: self.links.clone(),
+                epoch_events: snap.events,
+                epoch_threshold: snap.threshold,
+                epoch_frontier: snap.frontier.map(|t| t.secs()),
+                matcher_edges: self.matcher.edges_sorted(),
+                warm_seed: self.threshold_state.warm_seed(),
+                df: [0, 1].map(|i| DfDump {
+                    entries: self.df[i].sorted_entries(),
+                    total_bins: self.df[i].total_bins() as u64,
+                    num_entities: self.df[i].num_entities() as u64,
+                }),
+            },
+            shards,
+            pump,
+        }
+    }
+
+    /// Rebuilds an engine from the newest valid checkpoint in `dir`,
+    /// falling back past torn or corrupted files (each one counted in
+    /// [`StreamStats::checkpoints_rejected`]). `cfg` must fingerprint
+    /// identically to the checkpoint's configuration (shard and worker
+    /// counts excepted — checkpoints are shard-agnostic). The next
+    /// [`StreamEngine::drive`] over the *same source* resumes after the
+    /// checkpointed accepted prefix, and everything observable from
+    /// then on — published epochs, served links, stats, finalized
+    /// output — is bit-identical to a run that never crashed.
+    pub fn recover(cfg: StreamConfig, dir: &Path) -> Result<Self, String> {
+        let (state, rejected) = checkpoint::load_latest(dir)?;
+        state.meta.fingerprint.check(&cfg)?;
+        let mut engine = Self::new(cfg)?;
+        engine.restore_state(state)?;
+        engine.stats.checkpoints_rejected += rejected;
+        Ok(engine)
+    }
+
+    /// The recovery inverse of [`StreamEngine::capture_state`]:
+    /// redistributes the merged dumps across this engine's shards by
+    /// the deterministic entity hash and rebuilds every derived
+    /// structure (window membership, adjacency, bucket partitions,
+    /// matching, threshold multiset, published epoch).
+    fn restore_state(&mut self, state: CheckpointState) -> Result<(), String> {
+        let CheckpointState {
+            meta: _,
+            engine: e,
+            shards: s,
+            pump,
+        } = state;
+        if let Some(origin) = e.origin {
+            self.init_scheme(Timestamp(origin));
+        }
+        self.domain = e.domain;
+        self.watermark = e.watermark;
+        self.expired_below = e.expired_below;
+        self.events_since_refresh = e.events_since_refresh as usize;
+        self.stats = e.stats;
+        self.scoring_stats = e.scoring;
+        self.links = e.links;
+        self.df = e.df.map(|d| {
+            DfStats::from_parts(d.entries, d.total_bins as usize, d.num_entities as usize)
+        });
+
+        let n = self.num_shards;
+        let ring_keys: Vec<(Side, EntityId)> = s.rings.iter().map(|d| (d.side, d.entity)).collect();
+        let ShardsDump {
+            histories,
+            pending,
+            live_events,
+            active,
+            dirty,
+            dead,
+            rings,
+            cache,
+            fresh,
+            edges,
+            edge_deltas,
+        } = s;
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(histories) {
+            let i = side.idx();
+            for (ent, dump) in per_side {
+                let home = &mut self.shards[entity_shard(side, ent, n)];
+                // Window membership is derivable: the per-window record
+                // counts carry exactly one entry per live window.
+                for &(w, _) in &dump.window_records {
+                    home.window_entities.entry(w).or_default()[i].insert(ent);
+                }
+                home.histories[i].restore_entity(ent, dump);
+            }
+        }
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(pending) {
+            for (ent, evs) in per_side {
+                self.shards[entity_shard(side, ent, n)].pending[side.idx()].insert(ent, evs);
+            }
+        }
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(live_events) {
+            for (ent, evs) in per_side {
+                self.shards[entity_shard(side, ent, n)].live_events[side.idx()].insert(ent, evs);
+            }
+        }
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(active) {
+            for ent in per_side {
+                self.shards[entity_shard(side, ent, n)].active[side.idx()].insert(ent);
+            }
+        }
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(dirty) {
+            for (ent, ws) in per_side {
+                self.shards[entity_shard(side, ent, n)].dirty[side.idx()]
+                    .insert(ent, ws.into_iter().collect());
+            }
+        }
+        for (side, per_side) in [Side::Left, Side::Right].into_iter().zip(dead) {
+            for ent in per_side {
+                self.shards[entity_shard(side, ent, n)].dead[side.idx()].insert(ent);
+            }
+        }
+        for dump in rings {
+            let home = entity_shard(dump.side, dump.entity, n);
+            self.shards[home].rings.restore(dump);
+        }
+        // Re-upsert every restored signature into the bucket partitions
+        // — deliberately NOT via candidate registration: the serialized
+        // cache below is the authoritative candidate set, and
+        // re-registering would resurrect pairs the unbroken run had
+        // already retired.
+        if let Some(geom) = self.lsh.as_ref().map(|l| l.geom) {
+            let mut updates: Vec<(Side, EntityId, Vec<Option<u64>>)> = Vec::new();
+            for (side, ent) in ring_keys {
+                let home = &self.shards[entity_shard(side, ent, n)];
+                if let Some(sig) = home.rings.signature(side, ent) {
+                    updates.push((
+                        side,
+                        ent,
+                        signature_buckets(&sig, geom.bands, geom.rows, geom.num_buckets),
+                    ));
+                }
+            }
+            let lsh = self.lsh.as_mut().expect("checked above");
+            for partition in &mut lsh.partitions {
+                for (side, ent, buckets) in &updates {
+                    let _ = partition.upsert_hashed(side.index_side(), *ent, buckets);
+                }
+            }
+        }
+        for (pair, wins) in cache {
+            let owner = &mut self.shards[entity_shard(Side::Left, pair.0, n)];
+            owner.cache.insert(pair, wins.into_iter().collect());
+            owner.adjacency.insert(pair);
+        }
+        for pair in fresh {
+            self.shards[entity_shard(Side::Left, pair.0, n)]
+                .fresh
+                .insert(pair);
+        }
+        for (pair, w) in edges {
+            self.shards[entity_shard(Side::Left, pair.0, n)]
+                .edges
+                .insert(pair, w);
+        }
+        for (pair, w) in edge_deltas {
+            self.shards[entity_shard(Side::Left, pair.0, n)]
+                .edge_deltas
+                .insert(pair, w);
+        }
+
+        // The matcher travels as its full edge set (its caches lag the
+        // shard edge caches by the unconsumed deltas above) and is
+        // rebuilt in one upsert batch; the threshold multiset is by
+        // construction the current matching's weights.
+        let deltas: Vec<EdgeDelta> = e
+            .matcher_edges
+            .iter()
+            .map(|edge| EdgeDelta {
+                left: edge.left,
+                right: edge.right,
+                weight: Some(edge.weight),
+            })
+            .collect();
+        self.matcher.apply_deltas(&deltas);
+        for edge in self.matcher.matching() {
+            self.threshold_state.insert(edge.weight);
+        }
+        self.threshold_state.set_warm_seed(e.warm_seed);
+
+        // Republish the checkpointed epoch behind the pointer (never
+        // into the epoch log: a log installed on the recovered engine
+        // observes only post-recovery publications, which is what the
+        // equivalence tests splice against). The next tick then
+        // publishes `snapshots_published + 1`, exactly like the
+        // unbroken run.
+        if self.stats.snapshots_published > 0 {
+            self.epoch.publish(Arc::new(LinkSnapshot {
+                epoch: self.stats.snapshots_published,
+                events: e.epoch_events,
+                links: self.links.clone(),
+                threshold: e.epoch_threshold,
+                frontier: e.epoch_frontier.map(Timestamp),
+            }));
+        }
+        self.sync_arena_stats();
+        self.resume = Some(pump);
+        Ok(())
     }
 
     /// Swaps the telemetry clock everywhere spans are timed: the
@@ -696,6 +1082,12 @@ impl StreamEngine {
         self.tel.query_latency.clone()
     }
 
+    /// The per-checkpoint write-span histogram (serialize + temp file +
+    /// fsync + rename), recorded at the checkpoint cadence.
+    pub fn checkpoint_write_histogram(&self) -> Histogram {
+        self.tel.checkpoint_write.clone()
+    }
+
     /// The clock the telemetry layer reads (shared with the pump so
     /// admit timestamps and span timestamps agree).
     pub(crate) fn telemetry_clock(&self) -> Arc<dyn Clock + Sync> {
@@ -736,6 +1128,9 @@ impl StreamEngine {
         reg.counter_set("idle_evictions", s.idle_evictions);
         reg.counter_set("snapshots_published", s.snapshots_published);
         reg.counter_set("queries_served", s.queries_served);
+        reg.counter_set("checkpoints_written", s.checkpoints_written);
+        reg.counter_set("checkpoints_rejected", s.checkpoints_rejected);
+        reg.counter_set("checkpoint_bytes", s.checkpoint_bytes);
         reg.gauge_set("links", self.links.len() as f64);
         reg.gauge_set("live_edges", self.num_live_edges() as f64);
         reg.gauge_set("candidate_pairs", self.num_candidate_pairs() as f64);
@@ -746,6 +1141,7 @@ impl StreamEngine {
         reg.histogram_set("event_latency", self.tel.event_latency.clone());
         reg.histogram_set("frontier_lag", self.tel.frontier_lag.clone());
         reg.histogram_set("query_latency", self.tel.query_latency.clone());
+        reg.histogram_set("checkpoint_write", self.tel.checkpoint_write.clone());
         reg.histogram_set("worker_busy", self.pool.busy_histogram());
         reg
     }
@@ -1599,6 +1995,9 @@ mod tests {
             idle_evictions: _,
             snapshots_published: _,
             queries_served: _,
+            checkpoints_written: _,
+            checkpoints_rejected: _,
+            checkpoint_bytes: _,
         } = base;
         let excluded = [
             "arena_compactions",
@@ -1606,10 +2005,13 @@ mod tests {
             "max_worker_busy_ns",
             "min_worker_busy_ns",
             "idle_evictions",
+            "checkpoints_written",
+            "checkpoints_rejected",
+            "checkpoint_bytes",
         ];
         // One probe per field of the inventory above, same order.
         type Probe = (&'static str, fn(&mut StreamStats));
-        let fields: [Probe; 25] = [
+        let fields: [Probe; 28] = [
             ("events", |s| s.events += 1),
             ("late_dropped", |s| s.late_dropped += 1),
             ("ticks", |s| s.ticks += 1),
@@ -1635,6 +2037,9 @@ mod tests {
             ("idle_evictions", |s| s.idle_evictions += 1),
             ("snapshots_published", |s| s.snapshots_published += 1),
             ("queries_served", |s| s.queries_served += 1),
+            ("checkpoints_written", |s| s.checkpoints_written += 1),
+            ("checkpoints_rejected", |s| s.checkpoints_rejected += 1),
+            ("checkpoint_bytes", |s| s.checkpoint_bytes += 1),
         ];
         for (name, bump) in fields {
             let mut probe = base;

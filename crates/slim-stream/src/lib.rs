@@ -125,6 +125,7 @@
 #![warn(missing_docs)]
 
 mod adjacency;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -140,6 +141,7 @@ mod store;
 pub mod telemetry;
 pub mod testing;
 
+pub use checkpoint::CheckpointPolicy;
 pub use config::{StorageMode, StreamConfig, StreamLshConfig};
 pub use engine::{LinkUpdate, StreamEngine, StreamStats};
 pub use event::{batch_equivalent_origin, merge_datasets, Side, StreamEvent};

@@ -215,10 +215,61 @@ impl ShardRings {
         })
     }
 
+    /// Every ring's raw state in canonical `(side, entity)` order — the
+    /// checkpoint export (the internal map iterates in hash order).
+    pub(crate) fn export(&self) -> Vec<RingDump> {
+        let mut out: Vec<RingDump> = self
+            .rings
+            .iter()
+            .map(|(&(side, entity), ring)| RingDump {
+                side,
+                entity,
+                slots: ring
+                    .slots
+                    .iter()
+                    .map(|slot| slot.iter().map(|(&(w, c), &n)| (w, c, n)).collect())
+                    .collect(),
+                owners: ring.owners.clone(),
+                sig: ring.sig.clone(),
+            })
+            .collect();
+        out.sort_by_key(|d| (d.side, d.entity));
+        out
+    }
+
+    /// Restores one ring from a [`ShardRings::export`] dump — the
+    /// recovery inverse; the rebuilt ring answers `signature` and every
+    /// subsequent `add`/`evict` exactly like the checkpointed one.
+    pub(crate) fn restore(&mut self, dump: RingDump) {
+        let ring = SpanRing {
+            slots: dump
+                .slots
+                .into_iter()
+                .map(|entries| entries.into_iter().map(|(w, c, n)| ((w, c), n)).collect())
+                .collect(),
+            owners: dump.owners,
+            sig: dump.sig,
+        };
+        self.rings.insert((dump.side, dump.entity), ring);
+    }
+
     #[cfg(test)]
     fn is_empty(&self) -> bool {
         self.rings.is_empty()
     }
+}
+
+/// One entity's raw ring state in serializable form (per-slot sorted
+/// `(window, cell, count)` entries, slot owners, derived signature) —
+/// the unit [`ShardRings::export`] emits and [`ShardRings::restore`]
+/// consumes.
+#[derive(Debug, Clone)]
+pub(crate) struct RingDump {
+    pub(crate) side: Side,
+    pub(crate) entity: EntityId,
+    pub(crate) slots: Vec<Vec<(WindowIdx, CellId, u32)>>,
+    pub(crate) owners: Vec<Option<u32>>,
+    pub(crate) sig: Vec<Option<CellId>>,
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 
 use slim_core::{Timestamp, WindowIdx, WindowScheme};
 
+use crate::checkpoint::{ResumeState, TickerDump};
 use crate::engine::{LinkUpdate, StreamEngine};
 use crate::event::StreamEvent;
 use crate::source::reorder::ReorderBuffer;
@@ -239,6 +240,89 @@ impl Ticker {
         }
     }
 
+    /// The ticker's complete state — grid anchor included — for
+    /// checkpoint serialization; [`Ticker::restore`] is the inverse.
+    fn export(&self) -> TickerDump {
+        match self {
+            Ticker::EveryN => TickerDump::EveryN,
+            Ticker::EventTime {
+                interval,
+                scheme,
+                last_cell,
+            } => TickerDump::EventTime {
+                interval: *interval,
+                origin: scheme.map(|s| s.window_start(0).secs()),
+                last_cell: *last_cell,
+            },
+            Ticker::Watermark {
+                width,
+                scheme,
+                sealed_below,
+                pending,
+            } => TickerDump::Watermark {
+                width: *width,
+                origin: scheme.map(|s| s.window_start(0).secs()),
+                sealed_below: *sealed_below,
+                pending: pending.clone(),
+            },
+        }
+    }
+
+    /// Rebuilds a ticker from a checkpoint dump. The dumped grid origin
+    /// is authoritative — re-anchoring lazily at the first post-resume
+    /// event would shift every subsequent tick boundary. The resumed
+    /// drive must use the checkpointed drive's tick policy.
+    fn restore(dump: TickerDump, policy: TickPolicy) -> Result<Ticker, String> {
+        match (dump, policy) {
+            (TickerDump::EveryN, TickPolicy::EveryN(_)) => Ok(Ticker::EveryN),
+            (
+                TickerDump::EventTime {
+                    interval,
+                    origin,
+                    last_cell,
+                },
+                TickPolicy::EventTime { interval_secs },
+            ) => {
+                if interval != interval_secs {
+                    return Err(format!(
+                        "drive: resume tick interval {interval_secs} does not match \
+                         the checkpointed interval {interval}"
+                    ));
+                }
+                Ok(Ticker::EventTime {
+                    interval,
+                    scheme: origin.map(|o| WindowScheme::new(Timestamp(o), interval)),
+                    last_cell,
+                })
+            }
+            (
+                TickerDump::Watermark {
+                    width,
+                    origin,
+                    sealed_below,
+                    pending,
+                },
+                TickPolicy::Watermark { .. },
+            ) => Ok(Ticker::Watermark {
+                width,
+                scheme: origin.map(|o| WindowScheme::new(Timestamp(o), width)),
+                sealed_below,
+                pending,
+            }),
+            (dump, policy) => {
+                let kind = match dump {
+                    TickerDump::EveryN => "EveryN",
+                    TickerDump::EventTime { .. } => "EventTime",
+                    TickerDump::Watermark { .. } => "Watermark",
+                };
+                Err(format!(
+                    "drive: resume tick policy {policy:?} does not match \
+                     the checkpointed {kind} ticker"
+                ))
+            }
+        }
+    }
+
     /// End of stream: everything still pending is served (without a
     /// closing tick — callers decide whether to refresh or finalize).
     fn finish(&mut self, engine: &mut StreamEngine, report: &mut IngestReport) {
@@ -389,17 +473,42 @@ pub(crate) fn run<S: StreamSource + Send>(
     let lag = validate(engine, opts)?;
 
     let mut report = IngestReport::default();
-    let mut reorder = ReorderBuffer::new(lag);
     // Tick grids anchor at the engine's pinned origin when there is
     // one, else at the first released event (which is also what the
-    // engine will adopt as its window origin).
+    // engine will adopt as its window origin). A recovered engine
+    // instead hands back the checkpointed pump state: the reorder
+    // buffer and ticker resume exactly where the crashed drive stood,
+    // and the `resume_base`-event accepted prefix (already inside the
+    // engine) is skipped on replay.
     let origin = engine.scheme().map(|s| s.window_start(0));
-    let mut ticker = Ticker::new(
-        opts.tick_policy,
-        engine.config().slim.window_width_secs,
-        origin,
-    );
+    let width = engine.config().slim.window_width_secs;
+    let (mut reorder, mut ticker, resume_base) = match engine.take_resume_state() {
+        Some(rs) => (
+            ReorderBuffer::restore(
+                lag,
+                rs.reorder_max_seen.map(Timestamp),
+                rs.reorder_held,
+                rs.reorder_late,
+            ),
+            Ticker::restore(rs.ticker, opts.tick_policy)?,
+            rs.consumed,
+        ),
+        None => (
+            ReorderBuffer::new(lag),
+            Ticker::new(opts.tick_policy, width, origin),
+            0,
+        ),
+    };
     let mut tel = PumpTelemetry::new(engine, opts.metrics_every);
+    let ckpt = engine.checkpoint_policy().cloned();
+    let kill_at = engine.fault_plan().kill_at_event;
+    // Source events consumed so far, counting the skipped resume
+    // prefix — the checkpoint cadence and the kill fault are both
+    // stated in this coordinate.
+    let mut consumed: u64 = 0;
+    // Why the drive stopped before EOF (fault injection or a failed
+    // checkpoint write); `Some` skips the EOF flush and fails the run.
+    let mut fault: Option<String> = None;
 
     let (producer_result, channel_stats, queue_grown_to) = std::thread::scope(|scope| {
         let (tx, rx) = channel::bounded::<StreamEvent>(opts.queue_cap);
@@ -448,6 +557,14 @@ pub(crate) fn run<S: StreamSource + Send>(
             }
             tel.stamp_admit();
             for ev in arrivals.drain(..) {
+                consumed += 1;
+                if consumed <= resume_base {
+                    // Replaying the accepted prefix of a recovered
+                    // drive: the engine already holds these events
+                    // (and the restored reorder buffer their held
+                    // tail), so they are counted and discarded.
+                    continue;
+                }
                 reorder.push(ev, &mut released);
                 // Watermark sealing must be checked as the frontier
                 // advances — per arrival, which is what keeps its tick
@@ -458,18 +575,57 @@ pub(crate) fn run<S: StreamSource + Send>(
                     ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
                     tel.observe(engine, &report);
                 }
+                if let Some(p) = &ckpt {
+                    if consumed.is_multiple_of(p.every) {
+                        // Drain the release buffer into the engine
+                        // first so the checkpoint captures every
+                        // consumed event either fully applied or held
+                        // in the serialized reorder/ticker state.
+                        ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+                        tel.observe(engine, &report);
+                        let (max_seen, held, late) = reorder.export();
+                        let pump = ResumeState {
+                            consumed,
+                            reorder_max_seen: max_seen.map(|t| t.secs()),
+                            reorder_held: held,
+                            reorder_late: late,
+                            ticker: ticker.export(),
+                        };
+                        // Fault injection corrupts exactly the last
+                        // checkpoint written before the kill point, so
+                        // recovery exercises the fall-back path.
+                        let corrupt = kill_at.is_some_and(|k| consumed + p.every > k);
+                        if let Err(e) = engine.write_checkpoint(pump, corrupt) {
+                            fault = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if kill_at == Some(consumed) {
+                    fault = Some(format!("fault: killed at event {consumed}"));
+                    break;
+                }
+            }
+            if fault.is_some() {
+                break;
             }
             ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
             tel.observe(engine, &report);
         }
-        // EOF: the channel is closed *and* fully drained; release the
-        // still-buffered tail in canonical order.
-        reorder.flush(&mut released);
-        ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
-        ticker.finish(engine, &mut report);
-        tel.finish(engine, &report);
+        if fault.is_none() {
+            // EOF: the channel is closed *and* fully drained; release
+            // the still-buffered tail in canonical order.
+            reorder.flush(&mut released);
+            ticker.feed(engine, &mut released, reorder.frontier(), &mut report);
+            ticker.finish(engine, &mut report);
+            tel.finish(engine, &report);
+        }
         let stats = rx.stats();
         let final_cap = sizer.map_or(opts.queue_cap, |s| s.capacity()) as u64;
+        // On an early stop the producer may still be blocked on a full
+        // channel; dropping the receiver errors its next send, which it
+        // treats as a clean exit.
+        drop(rx);
         let (result, batches, stalls) = producer
             .join()
             .unwrap_or_else(|_| (Err("drive: source producer thread panicked".into()), 0, 0));
@@ -478,6 +634,12 @@ pub(crate) fn run<S: StreamSource + Send>(
         (result, stats, final_cap)
     });
     producer_result?;
+    if let Some(fault) = fault {
+        // A simulated crash: the engine is left exactly as the fault
+        // found it — no EOF flush, no report absorption — so tests can
+        // model a process that died mid-drive.
+        return Err(fault);
+    }
 
     report.late_events = reorder.late_events();
     report.blocked_producer_ns = channel_stats.blocked_producer_ns;
@@ -513,6 +675,16 @@ pub(crate) fn run_fan_in<F: crate::source::FanIn + Send>(
 ) -> Result<IngestReport, String> {
     use crate::source::channel::RecvTimeout;
     use crate::source::{ConnMessage, ConnectionFrontier};
+
+    // Checkpointing and recovery are single-source concerns: a fan-in
+    // drive has no replayable accepted prefix to resume from (each
+    // connection's offset would have to be tracked separately).
+    if engine.checkpoint_policy().is_some() {
+        return Err("drive: checkpointing is not supported for fan-in drives".into());
+    }
+    if engine.take_resume_state().is_some() {
+        return Err("drive: a recovered engine must resume with a single-source drive".into());
+    }
 
     let lag = validate(engine, opts)?;
     let mut report = IngestReport::default();

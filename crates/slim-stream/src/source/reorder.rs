@@ -134,6 +134,40 @@ impl ReorderBuffer {
     pub fn frontier(&self) -> Option<Timestamp> {
         self.wm.frontier()
     }
+
+    /// The buffer's complete state — watermark high point, held events
+    /// in canonical key order, late count — for checkpoint
+    /// serialization; [`ReorderBuffer::restore`] is the inverse.
+    pub(crate) fn export(&self) -> (Option<Timestamp>, Vec<StreamEvent>, u64) {
+        let held = self
+            .pending
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        (self.wm.max_seen(), held, self.late_events)
+    }
+
+    /// Rebuilds a buffer from a [`ReorderBuffer::export`] dump: the
+    /// watermark resumes at the checkpointed high point and the held
+    /// events are re-buffered without any release, so the recovered
+    /// buffer answers every subsequent `push` exactly like the
+    /// checkpointed one.
+    pub(crate) fn restore(
+        max_lag_secs: i64,
+        max_seen: Option<Timestamp>,
+        held: Vec<StreamEvent>,
+        late_events: u64,
+    ) -> Self {
+        let mut buf = Self::new(max_lag_secs);
+        if let Some(t) = max_seen {
+            buf.wm.observe(t);
+        }
+        for ev in held {
+            buf.hold(ev);
+        }
+        buf.late_events = late_events;
+        buf
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,73 @@ impl HistoryStore {
             Self::Arena(arena) => arena.compactions(),
         }
     }
+
+    /// One entity's history as canonical columns — the checkpoint
+    /// export, representation-independent: both layouts emit the same
+    /// `wins` ascending / cells-sorted-per-run columns plus the true
+    /// per-window record counts. `None` when absent.
+    pub(crate) fn export_entity(&self, e: EntityId) -> Option<HistoryDump> {
+        match self {
+            Self::Legacy(map) => {
+                let h = map.get(&e)?;
+                let mut dump = HistoryDump::default();
+                for w in h.windows() {
+                    for &(c, n) in h.bins_in(w) {
+                        dump.wins.push(w);
+                        dump.cells.push(c);
+                        dump.counts.push(n);
+                    }
+                }
+                dump.window_records = h.window_record_counts().collect();
+                Some(dump)
+            }
+            Self::Arena(arena) => {
+                let (wins, cells, counts, window_records) = arena.export_entity(e)?;
+                Some(HistoryDump {
+                    wins,
+                    cells,
+                    counts,
+                    window_records,
+                })
+            }
+        }
+    }
+
+    /// Restores one entity from a [`HistoryStore::export_entity`] dump
+    /// into a fresh store — the recovery inverse; round-trips
+    /// bit-identically for either layout.
+    pub(crate) fn restore_entity(&mut self, e: EntityId, dump: HistoryDump) {
+        match self {
+            Self::Legacy(map) => {
+                let mut leaves: std::collections::BTreeMap<WindowIdx, CellCounts> =
+                    std::collections::BTreeMap::new();
+                for i in 0..dump.wins.len() {
+                    leaves
+                        .entry(dump.wins[i])
+                        .or_default()
+                        .push((dump.cells[i], dump.counts[i]));
+                }
+                let window_records = dump.window_records.into_iter().collect();
+                map.insert(e, MobilityHistory::from_leaves(e, leaves, window_records));
+            }
+            Self::Arena(arena) => {
+                arena.restore_entity(e, dump.wins, dump.cells, dump.counts, dump.window_records);
+            }
+        }
+    }
+}
+
+/// One entity's history in canonical column form: `wins` ascending with
+/// one entry per bin, `cells` sorted within each window run, `counts`
+/// parallel, plus the true per-window record counts (they differ from
+/// the bin-count sum for region records). The layout-independent unit a
+/// checkpoint serializes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct HistoryDump {
+    pub(crate) wins: Vec<WindowIdx>,
+    pub(crate) cells: Vec<CellId>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) window_records: Vec<(WindowIdx, u32)>,
 }
 
 /// A borrowed history usable by the rescore kernel: either a per-entity

@@ -120,6 +120,9 @@ pub(crate) struct EngineTelemetry {
     /// [`crate::StreamEngine::absorb_serve_report`] — never touched on
     /// the engine's hot paths.
     pub(crate) query_latency: Histogram,
+    /// Spans of each checkpoint write (serialize + temp file + fsync +
+    /// rename), recorded on the pump thread at the checkpoint cadence.
+    pub(crate) checkpoint_write: Histogram,
 }
 
 impl EngineTelemetry {
@@ -137,6 +140,7 @@ impl EngineTelemetry {
             frontier_lag: Histogram::new(),
             score_kernel: Histogram::new(),
             query_latency: Histogram::new(),
+            checkpoint_write: Histogram::new(),
         }
     }
 

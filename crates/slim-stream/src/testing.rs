@@ -203,6 +203,40 @@ fn play_connection(
     });
 }
 
+/// A deterministic fault-injection plan for the crash/recover harness:
+/// instead of killing real processes (slow, racy, unportable), a drive
+/// with a plan installed via
+/// [`crate::StreamEngine::set_fault_plan`] simulates the failure at an
+/// exact, repeatable point in the accepted-event sequence — so CI
+/// exercises crash recovery sleep-free and bit-reproducibly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Abort the drive (as a crash would) immediately after accepting
+    /// this many events from the source. The drive returns an error;
+    /// the engine is left mid-ingest like a killed process's heap —
+    /// recovery must come from the checkpoint directory.
+    pub kill_at_event: Option<u64>,
+    /// Truncate the **last checkpoint written before the kill** to this
+    /// many bytes (a torn write: the crash hit mid-`write`). Requires
+    /// `kill_at_event`.
+    pub torn_write_after: Option<u64>,
+    /// Flip one bit at this byte offset in the last checkpoint written
+    /// before the kill (media corruption under an intact length).
+    /// Requires `kill_at_event`.
+    pub bit_flip_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that kills the drive after `n` accepted events, with
+    /// intact checkpoints.
+    pub fn kill_at(n: u64) -> Self {
+        Self {
+            kill_at_event: Some(n),
+            ..Self::default()
+        }
+    }
+}
+
 /// A manually advanced monotone clock for rate-control tests. Cloning
 /// shares the underlying time, so a test can hold one handle while the
 /// source owns another.
